@@ -1,0 +1,101 @@
+(** Benchmark harness: regenerates every table (T1-T5) and figure series
+    (F1-F6) of the reproduced evaluation, then runs the B1 bechamel
+    micro-benchmarks of compile-pass throughput.
+
+    Usage:
+      dune exec bench/main.exe            # everything
+      dune exec bench/main.exe t3 f1      # selected experiments
+      dune exec bench/main.exe bechamel   # only the pass micro-benches *)
+
+module E = Lp_experiments.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* B1: bechamel micro-benchmarks of individual compiler passes          *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_passes () =
+  let open Bechamel in
+  let open Toolkit in
+  let module T = Lp_transforms in
+  let module W = Lp_workloads.Workload in
+  let source = (Lp_workloads.Suite.find_exn "matmul").W.source in
+  let fresh_prog () =
+    let ast = Lowpower.Compile.parse_and_check source in
+    Lp_ir.Lower.lower_program ast
+  in
+  let pass_test name (p : T.Pass.func_pass) =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let prog = fresh_prog () in
+           let pm = T.Pass.create_manager () in
+           ignore (T.Pass.run_pass pm p prog)))
+  in
+  let machine = Lp_machine.Machine.generic ~n_cores:4 () in
+  let tests =
+    [
+      Test.make ~name:"parse+lower"
+        (Staged.stage (fun () -> ignore (fresh_prog ())));
+      pass_test "constfold" T.Constfold.pass;
+      pass_test "dce" T.Dce.pass;
+      pass_test "simplify-cfg" T.Simplify_cfg.pass;
+      pass_test "mac-fusion" T.Mac_fusion.pass;
+      pass_test "const-promote" T.Const_promote.pass;
+      Test.make ~name:"gating-insert+merge"
+        (Staged.stage (fun () ->
+             let prog = fresh_prog () in
+             ignore (T.Gating.insert machine prog);
+             ignore (T.Gating.merge machine prog)));
+      Test.make ~name:"dvfs-insert"
+        (Staged.stage (fun () ->
+             let prog = fresh_prog () in
+             ignore (T.Dvfs.insert machine prog)));
+    ]
+  in
+  let test = Test.make_grouped ~name:"passes" ~fmt:"%s/%s" tests in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.6) ~kde:(Some 1000) ()
+    in
+    let raw_results = Benchmark.all cfg instances test in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw_results) instances
+    in
+    let results = Analyze.merge ols instances results in
+    results
+  in
+  print_endline "== B1: compile-pass micro-benchmarks (bechamel) ==";
+  print_endline
+    "(each staged run re-parses and re-lowers matmul so the pass sees \
+     fresh IR; subtract the parse+lower row for pass-only cost)";
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun measure tbl ->
+      if measure = Measure.label Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun name ols ->
+            let est =
+              match Analyze.OLS.estimates ols with
+              | Some (x :: _) -> Printf.sprintf "%12.1f ns/run" x
+              | _ -> "           n/a"
+            in
+            let r2 =
+              match Analyze.OLS.r_square ols with
+              | Some r -> Printf.sprintf "r²=%.3f" r
+              | None -> ""
+            in
+            Printf.printf "%-28s %s  %s\n" name est r2)
+          tbl)
+    results;
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let want id = args = [] || List.mem id args in
+  List.iter
+    (fun (e : E.entry) -> if want e.E.id then E.run_and_print e)
+    E.all;
+  if want "bechamel" then bechamel_passes ()

@@ -1,0 +1,274 @@
+(** lpcc — the low-power pattern compiler driver.
+
+    Subcommands:
+    - [detect]    print the pattern detection report for a source file
+    - [run]       compile and simulate under a chosen configuration
+    - [dump]      print the compiled IR
+    - [workloads] list the bundled benchmark programs
+
+    Sources are MiniC files; [--workload NAME] substitutes a bundled
+    benchmark for a file. *)
+
+module Compile = Lowpower.Compile
+module Machine = Lp_machine.Machine
+module Sim = Lp_sim.Sim
+module Ledger = Lp_power.Energy_ledger
+module Pattern = Lp_patterns.Pattern
+module W = Lp_workloads.Workload
+open Cmdliner
+
+(* ---------------- shared arguments ---------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let source_of ~file ~workload =
+  match (file, workload) with
+  | (Some f, None) -> Ok (read_file f, Filename.basename f)
+  | (None, Some name) -> (
+    match Lp_workloads.Suite.find name with
+    | Some w -> Ok (w.W.source, name)
+    | None ->
+      Error
+        (Printf.sprintf "unknown workload %S (try: lpcc workloads)" name))
+  | (None, None) -> Error "give a source file or --workload NAME"
+  | (Some _, Some _) -> Error "give either a file or --workload, not both"
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file.")
+
+let workload_arg =
+  Arg.(value & opt (some string) None
+       & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Use a bundled workload instead of a file.")
+
+let machine_arg =
+  let conv_machine = Arg.enum
+      [ ("generic", `Generic); ("pacduo", `Pacduo); ("octa-leaky", `Octa) ]
+  in
+  Arg.(value & opt conv_machine `Generic
+       & info [ "m"; "machine" ] ~docv:"MACHINE"
+           ~doc:"Machine model: $(b,generic), $(b,pacduo) or $(b,octa-leaky).")
+
+let cores_arg =
+  Arg.(value & opt int 4
+       & info [ "c"; "cores" ] ~docv:"N" ~doc:"Cores the compiler may use.")
+
+let trace_arg =
+  Arg.(value & opt int 0
+       & info [ "t"; "trace" ] ~docv:"N"
+           ~doc:"Print the first $(docv) power/communication events.")
+
+let config_arg =
+  let conv_config = Arg.enum
+      [ ("baseline", `Baseline); ("pg", `Pg); ("dvfs", `Dvfs);
+        ("pg+dvfs", `PgDvfs); ("par", `Par); ("full", `Full) ]
+  in
+  Arg.(value & opt conv_config `Full
+       & info [ "k"; "config" ] ~docv:"CONFIG"
+           ~doc:"Compiler configuration: $(b,baseline), $(b,pg), $(b,dvfs), \
+                 $(b,pg+dvfs), $(b,par) or $(b,full).")
+
+let machine_of ~cores = function
+  | `Generic -> Machine.generic ~n_cores:(max cores 4) ()
+  | `Pacduo -> Machine.pac_duo_like ()
+  | `Octa -> Machine.octa_leaky ()
+
+let opts_of ~cores = function
+  | `Baseline -> Compile.baseline
+  | `Pg -> Compile.pg_only
+  | `Dvfs -> Compile.dvfs_only
+  | `PgDvfs -> Compile.pg_dvfs
+  | `Par -> Compile.par_only ~n_cores:cores
+  | `Full -> Compile.full ~n_cores:cores
+
+(* ---------------- detect ---------------- *)
+
+let detect_cmd_run file workload =
+  match source_of ~file ~workload with
+  | Error e -> `Error (false, e)
+  | Ok (src, name) -> (
+    try
+      let ast = Compile.parse_and_check src in
+      let report = Lp_patterns.Detect.detect ast in
+      Printf.printf "%s: %d candidate loops\n" name report.Pattern.candidate_loops;
+      List.iter
+        (fun (i : Pattern.instance) ->
+          Printf.printf "  [%d] %s in %s (%s)%s\n" i.Pattern.id
+            (Pattern.kind_name i.Pattern.kind)
+            i.Pattern.in_func
+            (match i.Pattern.origin with
+            | Pattern.Annotated -> "annotated, verified"
+            | Pattern.Inferred -> "inferred")
+            (match i.Pattern.invariants with
+            | [] -> ""
+            | invs ->
+              Printf.sprintf ", invariants: %s"
+                (String.concat "," (List.map fst invs))))
+        report.Pattern.instances;
+      List.iter
+        (fun (r : Pattern.rejection) ->
+          Printf.printf "  rejected in %s%s: %s\n" r.Pattern.rej_func
+            (match r.Pattern.rej_requested with
+            | Some k -> Printf.sprintf " (requested %s)" k
+            | None -> "")
+            r.Pattern.rej_reason)
+        report.Pattern.rejections;
+      `Ok ()
+    with Compile.Compile_error msg -> `Error (false, msg))
+
+let detect_cmd =
+  let doc = "detect design patterns in a MiniC program" in
+  Cmd.v (Cmd.info "detect" ~doc)
+    Term.(ret (const detect_cmd_run $ file_arg $ workload_arg))
+
+(* ---------------- run ---------------- *)
+
+let run_cmd_run file workload machine_kind cores config trace =
+  match source_of ~file ~workload with
+  | Error e -> `Error (false, e)
+  | Ok (src, name) -> (
+    try
+      let machine = machine_of ~cores machine_kind in
+      let cores = min cores machine.Machine.n_cores in
+      let opts = opts_of ~cores config in
+      let sim_opts =
+        { Sim.default_options with Sim.trace_limit = max 0 trace }
+      in
+      let (compiled, o) = Compile.run ~opts ~sim_opts ~machine src in
+      Printf.printf "%s on %s\n" name machine.Machine.name;
+      Printf.printf "  patterns: %s\n"
+        (match compiled.Compile.detection.Pattern.instances with
+        | [] -> "(none)"
+        | l ->
+          String.concat ", "
+            (List.map (fun (i : Pattern.instance) ->
+                 Pattern.kind_name i.Pattern.kind) l));
+      Printf.printf "  cores used: %d\n"
+        (List.length (Lp_ir.Prog.entries compiled.Compile.prog));
+      (match o.Sim.ret with
+      | Some v -> Printf.printf "  result: %s\n" (Lp_sim.Value.to_string v)
+      | None -> ());
+      Printf.printf "  time:   %.1f us\n" (o.Sim.duration_ns /. 1e3);
+      Printf.printf "  energy: %.1f uJ\n" (Ledger.total o.Sim.energy /. 1e3);
+      List.iter
+        (fun (cat, e) ->
+          if e > 0.0 then
+            Printf.printf "    %-12s %8.1f uJ\n"
+              (Ledger.category_to_string cat)
+              (e /. 1e3))
+        (Ledger.breakdown o.Sim.energy);
+      Printf.printf "  EDP: %.1f nJ*ms; %d instructions; %d msgs; %d gate transitions; %d dvfs switches\n"
+        (Sim.edp o) o.Sim.instr_total o.Sim.channel_msgs o.Sim.gate_transitions
+        o.Sim.dvfs_transitions;
+      if o.Sim.implicit_wakeups > 0 then
+        Printf.printf "  WARNING: %d implicit wakeups (compiler bug!)\n"
+          o.Sim.implicit_wakeups;
+      if trace > 0 then begin
+        Printf.printf "  first %d power/communication events:\n"
+          (List.length o.Sim.events);
+        List.iter
+          (fun (e : Sim.event) ->
+            Printf.printf "    %10.1fns core%d %s\n" e.Sim.ev_ns e.Sim.ev_core
+              e.Sim.ev_what)
+          o.Sim.events
+      end;
+      `Ok ()
+    with
+    | Compile.Compile_error msg -> `Error (false, msg)
+    | Lp_sim.Value.Runtime_error msg -> `Error (false, "runtime: " ^ msg))
+
+let run_cmd =
+  let doc = "compile and simulate a MiniC program" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(ret (const run_cmd_run $ file_arg $ workload_arg $ machine_arg
+               $ cores_arg $ config_arg $ trace_arg))
+
+(* ---------------- dump ---------------- *)
+
+let source_flag =
+  Arg.(value & flag
+       & info [ "s"; "source" ]
+           ~doc:"Print the transformed MiniC source (after pattern-driven \
+                 parallelisation) instead of the IR.")
+
+let dump_cmd_run file workload machine_kind cores config as_source =
+  match source_of ~file ~workload with
+  | Error e -> `Error (false, e)
+  | Ok (src, _) -> (
+    try
+      let machine = machine_of ~cores machine_kind in
+      let cores = min cores machine.Machine.n_cores in
+      if as_source then begin
+        let ast = Compile.parse_and_check src in
+        let det = Lp_patterns.Detect.detect ast in
+        let (gen, _) =
+          Lp_transforms.Parallelize.run ~n_cores:cores ast
+            (Compile.feasible_instances ~n_cores:cores
+               det.Lp_patterns.Pattern.instances)
+        in
+        print_string (Lp_lang.Ast_printer.program_to_string gen)
+      end
+      else begin
+        let compiled =
+          Compile.compile ~opts:(opts_of ~cores config) ~machine src
+        in
+        print_string (Lp_ir.Printer.prog_to_string compiled.Compile.prog)
+      end;
+      `Ok ()
+    with Compile.Compile_error msg -> `Error (false, msg))
+
+let dump_cmd =
+  let doc = "print the compiled IR (or, with --source, the parallelised MiniC)" in
+  Cmd.v (Cmd.info "dump" ~doc)
+    Term.(ret (const dump_cmd_run $ file_arg $ workload_arg $ machine_arg
+               $ cores_arg $ config_arg $ source_flag))
+
+(* ---------------- workloads ---------------- *)
+
+let workloads_cmd_run () =
+  List.iter
+    (fun (w : W.t) ->
+      Printf.printf "%-14s %-14s %s\n" w.W.name w.W.expected_pattern
+        w.W.description)
+    Lp_workloads.Suite.all;
+  `Ok ()
+
+let workloads_cmd =
+  let doc = "list the bundled benchmark workloads" in
+  Cmd.v (Cmd.info "workloads" ~doc) Term.(ret (const workloads_cmd_run $ const ()))
+
+(* ---------------- bench ---------------- *)
+
+let bench_cmd_run ids =
+  let known = List.map (fun e -> e.Lp_experiments.Experiments.id)
+      Lp_experiments.Experiments.all in
+  match List.filter (fun id -> not (List.mem id known)) ids with
+  | bad :: _ ->
+    `Error (false, Printf.sprintf "unknown experiment %S (known: %s)" bad
+              (String.concat " " known))
+  | [] ->
+    List.iter
+      (fun (e : Lp_experiments.Experiments.entry) ->
+        if ids = [] || List.mem e.Lp_experiments.Experiments.id ids then
+          Lp_experiments.Experiments.run_and_print e)
+      Lp_experiments.Experiments.all;
+    `Ok ()
+
+let bench_cmd =
+  let doc = "regenerate evaluation tables/figures (all, or the given ids)" in
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID"
+           ~doc:"Experiment ids (t1..t5, t3b, f1..f6, a1..a3); all when omitted.")
+  in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(ret (const bench_cmd_run $ ids))
+
+let () =
+  let doc = "compiler for low power with design patterns on embedded multicore" in
+  let info = Cmd.info "lpcc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ detect_cmd; run_cmd; dump_cmd; workloads_cmd; bench_cmd ]))

@@ -1,0 +1,1 @@
+examples/dvfs_tuning.ml: List Lowpower Lp_machine Lp_power Lp_sim Lp_transforms Lp_workloads Printf

@@ -1,0 +1,1 @@
+examples/dvfs_tuning.mli:

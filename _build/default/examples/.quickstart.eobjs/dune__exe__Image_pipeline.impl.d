@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: List Lowpower Lp_ir Lp_machine Lp_power Lp_sim Lp_transforms Lp_workloads Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Lowpower Lp_ir Lp_machine Lp_patterns Lp_power Lp_sim Printf

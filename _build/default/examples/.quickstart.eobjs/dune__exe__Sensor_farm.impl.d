@@ -1,0 +1,1 @@
+examples/sensor_farm.ml: List Lowpower Lp_machine Lp_patterns Lp_power Lp_sim Printf

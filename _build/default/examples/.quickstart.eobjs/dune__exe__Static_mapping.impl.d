@@ -1,0 +1,1 @@
+examples/static_mapping.ml: Array List Lp_machine Lp_power Lp_sched Printf String

@@ -1,0 +1,66 @@
+(** Example: a 5-stage media pipeline compiled for machines of different
+    widths, showing pipeline stage fusion and stage balancing.
+
+    The program (the [audio5] workload) declares a 5-stage pipeline with
+    [#pragma lp] annotations.  On a 2-core machine the compiler fuses it
+    to 2 stages (minimising the bottleneck), on 4 cores to 4, and on big
+    machines each stage gets its own core; whatever the depth, the
+    balancing pass then slows non-bottleneck stages to the bottleneck's
+    service rate to convert pipeline slack into energy.
+
+    Run with: dune exec examples/image_pipeline.exe *)
+
+module Compile = Lowpower.Compile
+module Machine = Lp_machine.Machine
+module Sim = Lp_sim.Sim
+module Ledger = Lp_power.Energy_ledger
+module Prog = Lp_ir.Prog
+module Ir = Lp_ir.Ir
+module Par_info = Lp_transforms.Par_info
+module W = Lp_workloads.Workload
+
+let source = (Lp_workloads.Suite.find_exn "audio5").W.source
+
+let describe_stages (c : Compile.compiled) =
+  List.concat_map
+    (fun (cg : Par_info.instance_codegen) ->
+      List.mapi
+        (fun s name ->
+          let level =
+            match Prog.find_func c.Compile.prog name with
+            | Some f -> (
+              match (Prog.block f f.Prog.entry).Ir.instrs with
+              | { Ir.idesc = Ir.Dvfs l; _ } :: _ -> Printf.sprintf "L%d" l
+              | _ -> "nom")
+            | None -> "?"
+          in
+          Printf.sprintf "stage%d@%s" s level)
+        cg.Par_info.stage_funcs)
+    c.Compile.par_info.Par_info.instances
+
+let () =
+  print_endline "5-stage pipeline across machine widths (full config):";
+  print_endline "";
+  let machine8 = Machine.generic ~n_cores:8 () in
+  let (_, base) = Compile.run ~opts:Compile.baseline ~machine:machine8 source in
+  Printf.printf "%-7s %-8s %-10s %-10s %-9s %s\n" "cores" "stages" "time(us)"
+    "energy(uJ)" "speedup" "stage operating points";
+  List.iter
+    (fun n ->
+      let (compiled, o) =
+        Compile.run ~opts:(Compile.full ~n_cores:n) ~machine:machine8 source
+      in
+      let stages = describe_stages compiled in
+      Printf.printf "%-7d %-8d %-10.0f %-10.1f %-9.2f %s\n" n
+        (List.length stages)
+        (o.Sim.duration_ns /. 1e3)
+        (Ledger.total o.Sim.energy /. 1e3)
+        (base.Sim.duration_ns /. o.Sim.duration_ns)
+        (String.concat " " stages))
+    [ 2; 3; 4; 5 ];
+  print_endline "";
+  print_endline
+    "Reading the last column: the compiler fused 5 declared stages down \
+     to the available cores; non-bottleneck stages run at reduced V/f \
+     points (L0 is slowest) chosen so they still meet the bottleneck's \
+     rate."

@@ -1,0 +1,81 @@
+(** Example: offline task-graph mapping with the static scheduler.
+
+    For work that is not a single counted loop — an explicit DAG of tasks
+    with data edges — the `lp_sched` substrate plays the role the pattern
+    parallelizer plays for loops: HEFT-style list scheduling places tasks
+    on cores, and the energy mapper then converts schedule slack into
+    lower operating points under a deadline, exactly like the pipeline
+    balancing pass does for stages. *)
+
+module Taskgraph = Lp_sched.Taskgraph
+module List_sched = Lp_sched.List_sched
+module Energy_map = Lp_sched.Energy_map
+module Machine = Lp_machine.Machine
+module Component = Lp_power.Component
+
+(* A small sensor-fusion DAG: two acquisition tasks feed three filters of
+   very different weights, which join into a classifier. *)
+let graph =
+  let mk = Taskgraph.mk_task in
+  let mul_set = Component.Set.of_list [ Component.Alu; Component.Multiplier ] in
+  let div_set = Component.Set.of_list [ Component.Alu; Component.Divider ] in
+  Taskgraph.create
+    ~tasks:
+      [
+        mk ~tid:0 ~name:"acquireA" ~work:400.0 ~mem_fraction:0.6 ();
+        mk ~tid:1 ~name:"acquireB" ~work:400.0 ~mem_fraction:0.6 ();
+        mk ~tid:2 ~name:"fir" ~work:5200.0 ~components:mul_set ();
+        mk ~tid:3 ~name:"median" ~work:1500.0 ~components:div_set ();
+        mk ~tid:4 ~name:"threshold" ~work:700.0 ();
+        mk ~tid:5 ~name:"classify" ~work:1200.0 ~components:mul_set ();
+      ]
+    ~edges:
+      [
+        { Taskgraph.src = 0; dst = 2; words = 16 };
+        { Taskgraph.src = 0; dst = 3; words = 16 };
+        { Taskgraph.src = 1; dst = 3; words = 16 };
+        { Taskgraph.src = 1; dst = 4; words = 16 };
+        { Taskgraph.src = 2; dst = 5; words = 8 };
+        { Taskgraph.src = 3; dst = 5; words = 8 };
+        { Taskgraph.src = 4; dst = 5; words = 8 };
+      ]
+
+let () =
+  let machine = Machine.generic ~n_cores:4 () in
+  let s = List_sched.run ~machine graph in
+  List_sched.validate s;
+  Printf.printf "Sensor-fusion DAG on %s:\n\n" machine.Machine.name;
+  Printf.printf "  serial: %.0f cycles; scheduled makespan: %.0f cycles on %d cores\n\n"
+    (Taskgraph.serial_cycles graph) s.List_sched.makespan_cycles
+    (List_sched.cores_used s);
+  Printf.printf "  %-10s %-5s %10s %10s\n" "task" "core" "start" "finish";
+  Array.iter
+    (fun (p : List_sched.placement) ->
+      Printf.printf "  %-10s %-5d %10.0f %10.0f\n"
+        (Taskgraph.task graph p.List_sched.ptask).Taskgraph.tname
+        p.List_sched.core p.List_sched.start_cycles p.List_sched.finish_cycles)
+    s.List_sched.placements;
+  print_newline ();
+  List.iter
+    (fun slack ->
+      let r = Energy_map.run ~slack s in
+      Printf.printf
+        "  slack %3.0f%%: estimated energy %7.1f -> %7.1f nJ (%.1f%% saved); levels: %s\n"
+        (slack *. 100.0) r.Energy_map.baseline_energy_nj
+        r.Energy_map.scaled_energy_nj
+        (100.0
+        *. (1.0 -. (r.Energy_map.scaled_energy_nj /. r.Energy_map.baseline_energy_nj)))
+        (String.concat " "
+           (Array.to_list
+              (Array.map
+                 (fun (a : Energy_map.assignment) ->
+                   Printf.sprintf "%s=L%d"
+                     (Taskgraph.task graph a.Energy_map.atask).Taskgraph.tname
+                     a.Energy_map.level)
+                 r.Energy_map.assignments))))
+    [ 0.0; 0.05; 0.20 ];
+  print_newline ();
+  print_endline
+    "Tasks off the critical path (median/threshold/acquire) drop to lower \
+     operating points even at 0% slack; loosening the deadline lets the \
+     mapper slow more of the graph."

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Hashtbl List Lp_ir

@@ -1,0 +1,1 @@
+lib/analysis/compuse.ml: Hashtbl List Loops Lp_ir Lp_power

@@ -1,0 +1,1 @@
+lib/analysis/dataflow.ml: Cfg Hashtbl Int List Lp_ir Set

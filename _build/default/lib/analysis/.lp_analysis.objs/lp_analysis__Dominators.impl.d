@@ -1,0 +1,1 @@
+lib/analysis/dominators.ml: Cfg Hashtbl Int List Lp_ir Set

@@ -1,0 +1,1 @@
+lib/analysis/est.ml: List Loops Lp_ir Lp_machine

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Cfg Dataflow Hashtbl List Lp_ir

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Cfg Dominators Hashtbl Int List Lp_ir Set

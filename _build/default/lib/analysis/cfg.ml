@@ -1,0 +1,57 @@
+(** Control-flow graph view of an IR function: predecessor/successor maps
+    and a reverse-postorder traversal. *)
+
+module Ir = Lp_ir.Ir
+module Prog = Lp_ir.Prog
+
+type t = {
+  func : Prog.func;
+  succs : (Ir.label, Ir.label list) Hashtbl.t;
+  preds : (Ir.label, Ir.label list) Hashtbl.t;
+  rpo : Ir.label list;  (** reverse postorder from entry; entry first *)
+}
+
+let succs t l = try Hashtbl.find t.succs l with Not_found -> []
+let preds t l = try Hashtbl.find t.preds l with Not_found -> []
+
+let build (f : Prog.func) : t =
+  (* discover reachable blocks first so that edges out of dead blocks do
+     not pollute predecessor sets (lowering leaves dead continuation
+     blocks after mid-block returns until simplify-cfg prunes them) *)
+  let visited = Hashtbl.create 16 in
+  let post = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.replace visited l ();
+      List.iter dfs (Ir.term_succs (Prog.block f l).Ir.term);
+      post := l :: !post
+    end
+  in
+  dfs f.Prog.entry;
+  let succs = Hashtbl.create 16 in
+  let preds = Hashtbl.create 16 in
+  List.iter
+    (fun bid ->
+      let ss = Ir.term_succs (Prog.block f bid).Ir.term in
+      Hashtbl.replace succs bid ss;
+      List.iter
+        (fun s ->
+          let cur = try Hashtbl.find preds s with Not_found -> [] in
+          Hashtbl.replace preds s (cur @ [ bid ]))
+        ss)
+    !post;
+  { func = f; succs; preds; rpo = !post }
+
+(** Blocks reachable from the entry. *)
+let reachable t = t.rpo
+
+let is_reachable t l = List.mem l t.rpo
+
+(** Remove unreachable blocks from the function layout (and table). *)
+let prune_unreachable (f : Prog.func) : int =
+  let cfg = build f in
+  let before = List.length f.Prog.block_order in
+  f.Prog.block_order <-
+    List.filter (fun l -> is_reachable cfg l) f.Prog.block_order;
+  Prog.prune_blocks f;
+  before - List.length f.Prog.block_order

@@ -1,0 +1,93 @@
+(** Component-activity analysis.
+
+    Computes which datapath components each block, loop and function can
+    use, closing over the call graph.  This is the enabling analysis for
+    compiler-directed power gating: a component not in the use set of a
+    region is provably idle throughout that region and may be gated if the
+    region is long enough to amortise the transition cost. *)
+
+module Ir = Lp_ir.Ir
+module Prog = Lp_ir.Prog
+module Component = Lp_power.Component
+module CS = Component.Set
+
+type t = {
+  prog : Prog.t;
+  func_use : (string, CS.t) Hashtbl.t;  (** transitive use set per function *)
+}
+
+(** Components used directly by one instruction (gating pseudo-instructions
+    themselves are transparent: they don't make a component "used"). *)
+let instr_components (i : Ir.instr) : CS.t =
+  match i.Ir.idesc with
+  | Ir.Pg_off _ | Ir.Pg_on _ | Ir.Dvfs _ -> CS.empty
+  | _ -> CS.singleton (Ir.component_of i)
+
+let block_direct (b : Ir.block) : CS.t =
+  let s =
+    List.fold_left (fun acc i -> CS.union acc (instr_components i)) CS.empty
+      b.Ir.instrs
+  in
+  (* terminators occupy the branch unit *)
+  CS.add Component.Branch_unit s
+
+let callees_of_block (b : Ir.block) : string list =
+  List.filter_map
+    (fun i ->
+      match i.Ir.idesc with Ir.Call (_, f, _) -> Some f | _ -> None)
+    b.Ir.instrs
+
+(** Fixpoint over the call graph (handles recursion). *)
+let compute (prog : Prog.t) : t =
+  let func_use = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace func_use f.Prog.fname CS.empty)
+    (Prog.funcs prog);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        let direct =
+          List.fold_left
+            (fun acc b ->
+              let acc = CS.union acc (block_direct b) in
+              List.fold_left
+                (fun acc callee ->
+                  match Hashtbl.find_opt func_use callee with
+                  | Some s -> CS.union acc s
+                  | None -> acc)
+                acc (callees_of_block b))
+            CS.empty (Prog.blocks_in_order f)
+        in
+        let old = Hashtbl.find func_use f.Prog.fname in
+        if not (CS.equal old direct) then begin
+          Hashtbl.replace func_use f.Prog.fname direct;
+          changed := true
+        end)
+      (Prog.funcs prog)
+  done;
+  { prog; func_use }
+
+let func_use t name =
+  match Hashtbl.find_opt t.func_use name with
+  | Some s -> s
+  | None -> CS.empty
+
+(** Components a block can touch, including through calls. *)
+let block_use t (b : Ir.block) : CS.t =
+  List.fold_left
+    (fun acc callee -> CS.union acc (func_use t callee))
+    (block_direct b) (callees_of_block b)
+
+(** Components a loop can touch, including through calls. *)
+let loop_use t (f : Prog.func) (l : Loops.loop) : CS.t =
+  Loops.LS.fold
+    (fun bid acc -> CS.union acc (block_use t (Prog.block f bid)))
+    l.Loops.blocks CS.empty
+
+(** Gateable components guaranteed idle in the loop. *)
+let loop_idle t f l : CS.t = CS.diff CS.all_gateable (loop_use t f l)
+
+(** Gateable components never used by [entry] nor its callees; on a core
+    running only this entry they can be gated for the whole run. *)
+let never_used t ~entry : CS.t = CS.diff CS.all_gateable (func_use t entry)

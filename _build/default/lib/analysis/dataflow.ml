@@ -1,0 +1,86 @@
+(** Generic iterative dataflow framework over basic blocks.
+
+    Problems supply a join semilattice and a per-block transfer function;
+    the framework runs a worklist to fixpoint.  Used by liveness, by the
+    component-activity analysis behind power gating, and by tests that
+    define toy problems to exercise the machinery. *)
+
+module Ir = Lp_ir.Ir
+
+module type LATTICE = sig
+  type t
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) = struct
+  type result = {
+    inputs : (Ir.label, L.t) Hashtbl.t;   (** value at block entry (forward)
+                                              or exit (backward) *)
+    outputs : (Ir.label, L.t) Hashtbl.t;  (** value after the transfer *)
+  }
+
+  let get tbl l = try Hashtbl.find tbl l with Not_found -> L.bottom
+
+  (** [run ~direction ~cfg ~init ~transfer] iterates to fixpoint.
+      [init] seeds the entry (forward) or every exit block (backward). *)
+  let run ~direction ~(cfg : Cfg.t) ~(init : L.t)
+      ~(transfer : Ir.label -> L.t -> L.t) : result =
+    let inputs = Hashtbl.create 16 in
+    let outputs = Hashtbl.create 16 in
+    let blocks = cfg.Cfg.rpo in
+    let order =
+      match direction with Forward -> blocks | Backward -> List.rev blocks
+    in
+    let neighbours_in l =
+      match direction with
+      | Forward -> Cfg.preds cfg l
+      | Backward -> Cfg.succs cfg l
+    in
+    let is_boundary l =
+      match direction with
+      | Forward -> l = cfg.Cfg.func.Lp_ir.Prog.entry
+      | Backward -> Cfg.succs cfg l = []
+    in
+    let changed = ref true in
+    let rounds = ref 0 in
+    while !changed do
+      changed := false;
+      incr rounds;
+      if !rounds > 10_000 then failwith "Dataflow.run: fixpoint not reached";
+      List.iter
+        (fun l ->
+          let in_v =
+            let base = if is_boundary l then init else L.bottom in
+            List.fold_left
+              (fun acc p -> L.join acc (get outputs p))
+              base (neighbours_in l)
+          in
+          let out_v = transfer l in_v in
+          if not (L.equal (get inputs l) in_v) then begin
+            Hashtbl.replace inputs l in_v;
+            changed := true
+          end;
+          if not (L.equal (get outputs l) out_v) then begin
+            Hashtbl.replace outputs l out_v;
+            changed := true
+          end)
+        order
+    done;
+    { inputs; outputs }
+
+  let input r l = get r.inputs l
+  let output r l = get r.outputs l
+end
+
+module Int_set = Set.Make (Int)
+
+module Reg_set_lattice = struct
+  type t = Int_set.t
+  let bottom = Int_set.empty
+  let equal = Int_set.equal
+  let join = Int_set.union
+end

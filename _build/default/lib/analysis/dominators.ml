@@ -1,0 +1,63 @@
+(** Dominator analysis (iterative set-based; CFGs here are small). *)
+
+module Ir = Lp_ir.Ir
+
+module LS = Set.Make (Int)
+
+type t = {
+  cfg : Cfg.t;
+  dom : (Ir.label, LS.t) Hashtbl.t;  (** blocks dominating each block *)
+}
+
+let compute_of_cfg (cfg : Cfg.t) : t =
+  let blocks = cfg.Cfg.rpo in
+  let all = LS.of_list blocks in
+  let entry = cfg.Cfg.func.Lp_ir.Prog.entry in
+  let dom = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace dom l (if l = entry then LS.singleton entry else all))
+    blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> entry then begin
+          let preds = Cfg.preds cfg l in
+          let meet =
+            match preds with
+            | [] -> LS.singleton l
+            | p :: rest ->
+              List.fold_left
+                (fun acc p -> LS.inter acc (Hashtbl.find dom p))
+                (Hashtbl.find dom p) rest
+          in
+          let v = LS.add l meet in
+          if not (LS.equal v (Hashtbl.find dom l)) then begin
+            Hashtbl.replace dom l v;
+            changed := true
+          end
+        end)
+      blocks
+  done;
+  { cfg; dom }
+
+let compute f = compute_of_cfg (Cfg.build f)
+
+(** [dominates t a b]: does block [a] dominate block [b]? *)
+let dominates t a b =
+  match Hashtbl.find_opt t.dom b with
+  | Some s -> LS.mem a s
+  | None -> false
+
+let dominators t l =
+  match Hashtbl.find_opt t.dom l with Some s -> LS.elements s | None -> []
+
+(** Immediate dominator: the dominator of [l] (other than [l]) dominated
+    by every other strict dominator. *)
+let idom t l =
+  let strict = List.filter (fun d -> d <> l) (dominators t l) in
+  List.find_opt
+    (fun cand -> List.for_all (fun d -> dominates t d cand) strict)
+    strict

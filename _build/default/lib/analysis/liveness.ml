@@ -1,0 +1,60 @@
+(** Register liveness, block level, via the generic dataflow framework. *)
+
+module Ir = Lp_ir.Ir
+module Prog = Lp_ir.Prog
+module Flow = Dataflow.Make (Dataflow.Reg_set_lattice)
+module IS = Dataflow.Int_set
+
+type t = {
+  cfg : Cfg.t;
+  result : Flow.result;
+  use_def : (Ir.label, IS.t * IS.t) Hashtbl.t;  (** per-block (use, def) *)
+}
+
+let block_use_def (b : Ir.block) : IS.t * IS.t =
+  (* scan forward: a use counts only if not previously defined in block *)
+  let use = ref IS.empty in
+  let def = ref IS.empty in
+  let see_uses rs =
+    List.iter (fun r -> if not (IS.mem r !def) then use := IS.add r !use) rs
+  in
+  List.iter
+    (fun i ->
+      see_uses (Ir.uses i);
+      match Ir.def i with
+      | Some d -> def := IS.add d !def
+      | None -> ())
+    b.Ir.instrs;
+  see_uses (Ir.term_uses b.Ir.term);
+  (!use, !def)
+
+let compute (f : Prog.func) : t =
+  let cfg = Cfg.build f in
+  let use_def = Hashtbl.create 16 in
+  List.iter
+    (fun b -> Hashtbl.replace use_def b.Ir.bid (block_use_def b))
+    (Prog.blocks_in_order f);
+  let transfer l out_set =
+    match Hashtbl.find_opt use_def l with
+    | Some (use, def) -> IS.union use (IS.diff out_set def)
+    | None -> out_set
+  in
+  let result = Flow.run ~direction:Dataflow.Backward ~cfg ~init:IS.empty ~transfer in
+  { cfg; result; use_def }
+
+(** Registers live at block exit. *)
+let live_out t l =
+  List.fold_left
+    (fun acc s -> IS.union acc (Flow.output t.result s))
+    IS.empty
+    (Cfg.succs t.cfg l)
+
+(** Registers live at block entry. *)
+let live_in t l = Flow.output t.result l
+
+(** Count of registers live across any block boundary — a rough register
+    pressure indicator reported in compile statistics. *)
+let max_pressure t =
+  List.fold_left
+    (fun acc l -> max acc (IS.cardinal (live_in t l)))
+    0 t.cfg.Cfg.rpo

@@ -1,0 +1,167 @@
+(** Natural loop detection and trip-count estimation.
+
+    Loops are found from back edges (edges whose target dominates their
+    source).  The trip-count estimator pattern-matches the canonical loop
+    shape produced by the lowering pass ([i = lo; while (i < hi) ...;
+    i = i + step]) and falls back to a fixed heuristic when bounds are not
+    compile-time constants.  Trip estimates feed the gating break-even
+    test and the DVFS region selection. *)
+
+module Ir = Lp_ir.Ir
+module Prog = Lp_ir.Prog
+module LS = Set.Make (Int)
+
+type loop = {
+  header : Ir.label;
+  blocks : LS.t;            (** all blocks of the loop, header included *)
+  back_edges : Ir.label list;  (** sources of back edges *)
+  exits : (Ir.label * Ir.label) list;  (** (inside, outside) exit edges *)
+  depth : int;              (** nesting depth; 1 = outermost *)
+}
+
+(** Default trip estimate when bounds are unknown. *)
+let default_trip = 16
+
+let natural_loop (cfg : Cfg.t) ~header ~source : LS.t =
+  (* blocks that can reach [source] without passing through [header] *)
+  let body = ref (LS.add header (LS.singleton source)) in
+  let stack = ref [ source ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | b :: rest ->
+      stack := rest;
+      if b <> header then
+        List.iter
+          (fun p ->
+            if not (LS.mem p !body) then begin
+              body := LS.add p !body;
+              stack := p :: !stack
+            end)
+          (Cfg.preds cfg b)
+  done;
+  !body
+
+let find (f : Prog.func) : loop list =
+  let cfg = Cfg.build f in
+  let doms = Dominators.compute_of_cfg cfg in
+  (* collect back edges *)
+  let back = ref [] in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s -> if Dominators.dominates doms s b then back := (b, s) :: !back)
+        (Cfg.succs cfg b))
+    cfg.Cfg.rpo;
+  (* group by header, merge bodies *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (src, header) ->
+      let body = natural_loop cfg ~header ~source:src in
+      match Hashtbl.find_opt by_header header with
+      | Some (srcs, blocks) ->
+        Hashtbl.replace by_header header (src :: srcs, LS.union blocks body)
+      | None -> Hashtbl.replace by_header header ([ src ], body))
+    !back;
+  let loops =
+    Hashtbl.fold
+      (fun header (srcs, blocks) acc ->
+        let exits =
+          LS.fold
+            (fun b acc ->
+              List.fold_left
+                (fun acc s ->
+                  if LS.mem s blocks then acc else (b, s) :: acc)
+                acc (Cfg.succs cfg b))
+            blocks []
+        in
+        { header; blocks; back_edges = srcs; exits; depth = 1 } :: acc)
+      by_header []
+  in
+  (* nesting depth: a loop nested in another iff its blocks are a subset *)
+  let depth_of l =
+    1
+    + List.length
+        (List.filter
+           (fun outer ->
+             outer.header <> l.header && LS.subset l.blocks outer.blocks)
+           loops)
+  in
+  loops
+  |> List.map (fun l -> { l with depth = depth_of l })
+  |> List.sort (fun a b -> compare (a.depth, a.header) (b.depth, b.header))
+
+let contains l label = LS.mem label l.blocks
+
+let top_level loops = List.filter (fun l -> l.depth = 1) loops
+
+(* ------------------------------------------------------------------ *)
+(* Trip-count estimation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Try to recognise in the loop header a condition
+    [Br (Binop (Lt|Le) (Reg iv) (Imm hi), body, exit)], find the
+    initialisation [iv := Imm lo] outside the loop and the step
+    [iv := iv + Imm k] inside.  Returns the constant trip count. *)
+let constant_trip (f : Prog.func) (l : loop) : int option =
+  let header_block = Prog.block f l.header in
+  let open Ir in
+  (* the condition register must be defined in the header *)
+  let cond_info =
+    match header_block.term with
+    | Br (Reg c, _, _) ->
+      List.fold_left
+        (fun acc i ->
+          match i.idesc with
+          | Binop (((Lt | Le) as op), d, Reg iv, Imm (Cint hi)) when d = c ->
+            Some (op, iv, hi)
+          | _ -> acc)
+        None header_block.instrs
+    | Br _ | Jmp _ | Ret _ -> None
+  in
+  match cond_info with
+  | None -> None
+  | Some (op, iv, hi) ->
+    (* find unique init outside the loop and unique step inside; the step
+       [i = i + k] lowers to [t := add iv, k; iv := t], so chase one move *)
+    let init = ref None and step = ref None and bad = ref false in
+    Prog.iter_blocks f (fun b ->
+        let def_in_block r =
+          List.fold_left
+            (fun acc i ->
+              match Ir.def i with Some d when d = r -> Some i | _ -> acc)
+            None b.instrs
+        in
+        List.iter
+          (fun i ->
+            match Ir.def i with
+            | Some d when d = iv -> (
+              let inside = contains l b.bid in
+              match (inside, i.idesc) with
+              | (false, (Move (_, Imm (Cint lo)) | Const (_, Cint lo))) -> (
+                match !init with
+                | None -> init := Some lo
+                | Some _ -> bad := true)
+              | (true, Move (_, Reg t)) -> (
+                match def_in_block t with
+                | Some { idesc = Binop (Add, _, Reg r, Imm (Cint k)); _ }
+                  when r = iv -> (
+                  match !step with
+                  | None -> step := Some k
+                  | Some _ -> bad := true)
+                | _ -> bad := true)
+              | (true, Binop (Add, _, Reg r, Imm (Cint k))) when r = iv -> (
+                match !step with
+                | None -> step := Some k
+                | Some _ -> bad := true)
+              | _ -> bad := true)
+            | _ -> ())
+          b.instrs);
+    (match (!bad, !init, !step) with
+    | (false, Some lo, Some k) when k > 0 ->
+      let span = match op with Lt -> hi - lo | _ -> hi - lo + 1 in
+      if span <= 0 then Some 0 else Some ((span + k - 1) / k)
+    | _ -> None)
+
+let trip_estimate f l =
+  match constant_trip f l with Some n -> n | None -> default_trip

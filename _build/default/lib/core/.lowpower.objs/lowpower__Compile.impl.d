@@ -1,0 +1,1 @@
+lib/core/compile.ml: List Lp_analysis Lp_ir Lp_lang Lp_machine Lp_patterns Lp_power Lp_sim Lp_transforms Printf

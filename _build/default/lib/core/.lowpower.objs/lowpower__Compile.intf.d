@@ -1,0 +1,1 @@
+lib/core/compile.mli: Lp_ir Lp_lang Lp_machine Lp_patterns Lp_sim Lp_transforms

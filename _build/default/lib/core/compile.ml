@@ -1,0 +1,247 @@
+(** The compiler driver: MiniC source → pattern detection → pattern-driven
+    parallelisation → IR lowering → classic optimisation → pattern-aware
+    power management → verified program (+ optional simulation).
+
+    This module is the library's main public entry point.  The [options]
+    record captures the configurations the evaluation compares:
+
+    - [baseline]: plain optimising compile, single core, no power
+      management;
+    - [pg_only]: adds component power gating (with Sink-N-Hoist);
+    - [dvfs_only]: adds compiler-directed DVFS;
+    - [pg_dvfs]: both, still sequential;
+    - [full]: pattern-driven multicore parallelisation plus both power
+      transformations and pipeline balancing — the paper's proposal. *)
+
+module Ast = Lp_lang.Ast
+module Parser = Lp_lang.Parser
+module Typecheck = Lp_lang.Typecheck
+module Pattern = Lp_patterns.Pattern
+module Detect = Lp_patterns.Detect
+module Prog = Lp_ir.Prog
+module Lower = Lp_ir.Lower
+module Verify = Lp_ir.Verify
+module Machine = Lp_machine.Machine
+module T = Lp_transforms
+
+type power_options = {
+  gating : bool;
+  sink_n_hoist : bool;
+  dvfs : bool;
+  balance : bool;
+  gate_unused_cores : bool;
+  gating_opts : T.Gating.options;
+  dvfs_opts : T.Dvfs.options;
+}
+
+type options = {
+  n_cores : int;          (** cores the compiler may occupy *)
+  parallelize : bool;
+  distribution : T.Parallelize.distribution;  (** doall/reduction split *)
+  sync : T.Parallelize.sync;  (** non-reduction doall completion mechanism *)
+  mac_fusion : bool;
+  power : power_options;
+}
+
+let no_power =
+  {
+    gating = false;
+    sink_n_hoist = false;
+    dvfs = false;
+    balance = false;
+    gate_unused_cores = false;
+    gating_opts = T.Gating.default_options;
+    dvfs_opts = T.Dvfs.default_options;
+  }
+
+let all_power =
+  {
+    no_power with
+    gating = true;
+    sink_n_hoist = true;
+    dvfs = true;
+    balance = true;
+    gate_unused_cores = true;
+  }
+
+(** Non-power-aware sequential compile (the paper's baseline). *)
+let baseline =
+  { n_cores = 1; parallelize = false; distribution = T.Parallelize.Block;
+    sync = T.Parallelize.Done_channel; mac_fusion = true; power = no_power }
+
+let pg_only =
+  { baseline with
+    power = { no_power with gating = true; sink_n_hoist = true;
+              gate_unused_cores = true } }
+
+let dvfs_only = { baseline with power = { no_power with dvfs = true } }
+
+let pg_dvfs =
+  { baseline with
+    power = { no_power with gating = true; sink_n_hoist = true; dvfs = true;
+              gate_unused_cores = true } }
+
+(** The full pattern-aware low-power compile. *)
+let full ~n_cores = { baseline with n_cores; parallelize = true; power = all_power }
+
+(** Parallelisation without power management (to separate the two
+    effects in the evaluation). *)
+let par_only ~n_cores = { baseline with n_cores; parallelize = true }
+
+type compiled = {
+  source_ast : Ast.program;
+  prog : Prog.t;
+  par_info : T.Par_info.t;
+  detection : Pattern.report;
+  pass_stats : T.Pass.stats list;
+  gating_before_merge : T.Gating.counts;
+  gating_after_merge : T.Gating.counts;
+  machine : Machine.t;
+  options : options;
+}
+
+exception Compile_error of string
+
+(** Instances the machine can actually host (a pipeline with more stages
+    than available workers is skipped, falling back to sequential code
+    for that loop). *)
+let feasible_instances ~n_cores (instances : Pattern.instance list) =
+  let workers = n_cores - 1 in
+  List.filter
+    (fun (inst : Pattern.instance) ->
+      match inst.Pattern.kind with
+      (* deep pipelines are stage-fused down to the available cores *)
+      | Pattern.Pipeline _ | Pattern.Prodcons -> workers >= 1
+      | Pattern.Doall | Pattern.Reduction _ | Pattern.Farm -> workers >= 1)
+    instances
+
+let parse_and_check source =
+  let ast =
+    try Parser.parse_program source with
+    | Lp_lang.Lexer.Lex_error (msg, line) ->
+      raise (Compile_error (Printf.sprintf "lex error line %d: %s" line msg))
+    | Parser.Parse_error (msg, line) ->
+      raise (Compile_error (Printf.sprintf "parse error line %d: %s" line msg))
+  in
+  (try Typecheck.check_program ast with
+  | Typecheck.Type_error (msg, pos) ->
+    raise
+      (Compile_error (Printf.sprintf "type error line %d: %s" pos.Ast.line msg)));
+  ast
+
+(** Compile [source] for [machine] under [opts]. *)
+let compile ?(opts = baseline) ~(machine : Machine.t) (source : string) :
+    compiled =
+  if opts.n_cores > machine.Machine.n_cores then
+    raise
+      (Compile_error
+         (Printf.sprintf "options ask for %d cores, machine has %d"
+            opts.n_cores machine.Machine.n_cores));
+  let ast = parse_and_check source in
+  let detection = Detect.detect ast in
+  let (ast_par, par_info) =
+    if opts.parallelize && opts.n_cores > 1 then
+      T.Parallelize.run ~distribution:opts.distribution ~sync:opts.sync
+        ~n_cores:opts.n_cores ast
+        (feasible_instances ~n_cores:opts.n_cores detection.Pattern.instances)
+    else (ast, T.Par_info.sequential)
+  in
+  (* self-check: generated source must still type-check *)
+  (try Typecheck.check_program ast_par with
+  | Typecheck.Type_error (msg, pos) ->
+    raise
+      (Compile_error
+         (Printf.sprintf "internal: generated code ill-typed (line %d): %s"
+            pos.Ast.line msg)));
+  let prog =
+    try Lower.lower_program ast_par with
+    | Lower.Lower_error msg -> raise (Compile_error ("lowering: " ^ msg))
+  in
+  if par_info.T.Par_info.n_workers > 0 then
+    prog.Prog.layout <-
+      Prog.Parallel
+        {
+          entries = par_info.T.Par_info.entries;
+          n_channels = par_info.T.Par_info.n_channels;
+          n_barriers = par_info.T.Par_info.n_barriers;
+          chan_capacity = par_info.T.Par_info.chan_capacity;
+        };
+  (* classic optimisation *)
+  let pm = T.Pass.create_manager () in
+  ignore (T.Pass.run_pass pm T.Const_promote.pass prog);
+  T.Pass.run_to_fixpoint pm
+    [ T.Simplify_cfg.pass; T.Constfold.pass; T.Constprop.pass; T.Dce.pass ]
+    prog;
+  ignore (T.Pass.run_pass pm T.Unroll.pass prog);
+  T.Pass.run_to_fixpoint pm
+    [ T.Simplify_cfg.pass; T.Constfold.pass; T.Constprop.pass; T.Dce.pass ]
+    prog;
+  if opts.mac_fusion then begin
+    ignore (T.Pass.run_pass pm T.Mac_fusion.pass prog);
+    T.Pass.run_to_fixpoint pm [ T.Constfold.pass; T.Dce.pass ] prog
+  end;
+  ignore (T.Pass.run_pass pm T.Strength.pass prog);
+  T.Pass.run_to_fixpoint pm
+    [ T.Licm.pass; T.Constfold.pass; T.Dce.pass; T.Simplify_cfg.pass ]
+    prog;
+  (* pattern-aware power management *)
+  if opts.power.balance && par_info.T.Par_info.n_workers > 0 then
+    ignore (T.Balance.run machine prog par_info);
+  if opts.power.dvfs then
+    ignore (T.Dvfs.insert ~opts:opts.power.dvfs_opts machine prog);
+  let gating_before_merge =
+    if opts.power.gating then begin
+      ignore (T.Gating.insert ~opts:opts.power.gating_opts machine prog);
+      ignore (T.Pass.run_pass pm T.Simplify_cfg.pass prog);
+      T.Gating.count_gating prog
+    end
+    else T.Gating.count_gating prog
+  in
+  let gating_after_merge =
+    if opts.power.gating && opts.power.sink_n_hoist then begin
+      ignore (T.Gating.merge machine prog);
+      ignore (T.Pass.run_pass pm T.Simplify_cfg.pass prog);
+      T.Gating.count_gating prog
+    end
+    else gating_before_merge
+  in
+  (try Verify.verify_prog prog with
+  | Verify.Invalid msg -> raise (Compile_error ("verify: " ^ msg)));
+  (* the target must have every component the program executes on *)
+  let cu = Lp_analysis.Compuse.compute prog in
+  List.iter
+    (fun entry ->
+      let used = Lp_analysis.Compuse.func_use cu entry in
+      Lp_power.Component.Set.iter
+        (fun comp ->
+          if not (Machine.has_component machine comp) then
+            raise
+              (Compile_error
+                 (Printf.sprintf "program uses the %s unit but machine %s has none"
+                    (Lp_power.Component.to_string comp)
+                    machine.Machine.name)))
+        used)
+    (Prog.entries prog);
+  {
+    source_ast = ast;
+    prog;
+    par_info;
+    detection;
+    pass_stats = T.Pass.stats pm;
+    gating_before_merge;
+    gating_after_merge;
+    machine;
+    options = opts;
+  }
+
+(** Compile and simulate; the simulator models compiler-gated unused
+    cores when the options say so. *)
+let run ?(opts = baseline) ?(sim_opts = Lp_sim.Sim.default_options)
+    ~(machine : Machine.t) (source : string) : compiled * Lp_sim.Sim.outcome =
+  let compiled = compile ~opts ~machine source in
+  let sim_opts =
+    { sim_opts with
+      Lp_sim.Sim.gate_unused_cores = opts.power.gate_unused_cores }
+  in
+  let outcome = Lp_sim.Sim.run ~opts:sim_opts ~machine compiled.prog in
+  (compiled, outcome)

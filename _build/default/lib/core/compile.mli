@@ -1,0 +1,94 @@
+(** The compiler driver — the library's main public entry point.
+
+    Pipeline: MiniC source → pattern detection (annotation verification +
+    inference) → pattern-driven parallelisation → IR lowering → classic
+    optimisation (constant promotion, folding, DCE, CFG simplification,
+    MAC fusion, strength reduction, LICM) → pattern-aware power
+    management (pipeline balancing, DVFS insertion, power gating with
+    Sink-N-Hoist) → verified program, optionally simulated. *)
+
+module Ast = Lp_lang.Ast
+module Pattern = Lp_patterns.Pattern
+module Prog = Lp_ir.Prog
+module Machine = Lp_machine.Machine
+module T = Lp_transforms
+
+type power_options = {
+  gating : bool;          (** component power gating *)
+  sink_n_hoist : bool;    (** merge gating instructions *)
+  dvfs : bool;            (** per-loop DVFS insertion *)
+  balance : bool;         (** pipeline stage balancing *)
+  gate_unused_cores : bool;  (** gate cores the program does not occupy *)
+  gating_opts : T.Gating.options;
+  dvfs_opts : T.Dvfs.options;
+}
+
+type options = {
+  n_cores : int;       (** cores the compiler may occupy *)
+  parallelize : bool;
+  distribution : T.Parallelize.distribution;
+      (** how doall/reduction iteration spaces split across cores *)
+  sync : T.Parallelize.sync;
+      (** non-reduction doall completion: per-worker acknowledge or barrier *)
+  mac_fusion : bool;
+  power : power_options;
+}
+
+val no_power : power_options
+val all_power : power_options
+
+(** The configurations compared by the evaluation. *)
+
+(** Plain optimising compile, single core, no power management. *)
+val baseline : options
+
+(** Adds component power gating (with Sink-N-Hoist). *)
+val pg_only : options
+
+(** Adds compiler-directed DVFS. *)
+val dvfs_only : options
+
+(** Both power transformations, still sequential. *)
+val pg_dvfs : options
+
+(** The paper's proposal: pattern-driven multicore parallelisation plus
+    all power transformations. *)
+val full : n_cores:int -> options
+
+(** Parallelisation without power management (isolates the two effects). *)
+val par_only : n_cores:int -> options
+
+type compiled = {
+  source_ast : Ast.program;          (** the original, type-checked AST *)
+  prog : Prog.t;                     (** final verified IR *)
+  par_info : T.Par_info.t;
+  detection : Pattern.report;
+  pass_stats : T.Pass.stats list;
+  gating_before_merge : T.Gating.counts;
+  gating_after_merge : T.Gating.counts;
+  machine : Machine.t;
+  options : options;
+}
+
+exception Compile_error of string
+
+(** Parse and type-check only; raises [Compile_error]. *)
+val parse_and_check : string -> Ast.program
+
+(** Pattern instances the machine can host. *)
+val feasible_instances :
+  n_cores:int -> Pattern.instance list -> Pattern.instance list
+
+(** Compile [source] for [machine]; raises [Compile_error] (which also
+    wraps internal self-check failures: generated code that fails to
+    re-type-check or IR that fails verification). *)
+val compile : ?opts:options -> machine:Machine.t -> string -> compiled
+
+(** Compile and simulate.  The simulator is told to model compiler-gated
+    unused cores when the options enable it. *)
+val run :
+  ?opts:options ->
+  ?sim_opts:Lp_sim.Sim.options ->
+  machine:Machine.t ->
+  string ->
+  compiled * Lp_sim.Sim.outcome

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Hashtbl List Lowpower Lp_machine Lp_patterns Lp_power Lp_sim Lp_util Lp_workloads String

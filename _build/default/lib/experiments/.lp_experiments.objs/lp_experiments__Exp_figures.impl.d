@@ -1,0 +1,1 @@
+lib/experiments/exp_figures.ml: Compile Exp_common List Lp_machine Lp_power Lp_transforms Lp_workloads Printf Sim Table Workload

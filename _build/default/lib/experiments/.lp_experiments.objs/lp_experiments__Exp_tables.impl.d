@@ -1,0 +1,1 @@
+lib/experiments/exp_tables.ml: Compile Exp_common Hashtbl List Lp_ir Lp_lang Lp_transforms Lp_util Option Pattern String Table Workload

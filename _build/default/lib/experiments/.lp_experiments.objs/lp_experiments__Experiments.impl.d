@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Exp_figures Exp_tables List Lp_util Printf Sys

@@ -1,0 +1,71 @@
+(** Shared plumbing for the evaluation experiments (tables T1-T5, figures
+    F1-F6).  Each experiment module exposes [run : unit -> Lp_util.Table.t
+    list] so the benchmark executable, the CLI and the tests can all drive
+    the same code. *)
+
+module Compile = Lowpower.Compile
+module Machine = Lp_machine.Machine
+module Sim = Lp_sim.Sim
+module Ledger = Lp_power.Energy_ledger
+module Pattern = Lp_patterns.Pattern
+module Workload = Lp_workloads.Workload
+module Table = Lp_util.Table
+
+(** The machine of the main evaluation. *)
+let default_machine () = Machine.generic ~n_cores:4 ()
+
+(** Big machine for the core-count sweep. *)
+let machine_with_cores n = Machine.generic ~n_cores:n ()
+
+(** The compiler configurations every energy table compares. *)
+let standard_configs ~n_cores =
+  [
+    ("baseline", Compile.baseline);
+    ("pg", Compile.pg_only);
+    ("dvfs", Compile.dvfs_only);
+    ("pg+dvfs", Compile.pg_dvfs);
+    ("par", Compile.par_only ~n_cores);
+    ("full", Compile.full ~n_cores);
+  ]
+
+type run_result = {
+  workload : string;
+  config : string;
+  compiled : Compile.compiled;
+  outcome : Sim.outcome;
+}
+
+(* simple memo so that T3/T4/F2/F6 don't re-simulate the same
+   (workload, config, machine) triple *)
+let cache : (string * string * string, run_result) Hashtbl.t =
+  Hashtbl.create 64
+
+let run_workload ?(machine = default_machine ()) (w : Workload.t)
+    ~(config : string) (opts : Compile.options) : run_result =
+  let key = (w.Workload.name, config, machine.Machine.name) in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+    let (compiled, outcome) = Compile.run ~opts ~machine w.Workload.source in
+    let r = { workload = w.Workload.name; config; compiled; outcome } in
+    Hashtbl.replace cache key r;
+    r
+
+let energy r = Ledger.total r.outcome.Sim.energy
+let time_ns r = r.outcome.Sim.duration_ns
+let edp r = Sim.edp r.outcome
+
+(** Energy of [config] normalised to the baseline run. *)
+let normalised ~base r = energy r /. energy base
+
+let fmt_ratio = Table.fmt_float ~digits:3
+
+(** Count non-empty source lines of a workload. *)
+let source_loc (w : Workload.t) =
+  String.split_on_char '\n' w.Workload.source
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length
+
+let all_workloads = Lp_workloads.Suite.all
+
+let geomean_of xs = Lp_util.Stats.geomean xs

@@ -1,0 +1,375 @@
+(** Figures F1-F6 of the evaluation, printed as data series (one table
+    per figure; each row is one point of the plotted series). *)
+
+open Exp_common
+module T = Lp_transforms
+module Power_model = Lp_power.Power_model
+module Operating_point = Lp_power.Operating_point
+
+(* ------------------------------------------------------------------ *)
+(* F1: speedup & energy vs core count                                  *)
+(* ------------------------------------------------------------------ *)
+
+let f1 () : Table.t =
+  let tbl =
+    Table.create
+      ~title:
+        "F1: Scaling with core count (full config; speedup and energy vs \
+         1-core baseline)"
+      ~header:[ "workload"; "cores"; "speedup"; "energy ratio"; "edp ratio" ]
+      ~aligns:Table.[ Left; Right; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun name ->
+      let w = Lp_workloads.Suite.find_exn name in
+      let base =
+        run_workload ~machine:(machine_with_cores 1) w ~config:"baseline-1c"
+          Compile.baseline
+      in
+      List.iter
+        (fun n ->
+          let machine = machine_with_cores n in
+          let r =
+            run_workload ~machine w
+              ~config:(Printf.sprintf "full-%dc" n)
+              (Compile.full ~n_cores:n)
+          in
+          Table.add_row tbl
+            [
+              name;
+              string_of_int n;
+              Table.fmt_float ~digits:2 (time_ns base /. time_ns r);
+              fmt_ratio (energy r /. energy base);
+              fmt_ratio (edp r /. edp base);
+            ])
+        [ 1; 2; 4; 8 ])
+    Lp_workloads.Suite.representative;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* F2: energy-delay product                                            *)
+(* ------------------------------------------------------------------ *)
+
+let f2 () : Table.t =
+  let tbl =
+    Table.create
+      ~title:"F2: Energy-delay product, full vs baseline (lower is better)"
+      ~header:[ "workload"; "baseline EDP"; "full EDP"; "ratio" ]
+      ~aligns:Table.[ Left; Right; Right; Right ]
+      ()
+  in
+  let ratios = ref [] in
+  List.iter
+    (fun (w : Workload.t) ->
+      let base = run_workload w ~config:"baseline" Compile.baseline in
+      let full = run_workload w ~config:"full" (Compile.full ~n_cores:4) in
+      let ratio = edp full /. edp base in
+      ratios := ratio :: !ratios;
+      Table.add_row tbl
+        [
+          w.Workload.name;
+          Table.fmt_float ~digits:1 (edp base);
+          Table.fmt_float ~digits:1 (edp full);
+          fmt_ratio ratio;
+        ])
+    all_workloads;
+  Table.add_row tbl [ "geomean"; "-"; "-"; fmt_ratio (geomean_of !ratios) ];
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* F3: energy breakdown                                                *)
+(* ------------------------------------------------------------------ *)
+
+let f3 () : Table.t =
+  let tbl =
+    Table.create
+      ~title:"F3: Energy breakdown by category (uJ), baseline vs full"
+      ~header:
+        [ "workload"; "config"; "dynamic"; "leak-active"; "leak-idle";
+          "gate-ovh"; "dvfs-ovh"; "comm"; "total" ]
+      ~aligns:
+        Table.[ Left; Left; Right; Right; Right; Right; Right; Right; Right ]
+      ()
+  in
+  let module L = Lp_power.Energy_ledger in
+  List.iter
+    (fun name ->
+      let w = Lp_workloads.Suite.find_exn name in
+      List.iter
+        (fun (cfg, opts) ->
+          let r = run_workload w ~config:cfg opts in
+          let e = r.outcome.Sim.energy in
+          let cell cat = Table.fmt_float ~digits:1 (L.of_category e cat /. 1e3) in
+          Table.add_row tbl
+            [
+              name; cfg;
+              cell L.Dynamic;
+              cell L.Leakage_active;
+              cell L.Leakage_idle;
+              cell L.Gating_overhead;
+              cell L.Dvfs_overhead;
+              cell L.Communication;
+              Table.fmt_float ~digits:1 (L.total e /. 1e3);
+            ])
+        [ ("baseline", Compile.baseline); ("full", Compile.full ~n_cores:4) ])
+    Lp_workloads.Suite.representative;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* F4: sensitivity to the gating break-even threshold                  *)
+(* ------------------------------------------------------------------ *)
+
+let f4_scales = [ 0.0625; 0.25; 1.0; 4.0; 16.0; 64.0; 1000.0 ]
+let f4_workloads = [ "phases"; "jpegblocks"; "fft" ]
+
+(** The sweep runs on a leakage-heavy technology node (3x leakage) where
+    the break-even threshold actually arbitrates: too eager (small scale)
+    pays transition overhead on short regions, too conservative (large
+    scale) leaves leakage on the table. *)
+let f4 () : Table.t =
+  let power = Power_model.leaky () in
+  let machine = Lp_machine.Machine.generic ~n_cores:4 ~power () in
+  let tbl =
+    Table.create
+      ~title:
+        "F4: Gating break-even threshold sweep (pg-only, leaky node; \
+         energy normalised to scale=1.0)"
+      ~header:[ "workload"; "scale"; "energy ratio"; "gate transitions" ]
+      ~aligns:Table.[ Left; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun name ->
+      let w = Lp_workloads.Suite.find_exn name in
+      let run scale =
+        let opts =
+          { Compile.pg_only with
+            Compile.power =
+              { Compile.pg_only.Compile.power with
+                Compile.gating_opts =
+                  { T.Gating.default_options with
+                    T.Gating.break_even_scale = scale } } }
+        in
+        run_workload ~machine w ~config:(Printf.sprintf "pg-be%.4f" scale) opts
+      in
+      let reference = energy (run 1.0) in
+      List.iter
+        (fun scale ->
+          let r = run scale in
+          Table.add_row tbl
+            [
+              name;
+              Table.fmt_float ~digits:4 scale;
+              fmt_ratio (energy r /. reference);
+              string_of_int r.outcome.Sim.gate_transitions;
+            ])
+        f4_scales)
+    f4_workloads;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* F5: number of DVFS operating points                                 *)
+(* ------------------------------------------------------------------ *)
+
+let f5_levels = [ 2; 3; 4; 6 ]
+let f5_workloads = [ "histogram"; "imgpipe"; "jpegblocks" ]
+
+let f5 () : Table.t =
+  let tbl =
+    Table.create
+      ~title:
+        "F5: Energy vs number of V/f operating points (full config; \
+         normalised to the 2-point machine)"
+      ~header:[ "workload"; "levels"; "energy ratio"; "time ratio" ]
+      ~aligns:Table.[ Left; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun name ->
+      let w = Lp_workloads.Suite.find_exn name in
+      let run levels =
+        let power = Power_model.default ~n_levels:levels () in
+        let machine = Lp_machine.Machine.generic ~n_cores:4 ~power () in
+        run_workload ~machine w
+          ~config:(Printf.sprintf "full-L%d" levels)
+          (Compile.full ~n_cores:4)
+      in
+      let reference = run 2 in
+      List.iter
+        (fun levels ->
+          let r = run levels in
+          Table.add_row tbl
+            [
+              name;
+              string_of_int levels;
+              fmt_ratio (energy r /. energy reference);
+              fmt_ratio (time_ns r /. time_ns reference);
+            ])
+        f5_levels)
+    f5_workloads;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* F6: Sink-N-Hoist ablation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let f6 () : Table.t =
+  let tbl =
+    Table.create
+      ~title:
+        "F6: Sink-N-Hoist ablation (pg-only with and without the merge)"
+      ~header:
+        [ "workload"; "gate toggles (no merge)"; "gate toggles (merge)";
+          "reduction%"; "energy ratio (merge/no)"; "transitions (no)";
+          "transitions (merge)" ]
+      ~aligns:Table.[ Left; Right; Right; Right; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun (w : Workload.t) ->
+      let no_merge_opts =
+        { Compile.pg_only with
+          Compile.power =
+            { Compile.pg_only.Compile.power with Compile.sink_n_hoist = false } }
+      in
+      let nm = run_workload w ~config:"pg-nomerge" no_merge_opts in
+      let m = run_workload w ~config:"pg" Compile.pg_only in
+      let count (c : Compile.compiled) =
+        c.Compile.gating_after_merge.T.Gating.components_toggled
+      in
+      let pre = count nm.compiled and post = count m.compiled in
+      let red =
+        if pre = 0 then 0.0
+        else 100.0 *. float_of_int (pre - post) /. float_of_int pre
+      in
+      Table.add_row tbl
+        [
+          w.Workload.name;
+          string_of_int pre;
+          string_of_int post;
+          Table.fmt_float ~digits:1 red;
+          fmt_ratio (energy m /. energy nm);
+          string_of_int nm.outcome.Sim.gate_transitions;
+          string_of_int m.outcome.Sim.gate_transitions;
+        ])
+    all_workloads;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* A1: machine sensitivity (extension beyond the reconstructed set)    *)
+(* ------------------------------------------------------------------ *)
+
+(** Full-vs-baseline energy and speedup across three machine models:
+    the win grows with core count and with the node's leakage share. *)
+let a1 () : Table.t =
+  let tbl =
+    Table.create
+      ~title:
+        "A1: Machine sensitivity — full vs baseline on three machine models"
+      ~header:
+        [ "workload"; "machine"; "cores"; "speedup"; "energy ratio" ]
+      ~aligns:Table.[ Left; Left; Right; Right; Right ]
+      ()
+  in
+  let machines =
+    [ Lp_machine.Machine.pac_duo_like ();
+      Lp_machine.Machine.generic ~n_cores:4 ();
+      Lp_machine.Machine.octa_leaky () ]
+  in
+  List.iter
+    (fun name ->
+      let w = Lp_workloads.Suite.find_exn name in
+      List.iter
+        (fun machine ->
+          let base =
+            run_workload ~machine w ~config:"baseline" Compile.baseline
+          in
+          let full =
+            run_workload ~machine w ~config:"full-native"
+              (Compile.full ~n_cores:machine.Lp_machine.Machine.n_cores)
+          in
+          Table.add_row tbl
+            [
+              name;
+              machine.Lp_machine.Machine.name;
+              string_of_int machine.Lp_machine.Machine.n_cores;
+              Table.fmt_float ~digits:2 (time_ns base /. time_ns full);
+              fmt_ratio (energy full /. energy base);
+            ])
+        machines)
+    [ "fir"; "fraciter"; "imgpipe"; "memops" ];
+  tbl
+
+
+(* ------------------------------------------------------------------ *)
+(* A2: block vs cyclic doall distribution (extension)                  *)
+(* ------------------------------------------------------------------ *)
+
+(** On index-correlated work (the triangular kernel), a block split makes
+    the last core the straggler; cyclic interleaving balances it.  On
+    uniform kernels the two are equivalent. *)
+let a2 () : Table.t =
+  let tbl =
+    Table.create
+      ~title:"A2: doall distribution ablation — block vs cyclic (full, 4 cores)"
+      ~header:[ "workload"; "distribution"; "speedup"; "energy ratio" ]
+      ~aligns:Table.[ Left; Left; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun name ->
+      let w = Lp_workloads.Suite.find_exn name in
+      let base = run_workload w ~config:"baseline" Compile.baseline in
+      List.iter
+        (fun (dname, dist) ->
+          let opts =
+            { (Compile.full ~n_cores:4) with Compile.distribution = dist }
+          in
+          let r = run_workload w ~config:("full-" ^ dname) opts in
+          Table.add_row tbl
+            [
+              name; dname;
+              Table.fmt_float ~digits:2 (time_ns base /. time_ns r);
+              fmt_ratio (energy r /. energy base);
+            ])
+        [ ("block", T.Parallelize.Block); ("cyclic", T.Parallelize.Cyclic) ])
+    [ "tri"; "fir"; "conv2d" ];
+  tbl
+
+
+(* ------------------------------------------------------------------ *)
+(* A3: completion-sync ablation (extension)                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Doall completion via per-worker acknowledge messages vs one all-core
+    barrier.  Expected to be second-order on these machines (both
+    mechanisms are a handful of link transactions per instance). *)
+let a3 () : Table.t =
+  let tbl =
+    Table.create
+      ~title:"A3: doall completion sync — done-channel vs barrier (full, 4 cores)"
+      ~header:[ "workload"; "sync"; "time ratio"; "energy ratio" ]
+      ~aligns:Table.[ Left; Left; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun name ->
+      let w = Lp_workloads.Suite.find_exn name in
+      let run sync cfg =
+        run_workload w ~config:cfg
+          { (Compile.full ~n_cores:4) with Compile.sync }
+      in
+      let dc = run T.Parallelize.Done_channel "full" in
+      let bar = run T.Parallelize.Barrier_sync "full-barrier" in
+      List.iter
+        (fun (nm, r) ->
+          Table.add_row tbl
+            [
+              name; nm;
+              fmt_ratio (time_ns r /. time_ns dc);
+              fmt_ratio (energy r /. energy dc);
+            ])
+        [ ("done-chan", dc); ("barrier", bar) ])
+    [ "fir"; "conv2d"; "fft" ];
+  tbl

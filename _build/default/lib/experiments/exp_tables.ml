@@ -1,0 +1,274 @@
+(** Tables T1-T5 of the evaluation. *)
+
+open Exp_common
+module Ast = Lp_lang.Ast
+module Prog = Lp_ir.Prog
+module T = Lp_transforms
+
+(* ------------------------------------------------------------------ *)
+(* T1: workload characteristics                                        *)
+(* ------------------------------------------------------------------ *)
+
+let t1 () : Table.t =
+  let tbl =
+    Table.create ~title:"T1: Benchmark characteristics"
+      ~header:
+        [ "workload"; "LoC"; "funcs"; "loops"; "IR instrs"; "expected";
+          "detected" ]
+      ~aligns:
+        Table.[ Left; Right; Right; Right; Right; Left; Left ]
+      ()
+  in
+  List.iter
+    (fun (w : Workload.t) ->
+      let r = run_workload w ~config:"baseline" Compile.baseline in
+      let ast = r.compiled.Compile.source_ast in
+      let loops =
+        List.fold_left
+          (fun acc (f : Ast.func) -> acc + Ast.count_loops f.Ast.fbody)
+          0 ast.Ast.funcs
+      in
+      let detected =
+        match r.compiled.Compile.detection.Pattern.instances with
+        | [] -> "-"
+        | insts ->
+          String.concat "+"
+            (List.map
+               (fun (i : Pattern.instance) -> Pattern.kind_name i.Pattern.kind)
+               insts)
+      in
+      Table.add_row tbl
+        [
+          w.Workload.name;
+          string_of_int (source_loc w);
+          string_of_int (List.length ast.Ast.funcs);
+          string_of_int loops;
+          string_of_int (Prog.total_instrs r.compiled.Compile.prog);
+          w.Workload.expected_pattern;
+          detected;
+        ])
+    all_workloads;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* T2: pattern detection                                               *)
+(* ------------------------------------------------------------------ *)
+
+let t2 () : Table.t =
+  let tbl =
+    Table.create ~title:"T2: Pattern detection (verified annotations + inference)"
+      ~header:
+        [ "workload"; "candidate loops"; "instances"; "origin"; "rejections";
+          "first rejection reason" ]
+      ~aligns:Table.[ Left; Right; Left; Left; Right; Left ]
+      ()
+  in
+  List.iter
+    (fun (w : Workload.t) ->
+      let r = run_workload w ~config:"baseline" Compile.baseline in
+      let d = r.compiled.Compile.detection in
+      let insts =
+        match d.Pattern.instances with
+        | [] -> "-"
+        | l ->
+          String.concat "+"
+            (List.map (fun (i : Pattern.instance) -> Pattern.kind_name i.Pattern.kind) l)
+      in
+      let origin =
+        match d.Pattern.instances with
+        | [] -> "-"
+        | l ->
+          String.concat "+"
+            (List.map
+               (fun (i : Pattern.instance) ->
+                 match i.Pattern.origin with
+                 | Pattern.Annotated -> "annot"
+                 | Pattern.Inferred -> "infer")
+               l)
+      in
+      let first_reason =
+        match d.Pattern.rejections with
+        | [] -> "-"
+        | rej :: _ -> rej.Pattern.rej_reason
+      in
+      Table.add_row tbl
+        [
+          w.Workload.name;
+          string_of_int d.Pattern.candidate_loops;
+          insts;
+          origin;
+          string_of_int (List.length d.Pattern.rejections);
+          first_reason;
+        ])
+    all_workloads;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* T3: normalised energy across configurations                         *)
+(* ------------------------------------------------------------------ *)
+
+let t3 () : Table.t =
+  let configs = standard_configs ~n_cores:4 in
+  let tbl =
+    Table.create
+      ~title:
+        "T3: Energy normalised to baseline (4-core machine; lower is better)"
+      ~header:("workload" :: List.map fst configs)
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) configs)
+      ()
+  in
+  let per_config_ratios = Hashtbl.create 8 in
+  List.iter
+    (fun (w : Workload.t) ->
+      let base = run_workload w ~config:"baseline" Compile.baseline in
+      let cells =
+        List.map
+          (fun (name, opts) ->
+            let r = run_workload w ~config:name opts in
+            let ratio = normalised ~base r in
+            let cur =
+              Option.value ~default:[]
+                (Hashtbl.find_opt per_config_ratios name)
+            in
+            Hashtbl.replace per_config_ratios name (ratio :: cur);
+            fmt_ratio ratio)
+          configs
+      in
+      Table.add_row tbl (w.Workload.name :: cells))
+    all_workloads;
+  Table.add_row tbl
+    ("geomean"
+    :: List.map
+         (fun (name, _) ->
+           fmt_ratio (geomean_of (Hashtbl.find per_config_ratios name)))
+         configs);
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* T3b: single-core machine — component-level power management only    *)
+(* ------------------------------------------------------------------ *)
+
+(** On the 4-core machine (T3), gating the three unused cores dominates
+    the sequential configurations.  This companion table isolates the
+    within-core effects by running the sequential configurations on a
+    single-core machine. *)
+let t3b () : Table.t =
+  let machine = machine_with_cores 1 in
+  let configs =
+    [ ("baseline", Compile.baseline); ("pg", Compile.pg_only);
+      ("dvfs", Compile.dvfs_only); ("pg+dvfs", Compile.pg_dvfs) ]
+  in
+  let tbl =
+    Table.create
+      ~title:
+        "T3b: Energy normalised to baseline on a SINGLE-core machine          (component gating and DVFS effects within one core)"
+      ~header:("workload" :: List.map fst configs)
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) configs)
+      ()
+  in
+  let per_config = Hashtbl.create 8 in
+  List.iter
+    (fun (w : Workload.t) ->
+      let base = run_workload ~machine w ~config:"baseline-1c" Compile.baseline in
+      let cells =
+        List.map
+          (fun (name, opts) ->
+            let r = run_workload ~machine w ~config:(name ^ "-1c") opts in
+            let ratio = normalised ~base r in
+            let cur = Option.value ~default:[] (Hashtbl.find_opt per_config name) in
+            Hashtbl.replace per_config name (ratio :: cur);
+            fmt_ratio ratio)
+          configs
+      in
+      Table.add_row tbl (w.Workload.name :: cells))
+    all_workloads;
+  Table.add_row tbl
+    ("geomean"
+    :: List.map
+         (fun (name, _) -> fmt_ratio (geomean_of (Hashtbl.find per_config name)))
+         configs);
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* T4: performance impact                                              *)
+(* ------------------------------------------------------------------ *)
+
+let t4 () : Table.t =
+  let tbl =
+    Table.create
+      ~title:
+        "T4: Performance impact vs baseline (overhead of power management; \
+         speedup of pattern parallelisation)"
+      ~header:
+        [ "workload"; "pg ovh%"; "dvfs ovh%"; "pg+dvfs ovh%"; "par speedup";
+          "full speedup" ]
+      ~aligns:Table.[ Left; Right; Right; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun (w : Workload.t) ->
+      let base = run_workload w ~config:"baseline" Compile.baseline in
+      let t0 = time_ns base in
+      let ovh name opts =
+        let r = run_workload w ~config:name opts in
+        Lp_util.Stats.percent_change ~before:t0 ~after:(time_ns r)
+      in
+      let speedup name opts =
+        let r = run_workload w ~config:name opts in
+        t0 /. time_ns r
+      in
+      Table.add_row tbl
+        [
+          w.Workload.name;
+          Table.fmt_float ~digits:2 (ovh "pg" Compile.pg_only);
+          Table.fmt_float ~digits:2 (ovh "dvfs" Compile.dvfs_only);
+          Table.fmt_float ~digits:2 (ovh "pg+dvfs" Compile.pg_dvfs);
+          Table.fmt_float ~digits:2 (speedup "par" (Compile.par_only ~n_cores:4));
+          Table.fmt_float ~digits:2 (speedup "full" (Compile.full ~n_cores:4));
+        ])
+    all_workloads;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* T5: compile statistics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let t5 () : Table.t =
+  let tbl =
+    Table.create
+      ~title:
+        "T5: Compile statistics (pg-only config): pass time, gating \
+         component-toggles before/after Sink-N-Hoist"
+      ~header:
+        [ "workload"; "compile ms"; "IR instrs"; "gate-toggles pre";
+          "gate-toggles post"; "merge red%" ]
+      ~aligns:Table.[ Left; Right; Right; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun (w : Workload.t) ->
+      let r = run_workload w ~config:"pg" Compile.pg_only in
+      let c = r.compiled in
+      let total_ms =
+        1000.0
+        *. List.fold_left
+             (fun acc (s : T.Pass.stats) -> acc +. s.T.Pass.seconds)
+             0.0 c.Compile.pass_stats
+      in
+      let pre = c.Compile.gating_before_merge.T.Gating.components_toggled in
+      let post = c.Compile.gating_after_merge.T.Gating.components_toggled in
+      let red =
+        if pre = 0 then 0.0
+        else 100.0 *. float_of_int (pre - post) /. float_of_int pre
+      in
+      Table.add_row tbl
+        [
+          w.Workload.name;
+          Table.fmt_float ~digits:2 total_ms;
+          string_of_int (Prog.total_instrs c.Compile.prog);
+          string_of_int pre;
+          string_of_int post;
+          Table.fmt_float ~digits:1 red;
+        ])
+    all_workloads;
+  tbl

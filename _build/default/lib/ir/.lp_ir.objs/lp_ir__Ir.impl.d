@@ -1,0 +1,1 @@
+lib/ir/ir.ml: List Lp_power Printf String

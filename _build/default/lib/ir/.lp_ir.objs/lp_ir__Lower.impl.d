@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Builder Format Hashtbl Ir List Lp_lang Option Printf Prog

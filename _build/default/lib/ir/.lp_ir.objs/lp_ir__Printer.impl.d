@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Buffer Ir List Printf Prog String

@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Hashtbl Ir List Lp_util Printf

@@ -1,0 +1,372 @@
+(** Lowering from the MiniC AST to the three-address IR.
+
+    Scalar locals become dedicated virtual registers (the IR is not SSA,
+    so a mutable local maps to one register for its whole scope).  Local
+    arrays become frame memory symbols; globals (scalars and arrays alike)
+    become shared-memory symbols, which is what makes them visible to all
+    cores after parallelisation.
+
+    The runtime intrinsics emitted by the pattern parallelizer
+    ([__send], [__recv], [__sendf], [__recvf], [__barrier], [__faa]) are
+    recognised here by name and lowered to dedicated IR instructions. *)
+
+module Ast = Lp_lang.Ast
+
+exception Lower_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Lower_error s)) fmt
+
+type binding =
+  | Breg of Ir.reg * Ir.ty
+  | Barr of Ir.sym * Ir.ty * int
+
+type env = {
+  prog_globals : (string, binding) Hashtbl.t;
+  mutable scopes : (string, binding) Hashtbl.t list;
+  func_rets : (string, Ir.ty option) Hashtbl.t;
+}
+
+let lookup env name =
+  let rec search = function
+    | [] -> (
+      match Hashtbl.find_opt env.prog_globals name with
+      | Some b -> b
+      | None -> err "lowering: unbound %s" name)
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some b -> b
+      | None -> search rest)
+  in
+  search env.scopes
+
+let bind env name b =
+  match env.scopes with
+  | [] -> err "lowering: no scope"
+  | scope :: _ -> Hashtbl.replace scope name b
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env =
+  match env.scopes with
+  | [] -> err "lowering: scope underflow"
+  | _ :: rest -> env.scopes <- rest
+
+let ir_ty_of_ast : Ast.ty -> Ir.ty = function
+  | Ast.Tint -> Ir.I
+  | Ast.Tfloat -> Ir.F
+  | Ast.Tvoid | Ast.Tarray _ -> err "lowering: not a scalar type"
+
+let int_binop : Ast.binop -> Ir.binop = function
+  | Ast.Add -> Ir.Add | Ast.Sub -> Ir.Sub | Ast.Mul -> Ir.Mul
+  | Ast.Div -> Ir.Div | Ast.Mod -> Ir.Mod
+  | Ast.Shl -> Ir.Shl | Ast.Shr -> Ir.Shr
+  | Ast.Band -> Ir.And | Ast.Bor -> Ir.Or | Ast.Bxor -> Ir.Xor
+  | Ast.Lt -> Ir.Lt | Ast.Le -> Ir.Le | Ast.Gt -> Ir.Gt | Ast.Ge -> Ir.Ge
+  | Ast.Eq -> Ir.Eq | Ast.Ne -> Ir.Ne
+  | Ast.Land | Ast.Lor -> err "lowering: logical op reached int_binop"
+
+let float_binop : Ast.binop -> Ir.binop = function
+  | Ast.Add -> Ir.Fadd | Ast.Sub -> Ir.Fsub | Ast.Mul -> Ir.Fmul
+  | Ast.Div -> Ir.Fdiv
+  | Ast.Lt -> Ir.Flt | Ast.Le -> Ir.Fle | Ast.Gt -> Ir.Fgt | Ast.Ge -> Ir.Fge
+  | Ast.Eq -> Ir.Feq | Ast.Ne -> Ir.Fne
+  | op -> err "lowering: %s not a float op" (Ast.binop_to_string op)
+
+(** Static type of an expression; the program has already been
+    type-checked so this cannot fail in surprising ways. *)
+let rec expr_ty env (e : Ast.expr) : Ir.ty =
+  match e.Ast.edesc with
+  | Ast.Int_lit _ -> Ir.I
+  | Ast.Float_lit _ -> Ir.F
+  | Ast.Var name -> (
+    match lookup env name with
+    | Breg (_, ty) -> ty
+    | Barr (_, ty, _) -> ty)
+  | Ast.Index (name, _) -> (
+    match lookup env name with
+    | Barr (_, ty, _) -> ty
+    | Breg (_, ty) -> ty)
+  | Ast.Binop (op, a, _) -> (
+    match op with
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.Land
+    | Ast.Lor -> Ir.I
+    | _ -> expr_ty env a)
+  | Ast.Unop (_, a) -> expr_ty env a
+  | Ast.Cast (ty, _) -> ir_ty_of_ast ty
+  | Ast.Call (name, _) -> (
+    match Hashtbl.find_opt env.func_rets name with
+    | Some (Some ty) -> ty
+    | Some None -> err "lowering: void call %s used as value" name
+    | None -> err "lowering: unknown function %s" name)
+
+(** Require a syntactic integer literal (channel / barrier ids). *)
+let literal_int (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.Int_lit n -> n
+  | _ -> err "lowering: intrinsic id argument must be an integer literal"
+
+let rec lower_expr env (b : Builder.t) (e : Ast.expr) : Ir.operand =
+  match e.Ast.edesc with
+  | Ast.Int_lit n -> Ir.Imm (Ir.Cint n)
+  | Ast.Float_lit f -> Ir.Imm (Ir.Cfloat f)
+  | Ast.Var name -> (
+    match lookup env name with
+    | Breg (r, _) -> Ir.Reg r
+    | Barr (sym, _, _) ->
+      (* a global scalar is a size-1 shared cell *)
+      Ir.Reg (Builder.load b sym (Ir.Imm (Ir.Cint 0))))
+  | Ast.Index (name, idx) -> (
+    let idx_op = lower_expr env b idx in
+    match lookup env name with
+    | Barr (sym, _, _) -> Ir.Reg (Builder.load b sym idx_op)
+    | Breg _ -> err "lowering: indexing a scalar %s" name)
+  | Ast.Unop (op, a) -> (
+    let ta = expr_ty env a in
+    let a_op = lower_expr env b a in
+    match (op, ta) with
+    | (Ast.Neg, Ir.I) -> Ir.Reg (Builder.unop b Ir.Neg a_op)
+    | (Ast.Neg, Ir.F) -> Ir.Reg (Builder.unop b Ir.Fneg a_op)
+    | (Ast.Not, _) -> Ir.Reg (Builder.unop b Ir.Not a_op)
+    | (Ast.Bnot, _) -> Ir.Reg (Builder.unop b Ir.Bnot a_op))
+  | Ast.Binop ((Ast.Land | Ast.Lor) as op, a, bb) ->
+    lower_short_circuit env b op a bb
+  | Ast.Binop (op, a, bb) ->
+    let ty = expr_ty env a in
+    let a_op = lower_expr env b a in
+    let b_op = lower_expr env b bb in
+    let irop = match ty with Ir.I -> int_binop op | Ir.F -> float_binop op in
+    Ir.Reg (Builder.binop b irop a_op b_op)
+  | Ast.Cast (ty, a) -> (
+    let ta = expr_ty env a in
+    let a_op = lower_expr env b a in
+    match (ir_ty_of_ast ty, ta) with
+    | (Ir.I, Ir.F) -> Ir.Reg (Builder.unop b Ir.F2i a_op)
+    | (Ir.F, Ir.I) -> Ir.Reg (Builder.unop b Ir.I2f a_op)
+    | (Ir.I, Ir.I) | (Ir.F, Ir.F) -> a_op)
+  | Ast.Call (name, args) -> lower_call env b ~name ~args ~want_value:true
+
+(** Short-circuit [&&]/[||] with control flow, producing 0/1. *)
+and lower_short_circuit env b op lhs rhs : Ir.operand =
+  let result = Prog.new_reg (Builder.func b) in
+  let lhs_op = lower_expr env b lhs in
+  let rhs_block = Builder.new_block b in
+  let short_block = Builder.new_block b in
+  let join_block = Builder.new_block b in
+  (match op with
+  | Ast.Land ->
+    Builder.set_term b (Ir.Br (lhs_op, rhs_block.Ir.bid, short_block.Ir.bid))
+  | Ast.Lor ->
+    Builder.set_term b (Ir.Br (lhs_op, short_block.Ir.bid, rhs_block.Ir.bid))
+  | _ -> assert false);
+  (* short-circuit arm: result is 0 for &&, 1 for || *)
+  Builder.switch_to b short_block;
+  let short_val = match op with Ast.Land -> 0 | _ -> 1 in
+  Builder.move b result (Ir.Imm (Ir.Cint short_val));
+  Builder.set_term b (Ir.Jmp join_block.Ir.bid);
+  (* evaluate rhs, normalise to 0/1 *)
+  Builder.switch_to b rhs_block;
+  let rhs_op = lower_expr env b rhs in
+  let norm = Builder.binop b Ir.Ne rhs_op (Ir.Imm (Ir.Cint 0)) in
+  Builder.move b result (Ir.Reg norm);
+  Builder.set_term b (Ir.Jmp join_block.Ir.bid);
+  Builder.switch_to b join_block;
+  Ir.Reg result
+
+and lower_call env b ~name ~args ~want_value : Ir.operand =
+  let intrinsic_result idesc_mk =
+    let d = Prog.new_reg (Builder.func b) in
+    ignore (Builder.emit b (idesc_mk d));
+    Ir.Reg d
+  in
+  match (name, args) with
+  | ("__send", [ ch; v ]) | ("__sendf", [ ch; v ]) ->
+    let chan = literal_int ch in
+    let v_op = lower_expr env b v in
+    ignore (Builder.emit b (Ir.Send (chan, v_op)));
+    Ir.Imm (Ir.Cint 0)
+  | ("__recv", [ ch ]) ->
+    intrinsic_result (fun d -> Ir.Recv (d, literal_int ch, Ir.I))
+  | ("__recvf", [ ch ]) ->
+    intrinsic_result (fun d -> Ir.Recv (d, literal_int ch, Ir.F))
+  | ("__barrier", [ id ]) ->
+    ignore (Builder.emit b (Ir.Barrier (literal_int id)));
+    Ir.Imm (Ir.Cint 0)
+  | ("__faa", [ cell; amount ]) -> (
+    match cell.Ast.edesc with
+    | Ast.Var gname -> (
+      match lookup env gname with
+      | Barr (sym, Ir.I, 1) ->
+        let v_op = lower_expr env b amount in
+        intrinsic_result (fun d -> Ir.Faa (d, sym, v_op))
+      | _ -> err "lowering: __faa needs a global int scalar")
+    | _ -> err "lowering: __faa first argument must be a global variable")
+  | (("__send" | "__sendf" | "__recv" | "__recvf" | "__barrier" | "__faa"), _)
+    ->
+    err "lowering: wrong arity for intrinsic %s" name
+  | _ ->
+    let arg_ops = List.map (lower_expr env b) args in
+    if want_value then Ir.Reg (Builder.call_reg b name arg_ops)
+    else begin
+      Builder.call b ~dst:None name arg_ops;
+      Ir.Imm (Ir.Cint 0)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_stmt env (b : Builder.t) (s : Ast.stmt) : unit =
+  match s.Ast.sdesc with
+  | Ast.Decl (Ast.Tarray (elem, len), name, _) ->
+    let f = Builder.func b in
+    let uniq = Printf.sprintf "%s.%d" name (List.length f.Prog.frame_arrays) in
+    let sym = { Ir.sym_name = uniq; sym_space = Ir.Frame } in
+    Prog.add_frame_array f ~name:uniq ~ty:(ir_ty_of_ast elem) ~len;
+    bind env name (Barr (sym, ir_ty_of_ast elem, len))
+  | Ast.Decl (ty, name, init) ->
+    let r = Prog.new_reg (Builder.func b) in
+    let ir_ty = ir_ty_of_ast ty in
+    bind env name (Breg (r, ir_ty));
+    let init_op =
+      match init with
+      | Some e -> lower_expr env b e
+      | None ->
+        (* deterministic zero-initialisation *)
+        Ir.Imm (match ir_ty with Ir.I -> Ir.Cint 0 | Ir.F -> Ir.Cfloat 0.0)
+    in
+    Builder.move b r init_op
+  | Ast.Assign (name, e) -> (
+    let v = lower_expr env b e in
+    match lookup env name with
+    | Breg (r, _) -> Builder.move b r v
+    | Barr (sym, _, 1) -> Builder.store b sym (Ir.Imm (Ir.Cint 0)) v
+    | Barr _ -> err "lowering: assigning to array %s" name)
+  | Ast.Store (name, idx, e) -> (
+    let idx_op = lower_expr env b idx in
+    let v = lower_expr env b e in
+    match lookup env name with
+    | Barr (sym, _, _) -> Builder.store b sym idx_op v
+    | Breg _ -> err "lowering: storing to scalar %s" name)
+  | Ast.If (cond, then_b, else_b) ->
+    let c = lower_expr env b cond in
+    let then_blk = Builder.new_block b in
+    let else_blk = Builder.new_block b in
+    let join_blk = Builder.new_block b in
+    Builder.set_term b (Ir.Br (c, then_blk.Ir.bid, else_blk.Ir.bid));
+    Builder.switch_to b then_blk;
+    lower_body env b then_b;
+    Builder.set_term b (Ir.Jmp join_blk.Ir.bid);
+    Builder.switch_to b else_blk;
+    lower_body env b else_b;
+    Builder.set_term b (Ir.Jmp join_blk.Ir.bid);
+    Builder.switch_to b join_blk
+  | Ast.While (cond, body) ->
+    let cond_blk = Builder.new_block b in
+    let body_blk = Builder.new_block b in
+    let exit_blk = Builder.new_block b in
+    Builder.set_term b (Ir.Jmp cond_blk.Ir.bid);
+    Builder.switch_to b cond_blk;
+    let c = lower_expr env b cond in
+    Builder.set_term b (Ir.Br (c, body_blk.Ir.bid, exit_blk.Ir.bid));
+    Builder.switch_to b body_blk;
+    lower_body env b body;
+    Builder.set_term b (Ir.Jmp cond_blk.Ir.bid);
+    Builder.switch_to b exit_blk
+  | Ast.For (init, cond, step, body) ->
+    push_scope env;
+    lower_stmt env b init;
+    let cond_blk = Builder.new_block b in
+    let body_blk = Builder.new_block b in
+    let exit_blk = Builder.new_block b in
+    Builder.set_term b (Ir.Jmp cond_blk.Ir.bid);
+    Builder.switch_to b cond_blk;
+    let c = lower_expr env b cond in
+    Builder.set_term b (Ir.Br (c, body_blk.Ir.bid, exit_blk.Ir.bid));
+    Builder.switch_to b body_blk;
+    lower_body env b body;
+    lower_stmt env b step;
+    Builder.set_term b (Ir.Jmp cond_blk.Ir.bid);
+    pop_scope env;
+    Builder.switch_to b exit_blk
+  | Ast.Return e_opt ->
+    let v = Option.map (lower_expr env b) e_opt in
+    Builder.set_term b (Ir.Ret v);
+    (* unreachable continuation block for any trailing statements *)
+    let dead = Builder.new_block b in
+    Builder.switch_to b dead
+  | Ast.Expr e -> (
+    match e.Ast.edesc with
+    | Ast.Call (name, args) ->
+      ignore (lower_call env b ~name ~args ~want_value:false)
+    | _ -> ignore (lower_expr env b e))
+  | Ast.Block body ->
+    push_scope env;
+    lower_body env b body;
+    pop_scope env
+
+and lower_body env b stmts =
+  push_scope env;
+  List.iter (lower_stmt env b) stmts;
+  pop_scope env
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let lower_func env (f : Ast.func) : Prog.func =
+  let params = List.map (fun (ty, _) -> ir_ty_of_ast ty) f.Ast.fparams in
+  let ret = match f.Ast.fret with Ast.Tvoid -> None | t -> Some (ir_ty_of_ast t) in
+  let irf = Prog.create_func ~name:f.Ast.fname ~params ~ret in
+  let b = Builder.create irf in
+  push_scope env;
+  List.iter2
+    (fun (ty, name) (r, _) -> bind env name (Breg (r, ir_ty_of_ast ty)))
+    f.Ast.fparams irf.Prog.params;
+  lower_body env b f.Ast.fbody;
+  (* implicit return for fall-through *)
+  (match (b.Builder.sealed, ret) with
+  | (true, _) -> ()
+  | (false, None) -> Builder.set_term b (Ir.Ret None)
+  | (false, Some Ir.I) -> Builder.set_term b (Ir.Ret (Some (Ir.Imm (Ir.Cint 0))))
+  | (false, Some Ir.F) ->
+    Builder.set_term b (Ir.Ret (Some (Ir.Imm (Ir.Cfloat 0.0)))));
+  pop_scope env;
+  irf
+
+(** Lower a full (type-checked) program. *)
+let lower_program (p : Ast.program) : Prog.t =
+  let globals =
+    List.map
+      (fun (g : Ast.global) ->
+        match g.Ast.gty with
+        | Ast.Tarray (elem, n) ->
+          { Prog.gsym = g.Ast.gname; gty = ir_ty_of_ast elem; gsize = n;
+            ginit = g.Ast.ginit }
+        | ty ->
+          { Prog.gsym = g.Ast.gname; gty = ir_ty_of_ast ty; gsize = 1;
+            ginit = g.Ast.ginit })
+      p.Ast.globals
+  in
+  let prog = Prog.create ~globals in
+  let env =
+    {
+      prog_globals = Hashtbl.create 16;
+      scopes = [];
+      func_rets = Hashtbl.create 16;
+    }
+  in
+  List.iter
+    (fun (g : Prog.global) ->
+      Hashtbl.replace env.prog_globals g.Prog.gsym
+        (Barr
+           ( { Ir.sym_name = g.Prog.gsym; sym_space = Ir.Shared },
+             g.Prog.gty, g.Prog.gsize )))
+    globals;
+  List.iter
+    (fun (f : Ast.func) ->
+      Hashtbl.replace env.func_rets f.Ast.fname
+        (match f.Ast.fret with
+        | Ast.Tvoid -> None
+        | t -> Some (ir_ty_of_ast t)))
+    p.Ast.funcs;
+  List.iter (fun f -> Prog.add_func prog (lower_func env f)) p.Ast.funcs;
+  prog

@@ -1,0 +1,55 @@
+(** Textual dump of IR functions and programs, for debugging and golden
+    tests. *)
+
+let func_to_string (f : Prog.func) : string =
+  let buf = Buffer.create 512 in
+  let params =
+    String.concat ", "
+      (List.map
+         (fun (r, ty) -> Printf.sprintf "r%d:%s" r (Ir.ty_to_string ty))
+         f.Prog.params)
+  in
+  let ret =
+    match f.Prog.ret with None -> "void" | Some ty -> Ir.ty_to_string ty
+  in
+  Buffer.add_string buf (Printf.sprintf "func %s(%s) : %s\n" f.Prog.fname params ret);
+  List.iter
+    (fun (name, ty, len) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  frame %%%s : %s[%d]\n" name (Ir.ty_to_string ty) len))
+    f.Prog.frame_arrays;
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (Printf.sprintf "L%d:\n" b.Ir.bid);
+      List.iter
+        (fun i ->
+          Buffer.add_string buf ("  " ^ Ir.idesc_to_string i.Ir.idesc ^ "\n"))
+        b.Ir.instrs;
+      Buffer.add_string buf ("  " ^ Ir.term_to_string b.Ir.term ^ "\n"))
+    (Prog.blocks_in_order f);
+  Buffer.contents buf
+
+let prog_to_string (p : Prog.t) : string =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun (g : Prog.global) ->
+      Buffer.add_string buf
+        (Printf.sprintf "global @%s : %s[%d]%s\n" g.Prog.gsym
+           (Ir.ty_to_string g.Prog.gty) g.Prog.gsize
+           (match g.Prog.ginit with
+           | None -> ""
+           | Some xs ->
+             " = {"
+             ^ String.concat "," (List.map string_of_int xs)
+             ^ "}")))
+    p.Prog.globals;
+  (match p.Prog.layout with
+  | Prog.Sequential -> Buffer.add_string buf "layout sequential\n"
+  | Prog.Parallel { entries; n_channels; n_barriers; chan_capacity } ->
+    Buffer.add_string buf
+      (Printf.sprintf "layout parallel entries=[%s] channels=%d barriers=%d cap=%d\n"
+         (String.concat ";" entries) n_channels n_barriers chan_capacity));
+  List.iter
+    (fun f -> Buffer.add_string buf (func_to_string f ^ "\n"))
+    (Prog.funcs p);
+  Buffer.contents buf

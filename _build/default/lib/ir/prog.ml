@@ -1,0 +1,144 @@
+(** IR functions and programs. *)
+
+type func = {
+  fname : string;
+  params : (Ir.reg * Ir.ty) list;
+  ret : Ir.ty option;
+  entry : Ir.label;
+  blocks : (Ir.label, Ir.block) Hashtbl.t;
+  mutable block_order : Ir.label list;
+      (** layout order; entry first; analyses iterate in this order *)
+  mutable frame_arrays : (string * Ir.ty * int) list;
+      (** local arrays: name, element type, length *)
+  reg_gen : Lp_util.Id_gen.t;
+  block_gen : Lp_util.Id_gen.t;
+  instr_gen : Lp_util.Id_gen.t;
+}
+
+type global = {
+  gsym : string;
+  gty : Ir.ty;
+  gsize : int;                (** 1 for scalars *)
+  ginit : int list option;    (** initialiser for integer globals *)
+}
+
+(** How the program occupies the machine. *)
+type layout =
+  | Sequential
+      (** one core runs [main]; other cores idle (and are a leakage
+          liability unless the compiler gates them) *)
+  | Parallel of {
+      entries : string list;  (** entry function of each core, in order *)
+      n_channels : int;
+      n_barriers : int;
+      chan_capacity : int;
+    }
+
+type t = {
+  globals : global list;
+  funcs : (string, func) Hashtbl.t;
+  mutable layout : layout;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Functions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create_func ~name ~params ~ret : func =
+  let reg_gen = Lp_util.Id_gen.create () in
+  let params = List.map (fun ty -> (Lp_util.Id_gen.fresh reg_gen, ty)) params in
+  let block_gen = Lp_util.Id_gen.create () in
+  let entry = Lp_util.Id_gen.fresh block_gen in
+  let blocks = Hashtbl.create 16 in
+  Hashtbl.replace blocks entry
+    { Ir.bid = entry; instrs = []; term = Ir.Ret None };
+  {
+    fname = name;
+    params;
+    ret;
+    entry;
+    blocks;
+    block_order = [ entry ];
+    frame_arrays = [];
+    reg_gen;
+    block_gen;
+    instr_gen = Lp_util.Id_gen.create ();
+  }
+
+let block f l =
+  match Hashtbl.find_opt f.blocks l with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Prog.block: no L%d in %s" l f.fname)
+
+let new_reg f = Lp_util.Id_gen.fresh f.reg_gen
+
+let new_block f : Ir.block =
+  let bid = Lp_util.Id_gen.fresh f.block_gen in
+  let b = { Ir.bid; instrs = []; term = Ir.Ret None } in
+  Hashtbl.replace f.blocks bid b;
+  f.block_order <- f.block_order @ [ bid ];
+  b
+
+let new_instr f idesc : Ir.instr =
+  { Ir.iid = Lp_util.Id_gen.fresh f.instr_gen; idesc }
+
+let add_frame_array f ~name ~ty ~len =
+  f.frame_arrays <- f.frame_arrays @ [ (name, ty, len) ]
+
+(** Blocks in layout order. *)
+let blocks_in_order f = List.map (block f) f.block_order
+
+let iter_blocks f g = List.iter g (blocks_in_order f)
+
+let iter_instrs f g =
+  iter_blocks f (fun b -> List.iter (fun i -> g b i) b.Ir.instrs)
+
+let fold_instrs f g acc =
+  List.fold_left
+    (fun acc b -> List.fold_left (fun acc i -> g acc b i) acc b.Ir.instrs)
+    acc (blocks_in_order f)
+
+let instr_count f = fold_instrs f (fun n _ _ -> n + 1) 0
+
+(** Remove blocks not in [block_order] from the table (used after CFG
+    simplification). *)
+let prune_blocks f =
+  let keep = List.sort_uniq compare f.block_order in
+  Hashtbl.iter
+    (fun l _ -> if not (List.mem l keep) then Hashtbl.remove f.blocks l)
+    (Hashtbl.copy f.blocks)
+
+(* ------------------------------------------------------------------ *)
+(* Programs                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let create ~globals : t =
+  { globals; funcs = Hashtbl.create 16; layout = Sequential }
+
+let add_func t f =
+  if Hashtbl.mem t.funcs f.fname then
+    invalid_arg ("Prog.add_func: duplicate " ^ f.fname);
+  Hashtbl.replace t.funcs f.fname f
+
+let find_func t name = Hashtbl.find_opt t.funcs name
+
+let func_exn t name =
+  match find_func t name with
+  | Some f -> f
+  | None -> invalid_arg ("Prog.func_exn: no function " ^ name)
+
+let funcs t =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.funcs []
+  |> List.sort (fun a b -> compare a.fname b.fname)
+
+let global t name = List.find_opt (fun g -> g.gsym = name) t.globals
+
+let entries t =
+  match t.layout with
+  | Sequential -> [ "main" ]
+  | Parallel { entries; _ } -> entries
+
+let n_cores_used t = List.length (entries t)
+
+let total_instrs t =
+  List.fold_left (fun acc f -> acc + instr_count f) 0 (funcs t)

@@ -1,0 +1,117 @@
+(** IR structural verifier.
+
+    Checks that transformations preserve the structural invariants the
+    simulator and analyses rely on.  Run after every pass in tests. *)
+
+exception Invalid of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let verify_func (prog : Prog.t) (f : Prog.func) : unit =
+  (* block_order is consistent with the table and has no duplicates *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      if Hashtbl.mem seen l then fail "%s: block L%d listed twice" f.Prog.fname l;
+      Hashtbl.replace seen l ();
+      if not (Hashtbl.mem f.Prog.blocks l) then
+        fail "%s: block L%d in order but not in table" f.Prog.fname l)
+    f.Prog.block_order;
+  (match f.Prog.block_order with
+  | entry :: _ when entry = f.Prog.entry -> ()
+  | _ -> fail "%s: entry block must be first in layout" f.Prog.fname);
+  (* all branch targets exist *)
+  Prog.iter_blocks f (fun b ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem seen l) then
+            fail "%s: L%d branches to unknown L%d" f.Prog.fname b.Ir.bid l)
+        (Ir.term_succs b.Ir.term));
+  (* return arity matches signature *)
+  Prog.iter_blocks f (fun b ->
+      match (b.Ir.term, f.Prog.ret) with
+      | (Ir.Ret (Some _), None) ->
+        fail "%s: L%d returns a value from a void function" f.Prog.fname b.Ir.bid
+      | (Ir.Ret None, Some _) ->
+        fail "%s: L%d returns no value from a non-void function" f.Prog.fname
+          b.Ir.bid
+      | (Ir.Ret _, _) | (Ir.Jmp _, _) | (Ir.Br _, _) -> ());
+  (* every used register is defined somewhere (params count as defs);
+     a full path-sensitive check is overkill for this IR because locals
+     are zero-initialised at declaration. *)
+  let defined = Hashtbl.create 64 in
+  List.iter (fun (r, _) -> Hashtbl.replace defined r ()) f.Prog.params;
+  Prog.iter_instrs f (fun _ i ->
+      match Ir.def i with
+      | Some d -> Hashtbl.replace defined d ()
+      | None -> ());
+  Prog.iter_blocks f (fun b ->
+      let check_use r =
+        if not (Hashtbl.mem defined r) then
+          fail "%s: L%d uses undefined register r%d" f.Prog.fname b.Ir.bid r
+      in
+      List.iter (fun i -> List.iter check_use (Ir.uses i)) b.Ir.instrs;
+      List.iter check_use (Ir.term_uses b.Ir.term));
+  (* memory symbols resolve *)
+  let frame_ok name = List.exists (fun (n, _, _) -> n = name) f.Prog.frame_arrays in
+  let shared_ok name = Prog.global prog name <> None in
+  let check_sym b (s : Ir.sym) =
+    match s.Ir.sym_space with
+    | Ir.Frame ->
+      if not (frame_ok s.Ir.sym_name) then
+        fail "%s: L%d references unknown frame array %s" f.Prog.fname b.Ir.bid
+          s.Ir.sym_name
+    | Ir.Shared | Ir.Rom ->
+      if not (shared_ok s.Ir.sym_name) then
+        fail "%s: L%d references unknown global %s" f.Prog.fname b.Ir.bid
+          s.Ir.sym_name
+  in
+  Prog.iter_blocks f (fun b ->
+      List.iter
+        (fun i ->
+          match i.Ir.idesc with
+          | (Ir.Store (s, _, _) | Ir.Faa (_, s, _))
+            when s.Ir.sym_space = Ir.Rom ->
+            fail "%s: write to read-only symbol %s" f.Prog.fname s.Ir.sym_name
+          | Ir.Load (_, s, _) | Ir.Store (s, _, _) | Ir.Faa (_, s, _) ->
+            check_sym b s
+          | Ir.Call (_, callee, _)
+            when not (Hashtbl.mem prog.Prog.funcs callee) ->
+            fail "%s: call to unknown function %s" f.Prog.fname callee
+          | _ -> ())
+        b.Ir.instrs)
+
+let verify_prog (prog : Prog.t) : unit =
+  List.iter (fun f -> verify_func prog f) (Prog.funcs prog);
+  (* entry functions exist and take no parameters *)
+  List.iter
+    (fun entry ->
+      match Prog.find_func prog entry with
+      | None -> fail "entry function %s missing" entry
+      | Some f ->
+        if f.Prog.params <> [] then fail "entry %s must take no parameters" entry)
+    (Prog.entries prog);
+  (* channel and barrier ids are within bounds *)
+  match prog.Prog.layout with
+  | Prog.Sequential ->
+    List.iter
+      (fun f ->
+        Prog.iter_instrs f (fun _ i ->
+            match i.Ir.idesc with
+            | Ir.Send _ | Ir.Recv _ | Ir.Barrier _ ->
+              fail "%s: runtime intrinsic in a sequential program" f.Prog.fname
+            | _ -> ()))
+      (Prog.funcs prog)
+  | Prog.Parallel { n_channels; n_barriers; _ } ->
+    List.iter
+      (fun f ->
+        Prog.iter_instrs f (fun _ i ->
+            match i.Ir.idesc with
+            | Ir.Send (ch, _) | Ir.Recv (_, ch, _) ->
+              if ch < 0 || ch >= n_channels then
+                fail "%s: channel id %d out of range" f.Prog.fname ch
+            | Ir.Barrier bid ->
+              if bid < 0 || bid >= n_barriers then
+                fail "%s: barrier id %d out of range" f.Prog.fname bid
+            | _ -> ()))
+      (Prog.funcs prog)

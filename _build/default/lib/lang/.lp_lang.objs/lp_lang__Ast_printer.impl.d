@@ -1,0 +1,1 @@
+lib/lang/ast_printer.ml: Ast List Printf String

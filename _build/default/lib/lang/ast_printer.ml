@@ -1,0 +1,119 @@
+(** MiniC pretty-printer: renders an AST back to parseable source.
+
+    Used to inspect what the parallelizer generated
+    ([lpcc dump --source]) and by the round-trip property test
+    (parsing the printed source yields a structurally identical AST).
+    Expressions are printed fully parenthesised, so printing never needs
+    to reason about precedence. *)
+
+let rec expr_to_string (e : Ast.expr) : string =
+  match e.Ast.edesc with
+  | Ast.Int_lit n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | Ast.Float_lit f ->
+    let s = Printf.sprintf "%.17g" f in
+    let s = if String.contains s '.' || String.contains s 'e' then s else s ^ ".0" in
+    if f < 0.0 then "(" ^ s ^ ")" else s
+  | Ast.Var name -> name
+  | Ast.Index (name, idx) -> Printf.sprintf "%s[%s]" name (expr_to_string idx)
+  | Ast.Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (Ast.binop_to_string op)
+      (expr_to_string b)
+  | Ast.Unop (op, a) ->
+    Printf.sprintf "(%s%s)" (Ast.unop_to_string op) (expr_to_string a)
+  | Ast.Cast (ty, a) ->
+    Printf.sprintf "%s(%s)" (Ast.ty_to_string ty) (expr_to_string a)
+  | Ast.Call (name, args) ->
+    Printf.sprintf "%s(%s)" name
+      (String.concat ", " (List.map expr_to_string args))
+
+let pragma_to_string (p : Ast.pragma) : string =
+  match p.Ast.pargs with
+  | [] -> Printf.sprintf "#pragma lp %s" p.Ast.pkey
+  | args -> Printf.sprintf "#pragma lp %s(%s)" p.Ast.pkey (String.concat ", " args)
+
+let decl_to_string ty name =
+  match ty with
+  | Ast.Tarray (elem, n) ->
+    Printf.sprintf "%s %s[%d]" (Ast.ty_to_string elem) name n
+  | t -> Printf.sprintf "%s %s" (Ast.ty_to_string t) name
+
+(** Statements in "simple" position (for-headers) print without the
+    trailing semicolon; [stmt_to_lines] adds it. *)
+let rec simple_to_string (s : Ast.stmt) : string =
+  match s.Ast.sdesc with
+  | Ast.Decl (ty, name, init) ->
+    decl_to_string ty name
+    ^ (match init with
+      | Some e -> " = " ^ expr_to_string e
+      | None -> "")
+  | Ast.Assign (name, e) -> Printf.sprintf "%s = %s" name (expr_to_string e)
+  | Ast.Store (name, idx, e) ->
+    Printf.sprintf "%s[%s] = %s" name (expr_to_string idx) (expr_to_string e)
+  | Ast.Expr e -> expr_to_string e
+  | Ast.If _ | Ast.While _ | Ast.For _ | Ast.Return _ | Ast.Block _ ->
+    invalid_arg "Ast_printer: compound statement in simple position"
+
+and stmt_to_lines ~indent (s : Ast.stmt) : string list =
+  let pad = String.make indent ' ' in
+  let pragmas = List.map (fun p -> pad ^ pragma_to_string p) s.Ast.pragmas in
+  let body =
+    match s.Ast.sdesc with
+    | Ast.Decl _ | Ast.Assign _ | Ast.Store _ | Ast.Expr _ ->
+      [ pad ^ simple_to_string s ^ ";" ]
+    | Ast.Return None -> [ pad ^ "return;" ]
+    | Ast.Return (Some e) -> [ pad ^ "return " ^ expr_to_string e ^ ";" ]
+    | Ast.If (c, a, []) ->
+      (pad ^ Printf.sprintf "if (%s) {" (expr_to_string c))
+      :: body_to_lines ~indent:(indent + 2) a
+      @ [ pad ^ "}" ]
+    | Ast.If (c, a, b) ->
+      (pad ^ Printf.sprintf "if (%s) {" (expr_to_string c))
+      :: body_to_lines ~indent:(indent + 2) a
+      @ [ pad ^ "} else {" ]
+      @ body_to_lines ~indent:(indent + 2) b
+      @ [ pad ^ "}" ]
+    | Ast.While (c, body) ->
+      (pad ^ Printf.sprintf "while (%s) {" (expr_to_string c))
+      :: body_to_lines ~indent:(indent + 2) body
+      @ [ pad ^ "}" ]
+    | Ast.For (init, c, step, body) ->
+      (pad
+      ^ Printf.sprintf "for (%s; %s; %s) {" (simple_to_string init)
+          (expr_to_string c) (simple_to_string step))
+      :: body_to_lines ~indent:(indent + 2) body
+      @ [ pad ^ "}" ]
+    | Ast.Block body ->
+      (pad ^ "{") :: body_to_lines ~indent:(indent + 2) body @ [ pad ^ "}" ]
+  in
+  pragmas @ body
+
+and body_to_lines ~indent (body : Ast.stmt list) : string list =
+  List.concat_map (stmt_to_lines ~indent) body
+
+let func_to_string (f : Ast.func) : string =
+  let pragmas = List.map pragma_to_string f.Ast.fpragmas in
+  let params =
+    String.concat ", "
+      (List.map (fun (ty, n) -> Ast.ty_to_string ty ^ " " ^ n) f.Ast.fparams)
+  in
+  String.concat "\n"
+    (pragmas
+    @ [ Printf.sprintf "%s %s(%s) {" (Ast.ty_to_string f.Ast.fret) f.Ast.fname
+          params ]
+    @ body_to_lines ~indent:2 f.Ast.fbody
+    @ [ "}" ])
+
+let global_to_string (g : Ast.global) : string =
+  decl_to_string g.Ast.gty g.Ast.gname
+  ^ (match (g.Ast.gty, g.Ast.ginit) with
+    | (Ast.Tarray _, Some xs) ->
+      " = {" ^ String.concat ", " (List.map string_of_int xs) ^ "}"
+    | (_, Some [ v ]) -> " = " ^ string_of_int v
+    | _ -> "")
+  ^ ";"
+
+let program_to_string (p : Ast.program) : string =
+  String.concat "\n\n"
+    (List.map global_to_string p.Ast.globals
+    @ List.map func_to_string p.Ast.funcs)
+  ^ "\n"

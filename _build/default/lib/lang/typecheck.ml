@@ -1,0 +1,247 @@
+(** Type checker for MiniC.
+
+    A simple monomorphic checker: [int] and [float] never mix implicitly
+    (use the [int(e)] / [float(e)] cast forms), arrays are second-class
+    (only indexing, no array-valued expressions), and conditions are
+    integers, as in C. *)
+
+open Ast
+
+exception Type_error of string * position
+
+let errf pos fmt = Format.kasprintf (fun s -> raise (Type_error (s, pos))) fmt
+
+type fsig = { sig_ret : ty; sig_params : ty list }
+
+type env = {
+  globals : (string, ty) Hashtbl.t;
+  funcs : (string, fsig) Hashtbl.t;
+  mutable scopes : (string, ty) Hashtbl.t list; (* innermost first *)
+}
+
+let lookup_var env pos name =
+  let rec search = function
+    | [] -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some t -> t
+      | None -> errf pos "unbound variable %s" name)
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some t -> t
+      | None -> search rest)
+  in
+  search env.scopes
+
+let declare_local env pos name ty =
+  match env.scopes with
+  | [] -> errf pos "internal: no scope"
+  | scope :: _ ->
+    if Hashtbl.mem scope name then
+      errf pos "duplicate declaration of %s in the same scope" name;
+    Hashtbl.replace scope name ty
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+
+let pop_scope env =
+  match env.scopes with
+  | [] -> failwith "Typecheck: scope underflow"
+  | _ :: rest -> env.scopes <- rest
+
+let is_scalar = function Tint | Tfloat -> true | Tvoid | Tarray _ -> false
+
+let int_only_op = function
+  | Mod | Shl | Shr | Band | Bor | Bxor | Land | Lor -> true
+  | Add | Sub | Mul | Div | Lt | Le | Gt | Ge | Eq | Ne -> false
+
+let is_comparison = function
+  | Lt | Le | Gt | Ge | Eq | Ne -> true
+  | _ -> false
+
+let rec check_expr env (e : expr) : ty =
+  match e.edesc with
+  | Int_lit _ -> Tint
+  | Float_lit _ -> Tfloat
+  | Var name -> (
+    match lookup_var env e.epos name with
+    | Tarray _ -> errf e.epos "array %s used as a scalar value" name
+    | t -> t)
+  | Index (name, idx) -> (
+    (match check_expr env idx with
+    | Tint -> ()
+    | t -> errf idx.epos "array index must be int, got %s" (ty_to_string t));
+    match lookup_var env e.epos name with
+    | Tarray (elem, _) -> elem
+    | t -> errf e.epos "%s has type %s, not an array" name (ty_to_string t))
+  | Unop (op, a) -> (
+    let ta = check_expr env a in
+    match (op, ta) with
+    | (Neg, (Tint | Tfloat)) -> ta
+    | ((Not | Bnot), Tint) -> Tint
+    | _ ->
+      errf e.epos "operator %s not applicable to %s" (unop_to_string op)
+        (ty_to_string ta))
+  | Binop (op, a, b) ->
+    let ta = check_expr env a in
+    let tb = check_expr env b in
+    if ta <> tb then
+      errf e.epos "operands of %s have different types: %s vs %s"
+        (binop_to_string op) (ty_to_string ta) (ty_to_string tb);
+    if not (is_scalar ta) then
+      errf e.epos "operator %s needs scalar operands" (binop_to_string op);
+    if int_only_op op && ta <> Tint then
+      errf e.epos "operator %s requires int operands" (binop_to_string op);
+    if is_comparison op then Tint else ta
+  | Cast (ty, a) -> (
+    let ta = check_expr env a in
+    match (ty, ta) with
+    | ((Tint | Tfloat), (Tint | Tfloat)) -> ty
+    | _ ->
+      errf e.epos "invalid cast from %s to %s" (ty_to_string ta)
+        (ty_to_string ty))
+  | Call (name, args) -> (
+    match Hashtbl.find_opt env.funcs name with
+    | None -> errf e.epos "call to undefined function %s" name
+    | Some fsig ->
+      let nexp = List.length fsig.sig_params in
+      let ngot = List.length args in
+      if nexp <> ngot then
+        errf e.epos "%s expects %d arguments, got %d" name nexp ngot;
+      List.iter2
+        (fun expected arg ->
+          let got = check_expr env arg in
+          if got <> expected then
+            errf arg.epos "argument of %s: expected %s, got %s" name
+              (ty_to_string expected) (ty_to_string got))
+        fsig.sig_params args;
+      fsig.sig_ret)
+
+let rec check_stmt env ~ret (s : stmt) : unit =
+  match s.sdesc with
+  | Decl (ty, name, init) -> (
+    (match ty with
+    | Tvoid -> errf s.spos "cannot declare %s of type void" name
+    | Tarray (Tvoid, _) | Tarray (Tarray _, _) ->
+      errf s.spos "invalid array element type"
+    | Tint | Tfloat | Tarray _ -> ());
+    declare_local env s.spos name ty;
+    match init with
+    | None -> ()
+    | Some e ->
+      if not (is_scalar ty) then
+        errf s.spos "array %s cannot have an expression initialiser" name;
+      let t = check_expr env e in
+      if t <> ty then
+        errf e.epos "initialiser of %s: expected %s, got %s" name
+          (ty_to_string ty) (ty_to_string t))
+  | Assign (name, e) ->
+    let tv = lookup_var env s.spos name in
+    if not (is_scalar tv) then errf s.spos "cannot assign to array %s" name;
+    let te = check_expr env e in
+    if te <> tv then
+      errf e.epos "assignment to %s: expected %s, got %s" name
+        (ty_to_string tv) (ty_to_string te)
+  | Store (name, idx, e) -> (
+    (match check_expr env idx with
+    | Tint -> ()
+    | t -> errf idx.epos "array index must be int, got %s" (ty_to_string t));
+    match lookup_var env s.spos name with
+    | Tarray (elem, _) ->
+      let te = check_expr env e in
+      if te <> elem then
+        errf e.epos "store to %s: expected %s, got %s" name
+          (ty_to_string elem) (ty_to_string te)
+    | t -> errf s.spos "%s has type %s, not an array" name (ty_to_string t))
+  | If (cond, then_b, else_b) ->
+    check_cond env cond;
+    check_body env ~ret then_b;
+    check_body env ~ret else_b
+  | While (cond, body) ->
+    check_cond env cond;
+    check_body env ~ret body
+  | For (init, cond, step, body) ->
+    push_scope env;
+    check_stmt env ~ret init;
+    check_cond env cond;
+    check_stmt env ~ret step;
+    check_body env ~ret body;
+    pop_scope env
+  | Return None ->
+    if ret <> Tvoid then
+      errf s.spos "return without value in non-void function"
+  | Return (Some e) ->
+    if ret = Tvoid then errf s.spos "return with value in void function";
+    let t = check_expr env e in
+    if t <> ret then
+      errf e.epos "return type mismatch: expected %s, got %s"
+        (ty_to_string ret) (ty_to_string t)
+  | Expr e -> ignore (check_expr env e)
+  | Block body -> check_body env ~ret body
+
+and check_cond env cond =
+  match check_expr env cond with
+  | Tint -> ()
+  | t -> errf cond.epos "condition must be int, got %s" (ty_to_string t)
+
+and check_body env ~ret body =
+  push_scope env;
+  List.iter (check_stmt env ~ret) body;
+  pop_scope env
+
+(** Signatures of the multicore runtime intrinsics that the pattern
+    parallelizer emits.  They are ordinary calls at the AST level and are
+    lowered to dedicated IR instructions. *)
+let intrinsics =
+  [
+    ("__send", { sig_ret = Tvoid; sig_params = [ Tint; Tint ] });
+    ("__sendf", { sig_ret = Tvoid; sig_params = [ Tint; Tfloat ] });
+    ("__recv", { sig_ret = Tint; sig_params = [ Tint ] });
+    ("__recvf", { sig_ret = Tfloat; sig_params = [ Tint ] });
+    ("__barrier", { sig_ret = Tvoid; sig_params = [ Tint ] });
+    ("__faa", { sig_ret = Tint; sig_params = [ Tint; Tint ] });
+  ]
+
+let check_program (p : program) : unit =
+  let env =
+    { globals = Hashtbl.create 16; funcs = Hashtbl.create 16; scopes = [] }
+  in
+  List.iter (fun (name, s) -> Hashtbl.replace env.funcs name s) intrinsics;
+  List.iter
+    (fun g ->
+      if Hashtbl.mem env.globals g.gname then
+        errf g.gpos "duplicate global %s" g.gname;
+      (match (g.gty, g.ginit) with
+      | (Tvoid, _) -> errf g.gpos "global %s of type void" g.gname
+      | (Tarray (elem, n), Some init) ->
+        if elem <> Tint then
+          errf g.gpos "initialiser lists are only for int arrays";
+        if List.length init > n then
+          errf g.gpos "initialiser of %s longer than array" g.gname
+      | ((Tint | Tfloat | Tarray _), _) -> ());
+      Hashtbl.replace env.globals g.gname g.gty)
+    p.globals;
+  List.iter
+    (fun f ->
+      if Hashtbl.mem env.funcs f.fname then
+        errf f.fpos "duplicate function %s" f.fname;
+      if String.length f.fname >= 2 && String.sub f.fname 0 2 = "__"
+         && not (List.mem_assoc f.fname intrinsics) then
+        errf f.fpos "function names starting with __ are reserved";
+      List.iter
+        (fun (ty, _) ->
+          if not (is_scalar ty) then
+            errf f.fpos "parameters must be scalar (int/float)")
+        f.fparams;
+      Hashtbl.replace env.funcs f.fname
+        { sig_ret = f.fret; sig_params = List.map fst f.fparams })
+    p.funcs;
+  List.iter
+    (fun f ->
+      push_scope env;
+      List.iter (fun (ty, name) -> declare_local env f.fpos name ty) f.fparams;
+      check_body env ~ret:f.fret f.fbody;
+      pop_scope env)
+    p.funcs;
+  match Hashtbl.find_opt env.funcs "main" with
+  | Some { sig_ret = Tint; sig_params = [] } -> ()
+  | Some _ -> raise (Type_error ("main must have type int main()", dummy_pos))
+  | None -> raise (Type_error ("program has no main function", dummy_pos))

@@ -1,0 +1,90 @@
+(** Embedded multicore machine descriptions.
+
+    A machine is a set of homogeneous cores, each with its own set of
+    gateable components and an independent DVFS domain (per-core DVFS, as
+    on cluster-based embedded SoCs), connected by a shared bus to a shared
+    memory; each core also has a private scratchpad.  Inter-core
+    communication uses hardware channels (mailbox/DMA style) whose cost is
+    charged on the bus. *)
+
+module Component = Lp_power.Component
+module Power_model = Lp_power.Power_model
+
+type t = {
+  name : string;
+  n_cores : int;
+  power : Power_model.t;        (** per-core power model (homogeneous) *)
+  components : Component.t list; (** components present in each core *)
+  bus_latency_cycles : int;     (** base bus transaction latency (nominal cycles) *)
+  bus_word_cycles : int;        (** additional cycles per word transferred *)
+  bus_energy_per_word_nj : float;
+  shared_mem_latency_cycles : int;  (** shared memory access beyond bus *)
+  spm_latency_cycles : int;         (** private scratchpad access *)
+  channel_setup_cycles : int;       (** per send/recv handshake *)
+}
+
+let validate t =
+  if t.n_cores < 1 then invalid_arg "Machine: n_cores must be >= 1";
+  if t.components = [] then invalid_arg "Machine: no components";
+  if not (List.mem Component.Alu t.components) then
+    invalid_arg "Machine: cores must have an ALU";
+  t
+
+(** Generic embedded multicore with [n_cores] cores.  This is the machine
+    used by the main evaluation; 4 cores by default. *)
+let generic ?(name = "generic") ?(n_cores = 4) ?(power = Power_model.default ())
+    () =
+  validate
+    {
+      name = Printf.sprintf "%s-%dc" name n_cores;
+      n_cores;
+      power;
+      components = Component.all;
+      bus_latency_cycles = 8;
+      bus_word_cycles = 2;
+      bus_energy_per_word_nj = 0.5;
+      shared_mem_latency_cycles = 12;
+      spm_latency_cycles = 1;
+      channel_setup_cycles = 10;
+    }
+
+(** A PAC-Duo-flavoured configuration: 2 DSP cores, no FPU (floating point
+    is done in fixed point on the MAC), slightly slower bus. *)
+let pac_duo_like () =
+  validate
+    {
+      name = "pacduo-2c";
+      n_cores = 2;
+      power = Power_model.default ~n_levels:4 ();
+      components =
+        [ Component.Alu; Component.Multiplier; Component.Divider;
+          Component.Mac; Component.Shifter; Component.Load_store;
+          Component.Branch_unit ];
+      bus_latency_cycles = 10;
+      bus_word_cycles = 3;
+      bus_energy_per_word_nj = 0.6;
+      shared_mem_latency_cycles = 16;
+      spm_latency_cycles = 1;
+      channel_setup_cycles = 12;
+    }
+
+(** Cluster of 8 small cores on a leakage-heavy node, for the sensitivity
+    experiments. *)
+let octa_leaky () =
+  validate
+    {
+      (generic ~name:"octa-leaky" ~n_cores:8 ~power:(Power_model.leaky ()) ()) with
+      bus_latency_cycles = 12;
+    }
+
+let with_cores t n = validate { t with n_cores = n; name = Printf.sprintf "%s@%dc" t.name n }
+
+let with_power t power = { t with power }
+
+let has_component t c = List.mem c t.components
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %d cores, %d components, %d V/f points" t.name
+    t.n_cores
+    (List.length t.components)
+    (List.length (Power_model.points t.power))

@@ -1,0 +1,39 @@
+(** Embedded multicore machine descriptions: homogeneous cores with
+    per-component power gating and per-core DVFS, a shared bus to shared
+    memory, per-core scratchpads, and dedicated inter-core mailbox
+    links. *)
+
+module Component = Lp_power.Component
+module Power_model = Lp_power.Power_model
+
+type t = {
+  name : string;
+  n_cores : int;
+  power : Power_model.t;            (** per-core model (homogeneous) *)
+  components : Component.t list;    (** components present in each core *)
+  bus_latency_cycles : int;         (** base bus transaction latency *)
+  bus_word_cycles : int;            (** additional cycles per word *)
+  bus_energy_per_word_nj : float;
+  shared_mem_latency_cycles : int;  (** array access beyond the bus *)
+  spm_latency_cycles : int;         (** private scratchpad / ROM access *)
+  channel_setup_cycles : int;       (** per send/recv handshake *)
+}
+
+(** Raises [Invalid_argument] on inconsistent descriptions (no cores, no
+    ALU, ...); all constructors below validate. *)
+val validate : t -> t
+
+(** Generic embedded multicore (default 4 cores), used by the main
+    evaluation. *)
+val generic : ?name:string -> ?n_cores:int -> ?power:Power_model.t -> unit -> t
+
+(** PAC-Duo-flavoured 2-core DSP: no FPU, slower bus. *)
+val pac_duo_like : unit -> t
+
+(** 8 cores on a leakage-heavy node (3x leakage). *)
+val octa_leaky : unit -> t
+
+val with_cores : t -> int -> t
+val with_power : t -> Power_model.t -> t
+val has_component : t -> Component.t -> bool
+val pp : Format.formatter -> t -> unit

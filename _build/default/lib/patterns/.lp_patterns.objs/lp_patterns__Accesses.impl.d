@@ -1,0 +1,1 @@
+lib/patterns/accesses.ml: Effects List Lp_lang Option Set String

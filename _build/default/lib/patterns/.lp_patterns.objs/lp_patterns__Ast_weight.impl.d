@@ -1,0 +1,1 @@
+lib/patterns/ast_weight.ml: Array List Lp_lang

@@ -1,0 +1,1 @@
+lib/patterns/detect.ml: Accesses Ast_weight Effects List Lp_lang Option Pattern Printf Set String

@@ -1,0 +1,1 @@
+lib/patterns/detect.mli: Effects Lp_lang Pattern Set String

@@ -1,0 +1,1 @@
+lib/patterns/effects.ml: Hashtbl List Lp_lang Set String

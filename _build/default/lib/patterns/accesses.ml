@@ -1,0 +1,139 @@
+(** Collection and classification of variable accesses inside a candidate
+    loop body, relative to the loop's induction variable. *)
+
+module Ast = Lp_lang.Ast
+module SS = Set.Make (String)
+
+(** Classification of an array index expression. *)
+type index_class =
+  | Exact_iv          (** a[i] *)
+  | Iv_offset of int  (** a[i + c] / a[i - c] *)
+  | Invariant         (** does not mention the induction variable *)
+  | Opaque            (** anything else (data-dependent, nonlinear...) *)
+
+type t = {
+  decls : SS.t;            (** scalars and arrays declared inside the body *)
+  scalar_reads : SS.t;     (** outer scalars read *)
+  scalar_writes : SS.t;    (** outer scalars written *)
+  array_reads : (string * index_class) list;   (** outer arrays only *)
+  array_writes : (string * index_class) list;
+  calls : SS.t;
+  has_intrinsics : bool;
+}
+
+let empty =
+  {
+    decls = SS.empty;
+    scalar_reads = SS.empty;
+    scalar_writes = SS.empty;
+    array_reads = [];
+    array_writes = [];
+    calls = SS.empty;
+    has_intrinsics = false;
+  }
+
+(** Does [e] mention any name in [names]? *)
+let rec mentions names (e : Ast.expr) : bool =
+  match e.Ast.edesc with
+  | Ast.Int_lit _ | Ast.Float_lit _ -> false
+  | Ast.Var n -> SS.mem n names
+  | Ast.Index (n, idx) -> SS.mem n names || mentions names idx
+  | Ast.Binop (_, a, b) -> mentions names a || mentions names b
+  | Ast.Unop (_, a) | Ast.Cast (_, a) -> mentions names a
+  | Ast.Call (_, args) -> List.exists (mentions names) args
+
+let classify_index ~iv (e : Ast.expr) : index_class =
+  match e.Ast.edesc with
+  | Ast.Var n when n = iv -> Exact_iv
+  | Ast.Binop (Ast.Add, { edesc = Ast.Var n; _ }, { edesc = Ast.Int_lit c; _ })
+    when n = iv -> Iv_offset c
+  | Ast.Binop (Ast.Add, { edesc = Ast.Int_lit c; _ }, { edesc = Ast.Var n; _ })
+    when n = iv -> Iv_offset c
+  | Ast.Binop (Ast.Sub, { edesc = Ast.Var n; _ }, { edesc = Ast.Int_lit c; _ })
+    when n = iv -> Iv_offset (-c)
+  | _ -> if mentions (SS.singleton iv) e then Opaque else Invariant
+
+type ctx = { iv : string; mutable acc : t }
+
+let rec walk_expr ctx (e : Ast.expr) : unit =
+  let a = ctx.acc in
+  match e.Ast.edesc with
+  | Ast.Int_lit _ | Ast.Float_lit _ -> ()
+  | Ast.Var n ->
+    if n <> ctx.iv && not (SS.mem n a.decls) then
+      ctx.acc <- { a with scalar_reads = SS.add n a.scalar_reads }
+  | Ast.Index (n, idx) ->
+    walk_expr ctx idx;
+    let a = ctx.acc in
+    if not (SS.mem n a.decls) then
+      ctx.acc <-
+        { a with
+          array_reads = (n, classify_index ~iv:ctx.iv idx) :: a.array_reads }
+  | Ast.Binop (_, x, y) ->
+    walk_expr ctx x;
+    walk_expr ctx y
+  | Ast.Unop (_, x) | Ast.Cast (_, x) -> walk_expr ctx x
+  | Ast.Call (name, args) ->
+    List.iter (walk_expr ctx) args;
+    let a = ctx.acc in
+    if Effects.is_intrinsic name then ctx.acc <- { a with has_intrinsics = true }
+    else ctx.acc <- { a with calls = SS.add name a.calls }
+
+let rec walk_stmt ctx (s : Ast.stmt) : unit =
+  match s.Ast.sdesc with
+  | Ast.Decl (_, name, init) ->
+    Option.iter (walk_expr ctx) init;
+    ctx.acc <- { ctx.acc with decls = SS.add name ctx.acc.decls }
+  | Ast.Assign (name, e) ->
+    walk_expr ctx e;
+    let a = ctx.acc in
+    if name <> ctx.iv && not (SS.mem name a.decls) then
+      ctx.acc <- { a with scalar_writes = SS.add name a.scalar_writes }
+  | Ast.Store (name, idx, e) ->
+    walk_expr ctx idx;
+    walk_expr ctx e;
+    let a = ctx.acc in
+    if not (SS.mem name a.decls) then
+      ctx.acc <-
+        { a with
+          array_writes = (name, classify_index ~iv:ctx.iv idx) :: a.array_writes }
+  | Ast.If (c, x, y) ->
+    walk_expr ctx c;
+    List.iter (walk_stmt ctx) x;
+    List.iter (walk_stmt ctx) y
+  | Ast.While (c, body) ->
+    walk_expr ctx c;
+    List.iter (walk_stmt ctx) body
+  | Ast.For (init, c, step, body) ->
+    walk_stmt ctx init;
+    walk_expr ctx c;
+    walk_stmt ctx step;
+    List.iter (walk_stmt ctx) body
+  | Ast.Return (Some e) | Ast.Expr e -> walk_expr ctx e
+  | Ast.Return None -> ()
+  | Ast.Block body -> List.iter (walk_stmt ctx) body
+
+(** Collect accesses of a loop body with induction variable [iv].  Names
+    declared anywhere in the body are treated as body-private; this is the
+    documented approximation (no read-before-declare shadowing). *)
+let collect ~iv (body : Ast.stmt list) : t =
+  let ctx = { iv; acc = empty } in
+  List.iter (walk_stmt ctx) body;
+  ctx.acc
+
+(** Iteration "irregularity" heuristic used to prefer the farm pattern:
+    per-iteration work varies when the body contains data-dependent loops
+    or branches. *)
+let rec irregular_stmt (s : Ast.stmt) : bool =
+  match s.Ast.sdesc with
+  | Ast.While _ -> true
+  | Ast.If (_, a, b) ->
+    (* a branch whose arms differ in size noticeably *)
+    let size ss = List.length ss in
+    abs (size a - size b) >= 2 || List.exists irregular_stmt (a @ b)
+  | Ast.For (_, _, _, body) -> List.exists irregular_stmt body
+  | Ast.Block body -> List.exists irregular_stmt body
+  | Ast.Decl _ | Ast.Assign _ | Ast.Store _ | Ast.Return _ | Ast.Expr _ ->
+    false
+
+let irregular body = List.exists irregular_stmt body

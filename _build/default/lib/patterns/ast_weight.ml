@@ -1,0 +1,117 @@
+(** Static AST-level work estimation.
+
+    Used by the parallelizer to partition pipeline stages across cores
+    when there are more stages than cores (stage fusion): the partition
+    minimises the heaviest fused stage.  The weights mirror the IR
+    latency model closely enough to rank stage bodies. *)
+
+module Ast = Lp_lang.Ast
+
+let binop_weight = function
+  | Ast.Mul -> 2
+  | Ast.Div | Ast.Mod -> 10
+  | Ast.Add | Ast.Sub | Ast.Shl | Ast.Shr | Ast.Band | Ast.Bor | Ast.Bxor
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.Land | Ast.Lor
+    -> 1
+
+(** Default trip assumption for loops whose bounds are not literal. *)
+let default_trip = 8
+
+let rec expr_weight (e : Ast.expr) : int =
+  match e.Ast.edesc with
+  | Ast.Int_lit _ | Ast.Float_lit _ -> 0
+  | Ast.Var _ -> 0
+  | Ast.Index (_, idx) -> 3 + expr_weight idx (* memory access *)
+  | Ast.Binop (op, a, b) -> binop_weight op + expr_weight a + expr_weight b
+  | Ast.Unop (_, a) -> 1 + expr_weight a
+  | Ast.Cast (_, a) -> 2 + expr_weight a
+  | Ast.Call (_, args) ->
+    (* callee body unknown here; charge call overhead plus arguments *)
+    5 + List.fold_left (fun acc a -> acc + expr_weight a) 0 args
+
+let literal_trip (lo : Ast.expr) (hi : Ast.expr) : int option =
+  match (lo.Ast.edesc, hi.Ast.edesc) with
+  | (Ast.Int_lit a, Ast.Int_lit b) when b > a -> Some (b - a)
+  | _ -> None
+
+let rec stmt_weight (s : Ast.stmt) : int =
+  match s.Ast.sdesc with
+  | Ast.Decl (_, _, init) ->
+    1 + (match init with Some e -> expr_weight e | None -> 0)
+  | Ast.Assign (_, e) -> 1 + expr_weight e
+  | Ast.Store (_, idx, e) -> 3 + expr_weight idx + expr_weight e
+  | Ast.If (c, a, b) ->
+    (* charge the average arm: branches even out over iterations *)
+    let wa = body_weight a and wb = body_weight b in
+    1 + expr_weight c + ((wa + wb + 1) / 2)
+  | Ast.While (c, body) ->
+    default_trip * (1 + expr_weight c + body_weight body)
+  | Ast.For (init, c, step, body) ->
+    let trip =
+      match (init.Ast.sdesc, c.Ast.edesc) with
+      | (Ast.Decl (_, _, Some lo), Ast.Binop (Ast.Lt, _, hi)) -> (
+        match literal_trip lo hi with Some t -> t | None -> default_trip)
+      | _ -> default_trip
+    in
+    stmt_weight init
+    + (trip * (1 + expr_weight c + stmt_weight step + body_weight body))
+  | Ast.Return (Some e) -> 1 + expr_weight e
+  | Ast.Return None -> 1
+  | Ast.Expr e -> expr_weight e
+  | Ast.Block body -> body_weight body
+
+and body_weight (body : Ast.stmt list) : int =
+  List.fold_left (fun acc s -> acc + stmt_weight s) 0 body
+
+(* ------------------------------------------------------------------ *)
+(* Min-bottleneck contiguous partition                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** [partition ~groups weights] splits the sequence [weights] into at
+    most [groups] contiguous groups minimising the maximum group sum.
+    Returns the group boundaries as a list of index lists.  Classic
+    O(n^2 * g) dynamic program — stage counts are tiny. *)
+let partition ~groups (weights : int list) : int list list =
+  let w = Array.of_list weights in
+  let n = Array.length w in
+  if n = 0 then []
+  else begin
+    let groups = max 1 (min groups n) in
+    let prefix = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      prefix.(i + 1) <- prefix.(i) + w.(i)
+    done;
+    let seg i j = prefix.(j) - prefix.(i) in
+    (* best.(g).(j) = minimal bottleneck splitting the first j items into
+       exactly g groups; cut.(g).(j) = where the last group starts *)
+    let inf = max_int / 2 in
+    let best = Array.make_matrix (groups + 1) (n + 1) inf in
+    let cut = Array.make_matrix (groups + 1) (n + 1) 0 in
+    best.(0).(0) <- 0;
+    for g = 1 to groups do
+      for j = 1 to n do
+        for i = g - 1 to j - 1 do
+          let cand = max best.(g - 1).(i) (seg i j) in
+          if cand < best.(g).(j) then begin
+            best.(g).(j) <- cand;
+            cut.(g).(j) <- i
+          end
+        done
+      done
+    done;
+    (* use exactly the group count that minimises the bottleneck (fewer
+       groups can never beat more, but guard anyway) *)
+    let g_best = ref groups in
+    for g = 1 to groups do
+      if best.(g).(n) < best.(!g_best).(n) then g_best := g
+    done;
+    let rec unwind g j acc =
+      if g = 0 then acc
+      else begin
+        let i = cut.(g).(j) in
+        let group = List.init (j - i) (fun k -> i + k) in
+        unwind (g - 1) i (group :: acc)
+      end
+    in
+    unwind !g_best n []
+  end

@@ -1,0 +1,556 @@
+(** Design-pattern detection over MiniC functions.
+
+    Candidate loops are canonical counted loops
+    [for (int i = lo; i < hi; i = i + 1) body].  A loop becomes a pattern
+    instance either because the programmer annotated it
+    ([#pragma lp pattern(doall|reduction|farm|pipeline|prodcons)]) — in
+    which case the annotation is {e verified}, never trusted blindly — or
+    because the safety analysis can infer a pattern without help
+    (doall / reduction / farm).  Pipelines must be annotated because the
+    stage split is a design decision, not an analysis result. *)
+
+module Ast = Lp_lang.Ast
+module SS = Set.Make (String)
+open Pattern
+
+type tenv = (string * Ast.ty) list  (** in-scope variables, innermost first *)
+
+let lookup_ty (env : tenv) name = List.assoc_opt name env
+
+(* ------------------------------------------------------------------ *)
+(* Canonical loop shape                                                *)
+(* ------------------------------------------------------------------ *)
+
+let canonical_loop (s : Ast.stmt) : counted_loop option =
+  match s.Ast.sdesc with
+  | Ast.For (init, cond, step, body) -> (
+    match (init.Ast.sdesc, cond.Ast.edesc, step.Ast.sdesc) with
+    | ( Ast.Decl (Ast.Tint, iv, Some lo),
+        Ast.Binop (Ast.Lt, { edesc = Ast.Var civ; _ }, hi),
+        Ast.Assign
+          ( siv,
+            { edesc =
+                Ast.Binop
+                  (Ast.Add, { edesc = Ast.Var biv; _ }, { edesc = Ast.Int_lit 1; _ });
+              _ } ) )
+      when civ = iv && siv = iv && biv = iv ->
+      Some { iv; lo; hi; body; loop_pragmas = s.Ast.pragmas }
+    | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Safety conditions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let written_arrays (acc : Accesses.t) =
+  List.fold_left (fun s (n, _) -> SS.add n s) SS.empty acc.Accesses.array_writes
+
+(** Core doall safety; [allow_acc] names a scalar allowed to be written
+    (the reduction accumulator). *)
+let doall_safety ~(effects : Effects.t) ~(globals : SS.t) ~(env : tenv)
+    ~(loop : counted_loop) ?(allow_acc = None) ?(trusted = false) () :
+    string option =
+  let acc = Accesses.collect ~iv:loop.iv loop.body in
+  let wa = written_arrays acc in
+  if acc.Accesses.has_intrinsics then Some "body uses runtime intrinsics"
+  else if
+    not (SS.for_all (fun c -> Effects.call_replicable effects c) acc.Accesses.calls)
+  then Some "body calls a function with global side effects"
+  else if
+    (* callee reads must not overlap arrays written here *)
+    not
+      (SS.for_all
+         (fun c ->
+           SS.is_empty
+             (SS.inter (Effects.func_effects effects c).Effects.reads wa))
+         acc.Accesses.calls)
+  then Some "a callee reads an array the loop writes"
+  else begin
+    let bad_scalar =
+      SS.filter
+        (fun n -> match allow_acc with Some (a, _) -> n <> a | None -> true)
+        acc.Accesses.scalar_writes
+    in
+    if not (SS.is_empty bad_scalar) then
+      Some
+        (Printf.sprintf "loop-carried scalar %s" (SS.choose bad_scalar))
+    else begin
+      (* outer arrays must be globals *)
+      let all_arrays =
+        SS.union wa
+          (List.fold_left
+             (fun s (n, _) -> SS.add n s)
+             SS.empty acc.Accesses.array_reads)
+      in
+      let non_global = SS.filter (fun n -> not (SS.mem n globals)) all_arrays in
+      if not (SS.is_empty non_global) then
+        Some
+          (Printf.sprintf "array %s is not in shared memory"
+             (SS.choose non_global))
+      else begin
+        (* every access to a written array must be exactly a[iv] — unless
+           the programmer asserted independence with the [trust] argument *)
+        let offending =
+          if trusted then None
+          else
+            List.find_opt
+              (fun (n, cls) ->
+                SS.mem n wa
+                && match cls with Accesses.Exact_iv -> false | _ -> true)
+              (acc.Accesses.array_writes @ acc.Accesses.array_reads)
+        in
+        match offending with
+        | Some (n, _) ->
+          Some (Printf.sprintf "array %s accessed at a non-iv index" n)
+        | None ->
+          (* bounds must not depend on anything the body writes *)
+          let written =
+            SS.union acc.Accesses.scalar_writes acc.Accesses.decls
+          in
+          if
+            Accesses.mentions written loop.lo
+            || Accesses.mentions written loop.hi
+          then Some "loop bounds depend on values written in the body"
+          else begin
+            (* invariants must be scalars with known types *)
+            let bad_inv =
+              (fun pred s -> List.find_opt pred (SS.elements s))
+                (fun n ->
+                  match lookup_ty env n with
+                  | Some (Ast.Tint | Ast.Tfloat) -> false
+                  | Some _ -> true
+                  | None -> not (SS.mem n globals))
+                acc.Accesses.scalar_reads
+            in
+            match bad_inv with
+            | Some n ->
+              Some (Printf.sprintf "free variable %s is not shippable" n)
+            | None -> None
+          end
+      end
+    end
+  end
+
+(** Recognise a reduction: exactly one top-level reduction statement over
+    an outer scalar [acc] —
+    either [acc = acc op e] (with [e] not mentioning [acc]), or the
+    guarded extremum update [if (x > acc) acc = x;] / [if (x < acc)
+    acc = x;].  Any other mention of [acc] in the body disqualifies the
+    loop (the partial results would not compose). *)
+let find_reduction ~(env : tenv) (loop : counted_loop) :
+    (string * Ast.ty * reduction_op) option =
+  let acc_candidates = ref [] in
+  let rec scan (s : Ast.stmt) =
+    (match s.Ast.sdesc with
+    | Ast.Assign (name, { edesc = Ast.Binop (op, { edesc = Ast.Var n; _ }, e); _ })
+      when n = name && not (Accesses.mentions (SS.singleton name) e) -> (
+      match (op, lookup_ty env name) with
+      | (Ast.Add, Some Ast.Tint) -> acc_candidates := (name, Ast.Tint, Rsum_int, s) :: !acc_candidates
+      | (Ast.Add, Some Ast.Tfloat) ->
+        acc_candidates := (name, Ast.Tfloat, Rsum_float, s) :: !acc_candidates
+      | (Ast.Bxor, Some Ast.Tint) -> acc_candidates := (name, Ast.Tint, Rxor, s) :: !acc_candidates
+      | _ -> ())
+    | Ast.If
+        ( { edesc = Ast.Binop (cmp, { edesc = Ast.Var x; _ },
+                               { edesc = Ast.Var name; _ }); _ },
+          [ { Ast.sdesc = Ast.Assign (name', { edesc = Ast.Var x'; _ }); _ } ],
+          [] )
+      when name' = name && x' = x && x <> name -> (
+      match (cmp, lookup_ty env name) with
+      | (Ast.Gt, Some Ast.Tint) -> acc_candidates := (name, Ast.Tint, Rmax, s) :: !acc_candidates
+      | (Ast.Lt, Some Ast.Tint) -> acc_candidates := (name, Ast.Tint, Rmin, s) :: !acc_candidates
+      | _ -> ())
+    | _ -> ());
+    (* recurse, but not into a statement already recognised as the
+       reduction itself *)
+    if not (List.exists (fun (_, _, _, rs) -> rs == s) !acc_candidates) then
+      match s.Ast.sdesc with
+      | Ast.If (_, a, b) -> List.iter scan (a @ b)
+      | Ast.Block body | Ast.While (_, body) -> List.iter scan body
+      | Ast.For (_, _, _, body) -> List.iter scan body
+      | Ast.Decl _ | Ast.Assign _ | Ast.Store _ | Ast.Return _ | Ast.Expr _
+        -> ()
+  in
+  List.iter scan loop.body;
+  match !acc_candidates with
+  | [ (name, ty, op, red_stmt) ] ->
+    (* the accumulator must not be written or read anywhere else *)
+    let acc = Accesses.collect ~iv:loop.iv loop.body in
+    let writes_only_acc =
+      SS.equal acc.Accesses.scalar_writes (SS.singleton name)
+    in
+    (* count statements (other than the reduction) whose expressions
+       mention the accumulator *)
+    let mentions_elsewhere = ref false in
+    let rec scan_other (s : Ast.stmt) =
+      if s != red_stmt then begin
+        (match s.Ast.sdesc with
+        | Ast.Decl (_, _, Some e) | Ast.Assign (_, e) | Ast.Return (Some e)
+        | Ast.Expr e ->
+          if Accesses.mentions (SS.singleton name) e then
+            mentions_elsewhere := true
+        | Ast.Store (_, idx, e) ->
+          if
+            Accesses.mentions (SS.singleton name) idx
+            || Accesses.mentions (SS.singleton name) e
+          then mentions_elsewhere := true
+        | Ast.If (c, a, b) ->
+          if Accesses.mentions (SS.singleton name) c then
+            mentions_elsewhere := true;
+          List.iter scan_other (a @ b)
+        | Ast.While (c, body) ->
+          if Accesses.mentions (SS.singleton name) c then
+            mentions_elsewhere := true;
+          List.iter scan_other body
+        | Ast.For (i, c, st, body) ->
+          if Accesses.mentions (SS.singleton name) c then
+            mentions_elsewhere := true;
+          List.iter scan_other (i :: st :: body)
+        | Ast.Block body -> List.iter scan_other body
+        | Ast.Decl (_, _, None) | Ast.Return None -> ())
+      end
+    in
+    List.iter scan_other loop.body;
+    if writes_only_acc && not !mentions_elsewhere then Some (name, ty, op)
+    else None
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Pipelines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Split the body into stages at [#pragma lp stage] markers; the first
+    statement implicitly starts stage 0. *)
+let split_stages (body : Ast.stmt list) : Ast.stmt list list =
+  let groups = ref [] and cur = ref [] in
+  List.iteri
+    (fun i s ->
+      let marked = Ast.find_pragma ~key:"stage" s.Ast.pragmas <> None in
+      if marked && i > 0 then begin
+        groups := List.rev !cur :: !groups;
+        cur := [ s ]
+      end
+      else cur := s :: !cur)
+    body;
+  groups := List.rev !cur :: !groups;
+  List.rev !groups
+
+let pipeline_safety ~(effects : Effects.t) ~(globals : SS.t) ~(env : tenv)
+    ~(loop : counted_loop) ?(trusted = false) (stages : Ast.stmt list list) :
+    string option =
+  if List.length stages < 2 then Some "pipeline needs at least 2 stages"
+  else begin
+    let per_stage = List.map (Accesses.collect ~iv:loop.iv) stages in
+    let stage_writes = List.map written_arrays per_stage in
+    (* pairwise disjoint writes *)
+    let rec disjoint = function
+      | [] -> true
+      | w :: rest ->
+        List.for_all (fun w' -> SS.is_empty (SS.inter w w')) rest
+        && disjoint rest
+    in
+    if not (disjoint stage_writes) then Some "two stages write the same array"
+    else begin
+      let exception Reject of string in
+      try
+        List.iteri
+          (fun s (acc : Accesses.t) ->
+            if acc.Accesses.has_intrinsics then
+              raise (Reject "stage uses runtime intrinsics");
+            SS.iter
+              (fun c ->
+                if not (Effects.call_replicable effects c) then
+                  raise (Reject "stage calls an impure function"))
+              acc.Accesses.calls;
+            if not (SS.is_empty acc.Accesses.scalar_writes) then
+              raise
+                (Reject
+                   (Printf.sprintf "stage writes outer scalar %s"
+                      (SS.choose acc.Accesses.scalar_writes)));
+            (* all referenced outer arrays must be global *)
+            List.iter
+              (fun (n, _) ->
+                if not (SS.mem n globals) then
+                  raise (Reject (Printf.sprintf "array %s not shared" n)))
+              (acc.Accesses.array_writes @ acc.Accesses.array_reads);
+            (* writes at exactly iv (unless trusted) *)
+            if not trusted then
+              List.iter
+                (fun (n, cls) ->
+                  if cls <> Accesses.Exact_iv then
+                    raise
+                      (Reject (Printf.sprintf "stage writes %s at non-iv index" n)))
+                acc.Accesses.array_writes;
+            (* reads of arrays written by this or earlier stages: iv or
+               iv-c (already produced); reads of later stages' arrays are
+               backward dependences *)
+            let earlier =
+              List.filteri (fun k _ -> k <= s) stage_writes
+              |> List.fold_left SS.union SS.empty
+            in
+            let later =
+              List.filteri (fun k _ -> k > s) stage_writes
+              |> List.fold_left SS.union SS.empty
+            in
+            List.iter
+              (fun (n, cls) ->
+                if SS.mem n later then
+                  raise
+                    (Reject
+                       (Printf.sprintf "stage reads %s written by a later stage" n))
+                else if SS.mem n earlier && not trusted then
+                  match cls with
+                  | Accesses.Exact_iv -> ()
+                  | Accesses.Iv_offset c when c <= 0 -> ()
+                  | _ ->
+                    raise
+                      (Reject
+                         (Printf.sprintf "stage reads %s ahead of production" n)))
+              acc.Accesses.array_reads;
+            (* stage-local scalars must not leak into later stages *)
+            let my_decls = acc.Accesses.decls in
+            List.iteri
+              (fun k (acc' : Accesses.t) ->
+                if k > s then begin
+                  let used =
+                    SS.union acc'.Accesses.scalar_reads
+                      acc'.Accesses.scalar_writes
+                  in
+                  let leaked = SS.inter my_decls used in
+                  if not (SS.is_empty leaked) then
+                    raise
+                      (Reject
+                         (Printf.sprintf "scalar %s crosses stage boundary"
+                            (SS.choose leaked)))
+                end)
+              per_stage)
+          per_stage;
+        (* bounds invariance and invariant shippability as in doall *)
+        let acc = Accesses.collect ~iv:loop.iv loop.body in
+        let written = SS.union acc.Accesses.scalar_writes acc.Accesses.decls in
+        if Accesses.mentions written loop.lo || Accesses.mentions written loop.hi
+        then Some "loop bounds depend on values written in the body"
+        else begin
+          let bad_inv =
+            (fun pred s -> List.find_opt pred (SS.elements s))
+              (fun n ->
+                match lookup_ty env n with
+                | Some (Ast.Tint | Ast.Tfloat) -> false
+                | Some _ -> true
+                | None -> not (SS.mem n globals))
+              acc.Accesses.scalar_reads
+          in
+          match bad_inv with
+          | Some n -> Some (Printf.sprintf "free variable %s is not shippable" n)
+          | None -> None
+        end
+      with Reject msg -> Some msg
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Invariants (read-only scalars shipped to workers)                   *)
+(* ------------------------------------------------------------------ *)
+
+let invariants_of ~(globals : SS.t) ~(env : tenv) (loop : counted_loop)
+    ~(exclude : string option) : (string * Ast.ty) list =
+  let acc = Accesses.collect ~iv:loop.iv loop.body in
+  SS.elements acc.Accesses.scalar_reads
+  |> List.filter_map (fun n ->
+         if Some n = exclude then None
+         else if SS.mem n globals then None (* globals stay in shared memory *)
+         else
+           match lookup_ty env n with
+           | Some ((Ast.Tint | Ast.Tfloat) as ty) -> Some (n, ty)
+           | Some _ | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Main detection walk                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let parse_chunk_opt (pargs : string list) : int option =
+  List.fold_left
+    (fun acc a ->
+      match String.index_opt a '=' with
+      | Some k when String.sub a 0 k = "chunk" ->
+        (try Some (int_of_string (String.sub a (k + 1) (String.length a - k - 1)))
+         with Failure _ -> acc)
+      | _ -> acc)
+    None pargs
+
+let requested_kind (p : Ast.pragma) : string option =
+  if p.Ast.pkey = "pattern" then
+    match p.Ast.pargs with name :: _ -> Some name | [] -> None
+  else None
+
+type state = {
+  effects : Effects.t;
+  globals : SS.t;
+  mutable next_id : int;
+  mutable instances : instance list;
+  mutable rejections : rejection list;
+  mutable candidates : int;
+}
+
+let pragma_trusted (pargs : string list) = List.mem "trust" pargs
+
+let classify st ~fname ~env (s : Ast.stmt) (loop : counted_loop) : bool =
+  st.candidates <- st.candidates + 1;
+  let accepted = ref false in
+  let requested =
+    List.fold_left
+      (fun acc p -> match requested_kind p with Some k -> Some (k, p) | None -> acc)
+      None s.Ast.pragmas
+  in
+  let reject reason =
+    st.rejections <-
+      { rej_func = fname; rej_reason = reason;
+        rej_requested = Option.map fst requested }
+      :: st.rejections
+  in
+  (* self-scheduling granularity for farms when the programmer gave no
+     chunk: amortise the fetch-and-add (tens of cycles) over roughly an
+     order of magnitude more work, bounded so the space still splits *)
+  let auto_chunk loop =
+    let weight = max 1 (Ast_weight.body_weight loop.body) in
+    max 1 (min 32 (600 / weight))
+  in
+  let accept ?(stages = []) ?acc_var ?acc_ty ?chunk ~origin kind =
+    accepted := true;
+    let chunk =
+      match (chunk, kind) with
+      | (Some c, _) -> c
+      | (None, Farm) -> auto_chunk loop
+      | (None, _) -> 1
+    in
+    let exclude = acc_var in
+    let invariants = invariants_of ~globals:st.globals ~env loop ~exclude in
+    let id = st.next_id in
+    st.next_id <- id + 1;
+    st.instances <-
+      { id; kind; origin; in_func = fname; loop_stmt = s; loop; stages;
+        acc_var; acc_ty; invariants; chunk }
+      :: st.instances
+  in
+  let verify_doall_like ~origin kind ?chunk ~trusted () =
+    match
+      doall_safety ~effects:st.effects ~globals:st.globals ~env ~loop ~trusted
+        ()
+    with
+    | None -> accept ~origin ?chunk kind
+    | Some reason -> reject reason
+  in
+  let verify_reduction ~origin =
+    match find_reduction ~env loop with
+    | None -> reject "no reduction accumulator found"
+    | Some (name, ty, op) -> (
+      match
+        doall_safety ~effects:st.effects ~globals:st.globals ~env ~loop
+          ~allow_acc:(Some (name, ty)) ()
+      with
+      | None -> accept ~origin ~acc_var:name ~acc_ty:ty (Reduction op)
+      | Some reason -> reject reason)
+  in
+  let verify_pipeline ~origin ~prodcons ~trusted =
+    let stages = split_stages loop.body in
+    match
+      pipeline_safety ~effects:st.effects ~globals:st.globals ~env ~loop
+        ~trusted stages
+    with
+    | Some reason -> reject reason
+    | None ->
+      let n = List.length stages in
+      if prodcons && n <> 2 then reject "prodcons requires exactly 2 stages"
+      else
+        accept ~origin ~stages
+          (if prodcons then Prodcons else Pipeline n)
+  in
+  (match requested with
+  | Some ("doall", p) ->
+    verify_doall_like ~origin:Annotated Doall
+      ~trusted:(pragma_trusted p.Ast.pargs) ()
+  | Some ("farm", p) ->
+    (match parse_chunk_opt p.Ast.pargs with
+    | Some c ->
+      verify_doall_like ~origin:Annotated Farm ~chunk:c
+        ~trusted:(pragma_trusted p.Ast.pargs) ()
+    | None ->
+      verify_doall_like ~origin:Annotated Farm
+        ~trusted:(pragma_trusted p.Ast.pargs) ())
+  | Some ("reduction", _) -> verify_reduction ~origin:Annotated
+  | Some ("pipeline", p) ->
+    verify_pipeline ~origin:Annotated ~prodcons:false
+      ~trusted:(pragma_trusted p.Ast.pargs)
+  | Some ("prodcons", p) ->
+    verify_pipeline ~origin:Annotated ~prodcons:true
+      ~trusted:(pragma_trusted p.Ast.pargs)
+  | Some (other, _) -> reject (Printf.sprintf "unknown pattern %S" other)
+  | None -> (
+    (* inference: reduction first, then doall/farm; failures are recorded
+       so the detection report explains why a loop stayed sequential *)
+    match find_reduction ~env loop with
+    | Some (name, ty, op) -> (
+      match
+        doall_safety ~effects:st.effects ~globals:st.globals ~env ~loop
+          ~allow_acc:(Some (name, ty)) ()
+      with
+      | None -> accept ~origin:Inferred ~acc_var:name ~acc_ty:ty (Reduction op)
+      | Some reason -> reject reason)
+    | None -> (
+      match
+        doall_safety ~effects:st.effects ~globals:st.globals ~env ~loop ()
+      with
+      | None ->
+        accept ~origin:Inferred
+          (if Accesses.irregular loop.body then Farm else Doall)
+      | Some reason -> reject reason)));
+  !accepted
+
+(** Walk statements maintaining the type environment; only outermost
+    canonical loops are considered (nested loops belong to their parent's
+    body). *)
+let rec walk_stmts st ~fname ~env stmts : tenv =
+  List.fold_left
+    (fun env (s : Ast.stmt) ->
+      (match canonical_loop s with
+      | Some loop ->
+        (* a loop that did not become a pattern may still contain one *)
+        if not (classify st ~fname ~env s loop) then
+          ignore
+            (walk_stmts st ~fname
+               ~env:((loop.iv, Ast.Tint) :: env)
+               loop.body)
+      | None -> (
+        match s.Ast.sdesc with
+        | Ast.If (_, a, b) ->
+          ignore (walk_stmts st ~fname ~env a);
+          ignore (walk_stmts st ~fname ~env b)
+        | Ast.While (_, body) | Ast.For (_, _, _, body) ->
+          ignore (walk_stmts st ~fname ~env body)
+        | Ast.Block body -> ignore (walk_stmts st ~fname ~env body)
+        | Ast.Decl _ | Ast.Assign _ | Ast.Store _ | Ast.Return _ | Ast.Expr _
+          -> ()));
+      match s.Ast.sdesc with
+      | Ast.Decl (ty, name, _) -> (name, ty) :: env
+      | _ -> env)
+    env stmts
+
+let detect (p : Ast.program) : report =
+  let effects = Effects.analyse p in
+  let globals =
+    List.fold_left (fun acc g -> SS.add g.Ast.gname acc) SS.empty p.Ast.globals
+  in
+  let st =
+    { effects; globals; next_id = 0; instances = []; rejections = [];
+      candidates = 0 }
+  in
+  List.iter
+    (fun (f : Ast.func) ->
+      let env = List.map (fun (ty, n) -> (n, ty)) f.Ast.fparams in
+      ignore (walk_stmts st ~fname:f.Ast.fname ~env f.Ast.fbody))
+    p.Ast.funcs;
+  {
+    instances = List.rev st.instances;
+    rejections = List.rev st.rejections;
+    candidate_loops = st.candidates;
+  }

@@ -1,0 +1,49 @@
+(** Design-pattern detection over MiniC programs.
+
+    Candidates are canonical counted loops
+    [for (int i = lo; i < hi; i = i + 1) body].  Annotated loops are
+    {e verified} (a failing annotation is rejected with a reason, never
+    trusted); unannotated loops are classified by inference where the
+    safety analysis can prove independence (doall / reduction / farm).
+    Pipelines must be annotated: the stage split is a design decision.
+
+    The [trust] pragma argument relaxes only the array-index discipline
+    (for block indexing such as [a\[i*16 + k\]]); every other check still
+    applies. *)
+
+module Ast = Lp_lang.Ast
+
+type tenv = (string * Ast.ty) list
+(** In-scope variable types, innermost first (exposed for tests). *)
+
+(** Recognise the canonical counted-loop shape. *)
+val canonical_loop : Ast.stmt -> Pattern.counted_loop option
+
+(** Doall safety analysis; [None] means safe, [Some reason] otherwise.
+    [allow_acc] names a scalar allowed to be written (the reduction
+    accumulator); [trusted] skips the index discipline. *)
+val doall_safety :
+  effects:Effects.t ->
+  globals:Set.Make(String).t ->
+  env:tenv ->
+  loop:Pattern.counted_loop ->
+  ?allow_acc:(string * Ast.ty) option ->
+  ?trusted:bool ->
+  unit ->
+  string option
+
+(** Recognise the loop's reduction statement, if any: [acc = acc + e],
+    [acc = acc ^ e], or the guarded extremum updates
+    [if (x > acc) acc = x;] / [if (x < acc) acc = x;].  The accumulator
+    must not appear anywhere else in the body. *)
+val find_reduction :
+  env:tenv ->
+  Pattern.counted_loop ->
+  (string * Ast.ty * Pattern.reduction_op) option
+
+(** Split a pipeline body at [#pragma lp stage] markers (the first
+    statement opens stage 0). *)
+val split_stages : Ast.stmt list -> Ast.stmt list list
+
+(** Run detection over a type-checked program. *)
+val detect : Ast.program -> Pattern.report

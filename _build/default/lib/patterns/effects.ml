@@ -1,0 +1,157 @@
+(** AST-level side-effect analysis of functions.
+
+    Computes, transitively over the call graph, which globals each
+    function reads and writes and whether it uses runtime intrinsics.
+    The pattern detectors use this to decide whether a call inside a
+    candidate loop is safe to replicate across cores. *)
+
+module Ast = Lp_lang.Ast
+module SS = Set.Make (String)
+
+type effect_set = {
+  reads : SS.t;        (** globals possibly read *)
+  writes : SS.t;       (** globals possibly written *)
+  intrinsics : bool;   (** uses __send/__recv/__barrier/__faa *)
+  unknown_calls : bool;  (** calls a function we cannot resolve *)
+}
+
+let empty =
+  { reads = SS.empty; writes = SS.empty; intrinsics = false; unknown_calls = false }
+
+let union a b =
+  {
+    reads = SS.union a.reads b.reads;
+    writes = SS.union a.writes b.writes;
+    intrinsics = a.intrinsics || b.intrinsics;
+    unknown_calls = a.unknown_calls || b.unknown_calls;
+  }
+
+let is_intrinsic name =
+  List.mem name [ "__send"; "__sendf"; "__recv"; "__recvf"; "__barrier"; "__faa" ]
+
+type t = {
+  globals : SS.t;
+  table : (string, effect_set) Hashtbl.t;
+}
+
+(** Names locally bound (params or decls) shadow globals. *)
+let rec expr_effects t ~locals (e : Ast.expr) : effect_set =
+  match e.Ast.edesc with
+  | Ast.Int_lit _ | Ast.Float_lit _ -> empty
+  | Ast.Var name ->
+    if (not (SS.mem name locals)) && SS.mem name t.globals then
+      { empty with reads = SS.singleton name }
+    else empty
+  | Ast.Index (name, idx) ->
+    let base =
+      if (not (SS.mem name locals)) && SS.mem name t.globals then
+        { empty with reads = SS.singleton name }
+      else empty
+    in
+    union base (expr_effects t ~locals idx)
+  | Ast.Binop (_, a, b) ->
+    union (expr_effects t ~locals a) (expr_effects t ~locals b)
+  | Ast.Unop (_, a) | Ast.Cast (_, a) -> expr_effects t ~locals a
+  | Ast.Call (name, args) ->
+    let arg_eff =
+      List.fold_left
+        (fun acc a -> union acc (expr_effects t ~locals a))
+        empty args
+    in
+    if is_intrinsic name then { arg_eff with intrinsics = true }
+    else (
+      match Hashtbl.find_opt t.table name with
+      | Some fe -> union arg_eff fe
+      | None -> { arg_eff with unknown_calls = true })
+
+let rec stmt_effects t ~locals (s : Ast.stmt) : effect_set * SS.t =
+  match s.Ast.sdesc with
+  | Ast.Decl (_, name, init) ->
+    let eff =
+      match init with Some e -> expr_effects t ~locals e | None -> empty
+    in
+    (eff, SS.add name locals)
+  | Ast.Assign (name, e) ->
+    let w =
+      if (not (SS.mem name locals)) && SS.mem name t.globals then
+        { empty with writes = SS.singleton name }
+      else empty
+    in
+    (union w (expr_effects t ~locals e), locals)
+  | Ast.Store (name, idx, e) ->
+    let w =
+      if (not (SS.mem name locals)) && SS.mem name t.globals then
+        { empty with writes = SS.singleton name }
+      else empty
+    in
+    ( union w (union (expr_effects t ~locals idx) (expr_effects t ~locals e)),
+      locals )
+  | Ast.If (c, a, b) ->
+    let eff_c = expr_effects t ~locals c in
+    (union eff_c (union (body_effects t ~locals a) (body_effects t ~locals b)), locals)
+  | Ast.While (c, body) ->
+    (union (expr_effects t ~locals c) (body_effects t ~locals body), locals)
+  | Ast.For (init, c, step, body) ->
+    let (eff_i, locals') = stmt_effects t ~locals init in
+    let eff =
+      union eff_i
+        (union
+           (expr_effects t ~locals:locals' c)
+           (union
+              (fst (stmt_effects t ~locals:locals' step))
+              (body_effects t ~locals:locals' body)))
+    in
+    (eff, locals)
+  | Ast.Return (Some e) | Ast.Expr e -> (expr_effects t ~locals e, locals)
+  | Ast.Return None -> (empty, locals)
+  | Ast.Block body -> (body_effects t ~locals body, locals)
+
+and body_effects t ~locals (body : Ast.stmt list) : effect_set =
+  let (eff, _) =
+    List.fold_left
+      (fun (acc, locals) s ->
+        let (e, locals') = stmt_effects t ~locals s in
+        (union acc e, locals'))
+      (empty, locals) body
+  in
+  eff
+
+(** Build the transitive effect table for a program. *)
+let analyse (p : Ast.program) : t =
+  let globals =
+    List.fold_left (fun acc g -> SS.add g.Ast.gname acc) SS.empty p.Ast.globals
+  in
+  let t = { globals; table = Hashtbl.create 16 } in
+  List.iter (fun f -> Hashtbl.replace t.table f.Ast.fname empty) p.Ast.funcs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Ast.func) ->
+        let locals =
+          List.fold_left (fun acc (_, n) -> SS.add n acc) SS.empty f.Ast.fparams
+        in
+        let eff = body_effects t ~locals f.Ast.fbody in
+        let old = Hashtbl.find t.table f.Ast.fname in
+        if
+          not
+            (SS.equal old.reads eff.reads
+            && SS.equal old.writes eff.writes
+            && old.intrinsics = eff.intrinsics
+            && old.unknown_calls = eff.unknown_calls)
+        then begin
+          Hashtbl.replace t.table f.Ast.fname eff;
+          changed := true
+        end)
+      p.Ast.funcs
+  done;
+  t
+
+let func_effects t name =
+  match Hashtbl.find_opt t.table name with Some e -> e | None -> empty
+
+(** A call inside a replicated loop body is safe if the callee (and its
+    callees) write no global and use no intrinsic. *)
+let call_replicable t name =
+  let e = func_effects t name in
+  SS.is_empty e.writes && (not e.intrinsics) && not e.unknown_calls

@@ -1,0 +1,87 @@
+(** The low-power design-pattern catalog.
+
+    Each pattern is both a parallel structure (how the loop maps onto
+    cores) and a power structure (what idleness it exposes for the
+    power-management passes):
+
+    - {b Doall}: independent iterations, static block distribution; the
+      power hook is per-core component gating (each slice only exercises
+      the components its code needs).
+    - {b Reduction}: doall plus a privatisable accumulator combined by the
+      master.
+    - {b Farm} (master/worker with self-scheduling): irregular iterations
+      pulled from a shared counter; the power hook is that starved workers
+      idle at the counter rather than spinning on work.
+    - {b Pipeline}: stages on dedicated cores connected by token channels;
+      the power hook is stage balancing — non-bottleneck stages are
+      DVFS-ed down to the bottleneck's service rate.
+    - {b Prodcons}: the two-stage specialisation of pipeline (producer /
+      consumer through a bounded buffer). *)
+
+module Ast = Lp_lang.Ast
+
+type reduction_op = Rsum_int | Rsum_float | Rxor | Rmax | Rmin
+(** Supported reduction combiners: [+] on int/float, [^] on int, and
+    guarded max/min updates ([if (x > acc) acc = x;]) on int. *)
+
+type kind =
+  | Doall
+  | Reduction of reduction_op
+  | Farm
+  | Pipeline of int  (** number of stages *)
+  | Prodcons
+
+let kind_name = function
+  | Doall -> "doall"
+  | Reduction Rsum_int -> "reduction(+)"
+  | Reduction Rsum_float -> "reduction(+f)"
+  | Reduction Rxor -> "reduction(^)"
+  | Reduction Rmax -> "reduction(max)"
+  | Reduction Rmin -> "reduction(min)"
+  | Farm -> "farm"
+  | Pipeline n -> Printf.sprintf "pipeline(%d)" n
+  | Prodcons -> "prodcons"
+
+(** Canonical counted loop recognised by the detectors:
+    [for (int iv = lo; iv < hi; iv = iv + 1) body]. *)
+type counted_loop = {
+  iv : string;
+  lo : Ast.expr;
+  hi : Ast.expr;
+  body : Ast.stmt list;
+  loop_pragmas : Ast.pragma list;
+}
+
+type origin = Annotated | Inferred
+
+(** A pattern instance found in a function. *)
+type instance = {
+  id : int;                       (** unique per compilation *)
+  kind : kind;
+  origin : origin;
+  in_func : string;
+  loop_stmt : Ast.stmt;           (** the For statement (physical identity,
+                                      used by the parallelizer to find the
+                                      site to rewrite) *)
+  loop : counted_loop;
+  stages : Ast.stmt list list;    (** pipeline/prodcons stage bodies *)
+  acc_var : string option;        (** reduction accumulator *)
+  acc_ty : Ast.ty option;
+  invariants : (string * Ast.ty) list;
+      (** read-only scalars the body needs, to be shipped to workers *)
+  chunk : int;                    (** farm chunk size *)
+}
+
+(** Why a candidate loop was rejected — surfaced in the detection report
+    (table T2). *)
+type rejection = {
+  rej_func : string;
+  rej_reason : string;
+  rej_requested : string option;  (** the annotated pattern, if any *)
+}
+
+type report = {
+  instances : instance list;
+  rejections : rejection list;
+  candidate_loops : int;  (** canonical counted loops examined *)
+}

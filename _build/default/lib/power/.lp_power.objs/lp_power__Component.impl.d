@@ -1,0 +1,1 @@
+lib/power/component.ml: Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/power/energy_ledger.ml: Array Component Format Hashtbl List Printf String

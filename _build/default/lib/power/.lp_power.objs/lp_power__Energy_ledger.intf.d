@@ -1,0 +1,1 @@
+lib/power/energy_ledger.mli: Component Format

@@ -1,0 +1,1 @@
+lib/power/operating_point.ml: List Printf

@@ -1,0 +1,94 @@
+(** Gateable datapath components of an embedded core.
+
+    Power gating in this reproduction follows the component-activity model
+    of the NTHU compiler line: the unit of gating is a function unit of the
+    core, not the whole core.  Every IR instruction declares which
+    component executes it; the compiler's component-activity analysis finds
+    idle windows and brackets them with [pg_off]/[pg_on]. *)
+
+type t =
+  | Alu            (** integer add/sub/logic/compare; never gated (always live) *)
+  | Multiplier     (** integer multiply *)
+  | Divider        (** integer divide/modulo *)
+  | Mac            (** multiply-accumulate unit *)
+  | Shifter        (** barrel shifter *)
+  | Load_store     (** memory port *)
+  | Branch_unit    (** control transfer *)
+  | Fpu            (** floating point unit *)
+
+let all = [ Alu; Multiplier; Divider; Mac; Shifter; Load_store; Branch_unit; Fpu ]
+
+let count = List.length all
+
+let index = function
+  | Alu -> 0
+  | Multiplier -> 1
+  | Divider -> 2
+  | Mac -> 3
+  | Shifter -> 4
+  | Load_store -> 5
+  | Branch_unit -> 6
+  | Fpu -> 7
+
+let of_index = function
+  | 0 -> Alu
+  | 1 -> Multiplier
+  | 2 -> Divider
+  | 3 -> Mac
+  | 4 -> Shifter
+  | 5 -> Load_store
+  | 6 -> Branch_unit
+  | 7 -> Fpu
+  | i -> invalid_arg (Printf.sprintf "Component.of_index: %d" i)
+
+let to_string = function
+  | Alu -> "alu"
+  | Multiplier -> "mul"
+  | Divider -> "div"
+  | Mac -> "mac"
+  | Shifter -> "shift"
+  | Load_store -> "ldst"
+  | Branch_unit -> "br"
+  | Fpu -> "fpu"
+
+let of_string = function
+  | "alu" -> Alu
+  | "mul" -> Multiplier
+  | "div" -> Divider
+  | "mac" -> Mac
+  | "shift" -> Shifter
+  | "ldst" -> Load_store
+  | "br" -> Branch_unit
+  | "fpu" -> Fpu
+  | s -> invalid_arg ("Component.of_string: " ^ s)
+
+(** Components that the compiler is allowed to gate.  The ALU and branch
+    unit execute the gating/control instructions themselves, so gating them
+    would deadlock the core; they are excluded, matching the usual
+    restriction in component-level power-gating work. *)
+let gateable = function
+  | Alu | Branch_unit -> false
+  | Multiplier | Divider | Mac | Shifter | Load_store | Fpu -> true
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+(** Sets of components, used pervasively by the activity analysis. *)
+module Set = struct
+  include Stdlib.Set.Make (struct
+    type nonrec t = t
+    let compare a b = compare (index a) (index b)
+  end)
+
+  let all_gateable =
+    List.fold_left
+      (fun acc c -> if gateable c then add c acc else acc)
+      empty all
+
+  let to_string s =
+    "{" ^ String.concat "," (List.map to_string (elements s)) ^ "}"
+end
+
+module Map = Stdlib.Map.Make (struct
+  type nonrec t = t
+  let compare a b = compare (index a) (index b)
+end)

@@ -1,0 +1,86 @@
+(** Energy accounting during simulation.
+
+    The ledger tracks energy in nanojoules, broken down along two axes:
+    by category (what the energy was spent on) and by component.  The
+    benchmark harness uses the category breakdown for the energy-breakdown
+    figure (F3) and the total for every energy table. *)
+
+type category =
+  | Dynamic          (** executing instructions *)
+  | Leakage_active   (** leakage while the core is executing *)
+  | Leakage_idle     (** leakage while the core is stalled/blocked *)
+  | Gating_overhead  (** pg_on / pg_off transition energy *)
+  | Dvfs_overhead    (** DVFS transition energy *)
+  | Communication    (** bus transfers, channel operations *)
+
+let all_categories =
+  [ Dynamic; Leakage_active; Leakage_idle; Gating_overhead; Dvfs_overhead;
+    Communication ]
+
+let category_to_string = function
+  | Dynamic -> "dynamic"
+  | Leakage_active -> "leak-active"
+  | Leakage_idle -> "leak-idle"
+  | Gating_overhead -> "gate-ovh"
+  | Dvfs_overhead -> "dvfs-ovh"
+  | Communication -> "comm"
+
+type t = {
+  by_category : (category, float ref) Hashtbl.t;
+  by_component : float array; (* indexed by Component.index *)
+  mutable total : float;
+}
+
+let create () =
+  let by_category = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace by_category c (ref 0.0)) all_categories;
+  { by_category; by_component = Array.make Component.count 0.0; total = 0.0 }
+
+let charge t ~category ?component nj =
+  if nj < 0.0 then invalid_arg "Energy_ledger.charge: negative energy";
+  (match Hashtbl.find_opt t.by_category category with
+  | Some r -> r := !r +. nj
+  | None ->
+    let r = ref nj in
+    Hashtbl.replace t.by_category category r);
+  (match component with
+  | Some c ->
+    let i = Component.index c in
+    t.by_component.(i) <- t.by_component.(i) +. nj
+  | None -> ());
+  t.total <- t.total +. nj
+
+let total t = t.total
+
+let of_category t category =
+  match Hashtbl.find_opt t.by_category category with
+  | Some r -> !r
+  | None -> 0.0
+
+let of_component t c = t.by_component.(Component.index c)
+
+(** Merge [src] into [dst] (used to aggregate per-core ledgers into a
+    machine-wide ledger). *)
+let merge_into ~dst ~src =
+  List.iter
+    (fun cat ->
+      let e = of_category src cat in
+      if e > 0.0 then charge dst ~category:cat e)
+    all_categories;
+  (* Component breakdown merged separately to avoid double-charging total. *)
+  Array.iteri
+    (fun i e -> dst.by_component.(i) <- dst.by_component.(i) +. e)
+    src.by_component
+
+let breakdown t =
+  List.map (fun c -> (c, of_category t c)) all_categories
+
+let pp fmt t =
+  Format.fprintf fmt "total=%.1fnJ [%s]" t.total
+    (String.concat "; "
+       (List.filter_map
+          (fun (c, e) ->
+            if e > 0.0 then
+              Some (Printf.sprintf "%s=%.1f" (category_to_string c) e)
+            else None)
+          (breakdown t)))

@@ -1,0 +1,33 @@
+(** Energy accounting (nanojoules), broken down by spending category and
+    by datapath component. *)
+
+type category =
+  | Dynamic          (** executing instructions *)
+  | Leakage_active   (** leakage while the core executes *)
+  | Leakage_idle     (** leakage while blocked / after halting *)
+  | Gating_overhead  (** pg_on / pg_off transition energy *)
+  | Dvfs_overhead    (** DVFS transition energy *)
+  | Communication    (** bus transfers, channel operations *)
+
+val all_categories : category list
+val category_to_string : category -> string
+
+type t
+
+val create : unit -> t
+
+(** Add [nj] nanojoules under [category] (and optionally attributed to a
+    component).  Raises [Invalid_argument] on negative energy. *)
+val charge : t -> category:category -> ?component:Component.t -> float -> unit
+
+val total : t -> float
+val of_category : t -> category -> float
+val of_component : t -> Component.t -> float
+
+(** Accumulate [src] into [dst] (used to aggregate per-core ledgers). *)
+val merge_into : dst:t -> src:t -> unit
+
+(** All categories with their totals, in [all_categories] order. *)
+val breakdown : t -> (category * float) list
+
+val pp : Format.formatter -> t -> unit

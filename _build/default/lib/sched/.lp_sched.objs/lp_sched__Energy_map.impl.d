@@ -1,0 +1,1 @@
+lib/sched/energy_map.ml: Array Float Fun List List_sched Lp_machine Lp_power Taskgraph

@@ -1,0 +1,1 @@
+lib/sched/energy_map.mli: List_sched Lp_machine Lp_power Taskgraph

@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Array Float Fun Hashtbl List Lp_machine Option Printf Taskgraph

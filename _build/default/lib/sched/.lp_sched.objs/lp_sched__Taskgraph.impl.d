@@ -1,0 +1,1 @@
+lib/sched/taskgraph.ml: Array Float Fun List Lp_power Printf

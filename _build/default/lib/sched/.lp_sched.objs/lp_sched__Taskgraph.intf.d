@@ -1,0 +1,1 @@
+lib/sched/taskgraph.mli: Lp_power

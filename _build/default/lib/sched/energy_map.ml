@@ -1,0 +1,155 @@
+(** Energy-aware refinement of a static schedule.
+
+    Given a list schedule and a deadline (typically the makespan padded by
+    an allowed slack), assign each task the energy-minimal operating point
+    that keeps every path within the deadline.  This is the task-graph
+    counterpart of the pipeline balancing pass: slack anywhere in the
+    schedule is converted into voltage reduction.
+
+    The estimate model matches the simulator: stretching a task at point
+    [p] scales only the compute fraction ([1 - mem_fraction]); dynamic
+    energy scales with [v^2]; leakage of the task's components accrues
+    over its (stretched) duration. *)
+
+module Machine = Lp_machine.Machine
+module Power_model = Lp_power.Power_model
+module Operating_point = Lp_power.Operating_point
+module Component = Lp_power.Component
+
+type assignment = {
+  atask : int;
+  level : int;
+  stretched_cycles : float;
+}
+
+type result = {
+  assignments : assignment array;
+  baseline_energy_nj : float;   (** everything at nominal *)
+  scaled_energy_nj : float;     (** with the chosen levels *)
+  deadline_cycles : float;
+}
+
+let stretch (pm : Power_model.t) (tk : Taskgraph.task) (p : Operating_point.t) =
+  let nominal = Power_model.nominal pm in
+  let mu = tk.Taskgraph.mem_fraction in
+  tk.Taskgraph.work_cycles
+  *. (((1.0 -. mu)
+       *. (nominal.Operating_point.freq_mhz /. p.Operating_point.freq_mhz))
+      +. mu)
+
+(** Estimated energy of one task at point [p]: dynamic (approximated as
+    one op per cycle on its dominant components) plus leakage of its
+    components over the stretched duration. *)
+let task_energy (m : Machine.t) (tk : Taskgraph.task) (p : Operating_point.t) =
+  let pm = m.Machine.power in
+  let ns = Operating_point.ns_of_cycles p (int_of_float (stretch pm tk p)) in
+  let dyn =
+    Power_model.dynamic_energy pm ~comp:Component.Alu ~point:p
+      ~ops:(int_of_float tk.Taskgraph.work_cycles)
+  in
+  let leak =
+    Component.Set.fold
+      (fun c acc -> acc +. Power_model.leakage_energy pm ~comp:c ~point:p ~ns)
+      tk.Taskgraph.components 0.0
+  in
+  dyn +. leak
+
+(** Longest path through the schedule if each task takes
+    [duration tid] cycles, respecting the schedule's core assignment
+    order and dependencies. *)
+let path_length (s : List_sched.schedule) (duration : int -> float) : float =
+  let g = s.List_sched.graph in
+  let order = Taskgraph.topo_order g in
+  let finish = Array.make (Taskgraph.n_tasks g) 0.0 in
+  (* also respect same-core ordering from the original schedule *)
+  let same_core_pred tid =
+    let p = s.List_sched.placements.(tid) in
+    Array.to_list s.List_sched.placements
+    |> List.filter (fun q ->
+           q.List_sched.core = p.List_sched.core
+           && q.List_sched.finish_cycles <= p.List_sched.start_cycles +. 1e-9
+           && q.List_sched.ptask <> tid)
+    |> List.map (fun q -> q.List_sched.ptask)
+  in
+  List.iter
+    (fun v ->
+      let ready_deps =
+        List.fold_left
+          (fun acc (e : Taskgraph.edge) ->
+            let extra =
+              if
+                s.List_sched.placements.(e.Taskgraph.src).List_sched.core
+                = s.List_sched.placements.(v).List_sched.core
+              then 0.0
+              else List_sched.comm_cycles s.List_sched.machine e.Taskgraph.words
+            in
+            Float.max acc (finish.(e.Taskgraph.src) +. extra))
+          0.0 (Taskgraph.preds g v)
+      in
+      let ready_core =
+        List.fold_left
+          (fun acc q -> Float.max acc finish.(q))
+          0.0 (same_core_pred v)
+      in
+      finish.(v) <- Float.max ready_deps ready_core +. duration v)
+    order;
+  Array.fold_left Float.max 0.0 finish
+
+(** Greedy slack reclamation: visit tasks in decreasing work order and
+    move each to its energy-minimal deadline-feasible level. *)
+let run ~(slack : float) (s : List_sched.schedule) : result =
+  let m = s.List_sched.machine in
+  let pm = m.Machine.power in
+  let g = s.List_sched.graph in
+  let n = Taskgraph.n_tasks g in
+  let nominal = Power_model.nominal pm in
+  let deadline = s.List_sched.makespan_cycles *. (1.0 +. slack) in
+  let levels = Array.make n nominal.Operating_point.level in
+  let duration tid =
+    stretch pm (Taskgraph.task g tid) (Power_model.point pm levels.(tid))
+  in
+  let order =
+    List.sort
+      (fun a b ->
+        compare
+          (Taskgraph.task g b).Taskgraph.work_cycles
+          (Taskgraph.task g a).Taskgraph.work_cycles)
+      (List.init n Fun.id)
+  in
+  List.iter
+    (fun v ->
+      (* among deadline-feasible levels, pick the energy-minimal one: the
+         slowest point is not always best, because leakage accrues over
+         the stretched duration *)
+      let tk = Taskgraph.task g v in
+      let best = ref None in
+      List.iter
+        (fun (p : Operating_point.t) ->
+          let saved = levels.(v) in
+          levels.(v) <- p.Operating_point.level;
+          if path_length s duration <= deadline then begin
+            let e = task_energy m tk p in
+            match !best with
+            | Some (_, be) when be <= e -> ()
+            | _ -> best := Some (p.Operating_point.level, e)
+          end;
+          levels.(v) <- saved)
+        (Power_model.points pm);
+      match !best with
+      | Some (lvl, _) -> levels.(v) <- lvl
+      | None -> ())
+    order;
+  let energy_at lv_of =
+    List.fold_left
+      (fun acc v ->
+        acc +. task_energy m (Taskgraph.task g v) (Power_model.point pm (lv_of v)))
+      0.0 (List.init n Fun.id)
+  in
+  {
+    assignments =
+      Array.init n (fun v ->
+          { atask = v; level = levels.(v); stretched_cycles = duration v });
+    baseline_energy_nj = energy_at (fun _ -> nominal.Operating_point.level);
+    scaled_energy_nj = energy_at (fun v -> levels.(v));
+    deadline_cycles = deadline;
+  }

@@ -1,0 +1,36 @@
+(** Energy-aware refinement of a static schedule: convert slack under a
+    deadline into lower per-task operating points (the task-graph
+    counterpart of pipeline stage balancing). *)
+
+module Machine = Lp_machine.Machine
+module Operating_point = Lp_power.Operating_point
+
+type assignment = {
+  atask : int;
+  level : int;               (** chosen operating level *)
+  stretched_cycles : float;  (** duration at that level *)
+}
+
+type result = {
+  assignments : assignment array;  (** indexed by task id *)
+  baseline_energy_nj : float;      (** estimate with everything nominal *)
+  scaled_energy_nj : float;        (** estimate with the chosen levels *)
+  deadline_cycles : float;
+}
+
+(** Estimated duration of a task at an operating point (only the compute
+    fraction stretches). *)
+val stretch :
+  Lp_power.Power_model.t -> Taskgraph.task -> Operating_point.t -> float
+
+(** Estimated energy of one task at a point (dynamic + component leakage
+    over the stretched duration). *)
+val task_energy : Machine.t -> Taskgraph.task -> Operating_point.t -> float
+
+(** Longest path through the schedule under per-task durations,
+    respecting both graph edges and same-core ordering. *)
+val path_length : List_sched.schedule -> (int -> float) -> float
+
+(** [run ~slack s]: deadline = makespan * (1 + slack); each task (heaviest
+    first) moves to its energy-minimal deadline-feasible level. *)
+val run : slack:float -> List_sched.schedule -> result

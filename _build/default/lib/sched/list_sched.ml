@@ -1,0 +1,122 @@
+(** HEFT-style list scheduling of a task graph onto a homogeneous
+    multicore machine.
+
+    Tasks are considered in decreasing upward rank; each is placed on the
+    core that minimises its finish time, accounting for inter-core data
+    transfers over the machine's links (intra-core edges are free).  The
+    result is costed in nominal-frequency cycles, comparable with the
+    simulator's timing model. *)
+
+module Machine = Lp_machine.Machine
+
+type placement = {
+  ptask : int;
+  core : int;
+  start_cycles : float;
+  finish_cycles : float;
+}
+
+type schedule = {
+  graph : Taskgraph.t;
+  machine : Machine.t;
+  placements : placement array;  (** indexed by task id *)
+  makespan_cycles : float;
+}
+
+let comm_cycles (m : Machine.t) words =
+  float_of_int (m.Machine.bus_latency_cycles + (words * m.Machine.bus_word_cycles))
+
+let placement s tid = s.placements.(tid)
+
+let run ~(machine : Machine.t) (g : Taskgraph.t) : schedule =
+  let n = Taskgraph.n_tasks g in
+  let n_cores = machine.Machine.n_cores in
+  let ranks = Taskgraph.upward_ranks g in
+  (* priority order: decreasing rank, but never scheduling a task before
+     its predecessors (rank order guarantees it for acyclic graphs) *)
+  let order =
+    List.sort
+      (fun a b -> compare (ranks.(b), a) (ranks.(a), b))
+      (List.init n Fun.id)
+  in
+  let core_free = Array.make n_cores 0.0 in
+  let placements = Array.make n { ptask = 0; core = 0; start_cycles = 0.0; finish_cycles = 0.0 } in
+  let placed = Array.make n false in
+  List.iter
+    (fun v ->
+      let tk = Taskgraph.task g v in
+      (* earliest start on each core: predecessors must have finished,
+         plus transfer time if they ran elsewhere *)
+      let best = ref None in
+      for c = 0 to n_cores - 1 do
+        let ready =
+          List.fold_left
+            (fun acc (e : Taskgraph.edge) ->
+              if not placed.(e.Taskgraph.src) then
+                invalid_arg "List_sched: predecessor not yet placed";
+              let p = placements.(e.Taskgraph.src) in
+              let arrival =
+                p.finish_cycles
+                +. (if p.core = c then 0.0 else comm_cycles machine e.Taskgraph.words)
+              in
+              Float.max acc arrival)
+            0.0 (Taskgraph.preds g v)
+        in
+        let start = Float.max ready core_free.(c) in
+        let finish = start +. tk.Taskgraph.work_cycles in
+        match !best with
+        | Some (_, _, bf) when bf <= finish -> ()
+        | _ -> best := Some (c, start, finish)
+      done;
+      (match !best with
+      | Some (c, start, finish) ->
+        placements.(v) <- { ptask = v; core = c; start_cycles = start; finish_cycles = finish };
+        core_free.(c) <- finish;
+        placed.(v) <- true
+      | None -> invalid_arg "List_sched: machine has no cores"))
+    order;
+  let makespan =
+    Array.fold_left (fun acc p -> Float.max acc p.finish_cycles) 0.0 placements
+  in
+  { graph = g; machine; placements; makespan_cycles = makespan }
+
+(** Validity check used by tests: dependencies respected, no core runs
+    two tasks at once. *)
+let validate (s : schedule) : unit =
+  let g = s.graph in
+  List.iter
+    (fun (e : Taskgraph.edge) ->
+      let p = s.placements.(e.Taskgraph.src) in
+      let q = s.placements.(e.Taskgraph.dst) in
+      let needed =
+        p.finish_cycles
+        +. (if p.core = q.core then 0.0 else comm_cycles s.machine e.Taskgraph.words)
+      in
+      if q.start_cycles +. 1e-9 < needed then
+        invalid_arg
+          (Printf.sprintf "dependency %d->%d violated" e.Taskgraph.src
+             e.Taskgraph.dst))
+    g.Taskgraph.edges;
+  let by_core = Hashtbl.create 8 in
+  Array.iter
+    (fun p ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_core p.core) in
+      Hashtbl.replace by_core p.core (p :: cur))
+    s.placements;
+  Hashtbl.iter
+    (fun _ ps ->
+      let sorted = List.sort (fun a b -> compare a.start_cycles b.start_cycles) ps in
+      ignore
+        (List.fold_left
+           (fun prev_finish p ->
+             if p.start_cycles +. 1e-9 < prev_finish then
+               invalid_arg "core overlap";
+             p.finish_cycles)
+           0.0 sorted))
+    by_core
+
+(** Number of cores that actually received work. *)
+let cores_used (s : schedule) =
+  Array.to_list s.placements
+  |> List.map (fun p -> p.core)
+  |> List.sort_uniq compare |> List.length

@@ -1,0 +1,32 @@
+(** HEFT-style list scheduling onto a homogeneous multicore: tasks in
+    decreasing upward-rank order, each placed on the core minimising its
+    finish time, inter-core edges paying link transfer time. *)
+
+module Machine = Lp_machine.Machine
+
+type placement = {
+  ptask : int;
+  core : int;
+  start_cycles : float;
+  finish_cycles : float;
+}
+
+type schedule = {
+  graph : Taskgraph.t;
+  machine : Machine.t;
+  placements : placement array;  (** indexed by task id *)
+  makespan_cycles : float;
+}
+
+(** Transfer cost of [words] over the interconnect, in nominal cycles. *)
+val comm_cycles : Machine.t -> int -> float
+
+val placement : schedule -> int -> placement
+
+val run : machine:Machine.t -> Taskgraph.t -> schedule
+
+(** Raises [Invalid_argument] if dependencies are violated or a core
+    runs two tasks at once — used by tests. *)
+val validate : schedule -> unit
+
+val cores_used : schedule -> int

@@ -1,0 +1,150 @@
+(** Static task graphs.
+
+    The pattern parallelizer handles the regular cases (doall slices,
+    farm chunks, pipeline stages); this module is the substrate for the
+    general case — an explicit DAG of tasks with data edges — as used by
+    offline mapping flows for embedded multicores.  Tasks carry the same
+    static metrics the estimator produces for IR (work cycles, memory
+    fraction, component usage), so a schedule can be costed with the same
+    power model the simulator uses. *)
+
+module Component = Lp_power.Component
+
+type task = {
+  tid : int;
+  tname : string;
+  work_cycles : float;     (** nominal-frequency compute estimate *)
+  mem_fraction : float;    (** frequency-independent share, as in Est *)
+  components : Component.Set.t;  (** datapath components the task needs *)
+}
+
+type edge = {
+  src : int;
+  dst : int;
+  words : int;  (** data transferred when src and dst map to different cores *)
+}
+
+type t = {
+  tasks : task array;  (** indexed by [tid] *)
+  edges : edge list;
+}
+
+exception Invalid_graph of string
+
+let task t tid =
+  if tid < 0 || tid >= Array.length t.tasks then
+    raise (Invalid_graph (Printf.sprintf "unknown task %d" tid));
+  t.tasks.(tid)
+
+let preds t tid = List.filter (fun e -> e.dst = tid) t.edges
+let succs t tid = List.filter (fun e -> e.src = tid) t.edges
+
+(** Build and validate a graph: ids must be dense, edges in range, and
+    the graph must be acyclic. *)
+let create ~(tasks : task list) ~(edges : edge list) : t =
+  let arr = Array.of_list tasks in
+  Array.iteri
+    (fun i tk ->
+      if tk.tid <> i then
+        raise (Invalid_graph (Printf.sprintf "task ids must be dense (got %d at %d)" tk.tid i)))
+    arr;
+  let n = Array.length arr in
+  List.iter
+    (fun e ->
+      if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
+        raise (Invalid_graph "edge endpoint out of range");
+      if e.src = e.dst then raise (Invalid_graph "self edge"))
+    edges;
+  let g = { tasks = arr; edges } in
+  (* cycle check via DFS colouring *)
+  let colour = Array.make n 0 in
+  let rec visit v =
+    match colour.(v) with
+    | 1 -> raise (Invalid_graph "task graph has a cycle")
+    | 2 -> ()
+    | _ ->
+      colour.(v) <- 1;
+      List.iter (fun e -> visit e.dst) (succs g v);
+      colour.(v) <- 2
+  in
+  for v = 0 to n - 1 do visit v done;
+  g
+
+let n_tasks t = Array.length t.tasks
+
+(** Topological order (sources first, stable by id among ready tasks). *)
+let topo_order (t : t) : int list =
+  let n = n_tasks t in
+  let indeg = Array.make n 0 in
+  List.iter (fun e -> indeg.(e.dst) <- indeg.(e.dst) + 1) t.edges;
+  let order = ref [] in
+  let ready = ref (List.filter (fun v -> indeg.(v) = 0) (List.init n Fun.id)) in
+  while !ready <> [] do
+    match !ready with
+    | [] -> ()
+    | v :: rest ->
+      ready := rest;
+      order := v :: !order;
+      List.iter
+        (fun e ->
+          indeg.(e.dst) <- indeg.(e.dst) - 1;
+          if indeg.(e.dst) = 0 then ready := e.dst :: !ready)
+        (succs t v)
+  done;
+  if List.length !order <> n then raise (Invalid_graph "cycle in topo sort");
+  List.rev !order
+
+(** Serial execution time: the sum of all task works (cycles). *)
+let serial_cycles t =
+  Array.fold_left (fun acc tk -> acc +. tk.work_cycles) 0.0 t.tasks
+
+(** Upward rank (critical-path length from the task to any sink),
+    communication ignored — the classic HEFT tie-breaker. *)
+let upward_ranks (t : t) : float array =
+  let n = n_tasks t in
+  let rank = Array.make n (-1.0) in
+  let order = List.rev (topo_order t) in
+  List.iter
+    (fun v ->
+      let succ_max =
+        List.fold_left
+          (fun acc e -> Float.max acc rank.(e.dst))
+          0.0 (succs t v)
+      in
+      rank.(v) <- (task t v).work_cycles +. succ_max)
+    order;
+  rank
+
+(* ------------------------------------------------------------------ *)
+(* Convenience constructors used by tests and demos                    *)
+(* ------------------------------------------------------------------ *)
+
+let mk_task ~tid ~name ~work ?(mem_fraction = 0.1)
+    ?(components = Component.Set.singleton Component.Alu) () =
+  { tid; tname = name; work_cycles = work; mem_fraction; components }
+
+(** A fork-join graph: one source, [width] parallel workers, one sink. *)
+let fork_join ~width ~work =
+  let src = mk_task ~tid:0 ~name:"fork" ~work:(work /. 10.0) () in
+  let workers =
+    List.init width (fun i ->
+        mk_task ~tid:(i + 1) ~name:(Printf.sprintf "w%d" i) ~work ())
+  in
+  let sink = mk_task ~tid:(width + 1) ~name:"join" ~work:(work /. 10.0) () in
+  let edges =
+    List.concat_map
+      (fun i -> [ { src = 0; dst = i + 1; words = 4 };
+                  { src = i + 1; dst = width + 1; words = 4 } ])
+      (List.init width Fun.id)
+  in
+  create ~tasks:((src :: workers) @ [ sink ]) ~edges
+
+(** A linear chain of [n] tasks (a pipeline unrolled for one item). *)
+let chain ~n ~work =
+  let tasks =
+    List.init n (fun i -> mk_task ~tid:i ~name:(Printf.sprintf "s%d" i) ~work ())
+  in
+  let edges =
+    List.init (n - 1) (fun i -> { src = i; dst = i + 1; words = 8 })
+  in
+  create ~tasks ~edges

@@ -1,0 +1,47 @@
+(** Static task graphs: the substrate for offline mapping of general
+    DAG-structured work onto the machine, costed with the same metrics
+    the IR estimator produces (work cycles, memory fraction, component
+    usage). *)
+
+module Component = Lp_power.Component
+
+type task = {
+  tid : int;
+  tname : string;
+  work_cycles : float;
+  mem_fraction : float;
+  components : Component.Set.t;
+}
+
+type edge = { src : int; dst : int; words : int }
+
+type t = { tasks : task array; edges : edge list }
+
+exception Invalid_graph of string
+
+(** Build and validate: ids dense, edges in range, acyclic. *)
+val create : tasks:task list -> edges:edge list -> t
+
+val task : t -> int -> task
+val preds : t -> int -> edge list
+val succs : t -> int -> edge list
+val n_tasks : t -> int
+
+(** Topological order, sources first. *)
+val topo_order : t -> int list
+
+(** Sum of all task works. *)
+val serial_cycles : t -> float
+
+(** Critical-path length from each task to any sink (HEFT priority). *)
+val upward_ranks : t -> float array
+
+val mk_task :
+  tid:int -> name:string -> work:float -> ?mem_fraction:float ->
+  ?components:Component.Set.t -> unit -> task
+
+(** One source, [width] parallel workers, one sink. *)
+val fork_join : width:int -> work:float -> t
+
+(** A linear dependence chain of [n] tasks. *)
+val chain : n:int -> work:float -> t

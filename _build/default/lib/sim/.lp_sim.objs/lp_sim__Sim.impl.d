@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Float Format Hashtbl List Lp_ir Lp_machine Lp_power Lp_util Option Printf Queue String Value

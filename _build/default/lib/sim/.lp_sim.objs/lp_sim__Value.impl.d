@@ -1,0 +1,1 @@
+lib/sim/value.ml: Float Format Lp_ir Lp_util Printf

@@ -1,0 +1,774 @@
+(** Cycle/energy simulator for IR programs on an embedded multicore
+    machine model.
+
+    Each core interprets its entry function with a private call stack and
+    local time line (nanoseconds).  Cores interact through blocking
+    channels, barriers and shared memory; all shared traffic is serialised
+    on one bus whose occupancy creates contention.  Power state is
+    simulated faithfully: per-component power gating (gated components
+    leak nothing; using a gated component triggers an implicit wakeup
+    penalty and is counted as a compiler bug), and per-core DVFS (compute
+    cycles stretch with frequency, while bus and shared-memory time is
+    frequency-independent — which is what makes DVFS profitable on
+    memory-bound regions). *)
+
+module Ir = Lp_ir.Ir
+module Prog = Lp_ir.Prog
+module Component = Lp_power.Component
+module Power_model = Lp_power.Power_model
+module Operating_point = Lp_power.Operating_point
+module Energy_ledger = Lp_power.Energy_ledger
+module Machine = Lp_machine.Machine
+
+exception Deadlock of string
+exception Step_limit_exceeded
+
+type frame = {
+  func : Prog.func;
+  regs : Value.t array;
+  fmem : (string, Value.t array) Hashtbl.t;
+  mutable block : Ir.label;
+  mutable idx : int;
+  mutable pending_dst : Ir.reg option;
+  mutable cached_bid : Ir.label;          (** instruction-array cache *)
+  mutable cached_instrs : Ir.instr array;
+}
+
+type status =
+  | Ready
+  | Blocked_send of int * Value.t
+  | Blocked_recv of int * Ir.reg * Ir.ty
+  | Blocked_barrier of int
+  | Halted of Value.t option
+
+type core = {
+  id : int;
+  mutable stack : frame list;
+  mutable status : status;
+  mutable time : float;
+  mutable point : Operating_point.t;
+  powered : bool array;
+  ledger : Energy_ledger.t;
+  mutable leak_mw : float;
+  mutable instr_count : int;
+  mutable implicit_wakeups : int;
+  mutable gate_transitions : int;
+  mutable dvfs_transitions : int;
+  mutable busy_ns : float;
+  mutable send_blocks : int;
+  mutable recv_blocks : int;
+}
+
+type chan = {
+  cap : int;
+  queue : (Value.t * float) Queue.t;  (** value, ready time *)
+  waiting_senders : int Queue.t;      (** core ids blocked on full queue *)
+  mutable total_msgs : int;
+  mutable last_pop : float;  (** when a queue slot last freed; a blocked
+                                 sender waits (idle) until then *)
+}
+
+type barrier_state = { mutable arrived : (int * float) list }
+
+type options = {
+  max_steps : int;
+  gate_unused_cores : bool;
+      (** model the compiler gating every gateable component of cores the
+          program does not occupy *)
+  trace_limit : int;
+      (** record up to this many power/communication events (0 = off) *)
+}
+
+let default_options =
+  { max_steps = 200_000_000; gate_unused_cores = false; trace_limit = 0 }
+
+(** A recorded power/communication event: core id, nanosecond timestamp,
+    human-readable description. *)
+type event = { ev_core : int; ev_ns : float; ev_what : string }
+
+type t = {
+  prog : Prog.t;
+  machine : Machine.t;
+  opts : options;
+  cores : core array;          (** one per entry function *)
+  shared : (string, Value.t array) Hashtbl.t;
+  chans : chan array;
+  barriers : barrier_state array;
+  mutable bus_free : float;
+  mutable steps : int;
+  mutable trace : event list;  (** newest first; bounded by trace_limit *)
+  mutable trace_len : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let recompute_leak t (c : core) =
+  let pm = t.machine.Machine.power in
+  let scale = Operating_point.leakage_scale ~nominal:(Power_model.nominal pm) c.point in
+  let sum = ref 0.0 in
+  List.iter
+    (fun comp ->
+      if c.powered.(Component.index comp) then
+        sum := !sum +. (pm.Power_model.leak_power_mw comp *. scale))
+    t.machine.Machine.components;
+  c.leak_mw <- !sum
+
+let make_frame (f : Prog.func) : frame =
+  let nregs = Lp_util.Id_gen.peek f.Prog.reg_gen in
+  let fmem = Hashtbl.create 4 in
+  List.iter
+    (fun (name, ty, len) ->
+      Hashtbl.replace fmem name (Array.make len (Value.zero_of_ty ty)))
+    f.Prog.frame_arrays;
+  {
+    func = f;
+    regs = Array.make (max 1 nregs) (Value.Vint 0);
+    fmem;
+    block = f.Prog.entry;
+    idx = 0;
+    pending_dst = None;
+    cached_bid = -1;
+    cached_instrs = [||];
+  }
+
+let init_shared (prog : Prog.t) =
+  let shared = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Prog.global) ->
+      let arr = Array.make g.Prog.gsize (Value.zero_of_ty g.Prog.gty) in
+      (match g.Prog.ginit with
+      | Some init ->
+        List.iteri
+          (fun i v ->
+            if i < g.Prog.gsize then
+              arr.(i) <-
+                (match g.Prog.gty with
+                | Ir.I -> Value.Vint (Value.wrap32 v)
+                | Ir.F -> Value.Vfloat (float_of_int v)))
+          init
+      | None -> ());
+      Hashtbl.replace shared g.Prog.gsym arr)
+    prog.Prog.globals;
+  shared
+
+let create ?(opts = default_options) ~(machine : Machine.t) (prog : Prog.t) : t =
+  let entries = Prog.entries prog in
+  if List.length entries > machine.Machine.n_cores then
+    invalid_arg
+      (Printf.sprintf "Sim.create: program needs %d cores, machine has %d"
+         (List.length entries) machine.Machine.n_cores);
+  let pm = machine.Machine.power in
+  let nominal = Power_model.nominal pm in
+  let cores =
+    Array.of_list
+      (List.mapi
+         (fun id entry ->
+           let f = Prog.func_exn prog entry in
+           {
+             id;
+             stack = [ make_frame f ];
+             status = Ready;
+             time = 0.0;
+             point = nominal;
+             powered = Array.make Component.count true;
+             ledger = Energy_ledger.create ();
+             leak_mw = 0.0;
+             instr_count = 0;
+             implicit_wakeups = 0;
+             gate_transitions = 0;
+             dvfs_transitions = 0;
+             busy_ns = 0.0;
+             send_blocks = 0;
+             recv_blocks = 0;
+           })
+         entries)
+  in
+  let (n_channels, n_barriers, cap) =
+    match prog.Prog.layout with
+    | Prog.Sequential -> (0, 0, 0)
+    | Prog.Parallel { n_channels; n_barriers; chan_capacity; _ } ->
+      (n_channels, n_barriers, chan_capacity)
+  in
+  let t =
+    {
+      prog;
+      machine;
+      opts;
+      cores;
+      shared = init_shared prog;
+      chans =
+        Array.init n_channels (fun _ ->
+            { cap; queue = Queue.create (); waiting_senders = Queue.create ();
+              total_msgs = 0; last_pop = 0.0 });
+      barriers = Array.init n_barriers (fun _ -> { arrived = [] });
+      bus_free = 0.0;
+      steps = 0;
+      trace = [];
+      trace_len = 0;
+    }
+  in
+  Array.iter (fun c -> recompute_leak t c) cores;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Time & energy plumbing                                              *)
+(* ------------------------------------------------------------------ *)
+
+let record t (c : core) fmt =
+  Format.kasprintf
+    (fun what ->
+      if t.trace_len < t.opts.trace_limit then begin
+        t.trace <- { ev_core = c.id; ev_ns = c.time; ev_what = what } :: t.trace;
+        t.trace_len <- t.trace_len + 1
+      end)
+    fmt
+
+let cycle_ns (c : core) n = Operating_point.ns_of_cycles c.point n
+
+let nominal_ns t n =
+  Operating_point.ns_of_cycles (Power_model.nominal t.machine.Machine.power) n
+
+(** Advance a core's clock, charging leakage of powered components. *)
+let advance t (c : core) dt ~idle =
+  if dt > 0.0 then begin
+    let cat =
+      if idle then Energy_ledger.Leakage_idle else Energy_ledger.Leakage_active
+    in
+    Energy_ledger.charge c.ledger ~category:cat (c.leak_mw *. dt *. 1e-3);
+    c.time <- c.time +. dt;
+    if not idle then c.busy_ns <- c.busy_ns +. dt
+  end;
+  ignore t
+
+(** Bring a blocked core forward to absolute time [target] (idle). *)
+let resume_at t (c : core) target =
+  if target > c.time then advance t c (target -. c.time) ~idle:true
+
+let charge_dynamic t (c : core) comp =
+  let pm = t.machine.Machine.power in
+  Energy_ledger.charge c.ledger ~category:Energy_ledger.Dynamic ~component:comp
+    (Power_model.dynamic_energy pm ~comp ~point:c.point ~ops:1)
+
+(** Serialise a shared-bus transaction: the core waits for the bus, holds
+    it for the transfer, then pays [extra_ns] (e.g. memory array access)
+    off the bus. *)
+let bus_access t (c : core) ~words ~extra_ns =
+  let m = t.machine in
+  let start = Float.max c.time t.bus_free in
+  let bus_ns =
+    nominal_ns t (m.Machine.bus_latency_cycles + (words * m.Machine.bus_word_cycles))
+  in
+  t.bus_free <- start +. bus_ns;
+  let finish = start +. bus_ns +. extra_ns in
+  advance t c (finish -. c.time) ~idle:false;
+  Energy_ledger.charge c.ledger ~category:Energy_ledger.Communication
+    (float_of_int words *. m.Machine.bus_energy_per_word_nj)
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let runtime_err fmt = Format.kasprintf (fun s -> raise (Value.Runtime_error s)) fmt
+
+let mem_array t (fr : frame) (s : Ir.sym) : Value.t array =
+  match s.Ir.sym_space with
+  | Ir.Shared | Ir.Rom -> (
+    match Hashtbl.find_opt t.shared s.Ir.sym_name with
+    | Some a -> a
+    | None -> runtime_err "unknown global %s" s.Ir.sym_name)
+  | Ir.Frame -> (
+    match Hashtbl.find_opt fr.fmem s.Ir.sym_name with
+    | Some a -> a
+    | None -> runtime_err "unknown frame array %s" s.Ir.sym_name)
+
+let mem_read t fr s idx =
+  let a = mem_array t fr s in
+  if idx < 0 || idx >= Array.length a then
+    runtime_err "out-of-bounds read %s[%d] (len %d) in %s" (Ir.sym_to_string s)
+      idx (Array.length a) fr.func.Prog.fname;
+  a.(idx)
+
+let mem_write t fr s idx v =
+  let a = mem_array t fr s in
+  if idx < 0 || idx >= Array.length a then
+    runtime_err "out-of-bounds write %s[%d] (len %d) in %s" (Ir.sym_to_string s)
+      idx (Array.length a) fr.func.Prog.fname;
+  a.(idx) <- v
+
+(* ------------------------------------------------------------------ *)
+(* Instruction execution                                               *)
+(* ------------------------------------------------------------------ *)
+
+let eval (fr : frame) = function
+  | Ir.Reg r -> fr.regs.(r)
+  | Ir.Imm c -> Value.of_const c
+
+let setr (fr : frame) r v = fr.regs.(r) <- v
+
+(** Handle an instruction executing on a gated component: implicit wakeup
+    with full penalty.  Correct compiler output never triggers this. *)
+let ensure_powered t (c : core) comp =
+  let i = Component.index comp in
+  if not c.powered.(i) then begin
+    let pm = t.machine.Machine.power in
+    c.powered.(i) <- true;
+    recompute_leak t c;
+    c.implicit_wakeups <- c.implicit_wakeups + 1;
+    record t c "IMPLICIT WAKEUP of %s" (Component.to_string comp);
+    c.gate_transitions <- c.gate_transitions + 1;
+    Energy_ledger.charge c.ledger ~category:Energy_ledger.Gating_overhead
+      pm.Power_model.gate_energy_nj;
+    advance t c (cycle_ns c pm.Power_model.wake_latency_cycles) ~idle:false
+  end
+
+(* channels ride dedicated core-to-core mailbox links (as on PAC-style
+   MPSoCs), so transfers pay a fixed link latency without occupying the
+   shared bus *)
+let complete_send t (sender : core) chan_id v =
+  let ch = t.chans.(chan_id) in
+  let m = t.machine in
+  let link_ns =
+    nominal_ns t (m.Machine.bus_latency_cycles + m.Machine.bus_word_cycles)
+  in
+  advance t sender link_ns ~idle:false;
+  Energy_ledger.charge sender.ledger ~category:Energy_ledger.Communication
+    m.Machine.bus_energy_per_word_nj;
+  Queue.push (v, sender.time) ch.queue;
+  ch.total_msgs <- ch.total_msgs + 1
+
+let barrier_participants t = Array.length t.cores
+
+let release_barrier t bid =
+  let b = t.barriers.(bid) in
+  if List.length b.arrived = barrier_participants t then begin
+    let tmax =
+      List.fold_left (fun acc (_, tm) -> Float.max acc tm) 0.0 b.arrived
+    in
+    let release = tmax +. nominal_ns t t.machine.Machine.bus_latency_cycles in
+    List.iter
+      (fun (cid, _) ->
+        let c = t.cores.(cid) in
+        resume_at t c release;
+        c.status <- Ready)
+      b.arrived;
+    b.arrived <- []
+  end
+
+(** Execute the terminator of the current block. *)
+let exec_term t (c : core) (fr : frame) (term : Ir.term) =
+  advance t c (cycle_ns c 1) ~idle:false;
+  charge_dynamic t c Component.Branch_unit;
+  match term with
+  | Ir.Jmp l ->
+    fr.block <- l;
+    fr.idx <- 0
+  | Ir.Br (cond, l1, l2) ->
+    fr.block <- (if Value.is_true (eval fr cond) then l1 else l2);
+    fr.idx <- 0
+  | Ir.Ret v_opt -> (
+    let v = Option.map (eval fr) v_opt in
+    match c.stack with
+    | [] -> runtime_err "return with empty stack"
+    | _ :: [] ->
+      record t c "halt%s"
+        (match v with
+        | Some value -> " -> " ^ Value.to_string value
+        | None -> "");
+      c.status <- Halted v
+    | _ :: (caller :: _ as rest) ->
+      c.stack <- rest;
+      (match (caller.pending_dst, v) with
+      | (Some d, Some value) -> setr caller d value
+      | (Some _, None) -> runtime_err "void return into a register"
+      | (None, _) -> ());
+      caller.pending_dst <- None)
+
+let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
+  let comp = Ir.component_of i in
+  ensure_powered t c comp;
+  let pm = t.machine.Machine.power in
+  let simple_cost () =
+    advance t c (cycle_ns c (Ir.base_latency i)) ~idle:false;
+    charge_dynamic t c comp
+  in
+  (match i.Ir.idesc with
+  | Ir.Const (d, cst) ->
+    simple_cost ();
+    setr fr d (Value.of_const cst)
+  | Ir.Move (d, a) ->
+    simple_cost ();
+    setr fr d (eval fr a)
+  | Ir.Binop (op, d, a, b) ->
+    simple_cost ();
+    setr fr d (Value.binop op (eval fr a) (eval fr b))
+  | Ir.Unop (op, d, a) ->
+    simple_cost ();
+    setr fr d (Value.unop op (eval fr a))
+  | Ir.Mac (d, a, b, cc) ->
+    simple_cost ();
+    setr fr d (Value.mac (eval fr a) (eval fr b) (eval fr cc))
+  | Ir.Load (d, s, idx) -> (
+    let idx = Value.to_int (eval fr idx) in
+    match s.Ir.sym_space with
+    | Ir.Shared ->
+      advance t c (cycle_ns c 1) ~idle:false;
+      charge_dynamic t c comp;
+      bus_access t c ~words:1
+        ~extra_ns:(nominal_ns t t.machine.Machine.shared_mem_latency_cycles);
+      setr fr d (mem_read t fr s idx)
+    | Ir.Rom | Ir.Frame ->
+      advance t c
+        (cycle_ns c (1 + t.machine.Machine.spm_latency_cycles))
+        ~idle:false;
+      charge_dynamic t c comp;
+      setr fr d (mem_read t fr s idx))
+  | Ir.Store (s, idx, v) -> (
+    let idx = Value.to_int (eval fr idx) in
+    let v = eval fr v in
+    match s.Ir.sym_space with
+    | Ir.Shared ->
+      advance t c (cycle_ns c 1) ~idle:false;
+      charge_dynamic t c comp;
+      bus_access t c ~words:1
+        ~extra_ns:(nominal_ns t t.machine.Machine.shared_mem_latency_cycles);
+      mem_write t fr s idx v
+    | Ir.Rom | Ir.Frame ->
+      advance t c
+        (cycle_ns c (1 + t.machine.Machine.spm_latency_cycles))
+        ~idle:false;
+      charge_dynamic t c comp;
+      mem_write t fr s idx v)
+  | Ir.Faa (d, s, amount) ->
+    let amount = Value.to_int (eval fr amount) in
+    advance t c (cycle_ns c 2) ~idle:false;
+    charge_dynamic t c comp;
+    bus_access t c ~words:1
+      ~extra_ns:(nominal_ns t t.machine.Machine.shared_mem_latency_cycles);
+    let old = Value.to_int (mem_read t fr s 0) in
+    mem_write t fr s 0 (Value.Vint (Value.wrap32 (old + amount)));
+    setr fr d (Value.Vint old)
+  | Ir.Call (dst, callee, args) -> (
+    simple_cost ();
+    match Prog.find_func t.prog callee with
+    | None -> runtime_err "call to unknown function %s" callee
+    | Some f ->
+      let new_fr = make_frame f in
+      List.iteri
+        (fun k arg ->
+          match List.nth_opt f.Prog.params k with
+          | Some (r, _) -> new_fr.regs.(r) <- eval fr arg
+          | None -> runtime_err "too many arguments to %s" callee)
+        args;
+      if List.length args <> List.length f.Prog.params then
+        runtime_err "arity mismatch calling %s" callee;
+      fr.pending_dst <- dst;
+      c.stack <- new_fr :: c.stack)
+  | Ir.Pg_off comps ->
+    advance t c (cycle_ns c 1) ~idle:false;
+    record t c "pg_off %s" (Component.Set.to_string comps);
+    Component.Set.iter
+      (fun comp ->
+        let k = Component.index comp in
+        if c.powered.(k) then begin
+          c.powered.(k) <- false;
+          c.gate_transitions <- c.gate_transitions + 1;
+          Energy_ledger.charge c.ledger ~category:Energy_ledger.Gating_overhead
+            pm.Power_model.gate_energy_nj
+        end)
+      comps;
+    recompute_leak t c
+  | Ir.Pg_on comps ->
+    record t c "pg_on %s" (Component.Set.to_string comps);
+    let any = ref false in
+    Component.Set.iter
+      (fun comp ->
+        let k = Component.index comp in
+        if not c.powered.(k) then begin
+          c.powered.(k) <- true;
+          any := true;
+          c.gate_transitions <- c.gate_transitions + 1;
+          Energy_ledger.charge c.ledger ~category:Energy_ledger.Gating_overhead
+            pm.Power_model.gate_energy_nj
+        end)
+      comps;
+    recompute_leak t c;
+    (* components wake in parallel: one wake latency *)
+    let stall = if !any then pm.Power_model.wake_latency_cycles else 0 in
+    advance t c (cycle_ns c (1 + stall)) ~idle:false
+  | Ir.Dvfs level ->
+    let target = Power_model.point pm level in
+    if target.Operating_point.level <> c.point.Operating_point.level then begin
+      advance t c (cycle_ns c pm.Power_model.dvfs_latency_cycles) ~idle:false;
+      Energy_ledger.charge c.ledger ~category:Energy_ledger.Dvfs_overhead
+        pm.Power_model.dvfs_energy_nj;
+      c.point <- target;
+      c.dvfs_transitions <- c.dvfs_transitions + 1;
+      record t c "dvfs -> %s" (Operating_point.to_string target);
+      recompute_leak t c
+    end
+    else advance t c (cycle_ns c 1) ~idle:false
+  | Ir.Send (chan_id, v) ->
+    advance t c (cycle_ns c t.machine.Machine.channel_setup_cycles) ~idle:false;
+    charge_dynamic t c comp;
+    let v = eval fr v in
+    let ch = t.chans.(chan_id) in
+    if Queue.length ch.queue >= ch.cap then begin
+      c.send_blocks <- c.send_blocks + 1;
+      record t c "blocked sending on ch%d" chan_id;
+      Queue.push c.id ch.waiting_senders;
+      c.status <- Blocked_send (chan_id, v)
+    end
+    else complete_send t c chan_id v
+  | Ir.Recv (d, chan_id, ty) ->
+    advance t c (cycle_ns c t.machine.Machine.channel_setup_cycles) ~idle:false;
+    charge_dynamic t c comp;
+    let ch = t.chans.(chan_id) in
+    if Queue.is_empty ch.queue then begin
+      c.recv_blocks <- c.recv_blocks + 1;
+      record t c "blocked receiving on ch%d" chan_id;
+      c.status <- Blocked_recv (chan_id, d, ty)
+    end
+    else begin
+      let (v, ready) = Queue.pop ch.queue in
+      resume_at t c ready;
+      ch.last_pop <- Float.max ch.last_pop c.time;
+      (match (ty, v) with
+      | (Ir.I, Value.Vint _) | (Ir.F, Value.Vfloat _) -> ()
+      | _ -> runtime_err "channel %d type mismatch" chan_id);
+      setr fr d v
+    end
+  | Ir.Barrier bid ->
+    advance t c (cycle_ns c 1) ~idle:false;
+    charge_dynamic t c comp;
+    let b = t.barriers.(bid) in
+    record t c "arrived at barrier %d" bid;
+    b.arrived <- (c.id, c.time) :: b.arrived;
+    c.status <- Blocked_barrier bid;
+    release_barrier t bid);
+  c.instr_count <- c.instr_count + 1
+
+(** Execute one step (instruction or terminator) on a ready core. *)
+let step_core t (c : core) =
+  match c.stack with
+  | [] -> runtime_err "core %d has empty stack" c.id
+  | fr :: _ ->
+    let b = Prog.block fr.func fr.block in
+    if fr.cached_bid <> fr.block then begin
+      fr.cached_bid <- fr.block;
+      fr.cached_instrs <- Array.of_list b.Ir.instrs
+    end;
+    if fr.idx < Array.length fr.cached_instrs then begin
+      let i = fr.cached_instrs.(fr.idx) in
+      fr.idx <- fr.idx + 1;
+      exec_instr t c fr i
+    end
+    else exec_term t c fr b.Ir.term
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler loop                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Try to unblock blocked cores; true if any progress was made. *)
+let unblock_pass t : bool =
+  let progress = ref false in
+  Array.iter
+    (fun c ->
+      match c.status with
+      | Blocked_recv (chan_id, d, ty) ->
+        let ch = t.chans.(chan_id) in
+        if not (Queue.is_empty ch.queue) then begin
+          let (v, ready) = Queue.pop ch.queue in
+          resume_at t c ready;
+          ch.last_pop <- Float.max ch.last_pop c.time;
+          (match (ty, v) with
+          | (Ir.I, Value.Vint _) | (Ir.F, Value.Vfloat _) -> ()
+          | _ -> runtime_err "channel %d type mismatch" chan_id);
+          (match c.stack with
+          | fr :: _ -> setr fr d v
+          | [] -> runtime_err "blocked core with empty stack");
+          c.status <- Ready;
+          progress := true;
+          (* a slot freed: complete one waiting sender, FIFO *)
+          if not (Queue.is_empty ch.waiting_senders) then begin
+            let sid = Queue.pop ch.waiting_senders in
+            let s = t.cores.(sid) in
+            match s.status with
+            | Blocked_send (cid, sv) when cid = chan_id ->
+              resume_at t s ch.last_pop;
+              complete_send t s chan_id sv;
+              s.status <- Ready
+            | _ -> runtime_err "inconsistent sender queue on channel %d" chan_id
+          end
+        end
+      | Blocked_send (chan_id, v) ->
+        let ch = t.chans.(chan_id) in
+        (* possible when capacity grew available without a blocked recv *)
+        if Queue.length ch.queue < ch.cap
+           && (not (Queue.is_empty ch.waiting_senders))
+           && Queue.peek ch.waiting_senders = c.id then begin
+          ignore (Queue.pop ch.waiting_senders);
+          resume_at t c ch.last_pop;
+          complete_send t c chan_id v;
+          c.status <- Ready;
+          progress := true
+        end
+      | Ready | Blocked_barrier _ | Halted _ -> ())
+    t.cores;
+  !progress
+
+let all_halted t =
+  Array.for_all (fun c -> match c.status with Halted _ -> true | _ -> false) t.cores
+
+let describe_blocked t =
+  let parts =
+    Array.to_list
+      (Array.map
+         (fun c ->
+           let s =
+             match c.status with
+             | Ready -> "ready"
+             | Blocked_send (ch, _) -> Printf.sprintf "send(ch%d)" ch
+             | Blocked_recv (ch, _, _) -> Printf.sprintf "recv(ch%d)" ch
+             | Blocked_barrier b -> Printf.sprintf "barrier(%d)" b
+             | Halted _ -> "halted"
+           in
+           Printf.sprintf "core%d:%s" c.id s)
+         t.cores)
+  in
+  String.concat " " parts
+
+let run_loop t =
+  let continue_ = ref true in
+  while !continue_ do
+    if all_halted t then continue_ := false
+    else begin
+      (* unblock eagerly so that cores advance in (approximately) global
+         virtual-time order — required for the shared-bus occupancy model
+         to see transactions near-chronologically *)
+      ignore (unblock_pass t);
+      (* pick the ready core with the smallest local time *)
+      let best = ref None in
+      Array.iter
+        (fun c ->
+          match c.status with
+          | Ready -> (
+            match !best with
+            | Some b when b.time <= c.time -> ()
+            | _ -> best := Some c)
+          | _ -> ())
+        t.cores;
+      match !best with
+      | Some c ->
+        t.steps <- t.steps + 1;
+        if t.steps > t.opts.max_steps then raise Step_limit_exceeded;
+        step_core t c
+      | None ->
+        if not (unblock_pass t) then
+          raise (Deadlock ("no runnable core: " ^ describe_blocked t))
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  ret : Value.t option;             (** return value of core 0 *)
+  duration_ns : float;
+  energy : Energy_ledger.t;         (** machine-wide, merged *)
+  core_ledgers : Energy_ledger.t array;
+  shared_final : (string, Value.t array) Hashtbl.t;
+  instr_total : int;
+  implicit_wakeups : int;
+  gate_transitions : int;
+  dvfs_transitions : int;
+  busy_ns : float array;
+  instrs_per_core : int array;
+  send_blocks : int array;
+  recv_blocks : int array;
+  channel_msgs : int;
+  steps : int;
+  events : event list;  (** oldest first; bounded by [options.trace_limit] *)
+}
+
+(** Charge leakage of machine cores not used by the program, for the whole
+    run duration. *)
+let charge_unused_cores t ~duration =
+  let used = Array.length t.cores in
+  let m = t.machine in
+  let pm = m.Machine.power in
+  let ledgers = ref [] in
+  for _ = used to m.Machine.n_cores - 1 do
+    let ledger = Energy_ledger.create () in
+    List.iter
+      (fun comp ->
+        let gated = t.opts.gate_unused_cores && Component.gateable comp in
+        if not gated then
+          Energy_ledger.charge ledger ~category:Energy_ledger.Leakage_idle
+            ~component:comp
+            (pm.Power_model.leak_power_mw comp *. duration *. 1e-3))
+      m.Machine.components;
+    if t.opts.gate_unused_cores then
+      (* the initial gating transitions of that core *)
+      List.iter
+        (fun comp ->
+          if Component.gateable comp then
+            Energy_ledger.charge ledger
+              ~category:Energy_ledger.Gating_overhead
+              pm.Power_model.gate_energy_nj)
+        m.Machine.components;
+    ledgers := ledger :: !ledgers
+  done;
+  List.rev !ledgers
+
+let run ?(opts = default_options) ~machine prog : outcome =
+  let t = create ~opts ~machine prog in
+  run_loop t;
+  let duration =
+    Array.fold_left (fun acc c -> Float.max acc c.time) 0.0 t.cores
+  in
+  (* cores that halted early leak (idle) until the machine finishes *)
+  Array.iter
+    (fun c -> if c.time < duration then resume_at t c duration)
+    t.cores;
+  let unused = charge_unused_cores t ~duration in
+  let energy = Energy_ledger.create () in
+  Array.iter (fun c -> Energy_ledger.merge_into ~dst:energy ~src:c.ledger) t.cores;
+  List.iter (fun l -> Energy_ledger.merge_into ~dst:energy ~src:l) unused;
+  let ret =
+    match t.cores.(0).status with Halted v -> v | _ -> None
+  in
+  {
+    ret;
+    duration_ns = duration;
+    energy;
+    core_ledgers = Array.map (fun c -> c.ledger) t.cores;
+    shared_final = t.shared;
+    instr_total = Array.fold_left (fun a (c : core) -> a + c.instr_count) 0 t.cores;
+    implicit_wakeups =
+      Array.fold_left (fun a (c : core) -> a + c.implicit_wakeups) 0 t.cores;
+    gate_transitions =
+      Array.fold_left (fun a (c : core) -> a + c.gate_transitions) 0 t.cores;
+    dvfs_transitions =
+      Array.fold_left (fun a (c : core) -> a + c.dvfs_transitions) 0 t.cores;
+    busy_ns = Array.map (fun (c : core) -> c.busy_ns) t.cores;
+    instrs_per_core = Array.map (fun (c : core) -> c.instr_count) t.cores;
+    send_blocks = Array.map (fun (c : core) -> c.send_blocks) t.cores;
+    recv_blocks = Array.map (fun (c : core) -> c.recv_blocks) t.cores;
+    channel_msgs = Array.fold_left (fun a ch -> a + ch.total_msgs) 0 t.chans;
+    steps = t.steps;
+    events = List.rev t.trace;
+  }
+
+(** Read back a global cell after the run (for correctness checks). *)
+let shared_cell (o : outcome) name idx =
+  match Hashtbl.find_opt o.shared_final name with
+  | Some a when idx >= 0 && idx < Array.length a -> Some a.(idx)
+  | Some _ | None -> None
+
+let shared_array (o : outcome) name = Hashtbl.find_opt o.shared_final name
+
+(** Energy-delay product in nJ*ms — the metric of figure F2. *)
+let edp (o : outcome) = Energy_ledger.total o.energy *. (o.duration_ns *. 1e-6)

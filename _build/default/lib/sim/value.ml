@@ -1,0 +1,92 @@
+(** Runtime values and arithmetic of the simulated cores.
+
+    Integers follow 32-bit two's-complement semantics (the target is an
+    embedded 32-bit machine), with C-style truncating division.  Floats
+    use the host double precision, standing in for the target's single
+    precision — acceptable because no experiment depends on rounding. *)
+
+module Ir = Lp_ir.Ir
+
+type t = Vint of int | Vfloat of float
+
+exception Runtime_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+(** Wrap to signed 32-bit. *)
+let wrap32 = Lp_util.Int32_sem.wrap32
+
+let to_int = function
+  | Vint n -> n
+  | Vfloat _ -> err "expected int value, got float"
+
+let to_float = function
+  | Vfloat f -> f
+  | Vint _ -> err "expected float value, got int"
+
+let of_const = function
+  | Ir.Cint n -> Vint (wrap32 n)
+  | Ir.Cfloat f -> Vfloat f
+
+let is_true = function Vint 0 -> false | Vint _ -> true | Vfloat _ -> err "float condition"
+
+let b2i b = Vint (if b then 1 else 0)
+
+let binop (op : Ir.binop) (a : t) (b : t) : t =
+  match op with
+  | Ir.Add -> Vint (wrap32 (to_int a + to_int b))
+  | Ir.Sub -> Vint (wrap32 (to_int a - to_int b))
+  | Ir.Mul -> Vint (wrap32 (to_int a * to_int b))
+  | Ir.Div ->
+    let d = to_int b in
+    if d = 0 then err "integer division by zero";
+    Vint (wrap32 (to_int a / d))
+  | Ir.Mod ->
+    let d = to_int b in
+    if d = 0 then err "integer modulo by zero";
+    Vint (wrap32 (to_int a mod d))
+  | Ir.Shl -> Vint (wrap32 (to_int a lsl (to_int b land 31)))
+  | Ir.Shr -> Vint (wrap32 (to_int a asr (to_int b land 31)))
+  | Ir.And -> Vint (wrap32 (to_int a land to_int b))
+  | Ir.Or -> Vint (wrap32 (to_int a lor to_int b))
+  | Ir.Xor -> Vint (wrap32 (to_int a lxor to_int b))
+  | Ir.Lt -> b2i (to_int a < to_int b)
+  | Ir.Le -> b2i (to_int a <= to_int b)
+  | Ir.Gt -> b2i (to_int a > to_int b)
+  | Ir.Ge -> b2i (to_int a >= to_int b)
+  | Ir.Eq -> b2i (to_int a = to_int b)
+  | Ir.Ne -> b2i (to_int a <> to_int b)
+  | Ir.Fadd -> Vfloat (to_float a +. to_float b)
+  | Ir.Fsub -> Vfloat (to_float a -. to_float b)
+  | Ir.Fmul -> Vfloat (to_float a *. to_float b)
+  | Ir.Fdiv -> Vfloat (to_float a /. to_float b)
+  | Ir.Flt -> b2i (to_float a < to_float b)
+  | Ir.Fle -> b2i (to_float a <= to_float b)
+  | Ir.Fgt -> b2i (to_float a > to_float b)
+  | Ir.Fge -> b2i (to_float a >= to_float b)
+  | Ir.Feq -> b2i (to_float a = to_float b)
+  | Ir.Fne -> b2i (to_float a <> to_float b)
+
+let unop (op : Ir.unop) (a : t) : t =
+  match op with
+  | Ir.Neg -> Vint (wrap32 (-to_int a))
+  | Ir.Not -> b2i (to_int a = 0)
+  | Ir.Bnot -> Vint (wrap32 (lnot (to_int a)))
+  | Ir.Fneg -> Vfloat (-.to_float a)
+  | Ir.I2f -> Vfloat (float_of_int (to_int a))
+  | Ir.F2i -> Vint (wrap32 (int_of_float (to_float a)))
+
+(** d = a + b * c: integer MAC on the MAC unit. *)
+let mac a b c = Vint (wrap32 (to_int a + wrap32 (to_int b * to_int c)))
+
+let zero_of_ty = function Ir.I -> Vint 0 | Ir.F -> Vfloat 0.0
+
+let to_string = function
+  | Vint n -> string_of_int n
+  | Vfloat f -> Printf.sprintf "%g" f
+
+let equal a b =
+  match (a, b) with
+  | (Vint x, Vint y) -> x = y
+  | (Vfloat x, Vfloat y) -> x = y || (Float.is_nan x && Float.is_nan y)
+  | (Vint _, Vfloat _) | (Vfloat _, Vint _) -> false

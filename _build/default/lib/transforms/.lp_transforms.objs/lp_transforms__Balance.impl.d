@@ -1,0 +1,1 @@
+lib/transforms/balance.ml: Float List Lp_analysis Lp_ir Lp_machine Lp_patterns Lp_power Par_info Region

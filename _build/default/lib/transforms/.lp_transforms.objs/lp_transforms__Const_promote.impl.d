@@ -1,0 +1,1 @@
+lib/transforms/const_promote.ml: List Lp_ir Pass Set String

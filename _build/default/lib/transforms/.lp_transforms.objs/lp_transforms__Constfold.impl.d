@@ -1,0 +1,1 @@
+lib/transforms/constfold.ml: Hashtbl List Lp_ir Lp_util Pass

@@ -1,0 +1,1 @@
+lib/transforms/constprop.ml: Array Constfold Hashtbl List Lp_analysis Lp_ir Lp_util Option Pass

@@ -1,0 +1,1 @@
+lib/transforms/dce.ml: Fun List Lp_analysis Lp_ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/dvfs.ml: Hashtbl List Lp_analysis Lp_ir Lp_machine Lp_power Option Region

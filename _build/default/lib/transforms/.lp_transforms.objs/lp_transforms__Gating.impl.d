@@ -1,0 +1,1 @@
+lib/transforms/gating.ml: Array Hashtbl List Lp_analysis Lp_ir Lp_machine Lp_power Option Region

@@ -1,0 +1,1 @@
+lib/transforms/licm.ml: Hashtbl List Lp_analysis Lp_ir Pass Region

@@ -1,0 +1,1 @@
+lib/transforms/mac_fusion.ml: Hashtbl List Lp_ir Option Pass

@@ -1,0 +1,1 @@
+lib/transforms/par_info.ml: Lp_patterns

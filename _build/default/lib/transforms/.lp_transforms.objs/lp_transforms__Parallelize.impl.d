@@ -1,0 +1,1 @@
+lib/transforms/parallelize.ml: Format List Lp_lang Lp_patterns Par_info Printf

@@ -1,0 +1,1 @@
+lib/transforms/pass.ml: List Lp_ir Sys

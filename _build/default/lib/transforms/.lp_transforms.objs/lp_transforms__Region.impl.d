@@ -1,0 +1,1 @@
+lib/transforms/region.ml: List Lp_analysis Lp_ir

@@ -1,0 +1,1 @@
+lib/transforms/simplify_cfg.ml: Hashtbl List Lp_analysis Lp_ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/strength.ml: Lp_ir Pass

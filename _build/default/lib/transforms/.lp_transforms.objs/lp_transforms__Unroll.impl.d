@@ -1,0 +1,1 @@
+lib/transforms/unroll.ml: List Lp_analysis Lp_ir Pass

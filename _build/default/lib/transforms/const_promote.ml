@@ -1,0 +1,62 @@
+(** Constant promotion: globals that no instruction in the whole program
+    ever writes (no [Store], no [Faa]) are placed in on-chip ROM/SPM.
+    Loads from them then bypass the shared bus — the standard treatment of
+    coefficient tables on embedded DSPs, and a prerequisite for kernels to
+    scale past the bus. *)
+
+module Ir = Lp_ir.Ir
+module Prog = Lp_ir.Prog
+module SS = Set.Make (String)
+
+let written_globals (prog : Prog.t) : SS.t =
+  List.fold_left
+    (fun acc f ->
+      Prog.fold_instrs f
+        (fun acc _ i ->
+          match i.Ir.idesc with
+          | Ir.Store (s, _, _) | Ir.Faa (_, s, _) -> (
+            match s.Ir.sym_space with
+            | Ir.Shared | Ir.Rom -> SS.add s.Ir.sym_name acc
+            | Ir.Frame -> acc)
+          | _ -> acc)
+        acc)
+    SS.empty (Prog.funcs prog)
+
+(** Rewrite loads of never-written globals to [Rom] space; returns the
+    number of load sites rewritten. *)
+let run (prog : Prog.t) : int =
+  let written = written_globals prog in
+  let promoted = ref 0 in
+  List.iter
+    (fun f ->
+      Prog.iter_instrs f (fun _ i ->
+          match i.Ir.idesc with
+          | Ir.Load (d, s, idx)
+            when s.Ir.sym_space = Ir.Shared
+                 && not (SS.mem s.Ir.sym_name written) ->
+            incr promoted;
+            i.Ir.idesc <-
+              Ir.Load (d, { s with Ir.sym_space = Ir.Rom }, idx)
+          | _ -> ()))
+    (Prog.funcs prog);
+  !promoted
+
+let pass : Pass.func_pass =
+  {
+    Pass.name = "const-promote";
+    (* program-scoped analysis; running it per function would be wrong,
+       so the pass recomputes the written set but only rewrites [f] *)
+    run =
+      (fun prog f ->
+        let written = written_globals prog in
+        let promoted = ref 0 in
+        Prog.iter_instrs f (fun _ i ->
+            match i.Ir.idesc with
+            | Ir.Load (d, s, idx)
+              when s.Ir.sym_space = Ir.Shared
+                   && not (SS.mem s.Ir.sym_name written) ->
+              incr promoted;
+              i.Ir.idesc <- Ir.Load (d, { s with Ir.sym_space = Ir.Rom }, idx)
+            | _ -> ());
+        !promoted);
+  }

@@ -1,0 +1,156 @@
+(** Global (cross-block) constant propagation.
+
+    The local folder only sees constants within one basic block; this
+    pass runs a forward dataflow over the whole CFG with the classic
+    per-register constant lattice (unknown ⊑ constant ⊑ varying) and
+    replaces uses whose every reaching definition agrees on one constant.
+    A practical payoff beyond folding: loop bounds held in registers
+    become immediates, which lets the trip-count estimator (and therefore
+    the gating/DVFS/unrolling decisions) see through them. *)
+
+module Ir = Lp_ir.Ir
+module Prog = Lp_ir.Prog
+module Cfg = Lp_analysis.Cfg
+
+(* lattice per register *)
+type cell =
+  | Unknown          (** no definition seen yet (bottom) *)
+  | Const of Ir.const
+  | Varying          (** conflicting or non-constant definitions (top) *)
+
+let join_cell a b =
+  match (a, b) with
+  | (Unknown, x) | (x, Unknown) -> x
+  | (Const c1, Const c2) when c1 = c2 -> a
+  | (Const _, Const _) | (Varying, _) | (_, Varying) -> Varying
+
+type state = cell array
+
+let join_state (a : state) (b : state) : state =
+  Array.init (Array.length a) (fun i -> join_cell a.(i) b.(i))
+
+let equal_state (a : state) (b : state) = a = b
+
+(** Transfer one instruction over the state. *)
+let transfer_instr (st : state) (i : Ir.instr) : unit =
+  let lookup = function
+    | Ir.Imm c -> Const c
+    | Ir.Reg r -> st.(r)
+  in
+  match Ir.def i with
+  | None -> ()
+  | Some d ->
+    st.(d) <-
+      (match i.Ir.idesc with
+      | Ir.Const (_, c) -> Const c
+      | Ir.Move (_, a) -> lookup a
+      | Ir.Binop (op, _, a, b) -> (
+        match (lookup a, lookup b) with
+        | (Const ca, Const cb) -> (
+          match Constfold.fold_binop op ca cb with
+          | Some c -> Const c
+          | None -> Varying)
+        | _ -> Varying)
+      | Ir.Unop (op, _, a) -> (
+        match lookup a with
+        | Const ca -> (
+          match Constfold.fold_unop op ca with
+          | Some c -> Const c
+          | None -> Varying)
+        | _ -> Varying)
+      | Ir.Mac _ | Ir.Load _ | Ir.Call _ | Ir.Recv _ | Ir.Faa _
+      | Ir.Store _ | Ir.Pg_off _ | Ir.Pg_on _ | Ir.Dvfs _ | Ir.Send _
+      | Ir.Barrier _ -> Varying)
+
+let transfer_block (f : Prog.func) (st : state) (bid : Ir.label) : state =
+  let st = Array.copy st in
+  List.iter (transfer_instr st) (Prog.block f bid).Ir.instrs;
+  st
+
+(** Compute block-entry states by iteration to fixpoint. *)
+let analyse (f : Prog.func) : (Ir.label, state) Hashtbl.t =
+  let nregs = max 1 (Lp_util.Id_gen.peek f.Prog.reg_gen) in
+  let cfg = Cfg.build f in
+  let entry_states : (Ir.label, state) Hashtbl.t = Hashtbl.create 16 in
+  let bottom () = Array.make nregs Unknown in
+  (* parameters vary (set by the caller) *)
+  let initial = bottom () in
+  List.iter (fun (r, _) -> initial.(r) <- Varying) f.Prog.params;
+  Hashtbl.replace entry_states f.Prog.entry initial;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun bid ->
+        let in_state =
+          match Cfg.preds cfg bid with
+          | [] ->
+            Option.value ~default:(bottom ()) (Hashtbl.find_opt entry_states bid)
+          | preds ->
+            let base =
+              if bid = f.Prog.entry then initial else bottom ()
+            in
+            List.fold_left
+              (fun acc p ->
+                match Hashtbl.find_opt entry_states p with
+                | Some st -> join_state acc (transfer_block f st p)
+                | None -> acc)
+              base preds
+        in
+        match Hashtbl.find_opt entry_states bid with
+        | Some old when equal_state old in_state -> ()
+        | _ ->
+          Hashtbl.replace entry_states bid in_state;
+          changed := true)
+      cfg.Cfg.rpo
+  done;
+  entry_states
+
+(** Substitute proven constants into operands; returns rewrites done. *)
+let run_func (f : Prog.func) : int =
+  let entry_states = analyse f in
+  let changes = ref 0 in
+  Prog.iter_blocks f (fun b ->
+      match Hashtbl.find_opt entry_states b.Ir.bid with
+      | None -> ()
+      | Some entry ->
+        let st = Array.copy entry in
+        let subst op =
+          match op with
+          | Ir.Reg r -> (
+            match st.(r) with
+            | Const c ->
+              incr changes;
+              Ir.Imm c
+            | Unknown | Varying -> op)
+          | Ir.Imm _ -> op
+        in
+        List.iter
+          (fun (i : Ir.instr) ->
+            (match i.Ir.idesc with
+            | Ir.Move (d, a) -> i.Ir.idesc <- Ir.Move (d, subst a)
+            | Ir.Binop (op, d, a, b2) ->
+              i.Ir.idesc <- Ir.Binop (op, d, subst a, subst b2)
+            | Ir.Unop (op, d, a) -> i.Ir.idesc <- Ir.Unop (op, d, subst a)
+            | Ir.Mac (d, a, b2, c) ->
+              i.Ir.idesc <- Ir.Mac (d, subst a, subst b2, subst c)
+            | Ir.Load (d, s, idx) -> i.Ir.idesc <- Ir.Load (d, s, subst idx)
+            | Ir.Store (s, idx, v) ->
+              i.Ir.idesc <- Ir.Store (s, subst idx, subst v)
+            | Ir.Call (d, callee, args) ->
+              i.Ir.idesc <- Ir.Call (d, callee, List.map subst args)
+            | Ir.Send (ch, v) -> i.Ir.idesc <- Ir.Send (ch, subst v)
+            | Ir.Faa (d, s, v) -> i.Ir.idesc <- Ir.Faa (d, s, subst v)
+            | Ir.Const _ | Ir.Recv _ | Ir.Pg_off _ | Ir.Pg_on _ | Ir.Dvfs _
+            | Ir.Barrier _ -> ());
+            transfer_instr st i)
+          b.Ir.instrs;
+        (* terminators too *)
+        (match b.Ir.term with
+        | Ir.Br (op, l1, l2) -> b.Ir.term <- Ir.Br (subst op, l1, l2)
+        | Ir.Ret (Some op) -> b.Ir.term <- Ir.Ret (Some (subst op))
+        | Ir.Ret None | Ir.Jmp _ -> ()));
+  !changes
+
+let pass : Pass.func_pass =
+  { Pass.name = "constprop"; run = (fun _ f -> run_func f) }

@@ -1,0 +1,57 @@
+(** Dead-code elimination, driven by register liveness.
+
+    Removes side-effect-free instructions whose result is dead.  Loads
+    count as side-effect-free (removing a dead load never changes program
+    state, only timing), calls are conservatively kept. *)
+
+module Ir = Lp_ir.Ir
+module Prog = Lp_ir.Prog
+module Liveness = Lp_analysis.Liveness
+module IS = Lp_analysis.Dataflow.Int_set
+
+let pure (i : Ir.instr) : bool =
+  match i.Ir.idesc with
+  | Ir.Const _ | Ir.Move _ | Ir.Binop _ | Ir.Unop _ | Ir.Mac _ | Ir.Load _ ->
+    true
+  | Ir.Store _ | Ir.Call _ | Ir.Pg_off _ | Ir.Pg_on _ | Ir.Dvfs _ | Ir.Send _
+  | Ir.Recv _ | Ir.Barrier _ | Ir.Faa _ -> false
+
+let run_func (f : Prog.func) : int =
+  let live = Liveness.compute f in
+  let removed = ref 0 in
+  Prog.iter_blocks f (fun b ->
+      let live_set =
+        ref
+          (List.fold_left
+             (fun acc r -> IS.add r acc)
+             (Liveness.live_out live b.Ir.bid)
+             (Ir.term_uses b.Ir.term))
+      in
+      let keep =
+        List.rev_map
+          (fun (i : Ir.instr) ->
+            let dead =
+              pure i
+              &&
+              match Ir.def i with
+              | Some d -> not (IS.mem d !live_set)
+              | None -> true (* a pure instruction with no def is a no-op *)
+            in
+            if dead then begin
+              incr removed;
+              None
+            end
+            else begin
+              (match Ir.def i with
+              | Some d -> live_set := IS.remove d !live_set
+              | None -> ());
+              List.iter (fun u -> live_set := IS.add u !live_set) (Ir.uses i);
+              Some i
+            end)
+          (List.rev b.Ir.instrs)
+        |> List.filter_map Fun.id
+      in
+      b.Ir.instrs <- keep);
+  !removed
+
+let pass : Pass.func_pass = { Pass.name = "dce"; run = (fun _ f -> run_func f) }

@@ -1,0 +1,134 @@
+(** Compiler-directed DVFS insertion.
+
+    Memory-bound loops spend most of their time on the (fixed-frequency)
+    bus and shared memory, so scaling the core down stretches only the
+    compute fraction.  For each top-level loop the pass estimates the
+    memory-bound fraction [mu] and picks the lowest operating point whose
+    slowdown [(1 - mu) * fnom/f + mu] stays within the allowed bound, then
+    brackets the loop with [dvfs] instructions (down in the preheader,
+    back to nominal on the exit landings).
+
+    Loops that perform channel operations (directly or through calls) are
+    skipped: their timing couples with other cores and is instead handled
+    by the pattern-aware balancing pass. *)
+
+module Ir = Lp_ir.Ir
+module Prog = Lp_ir.Prog
+module Power_model = Lp_power.Power_model
+module Operating_point = Lp_power.Operating_point
+module Machine = Lp_machine.Machine
+module Loops = Lp_analysis.Loops
+module Est = Lp_analysis.Est
+
+type options = {
+  max_slowdown : float;   (** e.g. 0.05 = at most 5% slower *)
+  min_mem_fraction : float;
+  min_cycles : float;     (** amortisation threshold for the transition *)
+}
+
+let default_options =
+  { max_slowdown = 0.10; min_mem_fraction = 0.20; min_cycles = 2000.0 }
+
+(* communication closure: does a function (transitively) use channel or
+   barrier intrinsics? *)
+let comm_closure (prog : Prog.t) : (string, bool) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace tbl f.Prog.fname false) (Prog.funcs prog);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        let has =
+          Prog.fold_instrs f
+            (fun acc _ i ->
+              acc
+              ||
+              match i.Ir.idesc with
+              | Ir.Send _ | Ir.Recv _ | Ir.Barrier _ | Ir.Faa _ -> true
+              | Ir.Call (_, callee, _) ->
+                Option.value ~default:true (Hashtbl.find_opt tbl callee)
+              | _ -> false)
+            false
+        in
+        if Hashtbl.find tbl f.Prog.fname <> has then begin
+          Hashtbl.replace tbl f.Prog.fname has;
+          changed := true
+        end)
+      (Prog.funcs prog)
+  done;
+  tbl
+
+let loop_has_comm (comm : (string, bool) Hashtbl.t) (f : Prog.func)
+    (l : Loops.loop) : bool =
+  Loops.LS.exists
+    (fun bid ->
+      let b = Prog.block f bid in
+      List.exists
+        (fun (i : Ir.instr) ->
+          match i.Ir.idesc with
+          | Ir.Send _ | Ir.Recv _ | Ir.Barrier _ | Ir.Faa _ -> true
+          | Ir.Call (_, callee, _) ->
+            Option.value ~default:true (Hashtbl.find_opt comm callee)
+          | _ -> false)
+        b.Ir.instrs)
+    l.Loops.blocks
+
+(** Lowest operating level whose slowdown on a loop with memory fraction
+    [mu] stays within [max_slowdown]; [None] if only nominal qualifies. *)
+let choose_level (pm : Power_model.t) ~mu ~max_slowdown : int option =
+  let nominal = Power_model.nominal pm in
+  let ok (p : Operating_point.t) =
+    let slowdown =
+      ((1.0 -. mu) *. (nominal.Operating_point.freq_mhz /. p.Operating_point.freq_mhz))
+      +. mu
+    in
+    slowdown <= 1.0 +. max_slowdown
+  in
+  let candidates =
+    List.filter
+      (fun (p : Operating_point.t) ->
+        p.Operating_point.level <> nominal.Operating_point.level && ok p)
+      (Power_model.points pm)
+  in
+  match candidates with
+  | [] -> None
+  | p :: _ -> Some p.Operating_point.level  (* points are ascending *)
+
+let run_func ?(opts = default_options) (m : Machine.t) (prog : Prog.t)
+    (comm : (string, bool) Hashtbl.t) (f : Prog.func) : int =
+  let pm = m.Machine.power in
+  let changes = ref 0 in
+  let loops = Loops.top_level (Loops.find f) in
+  List.iter
+    (fun l ->
+      if not (loop_has_comm comm f l) then begin
+        let est = Est.loop_estimate m prog f l in
+        if
+          est.Est.total_cycles >= opts.min_cycles
+          && est.Est.mem_fraction >= opts.min_mem_fraction
+        then
+          match
+            choose_level pm ~mu:est.Est.mem_fraction
+              ~max_slowdown:opts.max_slowdown
+          with
+          | None -> ()
+          | Some level -> (
+            match Region.preheader f l with
+            | None -> ()
+            | Some pre ->
+              Region.append f pre (Ir.Dvfs level);
+              List.iter
+                (fun landing ->
+                  Region.prepend f landing (Ir.Dvfs (Power_model.max_level pm)))
+                (Region.exit_landings f l);
+              incr changes)
+      end)
+    loops;
+  !changes
+
+let insert ?(opts = default_options) (m : Machine.t) (prog : Prog.t) : int =
+  let comm = comm_closure prog in
+  List.fold_left
+    (fun acc f -> acc + run_func ~opts m prog comm f)
+    0 (Prog.funcs prog)

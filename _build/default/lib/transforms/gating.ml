@@ -1,0 +1,310 @@
+(** Compiler-directed power gating with Sink-N-Hoist merging.
+
+    Insertion works at two granularities:
+
+    - {b loop gating}: for each natural loop whose estimated duration
+      exceeds the break-even threshold of a component the loop provably
+      never uses (component-activity analysis, call-closed), bracket the
+      loop with [pg_off] in the preheader and [pg_on] on the exit
+      landings.  Only components the containing function uses elsewhere
+      are re-enabled — others are left to entry gating.
+    - {b entry gating}: at each core's entry function, components never
+      used by the whole closure of that entry are switched off once for
+      the entire run.
+
+    The {b Sink-N-Hoist} merge then (after CFG simplification has fused
+    exit landings with following preheaders) rewrites gating sequences
+    locally: adjacent same-polarity gating instructions are merged into
+    one multi-component instruction, [pg_on; ...; pg_off] pairs with no
+    intervening use are cancelled (the component simply stays off across
+    both regions), and [pg_off; ...; pg_on] pairs whose separation is
+    below break-even are dropped (the region is too short to pay for the
+    transitions). *)
+
+module Ir = Lp_ir.Ir
+module Prog = Lp_ir.Prog
+module Component = Lp_power.Component
+module CS = Component.Set
+module Power_model = Lp_power.Power_model
+module Machine = Lp_machine.Machine
+module Loops = Lp_analysis.Loops
+module Compuse = Lp_analysis.Compuse
+module Est = Lp_analysis.Est
+
+type options = {
+  break_even_scale : float;
+      (** multiply the model's break-even threshold; the F4 sensitivity
+          experiment sweeps this *)
+  loop_gating : bool;
+  entry_gating : bool;
+}
+
+let default_options =
+  { break_even_scale = 1.0; loop_gating = true; entry_gating = true }
+
+(* ------------------------------------------------------------------ *)
+(* Insertion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let break_even_cycles (m : Machine.t) comp =
+  let pm = m.Machine.power in
+  Power_model.break_even_cycles pm ~comp ~point:(Power_model.nominal pm)
+
+(** Functions reachable from each entry, over the call graph; a loop in
+    [f] may re-enable a component if any core whose entry reaches [f]
+    uses it somewhere — gating is a per-core decision, not a
+    per-function one. *)
+let core_use_table (prog : Prog.t) (cu : Compuse.t) :
+    (string, CS.t) Hashtbl.t =
+  let table = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace table f.Prog.fname CS.empty)
+    (Prog.funcs prog);
+  List.iter
+    (fun entry ->
+      let entry_use = Compuse.func_use cu entry in
+      let visited = Hashtbl.create 16 in
+      let rec visit name =
+        if not (Hashtbl.mem visited name) then begin
+          Hashtbl.replace visited name ();
+          Hashtbl.replace table name
+            (CS.union entry_use
+               (Option.value ~default:CS.empty (Hashtbl.find_opt table name)));
+          match Prog.find_func prog name with
+          | None -> ()
+          | Some f ->
+            Prog.iter_instrs f (fun _ i ->
+                match i.Ir.idesc with
+                | Ir.Call (_, callee, _) -> visit callee
+                | _ -> ())
+        end
+      in
+      visit entry)
+    (Prog.entries prog);
+  table
+
+(** Gate idle components around loops of [f].  Returns insertions done. *)
+let loop_gating ?(opts = default_options) (m : Machine.t) (prog : Prog.t)
+    (cu : Compuse.t) ~(core_use : CS.t) (f : Prog.func) : int =
+  let changes = ref 0 in
+  let loops = Loops.find f in
+  (* outermost first; remember which comps an enclosing loop already
+     gates so inner loops don't re-gate them *)
+  let gated_by : (Ir.label * CS.t) list ref = ref [] in
+  List.iter
+    (fun l ->
+      let enclosing_gated =
+        List.fold_left
+          (fun acc (h, cs) ->
+            match List.find_opt (fun l' -> l'.Loops.header = h) loops with
+            | Some outer
+              when outer.Loops.header <> l.Loops.header
+                   && Loops.LS.subset l.Loops.blocks outer.Loops.blocks ->
+              CS.union acc cs
+            | _ -> acc)
+          CS.empty !gated_by
+      in
+      let idle = Compuse.loop_idle cu f l in
+      let candidates =
+        CS.filter
+          (fun c ->
+            CS.mem c core_use (* used elsewhere on this core *)
+            && (not (CS.mem c enclosing_gated))
+            && List.mem c m.Machine.components)
+          idle
+      in
+      if not (CS.is_empty candidates) then begin
+        let est = Est.loop_estimate m prog f l in
+        let to_gate =
+          CS.filter
+            (fun c ->
+              est.Est.total_cycles
+              >= opts.break_even_scale *. float_of_int (break_even_cycles m c))
+            candidates
+        in
+        if not (CS.is_empty to_gate) then begin
+          match Region.preheader f l with
+          | None -> ()
+          | Some pre ->
+            Region.append f pre (Ir.Pg_off to_gate);
+            List.iter
+              (fun landing -> Region.prepend f landing (Ir.Pg_on to_gate))
+              (Region.exit_landings f l);
+            gated_by := (l.Loops.header, to_gate) :: !gated_by;
+            changes := !changes + 1 + List.length l.Loops.exits
+        end
+      end)
+    loops;
+  !changes
+
+(** Gate never-used components at each core entry. *)
+let entry_gating (m : Machine.t) (prog : Prog.t) (cu : Compuse.t) : int =
+  let changes = ref 0 in
+  List.iter
+    (fun entry ->
+      match Prog.find_func prog entry with
+      | None -> ()
+      | Some f ->
+        let never =
+          CS.filter
+            (fun c -> List.mem c m.Machine.components)
+            (Compuse.never_used cu ~entry)
+        in
+        if not (CS.is_empty never) then begin
+          let b = Prog.block f f.Prog.entry in
+          Region.prepend f b (Ir.Pg_off never);
+          incr changes
+        end)
+    (Prog.entries prog);
+  !changes
+
+let insert ?(opts = default_options) (m : Machine.t) (prog : Prog.t) : int =
+  let cu = Compuse.compute prog in
+  let core_use = core_use_table prog cu in
+  let n =
+    if opts.loop_gating then
+      List.fold_left
+        (fun acc f ->
+          let u =
+            Option.value ~default:CS.empty
+              (Hashtbl.find_opt core_use f.Prog.fname)
+          in
+          acc + loop_gating ~opts m prog cu ~core_use:u f)
+        0 (Prog.funcs prog)
+    else 0
+  in
+  let n = n + if opts.entry_gating then entry_gating m prog cu else 0 in
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Sink-N-Hoist merge                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-block rewrite; see module header for the three rules. *)
+let merge_block (m : Machine.t) (b : Ir.block) : int =
+  let changes = ref 0 in
+  let arr = Array.of_list b.Ir.instrs in
+  let n = Array.length arr in
+  (* cumulative nominal cycles before each position, counting only
+     non-gating instructions *)
+  let cycles_before = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    let c =
+      match arr.(i).Ir.idesc with
+      | Ir.Pg_off _ | Ir.Pg_on _ -> 0
+      | _ -> Ir.base_latency arr.(i)
+    in
+    cycles_before.(i + 1) <- cycles_before.(i) + c
+  done;
+  (* last_on.(c) / last_off.(c): position of the latest un-invalidated
+     gating instruction affecting component c *)
+  let last_on = Array.make Component.count (-1) in
+  let last_off = Array.make Component.count (-1) in
+  let remove_comp pos comp =
+    match arr.(pos).Ir.idesc with
+    | Ir.Pg_off cs -> arr.(pos).Ir.idesc <- Ir.Pg_off (CS.remove comp cs)
+    | Ir.Pg_on cs -> arr.(pos).Ir.idesc <- Ir.Pg_on (CS.remove comp cs)
+    | _ -> ()
+  in
+  for i = 0 to n - 1 do
+    match arr.(i).Ir.idesc with
+    | Ir.Pg_on cs ->
+      CS.iter
+        (fun c ->
+          let k = Component.index c in
+          if last_off.(k) >= 0 then begin
+            (* pg_off ... pg_on: keep only if region length >= break-even *)
+            let region = cycles_before.(i) - cycles_before.(last_off.(k)) in
+            if region < break_even_cycles m c then begin
+              remove_comp last_off.(k) c;
+              remove_comp i c;
+              incr changes;
+              last_off.(k) <- -1;
+              last_on.(k) <- -1
+            end
+            else begin
+              last_off.(k) <- -1;
+              last_on.(k) <- i
+            end
+          end
+          else last_on.(k) <- i)
+        cs
+    | Ir.Pg_off cs ->
+      CS.iter
+        (fun c ->
+          let k = Component.index c in
+          if last_on.(k) >= 0 then begin
+            (* pg_on ... pg_off with no use in between: stay off *)
+            remove_comp last_on.(k) c;
+            remove_comp i c;
+            incr changes;
+            last_on.(k) <- -1;
+            last_off.(k) <- -1
+          end
+          else begin
+            last_on.(k) <- -1;
+            last_off.(k) <- i
+          end)
+        cs
+    | _ ->
+      let c = Ir.component_of arr.(i) in
+      let k = Component.index c in
+      last_on.(k) <- -1;
+      last_off.(k) <- -1
+  done;
+  (* merge adjacent same-polarity gating instructions, drop empties *)
+  let merged = ref [] in
+  Array.iter
+    (fun (i : Ir.instr) ->
+      match (i.Ir.idesc, !merged) with
+      | ((Ir.Pg_off s | Ir.Pg_on s), _) when CS.is_empty s -> incr changes
+      | (Ir.Pg_off s, prev :: rest) -> (
+        match prev.Ir.idesc with
+        | Ir.Pg_off s' ->
+          prev.Ir.idesc <- Ir.Pg_off (CS.union s s');
+          incr changes;
+          merged := prev :: rest
+        | _ -> merged := i :: !merged)
+      | (Ir.Pg_on s, prev :: rest) -> (
+        match prev.Ir.idesc with
+        | Ir.Pg_on s' ->
+          prev.Ir.idesc <- Ir.Pg_on (CS.union s s');
+          incr changes;
+          merged := prev :: rest
+        | _ -> merged := i :: !merged)
+      | _ -> merged := i :: !merged)
+    arr;
+  b.Ir.instrs <- List.rev !merged;
+  !changes
+
+let merge (m : Machine.t) (prog : Prog.t) : int =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left
+        (fun acc b -> acc + merge_block m b)
+        acc (Prog.blocks_in_order f))
+    0 (Prog.funcs prog)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type counts = { off_instrs : int; on_instrs : int; components_toggled : int }
+
+let count_gating (prog : Prog.t) : counts =
+  List.fold_left
+    (fun acc f ->
+      Prog.fold_instrs f
+        (fun acc _ i ->
+          match i.Ir.idesc with
+          | Ir.Pg_off s ->
+            { acc with
+              off_instrs = acc.off_instrs + 1;
+              components_toggled = acc.components_toggled + CS.cardinal s }
+          | Ir.Pg_on s ->
+            { acc with
+              on_instrs = acc.on_instrs + 1;
+              components_toggled = acc.components_toggled + CS.cardinal s }
+          | _ -> acc)
+        acc)
+    { off_instrs = 0; on_instrs = 0; components_toggled = 0 }
+    (Prog.funcs prog)

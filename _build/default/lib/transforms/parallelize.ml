@@ -1,0 +1,618 @@
+(** Pattern-driven parallelisation (source-to-source).
+
+    Takes a type-checked MiniC program and the verified pattern instances
+    and produces a multicore program: the master core keeps (a transformed)
+    [main]; each worker core w runs a generated persistent dispatcher
+    [workerW] that waits on its work channel for a tag, executes the
+    corresponding outlined piece, and acknowledges on the instance's done
+    channel.  Tag 0 shuts a worker down; the master broadcasts it before
+    returning from [main].
+
+    Code generation per pattern:
+    - {b doall}: static block distribution; the loop is outlined to
+      [par_bodyK(lo, hi, invariants...)]; the master executes slice 0.
+    - {b reduction}: as doall, but the outlined function accumulates into
+      a local (identity-initialised) copy and returns it; workers send
+      partials back on the done channel and the master combines.
+    - {b farm}: self-scheduling from a fresh shared counter via
+      fetch-and-add, with the pragma-selected chunk size; master
+      participates in the pull loop.
+    - {b pipeline/prodcons}: stage s>0 runs on worker core s; iterations
+      flow through bounded token channels, giving cross-iteration overlap
+      with backpressure. *)
+
+module Ast = Lp_lang.Ast
+module Pattern = Lp_patterns.Pattern
+
+exception Par_error of string
+
+(** How doall/reduction iteration spaces are split across cores:
+    contiguous blocks (cache/stream friendly) or cyclically interleaved
+    (balances triangular or otherwise index-correlated work). *)
+type distribution = Block | Cyclic
+
+(** How the master learns that a non-reduction doall instance finished:
+    one acknowledge message per worker on the done channel, or a single
+    all-core barrier.  Reductions and farms keep the done channel (the
+    partials/acks ride on it); pipelines keep it too (only a subset of
+    cores participates, but a barrier is all-core). *)
+type sync = Done_channel | Barrier_sync
+
+let err fmt = Format.kasprintf (fun s -> raise (Par_error s)) fmt
+
+(* ---------------- AST construction helpers ---------------- *)
+
+let e d : Ast.expr = Ast.mk_expr d
+let s d : Ast.stmt = Ast.mk_stmt d
+let ilit n = e (Ast.Int_lit n)
+let v name = e (Ast.Var name)
+let ( +: ) a b = e (Ast.Binop (Ast.Add, a, b))
+let ( -: ) a b = e (Ast.Binop (Ast.Sub, a, b))
+let ( *: ) a b = e (Ast.Binop (Ast.Mul, a, b))
+let ( /: ) a b = e (Ast.Binop (Ast.Div, a, b))
+let ( <: ) a b = e (Ast.Binop (Ast.Lt, a, b))
+let ( <>: ) a b = e (Ast.Binop (Ast.Ne, a, b))
+let call name args = e (Ast.Call (name, args))
+let decl_int name init = s (Ast.Decl (Ast.Tint, name, Some init))
+let assign name ex = s (Ast.Assign (name, ex))
+let expr_stmt ex = s (Ast.Expr ex)
+let if_ c a b = s (Ast.If (c, a, b))
+let while_ c body = s (Ast.While (c, body))
+
+(** [for (int iv = lo; iv < hi; iv = iv + 1) body] *)
+let for_counted iv lo hi body =
+  s (Ast.For (decl_int iv lo, v iv <: hi, assign iv (v iv +: ilit 1), body))
+
+(** [for (int iv = lo; iv < hi; iv = iv + step) body] — used by outlined
+    doall bodies so one function serves both distributions. *)
+let for_strided iv lo hi step body =
+  s (Ast.For (decl_int iv lo, v iv <: hi, assign iv (v iv +: step), body))
+
+let send ch ex = expr_stmt (call "__send" [ ilit ch; ex ])
+let sendf ch ex = expr_stmt (call "__sendf" [ ilit ch; ex ])
+let recv ch = call "__recv" [ ilit ch ]
+let recvf ch = call "__recvf" [ ilit ch ]
+
+let send_typed ch (ty : Ast.ty) ex =
+  match ty with
+  | Ast.Tfloat -> sendf ch ex
+  | _ -> send ch ex
+
+let recv_typed ch (ty : Ast.ty) =
+  match ty with Ast.Tfloat -> recvf ch | _ -> recv ch
+
+(** Declare-and-receive an invariant scalar. *)
+let recv_invariants ch invs =
+  List.map
+    (fun (name, ty) -> s (Ast.Decl (ty, name, Some (recv_typed ch ty))))
+    invs
+
+let send_invariants ch invs =
+  List.map (fun (name, ty) -> send_typed ch ty (v name)) invs
+
+let identity_of_reduction = function
+  | Pattern.Rsum_int | Pattern.Rxor -> e (Ast.Int_lit 0)
+  | Pattern.Rsum_float -> e (Ast.Float_lit 0.0)
+  | Pattern.Rmax -> e (Ast.Int_lit (-2147483648))  (* INT32_MIN *)
+  | Pattern.Rmin -> e (Ast.Int_lit 2147483647)     (* INT32_MAX *)
+
+(** [acc := acc (+) part], as statements ([part] is a variable name). *)
+let combine_stmts op acc part =
+  match op with
+  | Pattern.Rsum_int | Pattern.Rsum_float ->
+    [ assign acc (e (Ast.Binop (Ast.Add, v acc, v part))) ]
+  | Pattern.Rxor -> [ assign acc (e (Ast.Binop (Ast.Bxor, v acc, v part))) ]
+  | Pattern.Rmax ->
+    [ if_ (e (Ast.Binop (Ast.Gt, v part, v acc))) [ assign acc (v part) ] [] ]
+  | Pattern.Rmin ->
+    [ if_ (e (Ast.Binop (Ast.Lt, v part, v acc))) [ assign acc (v part) ] [] ]
+
+(* ---------------- channel / name allocation ---------------- *)
+
+type alloc = {
+  n_workers : int;
+  distribution : distribution;
+  sync : sync;
+  mutable next_chan : int;
+  mutable next_barrier : int;
+  mutable extra_globals : Ast.global list;
+  mutable extra_funcs : Ast.func list;
+}
+
+let work_chan w = w - 1  (* channels 0..W-1 are the work channels *)
+
+let fresh_chan a =
+  let c = a.next_chan in
+  a.next_chan <- c + 1;
+  c
+
+let fresh_barrier a =
+  let b = a.next_barrier in
+  a.next_barrier <- b + 1;
+  b
+
+let barrier_stmt id = expr_stmt (call "__barrier" [ ilit id ])
+
+let add_func a f = a.extra_funcs <- a.extra_funcs @ [ f ]
+
+let add_counter_global a name =
+  a.extra_globals <-
+    a.extra_globals
+    @ [ { Ast.gname = name; gty = Ast.Tint; ginit = None; gpos = Ast.dummy_pos } ]
+
+let mk_func name params ret body : Ast.func =
+  { Ast.fname = name; fret = ret; fparams = params; fbody = body;
+    fpragmas = []; fpos = Ast.dummy_pos }
+
+(* ---------------- per-instance codegen ---------------- *)
+
+(** Worker slice bounds: [lo + chunk*w, min (lo + chunk*(w+1)) hi).
+    Generated as straight-line code with an [if] for the min. *)
+let slice_bounds ~pfx ~lo_var ~hi_var ~chunk_var w =
+  let sv = Printf.sprintf "%s_s%d" pfx w in
+  let ev = Printf.sprintf "%s_e%d" pfx w in
+  let stmts =
+    [
+      decl_int sv (v lo_var +: (v chunk_var *: ilit w));
+      decl_int ev (v sv +: v chunk_var);
+      if_ (v hi_var <: v ev) [ assign ev (v hi_var) ] [];
+      if_ (v hi_var <: v sv) [ assign sv (v hi_var) ] [];
+    ]
+  in
+  (stmts, sv, ev)
+
+type gen = {
+  master_block : Ast.stmt;       (** replaces the original For statement *)
+  worker_branches : (int * Ast.stmt list) list;
+      (** (worker core index, dispatch branch body) for the tag *)
+  cg : Par_info.instance_codegen;
+}
+
+let gen_doall_like a (inst : Pattern.instance) ~reduction : gen =
+  let k = inst.Pattern.id in
+  let tag = k + 1 in
+  let loop = inst.Pattern.loop in
+  let invs = inst.Pattern.invariants in
+  let nw = a.n_workers in
+  let parts = nw + 1 in
+  let pfx = Printf.sprintf "_p%d" k in
+  let done_chan = fresh_chan a in
+  let barrier =
+    match (a.sync, reduction) with
+    | (Barrier_sync, None) -> Some (fresh_barrier a)
+    | ((Done_channel | Barrier_sync), _) -> None
+  in
+  let inv_params = List.map (fun (n, ty) -> (ty, n)) invs in
+  let body_name = Printf.sprintf "par_body%d" k in
+  (* outlined slice function; the stride parameter lets one function
+     serve both block (stride 1) and cyclic (stride = parts) splits *)
+  let slice_params =
+    (Ast.Tint, "_lo") :: (Ast.Tint, "_hi") :: (Ast.Tint, "_step") :: inv_params
+  in
+  (match reduction with
+  | None ->
+    add_func a
+      (mk_func body_name slice_params Ast.Tvoid
+         [ for_strided loop.Pattern.iv (v "_lo") (v "_hi") (v "_step")
+             loop.Pattern.body ])
+  | Some (acc, ty, op) ->
+    add_func a
+      (mk_func body_name slice_params ty
+         [ s (Ast.Decl (ty, acc, Some (identity_of_reduction op)));
+           for_strided loop.Pattern.iv (v "_lo") (v "_hi") (v "_step")
+             loop.Pattern.body;
+           s (Ast.Return (Some (v acc))) ]));
+  let inv_args = List.map (fun (n, _) -> v n) invs in
+  (* master side *)
+  let lo_var = pfx ^ "_lo" and hi_var = pfx ^ "_hi" in
+  let chunk_var = pfx ^ "_chunk" in
+  let header =
+    [
+      decl_int lo_var loop.Pattern.lo;
+      decl_int hi_var loop.Pattern.hi;
+      decl_int chunk_var
+        ((v hi_var -: v lo_var +: ilit (parts - 1)) /: ilit parts);
+    ]
+  in
+  (* per-participant (start, end, step) triple under either distribution *)
+  let activations =
+    List.concat_map
+      (fun w ->
+        let (bound_stmts, start_e, end_e, step_e) =
+          match a.distribution with
+          | Block ->
+            let (stmts, sv, ev) =
+              slice_bounds ~pfx ~lo_var ~hi_var ~chunk_var w
+            in
+            (stmts, v sv, v ev, ilit 1)
+          | Cyclic -> ([], v lo_var +: ilit w, v hi_var, ilit parts)
+        in
+        bound_stmts
+        @ [ send (work_chan w) (ilit tag);
+            send (work_chan w) start_e;
+            send (work_chan w) end_e;
+            send (work_chan w) step_e ]
+        @ send_invariants (work_chan w) invs)
+      (List.init nw (fun i -> i + 1))
+  in
+  let (m_bounds, m_start, m_end, m_step) =
+    match a.distribution with
+    | Block ->
+      let (stmts, sv, ev) = slice_bounds ~pfx ~lo_var ~hi_var ~chunk_var 0 in
+      (stmts, v sv, v ev, ilit 1)
+    | Cyclic -> ([], v lo_var, v hi_var, ilit parts)
+  in
+  let master_call = call body_name (m_start :: m_end :: m_step :: inv_args) in
+  let master_work =
+    match reduction with
+    | None -> [ expr_stmt master_call ]
+    | Some (acc, ty, op) ->
+      let pv = pfx ^ "_part0" in
+      s (Ast.Decl (ty, pv, Some master_call)) :: combine_stmts op acc pv
+  in
+  let collection =
+    match barrier with
+    | Some b -> [ barrier_stmt b ]
+    | None ->
+      List.concat_map
+        (fun w ->
+          match reduction with
+          | None -> [ expr_stmt (recv done_chan) ]
+          | Some (acc, ty, op) ->
+            let pv = Printf.sprintf "%s_part%d" pfx w in
+            s (Ast.Decl (ty, pv, Some (recv_typed done_chan ty)))
+            :: combine_stmts op acc pv)
+        (List.init nw (fun i -> i + 1))
+  in
+  let master_block =
+    s (Ast.Block (header @ activations @ m_bounds @ master_work @ collection))
+  in
+  (* worker side: same branch body for every worker *)
+  let worker_branch _w ch =
+    let prologue =
+      decl_int "_lo" (recv ch) :: decl_int "_hi" (recv ch)
+      :: decl_int "_step" (recv ch)
+      :: recv_invariants ch invs
+    in
+    let wcall = call body_name (v "_lo" :: v "_hi" :: v "_step" :: inv_args) in
+    let work =
+      match (reduction, barrier) with
+      | (None, Some b) -> [ expr_stmt wcall; barrier_stmt b ]
+      | (None, None) -> [ expr_stmt wcall; send done_chan (ilit 1) ]
+      | (Some (_, ty, _), _) ->
+        [ s (Ast.Decl (ty, "_part", Some wcall));
+          send_typed done_chan ty (v "_part") ]
+    in
+    prologue @ work
+  in
+  {
+    master_block;
+    worker_branches =
+      List.init nw (fun i ->
+          let w = i + 1 in
+          (w, worker_branch w (work_chan w)));
+    cg =
+      {
+        Par_info.inst;
+        tag;
+        body_func = Some body_name;
+        stage_funcs = [];
+        done_chan;
+        token_chans = [];
+        counter_global = None;
+      };
+  }
+
+let gen_farm a (inst : Pattern.instance) : gen =
+  let k = inst.Pattern.id in
+  let tag = k + 1 in
+  let loop = inst.Pattern.loop in
+  let invs = inst.Pattern.invariants in
+  let chunk = max 1 inst.Pattern.chunk in
+  let nw = a.n_workers in
+  let pfx = Printf.sprintf "_p%d" k in
+  let done_chan = fresh_chan a in
+  let counter = Printf.sprintf "par_next%d" k in
+  add_counter_global a counter;
+  let body_name = Printf.sprintf "par_body%d" k in
+  let inv_params = List.map (fun (n, ty) -> (ty, n)) invs in
+  add_func a
+    (mk_func body_name
+       ((Ast.Tint, "_lo") :: (Ast.Tint, "_hi") :: (Ast.Tint, "_step")
+        :: inv_params)
+       Ast.Tvoid
+       [ for_strided loop.Pattern.iv (v "_lo") (v "_hi") (v "_step")
+           loop.Pattern.body ]);
+  let inv_args = List.map (fun (n, _) -> v n) invs in
+  (* the self-scheduling pull loop, shared by master and workers *)
+  let pull_loop ~hi_expr =
+    let iv = "_i" and ev = "_e" in
+    [
+      decl_int iv (call "__faa" [ v counter; ilit chunk ]);
+      while_
+        (v iv <: hi_expr)
+        [
+          decl_int ev (v iv +: ilit chunk);
+          if_ (hi_expr <: v ev) [ assign ev hi_expr ] [];
+          expr_stmt (call body_name (v iv :: v ev :: ilit 1 :: inv_args));
+          assign iv (call "__faa" [ v counter; ilit chunk ]);
+        ];
+    ]
+  in
+  let lo_var = pfx ^ "_lo" and hi_var = pfx ^ "_hi" in
+  let master_block =
+    s
+      (Ast.Block
+         ([ decl_int lo_var loop.Pattern.lo;
+            decl_int hi_var loop.Pattern.hi;
+            assign counter (v lo_var) ]
+         @ List.concat_map
+             (fun w ->
+               (send (work_chan w) (ilit tag) :: [ send (work_chan w) (v hi_var) ])
+               @ send_invariants (work_chan w) invs)
+             (List.init nw (fun i -> i + 1))
+         @ pull_loop ~hi_expr:(v hi_var)
+         @ List.map (fun _ -> expr_stmt (recv done_chan))
+             (List.init nw (fun i -> i))))
+  in
+  let worker_branch ch =
+    (decl_int "_hi" (recv ch) :: recv_invariants ch invs)
+    @ pull_loop ~hi_expr:(v "_hi")
+    @ [ send done_chan (ilit 1) ]
+  in
+  {
+    master_block;
+    worker_branches =
+      List.init nw (fun i ->
+          let w = i + 1 in
+          (w, worker_branch (work_chan w)));
+    cg =
+      {
+        Par_info.inst;
+        tag;
+        body_func = Some body_name;
+        stage_funcs = [];
+        done_chan;
+        token_chans = [];
+        counter_global = Some counter;
+      };
+  }
+
+(** When a pipeline has more stages than cores, adjacent stages are fused
+    so that the pipeline depth fits the machine; the contiguous partition
+    minimises the heaviest fused stage (the pipeline's bottleneck). *)
+let fuse_stages ~max_stages (stages : Ast.stmt list list) :
+    Ast.stmt list list =
+  if List.length stages <= max_stages then stages
+  else begin
+    let weights = List.map Lp_patterns.Ast_weight.body_weight stages in
+    let groups = Lp_patterns.Ast_weight.partition ~groups:max_stages weights in
+    List.map
+      (fun idxs -> List.concat_map (fun i -> List.nth stages i) idxs)
+      groups
+  end
+
+let gen_pipeline a (inst : Pattern.instance) : gen =
+  let k = inst.Pattern.id in
+  let tag = k + 1 in
+  let loop = inst.Pattern.loop in
+  let invs = inst.Pattern.invariants in
+  let stages = fuse_stages ~max_stages:(a.n_workers + 1) inst.Pattern.stages in
+  let n_stages = List.length stages in
+  if n_stages - 1 > a.n_workers then
+    err "pipeline with %d stages needs %d workers, have %d" n_stages
+      (n_stages - 1) a.n_workers;
+  let pfx = Printf.sprintf "_p%d" k in
+  let done_chan = fresh_chan a in
+  let token_chans = List.init (n_stages - 1) (fun _ -> fresh_chan a) in
+  let inv_params = List.map (fun (n, ty) -> (ty, n)) invs in
+  let inv_args = List.map (fun (n, _) -> v n) invs in
+  (* one function per stage: par_stageK_s(iv, invs...) *)
+  let stage_names =
+    List.mapi
+      (fun i stage_body ->
+        let name = Printf.sprintf "par_stage%d_%d" k i in
+        add_func a
+          (mk_func name ((Ast.Tint, loop.Pattern.iv) :: inv_params) Ast.Tvoid
+             stage_body);
+        name)
+      stages
+  in
+  let stage0 = List.nth stage_names 0 in
+  let tok s = List.nth token_chans s in
+  let lo_var = pfx ^ "_lo" and hi_var = pfx ^ "_hi" in
+  let master_block =
+    s
+      (Ast.Block
+         ([ decl_int lo_var loop.Pattern.lo; decl_int hi_var loop.Pattern.hi ]
+         @ List.concat_map
+             (fun st ->
+               let w = st in
+               (send (work_chan w) (ilit tag)
+               :: [ send (work_chan w) (v lo_var);
+                    send (work_chan w) (v hi_var) ])
+               @ send_invariants (work_chan w) invs)
+             (List.init (n_stages - 1) (fun i -> i + 1))
+         @ [
+             for_counted loop.Pattern.iv (v lo_var) (v hi_var)
+               [
+                 expr_stmt (call stage0 (v loop.Pattern.iv :: inv_args));
+                 send (tok 0) (ilit 1);
+               ];
+             expr_stmt (recv done_chan);
+           ]))
+  in
+  (* worker branch for stage s (worker core s) *)
+  let worker_branch st ch =
+    let name = List.nth stage_names st in
+    let last = st = n_stages - 1 in
+    let body =
+      [ expr_stmt (recv (tok (st - 1)));
+        expr_stmt (call name (v loop.Pattern.iv :: inv_args)) ]
+      @ (if last then [] else [ send (tok st) (ilit 1) ])
+    in
+    (decl_int "_lo" (recv ch) :: decl_int "_hi" (recv ch)
+    :: recv_invariants ch invs)
+    @ [ for_counted loop.Pattern.iv (v "_lo") (v "_hi") body ]
+    @ if last then [ send done_chan (ilit 1) ] else []
+  in
+  {
+    master_block;
+    worker_branches =
+      List.init (n_stages - 1) (fun i ->
+          let st = i + 1 in
+          (st, worker_branch st (work_chan st)));
+    cg =
+      {
+        Par_info.inst;
+        tag;
+        body_func = None;
+        stage_funcs = stage_names;
+        done_chan;
+        token_chans;
+        counter_global = None;
+      };
+  }
+
+let gen_instance a (inst : Pattern.instance) : gen =
+  match inst.Pattern.kind with
+  | Pattern.Doall -> gen_doall_like a inst ~reduction:None
+  | Pattern.Reduction op ->
+    let acc =
+      match (inst.Pattern.acc_var, inst.Pattern.acc_ty) with
+      | (Some acc, Some ty) -> (acc, ty, op)
+      | _ -> err "reduction instance without accumulator"
+    in
+    gen_doall_like a inst ~reduction:(Some acc)
+  | Pattern.Farm -> gen_farm a inst
+  | Pattern.Pipeline _ | Pattern.Prodcons -> gen_pipeline a inst
+
+(* ---------------- program rewriting ---------------- *)
+
+(** Replace (by physical identity) each pattern's For statement with its
+    master block, anywhere in the function body. *)
+let rec rewrite_stmts (table : (Ast.stmt * Ast.stmt) list) stmts =
+  List.map
+    (fun (st : Ast.stmt) ->
+      match List.find_opt (fun (orig, _) -> orig == st) table with
+      | Some (_, replacement) -> replacement
+      | None -> (
+        match st.Ast.sdesc with
+        | Ast.If (c, x, y) ->
+          { st with
+            Ast.sdesc =
+              Ast.If (c, rewrite_stmts table x, rewrite_stmts table y) }
+        | Ast.While (c, body) ->
+          { st with Ast.sdesc = Ast.While (c, rewrite_stmts table body) }
+        | Ast.For (i, c, sp, body) ->
+          { st with Ast.sdesc = Ast.For (i, c, sp, rewrite_stmts table body) }
+        | Ast.Block body ->
+          { st with Ast.sdesc = Ast.Block (rewrite_stmts table body) }
+        | Ast.Decl _ | Ast.Assign _ | Ast.Store _ | Ast.Return _ | Ast.Expr _
+          -> st))
+    stmts
+
+(** Generated persistent worker dispatcher for core [w]. *)
+let worker_func w (branches : (int * Ast.stmt list) list) : Ast.func =
+  let ch = work_chan w in
+  let dispatch =
+    List.map
+      (fun (tag, body) ->
+        if_ (e (Ast.Binop (Ast.Eq, v "_cmd", ilit tag))) body [])
+      branches
+  in
+  mk_func
+    (Printf.sprintf "worker%d" w)
+    [] Ast.Tint
+    [
+      decl_int "_cmd" (recv ch);
+      while_ (v "_cmd" <>: ilit 0) (dispatch @ [ assign "_cmd" (recv ch) ]);
+      s (Ast.Return (Some (ilit 0)));
+    ]
+
+(** Append worker shutdown broadcasts before every [return] of [main]
+    (and at the end if main can fall through). *)
+let rec add_shutdown_stmts nw stmts =
+  List.concat_map
+    (fun (st : Ast.stmt) ->
+      match st.Ast.sdesc with
+      | Ast.Return _ ->
+        List.map (fun w -> send (work_chan w) (ilit 0))
+          (List.init nw (fun i -> i + 1))
+        @ [ st ]
+      | Ast.If (c, a, b) ->
+        [ { st with
+            Ast.sdesc =
+              Ast.If (c, add_shutdown_stmts nw a, add_shutdown_stmts nw b) } ]
+      | Ast.While (c, body) ->
+        [ { st with Ast.sdesc = Ast.While (c, add_shutdown_stmts nw body) } ]
+      | Ast.For (i, c, sp, body) ->
+        [ { st with Ast.sdesc = Ast.For (i, c, sp, add_shutdown_stmts nw body) } ]
+      | Ast.Block body ->
+        [ { st with Ast.sdesc = Ast.Block (add_shutdown_stmts nw body) } ]
+      | Ast.Decl _ | Ast.Assign _ | Ast.Store _ | Ast.Expr _ -> [ st ])
+    stmts
+
+(** Parallelise [p] for [n_cores] cores using the given verified pattern
+    instances.  Returns the rewritten program and the metadata.  With no
+    instances or a single core, returns the program unchanged. *)
+let run ?(distribution = Block) ?(sync = Done_channel) ~(n_cores : int)
+    (p : Ast.program) (instances : Pattern.instance list) :
+    Ast.program * Par_info.t =
+  if n_cores <= 1 || instances = [] then (p, Par_info.sequential)
+  else begin
+    let nw = n_cores - 1 in
+    let a =
+      { n_workers = nw; distribution; sync; next_chan = nw; next_barrier = 0;
+        extra_globals = []; extra_funcs = [] }
+    in
+    let gens = List.map (gen_instance a) instances in
+    (* rewrite the containing functions *)
+    let table = List.map2 (fun g i -> (i.Pattern.loop_stmt, g.master_block)) gens instances in
+    let funcs =
+      List.map
+        (fun (f : Ast.func) ->
+          let body = rewrite_stmts table f.Ast.fbody in
+          let body =
+            if f.Ast.fname = "main" then
+              let body = add_shutdown_stmts nw body in
+              (* main always ends in a return (typechecked), but guard
+                 against fall-through by appending a shutdown+return *)
+              body
+            else body
+          in
+          { f with Ast.fbody = body })
+        p.Ast.funcs
+    in
+    (* per-worker dispatch branches *)
+    let workers =
+      List.init nw (fun i ->
+          let w = i + 1 in
+          let branches =
+            List.filter_map
+              (fun g ->
+                match List.assoc_opt w g.worker_branches with
+                | Some body -> Some (g.cg.Par_info.tag, body)
+                | None -> None)
+              gens
+          in
+          worker_func w branches)
+    in
+    let program =
+      {
+        Ast.globals = p.Ast.globals @ a.extra_globals;
+        funcs = funcs @ a.extra_funcs @ workers;
+      }
+    in
+    let info =
+      {
+        Par_info.n_workers = nw;
+        entries = "main" :: List.map (fun w -> w.Ast.fname) workers;
+        n_channels = a.next_chan;
+        n_barriers = a.next_barrier;
+        chan_capacity = 4;
+        instances = List.map (fun g -> g.cg) gens;
+      }
+    in
+    (program, info)
+  end

@@ -1,0 +1,56 @@
+(** Pass manager: runs named function passes over a program, collecting
+    per-pass statistics (time, number of rewrites) for the compile-stats
+    table (T5). *)
+
+module Prog = Lp_ir.Prog
+
+type stats = {
+  pass_name : string;
+  mutable runs : int;
+  mutable changes : int;
+  mutable seconds : float;
+}
+
+type func_pass = {
+  name : string;
+  run : Prog.t -> Prog.func -> int;  (** returns number of changes *)
+}
+
+type manager = { mutable all_stats : stats list }
+
+let create_manager () = { all_stats = [] }
+
+let stats_for m name =
+  match List.find_opt (fun s -> s.pass_name = name) m.all_stats with
+  | Some s -> s
+  | None ->
+    let s = { pass_name = name; runs = 0; changes = 0; seconds = 0.0 } in
+    m.all_stats <- m.all_stats @ [ s ];
+    s
+
+(** Run one pass over every function; returns total changes. *)
+let run_pass m (p : func_pass) (prog : Prog.t) : int =
+  let s = stats_for m p.name in
+  let t0 = Sys.time () in
+  let changes =
+    List.fold_left (fun acc f -> acc + p.run prog f) 0 (Prog.funcs prog)
+  in
+  s.runs <- s.runs + 1;
+  s.changes <- s.changes + changes;
+  s.seconds <- s.seconds +. (Sys.time () -. t0);
+  changes
+
+(** Run a list of passes repeatedly until a full sweep changes nothing
+    (bounded by [max_rounds]). *)
+let run_to_fixpoint ?(max_rounds = 8) m passes prog =
+  let rec loop round =
+    if round < max_rounds then begin
+      let changed =
+        List.fold_left (fun acc p -> acc + run_pass m p prog) 0 passes
+      in
+      if changed > 0 then loop (round + 1)
+    end
+  in
+  loop 0
+
+let stats m = m.all_stats

@@ -1,0 +1,75 @@
+(** Loop-region instrumentation: create a preheader to hold instructions
+    executed once before a natural loop, and split exit edges to hold
+    instructions executed once after it.  Shared by the gating and DVFS
+    insertion passes. *)
+
+module Ir = Lp_ir.Ir
+module Prog = Lp_ir.Prog
+module Cfg = Lp_analysis.Cfg
+module Loops = Lp_analysis.Loops
+
+let retarget_term term ~from ~to_ =
+  match term with
+  | Ir.Jmp l when l = from -> Ir.Jmp to_
+  | Ir.Br (c, l1, l2) ->
+    Ir.Br
+      (c, (if l1 = from then to_ else l1), if l2 = from then to_ else l2)
+  | Ir.Jmp _ | Ir.Ret _ -> term
+
+(** Create (or reuse) a preheader for [l]: a block through which every
+    entry into the loop passes.  Returns [None] when the loop header is
+    the function entry (cannot be given a preheader without changing the
+    entry). *)
+let preheader (f : Prog.func) (l : Loops.loop) : Ir.block option =
+  if l.Loops.header = f.Prog.entry then None
+  else begin
+    let cfg = Cfg.build f in
+    let outside_preds =
+      List.filter
+        (fun p -> not (Loops.contains l p))
+        (Cfg.preds cfg l.Loops.header)
+    in
+    match outside_preds with
+    | [ p ] -> (
+      (* a unique outside predecessor that only jumps to the header is
+         already a preheader *)
+      let pb = Prog.block f p in
+      match pb.Ir.term with
+      | Ir.Jmp _ -> Some pb
+      | Ir.Br _ | Ir.Ret _ ->
+        let nb = Prog.new_block f in
+        nb.Ir.term <- Ir.Jmp l.Loops.header;
+        pb.Ir.term <-
+          retarget_term pb.Ir.term ~from:l.Loops.header ~to_:nb.Ir.bid;
+        Some nb)
+    | _ ->
+      let nb = Prog.new_block f in
+      nb.Ir.term <- Ir.Jmp l.Loops.header;
+      List.iter
+        (fun p ->
+          let pb = Prog.block f p in
+          pb.Ir.term <-
+            retarget_term pb.Ir.term ~from:l.Loops.header ~to_:nb.Ir.bid)
+        outside_preds;
+      Some nb
+  end
+
+(** Split every exit edge of [l], returning the landing blocks (one per
+    exit edge) into which post-loop instructions can be inserted. *)
+let exit_landings (f : Prog.func) (l : Loops.loop) : Ir.block list =
+  List.map
+    (fun (inside, outside) ->
+      let nb = Prog.new_block f in
+      nb.Ir.term <- Ir.Jmp outside;
+      let ib = Prog.block f inside in
+      ib.Ir.term <- retarget_term ib.Ir.term ~from:outside ~to_:nb.Ir.bid;
+      nb)
+    l.Loops.exits
+
+(** Append an instruction to a block. *)
+let append (f : Prog.func) (b : Ir.block) idesc =
+  b.Ir.instrs <- b.Ir.instrs @ [ Prog.new_instr f idesc ]
+
+(** Prepend an instruction to a block. *)
+let prepend (f : Prog.func) (b : Ir.block) idesc =
+  b.Ir.instrs <- Prog.new_instr f idesc :: b.Ir.instrs

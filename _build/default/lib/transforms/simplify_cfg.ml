@@ -1,0 +1,97 @@
+(** CFG cleanup: unreachable-block pruning, jump threading through empty
+    blocks, straight-line block merging, and trivial-branch collapsing.
+
+    Running this between gating insertion and the Sink-N-Hoist merge is
+    load-bearing: it fuses the [pg_on]-on-exit block of one loop with the
+    [pg_off]-preheader of the next, turning the cross-region merge into a
+    local rewrite. *)
+
+module Ir = Lp_ir.Ir
+module Prog = Lp_ir.Prog
+module Cfg = Lp_analysis.Cfg
+
+(** Collapse [Br c l l] into [Jmp l]. *)
+let collapse_trivial_br (f : Prog.func) : int =
+  let n = ref 0 in
+  Prog.iter_blocks f (fun b ->
+      match b.Ir.term with
+      | Ir.Br (_, l1, l2) when l1 = l2 ->
+        incr n;
+        b.Ir.term <- Ir.Jmp l1
+      | Ir.Br _ | Ir.Jmp _ | Ir.Ret _ -> ());
+  !n
+
+(** Thread jumps through empty forwarding blocks (no instructions,
+    terminator [Jmp l]).  The entry block is never removed. *)
+let thread_empty (f : Prog.func) : int =
+  let n = ref 0 in
+  let forward = Hashtbl.create 8 in
+  Prog.iter_blocks f (fun b ->
+      match (b.Ir.instrs, b.Ir.term) with
+      | ([], Ir.Jmp l) when b.Ir.bid <> f.Prog.entry && l <> b.Ir.bid ->
+        Hashtbl.replace forward b.Ir.bid l
+      | _ -> ());
+  (* resolve chains, guarding against cycles *)
+  let rec resolve seen l =
+    match Hashtbl.find_opt forward l with
+    | Some next when not (List.mem next seen) -> resolve (l :: seen) next
+    | Some _ | None -> l
+  in
+  Prog.iter_blocks f (fun b ->
+      let new_term =
+        match b.Ir.term with
+        | Ir.Jmp l ->
+          let l' = resolve [ b.Ir.bid ] l in
+          if l' <> l then incr n;
+          Ir.Jmp l'
+        | Ir.Br (c, l1, l2) ->
+          let l1' = resolve [ b.Ir.bid ] l1 in
+          let l2' = resolve [ b.Ir.bid ] l2 in
+          if l1' <> l1 || l2' <> l2 then incr n;
+          Ir.Br (c, l1', l2')
+        | Ir.Ret _ as t -> t
+      in
+      b.Ir.term <- new_term);
+  !n
+
+(** Merge [b -> c] when [b] ends in [Jmp c] and [c] has exactly one
+    predecessor (and is not the entry). *)
+let merge_linear (f : Prog.func) : int =
+  let n = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let cfg = Cfg.build f in
+    let merged = ref false in
+    List.iter
+      (fun bid ->
+        if not !merged then begin
+          let b = Prog.block f bid in
+          match b.Ir.term with
+          | Ir.Jmp c_id
+            when c_id <> f.Prog.entry && c_id <> bid
+                 && Cfg.preds cfg c_id = [ bid ] ->
+            let c = Prog.block f c_id in
+            b.Ir.instrs <- b.Ir.instrs @ c.Ir.instrs;
+            b.Ir.term <- c.Ir.term;
+            f.Prog.block_order <-
+              List.filter (fun l -> l <> c_id) f.Prog.block_order;
+            Hashtbl.remove f.Prog.blocks c_id;
+            incr n;
+            merged := true;
+            changed := true
+          | Ir.Jmp _ | Ir.Br _ | Ir.Ret _ -> ()
+        end)
+      (List.map (fun b -> b.Ir.bid) (Prog.blocks_in_order f))
+  done;
+  !n
+
+let run_func (f : Prog.func) : int =
+  let c1 = collapse_trivial_br f in
+  let c2 = thread_empty f in
+  let c3 = Cfg.prune_unreachable f in
+  let c4 = merge_linear f in
+  c1 + c2 + c3 + c4
+
+let pass : Pass.func_pass =
+  { Pass.name = "simplify-cfg"; run = (fun _ f -> run_func f) }

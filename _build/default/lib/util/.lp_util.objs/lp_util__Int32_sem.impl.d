@@ -1,0 +1,1 @@
+lib/util/int32_sem.ml:

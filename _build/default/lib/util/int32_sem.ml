@@ -1,0 +1,8 @@
+(** 32-bit two's-complement integer semantics shared by the simulator and
+    the constant folder — they must agree bit-for-bit, otherwise folding
+    would change observable program results. *)
+
+(** Wrap a host integer to signed 32-bit. *)
+let wrap32 x =
+  let m = x land 0xFFFFFFFF in
+  if m land 0x80000000 <> 0 then m - 0x100000000 else m

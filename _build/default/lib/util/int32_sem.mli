@@ -1,0 +1,5 @@
+(** 32-bit two's-complement semantics shared by the simulator and the
+    constant folder; the two must agree bit-for-bit. *)
+
+(** Wrap a host integer to signed 32-bit. *)
+val wrap32 : int -> int

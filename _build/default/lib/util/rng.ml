@@ -1,0 +1,62 @@
+(** Deterministic pseudo-random number generator.
+
+    All stochastic parts of the reproduction (workload input generation,
+    simulated bus jitter, property-test corpora) draw from this
+    splitmix64-based generator so that every run of the benchmark harness
+    is bit-reproducible.  The OCaml [Random] module is deliberately not
+    used anywhere in the repository. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step: the constants are from Steele, Lea & Flood,
+   "Fast splittable pseudorandom number generators" (OOPSLA 2014). *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** [int t bound] is a uniform integer in [\[0, bound)].  [bound] must be
+    positive. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+(** [int_in t lo hi] is a uniform integer in the inclusive range
+    [\[lo, hi\]]. *)
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+(** [float t bound] is a uniform float in [\[0, bound)]. *)
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+(** [bool t] is a fair coin flip. *)
+let bool t = int t 2 = 0
+
+(** [choose t xs] picks a uniform element of the non-empty list [xs]. *)
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(** [shuffle t xs] is a Fisher-Yates shuffle of [xs]. *)
+let shuffle t xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

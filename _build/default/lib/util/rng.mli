@@ -1,0 +1,34 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    Every stochastic part of the repository (workload input generation,
+    property-test corpora) draws from this generator, never from the
+    OCaml [Random] module, so all runs are bit-reproducible. *)
+
+type t
+
+(** Create a generator from an integer seed. *)
+val create : seed:int -> t
+
+(** Independent copy continuing from the same state. *)
+val copy : t -> t
+
+(** Raw 64-bit step. *)
+val next_int64 : t -> int64
+
+(** Uniform integer in [\[0, bound)]; [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform integer in the inclusive range [\[lo, hi\]]. *)
+val int_in : t -> int -> int -> int
+
+(** Uniform float in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** Fair coin flip. *)
+val bool : t -> bool
+
+(** Uniform element of a non-empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** Fisher-Yates shuffle. *)
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,69 @@
+(** Small statistics helpers used by the benchmark harness and the
+    simulator's result reporting. *)
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty list"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let n = float_of_int (List.length xs) in
+    List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. (n -. 1.0)
+
+let stddev xs = sqrt (variance xs)
+
+(** Geometric mean; every element must be positive. *)
+let geomean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.geomean: empty list"
+  | _ ->
+    let sum_logs =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geomean: non-positive element";
+          acc +. log x)
+        0.0 xs
+    in
+    exp (sum_logs /. float_of_int (List.length xs))
+
+let minimum xs =
+  match xs with
+  | [] -> invalid_arg "Stats.minimum: empty list"
+  | x :: rest -> List.fold_left min x rest
+
+let maximum xs =
+  match xs with
+  | [] -> invalid_arg "Stats.maximum: empty list"
+  | x :: rest -> List.fold_left max x rest
+
+(** [percentile p xs] is the [p]-th percentile (0..100) of [xs] using
+    linear interpolation between closest ranks. *)
+let percentile p xs =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | _ ->
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then a.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+(** Relative change [(after - before) / before], as a percentage.
+    Negative means reduction. *)
+let percent_change ~before ~after =
+  if before = 0.0 then invalid_arg "Stats.percent_change: zero baseline";
+  (after -. before) /. before *. 100.0
+
+(** Reduction [(before - after) / before] as a percentage; positive means
+    improvement. *)
+let percent_reduction ~before ~after = -.percent_change ~before ~after

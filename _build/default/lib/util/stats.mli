@@ -1,0 +1,25 @@
+(** Statistics helpers for the benchmark harness and result reporting.
+    All functions raise [Invalid_argument] on empty input. *)
+
+val mean : float list -> float
+
+(** Sample variance (n-1 denominator); 0 for lists shorter than 2. *)
+val variance : float list -> float
+
+val stddev : float list -> float
+
+(** Geometric mean; every element must be positive. *)
+val geomean : float list -> float
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+(** [percentile p xs] for [p] in [\[0, 100\]], linear interpolation
+    between closest ranks. *)
+val percentile : float -> float list -> float
+
+(** [(after - before) / before * 100]; negative means reduction. *)
+val percent_change : before:float -> after:float -> float
+
+(** [(before - after) / before * 100]; positive means improvement. *)
+val percent_reduction : before:float -> after:float -> float

@@ -1,0 +1,1 @@
+lib/workloads/media.ml: Printf Workload

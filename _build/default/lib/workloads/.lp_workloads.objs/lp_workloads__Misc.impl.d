@@ -1,0 +1,1 @@
+lib/workloads/misc.ml: Float List Printf Workload

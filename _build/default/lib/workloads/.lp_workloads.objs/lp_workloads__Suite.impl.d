@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Kernels List Media Misc Workload

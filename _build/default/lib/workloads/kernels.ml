@@ -1,0 +1,212 @@
+(** DSP kernel workloads: FIR, dot products, matrix multiply, 2-D
+    convolution, multi-channel IIR. *)
+
+open Workload
+
+let fir =
+  let n = 1800 and taps = 16 in
+  let sig_data = rand_ints ~seed:101 ~n:(n + taps) ~lo:(-128) ~hi:127 in
+  let coef = rand_ints ~seed:102 ~n:taps ~lo:(-16) ~hi:16 in
+  {
+    name = "fir";
+    description = "16-tap FIR filter over a 1800-sample signal";
+    expected_pattern = "doall";
+    check_globals = [ "fir_out" ];
+    source =
+      Printf.sprintf
+        {|
+int fir_sig[%d] = %s;
+int fir_coef[%d] = %s;
+int fir_out[%d];
+
+int main() {
+  for (int i = 0; i < %d; i = i + 1) {
+    int s = 0;
+    for (int k = 0; k < %d; k = k + 1) {
+      s = s + fir_sig[i + k] * fir_coef[k];
+    }
+    fir_out[i] = s;
+  }
+  int chk = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    chk = chk * 3 + fir_out[i];
+  }
+  return chk;
+}
+|}
+        (n + taps) (init_list sig_data) taps (init_list coef) n n taps n;
+  }
+
+let dotprod =
+  let n = 4096 in
+  let a = rand_ints ~seed:103 ~n ~lo:(-100) ~hi:100 in
+  let b = rand_ints ~seed:104 ~n ~lo:(-100) ~hi:100 in
+  {
+    name = "dotprod";
+    description = "integer dot product of two 4096-element vectors";
+    expected_pattern = "reduction(+)";
+    check_globals = [];
+    source =
+      Printf.sprintf
+        {|
+int dp_a[%d] = %s;
+int dp_b[%d] = %s;
+
+int main() {
+  int acc = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    acc = acc + dp_a[i] * dp_b[i];
+  }
+  return acc;
+}
+|}
+        n (init_list a) n (init_list b) n;
+  }
+
+let fdotprod =
+  let n = 2048 in
+  let a = rand_ints ~seed:105 ~n ~lo:(-50) ~hi:50 in
+  let b = rand_ints ~seed:106 ~n ~lo:(-50) ~hi:50 in
+  {
+    name = "fdotprod";
+    description = "floating-point dot product (exercises the FPU)";
+    expected_pattern = "reduction(+f)";
+    check_globals = [];
+    source =
+      Printf.sprintf
+        {|
+int fdp_ia[%d] = %s;
+int fdp_ib[%d] = %s;
+float fdp_a[%d];
+float fdp_b[%d];
+
+int main() {
+  for (int i = 0; i < %d; i = i + 1) {
+    fdp_a[i] = float(fdp_ia[i]) / 4.0;
+    fdp_b[i] = float(fdp_ib[i]) / 8.0;
+  }
+  float acc = 0.0;
+  for (int i = 0; i < %d; i = i + 1) {
+    acc = acc + fdp_a[i] * fdp_b[i];
+  }
+  return int(acc);
+}
+|}
+        n (init_list a) n (init_list b) n n n n;
+  }
+
+let matmul =
+  let dim = 28 in
+  let a = rand_ints ~seed:107 ~n:(dim * dim) ~lo:(-20) ~hi:20 in
+  let b = rand_ints ~seed:108 ~n:(dim * dim) ~lo:(-20) ~hi:20 in
+  {
+    name = "matmul";
+    description =
+      Printf.sprintf "%dx%d integer matrix multiply, row-parallel (trusted)"
+        dim dim;
+    expected_pattern = "doall";
+    check_globals = [ "mm_c" ];
+    source =
+      Printf.sprintf
+        {|
+int mm_a[%d] = %s;
+int mm_b[%d] = %s;
+int mm_c[%d];
+
+int main() {
+  #pragma lp pattern(doall, trust)
+  for (int i = 0; i < %d; i = i + 1) {
+    for (int j = 0; j < %d; j = j + 1) {
+      int s = 0;
+      for (int k = 0; k < %d; k = k + 1) {
+        s = s + mm_a[i * %d + k] * mm_b[k * %d + j];
+      }
+      mm_c[i * %d + j] = s;
+    }
+  }
+  int chk = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    chk = chk * 3 + mm_c[i];
+  }
+  return chk;
+}
+|}
+        (dim * dim) (init_list a) (dim * dim) (init_list b) (dim * dim) dim dim
+        dim dim dim dim (dim * dim);
+  }
+
+let conv2d =
+  let w = 46 and h = 46 in
+  let img = rand_ints ~seed:109 ~n:(w * h) ~lo:0 ~hi:255 in
+  let ow = w - 2 and oh = h - 2 in
+  {
+    name = "conv2d";
+    description = "3x3 box convolution over a 46x46 image (uses divider)";
+    expected_pattern = "doall";
+    check_globals = [ "cv_out" ];
+    source =
+      Printf.sprintf
+        {|
+int cv_img[%d] = %s;
+int cv_out[%d];
+
+int main() {
+  for (int i = 0; i < %d; i = i + 1) {
+    int row = i / %d + 1;
+    int col = i %% %d + 1;
+    int s = 0;
+    for (int dy = 0; dy < 3; dy = dy + 1) {
+      for (int dx = 0; dx < 3; dx = dx + 1) {
+        s = s + cv_img[(row + dy - 1) * %d + col + dx - 1];
+      }
+    }
+    cv_out[i] = s / 9;
+  }
+  int chk = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    chk = chk * 3 + cv_out[i];
+  }
+  return chk;
+}
+|}
+        (w * h) (init_list img) (ow * oh) (ow * oh) ow ow w (ow * oh);
+  }
+
+let iir =
+  let channels = 8 and len = 480 in
+  let input = rand_ints ~seed:110 ~n:(channels * len) ~lo:(-512) ~hi:511 in
+  {
+    name = "iir";
+    description =
+      "per-channel fixed-point IIR over 8 independent channels (trusted doall)";
+    expected_pattern = "doall";
+    check_globals = [ "iir_out" ];
+    source =
+      Printf.sprintf
+        {|
+int iir_in[%d] = %s;
+int iir_out[%d];
+
+int main() {
+  #pragma lp pattern(doall, trust)
+  for (int c = 0; c < %d; c = c + 1) {
+    int y1 = 0;
+    int y2 = 0;
+    for (int t = 0; t < %d; t = t + 1) {
+      int x = iir_in[c * %d + t];
+      int y = x + (y1 * 3) / 4 - (y2 * 1) / 4;
+      iir_out[c * %d + t] = y;
+      y2 = y1;
+      y1 = y;
+    }
+  }
+  int chk = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    chk = chk * 3 + iir_out[i];
+  }
+  return chk;
+}
+|}
+        (channels * len) (init_list input) (channels * len) channels len len
+        len (channels * len);
+  }

@@ -1,0 +1,309 @@
+(** Media-flavoured workloads: pipelines, edge detection, fractal
+    iteration counts. *)
+
+open Workload
+
+let imgpipe =
+  let n = 2048 in
+  let raw = rand_ints ~seed:201 ~n ~lo:0 ~hi:255 in
+  {
+    name = "imgpipe";
+    description =
+      "3-stage per-pixel image pipeline (transform/quantize/encode), \
+       verified, with roughly balanced stages";
+    expected_pattern = "pipeline(3)";
+    check_globals = [ "ip_out" ];
+    source =
+      Printf.sprintf
+        {|
+int ip_raw[%d] = %s;
+int ip_tmp[%d];
+int ip_q[%d];
+int ip_out[%d];
+
+int main() {
+  #pragma lp pattern(pipeline)
+  for (int i = 0; i < %d; i = i + 1) {
+    int acc = ip_raw[i] * 7;
+    for (int k = 0; k < 8; k = k + 1) {
+      acc = acc + ((ip_raw[i] * (k + 3)) >> 2) - (acc >> 3);
+    }
+    ip_tmp[i] = acc;
+    #pragma lp stage
+    int q = ip_tmp[i];
+    int lvl = 0;
+    for (int k = 0; k < 6; k = k + 1) {
+      if (q > lvl * 9) { lvl = lvl + q / (k + 17); }
+    }
+    ip_q[i] = lvl;
+    #pragma lp stage
+    int qv = ip_q[i];
+    int e = qv;
+    for (int k = 0; k < 6; k = k + 1) {
+      e = e + ((qv << (k %% 3)) - e) / 3;
+    }
+    if (i > 0) {
+      ip_out[i] = e - ip_q[i - 1];
+    } else {
+      ip_out[i] = e;
+    }
+  }
+  int chk = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    chk = chk * 3 + ip_out[i];
+  }
+  return chk;
+}
+|}
+        n (init_list raw) n n n n n;
+  }
+
+let jpegblocks =
+  let blocks = 144 and bsize = 16 in
+  let n = blocks * bsize in
+  let raw = rand_ints ~seed:202 ~n ~lo:0 ~hi:255 in
+  {
+    name = "jpegblocks";
+    description =
+      "block-based 3-stage codec pipeline (16-px blocks, trusted indices)";
+    expected_pattern = "pipeline(3)";
+    check_globals = [ "jb_out" ];
+    source =
+      Printf.sprintf
+        {|
+int jb_raw[%d] = %s;
+int jb_dct[%d];
+int jb_qnt[%d];
+int jb_out[%d];
+
+int main() {
+  #pragma lp pattern(pipeline, trust)
+  for (int b = 0; b < %d; b = b + 1) {
+    for (int k = 0; k < %d; k = k + 1) {
+      int s = 0;
+      for (int j = 0; j < 8; j = j + 1) {
+        s = s + jb_raw[b * %d + j * 2] * ((k * j) %% 7 - 3);
+      }
+      jb_dct[b * %d + k] = s;
+    }
+    #pragma lp stage
+    for (int k = 0; k < %d; k = k + 1) {
+      int v = jb_dct[b * %d + k];
+      int q = v / (k + 2);
+      q = q + (v - q * (k + 2)) / (k + 3);
+      jb_qnt[b * %d + k] = q;
+    }
+    #pragma lp stage
+    int run = 0;
+    for (int k = 0; k < %d; k = k + 1) {
+      int v = jb_qnt[b * %d + k];
+      if (v < 0) { v = -v; }
+      run = (run * 5 + v) %% 8191;
+      jb_out[b * %d + k] = (v >> 1) + run %% 3;
+    }
+  }
+  int chk = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    chk = chk * 3 + jb_out[i];
+  }
+  return chk;
+}
+|}
+        n (init_list raw) n n n blocks bsize bsize bsize bsize bsize bsize
+        bsize bsize bsize n;
+  }
+
+let susan =
+  let w = 48 and h = 48 in
+  let img = rand_ints ~seed:203 ~n:(w * h) ~lo:0 ~hi:255 in
+  {
+    name = "susan";
+    description =
+      "SUSAN-like corner response with boundary branches (inferred farm)";
+    expected_pattern = "farm";
+    check_globals = [ "su_out" ];
+    source =
+      Printf.sprintf
+        {|
+int su_img[%d] = %s;
+int su_out[%d];
+
+int main() {
+  for (int i = 0; i < %d; i = i + 1) {
+    int row = i / %d;
+    int col = i %% %d;
+    if (row > 0 && row < %d && col > 0 && col < %d) {
+      int center = su_img[i];
+      int n = 0;
+      for (int dy = 0; dy < 3; dy = dy + 1) {
+        for (int dx = 0; dx < 3; dx = dx + 1) {
+          int p = su_img[(row + dy - 1) * %d + col + dx - 1];
+          int d = p - center;
+          if (d < 0) { d = -d; }
+          if (d < 27) { n = n + 1; }
+        }
+      }
+      su_out[i] = n;
+    } else {
+      su_out[i] = 0;
+    }
+  }
+  int chk = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    chk = chk * 3 + su_out[i];
+  }
+  return chk;
+}
+|}
+        (w * h) (init_list img) (w * h) (w * h) w w (h - 1) (w - 1) w (w * h);
+  }
+
+let fraciter =
+  let n = 900 in
+  {
+    name = "fraciter";
+    description =
+      "fixed-point escape-time iteration per pixel (annotated farm, chunk 8)";
+    expected_pattern = "farm";
+    check_globals = [ "fr_out" ];
+    source =
+      Printf.sprintf
+        {|
+int fr_out[%d];
+
+int main() {
+  #pragma lp pattern(farm, chunk=8)
+  for (int i = 0; i < %d; i = i + 1) {
+    int cx = (i %% 30) * 34 - 512;
+    int cy = (i / 30) * 34 - 512;
+    int zx = 0;
+    int zy = 0;
+    int it = 0;
+    int live = 1;
+    while (live && it < 48) {
+      int zx2 = (zx * zx) / 256 - (zy * zy) / 256 + cx;
+      int zy2 = (2 * zx * zy) / 256 + cy;
+      zx = zx2;
+      zy = zy2;
+      if (zx > 1024 || zx < -1024 || zy > 1024 || zy < -1024) { live = 0; }
+      it = it + 1;
+    }
+    fr_out[i] = it;
+  }
+  int chk = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    chk = chk * 3 + fr_out[i];
+  }
+  return chk;
+}
+|}
+        n n n;
+  }
+
+let audio5 =
+  let n = 1400 in
+  let pcm = rand_ints ~seed:204 ~n ~lo:(-2048) ~hi:2047 in
+  {
+    name = "audio5";
+    description =
+      "5-stage audio effects chain (gain/biquad-ish/clip/dither/pack); \
+       deeper than most machines, exercising pipeline stage fusion";
+    expected_pattern = "pipeline(5)";
+    check_globals = [ "au_out" ];
+    source =
+      Printf.sprintf
+        {|
+int au_pcm[%d] = %s;
+int au_g[%d];
+int au_f[%d];
+int au_c[%d];
+int au_d[%d];
+int au_out[%d];
+
+int main() {
+  #pragma lp pattern(pipeline)
+  for (int i = 0; i < %d; i = i + 1) {
+    int g = au_pcm[i] * 11;
+    for (int k = 0; k < 4; k = k + 1) {
+      g = g + (au_pcm[i] * (k + 2)) / 16;
+    }
+    au_g[i] = g;
+    #pragma lp stage
+    int acc = au_g[i] * 6;
+    for (int k = 0; k < 5; k = k + 1) {
+      acc = acc - (acc >> 2) + au_g[i] * k;
+    }
+    au_f[i] = acc / 8;
+    #pragma lp stage
+    int cv = au_f[i];
+    if (cv > 16384) { cv = 16384 + (cv - 16384) / 4; }
+    if (cv < -16384) { cv = -16384 + (cv + 16384) / 4; }
+    for (int k = 0; k < 3; k = k + 1) {
+      cv = cv - cv / (k + 9);
+    }
+    au_c[i] = cv;
+    #pragma lp stage
+    int dn = au_c[i] + ((i * 1103515245 + 12345) >> 18) %% 7 - 3;
+    for (int k = 0; k < 3; k = k + 1) {
+      dn = dn + ((dn >> (k + 3)) ^ (k * 5));
+    }
+    au_d[i] = dn;
+    #pragma lp stage
+    au_out[i] = ((au_d[i] >> 1) & 65535) ^ (au_d[i] << 3);
+  }
+  int chk = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    chk = chk * 3 + au_out[i];
+  }
+  return chk;
+}
+|}
+        n (init_list pcm) n n n n n n n;
+  }
+
+let prodcons_stream =
+  let n = 2200 in
+  let samples = rand_ints ~seed:205 ~n ~lo:(-1000) ~hi:1000 in
+  {
+    name = "prodcons";
+    description =
+      "producer/consumer stream: feature extraction feeds thresholding \
+       through a bounded buffer (annotated prodcons, 2 stages)";
+    expected_pattern = "prodcons";
+    check_globals = [ "pc_out" ];
+    source =
+      Printf.sprintf
+        {|
+int pc_in[%d] = %s;
+int pc_feat[%d];
+int pc_out[%d];
+
+int main() {
+  #pragma lp pattern(prodcons)
+  for (int i = 0; i < %d; i = i + 1) {
+    int v = pc_in[i];
+    int energy = v * v;
+    for (int k = 0; k < 5; k = k + 1) {
+      energy = energy - (energy >> 3) + v * k;
+    }
+    pc_feat[i] = energy;
+    #pragma lp stage
+    int f = pc_feat[i];
+    int label = 0;
+    if (f > 40000) { label = 2; } else {
+      if (f > 2000) { label = 1; }
+    }
+    for (int k = 0; k < 4; k = k + 1) {
+      label = label + ((f >> (k + 6)) & 1);
+    }
+    pc_out[i] = label;
+  }
+  int chk = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    chk = chk * 3 + pc_out[i];
+  }
+  return chk;
+}
+|}
+        n (init_list samples) n n n n;
+  }

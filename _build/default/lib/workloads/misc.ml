@@ -1,0 +1,342 @@
+(** Checksum / search / codec / transform workloads, including the two
+    deliberately sequential programs that exercise the detector's
+    rejection paths. *)
+
+open Workload
+
+let crc32 =
+  let n = 4096 in
+  let msg = rand_ints ~seed:301 ~n ~lo:0 ~hi:255 in
+  {
+    name = "crc32";
+    description = "xor-fold checksum over a 4096-byte message (xor reduction)";
+    expected_pattern = "reduction(^)";
+    check_globals = [];
+    source =
+      Printf.sprintf
+        {|
+int crc_msg[%d] = %s;
+
+int main() {
+  int acc = 305419896;
+  for (int i = 0; i < %d; i = i + 1) {
+    acc = acc ^ (crc_msg[i] * (i %% 16 + 1) + (crc_msg[i] << (i %% 8)));
+  }
+  return acc;
+}
+|}
+        n (init_list msg) n;
+  }
+
+let stringsearch =
+  let n = 3072 in
+  let pat_len = 8 in
+  (* text drawn from a tiny alphabet so matches actually occur *)
+  let text = rand_ints ~seed:302 ~n ~lo:0 ~hi:3 in
+  let pat = rand_ints ~seed:303 ~n:pat_len ~lo:0 ~hi:3 in
+  {
+    name = "stringsearch";
+    description = "count pattern occurrences in a 3072-char text (reduction)";
+    expected_pattern = "reduction(+)";
+    check_globals = [];
+    source =
+      Printf.sprintf
+        {|
+int ss_text[%d] = %s;
+int ss_pat[%d] = %s;
+
+int main() {
+  int matches = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    int hit = 1;
+    for (int k = 0; k < %d; k = k + 1) {
+      if (ss_text[i + k] != ss_pat[k]) { hit = 0; }
+    }
+    matches = matches + hit;
+  }
+  return matches;
+}
+|}
+        n (init_list text) pat_len (init_list pat) (n - pat_len) pat_len;
+  }
+
+let histogram =
+  let n = 4096 in
+  let img = rand_ints ~seed:304 ~n ~lo:0 ~hi:63 in
+  {
+    name = "histogram";
+    description =
+      "64-bin histogram; data-dependent writes make it provably \
+       unparallelisable under the catalog (stays sequential)";
+    expected_pattern = "none";
+    check_globals = [ "hg_bins" ];
+    source =
+      Printf.sprintf
+        {|
+int hg_img[%d] = %s;
+int hg_bins[64];
+
+int main() {
+  for (int i = 0; i < %d; i = i + 1) {
+    hg_bins[hg_img[i]] = hg_bins[hg_img[i]] + 1;
+  }
+  int chk = 0;
+  for (int i = 0; i < 64; i = i + 1) {
+    chk = chk * 3 + hg_bins[i];
+  }
+  return chk;
+}
+|}
+        n (init_list img) n;
+  }
+
+let adpcm =
+  let n = 4000 in
+  let input = rand_ints ~seed:305 ~n ~lo:(-512) ~hi:511 in
+  {
+    name = "adpcm";
+    description =
+      "ADPCM-like predictive coder; the predictor state is loop-carried, \
+       so detection correctly rejects it (stays sequential)";
+    expected_pattern = "none";
+    check_globals = [ "ad_out" ];
+    source =
+      Printf.sprintf
+        {|
+int ad_in[%d] = %s;
+int ad_out[%d];
+
+int main() {
+  int pred = 0;
+  int step = 4;
+  for (int i = 0; i < %d; i = i + 1) {
+    int diff = ad_in[i] - pred;
+    int code = diff / step;
+    if (code > 7) { code = 7; }
+    if (code < -8) { code = -8; }
+    ad_out[i] = code;
+    pred = pred + code * step;
+    if (code > 3 || code < -4) { step = step * 2; } else {
+      step = step / 2;
+    }
+    if (step < 4) { step = 4; }
+    if (step > 512) { step = 512; }
+  }
+  int chk = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    chk = chk * 3 + ad_out[i];
+  }
+  return chk;
+}
+|}
+        n (init_list input) n n n;
+  }
+
+let fft =
+  let n = 256 in
+  let logn = 8 in
+  let re = rand_ints ~seed:306 ~n ~lo:(-128) ~hi:127 in
+  let im = rand_ints ~seed:307 ~n ~lo:(-128) ~hi:127 in
+  let scale = 1024 in
+  let cos_tab =
+    List.init (n / 2) (fun k ->
+        int_of_float
+          (Float.round
+             (float_of_int scale
+             *. cos (2.0 *. Float.pi *. float_of_int k /. float_of_int n))))
+  in
+  let sin_tab =
+    List.init (n / 2) (fun k ->
+        int_of_float
+          (Float.round
+             (float_of_int scale
+             *. sin (2.0 *. Float.pi *. float_of_int k /. float_of_int n))))
+  in
+  {
+    name = "fft";
+    description =
+      "256-point fixed-point FFT; each stage's butterfly loop is a trusted \
+       doall nested in the sequential stage loop";
+    expected_pattern = "doall";
+    check_globals = [ "ff_re"; "ff_im" ];
+    source =
+      Printf.sprintf
+        {|
+int ff_re[%d] = %s;
+int ff_im[%d] = %s;
+int ff_cos[%d] = %s;
+int ff_sin[%d] = %s;
+
+int main() {
+  for (int s = 0; s < %d; s = s + 1) {
+    int half = 1 << s;
+    int step = half * 2;
+    int tw = %d >> (s + 1);
+    #pragma lp pattern(doall, trust)
+    for (int b = 0; b < %d; b = b + 1) {
+      int group = b / half;
+      int pos = b %% half;
+      int j = group * step + pos;
+      int k = j + half;
+      int c = ff_cos[pos * tw];
+      int d = ff_sin[pos * tw];
+      int tr = (ff_re[k] * c + ff_im[k] * d) / %d;
+      int ti = (ff_im[k] * c - ff_re[k] * d) / %d;
+      int ur = ff_re[j];
+      int ui = ff_im[j];
+      ff_re[j] = (ur + tr) / 2;
+      ff_im[j] = (ui + ti) / 2;
+      ff_re[k] = (ur - tr) / 2;
+      ff_im[k] = (ui - ti) / 2;
+    }
+  }
+  int chk = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    chk = chk * 3 + ff_re[i] * 5 + ff_im[i];
+  }
+  return chk;
+}
+|}
+        n (init_list re) n (init_list im) (n / 2) (init_list cos_tab) (n / 2)
+        (init_list sin_tab) logn n (n / 2) scale scale n;
+  }
+
+let phases =
+  let n = 1500 in
+  let input = rand_ints ~seed:308 ~n ~lo:1 ~hi:255 in
+  {
+    name = "phases";
+    description =
+      "four-phase DSP chain with disjoint component usage per phase \
+       (MAC, divider, FPU, shifter) — the Sink-N-Hoist stress case";
+    expected_pattern = "doall";
+    check_globals = [ "ph_out" ];
+    source =
+      Printf.sprintf
+        {|
+int ph_in[%d] = %s;
+int ph_s1[%d];
+int ph_s2[%d];
+int ph_s3[%d];
+int ph_out[%d];
+
+int main() {
+  for (int i = 0; i < %d; i = i + 1) {
+    ph_s1[i] = ph_in[i] * 7 + ph_in[i] * 3 + 11;
+  }
+  for (int i = 0; i < %d; i = i + 1) {
+    ph_s2[i] = ph_s1[i] / (ph_in[i] + 3);
+  }
+  for (int i = 0; i < %d; i = i + 1) {
+    ph_s3[i] = int(float(ph_s2[i]) * 0.75 + 2.5);
+  }
+  for (int i = 0; i < %d; i = i + 1) {
+    ph_out[i] = (ph_s3[i] >> 2) ^ (ph_s3[i] << 1);
+  }
+  int chk = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    chk = chk * 3 + ph_out[i];
+  }
+  return chk;
+}
+|}
+        n (init_list input) n n n n n n n n n;
+  }
+
+let memops =
+  let n = 3000 in
+  {
+    name = "memops";
+    description =
+      "stream transform where both input and output live in shared \
+       memory (no ROM promotion possible): memory-bound, so DVFS fires \
+       and parallel scaling is bus-limited";
+    expected_pattern = "doall";
+    check_globals = [ "mo_b" ];
+    source =
+      Printf.sprintf
+        {|
+int mo_a[%d];
+int mo_b[%d];
+
+int main() {
+  for (int i = 0; i < %d; i = i + 1) {
+    mo_a[i] = i * 13 %% 255 - 127;
+  }
+  for (int i = 0; i < %d; i = i + 1) {
+    mo_b[i] = mo_a[i] + (mo_a[i] >> 3);
+  }
+  int chk = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    chk = chk * 3 + mo_b[i];
+  }
+  return chk;
+}
+|}
+        n n n n n;
+  }
+
+let peakdetect =
+  let n = 3600 in
+  let sig_ = rand_ints ~seed:309 ~n ~lo:(-900) ~hi:900 in
+  {
+    name = "peakdetect";
+    description =
+      "maximum windowed signal energy over a 3600-sample trace \
+       (inferred max-reduction)";
+    expected_pattern = "reduction(max)";
+    check_globals = [];
+    source =
+      Printf.sprintf
+        {|
+int pk_sig[%d] = %s;
+
+int main() {
+  int peak = -2147483647;
+  for (int i = 0; i < %d; i = i + 1) {
+    int e = 0;
+    for (int w = 0; w < 4; w = w + 1) {
+      e = e + pk_sig[i + w] * pk_sig[i + w];
+    }
+    if (e > peak) { peak = e; }
+  }
+  return peak;
+}
+|}
+        n (init_list sig_) (n - 4);
+  }
+
+let tri =
+  let n = 160 in
+  let m = rand_ints ~seed:310 ~n ~lo:(-30) ~hi:30 in
+  {
+    name = "tri";
+    description =
+      "triangular solve-like kernel: row i costs O(i), so a block split \
+       is badly imbalanced while a cyclic split balances (ablation A2)";
+    expected_pattern = "doall";
+    check_globals = [ "tr_out" ];
+    source =
+      Printf.sprintf
+        {|
+int tr_m[%d] = %s;
+int tr_out[%d];
+
+int main() {
+  #pragma lp pattern(doall, trust)
+  for (int i = 0; i < %d; i = i + 1) {
+    int s = tr_m[i];
+    for (int k = 0; k < i; k = k + 1) {
+      s = s + tr_m[k] * (i - k);
+    }
+    tr_out[i] = s;
+  }
+  int chk = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    chk = chk * 3 + tr_out[i];
+  }
+  return chk;
+}
+|}
+        n (init_list m) n n n;
+  }

@@ -1,0 +1,27 @@
+(** Benchmark workload descriptors.
+
+    Each workload is a self-contained MiniC program whose input data is
+    baked in as global initialiser lists produced by the deterministic
+    RNG, so every compile/simulate run is reproducible.  [check_globals]
+    names the shared arrays/scalars that constitute the result: the test
+    suite asserts that every compiler configuration leaves them (and
+    [main]'s checksum return value) identical to the baseline. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  expected_pattern : string;
+      (** pattern the workload is designed to expose ("none" when
+          intentionally sequential) *)
+  check_globals : string list;
+}
+
+(** Render an int array initialiser list. *)
+let init_list values =
+  "{" ^ String.concat "," (List.map string_of_int values) ^ "}"
+
+(** Deterministic input data. *)
+let rand_ints ~seed ~n ~lo ~hi =
+  let rng = Lp_util.Rng.create ~seed in
+  List.init n (fun _ -> Lp_util.Rng.int_in rng lo hi)

@@ -1,0 +1,19 @@
+(** Benchmark workload descriptors: self-contained MiniC programs with
+    deterministic baked-in inputs. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  expected_pattern : string;
+      (** pattern the workload is designed to expose; "none" for the
+          deliberately sequential programs *)
+  check_globals : string list;
+      (** result arrays/scalars the tests compare across configurations *)
+}
+
+(** Render an int list as a MiniC array initialiser. *)
+val init_list : int list -> string
+
+(** Deterministic input data in [\[lo, hi\]]. *)
+val rand_ints : seed:int -> n:int -> lo:int -> hi:int -> int list

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest List Lowpower Lp_analysis Lp_ir Lp_lang Lp_machine Lp_power Lp_sim Printf

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Lowpower Lp_experiments Lp_machine Lp_power Lp_sim Lp_transforms Lp_util Lp_workloads

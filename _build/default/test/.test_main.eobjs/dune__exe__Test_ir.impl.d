@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest List Lp_ir Lp_lang Lp_power Lp_workloads String

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest List Lp_lang Lp_patterns Lp_transforms Lp_workloads String

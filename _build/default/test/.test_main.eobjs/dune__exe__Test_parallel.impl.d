@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest List Lowpower Lp_ir Lp_lang Lp_machine Lp_patterns Lp_power Lp_sim Lp_transforms Lp_workloads Printf

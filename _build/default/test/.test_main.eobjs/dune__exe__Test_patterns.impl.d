@@ -1,0 +1,1 @@
+test/test_patterns.ml: Alcotest Array Fun Gen List Lp_lang Lp_patterns Lp_workloads Printf QCheck QCheck_alcotest String

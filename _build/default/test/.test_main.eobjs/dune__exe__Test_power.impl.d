@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Gen List Lp_machine Lp_power QCheck QCheck_alcotest

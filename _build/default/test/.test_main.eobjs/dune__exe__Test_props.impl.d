@@ -1,0 +1,1 @@
+test/test_props.ml: Array List Lowpower Lp_ir Lp_machine Lp_patterns Lp_sim Lp_transforms Lp_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Lp_machine Lp_power Lp_sched QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fun List Lp_ir Lp_lang Lp_machine Lp_power Lp_sim Lp_transforms Printf String

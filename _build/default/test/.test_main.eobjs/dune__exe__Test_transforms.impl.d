@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest List Lowpower Lp_analysis Lp_ir Lp_lang Lp_machine Lp_sim Lp_transforms String

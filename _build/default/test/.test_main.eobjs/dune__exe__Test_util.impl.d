@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Fun Gen List Lp_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array List Lowpower Lp_machine Lp_sim Lp_workloads Printf

@@ -1,0 +1,290 @@
+(** Analysis tests: CFG, dataflow, liveness, dominators, loops,
+    component-activity, static estimation. *)
+
+module Ir = Lp_ir.Ir
+module Prog = Lp_ir.Prog
+module Builder = Lp_ir.Builder
+module Cfg = Lp_analysis.Cfg
+module Dataflow = Lp_analysis.Dataflow
+module Liveness = Lp_analysis.Liveness
+module Dominators = Lp_analysis.Dominators
+module Loops = Lp_analysis.Loops
+module Compuse = Lp_analysis.Compuse
+module Est = Lp_analysis.Est
+module Component = Lp_power.Component
+module CS = Component.Set
+module IS = Dataflow.Int_set
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let lower src =
+  let ast = Lp_lang.Parser.parse_program src in
+  Lp_lang.Typecheck.check_program ast;
+  Lp_ir.Lower.lower_program ast
+
+(** A diamond CFG:  entry -> (then | else) -> join. *)
+let diamond () =
+  let f = Prog.create_func ~name:"d" ~params:[ Ir.I ] ~ret:(Some Ir.I) in
+  let b = Builder.create f in
+  let (p, _) = List.hd f.Prog.params in
+  let then_b = Builder.new_block b in
+  let else_b = Builder.new_block b in
+  let join_b = Builder.new_block b in
+  let r = Prog.new_reg f in
+  Builder.set_term b (Ir.Br (Ir.Reg p, then_b.Ir.bid, else_b.Ir.bid));
+  Builder.switch_to b then_b;
+  Builder.move b r (Ir.Imm (Ir.Cint 1));
+  Builder.set_term b (Ir.Jmp join_b.Ir.bid);
+  Builder.switch_to b else_b;
+  Builder.move b r (Ir.Imm (Ir.Cint 2));
+  Builder.set_term b (Ir.Jmp join_b.Ir.bid);
+  Builder.switch_to b join_b;
+  Builder.set_term b (Ir.Ret (Some (Ir.Reg r)));
+  (f, then_b.Ir.bid, else_b.Ir.bid, join_b.Ir.bid, r)
+
+(* ---------------- cfg ---------------- *)
+
+let test_cfg_diamond () =
+  let (f, t, e, j, _) = diamond () in
+  let cfg = Cfg.build f in
+  check Alcotest.(list int) "entry succs"
+    (List.sort compare [ t; e ])
+    (List.sort compare (Cfg.succs cfg f.Prog.entry));
+  check Alcotest.(list int) "join preds"
+    (List.sort compare [ t; e ])
+    (List.sort compare (Cfg.preds cfg j));
+  check Alcotest.int "rpo head" f.Prog.entry (List.hd cfg.Cfg.rpo);
+  check Alcotest.int "all reachable" 4 (List.length cfg.Cfg.rpo)
+
+let test_cfg_unreachable_pruned () =
+  let f = Prog.create_func ~name:"u" ~params:[] ~ret:None in
+  let dead = Prog.new_block f in
+  dead.Ir.term <- Ir.Jmp f.Prog.entry;
+  let removed = Cfg.prune_unreachable f in
+  check Alcotest.int "one removed" 1 removed;
+  check Alcotest.int "one left" 1 (List.length f.Prog.block_order)
+
+(* ---------------- generic dataflow ---------------- *)
+
+(* a toy forward "reachable constant-ness" problem over the diamond *)
+let test_dataflow_forward_join () =
+  let (f, t, _, j, _) = diamond () in
+  let cfg = Cfg.build f in
+  let module Flow = Dataflow.Make (Dataflow.Reg_set_lattice) in
+  (* transfer: add the block id as a fake "fact" *)
+  let transfer l inp = IS.add l inp in
+  let r = Flow.run ~direction:Dataflow.Forward ~cfg ~init:IS.empty ~transfer in
+  let at_join = Flow.input r j in
+  if not (IS.mem f.Prog.entry at_join) then fail "entry fact lost";
+  if not (IS.mem t at_join) then fail "then fact not joined"
+
+(* ---------------- liveness ---------------- *)
+
+let test_liveness_diamond () =
+  let (f, t, e, _, r) = diamond () in
+  let live = Liveness.compute f in
+  (* r is live out of both definition blocks *)
+  if not (IS.mem r (Liveness.live_out live t)) then fail "r dead after then";
+  if not (IS.mem r (Liveness.live_out live e)) then fail "r dead after else";
+  (* the parameter is live into the entry *)
+  let (p, _) = List.hd f.Prog.params in
+  if not (IS.mem p (Liveness.live_in live f.Prog.entry)) then fail "param not live-in";
+  if Liveness.max_pressure live < 1 then fail "pressure"
+
+let test_liveness_loop_carried () =
+  let prog = lower
+      "int main() { int s = 0; for (int i = 0; i < 8; i = i + 1) { s = s + i; } return s; }"
+  in
+  let f = Prog.func_exn prog "main" in
+  let live = Liveness.compute f in
+  let loops = Loops.find f in
+  check Alcotest.int "one loop" 1 (List.length loops);
+  let l = List.hd loops in
+  (* something must be live around the back edge (s and i) *)
+  if IS.cardinal (Liveness.live_in live l.Loops.header) < 2 then
+    fail "loop-carried registers not live at header"
+
+(* ---------------- dominators ---------------- *)
+
+let test_dominators_diamond () =
+  let (f, t, e, j, _) = diamond () in
+  let dom = Dominators.compute f in
+  if not (Dominators.dominates dom f.Prog.entry j) then fail "entry dom join";
+  if Dominators.dominates dom t j then fail "then must not dominate join";
+  check Alcotest.(option int) "idom of join" (Some f.Prog.entry)
+    (Dominators.idom dom j);
+  check Alcotest.(option int) "idom of then" (Some f.Prog.entry)
+    (Dominators.idom dom t);
+  if not (Dominators.dominates dom e e) then fail "self-domination"
+
+(* ---------------- loops ---------------- *)
+
+let test_loops_simple () =
+  let prog = lower
+      "int g[64];\nint main() { for (int i = 0; i < 64; i = i + 1) { g[i] = i; } return 0; }"
+  in
+  let f = Prog.func_exn prog "main" in
+  match Loops.find f with
+  | [ l ] ->
+    check Alcotest.int "depth" 1 l.Loops.depth;
+    check Alcotest.int "trip" 64 (Loops.trip_estimate f l)
+  | ls -> Alcotest.failf "expected one loop, got %d" (List.length ls)
+
+let test_loops_nested () =
+  let prog = lower
+      "int g[64];\nint main() { for (int i = 0; i < 8; i = i + 1) { for (int j = 0; j < 4; j = j + 1) { g[i * 4 + j] = j; } } return 0; }"
+  in
+  let f = Prog.func_exn prog "main" in
+  let loops = Loops.find f in
+  check Alcotest.int "two loops" 2 (List.length loops);
+  let depths = List.sort compare (List.map (fun l -> l.Loops.depth) loops) in
+  check Alcotest.(list int) "nesting" [ 1; 2 ] depths;
+  let trips = List.sort compare (List.map (Loops.trip_estimate f) loops) in
+  check Alcotest.(list int) "trips" [ 4; 8 ] trips
+
+let test_loops_unknown_trip () =
+  let prog = lower
+      "int main() { int n = 5; int s = 0; for (int i = 0; i < n * 3; i = i + 1) { s = s + 1; } return s; }"
+  in
+  let f = Prog.func_exn prog "main" in
+  match Loops.find f with
+  | [ l ] ->
+    (* bound is not a literal: falls back to the default estimate *)
+    check Alcotest.int "default trip" Loops.default_trip (Loops.trip_estimate f l)
+  | _ -> fail "expected one loop"
+
+let test_while_loop_detected () =
+  let prog = lower
+      "int main() { int x = 100; while (x > 1) { x = x / 2; } return x; }"
+  in
+  let f = Prog.func_exn prog "main" in
+  check Alcotest.int "one loop" 1 (List.length (Loops.find f))
+
+(* ---------------- component usage ---------------- *)
+
+let test_compuse_direct () =
+  let prog = lower
+      "int main() { int a = 3 * 4; int b = a / 2; float f = 1.5 + 0.5; return b + int(f); }"
+  in
+  (* constant folding has not run: the operations are still present *)
+  let cu = Compuse.compute prog in
+  let used = Compuse.func_use cu "main" in
+  List.iter
+    (fun c ->
+      if not (CS.mem c used) then
+        Alcotest.failf "expected %s used" (Component.to_string c))
+    [ Component.Multiplier; Component.Divider; Component.Fpu; Component.Alu ]
+
+let test_compuse_transitive () =
+  let prog = lower
+      "int helper(int x) { return x * 2; }\nint main() { return helper(21); }"
+  in
+  let cu = Compuse.compute prog in
+  let used = Compuse.func_use cu "main" in
+  if not (CS.mem Component.Multiplier used) then fail "callee usage not propagated"
+
+let test_compuse_never_used () =
+  let prog = lower "int main() { return 1 + 2; }" in
+  let cu = Compuse.compute prog in
+  let never = Compuse.never_used cu ~entry:"main" in
+  List.iter
+    (fun c ->
+      if not (CS.mem c never) then
+        Alcotest.failf "%s should be never-used" (Component.to_string c))
+    [ Component.Multiplier; Component.Divider; Component.Fpu;
+      Component.Mac; Component.Shifter ];
+  (* the ALU is not gateable so it never appears *)
+  if CS.mem Component.Alu never then fail "alu is not gateable"
+
+let test_compuse_loop_idle () =
+  let prog = lower
+      "int g[16];\nint main() { for (int i = 0; i < 16; i = i + 1) { g[i] = i + 1; } int p = 1; for (int i = 0; i < 4; i = i + 1) { p = p * 3; } return p; }"
+  in
+  let f = Prog.func_exn prog "main" in
+  let cu = Compuse.compute prog in
+  let loops = Loops.find f in
+  check Alcotest.int "two loops" 2 (List.length loops);
+  (* the store loop does not multiply; the product loop does *)
+  let idle_sets = List.map (Compuse.loop_idle cu f) loops in
+  let has_mul_idle =
+    List.exists (fun s -> CS.mem Component.Multiplier s) idle_sets
+  in
+  let has_mul_busy =
+    List.exists (fun s -> not (CS.mem Component.Multiplier s)) idle_sets
+  in
+  if not (has_mul_idle && has_mul_busy) then fail "loop idle sets wrong"
+
+(* ---------------- static estimation ---------------- *)
+
+let machine = Lp_machine.Machine.generic ~n_cores:4 ()
+
+let test_est_scales_with_trip () =
+  let prog_of n =
+    lower
+      (Printf.sprintf
+         "int g[%d];\nint main() { for (int i = 0; i < %d; i = i + 1) { g[i] = i * 3; } return 0; }"
+         n n)
+  in
+  let est n =
+    let prog = prog_of n in
+    (Est.func_estimate machine prog (Prog.func_exn prog "main")).Est.total_cycles
+  in
+  let e64 = est 64 and e512 = est 512 in
+  if e512 /. e64 < 4.0 then
+    Alcotest.failf "estimate should grow ~8x with trip (got %f / %f)" e512 e64
+
+let test_est_mem_fraction () =
+  (* stores to shared memory dominate: high mem fraction *)
+  let prog = lower
+      "int g[256];\nint main() { for (int i = 0; i < 256; i = i + 1) { g[i] = i; } return 0; }"
+  in
+  let e = Est.func_estimate machine prog (Prog.func_exn prog "main") in
+  if e.Est.mem_fraction < 0.5 then
+    Alcotest.failf "store loop should be memory-bound (mu=%f)" e.Est.mem_fraction;
+  (* pure compute: low mem fraction *)
+  let prog2 = lower
+      "int main() { int s = 1; for (int i = 0; i < 256; i = i + 1) { s = s * 3 + i; } return s; }"
+  in
+  let e2 = Est.func_estimate machine prog2 (Prog.func_exn prog2 "main") in
+  if e2.Est.mem_fraction > 0.2 then
+    Alcotest.failf "compute loop should not be memory-bound (mu=%f)" e2.Est.mem_fraction
+
+let test_est_within_factor_of_sim () =
+  (* the static estimate should land within ~2x of simulated time for a
+     straight-line kernel *)
+  let src =
+    "int g[512];\nint main() { for (int i = 0; i < 512; i = i + 1) { g[i] = i * 5 + 1; } return 0; }"
+  in
+  let (compiled, outcome) =
+    Lowpower.Compile.run ~opts:Lowpower.Compile.baseline ~machine src
+  in
+  let f = Prog.func_exn compiled.Lowpower.Compile.prog "main" in
+  let est = Est.func_estimate machine compiled.Lowpower.Compile.prog f in
+  let est_ns = est.Est.total_cycles *. 2.5 in
+  let sim_ns = outcome.Lp_sim.Sim.duration_ns in
+  let ratio = est_ns /. sim_ns in
+  if ratio < 0.4 || ratio > 2.5 then
+    Alcotest.failf "estimate %.0fns vs simulated %.0fns (ratio %.2f)" est_ns
+      sim_ns ratio
+
+let suite =
+  [
+    Alcotest.test_case "cfg diamond" `Quick test_cfg_diamond;
+    Alcotest.test_case "cfg prune unreachable" `Quick test_cfg_unreachable_pruned;
+    Alcotest.test_case "dataflow forward join" `Quick test_dataflow_forward_join;
+    Alcotest.test_case "liveness diamond" `Quick test_liveness_diamond;
+    Alcotest.test_case "liveness loop carried" `Quick test_liveness_loop_carried;
+    Alcotest.test_case "dominators diamond" `Quick test_dominators_diamond;
+    Alcotest.test_case "loops simple + trip" `Quick test_loops_simple;
+    Alcotest.test_case "loops nested" `Quick test_loops_nested;
+    Alcotest.test_case "loops unknown trip" `Quick test_loops_unknown_trip;
+    Alcotest.test_case "while loop detected" `Quick test_while_loop_detected;
+    Alcotest.test_case "compuse direct" `Quick test_compuse_direct;
+    Alcotest.test_case "compuse transitive" `Quick test_compuse_transitive;
+    Alcotest.test_case "compuse never used" `Quick test_compuse_never_used;
+    Alcotest.test_case "compuse loop idle" `Quick test_compuse_loop_idle;
+    Alcotest.test_case "est scales with trip" `Quick test_est_scales_with_trip;
+    Alcotest.test_case "est mem fraction" `Quick test_est_mem_fraction;
+    Alcotest.test_case "est vs sim" `Quick test_est_within_factor_of_sim;
+  ]

@@ -1,0 +1,154 @@
+(** Shape tests for the reproduced evaluation: these assert the
+    qualitative claims EXPERIMENTS.md makes (who wins, roughly by how
+    much, where the crossovers are), so a regression that silently
+    destroys a result shape fails CI rather than just changing numbers. *)
+
+module Compile = Lowpower.Compile
+module Machine = Lp_machine.Machine
+module Sim = Lp_sim.Sim
+module Ledger = Lp_power.Energy_ledger
+module W = Lp_workloads.Workload
+module T = Lp_transforms
+
+let fail = Alcotest.fail
+let machine4 = Machine.generic ~n_cores:4 ()
+
+let energy (o : Sim.outcome) = Ledger.total o.Sim.energy
+
+let run ?(machine = machine4) name opts =
+  let w = Lp_workloads.Suite.find_exn name in
+  snd (Compile.run ~opts ~machine w.W.source)
+
+(* T3 headline: pattern-aware full compile cuts energy substantially on a
+   pattern-rich workload; PG alone helps; DVFS alone does not hurt. *)
+let test_t3_shape () =
+  List.iter
+    (fun name ->
+      let base = energy (run name Compile.baseline) in
+      let pg = energy (run name Compile.pg_only) in
+      let full = energy (run name (Compile.full ~n_cores:4)) in
+      if pg >= base *. 0.85 then
+        Alcotest.failf "%s: pg saves too little (%.2f)" name (pg /. base);
+      if full >= base *. 0.75 then
+        Alcotest.failf "%s: full saves too little (%.2f)" name (full /. base))
+    [ "fir"; "dotprod"; "matmul"; "stringsearch" ]
+
+(* T4 shape: power management costs at most a few percent of runtime;
+   parallelisation gives real speedups per pattern class. *)
+let test_t4_shape () =
+  let time name opts = (run name opts).Sim.duration_ns in
+  List.iter
+    (fun name ->
+      let t0 = time name Compile.baseline in
+      let t1 = time name Compile.pg_dvfs in
+      if t1 > t0 *. 1.12 then
+        Alcotest.failf "%s: pg+dvfs overhead too high (%.2f)" name (t1 /. t0))
+    [ "fir"; "imgpipe"; "histogram" ];
+  let speedup name =
+    let t0 = time name Compile.baseline in
+    t0 /. time name (Compile.full ~n_cores:4)
+  in
+  if speedup "dotprod" < 3.0 then fail "reduction should scale ~4x on 4 cores";
+  if speedup "fir" < 2.2 then fail "doall should scale ~3x on 4 cores";
+  if speedup "fraciter" < 2.5 then fail "farm should scale ~3x on 4 cores";
+  if speedup "imgpipe" < 1.4 then fail "pipeline should gain from 3 stages";
+  let adpcm = speedup "adpcm" in
+  if adpcm < 0.95 || adpcm > 1.05 then fail "sequential workload must not change"
+
+(* F1 shape: speedup grows with cores for a doall, and EDP improves
+   monotonically; pipelines saturate at their stage count. *)
+let test_f1_shape () =
+  let w = Lp_workloads.Suite.find_exn "dotprod" in
+  let machine = Machine.generic ~n_cores:8 () in
+  let base = snd (Compile.run ~opts:Compile.baseline ~machine w.W.source) in
+  let speedup n =
+    let (_, o) = Compile.run ~opts:(Compile.full ~n_cores:n) ~machine w.W.source in
+    base.Sim.duration_ns /. o.Sim.duration_ns
+  in
+  let s2 = speedup 2 and s4 = speedup 4 and s8 = speedup 8 in
+  if not (s2 < s4 && s4 < s8) then
+    Alcotest.failf "doall scaling not monotone: %.2f %.2f %.2f" s2 s4 s8;
+  if s8 < 5.0 then Alcotest.failf "8-core speedup too low: %.2f" s8;
+  (* pipeline saturation *)
+  let wp = Lp_workloads.Suite.find_exn "imgpipe" in
+  let t n =
+    let (_, o) = Compile.run ~opts:(Compile.full ~n_cores:n) ~machine wp.W.source in
+    o.Sim.duration_ns
+  in
+  let t4 = t 4 and t8 = t 8 in
+  if t8 < t4 *. 0.9 then fail "3-stage pipeline should not gain past 3 cores"
+
+(* F2 shape: EDP of full beats baseline by a large factor overall. *)
+let test_f2_shape () =
+  let ratios =
+    List.map
+      (fun name ->
+        let b = run name Compile.baseline in
+        let f = run name (Compile.full ~n_cores:4) in
+        Sim.edp f /. Sim.edp b)
+      [ "fir"; "dotprod"; "matmul"; "susan"; "crc32" ]
+  in
+  let geo = Lp_util.Stats.geomean ratios in
+  if geo > 0.35 then
+    Alcotest.failf "EDP geomean should be well under 0.35 (got %.3f)" geo
+
+(* F3 shape: the full config's savings come mostly from leakage
+   (dynamic energy is work-conserved). *)
+let test_f3_shape () =
+  let b = run "fir" Compile.baseline in
+  let f = run "fir" (Compile.full ~n_cores:4) in
+  let dyn o = Ledger.of_category o.Sim.energy Ledger.Dynamic in
+  let leak o =
+    Ledger.of_category o.Sim.energy Ledger.Leakage_active
+    +. Ledger.of_category o.Sim.energy Ledger.Leakage_idle
+  in
+  if abs_float (dyn f -. dyn b) > dyn b *. 0.15 then
+    fail "dynamic energy should be roughly conserved";
+  if leak f > leak b *. 0.5 then fail "leakage should be cut by more than half"
+
+(* F6 shape: Sink-N-Hoist halves the gating transitions on the phased
+   workload without an energy penalty. *)
+let test_f6_shape () =
+  let w = Lp_workloads.Suite.find_exn "phases" in
+  let no_merge =
+    { Compile.pg_only with
+      Compile.power =
+        { Compile.pg_only.Compile.power with Compile.sink_n_hoist = false } }
+  in
+  let (_, nm) = Compile.run ~opts:no_merge ~machine:machine4 w.W.source in
+  let (_, m) = Compile.run ~opts:Compile.pg_only ~machine:machine4 w.W.source in
+  if m.Sim.gate_transitions * 2 > nm.Sim.gate_transitions then
+    Alcotest.failf "merge should at least halve transitions (%d -> %d)"
+      nm.Sim.gate_transitions m.Sim.gate_transitions;
+  if energy m > energy nm *. 1.01 then fail "merge must not cost energy"
+
+(* tables render and have one row per workload *)
+let test_tables_render () =
+  let t1 = Lp_experiments.Exp_tables.t1 () in
+  let rows = Lp_util.Table.rows t1 in
+  Alcotest.(check int) "t1 rows" (List.length Lp_workloads.Suite.all)
+    (List.length rows);
+  let t2 = Lp_experiments.Exp_tables.t2 () in
+  Alcotest.(check int) "t2 rows" (List.length Lp_workloads.Suite.all)
+    (List.length (Lp_util.Table.rows t2));
+  (* render must not raise *)
+  ignore (Lp_util.Table.render t1);
+  ignore (Lp_util.Table.render t2)
+
+let test_registry_ids_unique () =
+  let ids = List.map (fun e -> e.Lp_experiments.Experiments.id)
+      Lp_experiments.Experiments.all in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let suite =
+  [
+    Alcotest.test_case "T3 energy shape" `Slow test_t3_shape;
+    Alcotest.test_case "T4 performance shape" `Slow test_t4_shape;
+    Alcotest.test_case "F1 scaling shape" `Slow test_f1_shape;
+    Alcotest.test_case "F2 EDP shape" `Slow test_f2_shape;
+    Alcotest.test_case "F3 breakdown shape" `Slow test_f3_shape;
+    Alcotest.test_case "F6 sink-n-hoist shape" `Slow test_f6_shape;
+    Alcotest.test_case "tables render" `Slow test_tables_render;
+    Alcotest.test_case "registry ids unique" `Quick test_registry_ids_unique;
+  ]

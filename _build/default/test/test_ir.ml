@@ -1,0 +1,223 @@
+(** IR construction, lowering, printing and verification tests. *)
+
+module Ir = Lp_ir.Ir
+module Prog = Lp_ir.Prog
+module Builder = Lp_ir.Builder
+module Lower = Lp_ir.Lower
+module Printer = Lp_ir.Printer
+module Verify = Lp_ir.Verify
+module Component = Lp_power.Component
+
+let fail = Alcotest.fail
+let check = Alcotest.check
+
+let lower src =
+  let ast = Lp_lang.Parser.parse_program src in
+  Lp_lang.Typecheck.check_program ast;
+  Lower.lower_program ast
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* ---------------- lowering ---------------- *)
+
+let test_lower_simple () =
+  let prog = lower "int main() { return 2 + 3; }" in
+  let s = Printer.prog_to_string prog in
+  if not (contains s "add") then fail ("no add in:\n" ^ s);
+  Verify.verify_prog prog
+
+let test_lower_loop_shape () =
+  let prog = lower "int g[4];\nint main() { for (int i = 0; i < 4; i = i + 1) { g[i] = i; } return 0; }" in
+  let s = Printer.prog_to_string prog in
+  List.iter
+    (fun needle -> if not (contains s needle) then fail ("missing " ^ needle))
+    [ "lt"; "br"; "store @g" ];
+  Verify.verify_prog prog
+
+let test_lower_global_scalar_is_memory () =
+  let prog = lower "int s;\nint main() { s = 7; return s; }" in
+  let s = Printer.prog_to_string prog in
+  if not (contains s "store @s[0]") then fail "global scalar store";
+  if not (contains s "load @s[0]") then fail "global scalar load"
+
+let test_lower_short_circuit_blocks () =
+  (* && must lower to control flow, not a bitwise and *)
+  let prog = lower "int main() { int a = 1; int b = 2; if (a && b) { return 1; } return 0; }" in
+  let f = Prog.func_exn prog "main" in
+  if List.length f.Prog.block_order < 4 then fail "no control flow for &&"
+
+let test_lower_intrinsics () =
+  let src =
+    "int gc;\nint main() { __send(1, 5); int x = __recv(0); __barrier(0); \
+     int y = __faa(gc, 2); return x + y; }"
+  in
+  let prog = lower src in
+  let s = Printer.prog_to_string prog in
+  List.iter
+    (fun needle -> if not (contains s needle) then fail ("missing " ^ needle))
+    [ "send ch1"; "recv.i ch0"; "barrier 0"; "faa @gc" ]
+
+let test_lower_float_ops () =
+  let prog = lower "int main() { float x = 1.5; float y = x * 2.0; return int(y); }" in
+  let s = Printer.prog_to_string prog in
+  if not (contains s "fmul") then fail "no fmul";
+  if not (contains s "f2i") then fail "no f2i"
+
+let test_lower_frame_arrays () =
+  let prog = lower "int main() { int buf[8]; buf[0] = 1; return buf[0]; }" in
+  let f = Prog.func_exn prog "main" in
+  match f.Prog.frame_arrays with
+  | [ (_, Ir.I, 8) ] -> ()
+  | _ -> fail "frame array metadata"
+
+(* ---------------- component metadata ---------------- *)
+
+let test_component_of () =
+  let cases =
+    [
+      (Ir.Binop (Ir.Add, 0, Ir.Imm (Ir.Cint 1), Ir.Imm (Ir.Cint 2)), Component.Alu);
+      (Ir.Binop (Ir.Mul, 0, Ir.Imm (Ir.Cint 1), Ir.Imm (Ir.Cint 2)), Component.Multiplier);
+      (Ir.Binop (Ir.Div, 0, Ir.Imm (Ir.Cint 1), Ir.Imm (Ir.Cint 2)), Component.Divider);
+      (Ir.Binop (Ir.Shl, 0, Ir.Imm (Ir.Cint 1), Ir.Imm (Ir.Cint 2)), Component.Shifter);
+      (Ir.Binop (Ir.Fadd, 0, Ir.Imm (Ir.Cfloat 1.0), Ir.Imm (Ir.Cfloat 2.0)), Component.Fpu);
+      (Ir.Mac (0, Ir.Imm (Ir.Cint 0), Ir.Imm (Ir.Cint 1), Ir.Imm (Ir.Cint 2)), Component.Mac);
+      (Ir.Load (0, { Ir.sym_name = "x"; sym_space = Ir.Shared }, Ir.Imm (Ir.Cint 0)),
+       Component.Load_store);
+    ]
+  in
+  List.iteri
+    (fun k (idesc, expected) ->
+      let i = { Ir.iid = k; idesc } in
+      if Ir.component_of i <> expected then
+        Alcotest.failf "component_of case %d" k)
+    cases
+
+let test_uses_def () =
+  let i = { Ir.iid = 0; idesc = Ir.Binop (Ir.Add, 5, Ir.Reg 1, Ir.Reg 2) } in
+  check Alcotest.(list int) "uses" [ 1; 2 ] (Ir.uses i);
+  check Alcotest.(option int) "def" (Some 5) (Ir.def i);
+  let st = { Ir.iid = 1; idesc = Ir.Store ({ Ir.sym_name = "a"; sym_space = Ir.Shared },
+                                           Ir.Reg 3, Ir.Reg 4) } in
+  check Alcotest.(option int) "store def" None (Ir.def st);
+  check Alcotest.(list int) "store uses" [ 3; 4 ] (Ir.uses st)
+
+(* ---------------- builder ---------------- *)
+
+let test_builder () =
+  let f = Prog.create_func ~name:"f" ~params:[ Ir.I ] ~ret:(Some Ir.I) in
+  let b = Builder.create f in
+  let (p, _) = List.hd f.Prog.params in
+  let d = Builder.binop b Ir.Add (Ir.Reg p) (Ir.Imm (Ir.Cint 1)) in
+  Builder.set_term b (Ir.Ret (Some (Ir.Reg d)));
+  let prog = Prog.create ~globals:[] in
+  Prog.add_func prog f;
+  Verify.verify_func prog f;
+  check Alcotest.int "one instr" 1 (Prog.instr_count f)
+
+let test_builder_double_term () =
+  let f = Prog.create_func ~name:"f" ~params:[] ~ret:None in
+  let b = Builder.create f in
+  Builder.set_term b (Ir.Ret None);
+  Alcotest.check_raises "emit after seal"
+    (Invalid_argument "Builder.emit: current block already terminated")
+    (fun () -> ignore (Builder.int_const b 1))
+
+(* ---------------- verifier ---------------- *)
+
+let expect_invalid what g =
+  let prog = Prog.create ~globals:[] in
+  let f = Prog.create_func ~name:"main" ~params:[] ~ret:(Some Ir.I) in
+  Prog.add_func prog f;
+  g prog f;
+  try
+    Verify.verify_prog prog;
+    Alcotest.failf "verifier accepted: %s" what
+  with Verify.Invalid _ -> ()
+
+let test_verify_bad_target () =
+  expect_invalid "branch to unknown block" (fun _prog f ->
+      (Prog.block f f.Prog.entry).Ir.term <- Ir.Jmp 999)
+
+let test_verify_undefined_reg () =
+  expect_invalid "use of undefined register" (fun _prog f ->
+      (Prog.block f f.Prog.entry).Ir.term <- Ir.Ret (Some (Ir.Reg 77)))
+
+let test_verify_unknown_global () =
+  expect_invalid "load from unknown global" (fun _prog f ->
+      let b = Prog.block f f.Prog.entry in
+      b.Ir.instrs <-
+        [ Prog.new_instr f
+            (Ir.Load (Prog.new_reg f, { Ir.sym_name = "nope"; sym_space = Ir.Shared },
+                      Ir.Imm (Ir.Cint 0))) ];
+      b.Ir.term <- Ir.Ret (Some (Ir.Imm (Ir.Cint 0))))
+
+let test_verify_rom_write () =
+  let prog =
+    Prog.create ~globals:[ { Prog.gsym = "t"; gty = Ir.I; gsize = 4; ginit = None } ]
+  in
+  let f = Prog.create_func ~name:"main" ~params:[] ~ret:(Some Ir.I) in
+  Prog.add_func prog f;
+  let b = Prog.block f f.Prog.entry in
+  b.Ir.instrs <-
+    [ Prog.new_instr f
+        (Ir.Store ({ Ir.sym_name = "t"; sym_space = Ir.Rom }, Ir.Imm (Ir.Cint 0),
+                   Ir.Imm (Ir.Cint 1))) ];
+  b.Ir.term <- Ir.Ret (Some (Ir.Imm (Ir.Cint 0)));
+  (try
+     Verify.verify_prog prog;
+     fail "verifier accepted a ROM write"
+   with Verify.Invalid _ -> ())
+
+let test_verify_intrinsic_in_sequential () =
+  expect_invalid "send in sequential program" (fun _prog f ->
+      let b = Prog.block f f.Prog.entry in
+      b.Ir.instrs <- [ Prog.new_instr f (Ir.Send (0, Ir.Imm (Ir.Cint 1))) ];
+      b.Ir.term <- Ir.Ret (Some (Ir.Imm (Ir.Cint 0))))
+
+let test_verify_channel_range () =
+  let prog = Prog.create ~globals:[] in
+  let f = Prog.create_func ~name:"main" ~params:[] ~ret:(Some Ir.I) in
+  Prog.add_func prog f;
+  let b = Prog.block f f.Prog.entry in
+  b.Ir.instrs <- [ Prog.new_instr f (Ir.Send (5, Ir.Imm (Ir.Cint 1))) ];
+  b.Ir.term <- Ir.Ret (Some (Ir.Imm (Ir.Cint 0)));
+  prog.Prog.layout <-
+    Prog.Parallel { entries = [ "main" ]; n_channels = 2; n_barriers = 0;
+                    chan_capacity = 4 };
+  try
+    Verify.verify_prog prog;
+    fail "verifier accepted out-of-range channel"
+  with Verify.Invalid _ -> ()
+
+(* every workload's lowered program verifies *)
+let test_verify_all_workloads () =
+  List.iter
+    (fun (w : Lp_workloads.Workload.t) ->
+      Verify.verify_prog (lower w.Lp_workloads.Workload.source))
+    Lp_workloads.Suite.all
+
+let suite =
+  [
+    Alcotest.test_case "lower simple" `Quick test_lower_simple;
+    Alcotest.test_case "lower loop shape" `Quick test_lower_loop_shape;
+    Alcotest.test_case "lower global scalar" `Quick test_lower_global_scalar_is_memory;
+    Alcotest.test_case "lower short circuit" `Quick test_lower_short_circuit_blocks;
+    Alcotest.test_case "lower intrinsics" `Quick test_lower_intrinsics;
+    Alcotest.test_case "lower float ops" `Quick test_lower_float_ops;
+    Alcotest.test_case "lower frame arrays" `Quick test_lower_frame_arrays;
+    Alcotest.test_case "component_of" `Quick test_component_of;
+    Alcotest.test_case "uses/def" `Quick test_uses_def;
+    Alcotest.test_case "builder" `Quick test_builder;
+    Alcotest.test_case "builder double term" `Quick test_builder_double_term;
+    Alcotest.test_case "verify bad target" `Quick test_verify_bad_target;
+    Alcotest.test_case "verify undefined reg" `Quick test_verify_undefined_reg;
+    Alcotest.test_case "verify unknown global" `Quick test_verify_unknown_global;
+    Alcotest.test_case "verify rom write" `Quick test_verify_rom_write;
+    Alcotest.test_case "verify intrinsic in sequential" `Quick
+      test_verify_intrinsic_in_sequential;
+    Alcotest.test_case "verify channel range" `Quick test_verify_channel_range;
+    Alcotest.test_case "verify all workloads" `Quick test_verify_all_workloads;
+  ]

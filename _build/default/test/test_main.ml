@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "lowpower"
+    [
+      ("util", Test_util.suite);
+      ("lang", Test_lang.suite);
+      ("ir", Test_ir.suite);
+      ("analysis", Test_analysis.suite);
+      ("transforms", Test_transforms.suite);
+      ("sim", Test_sim.suite);
+      ("patterns", Test_patterns.suite);
+      ("power", Test_power.suite);
+      ("parallel", Test_parallel.suite);
+      ("experiments", Test_experiments.suite);
+      ("sched", Test_sched.suite);
+      ("properties", Test_props.suite);
+      ("workloads-e2e", Test_workloads.suite);
+    ]

@@ -1,0 +1,320 @@
+(** Pattern detection tests: canonical-loop recognition, safety analysis,
+    annotation verification, trust escapes, stage splitting, effects
+    analysis, and the stage-fusion partitioner. *)
+
+module Ast = Lp_lang.Ast
+module Pattern = Lp_patterns.Pattern
+module Detect = Lp_patterns.Detect
+module Effects = Lp_patterns.Effects
+module Accesses = Lp_patterns.Accesses
+module Ast_weight = Lp_patterns.Ast_weight
+module W = Lp_workloads.Workload
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let detect src =
+  let ast = Lp_lang.Parser.parse_program src in
+  Lp_lang.Typecheck.check_program ast;
+  Detect.detect ast
+
+let kinds (r : Pattern.report) =
+  List.map (fun (i : Pattern.instance) -> Pattern.kind_name i.Pattern.kind)
+    r.Pattern.instances
+
+let expect_kinds src expected =
+  check Alcotest.(list string) src expected (kinds (detect src))
+
+let expect_rejected src reason_fragment =
+  let r = detect src in
+  check Alcotest.(list string) "no instances" [] (kinds r);
+  let reasons =
+    List.map (fun rej -> rej.Pattern.rej_reason) r.Pattern.rejections
+  in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  if not (List.exists (fun rr -> contains rr reason_fragment) reasons) then
+    Alcotest.failf "expected rejection mentioning %S, got: %s" reason_fragment
+      (String.concat " | " reasons)
+
+(* ---------------- inference ---------------- *)
+
+let test_infer_doall () =
+  expect_kinds
+    "int a[16];\nint b[16];\nint main() { for (int i = 0; i < 16; i = i + 1) { b[i] = a[i] * 2; } return 0; }"
+    [ "doall" ]
+
+let test_infer_reduction () =
+  expect_kinds
+    "int a[16];\nint main() { int s = 0; for (int i = 0; i < 16; i = i + 1) { s = s + a[i]; } return s; }"
+    [ "reduction(+)" ];
+  expect_kinds
+    "int a[16];\nint main() { int s = 0; for (int i = 0; i < 16; i = i + 1) { s = s ^ a[i]; } return s; }"
+    [ "reduction(^)" ]
+
+let test_infer_farm_on_irregular () =
+  expect_kinds
+    "int a[16];\nint out[16];\nint main() { for (int i = 0; i < 16; i = i + 1) { int x = a[i]; int n = 0; while (x > 1) { x = x / 2; n = n + 1; } out[i] = n; } return 0; }"
+    [ "farm" ]
+
+let test_infer_float_reduction () =
+  expect_kinds
+    "float a[8];\nint main() { float s = 0.0; for (int i = 0; i < 8; i = i + 1) { s = s + a[i]; } return int(s); }"
+    [ "reduction(+f)" ]
+
+(* ---------------- rejections ---------------- *)
+
+let test_reject_loop_carried () =
+  expect_rejected
+    "int out[16];\nint main() { int p = 0; for (int i = 0; i < 16; i = i + 1) { p = p * 2 + i; out[i] = p; } return p; }"
+    "loop-carried"
+
+let test_reject_data_dependent_write () =
+  expect_rejected
+    "int idx[16];\nint out[16];\nint main() { for (int i = 0; i < 16; i = i + 1) { out[idx[i]] = i; } return 0; }"
+    "non-iv index"
+
+let test_reject_offset_write () =
+  expect_rejected
+    "int out[18];\nint main() { for (int i = 0; i < 16; i = i + 1) { out[i + 1] = out[i] + 1; } return 0; }"
+    "non-iv index"
+
+let test_reject_local_array () =
+  expect_rejected
+    "int main() { int buf[16]; int s = 0; for (int i = 0; i < 16; i = i + 1) { buf[i] = i; } for (int i = 0; i < 16; i = i + 1) { s = s + buf[i]; } return s; }"
+    "not in shared memory"
+  |> ignore
+
+let test_reject_impure_call () =
+  expect_rejected
+    "int g;\nint out[8];\nint bump() { g = g + 1; return g; }\nint main() { for (int i = 0; i < 8; i = i + 1) { out[i] = bump(); } return 0; }"
+    "side effects"
+
+let test_reject_bad_annotation () =
+  (* an annotation that fails verification is rejected, not trusted *)
+  let r = detect
+      "int out[16];\nint main() { int p = 1; #pragma lp pattern(doall)\nfor (int i = 0; i < 16; i = i + 1) { p = p + i; out[i] = p; } return p; }"
+  in
+  check Alcotest.(list string) "rejected" [] (kinds r);
+  match r.Pattern.rejections with
+  | rej :: _ ->
+    check Alcotest.(option string) "requested" (Some "doall")
+      rej.Pattern.rej_requested
+  | [] -> fail "no rejection recorded"
+
+let test_reject_unknown_pattern () =
+  expect_rejected
+    "int out[4];\nint main() { #pragma lp pattern(wavefront)\nfor (int i = 0; i < 4; i = i + 1) { out[i] = i; } return 0; }"
+    "unknown pattern"
+
+(* ---------------- trust ---------------- *)
+
+let test_trust_allows_opaque_writes () =
+  expect_kinds
+    "int out[64];\nint main() { #pragma lp pattern(doall, trust)\nfor (int i = 0; i < 8; i = i + 1) { for (int j = 0; j < 8; j = j + 1) { out[i * 8 + j] = i + j; } } return 0; }"
+    [ "doall" ]
+
+let test_trust_does_not_bypass_scalar_check () =
+  (* trust relaxes index discipline only; loop-carried scalars still reject *)
+  expect_rejected
+    "int out[16];\nint main() { int p = 0; #pragma lp pattern(doall, trust)\nfor (int i = 0; i < 16; i = i + 1) { p = p + 1; out[i] = p; } return p; }"
+    "loop-carried"
+
+(* ---------------- pipelines ---------------- *)
+
+let pipeline_src =
+  "int a[8];\nint b[8];\nint c[8];\nint main() { #pragma lp pattern(pipeline)\nfor (int i = 0; i < 8; i = i + 1) { a[i] = i * 2; #pragma lp stage\nb[i] = a[i] + 1; #pragma lp stage\nc[i] = b[i] * b[i]; } return c[7]; }"
+
+let test_pipeline_detected () =
+  let r = detect pipeline_src in
+  match r.Pattern.instances with
+  | [ { Pattern.kind = Pattern.Pipeline 3; stages; _ } ] ->
+    check Alcotest.int "three stage bodies" 3 (List.length stages)
+  | _ -> fail "pipeline(3) not detected"
+
+let test_pipeline_backward_dep_rejected () =
+  expect_rejected
+    "int a[8];\nint b[8];\nint main() { #pragma lp pattern(pipeline)\nfor (int i = 0; i < 8; i = i + 1) { a[i] = b[i] + 1; #pragma lp stage\nb[i] = a[i] * 2; } return 0; }"
+    "later stage"
+
+let test_pipeline_lookahead_rejected () =
+  (* stage 1 reading a[i+1] (not yet produced) must be rejected *)
+  expect_rejected
+    "int a[9];\nint b[8];\nint main() { #pragma lp pattern(pipeline)\nfor (int i = 0; i < 8; i = i + 1) { a[i] = i; #pragma lp stage\nb[i] = a[i + 1]; } return 0; }"
+    "ahead of production"
+
+let test_pipeline_lookbehind_ok () =
+  expect_kinds
+    "int a[8];\nint b[8];\nint main() { #pragma lp pattern(pipeline)\nfor (int i = 0; i < 8; i = i + 1) { a[i] = i; #pragma lp stage\nif (i > 0) { b[i] = a[i - 1]; } else { b[i] = 0; } } return 0; }"
+    [ "pipeline(2)" ]
+
+let test_pipeline_scalar_crossing_rejected () =
+  expect_rejected
+    "int a[8];\nint b[8];\nint main() { #pragma lp pattern(pipeline)\nfor (int i = 0; i < 8; i = i + 1) { int t = i * 3; a[i] = t; #pragma lp stage\nb[i] = t + 1; } return 0; }"
+    "crosses stage boundary"
+
+let test_prodcons_stage_count () =
+  expect_rejected
+    "int a[8];\nint b[8];\nint c[8];\nint main() { #pragma lp pattern(prodcons)\nfor (int i = 0; i < 8; i = i + 1) { a[i] = i; #pragma lp stage\nb[i] = a[i]; #pragma lp stage\nc[i] = b[i]; } return 0; }"
+    "exactly 2 stages"
+
+(* ---------------- effects analysis ---------------- *)
+
+let test_effects () =
+  let ast = Lp_lang.Parser.parse_program
+      "int g;\nint h;\nint ro() { return g; }\nint wr() { h = 1; return 0; }\nint both() { return ro() + wr(); }\nint main() { return both(); }"
+  in
+  Lp_lang.Typecheck.check_program ast;
+  let eff = Effects.analyse ast in
+  let e_ro = Effects.func_effects eff "ro" in
+  let e_both = Effects.func_effects eff "both" in
+  if not (Effects.SS.mem "g" e_ro.Effects.reads) then fail "ro reads g";
+  if Effects.SS.mem "h" e_ro.Effects.writes then fail "ro writes nothing";
+  if not (Effects.SS.mem "h" e_both.Effects.writes) then fail "both writes h transitively";
+  if not (Effects.call_replicable eff "ro") then fail "ro replicable";
+  if Effects.call_replicable eff "wr" then fail "wr not replicable"
+
+(* ---------------- index classification ---------------- *)
+
+let test_classify_index () =
+  let parse_expr s =
+    let src = Printf.sprintf "int a[99];\nint main() { int i = 0; int n = 1; return a[%s]; }" s in
+    let ast = Lp_lang.Parser.parse_program src in
+    let f = List.find (fun (f : Ast.func) -> f.Ast.fname = "main") ast.Ast.funcs in
+    match List.rev f.Ast.fbody with
+    | { Ast.sdesc = Ast.Return (Some { edesc = Ast.Index (_, idx); _ }); _ } :: _ -> idx
+    | _ -> fail "bad fixture"
+  in
+  let cls s = Accesses.classify_index ~iv:"i" (parse_expr s) in
+  (match cls "i" with Accesses.Exact_iv -> () | _ -> fail "i");
+  (match cls "i + 3" with Accesses.Iv_offset 3 -> () | _ -> fail "i+3");
+  (match cls "i - 2" with Accesses.Iv_offset (-2) -> () | _ -> fail "i-2");
+  (match cls "4 + i" with Accesses.Iv_offset 4 -> () | _ -> fail "4+i");
+  (match cls "n * 2" with Accesses.Invariant -> () | _ -> fail "n*2");
+  (match cls "i * 2" with Accesses.Opaque -> () | _ -> fail "i*2")
+
+(* ---------------- stage fusion partitioner ---------------- *)
+
+let test_partition_balanced () =
+  let groups = Ast_weight.partition ~groups:2 [ 10; 10; 10; 10 ] in
+  check Alcotest.int "two groups" 2 (List.length groups);
+  check Alcotest.(list (list int)) "even split" [ [ 0; 1 ]; [ 2; 3 ] ] groups
+
+let test_partition_minimises_bottleneck () =
+  (* [9; 1; 1; 9] into 2 -> [9,1][1,9]: bottleneck 10 *)
+  let groups = Ast_weight.partition ~groups:2 [ 9; 1; 1; 9 ] in
+  let w = [| 9; 1; 1; 9 |] in
+  let bottleneck =
+    List.fold_left
+      (fun acc g -> max acc (List.fold_left (fun s i -> s + w.(i)) 0 g))
+      0 groups
+  in
+  check Alcotest.int "bottleneck" 10 bottleneck
+
+let test_partition_covers_all_contiguously () =
+  let groups = Ast_weight.partition ~groups:3 [ 5; 2; 8; 1; 4; 4; 2 ] in
+  let flat = List.concat groups in
+  check Alcotest.(list int) "covers all indices in order"
+    [ 0; 1; 2; 3; 4; 5; 6 ] flat;
+  if List.length groups > 3 then fail "too many groups"
+
+let prop_partition_sound =
+  QCheck.Test.make ~count:200 ~name:"partition covers indices contiguously"
+    QCheck.(pair (int_range 1 6) (list_of_size Gen.(1 -- 12) (int_range 1 50)))
+    (fun (g, ws) ->
+      let groups = Ast_weight.partition ~groups:g ws in
+      List.concat groups = List.init (List.length ws) Fun.id
+      && List.length groups <= max 1 (min g (List.length ws))
+      && List.for_all (fun grp -> grp <> []) groups)
+
+(* ---------------- whole-suite expectations ---------------- *)
+
+let test_workload_expectations () =
+  List.iter
+    (fun (w : W.t) ->
+      let r = detect w.W.source in
+      let names = kinds r in
+      match w.W.expected_pattern with
+      | "none" ->
+        if names <> [] then
+          Alcotest.failf "%s: expected sequential, got %s" w.W.name
+            (String.concat "," names)
+      | expected ->
+        if not (List.mem expected names) then
+          Alcotest.failf "%s: expected %s among [%s]" w.W.name expected
+            (String.concat "," names))
+    Lp_workloads.Suite.all
+
+let suite =
+  [
+    Alcotest.test_case "infer doall" `Quick test_infer_doall;
+    Alcotest.test_case "infer reduction" `Quick test_infer_reduction;
+    Alcotest.test_case "infer farm" `Quick test_infer_farm_on_irregular;
+    Alcotest.test_case "infer float reduction" `Quick test_infer_float_reduction;
+    Alcotest.test_case "reject loop-carried" `Quick test_reject_loop_carried;
+    Alcotest.test_case "reject data-dependent write" `Quick test_reject_data_dependent_write;
+    Alcotest.test_case "reject offset write" `Quick test_reject_offset_write;
+    Alcotest.test_case "reject local array" `Quick test_reject_local_array;
+    Alcotest.test_case "reject impure call" `Quick test_reject_impure_call;
+    Alcotest.test_case "reject bad annotation" `Quick test_reject_bad_annotation;
+    Alcotest.test_case "reject unknown pattern" `Quick test_reject_unknown_pattern;
+    Alcotest.test_case "trust opaque writes" `Quick test_trust_allows_opaque_writes;
+    Alcotest.test_case "trust keeps scalar check" `Quick test_trust_does_not_bypass_scalar_check;
+    Alcotest.test_case "pipeline detected" `Quick test_pipeline_detected;
+    Alcotest.test_case "pipeline backward dep" `Quick test_pipeline_backward_dep_rejected;
+    Alcotest.test_case "pipeline lookahead" `Quick test_pipeline_lookahead_rejected;
+    Alcotest.test_case "pipeline lookbehind ok" `Quick test_pipeline_lookbehind_ok;
+    Alcotest.test_case "pipeline scalar crossing" `Quick test_pipeline_scalar_crossing_rejected;
+    Alcotest.test_case "prodcons stage count" `Quick test_prodcons_stage_count;
+    Alcotest.test_case "effects analysis" `Quick test_effects;
+    Alcotest.test_case "index classification" `Quick test_classify_index;
+    Alcotest.test_case "partition balanced" `Quick test_partition_balanced;
+    Alcotest.test_case "partition bottleneck" `Quick test_partition_minimises_bottleneck;
+    Alcotest.test_case "partition contiguous" `Quick test_partition_covers_all_contiguously;
+    QCheck_alcotest.to_alcotest prop_partition_sound;
+    Alcotest.test_case "workload expectations" `Quick test_workload_expectations;
+  ]
+
+let test_infer_minmax_reduction () =
+  expect_kinds
+    "int a[32];\nint main() { int m = -2147483647; for (int i = 0; i < 32; i = i + 1) { int x = a[i] * a[i]; if (x > m) { m = x; } } return m; }"
+    [ "reduction(max)" ];
+  expect_kinds
+    "int a[32];\nint main() { int m = 2147483647; for (int i = 0; i < 32; i = i + 1) { int x = a[i] - 5; if (x < m) { m = x; } } return m; }"
+    [ "reduction(min)" ]
+
+let test_acc_read_elsewhere_rejected () =
+  (* acc is also stored per-iteration: partials would not compose *)
+  expect_rejected
+    "int a[16];\nint trail[16];\nint main() { int s = 0; for (int i = 0; i < 16; i = i + 1) { s = s + a[i]; trail[i] = s; } return s; }"
+    "loop-carried"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "infer max/min reduction" `Quick test_infer_minmax_reduction;
+      Alcotest.test_case "acc read elsewhere rejected" `Quick
+        test_acc_read_elsewhere_rejected;
+    ]
+
+let test_farm_auto_chunk () =
+  (* inferred farm with a moderately light body gets an amortising chunk *)
+  let r = detect (Lp_workloads.Suite.find_exn "susan").W.source in
+  (match r.Pattern.instances with
+  | [ { Pattern.kind = Pattern.Farm; chunk; _ } ] ->
+    if chunk < 2 then Alcotest.failf "auto chunk too small (%d)" chunk;
+    if chunk > 32 then Alcotest.failf "auto chunk too large (%d)" chunk
+  | _ -> fail "susan should be a farm");
+  (* an explicit chunk wins *)
+  let r2 = detect (Lp_workloads.Suite.find_exn "fraciter").W.source in
+  match r2.Pattern.instances with
+  | [ { Pattern.kind = Pattern.Farm; chunk = 8; _ } ] -> ()
+  | [ { Pattern.kind = Pattern.Farm; chunk; _ } ] ->
+    Alcotest.failf "explicit chunk overridden (%d)" chunk
+  | _ -> fail "fraciter should be a farm"
+
+let suite =
+  suite @ [ Alcotest.test_case "farm auto chunk" `Quick test_farm_auto_chunk ]

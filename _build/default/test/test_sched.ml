@@ -1,0 +1,157 @@
+(** Static scheduler tests: task graphs, list scheduling, energy-aware
+    level assignment. *)
+
+module Taskgraph = Lp_sched.Taskgraph
+module List_sched = Lp_sched.List_sched
+module Energy_map = Lp_sched.Energy_map
+module Machine = Lp_machine.Machine
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let machine4 = Machine.generic ~n_cores:4 ()
+
+(* ---------------- graph construction ---------------- *)
+
+let test_graph_validation () =
+  let t0 = Taskgraph.mk_task ~tid:0 ~name:"a" ~work:10.0 () in
+  let t1 = Taskgraph.mk_task ~tid:1 ~name:"b" ~work:10.0 () in
+  (* cycle *)
+  (try
+     ignore
+       (Taskgraph.create ~tasks:[ t0; t1 ]
+          ~edges:[ { Taskgraph.src = 0; dst = 1; words = 1 };
+                   { Taskgraph.src = 1; dst = 0; words = 1 } ]);
+     fail "cycle accepted"
+   with Taskgraph.Invalid_graph _ -> ());
+  (* self edge *)
+  (try
+     ignore (Taskgraph.create ~tasks:[ t0 ] ~edges:[ { Taskgraph.src = 0; dst = 0; words = 1 } ]);
+     fail "self edge accepted"
+   with Taskgraph.Invalid_graph _ -> ());
+  (* non-dense ids *)
+  try
+    ignore (Taskgraph.create ~tasks:[ t1 ] ~edges:[]);
+    fail "non-dense ids accepted"
+  with Taskgraph.Invalid_graph _ -> ()
+
+let test_topo_order () =
+  let g = Taskgraph.chain ~n:5 ~work:10.0 in
+  check Alcotest.(list int) "chain order" [ 0; 1; 2; 3; 4 ] (Taskgraph.topo_order g)
+
+let test_upward_ranks () =
+  let g = Taskgraph.chain ~n:3 ~work:10.0 in
+  let ranks = Taskgraph.upward_ranks g in
+  (* rank decreases along the chain; head has full critical path *)
+  check (Alcotest.float 1e-9) "head rank" 30.0 ranks.(0);
+  check (Alcotest.float 1e-9) "tail rank" 10.0 ranks.(2)
+
+(* ---------------- list scheduling ---------------- *)
+
+let test_fork_join_parallelises () =
+  let g = Taskgraph.fork_join ~width:4 ~work:1000.0 in
+  let s = List_sched.run ~machine:machine4 g in
+  List_sched.validate s;
+  check Alcotest.int "uses all cores" 4 (List_sched.cores_used s);
+  (* makespan must beat serial by ~4x on the parallel section *)
+  let serial = Taskgraph.serial_cycles g in
+  if s.List_sched.makespan_cycles > serial /. 2.0 then
+    Alcotest.failf "fork-join did not parallelise (makespan %.0f, serial %.0f)"
+      s.List_sched.makespan_cycles serial
+
+let test_chain_stays_on_one_core () =
+  (* a dependence chain cannot be parallelised; a good scheduler keeps it
+     on one core to avoid transfer costs *)
+  let g = Taskgraph.chain ~n:6 ~work:100.0 in
+  let s = List_sched.run ~machine:machine4 g in
+  List_sched.validate s;
+  check Alcotest.int "one core" 1 (List_sched.cores_used s);
+  check (Alcotest.float 1e-6) "makespan = serial" (Taskgraph.serial_cycles g)
+    s.List_sched.makespan_cycles
+
+let test_more_tasks_than_cores () =
+  let g = Taskgraph.fork_join ~width:13 ~work:500.0 in
+  let s = List_sched.run ~machine:machine4 g in
+  List_sched.validate s;
+  if List_sched.cores_used s > 4 then fail "used phantom cores";
+  (* lower bound: parallel section / cores *)
+  if s.List_sched.makespan_cycles < 13.0 *. 500.0 /. 4.0 then
+    fail "makespan below the bandwidth bound"
+
+let test_single_core_machine () =
+  let g = Taskgraph.fork_join ~width:3 ~work:100.0 in
+  let s = List_sched.run ~machine:(Machine.generic ~n_cores:1 ()) g in
+  List_sched.validate s;
+  check (Alcotest.float 1e-6) "serial on 1 core" (Taskgraph.serial_cycles g)
+    s.List_sched.makespan_cycles
+
+(* ---------------- energy mapping ---------------- *)
+
+let test_energy_map_reclaims_slack () =
+  (* unbalanced fork-join: short tasks have slack next to the long one *)
+  let tasks =
+    [ Taskgraph.mk_task ~tid:0 ~name:"fork" ~work:10.0 ();
+      Taskgraph.mk_task ~tid:1 ~name:"heavy" ~work:4000.0 ();
+      Taskgraph.mk_task ~tid:2 ~name:"light1" ~work:500.0 ();
+      Taskgraph.mk_task ~tid:3 ~name:"light2" ~work:800.0 ();
+      Taskgraph.mk_task ~tid:4 ~name:"join" ~work:10.0 () ]
+  in
+  let edges =
+    [ { Taskgraph.src = 0; dst = 1; words = 2 };
+      { Taskgraph.src = 0; dst = 2; words = 2 };
+      { Taskgraph.src = 0; dst = 3; words = 2 };
+      { Taskgraph.src = 1; dst = 4; words = 2 };
+      { Taskgraph.src = 2; dst = 4; words = 2 };
+      { Taskgraph.src = 3; dst = 4; words = 2 } ]
+  in
+  let g = Taskgraph.create ~tasks ~edges in
+  let s = List_sched.run ~machine:machine4 g in
+  List_sched.validate s;
+  let r = Energy_map.run ~slack:0.05 s in
+  if r.Energy_map.scaled_energy_nj >= r.Energy_map.baseline_energy_nj then
+    fail "no energy reclaimed from slack";
+  (* the light tasks must have been slowed, the heavy one barely *)
+  let level tid = r.Energy_map.assignments.(tid).Energy_map.level in
+  let nominal =
+    Lp_power.Power_model.max_level machine4.Machine.power
+  in
+  if level 2 >= nominal && level 3 >= nominal then
+    fail "light tasks kept at nominal";
+  (* deadline respected under the stretched durations *)
+  let duration tid = r.Energy_map.assignments.(tid).Energy_map.stretched_cycles in
+  let total = Energy_map.path_length s duration in
+  if total > r.Energy_map.deadline_cycles +. 1e-6 then fail "deadline violated"
+
+let test_energy_map_zero_slack_near_noop () =
+  let g = Taskgraph.chain ~n:4 ~work:1000.0 in
+  let s = List_sched.run ~machine:machine4 g in
+  let r = Energy_map.run ~slack:0.0 s in
+  (* a chain with zero slack cannot slow anything *)
+  let nominal = Lp_power.Power_model.max_level machine4.Machine.power in
+  Array.iter
+    (fun a ->
+      if a.Energy_map.level <> nominal then fail "slowed a zero-slack task")
+    r.Energy_map.assignments
+
+(* qcheck: random fork-join graphs always produce valid schedules *)
+let prop_random_fork_join_valid =
+  QCheck.Test.make ~count:50 ~name:"random fork-join schedules are valid"
+    QCheck.(pair (int_range 1 12) (int_range 10 2000))
+    (fun (width, work) ->
+      let g = Taskgraph.fork_join ~width ~work:(float_of_int work) in
+      let s = List_sched.run ~machine:machine4 g in
+      List_sched.validate s;
+      s.List_sched.makespan_cycles >= float_of_int work)
+
+let suite =
+  [
+    Alcotest.test_case "graph validation" `Quick test_graph_validation;
+    Alcotest.test_case "topo order" `Quick test_topo_order;
+    Alcotest.test_case "upward ranks" `Quick test_upward_ranks;
+    Alcotest.test_case "fork-join parallelises" `Quick test_fork_join_parallelises;
+    Alcotest.test_case "chain stays local" `Quick test_chain_stays_on_one_core;
+    Alcotest.test_case "more tasks than cores" `Quick test_more_tasks_than_cores;
+    Alcotest.test_case "single-core machine" `Quick test_single_core_machine;
+    Alcotest.test_case "energy map reclaims slack" `Quick test_energy_map_reclaims_slack;
+    Alcotest.test_case "energy map zero slack" `Quick test_energy_map_zero_slack_near_noop;
+    QCheck_alcotest.to_alcotest prop_random_fork_join_valid;
+  ]

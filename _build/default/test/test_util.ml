@@ -1,0 +1,180 @@
+(** Unit and property tests for the utility library. *)
+
+module Rng = Lp_util.Rng
+module Stats = Lp_util.Stats
+module Table = Lp_util.Table
+module Id_gen = Lp_util.Id_gen
+module Int32_sem = Lp_util.Int32_sem
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ---------------- rng ---------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 in
+  let b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.int a 1_000_000) (Rng.int b 1_000_000)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 in
+  let b = Rng.create ~seed:2 in
+  let xs = List.init 16 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 16 (fun _ -> Rng.int b 1000) in
+  if xs = ys then fail "different seeds produced identical streams"
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 13 in
+    if v < 0 || v >= 13 then Alcotest.failf "int out of bounds: %d" v;
+    let w = Rng.int_in r (-5) 5 in
+    if w < -5 || w > 5 then Alcotest.failf "int_in out of bounds: %d" w;
+    let f = Rng.float r 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:9 in
+  let xs = List.init 50 Fun.id in
+  let ys = Rng.shuffle r xs in
+  check
+    Alcotest.(list int)
+    "same multiset" xs
+    (List.sort compare ys)
+
+let test_rng_copy_independent () =
+  let a = Rng.create ~seed:5 in
+  ignore (Rng.int a 10);
+  let b = Rng.copy a in
+  let xa = Rng.int a 1000 and xb = Rng.int b 1000 in
+  check Alcotest.int "copy continues identically" xa xb
+
+let test_rng_invalid () =
+  let r = Rng.create ~seed:3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0));
+  Alcotest.check_raises "empty choose" (Invalid_argument "Rng.choose: empty list")
+    (fun () -> ignore (Rng.choose r []))
+
+(* ---------------- stats ---------------- *)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_mean () =
+  check feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check feq "stddev" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ])
+
+let test_stats_geomean () =
+  check feq "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geomean: non-positive element") (fun () ->
+      ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_stats_percentile () =
+  let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
+  check feq "p0" 10.0 (Stats.percentile 0.0 xs);
+  check feq "p100" 40.0 (Stats.percentile 100.0 xs);
+  check feq "p50" 25.0 (Stats.percentile 50.0 xs)
+
+let test_stats_percent () =
+  check feq "change" 50.0 (Stats.percent_change ~before:2.0 ~after:3.0);
+  check feq "reduction" 50.0 (Stats.percent_reduction ~before:2.0 ~after:1.0)
+
+(* ---------------- table ---------------- *)
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~header:[ "a"; "bb" ] () in
+  Table.add_row t [ "x"; "y" ];
+  Table.add_row t [ "longer"; "z" ];
+  let s = Table.render t in
+  if not (String.length s > 0) then fail "empty render";
+  List.iter
+    (fun needle ->
+      if
+        not
+          (List.exists
+             (fun line ->
+               let rec contains i =
+                 i + String.length needle <= String.length line
+                 && (String.sub line i (String.length needle) = needle
+                    || contains (i + 1))
+               in
+               contains 0)
+             (String.split_on_char '\n' s))
+      then Alcotest.failf "missing %S in render" needle)
+    [ "demo"; "longer"; "bb" ]
+
+let test_table_row_mismatch () =
+  let t = Table.create ~title:"t" ~header:[ "a"; "b" ] () in
+  Alcotest.check_raises "bad row"
+    (Invalid_argument "Table.add_row: row length mismatch") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+(* ---------------- id_gen & int32 ---------------- *)
+
+let test_id_gen () =
+  let g = Id_gen.create () in
+  check Alcotest.int "first" 0 (Id_gen.fresh g);
+  check Alcotest.int "second" 1 (Id_gen.fresh g);
+  check Alcotest.int "peek" 2 (Id_gen.peek g);
+  Id_gen.reset g;
+  check Alcotest.int "reset" 0 (Id_gen.fresh g)
+
+let test_wrap32_examples () =
+  check Alcotest.int "id small" 42 (Int32_sem.wrap32 42);
+  check Alcotest.int "wrap max" (-2147483648) (Int32_sem.wrap32 2147483648);
+  check Alcotest.int "wrap neg" 2147483647 (Int32_sem.wrap32 (-2147483649));
+  check Alcotest.int "idempotent" (Int32_sem.wrap32 123456789)
+    (Int32_sem.wrap32 (Int32_sem.wrap32 123456789))
+
+(* ---------------- qcheck properties ---------------- *)
+
+let prop_wrap32_range =
+  QCheck.Test.make ~count:500 ~name:"wrap32 stays in 32-bit range"
+    QCheck.int (fun x ->
+      let w = Int32_sem.wrap32 x in
+      w >= -2147483648 && w <= 2147483647)
+
+let prop_wrap32_idempotent =
+  QCheck.Test.make ~count:500 ~name:"wrap32 idempotent" QCheck.int (fun x ->
+      Int32_sem.wrap32 (Int32_sem.wrap32 x) = Int32_sem.wrap32 x)
+
+let prop_wrap32_add_homomorphic =
+  QCheck.Test.make ~count:500 ~name:"wrap32 (a+b) = wrap32 (wrap a + wrap b)"
+    QCheck.(pair int int)
+    (fun (a, b) ->
+      Int32_sem.wrap32 (a + b)
+      = Int32_sem.wrap32 (Int32_sem.wrap32 a + Int32_sem.wrap32 b))
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~count:200 ~name:"percentile within min/max"
+    QCheck.(pair (list_of_size Gen.(1 -- 20) (float_bound_inclusive 100.0))
+              (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let v = Stats.percentile p xs in
+      v >= Stats.minimum xs -. 1e-9 && v <= Stats.maximum xs +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng shuffle permutation" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "rng copy" `Quick test_rng_copy_independent;
+    Alcotest.test_case "rng invalid args" `Quick test_rng_invalid;
+    Alcotest.test_case "stats mean/stddev" `Quick test_stats_mean;
+    Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats percent" `Quick test_stats_percent;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table row mismatch" `Quick test_table_row_mismatch;
+    Alcotest.test_case "id_gen" `Quick test_id_gen;
+    Alcotest.test_case "wrap32 examples" `Quick test_wrap32_examples;
+    QCheck_alcotest.to_alcotest prop_wrap32_range;
+    QCheck_alcotest.to_alcotest prop_wrap32_idempotent;
+    QCheck_alcotest.to_alcotest prop_wrap32_add_homomorphic;
+    QCheck_alcotest.to_alcotest prop_percentile_bounds;
+  ]

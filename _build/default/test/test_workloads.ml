@@ -1,0 +1,89 @@
+(** End-to-end correctness: every workload must produce identical results
+    (main checksum and all result globals) under every compiler
+    configuration — power management and pattern parallelisation must be
+    semantics-preserving.  Also asserts zero implicit wakeups: the gating
+    pass must never gate a component an instruction then needs. *)
+
+module Compile = Lowpower.Compile
+module Machine = Lp_machine.Machine
+module Sim = Lp_sim.Sim
+module Value = Lp_sim.Value
+module Workload = Lp_workloads.Workload
+
+let machine = Machine.generic ~n_cores:4 ()
+
+let configs =
+  [
+    ("baseline", Compile.baseline);
+    ("pg+dvfs", Compile.pg_dvfs);
+    ("par-only", Compile.par_only ~n_cores:4);
+    ("full", Compile.full ~n_cores:4);
+  ]
+
+let run_config (w : Workload.t) opts =
+  let (compiled, outcome) = Compile.run ~opts ~machine w.Workload.source in
+  (compiled, outcome)
+
+(* float workloads may legitimately differ in low-order bits when a
+   reduction is re-associated across cores *)
+let float_tolerant w = w.Workload.name = "fdotprod"
+
+let ret_value (o : Sim.outcome) =
+  match o.Sim.ret with
+  | Some v -> v
+  | None -> Alcotest.fail "main returned no value"
+
+let check_same_ret w name base_ret (o : Sim.outcome) =
+  let r = ret_value o in
+  match (base_ret, r) with
+  | (Value.Vint a, Value.Vint b) when float_tolerant w ->
+    (* int(acc) of a float reduction: allow +-1 ulp-ish slack *)
+    if abs (a - b) > 1 then
+      Alcotest.failf "%s/%s: checksum %d <> baseline %d" w.Workload.name name
+        b a
+  | (a, b) ->
+    if not (Value.equal a b) then
+      Alcotest.failf "%s/%s: checksum %s <> baseline %s" w.Workload.name name
+        (Value.to_string b) (Value.to_string a)
+
+let check_same_globals w name (base : Sim.outcome) (o : Sim.outcome) =
+  List.iter
+    (fun g ->
+      match (Sim.shared_array base g, Sim.shared_array o g) with
+      | (Some a, Some b) ->
+        if Array.length a <> Array.length b then
+          Alcotest.failf "%s/%s: %s length mismatch" w.Workload.name name g;
+        Array.iteri
+          (fun i va ->
+            if not (Value.equal va b.(i)) then
+              Alcotest.failf "%s/%s: %s[%d] = %s <> baseline %s"
+                w.Workload.name name g i
+                (Value.to_string b.(i))
+                (Value.to_string va))
+          a
+      | _ -> Alcotest.failf "%s/%s: missing global %s" w.Workload.name name g)
+    w.Workload.check_globals
+
+let workload_case (w : Workload.t) () =
+  let (_, base) = run_config w Compile.baseline in
+  let base_ret = ret_value base in
+  List.iter
+    (fun (name, opts) ->
+      if name <> "baseline" then begin
+        let (compiled, o) = run_config w opts in
+        check_same_ret w name base_ret o;
+        check_same_globals w name base o;
+        Alcotest.(check int)
+          (Printf.sprintf "%s/%s: no implicit wakeups" w.Workload.name name)
+          0 o.Sim.implicit_wakeups;
+        (* power-managed configurations must not lose much performance
+           unless they also parallelise *)
+        ignore compiled
+      end)
+    configs
+
+let suite =
+  List.map
+    (fun (w : Workload.t) ->
+      Alcotest.test_case w.Workload.name `Slow (workload_case w))
+    Lp_workloads.Suite.all
