@@ -2,12 +2,22 @@
     (F1-F6) of the reproduced evaluation, then runs the B1 bechamel
     micro-benchmarks of compile-pass throughput.
 
+    The evaluation matrix fans out over [Lp_util.Domain_pool]; every run
+    appends a machine-readable [BENCH_eval.json] snapshot (wall-clock per
+    experiment, pool size, and — when a sequential reference pass ran —
+    the speedup) so the repo accumulates a perf trajectory.
+
     Usage:
-      dune exec bench/main.exe            # everything
-      dune exec bench/main.exe t3 f1      # selected experiments
-      dune exec bench/main.exe bechamel   # only the pass micro-benches *)
+      dune exec bench/main.exe                 # everything, default pool
+      dune exec bench/main.exe -- t3 f1        # selected experiments
+      dune exec bench/main.exe -- t1 --jobs 4  # 4-domain pool, plus a
+                                               # sequential reference pass
+      dune exec bench/main.exe -- t1 --jobs 4 --no-compare   # skip the ref
+      dune exec bench/main.exe -- seq          # force sequential (jobs=1)
+      dune exec bench/main.exe -- bechamel     # only the pass micro-benches *)
 
 module E = Lp_experiments.Experiments
+module DP = Lp_util.Domain_pool
 
 (* ------------------------------------------------------------------ *)
 (* B1: bechamel micro-benchmarks of individual compiler passes          *)
@@ -92,10 +102,132 @@ let bechamel_passes () =
     results;
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* BENCH_eval.json                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Schema (see docs/PERF.md): one JSON object per invocation.
+    [seq_wall_s]/[speedup] fields are null unless a sequential reference
+    pass ran in the same invocation. *)
+let write_bench_json ~path ~jobs ~(par : (string * float) list)
+    ~(seq : (string * float) list option) =
+  let oc = open_out path in
+  let fnum x = Printf.sprintf "%.6f" x in
+  let total xs = List.fold_left (fun a (_, s) -> a +. s) 0.0 xs in
+  let seq_of id =
+    Option.bind seq (fun s -> List.assoc_opt id s)
+  in
+  let opt_num = function Some x -> fnum x | None -> "null" in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"lowpower-bench-eval/1\",\n  \"pool_jobs\": %d,\n  \
+     \"recommended_domains\": %d,\n  \"experiments\": [\n"
+    jobs
+    (Domain.recommended_domain_count ());
+  List.iteri
+    (fun i (id, s) ->
+      let speedup = Option.map (fun sq -> sq /. s) (seq_of id) in
+      Printf.fprintf oc
+        "    {\"id\": %S, \"wall_s\": %s, \"seq_wall_s\": %s, \"speedup\": %s}%s\n"
+        id (fnum s)
+        (opt_num (seq_of id))
+        (opt_num speedup)
+        (if i = List.length par - 1 then "" else ","))
+    par;
+  let tp = total par in
+  let ts = Option.map total seq in
+  Printf.fprintf oc
+    "  ],\n  \"total_wall_s\": %s,\n  \"seq_total_wall_s\": %s,\n  \
+     \"speedup\": %s\n}\n"
+    (fnum tp) (opt_num ts)
+    (opt_num (Option.map (fun t -> t /. tp) ts));
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [ID ...] [--jobs N | seq] [--no-compare] [--json PATH]";
+  exit 2
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let want id = args = [] || List.mem id args in
-  List.iter
-    (fun (e : E.entry) -> if want e.E.id then E.run_and_print e)
-    E.all;
+  let ids = ref [] in
+  let jobs_flag = ref None in
+  let compare = ref true in
+  let json_path = ref "BENCH_eval.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        jobs_flag := Some n;
+        parse rest
+      | _ -> usage ())
+    | [ "--jobs" ] -> usage ()
+    | ("--seq" | "seq") :: rest ->
+      jobs_flag := Some 1;
+      parse rest
+    | "--no-compare" :: rest ->
+      compare := false;
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := path;
+      parse rest
+    | [ "--json" ] -> usage ()
+    | id :: rest ->
+      ids := !ids @ [ id ];
+      parse rest
+  in
+  parse args;
+  Option.iter DP.set_default_jobs !jobs_flag;
+  let jobs = DP.default_jobs () in
+  let want id = !ids = [] || List.mem id !ids in
+  let entries = List.filter (fun (e : E.entry) -> want e.E.id) E.all in
+  (* cold sequential reference pass, for the speedup column *)
+  let seq_timings =
+    if entries <> [] && jobs > 1 && !compare then begin
+      Printf.printf
+        "== sequential reference pass (%d experiments, jobs=1) ==\n%!"
+        (List.length entries);
+      DP.set_default_jobs 1;
+      Lp_experiments.Exp_common.clear_cache ();
+      let r =
+        List.map
+          (fun (e : E.entry) ->
+            let (_table, s) = E.run_timed e in
+            Printf.printf "  %-4s %.2fs\n%!" e.E.id s;
+            (e.E.id, s))
+          entries
+      in
+      DP.set_default_jobs jobs;
+      Lp_experiments.Exp_common.clear_cache ();
+      Some r
+    end
+    else None
+  in
+  if entries <> [] then
+    Printf.printf "== evaluation sweep (jobs=%d) ==\n%!" jobs;
+  let par_timings =
+    List.map
+      (fun (e : E.entry) ->
+        let (table, s) = E.run_timed e in
+        Lp_util.Table.print table;
+        Printf.printf "(%s finished in %.1fs, jobs=%d)\n\n%!" e.E.id s jobs;
+        (e.E.id, s))
+      entries
+  in
+  if entries <> [] then begin
+    write_bench_json ~path:!json_path ~jobs ~par:par_timings ~seq:seq_timings;
+    let total = List.fold_left (fun a (_, s) -> a +. s) 0.0 par_timings in
+    (match seq_timings with
+    | Some seq ->
+      let ts = List.fold_left (fun a (_, s) -> a +. s) 0.0 seq in
+      Printf.printf
+        "sweep total: %.2fs with jobs=%d vs %.2fs sequential (speedup %.2fx)\n"
+        total jobs ts (ts /. total)
+    | None -> Printf.printf "sweep total: %.2fs with jobs=%d\n" total jobs);
+    Printf.printf "wrote %s\n%!" !json_path
+  end;
   if want "bechamel" then bechamel_passes ()

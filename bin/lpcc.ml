@@ -242,7 +242,7 @@ let workloads_cmd =
 
 (* ---------------- bench ---------------- *)
 
-let bench_cmd_run ids =
+let bench_cmd_run jobs ids =
   let known = List.map (fun e -> e.Lp_experiments.Experiments.id)
       Lp_experiments.Experiments.all in
   match List.filter (fun id -> not (List.mem id known)) ids with
@@ -250,6 +250,7 @@ let bench_cmd_run ids =
     `Error (false, Printf.sprintf "unknown experiment %S (known: %s)" bad
               (String.concat " " known))
   | [] ->
+    Option.iter Lp_util.Domain_pool.set_default_jobs jobs;
     List.iter
       (fun (e : Lp_experiments.Experiments.entry) ->
         if ids = [] || List.mem e.Lp_experiments.Experiments.id ids then
@@ -257,13 +258,20 @@ let bench_cmd_run ids =
       Lp_experiments.Experiments.all;
     `Ok ()
 
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Domains the evaluation matrix may fan out over (default: \
+                 $(b,LP_JOBS) or the host's recommended domain count minus \
+                 one; 1 runs sequentially).")
+
 let bench_cmd =
   let doc = "regenerate evaluation tables/figures (all, or the given ids)" in
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"ID"
            ~doc:"Experiment ids (t1..t5, t3b, f1..f6, a1..a3); all when omitted.")
   in
-  Cmd.v (Cmd.info "bench" ~doc) Term.(ret (const bench_cmd_run $ ids))
+  Cmd.v (Cmd.info "bench" ~doc) Term.(ret (const bench_cmd_run $ jobs_arg $ ids))
 
 let () =
   let doc = "compiler for low power with design patterns on embedded multicore" in

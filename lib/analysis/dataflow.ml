@@ -1,9 +1,12 @@
 (** Generic iterative dataflow framework over basic blocks.
 
     Problems supply a join semilattice and a per-block transfer function;
-    the framework runs a worklist to fixpoint.  Used by liveness, by the
-    component-activity analysis behind power gating, and by tests that
-    define toy problems to exercise the machinery. *)
+    the framework runs a true worklist to fixpoint: seeded in reverse
+    postorder (reverse RPO for backward problems) and re-queueing only the
+    successors (resp. predecessors) of blocks whose output changed, so
+    unaffected regions of the CFG are never re-visited.  Used by liveness,
+    by the component-activity analysis behind power gating, and by tests
+    that define toy problems to exercise the machinery. *)
 
 module Ir = Lp_ir.Ir
 
@@ -15,6 +18,11 @@ module type LATTICE = sig
 end
 
 type direction = Forward | Backward
+
+(** A block's output must stop changing after at most the lattice height
+    many updates; a transfer/join pair that keeps flipping a block's value
+    past this bound is not monotone. *)
+let max_output_changes = 100_000
 
 module Make (L : LATTICE) = struct
   type result = {
@@ -40,35 +48,55 @@ module Make (L : LATTICE) = struct
       | Forward -> Cfg.preds cfg l
       | Backward -> Cfg.succs cfg l
     in
+    let neighbours_out l =
+      match direction with
+      | Forward -> Cfg.succs cfg l
+      | Backward -> Cfg.preds cfg l
+    in
+    (* exit blocks computed once: re-deriving [succs = []] on every
+       backward visit is wasted work on the hot path *)
+    let exits = Hashtbl.create 8 in
+    List.iter
+      (fun l -> if Cfg.succs cfg l = [] then Hashtbl.replace exits l ())
+      blocks;
     let is_boundary l =
       match direction with
       | Forward -> l = cfg.Cfg.func.Lp_ir.Prog.entry
-      | Backward -> Cfg.succs cfg l = []
+      | Backward -> Hashtbl.mem exits l
     in
-    let changed = ref true in
-    let rounds = ref 0 in
-    while !changed do
-      changed := false;
-      incr rounds;
-      if !rounds > 10_000 then failwith "Dataflow.run: fixpoint not reached";
-      List.iter
-        (fun l ->
-          let in_v =
-            let base = if is_boundary l then init else L.bottom in
-            List.fold_left
-              (fun acc p -> L.join acc (get outputs p))
-              base (neighbours_in l)
-          in
-          let out_v = transfer l in_v in
-          if not (L.equal (get inputs l) in_v) then begin
-            Hashtbl.replace inputs l in_v;
-            changed := true
-          end;
-          if not (L.equal (get outputs l) out_v) then begin
-            Hashtbl.replace outputs l out_v;
-            changed := true
-          end)
-        order
+    let queue = Queue.create () in
+    let queued = Hashtbl.create 16 in
+    let changes = Hashtbl.create 16 in
+    let enqueue l =
+      if not (Hashtbl.mem queued l) then begin
+        Hashtbl.replace queued l ();
+        Queue.push l queue
+      end
+    in
+    List.iter enqueue order;
+    while not (Queue.is_empty queue) do
+      let l = Queue.pop queue in
+      Hashtbl.remove queued l;
+      let in_v =
+        let base = if is_boundary l then init else L.bottom in
+        List.fold_left
+          (fun acc p -> L.join acc (get outputs p))
+          base (neighbours_in l)
+      in
+      let out_v = transfer l in_v in
+      if not (L.equal (get inputs l) in_v) then Hashtbl.replace inputs l in_v;
+      if not (L.equal (get outputs l) out_v) then begin
+        let n = Option.value ~default:0 (Hashtbl.find_opt changes l) + 1 in
+        Hashtbl.replace changes l n;
+        if n > max_output_changes then
+          failwith
+            (Printf.sprintf
+               "Dataflow.run: monotonicity violation at block L%d (output \
+                changed %d times without converging)"
+               l n);
+        Hashtbl.replace outputs l out_v;
+        List.iter enqueue (neighbours_out l)
+      end
     done;
     { inputs; outputs }
 

@@ -1,7 +1,14 @@
 (** Shared plumbing for the evaluation experiments (tables T1-T5, figures
     F1-F6).  Each experiment module exposes [run : unit -> Lp_util.Table.t
     list] so the benchmark executable, the CLI and the tests can all drive
-    the same code. *)
+    the same code.
+
+    The evaluation matrix is embarrassingly parallel: every (workload,
+    config, machine) triple compiles and simulates independently.  Each
+    experiment therefore declares the triples it needs as [job] values and
+    fans them out over [Lp_util.Domain_pool] via [run_matrix], which fills
+    the shared memo [cache]; the table is then rendered sequentially from
+    the cache, so output is byte-identical whatever the pool size. *)
 
 module Compile = Lowpower.Compile
 module Machine = Lp_machine.Machine
@@ -10,6 +17,7 @@ module Ledger = Lp_power.Energy_ledger
 module Pattern = Lp_patterns.Pattern
 module Workload = Lp_workloads.Workload
 module Table = Lp_util.Table
+module Domain_pool = Lp_util.Domain_pool
 
 (** The machine of the main evaluation. *)
 let default_machine () = Machine.generic ~n_cores:4 ()
@@ -35,21 +43,94 @@ type run_result = {
   outcome : Sim.outcome;
 }
 
-(* simple memo so that T3/T4/F2/F6 don't re-simulate the same
-   (workload, config, machine) triple *)
+(* memo so that T3/T4/F2/F6 don't re-simulate the same (workload, config,
+   machine) triple.  Guarded by [cache_mutex]: [run_matrix] fills it from
+   several domains at once.  A racing miss may compute a triple twice;
+   compilation is deterministic, so whichever insert wins is the same
+   value. *)
 let cache : (string * string * string, run_result) Hashtbl.t =
   Hashtbl.create 64
+
+let cache_mutex = Mutex.create ()
+
+let cache_find key =
+  Mutex.lock cache_mutex;
+  let r = Hashtbl.find_opt cache key in
+  Mutex.unlock cache_mutex;
+  r
+
+let cache_add key r =
+  Mutex.lock cache_mutex;
+  if not (Hashtbl.mem cache key) then Hashtbl.replace cache key r;
+  Mutex.unlock cache_mutex
+
+(** Drop all memoised runs (the bench harness uses this to time a cold
+    sequential reference pass against a cold parallel pass). *)
+let clear_cache () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_mutex
 
 let run_workload ?(machine = default_machine ()) (w : Workload.t)
     ~(config : string) (opts : Compile.options) : run_result =
   let key = (w.Workload.name, config, machine.Machine.name) in
-  match Hashtbl.find_opt cache key with
+  match cache_find key with
   | Some r -> r
   | None ->
     let (compiled, outcome) = Compile.run ~opts ~machine w.Workload.source in
     let r = { workload = w.Workload.name; config; compiled; outcome } in
-    Hashtbl.replace cache key r;
+    cache_add key r;
     r
+
+(* ------------------------------------------------------------------ *)
+(* The parallel evaluation matrix                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** One cell of the evaluation matrix. *)
+type job = {
+  j_workload : Workload.t;
+  j_config : string;
+  j_opts : Compile.options;
+  j_machine : Machine.t;
+}
+
+let job ?machine (w : Workload.t) ~(config : string) (opts : Compile.options)
+    : job =
+  let machine = match machine with Some m -> m | None -> default_machine () in
+  { j_workload = w; j_config = config; j_opts = opts; j_machine = machine }
+
+(** [cross ?machine ws configs] — every workload under every (name, opts)
+    configuration, the common matrix shape. *)
+let cross ?machine (ws : Workload.t list)
+    (configs : (string * Compile.options) list) : job list =
+  List.concat_map
+    (fun w -> List.map (fun (c, o) -> job ?machine w ~config:c o) configs)
+    ws
+
+(** Compile+simulate every job over the domain pool, memoising the
+    results; already-cached and duplicate triples are skipped.  After
+    [run_matrix], [run_workload] on any of the jobs is a cache hit. *)
+let run_matrix ?pool (jobs : job list) : unit =
+  let seen = Hashtbl.create 64 in
+  let todo =
+    List.filter
+      (fun j ->
+        let key =
+          (j.j_workload.Workload.name, j.j_config, j.j_machine.Machine.name)
+        in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          Option.is_none (cache_find key)
+        end)
+      jobs
+  in
+  Domain_pool.parallel_iter ?pool
+    (fun j ->
+      ignore
+        (run_workload ~machine:j.j_machine j.j_workload ~config:j.j_config
+           j.j_opts))
+    todo
 
 let energy r = Ledger.total r.outcome.Sim.energy
 let time_ns r = r.outcome.Sim.duration_ns

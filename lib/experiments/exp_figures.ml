@@ -10,7 +10,20 @@ module Operating_point = Lp_power.Operating_point
 (* F1: speedup & energy vs core count                                  *)
 (* ------------------------------------------------------------------ *)
 
+let f1_core_counts = [ 1; 2; 4; 8 ]
+
 let f1 () : Table.t =
+  let reps =
+    List.map Lp_workloads.Suite.find_exn Lp_workloads.Suite.representative
+  in
+  run_matrix
+    (cross ~machine:(machine_with_cores 1) reps
+       [ ("baseline-1c", Compile.baseline) ]
+    @ List.concat_map
+        (fun n ->
+          cross ~machine:(machine_with_cores n) reps
+            [ (Printf.sprintf "full-%dc" n, Compile.full ~n_cores:n) ])
+        f1_core_counts);
   let tbl =
     Table.create
       ~title:
@@ -43,7 +56,7 @@ let f1 () : Table.t =
               fmt_ratio (energy r /. energy base);
               fmt_ratio (edp r /. edp base);
             ])
-        [ 1; 2; 4; 8 ])
+        f1_core_counts)
     Lp_workloads.Suite.representative;
   tbl
 
@@ -52,6 +65,9 @@ let f1 () : Table.t =
 (* ------------------------------------------------------------------ *)
 
 let f2 () : Table.t =
+  run_matrix
+    (cross all_workloads
+       [ ("baseline", Compile.baseline); ("full", Compile.full ~n_cores:4) ]);
   let tbl =
     Table.create
       ~title:"F2: Energy-delay product, full vs baseline (lower is better)"
@@ -82,6 +98,10 @@ let f2 () : Table.t =
 (* ------------------------------------------------------------------ *)
 
 let f3 () : Table.t =
+  run_matrix
+    (cross
+       (List.map Lp_workloads.Suite.find_exn Lp_workloads.Suite.representative)
+       [ ("baseline", Compile.baseline); ("full", Compile.full ~n_cores:4) ]);
   let tbl =
     Table.create
       ~title:"F3: Energy breakdown by category (uJ), baseline vs full"
@@ -127,9 +147,23 @@ let f4_workloads = [ "phases"; "jpegblocks"; "fft" ]
     the break-even threshold actually arbitrates: too eager (small scale)
     pays transition overhead on short regions, too conservative (large
     scale) leaves leakage on the table. *)
+let f4_config scale = Printf.sprintf "pg-be%.4f" scale
+
+let f4_opts scale =
+  { Compile.pg_only with
+    Compile.power =
+      { Compile.pg_only.Compile.power with
+        Compile.gating_opts =
+          { T.Gating.default_options with T.Gating.break_even_scale = scale } }
+  }
+
 let f4 () : Table.t =
   let power = Power_model.leaky () in
   let machine = Lp_machine.Machine.generic ~n_cores:4 ~power () in
+  run_matrix
+    (cross ~machine
+       (List.map Lp_workloads.Suite.find_exn f4_workloads)
+       (List.map (fun s -> (f4_config s, f4_opts s)) (1.0 :: f4_scales)));
   let tbl =
     Table.create
       ~title:
@@ -143,15 +177,7 @@ let f4 () : Table.t =
     (fun name ->
       let w = Lp_workloads.Suite.find_exn name in
       let run scale =
-        let opts =
-          { Compile.pg_only with
-            Compile.power =
-              { Compile.pg_only.Compile.power with
-                Compile.gating_opts =
-                  { T.Gating.default_options with
-                    T.Gating.break_even_scale = scale } } }
-        in
-        run_workload ~machine w ~config:(Printf.sprintf "pg-be%.4f" scale) opts
+        run_workload ~machine w ~config:(f4_config scale) (f4_opts scale)
       in
       let reference = energy (run 1.0) in
       List.iter
@@ -175,7 +201,20 @@ let f4 () : Table.t =
 let f5_levels = [ 2; 3; 4; 6 ]
 let f5_workloads = [ "histogram"; "imgpipe"; "jpegblocks" ]
 
+let f5_machine levels =
+  let power = Power_model.default ~n_levels:levels () in
+  Lp_machine.Machine.generic ~n_cores:4 ~power ()
+
+let f5_config levels = Printf.sprintf "full-L%d" levels
+
 let f5 () : Table.t =
+  run_matrix
+    (List.concat_map
+       (fun levels ->
+         cross ~machine:(f5_machine levels)
+           (List.map Lp_workloads.Suite.find_exn f5_workloads)
+           [ (f5_config levels, Compile.full ~n_cores:4) ])
+       f5_levels);
   let tbl =
     Table.create
       ~title:
@@ -189,10 +228,7 @@ let f5 () : Table.t =
     (fun name ->
       let w = Lp_workloads.Suite.find_exn name in
       let run levels =
-        let power = Power_model.default ~n_levels:levels () in
-        let machine = Lp_machine.Machine.generic ~n_cores:4 ~power () in
-        run_workload ~machine w
-          ~config:(Printf.sprintf "full-L%d" levels)
+        run_workload ~machine:(f5_machine levels) w ~config:(f5_config levels)
           (Compile.full ~n_cores:4)
       in
       let reference = run 2 in
@@ -214,7 +250,15 @@ let f5 () : Table.t =
 (* F6: Sink-N-Hoist ablation                                           *)
 (* ------------------------------------------------------------------ *)
 
+let f6_no_merge_opts =
+  { Compile.pg_only with
+    Compile.power =
+      { Compile.pg_only.Compile.power with Compile.sink_n_hoist = false } }
+
 let f6 () : Table.t =
+  run_matrix
+    (cross all_workloads
+       [ ("pg-nomerge", f6_no_merge_opts); ("pg", Compile.pg_only) ]);
   let tbl =
     Table.create
       ~title:
@@ -228,12 +272,7 @@ let f6 () : Table.t =
   in
   List.iter
     (fun (w : Workload.t) ->
-      let no_merge_opts =
-        { Compile.pg_only with
-          Compile.power =
-            { Compile.pg_only.Compile.power with Compile.sink_n_hoist = false } }
-      in
-      let nm = run_workload w ~config:"pg-nomerge" no_merge_opts in
+      let nm = run_workload w ~config:"pg-nomerge" f6_no_merge_opts in
       let m = run_workload w ~config:"pg" Compile.pg_only in
       let count (c : Compile.compiled) =
         c.Compile.gating_after_merge.T.Gating.components_toggled
@@ -262,7 +301,23 @@ let f6 () : Table.t =
 
 (** Full-vs-baseline energy and speedup across three machine models:
     the win grows with core count and with the node's leakage share. *)
+let a1_workloads = [ "fir"; "fraciter"; "imgpipe"; "memops" ]
+
 let a1 () : Table.t =
+  let machines =
+    [ Lp_machine.Machine.pac_duo_like ();
+      Lp_machine.Machine.generic ~n_cores:4 ();
+      Lp_machine.Machine.octa_leaky () ]
+  in
+  run_matrix
+    (List.concat_map
+       (fun machine ->
+         cross ~machine
+           (List.map Lp_workloads.Suite.find_exn a1_workloads)
+           [ ("baseline", Compile.baseline);
+             ( "full-native",
+               Compile.full ~n_cores:machine.Lp_machine.Machine.n_cores ) ])
+       machines);
   let tbl =
     Table.create
       ~title:
@@ -271,11 +326,6 @@ let a1 () : Table.t =
         [ "workload"; "machine"; "cores"; "speedup"; "energy ratio" ]
       ~aligns:Table.[ Left; Left; Right; Right; Right ]
       ()
-  in
-  let machines =
-    [ Lp_machine.Machine.pac_duo_like ();
-      Lp_machine.Machine.generic ~n_cores:4 ();
-      Lp_machine.Machine.octa_leaky () ]
   in
   List.iter
     (fun name ->
@@ -298,7 +348,7 @@ let a1 () : Table.t =
               fmt_ratio (energy full /. energy base);
             ])
         machines)
-    [ "fir"; "fraciter"; "imgpipe"; "memops" ];
+    a1_workloads;
   tbl
 
 
@@ -309,7 +359,19 @@ let a1 () : Table.t =
 (** On index-correlated work (the triangular kernel), a block split makes
     the last core the straggler; cyclic interleaving balances it.  On
     uniform kernels the two are equivalent. *)
+let a2_workloads = [ "tri"; "fir"; "conv2d" ]
+
 let a2 () : Table.t =
+  let ws = List.map Lp_workloads.Suite.find_exn a2_workloads in
+  run_matrix
+    (cross ws
+       (("baseline", Compile.baseline)
+       :: List.map
+            (fun (dname, dist) ->
+              ( "full-" ^ dname,
+                { (Compile.full ~n_cores:4) with Compile.distribution = dist }
+              ))
+            [ ("block", T.Parallelize.Block); ("cyclic", T.Parallelize.Cyclic) ]));
   let tbl =
     Table.create
       ~title:"A2: doall distribution ablation — block vs cyclic (full, 4 cores)"
@@ -334,7 +396,7 @@ let a2 () : Table.t =
               fmt_ratio (energy r /. energy base);
             ])
         [ ("block", T.Parallelize.Block); ("cyclic", T.Parallelize.Cyclic) ])
-    [ "tri"; "fir"; "conv2d" ];
+    a2_workloads;
   tbl
 
 
@@ -345,7 +407,17 @@ let a2 () : Table.t =
 (** Doall completion via per-worker acknowledge messages vs one all-core
     barrier.  Expected to be second-order on these machines (both
     mechanisms are a handful of link transactions per instance). *)
+let a3_workloads = [ "fir"; "conv2d"; "fft" ]
+
 let a3 () : Table.t =
+  run_matrix
+    (cross
+       (List.map Lp_workloads.Suite.find_exn a3_workloads)
+       (List.map
+          (fun (sync, cfg) ->
+            (cfg, { (Compile.full ~n_cores:4) with Compile.sync }))
+          [ (T.Parallelize.Done_channel, "full");
+            (T.Parallelize.Barrier_sync, "full-barrier") ]));
   let tbl =
     Table.create
       ~title:"A3: doall completion sync — done-channel vs barrier (full, 4 cores)"
@@ -371,5 +443,5 @@ let a3 () : Table.t =
               fmt_ratio (energy r /. energy dc);
             ])
         [ ("done-chan", dc); ("barrier", bar) ])
-    [ "fir"; "conv2d"; "fft" ];
+    a3_workloads;
   tbl

@@ -10,6 +10,7 @@ module T = Lp_transforms
 (* ------------------------------------------------------------------ *)
 
 let t1 () : Table.t =
+  run_matrix (cross all_workloads [ ("baseline", Compile.baseline) ]);
   let tbl =
     Table.create ~title:"T1: Benchmark characteristics"
       ~header:
@@ -55,6 +56,7 @@ let t1 () : Table.t =
 (* ------------------------------------------------------------------ *)
 
 let t2 () : Table.t =
+  run_matrix (cross all_workloads [ ("baseline", Compile.baseline) ]);
   let tbl =
     Table.create ~title:"T2: Pattern detection (verified annotations + inference)"
       ~header:
@@ -109,6 +111,7 @@ let t2 () : Table.t =
 
 let t3 () : Table.t =
   let configs = standard_configs ~n_cores:4 in
+  run_matrix (cross all_workloads configs);
   let tbl =
     Table.create
       ~title:
@@ -158,6 +161,9 @@ let t3b () : Table.t =
     [ ("baseline", Compile.baseline); ("pg", Compile.pg_only);
       ("dvfs", Compile.dvfs_only); ("pg+dvfs", Compile.pg_dvfs) ]
   in
+  run_matrix
+    (cross ~machine all_workloads
+       (List.map (fun (n, o) -> (n ^ "-1c", o)) configs));
   let tbl =
     Table.create
       ~title:
@@ -194,6 +200,7 @@ let t3b () : Table.t =
 (* ------------------------------------------------------------------ *)
 
 let t4 () : Table.t =
+  run_matrix (cross all_workloads (standard_configs ~n_cores:4));
   let tbl =
     Table.create
       ~title:
@@ -234,6 +241,7 @@ let t4 () : Table.t =
 (* ------------------------------------------------------------------ *)
 
 let t5 () : Table.t =
+  run_matrix (cross all_workloads [ ("pg", Compile.pg_only) ]);
   let tbl =
     Table.create
       ~title:

@@ -86,10 +86,19 @@ let default_options =
     human-readable description. *)
 type event = { ev_core : int; ev_ns : float; ev_what : string }
 
+(** A callee resolved once at simulator construction: the interpreter's
+    call dispatch must not pay a by-name lookup plus [List.nth] parameter
+    walks on every [Ir.Call]. *)
+type fentry = {
+  fe_func : Prog.func;
+  fe_params : Ir.reg array;  (** parameter registers, in position order *)
+}
+
 type t = {
   prog : Prog.t;
   machine : Machine.t;
   opts : options;
+  fsyms : (string, fentry) Hashtbl.t;  (** every function, by name *)
   cores : core array;          (** one per entry function *)
   shared : (string, Value.t array) Hashtbl.t;
   chans : chan array;
@@ -191,11 +200,21 @@ let create ?(opts = default_options) ~(machine : Machine.t) (prog : Prog.t) : t 
     | Prog.Parallel { n_channels; n_barriers; chan_capacity; _ } ->
       (n_channels, n_barriers, chan_capacity)
   in
+  let fsyms = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Prog.func) ->
+      Hashtbl.replace fsyms f.Prog.fname
+        {
+          fe_func = f;
+          fe_params = Array.of_list (List.map fst f.Prog.params);
+        })
+    (Prog.funcs prog);
   let t =
     {
       prog;
       machine;
       opts;
+      fsyms;
       cores;
       shared = init_shared prog;
       chans =
@@ -451,18 +470,20 @@ let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
     setr fr d (Value.Vint old)
   | Ir.Call (dst, callee, args) -> (
     simple_cost ();
-    match Prog.find_func t.prog callee with
+    match Hashtbl.find_opt t.fsyms callee with
     | None -> runtime_err "call to unknown function %s" callee
-    | Some f ->
-      let new_fr = make_frame f in
-      List.iteri
-        (fun k arg ->
-          match List.nth_opt f.Prog.params k with
-          | Some (r, _) -> new_fr.regs.(r) <- eval fr arg
-          | None -> runtime_err "too many arguments to %s" callee)
-        args;
-      if List.length args <> List.length f.Prog.params then
-        runtime_err "arity mismatch calling %s" callee;
+    | Some fe ->
+      let new_fr = make_frame fe.fe_func in
+      let nparams = Array.length fe.fe_params in
+      let bound =
+        List.fold_left
+          (fun k arg ->
+            if k >= nparams then runtime_err "too many arguments to %s" callee;
+            new_fr.regs.(fe.fe_params.(k)) <- eval fr arg;
+            k + 1)
+          0 args
+      in
+      if bound <> nparams then runtime_err "arity mismatch calling %s" callee;
       fr.pending_dst <- dst;
       c.stack <- new_fr :: c.stack)
   | Ir.Pg_off comps ->

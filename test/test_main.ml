@@ -10,6 +10,7 @@ let () =
       ("patterns", Test_patterns.suite);
       ("power", Test_power.suite);
       ("parallel", Test_parallel.suite);
+      ("parallel-harness", Test_parallel_harness.suite);
       ("experiments", Test_experiments.suite);
       ("sched", Test_sched.suite);
       ("properties", Test_props.suite);
