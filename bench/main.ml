@@ -108,39 +108,69 @@ let bechamel_passes () =
 
 (** Schema (see docs/PERF.md): one JSON object per invocation.
     [seq_wall_s]/[speedup] fields are null unless a sequential reference
-    pass ran in the same invocation. *)
+    pass ran in the same invocation.  [cells] carries the per-cell status
+    of the evaluation matrix: which (workload, config, machine) triples
+    degraded to a diagnostic, and how many attempts each took.
+
+    The file is written atomically (temp file in the same directory, then
+    rename) so a crash mid-write never leaves a truncated snapshot. *)
 let write_bench_json ~path ~jobs ~(par : (string * float) list)
     ~(seq : (string * float) list option) =
-  let oc = open_out path in
-  let fnum x = Printf.sprintf "%.6f" x in
-  let total xs = List.fold_left (fun a (_, s) -> a +. s) 0.0 xs in
-  let seq_of id =
-    Option.bind seq (fun s -> List.assoc_opt id s)
-  in
-  let opt_num = function Some x -> fnum x | None -> "null" in
-  Printf.fprintf oc
-    "{\n  \"schema\": \"lowpower-bench-eval/1\",\n  \"pool_jobs\": %d,\n  \
-     \"recommended_domains\": %d,\n  \"experiments\": [\n"
-    jobs
-    (Domain.recommended_domain_count ());
-  List.iteri
-    (fun i (id, s) ->
-      let speedup = Option.map (fun sq -> sq /. s) (seq_of id) in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      let fnum x = Printf.sprintf "%.6f" x in
+      let total xs = List.fold_left (fun a (_, s) -> a +. s) 0.0 xs in
+      let seq_of id =
+        Option.bind seq (fun s -> List.assoc_opt id s)
+      in
+      let opt_num = function Some x -> fnum x | None -> "null" in
       Printf.fprintf oc
-        "    {\"id\": %S, \"wall_s\": %s, \"seq_wall_s\": %s, \"speedup\": %s}%s\n"
-        id (fnum s)
-        (opt_num (seq_of id))
-        (opt_num speedup)
-        (if i = List.length par - 1 then "" else ","))
-    par;
-  let tp = total par in
-  let ts = Option.map total seq in
-  Printf.fprintf oc
-    "  ],\n  \"total_wall_s\": %s,\n  \"seq_total_wall_s\": %s,\n  \
-     \"speedup\": %s\n}\n"
-    (fnum tp) (opt_num ts)
-    (opt_num (Option.map (fun t -> t /. tp) ts));
-  close_out oc
+        "{\n  \"schema\": \"lowpower-bench-eval/1\",\n  \"pool_jobs\": %d,\n  \
+         \"recommended_domains\": %d,\n  \"experiments\": [\n"
+        jobs
+        (Domain.recommended_domain_count ());
+      List.iteri
+        (fun i (id, s) ->
+          let speedup = Option.map (fun sq -> sq /. s) (seq_of id) in
+          Printf.fprintf oc
+            "    {\"id\": %S, \"wall_s\": %s, \"seq_wall_s\": %s, \"speedup\": %s}%s\n"
+            id (fnum s)
+            (opt_num (seq_of id))
+            (opt_num speedup)
+            (if i = List.length par - 1 then "" else ","))
+        par;
+      let tp = total par in
+      let ts = Option.map total seq in
+      let cells = Lp_experiments.Exp_common.cell_statuses () in
+      let n_failed =
+        List.length (List.filter (fun (_, _, code) -> code <> None) cells)
+      in
+      Printf.fprintf oc
+        "  ],\n  \"total_wall_s\": %s,\n  \"seq_total_wall_s\": %s,\n  \
+         \"speedup\": %s,\n  \"cells_total\": %d,\n  \"cells_failed\": %d,\n  \
+         \"cells\": [\n"
+        (fnum tp) (opt_num ts)
+        (opt_num (Option.map (fun t -> t /. tp) ts))
+        (List.length cells) n_failed;
+      List.iteri
+        (fun i ((w, c, m), attempts, code) ->
+          Printf.fprintf oc
+            "    {\"workload\": %S, \"config\": %S, \"machine\": %S, \
+             \"attempts\": %d, \"status\": %s}%s\n"
+            w c m attempts
+            (match code with
+            | None -> "\"ok\""
+            | Some code -> Printf.sprintf "%S" code)
+            (if i = List.length cells - 1 then "" else ","))
+        cells;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Sys.rename tmp path)
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
@@ -148,7 +178,8 @@ let write_bench_json ~path ~jobs ~(par : (string * float) list)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [ID ...] [--jobs N | seq] [--no-compare] [--json PATH]";
+    "usage: main.exe [ID ...] [--jobs N | seq] [--no-compare] [--json PATH] \
+     [--faults SPEC]";
   exit 2
 
 let () =
@@ -176,10 +207,22 @@ let () =
       json_path := path;
       parse rest
     | [ "--json" ] -> usage ()
+    | "--faults" :: spec :: rest -> (
+      match Lp_util.Fault.configure spec with
+      | Ok () -> parse rest
+      | Error msg ->
+        Printf.eprintf "invalid --faults spec: %s\n" msg;
+        exit 2)
+    | [ "--faults" ] -> usage ()
     | id :: rest ->
       ids := !ids @ [ id ];
       parse rest
   in
+  (match Lp_util.Fault.configure_env () with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "invalid LP_FAULTS spec: %s\n" msg;
+    exit 2);
   parse args;
   Option.iter DP.set_default_jobs !jobs_flag;
   let jobs = DP.default_jobs () in
@@ -230,4 +273,17 @@ let () =
     | None -> Printf.printf "sweep total: %.2fs with jobs=%d\n" total jobs);
     Printf.printf "wrote %s\n%!" !json_path
   end;
-  if want "bechamel" then bechamel_passes ()
+  if want "bechamel" then bechamel_passes ();
+  (* failure summary: degraded cells render as ERR(<code>) in the tables
+     above; recap them here and make the exit code reflect them *)
+  match Lp_experiments.Exp_common.failed_cells () with
+  | [] -> ()
+  | failed ->
+    Printf.eprintf "\n== %d cell(s) degraded to a diagnostic ==\n"
+      (List.length failed);
+    List.iter
+      (fun ((w, c, m), attempts, d) ->
+        Printf.eprintf "  %s/%s@%s (attempt %d): %s\n" w c m attempts
+          (Lp_util.Diag.to_string d))
+      failed;
+    exit 1

@@ -5,6 +5,8 @@
     - [run]       compile and simulate under a chosen configuration
     - [dump]      print the compiled IR
     - [workloads] list the bundled benchmark programs
+    - [bench]     regenerate the evaluation tables/figures
+    - [fuzz]      fuzz the pipeline with generated MiniC programs
 
     Sources are MiniC files; [--workload NAME] substitutes a bundled
     benchmark for a file. *)
@@ -15,9 +17,35 @@ module Sim = Lp_sim.Sim
 module Ledger = Lp_power.Energy_ledger
 module Pattern = Lp_patterns.Pattern
 module W = Lp_workloads.Workload
+module Diag = Lp_util.Diag
+module Fault = Lp_util.Fault
 open Cmdliner
 
 (* ---------------- shared arguments ---------------- *)
+
+(** Route every pipeline failure through the structured diagnostic
+    printer: no subcommand leaks a raw exception for an error the
+    pipeline owns, and even a foreign exception exits cleanly. *)
+let with_diagnostics f =
+  try f () with
+  | e -> (
+    match Compile.diag_of_exn e with
+    | Some d -> `Error (false, Diag.to_string d)
+    | None -> `Error (false, "internal error: " ^ Printexc.to_string e))
+
+let faults_arg =
+  Arg.(value & opt (some string) None
+       & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Inject deterministic faults (see docs/ROBUSTNESS.md for \
+                 the grammar, e.g. $(b,seed=7,post-pass\\@fir*1)).  The \
+                 $(b,LP_FAULTS) environment variable is the equivalent.")
+
+let apply_faults = function
+  | None -> Ok ()
+  | Some spec -> (
+    match Fault.configure spec with
+    | Ok () -> Ok ()
+    | Error msg -> Error ("invalid --faults spec: " ^ msg))
 
 let read_file path =
   let ic = open_in_bin path in
@@ -89,9 +117,9 @@ let opts_of ~cores = function
 let detect_cmd_run file workload =
   match source_of ~file ~workload with
   | Error e -> `Error (false, e)
-  | Ok (src, name) -> (
-    try
-      let ast = Compile.parse_and_check src in
+  | Ok (src, name) ->
+    with_diagnostics @@ fun () ->
+      let ast = Compile.parse_and_check_exn src in
       let report = Lp_patterns.Detect.detect ast in
       Printf.printf "%s: %d candidate loops\n" name report.Pattern.candidate_loops;
       List.iter
@@ -117,7 +145,6 @@ let detect_cmd_run file workload =
             r.Pattern.rej_reason)
         report.Pattern.rejections;
       `Ok ()
-    with Compile.Compile_error msg -> `Error (false, msg))
 
 let detect_cmd =
   let doc = "detect design patterns in a MiniC program" in
@@ -126,18 +153,26 @@ let detect_cmd =
 
 (* ---------------- run ---------------- *)
 
-let run_cmd_run file workload machine_kind cores config trace =
+let run_cmd_run file workload machine_kind cores config trace faults =
+  match apply_faults faults with
+  | Error e -> `Error (false, e)
+  | Ok () -> (
   match source_of ~file ~workload with
   | Error e -> `Error (false, e)
-  | Ok (src, name) -> (
-    try
+  | Ok (src, name) ->
+    with_diagnostics @@ fun () ->
+    Fault.with_scope name @@ fun () ->
       let machine = machine_of ~cores machine_kind in
       let cores = min cores machine.Machine.n_cores in
       let opts = opts_of ~cores config in
       let sim_opts =
         { Sim.default_options with Sim.trace_limit = max 0 trace }
       in
-      let (compiled, o) = Compile.run ~opts ~sim_opts ~machine src in
+      let (compiled, o) =
+        match Compile.run_result ~opts ~sim_opts ~machine src with
+        | Ok r -> r
+        | Error d -> raise (Diag.Error d)
+      in
       Printf.printf "%s on %s\n" name machine.Machine.name;
       Printf.printf "  patterns: %s\n"
         (match compiled.Compile.detection.Pattern.instances with
@@ -175,16 +210,13 @@ let run_cmd_run file workload machine_kind cores config trace =
               e.Sim.ev_what)
           o.Sim.events
       end;
-      `Ok ()
-    with
-    | Compile.Compile_error msg -> `Error (false, msg)
-    | Lp_sim.Value.Runtime_error msg -> `Error (false, "runtime: " ^ msg))
+      `Ok ())
 
 let run_cmd =
   let doc = "compile and simulate a MiniC program" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(ret (const run_cmd_run $ file_arg $ workload_arg $ machine_arg
-               $ cores_arg $ config_arg $ trace_arg))
+               $ cores_arg $ config_arg $ trace_arg $ faults_arg))
 
 (* ---------------- dump ---------------- *)
 
@@ -197,12 +229,12 @@ let source_flag =
 let dump_cmd_run file workload machine_kind cores config as_source =
   match source_of ~file ~workload with
   | Error e -> `Error (false, e)
-  | Ok (src, _) -> (
-    try
+  | Ok (src, _) ->
+    with_diagnostics @@ fun () ->
       let machine = machine_of ~cores machine_kind in
       let cores = min cores machine.Machine.n_cores in
       if as_source then begin
-        let ast = Compile.parse_and_check src in
+        let ast = Compile.parse_and_check_exn src in
         let det = Lp_patterns.Detect.detect ast in
         let (gen, _) =
           Lp_transforms.Parallelize.run ~n_cores:cores ast
@@ -213,12 +245,15 @@ let dump_cmd_run file workload machine_kind cores config as_source =
       end
       else begin
         let compiled =
-          Compile.compile ~opts:(opts_of ~cores config) ~machine src
+          match
+            Compile.compile_result ~opts:(opts_of ~cores config) ~machine src
+          with
+          | Ok c -> c
+          | Error d -> raise (Diag.Error d)
         in
         print_string (Lp_ir.Printer.prog_to_string compiled.Compile.prog)
       end;
       `Ok ()
-    with Compile.Compile_error msg -> `Error (false, msg))
 
 let dump_cmd =
   let doc = "print the compiled IR (or, with --source, the parallelised MiniC)" in
@@ -242,7 +277,10 @@ let workloads_cmd =
 
 (* ---------------- bench ---------------- *)
 
-let bench_cmd_run jobs ids =
+let bench_cmd_run jobs faults ids =
+  match apply_faults faults with
+  | Error e -> `Error (false, e)
+  | Ok () -> (
   let known = List.map (fun e -> e.Lp_experiments.Experiments.id)
       Lp_experiments.Experiments.all in
   match List.filter (fun id -> not (List.mem id known)) ids with
@@ -256,7 +294,19 @@ let bench_cmd_run jobs ids =
         if ids = [] || List.mem e.Lp_experiments.Experiments.id ids then
           Lp_experiments.Experiments.run_and_print e)
       Lp_experiments.Experiments.all;
-    `Ok ()
+    match Lp_experiments.Exp_common.failed_cells () with
+    | [] -> `Ok ()
+    | failed ->
+      `Error
+        ( false,
+          Printf.sprintf "%d cell(s) degraded to a diagnostic:\n%s"
+            (List.length failed)
+            (String.concat "\n"
+               (List.map
+                  (fun ((w, c, m), attempts, d) ->
+                    Printf.sprintf "  %s/%s@%s (attempt %d): %s" w c m
+                      attempts (Diag.to_string d))
+                  failed)) ))
 
 let jobs_arg =
   Arg.(value & opt (some int) None
@@ -271,12 +321,62 @@ let bench_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"ID"
            ~doc:"Experiment ids (t1..t5, t3b, f1..f6, a1..a3); all when omitted.")
   in
-  Cmd.v (Cmd.info "bench" ~doc) Term.(ret (const bench_cmd_run $ jobs_arg $ ids))
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(ret (const bench_cmd_run $ jobs_arg $ faults_arg $ ids))
+
+(* ---------------- fuzz ---------------- *)
+
+let fuzz_cmd_run seeds seed_start corpus cores =
+  if seeds < 1 then `Error (false, "--seeds must be at least 1")
+  else begin
+    let machine = Machine.generic ~n_cores:(max cores 4) () in
+    let summary =
+      Lp_robust.Fuzz.run_range ~machine ~log:print_endline ~corpus_dir:corpus
+        ~seed_start ~seeds ()
+    in
+    match summary.Lp_robust.Fuzz.findings with
+    | [] -> `Ok ()
+    | findings ->
+      `Error
+        ( false,
+          Printf.sprintf "%d finding(s); crash corpus written to %s/"
+            (List.length findings) corpus )
+  end
+
+let fuzz_cmd =
+  let doc =
+    "fuzz the pipeline with generated MiniC programs (no raw exceptions, \
+     verified IR after every pass, baseline and full configurations agree)"
+  in
+  let seeds_arg =
+    Arg.(value & opt int 200
+         & info [ "n"; "seeds" ] ~docv:"N" ~doc:"Number of seeds to fuzz.")
+  in
+  let seed_start_arg =
+    Arg.(value & opt int 0
+         & info [ "seed-start" ] ~docv:"K"
+             ~doc:"First seed (replay a corpus file with its recorded seed \
+                   and $(b,--seeds 1)).")
+  in
+  let corpus_arg =
+    Arg.(value & opt string "fuzz-corpus"
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Directory for failing-seed MiniC files (created on \
+                   demand).")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(ret (const fuzz_cmd_run $ seeds_arg $ seed_start_arg $ corpus_arg
+               $ cores_arg))
 
 let () =
+  (match Fault.configure_env () with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "lpcc: invalid LP_FAULTS spec: %s\n" msg;
+    exit 2);
   let doc = "compiler for low power with design patterns on embedded multicore" in
   let info = Cmd.info "lpcc" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ detect_cmd; run_cmd; dump_cmd; workloads_cmd; bench_cmd ]))
+          [ detect_cmd; run_cmd; dump_cmd; workloads_cmd; bench_cmd; fuzz_cmd ]))

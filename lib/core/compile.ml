@@ -115,29 +115,42 @@ let feasible_instances ~n_cores (instances : Pattern.instance list) =
       | Pattern.Doall | Pattern.Reduction _ | Pattern.Farm -> workers >= 1)
     instances
 
-let parse_and_check source =
-  let ast =
-    try Parser.parse_program source with
-    | Lp_lang.Lexer.Lex_error (msg, line) ->
-      raise (Compile_error (Printf.sprintf "lex error line %d: %s" line msg))
-    | Parser.Parse_error (msg, line) ->
-      raise (Compile_error (Printf.sprintf "parse error line %d: %s" line msg))
-  in
-  (try Typecheck.check_program ast with
+(** Run [f], converting the front-end and self-check exceptions it may
+    raise into the legacy [Compile_error] (message format unchanged from
+    when the driver caught them inline). *)
+let wrap_legacy f =
+  try f () with
+  | Lp_lang.Lexer.Lex_error (msg, line) ->
+    raise (Compile_error (Printf.sprintf "lex error line %d: %s" line msg))
+  | Parser.Parse_error (msg, line) ->
+    raise (Compile_error (Printf.sprintf "parse error line %d: %s" line msg))
   | Typecheck.Type_error (msg, pos) ->
     raise
-      (Compile_error (Printf.sprintf "type error line %d: %s" pos.Ast.line msg)));
+      (Compile_error (Printf.sprintf "type error line %d: %s" pos.Ast.line msg))
+  | Lower.Lower_error msg -> raise (Compile_error ("lowering: " ^ msg))
+  | Verify.Invalid msg -> raise (Compile_error ("verify: " ^ msg))
+
+(** Parse and type-check, letting [Lex_error]/[Parse_error]/[Type_error]
+    propagate (the structured entry points map them to diagnostics). *)
+let parse_and_check_exn source =
+  let ast = Parser.parse_program source in
+  Typecheck.check_program ast;
   ast
 
-(** Compile [source] for [machine] under [opts]. *)
-let compile ?(opts = baseline) ~(machine : Machine.t) (source : string) :
-    compiled =
+let parse_and_check source = wrap_legacy (fun () -> parse_and_check_exn source)
+
+(** Compile [source] for [machine] under [opts].  Raises the raw
+    per-stage exceptions; [compile] wraps them for the legacy API and
+    [compile_result] maps them to diagnostics.  [verify_each] re-runs the
+    IR verifier after every optimisation pass (the fuzzer's oracle). *)
+let compile_exn ?(verify_each = false) ?(opts = baseline)
+    ~(machine : Machine.t) (source : string) : compiled =
   if opts.n_cores > machine.Machine.n_cores then
     raise
       (Compile_error
          (Printf.sprintf "options ask for %d cores, machine has %d"
             opts.n_cores machine.Machine.n_cores));
-  let ast = parse_and_check source in
+  let ast = parse_and_check_exn source in
   let detection = Detect.detect ast in
   let (ast_par, par_info) =
     if opts.parallelize && opts.n_cores > 1 then
@@ -153,10 +166,7 @@ let compile ?(opts = baseline) ~(machine : Machine.t) (source : string) :
       (Compile_error
          (Printf.sprintf "internal: generated code ill-typed (line %d): %s"
             pos.Ast.line msg)));
-  let prog =
-    try Lower.lower_program ast_par with
-    | Lower.Lower_error msg -> raise (Compile_error ("lowering: " ^ msg))
-  in
+  let prog = Lower.lower_program ast_par in
   if par_info.T.Par_info.n_workers > 0 then
     prog.Prog.layout <-
       Prog.Parallel
@@ -167,7 +177,16 @@ let compile ?(opts = baseline) ~(machine : Machine.t) (source : string) :
           chan_capacity = par_info.T.Par_info.chan_capacity;
         };
   (* classic optimisation *)
-  let pm = T.Pass.create_manager () in
+  let on_pass =
+    if verify_each then
+      Some
+        (fun name prog ->
+          try Verify.verify_prog prog with
+          | Verify.Invalid msg ->
+            raise (Verify.Invalid (Printf.sprintf "after pass %s: %s" name msg)))
+    else None
+  in
+  let pm = T.Pass.create_manager ?on_pass () in
   ignore (T.Pass.run_pass pm T.Const_promote.pass prog);
   T.Pass.run_to_fixpoint pm
     [ T.Simplify_cfg.pass; T.Constfold.pass; T.Constprop.pass; T.Dce.pass ]
@@ -205,8 +224,7 @@ let compile ?(opts = baseline) ~(machine : Machine.t) (source : string) :
     end
     else gating_before_merge
   in
-  (try Verify.verify_prog prog with
-  | Verify.Invalid msg -> raise (Compile_error ("verify: " ^ msg)));
+  Verify.verify_prog prog;
   (* the target must have every component the program executes on *)
   let cu = Lp_analysis.Compuse.compute prog in
   List.iter
@@ -234,6 +252,12 @@ let compile ?(opts = baseline) ~(machine : Machine.t) (source : string) :
     options = opts;
   }
 
+(** Compile [source] for [machine]; the legacy raising entry point
+    ([Compile_error] covers front-end, lowering, verification and driver
+    failures, exactly as before diagnostics existed). *)
+let compile ?opts ~(machine : Machine.t) (source : string) : compiled =
+  wrap_legacy (fun () -> compile_exn ?opts ~machine source)
+
 (** Compile and simulate; the simulator models compiler-gated unused
     cores when the options say so. *)
 let run ?(opts = baseline) ?(sim_opts = Lp_sim.Sim.default_options)
@@ -245,3 +269,53 @@ let run ?(opts = baseline) ?(sim_opts = Lp_sim.Sim.default_options)
   in
   let outcome = Lp_sim.Sim.run ~opts:sim_opts ~machine compiled.prog in
   (compiled, outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Structured diagnostics                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Diag = Lp_util.Diag
+
+(** Map every exception the pipeline can legitimately raise onto a
+    structured diagnostic with a stable code; [None] for foreign
+    exceptions (genuine crashes, which the fuzzer hunts for). *)
+let diag_of_exn : exn -> Diag.t option = function
+  | Diag.Error d -> Some d
+  | Lp_lang.Lexer.Lex_error (msg, line) ->
+    Some (Diag.make ~line Diag.Lex ~code:"E_LEX" msg)
+  | Parser.Parse_error (msg, line) ->
+    Some (Diag.make ~line Diag.Parse ~code:"E_PARSE" msg)
+  | Typecheck.Type_error (msg, pos) ->
+    Some (Diag.make ~line:pos.Ast.line Diag.Typecheck ~code:"E_TYPE" msg)
+  | T.Parallelize.Par_error msg ->
+    Some (Diag.make Diag.Parallelize ~code:"E_PAR" msg)
+  | Lower.Lower_error msg -> Some (Diag.make Diag.Lower ~code:"E_LOWER" msg)
+  | Verify.Invalid msg -> Some (Diag.make Diag.Verify ~code:"E_VERIFY" msg)
+  | Lp_sched.Taskgraph.Invalid_graph msg ->
+    Some (Diag.make Diag.Schedule ~code:"E_GRAPH" msg)
+  | Compile_error msg -> Some (Diag.make Diag.Driver ~code:"E_COMPILE" msg)
+  | e -> Lp_sim.Sim.diag_of_exn e
+
+(** [compile], but failures come back as diagnostics.  Foreign
+    exceptions still propagate: they are bugs, not diagnostics. *)
+let compile_result ?verify_each ?opts ~(machine : Machine.t) (source : string)
+    : (compiled, Diag.t) result =
+  match compile_exn ?verify_each ?opts ~machine source with
+  | c -> Ok c
+  | exception e -> (
+    match diag_of_exn e with Some d -> Error d | None -> raise e)
+
+(** [run], but failures come back as diagnostics. *)
+let run_result ?verify_each ?(opts = baseline)
+    ?(sim_opts = Lp_sim.Sim.default_options) ~(machine : Machine.t)
+    (source : string) : (compiled * Lp_sim.Sim.outcome, Diag.t) result =
+  match compile_result ?verify_each ~opts ~machine source with
+  | Error d -> Error d
+  | Ok compiled -> (
+    let sim_opts =
+      { sim_opts with
+        Lp_sim.Sim.gate_unused_cores = opts.power.gate_unused_cores }
+    in
+    match Lp_sim.Sim.run_result ~opts:sim_opts ~machine compiled.prog with
+    | Ok outcome -> Ok (compiled, outcome)
+    | Error d -> Error d)

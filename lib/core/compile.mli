@@ -75,6 +75,12 @@ exception Compile_error of string
 (** Parse and type-check only; raises [Compile_error]. *)
 val parse_and_check : string -> Ast.program
 
+(** [parse_and_check] raising the raw front-end exceptions
+    ([Lex_error], [Parse_error], [Type_error]) instead of wrapping them
+    in [Compile_error]; {!diag_of_exn} maps these onto their specific
+    diagnostic codes. *)
+val parse_and_check_exn : string -> Ast.program
+
 (** Pattern instances the machine can host. *)
 val feasible_instances :
   n_cores:int -> Pattern.instance list -> Pattern.instance list
@@ -92,3 +98,36 @@ val run :
   machine:Machine.t ->
   string ->
   compiled * Lp_sim.Sim.outcome
+
+(** {2 Structured diagnostics}
+
+    The [*_result] entry points never raise for pipeline failures: every
+    exception the pipeline owns (lex/parse/type errors, [Par_error],
+    [Lower_error], [Verify.Invalid], [Invalid_graph], [Compile_error],
+    simulator deadlock/step-limit/runtime errors, injected faults) comes
+    back as an [Error] carrying a {!Lp_util.Diag.t} with a stable code.
+    A foreign exception still propagates — it is a bug, and the fuzzer
+    treats it as a finding. *)
+
+(** Map a pipeline exception onto its diagnostic; [None] for foreign
+    exceptions.  Codes are listed in docs/ROBUSTNESS.md. *)
+val diag_of_exn : exn -> Lp_util.Diag.t option
+
+(** [compile] with diagnostics instead of exceptions.  [verify_each]
+    additionally re-runs the IR verifier after every optimisation pass
+    (used by the pipeline fuzzer). *)
+val compile_result :
+  ?verify_each:bool ->
+  ?opts:options ->
+  machine:Machine.t ->
+  string ->
+  (compiled, Lp_util.Diag.t) result
+
+(** [run] with diagnostics instead of exceptions. *)
+val run_result :
+  ?verify_each:bool ->
+  ?opts:options ->
+  ?sim_opts:Lp_sim.Sim.options ->
+  machine:Machine.t ->
+  string ->
+  (compiled * Lp_sim.Sim.outcome, Lp_util.Diag.t) result

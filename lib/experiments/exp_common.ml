@@ -18,6 +18,8 @@ module Pattern = Lp_patterns.Pattern
 module Workload = Lp_workloads.Workload
 module Table = Lp_util.Table
 module Domain_pool = Lp_util.Domain_pool
+module Diag = Lp_util.Diag
+module Fault = Lp_util.Fault
 
 (** The machine of the main evaluation. *)
 let default_machine () = Machine.generic ~n_cores:4 ()
@@ -43,13 +45,21 @@ type run_result = {
   outcome : Sim.outcome;
 }
 
+(** One evaluated matrix cell: the run, or the structured diagnostic it
+    degraded to, plus how many attempts it took (more than one when a
+    transient fault was retried). *)
+type cell = {
+  attempts : int;
+  result : (run_result, Diag.t) result;
+}
+
 (* memo so that T3/T4/F2/F6 don't re-simulate the same (workload, config,
    machine) triple.  Guarded by [cache_mutex]: [run_matrix] fills it from
    several domains at once.  A racing miss may compute a triple twice;
    compilation is deterministic, so whichever insert wins is the same
-   value. *)
-let cache : (string * string * string, run_result) Hashtbl.t =
-  Hashtbl.create 64
+   value.  Failed cells are cached too, so the table renderers see the
+   same outcome (and retry count) the matrix produced. *)
+let cache : (string * string * string, cell) Hashtbl.t = Hashtbl.create 64
 
 let cache_mutex = Mutex.create ()
 
@@ -71,16 +81,126 @@ let clear_cache () =
   Hashtbl.reset cache;
   Mutex.unlock cache_mutex
 
-let run_workload ?(machine = default_machine ()) (w : Workload.t)
-    ~(config : string) (opts : Compile.options) : run_result =
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation and retry                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Retries after a transient failure (injected bounded faults, simulated
+    transient bus faults); overridable with [LP_RETRIES]. *)
+let max_retries () =
+  match Option.bind (Sys.getenv_opt "LP_RETRIES") int_of_string_opt with
+  | Some n when n >= 0 -> n
+  | Some _ | None -> 2
+
+(** Deterministic bounded exponential backoff: 4 ms, 8 ms, ... capped at
+    50 ms.  Real enough to space retries, small enough for tests. *)
+let backoff_s attempt = Float.min 0.05 (0.004 *. Float.pow 2.0 (float_of_int (attempt - 1)))
+
+let attempt_run ~(machine : Machine.t) (w : Workload.t) ~(config : string)
+    (opts : Compile.options) : (run_result, Diag.t) result =
+  Fault.with_scope w.Workload.name @@ fun () ->
+  match
+    Fault.check Fault.Worker ~key:config;
+    Compile.run ~opts ~machine w.Workload.source
+  with
+  | (compiled, outcome) ->
+    Ok { workload = w.Workload.name; config; compiled; outcome }
+  | exception e -> (
+    match Compile.diag_of_exn e with
+    | Some d -> Error d
+    | None ->
+      (* even a foreign crash must not take the whole matrix down *)
+      Error
+        (Diag.make Diag.Internal ~code:Diag.code_internal
+           (Printexc.to_string e)))
+
+(** Evaluate (and memoise) one cell, retrying transient failures with
+    deterministic bounded backoff. *)
+let run_workload_cell ?(machine = default_machine ()) (w : Workload.t)
+    ~(config : string) (opts : Compile.options) : cell =
   let key = (w.Workload.name, config, machine.Machine.name) in
   match cache_find key with
-  | Some r -> r
+  | Some c -> c
   | None ->
-    let (compiled, outcome) = Compile.run ~opts ~machine w.Workload.source in
-    let r = { workload = w.Workload.name; config; compiled; outcome } in
-    cache_add key r;
-    r
+    let retries = max_retries () in
+    let rec go attempt =
+      match attempt_run ~machine w ~config opts with
+      | Error d when d.Diag.transient && attempt <= retries ->
+        Unix.sleepf (backoff_s attempt);
+        go (attempt + 1)
+      | result -> { attempts = attempt; result }
+    in
+    let c = go 1 in
+    cache_add key c;
+    c
+
+(** The cell's result alone (what the table renderers consume). *)
+let run_workload_result ?machine (w : Workload.t) ~(config : string)
+    (opts : Compile.options) : (run_result, Diag.t) result =
+  (run_workload_cell ?machine w ~config opts).result
+
+(** Legacy raising accessor: a failed cell raises [Diag.Error]. *)
+let run_workload ?machine (w : Workload.t) ~(config : string)
+    (opts : Compile.options) : run_result =
+  match run_workload_result ?machine w ~config opts with
+  | Ok r -> r
+  | Error d -> raise (Diag.Error d)
+
+(** Every failed cell currently memoised, sorted for deterministic
+    summaries: ((workload, config, machine), attempts, diagnostic). *)
+let failed_cells () : ((string * string * string) * int * Diag.t) list =
+  Mutex.lock cache_mutex;
+  let failed =
+    Hashtbl.fold
+      (fun key c acc ->
+        match c.result with
+        | Ok _ -> acc
+        | Error d -> (key, c.attempts, d) :: acc)
+      cache []
+  in
+  Mutex.unlock cache_mutex;
+  List.sort compare failed
+
+(** Snapshot of every memoised cell's status, sorted:
+    ((workload, config, machine), attempts, error code option). *)
+let cell_statuses () : ((string * string * string) * int * string option) list =
+  Mutex.lock cache_mutex;
+  let all =
+    Hashtbl.fold
+      (fun key c acc ->
+        let code =
+          match c.result with Ok _ -> None | Error d -> Some d.Diag.code
+        in
+        (key, c.attempts, code) :: acc)
+      cache []
+  in
+  Mutex.unlock cache_mutex;
+  List.sort compare all
+
+(* ------------------------------------------------------------------ *)
+(* Error-aware cell rendering                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** How a failed cell renders in a table. *)
+let err_str (d : Diag.t) = Printf.sprintf "ERR(%s)" d.Diag.code
+
+(** Format a cell: the metric when it ran, [ERR(<code>)] when it failed. *)
+let scell (c : (run_result, Diag.t) result) (f : run_result -> string) : string =
+  match c with Ok r -> f r | Error d -> err_str d
+
+(** A cell pairing two runs (ratios, overheads): the failed side's code
+    wins, preferring the non-base cell's. *)
+let scell2 (base : (run_result, Diag.t) result)
+    (c : (run_result, Diag.t) result) (f : run_result -> run_result -> string)
+    : string =
+  match (base, c) with
+  | (Ok b, Ok r) -> f b r
+  | (_, Error d) | (Error d, _) -> err_str d
+
+(** Metric of a pair of cells, for aggregate rows; [None] when either
+    side failed. *)
+let fopt2 base c (f : run_result -> run_result -> float) : float option =
+  match (base, c) with (Ok b, Ok r) -> Some (f b r) | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* The parallel evaluation matrix                                      *)
@@ -109,7 +229,10 @@ let cross ?machine (ws : Workload.t list)
 
 (** Compile+simulate every job over the domain pool, memoising the
     results; already-cached and duplicate triples are skipped.  After
-    [run_matrix], [run_workload] on any of the jobs is a cache hit. *)
+    [run_matrix], [run_workload_cell] on any of the jobs is a cache hit.
+    A failing cell never aborts the matrix: it is retried (bounded,
+    deterministic backoff) when transient and otherwise memoised as a
+    structured diagnostic for the renderers to show as [ERR(<code>)]. *)
 let run_matrix ?pool (jobs : job list) : unit =
   let seen = Hashtbl.create 64 in
   let todo =
@@ -128,7 +251,7 @@ let run_matrix ?pool (jobs : job list) : unit =
   Domain_pool.parallel_iter ?pool
     (fun j ->
       ignore
-        (run_workload ~machine:j.j_machine j.j_workload ~config:j.j_config
+        (run_workload_cell ~machine:j.j_machine j.j_workload ~config:j.j_config
            j.j_opts))
     todo
 
@@ -150,3 +273,10 @@ let source_loc (w : Workload.t) =
 let all_workloads = Lp_workloads.Suite.all
 
 let geomean_of xs = Lp_util.Stats.geomean xs
+
+(** Geomean over aggregate values that survived their cells failing;
+    ["-"] when every contributing cell failed. *)
+let geomean_str (vals : float option list) : string =
+  match List.filter_map Fun.id vals with
+  | [] -> "-"
+  | xs -> fmt_ratio (geomean_of xs)

@@ -37,14 +37,14 @@ let f1 () : Table.t =
     (fun name ->
       let w = Lp_workloads.Suite.find_exn name in
       let base =
-        run_workload ~machine:(machine_with_cores 1) w ~config:"baseline-1c"
-          Compile.baseline
+        run_workload_result ~machine:(machine_with_cores 1) w
+          ~config:"baseline-1c" Compile.baseline
       in
       List.iter
         (fun n ->
           let machine = machine_with_cores n in
-          let r =
-            run_workload ~machine w
+          let c =
+            run_workload_result ~machine w
               ~config:(Printf.sprintf "full-%dc" n)
               (Compile.full ~n_cores:n)
           in
@@ -52,9 +52,10 @@ let f1 () : Table.t =
             [
               name;
               string_of_int n;
-              Table.fmt_float ~digits:2 (time_ns base /. time_ns r);
-              fmt_ratio (energy r /. energy base);
-              fmt_ratio (edp r /. edp base);
+              scell2 base c (fun b r ->
+                  Table.fmt_float ~digits:2 (time_ns b /. time_ns r));
+              scell2 base c (fun b r -> fmt_ratio (energy r /. energy b));
+              scell2 base c (fun b r -> fmt_ratio (edp r /. edp b));
             ])
         f1_core_counts)
     Lp_workloads.Suite.representative;
@@ -78,19 +79,18 @@ let f2 () : Table.t =
   let ratios = ref [] in
   List.iter
     (fun (w : Workload.t) ->
-      let base = run_workload w ~config:"baseline" Compile.baseline in
-      let full = run_workload w ~config:"full" (Compile.full ~n_cores:4) in
-      let ratio = edp full /. edp base in
-      ratios := ratio :: !ratios;
+      let base = run_workload_result w ~config:"baseline" Compile.baseline in
+      let full = run_workload_result w ~config:"full" (Compile.full ~n_cores:4) in
+      ratios := fopt2 base full (fun b r -> edp r /. edp b) :: !ratios;
       Table.add_row tbl
         [
           w.Workload.name;
-          Table.fmt_float ~digits:1 (edp base);
-          Table.fmt_float ~digits:1 (edp full);
-          fmt_ratio ratio;
+          scell base (fun b -> Table.fmt_float ~digits:1 (edp b));
+          scell full (fun r -> Table.fmt_float ~digits:1 (edp r));
+          scell2 base full (fun b r -> fmt_ratio (edp r /. edp b));
         ])
     all_workloads;
-  Table.add_row tbl [ "geomean"; "-"; "-"; fmt_ratio (geomean_of !ratios) ];
+  Table.add_row tbl [ "geomean"; "-"; "-"; geomean_str !ratios ];
   tbl
 
 (* ------------------------------------------------------------------ *)
@@ -118,9 +118,12 @@ let f3 () : Table.t =
       let w = Lp_workloads.Suite.find_exn name in
       List.iter
         (fun (cfg, opts) ->
-          let r = run_workload w ~config:cfg opts in
-          let e = r.outcome.Sim.energy in
-          let cell cat = Table.fmt_float ~digits:1 (L.of_category e cat /. 1e3) in
+          let c = run_workload_result w ~config:cfg opts in
+          let cell cat =
+            scell c (fun r ->
+                Table.fmt_float ~digits:1
+                  (L.of_category r.outcome.Sim.energy cat /. 1e3))
+          in
           Table.add_row tbl
             [
               name; cfg;
@@ -130,7 +133,9 @@ let f3 () : Table.t =
               cell L.Gating_overhead;
               cell L.Dvfs_overhead;
               cell L.Communication;
-              Table.fmt_float ~digits:1 (L.total e /. 1e3);
+              scell c (fun r ->
+                  Table.fmt_float ~digits:1
+                    (L.total r.outcome.Sim.energy /. 1e3));
             ])
         [ ("baseline", Compile.baseline); ("full", Compile.full ~n_cores:4) ])
     Lp_workloads.Suite.representative;
@@ -177,18 +182,19 @@ let f4 () : Table.t =
     (fun name ->
       let w = Lp_workloads.Suite.find_exn name in
       let run scale =
-        run_workload ~machine w ~config:(f4_config scale) (f4_opts scale)
+        run_workload_result ~machine w ~config:(f4_config scale) (f4_opts scale)
       in
-      let reference = energy (run 1.0) in
+      let reference = run 1.0 in
       List.iter
         (fun scale ->
-          let r = run scale in
+          let c = run scale in
           Table.add_row tbl
             [
               name;
               Table.fmt_float ~digits:4 scale;
-              fmt_ratio (energy r /. reference);
-              string_of_int r.outcome.Sim.gate_transitions;
+              scell2 reference c (fun b r ->
+                  fmt_ratio (energy r /. energy b));
+              scell c (fun r -> string_of_int r.outcome.Sim.gate_transitions);
             ])
         f4_scales)
     f4_workloads;
@@ -228,19 +234,20 @@ let f5 () : Table.t =
     (fun name ->
       let w = Lp_workloads.Suite.find_exn name in
       let run levels =
-        run_workload ~machine:(f5_machine levels) w ~config:(f5_config levels)
-          (Compile.full ~n_cores:4)
+        run_workload_result ~machine:(f5_machine levels) w
+          ~config:(f5_config levels) (Compile.full ~n_cores:4)
       in
       let reference = run 2 in
       List.iter
         (fun levels ->
-          let r = run levels in
+          let c = run levels in
           Table.add_row tbl
             [
               name;
               string_of_int levels;
-              fmt_ratio (energy r /. energy reference);
-              fmt_ratio (time_ns r /. time_ns reference);
+              scell2 reference c (fun b r -> fmt_ratio (energy r /. energy b));
+              scell2 reference c (fun b r ->
+                  fmt_ratio (time_ns r /. time_ns b));
             ])
         f5_levels)
     f5_workloads;
@@ -272,25 +279,24 @@ let f6 () : Table.t =
   in
   List.iter
     (fun (w : Workload.t) ->
-      let nm = run_workload w ~config:"pg-nomerge" f6_no_merge_opts in
-      let m = run_workload w ~config:"pg" Compile.pg_only in
+      let nm = run_workload_result w ~config:"pg-nomerge" f6_no_merge_opts in
+      let m = run_workload_result w ~config:"pg" Compile.pg_only in
       let count (c : Compile.compiled) =
         c.Compile.gating_after_merge.T.Gating.components_toggled
-      in
-      let pre = count nm.compiled and post = count m.compiled in
-      let red =
-        if pre = 0 then 0.0
-        else 100.0 *. float_of_int (pre - post) /. float_of_int pre
       in
       Table.add_row tbl
         [
           w.Workload.name;
-          string_of_int pre;
-          string_of_int post;
-          Table.fmt_float ~digits:1 red;
-          fmt_ratio (energy m /. energy nm);
-          string_of_int nm.outcome.Sim.gate_transitions;
-          string_of_int m.outcome.Sim.gate_transitions;
+          scell nm (fun r -> string_of_int (count r.compiled));
+          scell m (fun r -> string_of_int (count r.compiled));
+          scell2 nm m (fun n r ->
+              let pre = count n.compiled and post = count r.compiled in
+              Table.fmt_float ~digits:1
+                (if pre = 0 then 0.0
+                 else 100.0 *. float_of_int (pre - post) /. float_of_int pre));
+          scell2 nm m (fun n r -> fmt_ratio (energy r /. energy n));
+          scell nm (fun r -> string_of_int r.outcome.Sim.gate_transitions);
+          scell m (fun r -> string_of_int r.outcome.Sim.gate_transitions);
         ])
     all_workloads;
   tbl
@@ -333,10 +339,10 @@ let a1 () : Table.t =
       List.iter
         (fun machine ->
           let base =
-            run_workload ~machine w ~config:"baseline" Compile.baseline
+            run_workload_result ~machine w ~config:"baseline" Compile.baseline
           in
           let full =
-            run_workload ~machine w ~config:"full-native"
+            run_workload_result ~machine w ~config:"full-native"
               (Compile.full ~n_cores:machine.Lp_machine.Machine.n_cores)
           in
           Table.add_row tbl
@@ -344,8 +350,9 @@ let a1 () : Table.t =
               name;
               machine.Lp_machine.Machine.name;
               string_of_int machine.Lp_machine.Machine.n_cores;
-              Table.fmt_float ~digits:2 (time_ns base /. time_ns full);
-              fmt_ratio (energy full /. energy base);
+              scell2 base full (fun b r ->
+                  Table.fmt_float ~digits:2 (time_ns b /. time_ns r));
+              scell2 base full (fun b r -> fmt_ratio (energy r /. energy b));
             ])
         machines)
     a1_workloads;
@@ -382,18 +389,19 @@ let a2 () : Table.t =
   List.iter
     (fun name ->
       let w = Lp_workloads.Suite.find_exn name in
-      let base = run_workload w ~config:"baseline" Compile.baseline in
+      let base = run_workload_result w ~config:"baseline" Compile.baseline in
       List.iter
         (fun (dname, dist) ->
           let opts =
             { (Compile.full ~n_cores:4) with Compile.distribution = dist }
           in
-          let r = run_workload w ~config:("full-" ^ dname) opts in
+          let c = run_workload_result w ~config:("full-" ^ dname) opts in
           Table.add_row tbl
             [
               name; dname;
-              Table.fmt_float ~digits:2 (time_ns base /. time_ns r);
-              fmt_ratio (energy r /. energy base);
+              scell2 base c (fun b r ->
+                  Table.fmt_float ~digits:2 (time_ns b /. time_ns r));
+              scell2 base c (fun b r -> fmt_ratio (energy r /. energy b));
             ])
         [ ("block", T.Parallelize.Block); ("cyclic", T.Parallelize.Cyclic) ])
     a2_workloads;
@@ -429,18 +437,18 @@ let a3 () : Table.t =
     (fun name ->
       let w = Lp_workloads.Suite.find_exn name in
       let run sync cfg =
-        run_workload w ~config:cfg
+        run_workload_result w ~config:cfg
           { (Compile.full ~n_cores:4) with Compile.sync }
       in
       let dc = run T.Parallelize.Done_channel "full" in
       let bar = run T.Parallelize.Barrier_sync "full-barrier" in
       List.iter
-        (fun (nm, r) ->
+        (fun (nm, c) ->
           Table.add_row tbl
             [
               name; nm;
-              fmt_ratio (time_ns r /. time_ns dc);
-              fmt_ratio (energy r /. energy dc);
+              scell2 dc c (fun b r -> fmt_ratio (time_ns r /. time_ns b));
+              scell2 dc c (fun b r -> fmt_ratio (energy r /. energy b));
             ])
         [ ("done-chan", dc); ("barrier", bar) ])
     a3_workloads;

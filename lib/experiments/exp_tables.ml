@@ -22,31 +22,32 @@ let t1 () : Table.t =
   in
   List.iter
     (fun (w : Workload.t) ->
-      let r = run_workload w ~config:"baseline" Compile.baseline in
-      let ast = r.compiled.Compile.source_ast in
-      let loops =
-        List.fold_left
-          (fun acc (f : Ast.func) -> acc + Ast.count_loops f.Ast.fbody)
-          0 ast.Ast.funcs
-      in
-      let detected =
-        match r.compiled.Compile.detection.Pattern.instances with
-        | [] -> "-"
-        | insts ->
-          String.concat "+"
-            (List.map
-               (fun (i : Pattern.instance) -> Pattern.kind_name i.Pattern.kind)
-               insts)
-      in
+      let c = run_workload_result w ~config:"baseline" Compile.baseline in
+      let from_run f = scell c f in
       Table.add_row tbl
         [
           w.Workload.name;
           string_of_int (source_loc w);
-          string_of_int (List.length ast.Ast.funcs);
-          string_of_int loops;
-          string_of_int (Prog.total_instrs r.compiled.Compile.prog);
+          from_run (fun r ->
+              string_of_int
+                (List.length r.compiled.Compile.source_ast.Ast.funcs));
+          from_run (fun r ->
+              string_of_int
+                (List.fold_left
+                   (fun acc (f : Ast.func) -> acc + Ast.count_loops f.Ast.fbody)
+                   0 r.compiled.Compile.source_ast.Ast.funcs));
+          from_run (fun r ->
+              string_of_int (Prog.total_instrs r.compiled.Compile.prog));
           w.Workload.expected_pattern;
-          detected;
+          from_run (fun r ->
+              match r.compiled.Compile.detection.Pattern.instances with
+              | [] -> "-"
+              | insts ->
+                String.concat "+"
+                  (List.map
+                     (fun (i : Pattern.instance) ->
+                       Pattern.kind_name i.Pattern.kind)
+                     insts));
         ])
     all_workloads;
   tbl
@@ -67,40 +68,37 @@ let t2 () : Table.t =
   in
   List.iter
     (fun (w : Workload.t) ->
-      let r = run_workload w ~config:"baseline" Compile.baseline in
-      let d = r.compiled.Compile.detection in
-      let insts =
-        match d.Pattern.instances with
-        | [] -> "-"
-        | l ->
-          String.concat "+"
-            (List.map (fun (i : Pattern.instance) -> Pattern.kind_name i.Pattern.kind) l)
-      in
-      let origin =
-        match d.Pattern.instances with
-        | [] -> "-"
-        | l ->
-          String.concat "+"
-            (List.map
-               (fun (i : Pattern.instance) ->
-                 match i.Pattern.origin with
-                 | Pattern.Annotated -> "annot"
-                 | Pattern.Inferred -> "infer")
-               l)
-      in
-      let first_reason =
-        match d.Pattern.rejections with
-        | [] -> "-"
-        | rej :: _ -> rej.Pattern.rej_reason
-      in
+      let c = run_workload_result w ~config:"baseline" Compile.baseline in
+      let from_det f = scell c (fun r -> f r.compiled.Compile.detection) in
       Table.add_row tbl
         [
           w.Workload.name;
-          string_of_int d.Pattern.candidate_loops;
-          insts;
-          origin;
-          string_of_int (List.length d.Pattern.rejections);
-          first_reason;
+          from_det (fun d -> string_of_int d.Pattern.candidate_loops);
+          from_det (fun d ->
+              match d.Pattern.instances with
+              | [] -> "-"
+              | l ->
+                String.concat "+"
+                  (List.map
+                     (fun (i : Pattern.instance) ->
+                       Pattern.kind_name i.Pattern.kind)
+                     l));
+          from_det (fun d ->
+              match d.Pattern.instances with
+              | [] -> "-"
+              | l ->
+                String.concat "+"
+                  (List.map
+                     (fun (i : Pattern.instance) ->
+                       match i.Pattern.origin with
+                       | Pattern.Annotated -> "annot"
+                       | Pattern.Inferred -> "infer")
+                     l));
+          from_det (fun d -> string_of_int (List.length d.Pattern.rejections));
+          from_det (fun d ->
+              match d.Pattern.rejections with
+              | [] -> "-"
+              | rej :: _ -> rej.Pattern.rej_reason);
         ])
     all_workloads;
   tbl
@@ -123,18 +121,18 @@ let t3 () : Table.t =
   let per_config_ratios = Hashtbl.create 8 in
   List.iter
     (fun (w : Workload.t) ->
-      let base = run_workload w ~config:"baseline" Compile.baseline in
+      let base = run_workload_result w ~config:"baseline" Compile.baseline in
       let cells =
         List.map
           (fun (name, opts) ->
-            let r = run_workload w ~config:name opts in
-            let ratio = normalised ~base r in
+            let c = run_workload_result w ~config:name opts in
+            let ratio = fopt2 base c (fun b r -> normalised ~base:b r) in
             let cur =
               Option.value ~default:[]
                 (Hashtbl.find_opt per_config_ratios name)
             in
             Hashtbl.replace per_config_ratios name (ratio :: cur);
-            fmt_ratio ratio)
+            scell2 base c (fun b r -> fmt_ratio (normalised ~base:b r)))
           configs
       in
       Table.add_row tbl (w.Workload.name :: cells))
@@ -142,8 +140,7 @@ let t3 () : Table.t =
   Table.add_row tbl
     ("geomean"
     :: List.map
-         (fun (name, _) ->
-           fmt_ratio (geomean_of (Hashtbl.find per_config_ratios name)))
+         (fun (name, _) -> geomean_str (Hashtbl.find per_config_ratios name))
          configs);
   tbl
 
@@ -175,15 +172,17 @@ let t3b () : Table.t =
   let per_config = Hashtbl.create 8 in
   List.iter
     (fun (w : Workload.t) ->
-      let base = run_workload ~machine w ~config:"baseline-1c" Compile.baseline in
+      let base =
+        run_workload_result ~machine w ~config:"baseline-1c" Compile.baseline
+      in
       let cells =
         List.map
           (fun (name, opts) ->
-            let r = run_workload ~machine w ~config:(name ^ "-1c") opts in
-            let ratio = normalised ~base r in
+            let c = run_workload_result ~machine w ~config:(name ^ "-1c") opts in
+            let ratio = fopt2 base c (fun b r -> normalised ~base:b r) in
             let cur = Option.value ~default:[] (Hashtbl.find_opt per_config name) in
             Hashtbl.replace per_config name (ratio :: cur);
-            fmt_ratio ratio)
+            scell2 base c (fun b r -> fmt_ratio (normalised ~base:b r)))
           configs
       in
       Table.add_row tbl (w.Workload.name :: cells))
@@ -191,7 +190,7 @@ let t3b () : Table.t =
   Table.add_row tbl
     ("geomean"
     :: List.map
-         (fun (name, _) -> fmt_ratio (geomean_of (Hashtbl.find per_config name)))
+         (fun (name, _) -> geomean_str (Hashtbl.find per_config name))
          configs);
   tbl
 
@@ -214,24 +213,28 @@ let t4 () : Table.t =
   in
   List.iter
     (fun (w : Workload.t) ->
-      let base = run_workload w ~config:"baseline" Compile.baseline in
-      let t0 = time_ns base in
+      let base = run_workload_result w ~config:"baseline" Compile.baseline in
       let ovh name opts =
-        let r = run_workload w ~config:name opts in
-        Lp_util.Stats.percent_change ~before:t0 ~after:(time_ns r)
+        scell2 base
+          (run_workload_result w ~config:name opts)
+          (fun b r ->
+            Table.fmt_float ~digits:2
+              (Lp_util.Stats.percent_change ~before:(time_ns b)
+                 ~after:(time_ns r)))
       in
       let speedup name opts =
-        let r = run_workload w ~config:name opts in
-        t0 /. time_ns r
+        scell2 base
+          (run_workload_result w ~config:name opts)
+          (fun b r -> Table.fmt_float ~digits:2 (time_ns b /. time_ns r))
       in
       Table.add_row tbl
         [
           w.Workload.name;
-          Table.fmt_float ~digits:2 (ovh "pg" Compile.pg_only);
-          Table.fmt_float ~digits:2 (ovh "dvfs" Compile.dvfs_only);
-          Table.fmt_float ~digits:2 (ovh "pg+dvfs" Compile.pg_dvfs);
-          Table.fmt_float ~digits:2 (speedup "par" (Compile.par_only ~n_cores:4));
-          Table.fmt_float ~digits:2 (speedup "full" (Compile.full ~n_cores:4));
+          ovh "pg" Compile.pg_only;
+          ovh "dvfs" Compile.dvfs_only;
+          ovh "pg+dvfs" Compile.pg_dvfs;
+          speedup "par" (Compile.par_only ~n_cores:4);
+          speedup "full" (Compile.full ~n_cores:4);
         ])
     all_workloads;
   tbl
@@ -255,28 +258,34 @@ let t5 () : Table.t =
   in
   List.iter
     (fun (w : Workload.t) ->
-      let r = run_workload w ~config:"pg" Compile.pg_only in
-      let c = r.compiled in
-      let total_ms =
-        1000.0
-        *. List.fold_left
-             (fun acc (s : T.Pass.stats) -> acc +. s.T.Pass.seconds)
-             0.0 c.Compile.pass_stats
-      in
-      let pre = c.Compile.gating_before_merge.T.Gating.components_toggled in
-      let post = c.Compile.gating_after_merge.T.Gating.components_toggled in
-      let red =
-        if pre = 0 then 0.0
-        else 100.0 *. float_of_int (pre - post) /. float_of_int pre
-      in
+      let cell = run_workload_result w ~config:"pg" Compile.pg_only in
+      let from_c f = scell cell (fun r -> f r.compiled) in
       Table.add_row tbl
         [
           w.Workload.name;
-          Table.fmt_float ~digits:2 total_ms;
-          string_of_int (Prog.total_instrs c.Compile.prog);
-          string_of_int pre;
-          string_of_int post;
-          Table.fmt_float ~digits:1 red;
+          from_c (fun c ->
+              Table.fmt_float ~digits:2
+                (1000.0
+                *. List.fold_left
+                     (fun acc (s : T.Pass.stats) -> acc +. s.T.Pass.seconds)
+                     0.0 c.Compile.pass_stats));
+          from_c (fun c -> string_of_int (Prog.total_instrs c.Compile.prog));
+          from_c (fun c ->
+              string_of_int
+                c.Compile.gating_before_merge.T.Gating.components_toggled);
+          from_c (fun c ->
+              string_of_int
+                c.Compile.gating_after_merge.T.Gating.components_toggled);
+          from_c (fun c ->
+              let pre =
+                c.Compile.gating_before_merge.T.Gating.components_toggled
+              in
+              let post =
+                c.Compile.gating_after_merge.T.Gating.components_toggled
+              in
+              Table.fmt_float ~digits:1
+                (if pre = 0 then 0.0
+                 else 100.0 *. float_of_int (pre - post) /. float_of_int pre));
         ])
     all_workloads;
   tbl

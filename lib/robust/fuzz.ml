@@ -1,0 +1,176 @@
+module Compile = Lowpower.Compile
+module Machine = Lp_machine.Machine
+module Sim = Lp_sim.Sim
+module Value = Lp_sim.Value
+module Diag = Lp_util.Diag
+
+type finding = {
+  f_seed : int;
+  f_kind : string;
+  f_detail : string;
+  f_source : string;
+}
+
+type summary = {
+  tested : int;
+  passed : int;
+  degraded : int;
+  findings : finding list;
+}
+
+let default_machine () = Machine.generic ~n_cores:4 ()
+
+(* ------------------------------------------------------------------ *)
+(* One configuration run                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Run one configuration.  [run_result] already turns every pipeline
+    exception into a diagnostic; anything it still raises is a raw
+    escape — the first property the fuzzer checks. *)
+let run_config ~machine ~opts source :
+    (Sim.outcome, [ `Diag of Diag.t | `Raw of string ]) result =
+  match Compile.run_result ~verify_each:true ~opts ~machine source with
+  | Ok (_compiled, outcome) -> Ok outcome
+  | Error d -> Error (`Diag d)
+  | exception e -> Error (`Raw (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Observable-result comparison                                        *)
+(* ------------------------------------------------------------------ *)
+
+let ret_str = function
+  | Some v -> Value.to_string v
+  | None -> "(none)"
+
+(** First observable difference between two outcomes, if any: the
+    return value of [main] and the final contents of every output
+    array. *)
+let first_diff ~(globals : string list) (a : Sim.outcome) (b : Sim.outcome) :
+    string option =
+  let ret_equal =
+    match (a.Sim.ret, b.Sim.ret) with
+    | (None, None) -> true
+    | (Some x, Some y) -> Value.equal x y
+    | _ -> false
+  in
+  if not ret_equal then
+    Some
+      (Printf.sprintf "return value: baseline %s, full %s" (ret_str a.Sim.ret)
+         (ret_str b.Sim.ret))
+  else
+    List.find_map
+      (fun g ->
+        match
+          ( Hashtbl.find_opt a.Sim.shared_final g,
+            Hashtbl.find_opt b.Sim.shared_final g )
+        with
+        | (Some xa, Some xb) ->
+          if Array.length xa <> Array.length xb then
+            Some (Printf.sprintf "%s: length %d vs %d" g (Array.length xa)
+                    (Array.length xb))
+          else
+            let diff = ref None in
+            Array.iteri
+              (fun i v ->
+                if !diff = None && not (Value.equal v xb.(i)) then
+                  diff :=
+                    Some
+                      (Printf.sprintf "%s[%d]: baseline %s, full %s" g i
+                         (Value.to_string v)
+                         (Value.to_string xb.(i))))
+              xa;
+            !diff
+        | (None, None) -> None
+        | _ -> Some (Printf.sprintf "%s missing from one configuration" g))
+      globals
+
+(* ------------------------------------------------------------------ *)
+(* The oracle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_seed ?(machine = default_machine ()) ~seed () :
+    ([ `Passed | `Degraded of string ], finding) result =
+  let gen = Gen.generate ~seed in
+  let finding kind detail =
+    Error { f_seed = seed; f_kind = kind; f_detail = detail;
+            f_source = gen.Gen.source }
+  in
+  let base = run_config ~machine ~opts:Compile.baseline gen.Gen.source in
+  let full =
+    run_config ~machine ~opts:(Compile.full ~n_cores:4) gen.Gen.source
+  in
+  match (base, full) with
+  | (Error (`Raw e), _) -> finding "raw-exception" ("baseline: " ^ e)
+  | (_, Error (`Raw e)) -> finding "raw-exception" ("full: " ^ e)
+  | (Ok a, Ok b) -> (
+    match first_diff ~globals:gen.Gen.check_globals a b with
+    | None -> Ok `Passed
+    | Some diff -> finding "result-mismatch" diff)
+  | (Error (`Diag d1), Error (`Diag d2)) ->
+    if d1.Diag.code = d2.Diag.code then Ok (`Degraded d1.Diag.code)
+    else
+      finding "diag-divergence"
+        (Printf.sprintf "baseline %s vs full %s" (Diag.to_string d1)
+           (Diag.to_string d2))
+  | (Ok _, Error (`Diag d)) ->
+    finding "config-divergence" ("only full failed: " ^ Diag.to_string d)
+  | (Error (`Diag d), Ok _) ->
+    finding "config-divergence" ("only baseline failed: " ^ Diag.to_string d)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+(** Write a failing seed as a replayable MiniC file. *)
+let write_corpus_file ~dir (f : finding) : string =
+  mkdir_p dir;
+  let path = Filename.concat dir (Printf.sprintf "seed_%d.c" f.f_seed) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "// lpcc fuzz finding\n// seed:   %d\n// kind:   %s\n// detail: %s\n\
+         // replay: lpcc fuzz --seeds 1 --seed-start %d\n//         lpcc run %s\n\n%s"
+        f.f_seed f.f_kind
+        (String.map (function '\n' -> ' ' | c -> c) f.f_detail)
+        f.f_seed path f.f_source);
+  path
+
+(* ------------------------------------------------------------------ *)
+(* Batch driver                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_range ?(machine = default_machine ()) ?(log = ignore) ~corpus_dir
+    ~seed_start ~seeds () : summary =
+  let passed = ref 0 and degraded = ref 0 and findings = ref [] in
+  for seed = seed_start to seed_start + seeds - 1 do
+    match run_seed ~machine ~seed () with
+    | Ok `Passed -> incr passed
+    | Ok (`Degraded code) ->
+      incr degraded;
+      log (Printf.sprintf "seed %d: degraded consistently (%s)" seed code)
+    | Error f ->
+      let path = write_corpus_file ~dir:corpus_dir f in
+      findings := f :: !findings;
+      log
+        (Printf.sprintf "seed %d: %s — %s (saved to %s)" seed f.f_kind
+           f.f_detail path)
+  done;
+  log
+    (Printf.sprintf "%d seed(s): %d passed, %d degraded, %d finding(s)" seeds
+       !passed !degraded
+       (List.length !findings));
+  {
+    tested = seeds;
+    passed = !passed;
+    degraded = !degraded;
+    findings = List.rev !findings;
+  }

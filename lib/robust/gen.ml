@@ -1,0 +1,209 @@
+(** Seeded random MiniC program generator (see gen.mli for the safety
+    contract: int-only, in-bounds indexing, constant non-zero divisors,
+    statically bounded loops). *)
+
+module Rng = Lp_util.Rng
+
+type t = {
+  source : string;
+  check_globals : string list;
+}
+
+type ctx = {
+  rng : Rng.t;
+  buf : Buffer.t;
+  inputs : (string * int) list;  (** input arrays: name, length *)
+  mutable fresh : int;           (** counter for unique local names *)
+}
+
+let pf ctx fmt = Printf.ksprintf (Buffer.add_string ctx.buf) fmt
+
+let fresh ctx prefix =
+  let n = ctx.fresh in
+  ctx.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** A read of an input array that is in bounds by construction: [v] is a
+    loop variable known to range over [0, bound). *)
+let input_read ctx ~(idx : (string * int) option) =
+  let (name, len) = Rng.choose ctx.rng ctx.inputs in
+  match idx with
+  | Some (v, bound) when bound <= len -> Printf.sprintf "%s[%s]" name v
+  | Some (v, _) ->
+    (* v >= 0, so (v + k) mod len lands in [0, len) *)
+    Printf.sprintf "%s[(%s + %d) %% %d]" name v (Rng.int ctx.rng len) len
+  | None -> Printf.sprintf "%s[%d]" name (Rng.int ctx.rng len)
+
+let atom ctx ~idx ~scalars =
+  let choices =
+    [ `Lit; `Lit; `Read; `Read ]
+    @ (match idx with Some _ -> [ `Idx; `Idx ] | None -> [])
+    @ (match scalars with [] -> [] | _ -> [ `Scalar; `Scalar ])
+  in
+  match Rng.choose ctx.rng choices with
+  | `Lit -> string_of_int (Rng.int_in ctx.rng (-32) 32)
+  | `Read -> input_read ctx ~idx
+  | `Idx -> (match idx with Some (v, _) -> v | None -> assert false)
+  | `Scalar -> Rng.choose ctx.rng scalars
+
+(** Random int expression.  [idx] is the in-scope loop variable (with
+    its exclusive bound) usable for safe indexing; [scalars] the in-scope
+    scalar variables the expression may read. *)
+let rec expr ctx ~depth ~idx ~scalars =
+  if depth <= 0 || Rng.int ctx.rng 3 = 0 then atom ctx ~idx ~scalars
+  else
+    let sub () = expr ctx ~depth:(depth - 1) ~idx ~scalars in
+    match Rng.int ctx.rng 8 with
+    | 0 | 1 | 2 ->
+      let op = Rng.choose ctx.rng [ "+"; "-"; "*"; "&"; "|"; "^" ] in
+      Printf.sprintf "(%s %s %s)" (sub ()) op (sub ())
+    | 3 ->
+      (* division / modulo only by a non-zero constant *)
+      let op = Rng.choose ctx.rng [ "/"; "%" ] in
+      Printf.sprintf "(%s %s %d)" (sub ()) op (Rng.int_in ctx.rng 1 16)
+    | 4 ->
+      let op = Rng.choose ctx.rng [ "<<"; ">>" ] in
+      Printf.sprintf "(%s %s %d)" (sub ()) op (Rng.int_in ctx.rng 0 8)
+    | 5 -> Printf.sprintf "(%s%s)" (Rng.choose ctx.rng [ "-"; "~" ]) (sub ())
+    | 6 ->
+      let op = Rng.choose ctx.rng [ "<"; "<="; ">"; ">="; "=="; "!=" ] in
+      Printf.sprintf "(%s %s %s)" (sub ()) op (sub ())
+    | _ ->
+      let op = Rng.choose ctx.rng [ "&&"; "||" ] in
+      Printf.sprintf "(%s %s %s)" (sub ()) op (sub ())
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** A doall-shaped loop filling one output array from input reads only
+    (no cross-iteration dependences by construction), occasionally
+    annotated so the fuzzer also exercises annotation verification, and
+    occasionally with an inner sequential accumulation loop. *)
+let doall ctx ~out:(name, len) =
+  let i = fresh ctx "i" in
+  let nested = Rng.int ctx.rng 3 = 0 in
+  if (not nested) && Rng.int ctx.rng 4 = 0 then
+    pf ctx "  #pragma lp pattern(doall)\n";
+  pf ctx "  for (int %s = 0; %s < %d; %s = %s + 1) {\n" i i len i i;
+  if nested then begin
+    let acc = fresh ctx "t" in
+    let j = fresh ctx "j" in
+    let bound = Rng.int_in ctx.rng 2 8 in
+    pf ctx "    int %s = 0;\n" acc;
+    pf ctx "    for (int %s = 0; %s < %d; %s = %s + 1) {\n" j j bound j j;
+    pf ctx "      %s = %s + %s;\n" acc acc
+      (expr ctx ~depth:2 ~idx:(Some (j, bound)) ~scalars:[]);
+    pf ctx "    }\n";
+    pf ctx "    %s[%s] = %s + %s;\n" name i acc i
+  end
+  else
+    pf ctx "    %s[%s] = %s;\n" name i
+      (expr ctx ~depth:3 ~idx:(Some (i, len)) ~scalars:[]);
+  pf ctx "  }\n"
+
+(** A reduction over an input array into [scalar] with an associative
+    operator (associative under 32-bit wrap-around, so parallelisation
+    must preserve the result exactly). *)
+let reduction ctx ~scalar =
+  let i = fresh ctx "i" in
+  let (_, len) = Rng.choose ctx.rng ctx.inputs in
+  let op = Rng.choose ctx.rng [ "+"; "^" ] in
+  pf ctx "  for (int %s = 0; %s < %d; %s = %s + 1) {\n" i i len i i;
+  pf ctx "    %s = %s %s %s;\n" scalar scalar op
+    (expr ctx ~depth:2 ~idx:(Some (i, len)) ~scalars:[]);
+  pf ctx "  }\n"
+
+(** A while loop with a fresh bounded counter. *)
+let while_loop ctx ~scalars =
+  let c = fresh ctx "w" in
+  let bound = Rng.int_in ctx.rng 1 10 in
+  pf ctx "  int %s = 0;\n" c;
+  pf ctx "  while (%s < %d) {\n" c bound;
+  let s = Rng.choose ctx.rng scalars in
+  pf ctx "    %s = %s;\n" s (expr ctx ~depth:2 ~idx:None ~scalars);
+  pf ctx "    %s = %s + 1;\n" c c;
+  pf ctx "  }\n"
+
+let if_stmt ctx ~scalars =
+  let cond = expr ctx ~depth:2 ~idx:None ~scalars in
+  let s = Rng.choose ctx.rng scalars in
+  pf ctx "  if (%s) {\n" cond;
+  pf ctx "    %s = %s;\n" s (expr ctx ~depth:2 ~idx:None ~scalars);
+  if Rng.bool ctx.rng then begin
+    let s2 = Rng.choose ctx.rng scalars in
+    pf ctx "  } else {\n";
+    pf ctx "    %s = %s;\n" s2 (expr ctx ~depth:2 ~idx:None ~scalars)
+  end;
+  pf ctx "  }\n"
+
+let assign ctx ~scalars =
+  let s = Rng.choose ctx.rng scalars in
+  pf ctx "  %s = %s;\n" s (expr ctx ~depth:3 ~idx:None ~scalars)
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let generate ~seed : t =
+  let rng = Rng.create ~seed in
+  let buf = Buffer.create 1024 in
+  (* input arrays with baked-in deterministic data *)
+  let inputs =
+    List.init
+      (Rng.int_in rng 1 3)
+      (fun k -> (Printf.sprintf "in%d" k, Rng.int_in rng 8 48))
+  in
+  let ctx = { rng; buf; inputs; fresh = 0 } in
+  pf ctx "// generated by lpcc fuzz, seed %d\n" seed;
+  List.iter
+    (fun (name, len) ->
+      let vals = List.init len (fun _ -> Rng.int_in rng (-64) 63) in
+      pf ctx "int %s[%d] = {%s};\n" name len
+        (String.concat "," (List.map string_of_int vals)))
+    inputs;
+  (* output arrays: the observable result *)
+  let outputs =
+    List.init
+      (Rng.int_in rng 1 2)
+      (fun k -> (Printf.sprintf "out%d" k, Rng.int_in rng 8 32))
+  in
+  List.iter (fun (name, len) -> pf ctx "int %s[%d];\n" name len) outputs;
+  pf ctx "\nint main() {\n";
+  let scalars =
+    List.init (Rng.int_in rng 2 4) (fun k -> Printf.sprintf "s%d" k)
+  in
+  List.iter
+    (fun s -> pf ctx "  int %s = %d;\n" s (Rng.int_in rng (-8) 8))
+    scalars;
+  (* one doall per output array, plus a few extra random statements,
+     in shuffled (still seed-deterministic) order *)
+  let stmts =
+    List.map (fun out () -> doall ctx ~out) outputs
+    @ List.init
+        (Rng.int_in rng 1 4)
+        (fun _ () ->
+          match Rng.int ctx.rng 5 with
+          | 0 -> doall ctx ~out:(Rng.choose ctx.rng outputs)
+          | 1 -> reduction ctx ~scalar:(Rng.choose ctx.rng scalars)
+          | 2 -> while_loop ctx ~scalars
+          | 3 -> if_stmt ctx ~scalars
+          | _ -> assign ctx ~scalars)
+  in
+  List.iter (fun f -> f ()) (Rng.shuffle rng stmts);
+  (* checksum so the return value also covers the arrays *)
+  pf ctx "  int chk = 0;\n";
+  List.iter
+    (fun (name, len) ->
+      let i = fresh ctx "i" in
+      pf ctx "  for (int %s = 0; %s < %d; %s = %s + 1) {\n" i i len i i;
+      pf ctx "    chk = chk * 31 + %s[%s];\n" name i;
+      pf ctx "  }\n")
+    outputs;
+  List.iter (fun s -> pf ctx "  chk = chk ^ %s;\n" s) scalars;
+  pf ctx "  return chk;\n}\n";
+  { source = Buffer.contents buf; check_globals = List.map fst outputs }

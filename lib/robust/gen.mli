@@ -1,0 +1,25 @@
+(** Seeded random MiniC program generator for the pipeline fuzzer.
+
+    Programs are generated under strict safety constraints so that every
+    one of them is semantically well-defined and deterministic:
+
+    - integers only (32-bit wrap-around arithmetic is deterministic);
+    - every array index is provably in bounds ([i] bounded by the loop,
+      or [(i + k) mod len]);
+    - division and modulo only by non-zero constants;
+    - all loops have static bounds.
+
+    A generated program must therefore compile and simulate identically
+    under every compiler configuration; any crash, verification failure
+    or observable divergence is a compiler bug. *)
+
+type t = {
+  source : string;          (** the MiniC program text *)
+  check_globals : string list;
+      (** shared output arrays whose final contents (together with
+          [main]'s return value) constitute the observable result *)
+}
+
+(** Generate the program of [seed].  Deterministic: the same seed always
+    produces the same program. *)
+val generate : seed:int -> t

@@ -107,6 +107,8 @@ type t = {
   mutable steps : int;
   mutable trace : event list;  (** newest first; bounded by trace_limit *)
   mutable trace_len : int;
+  faults_armed : bool;  (** sampled once at construction: keeps the
+                            per-transaction bus hook off the hot path *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -226,6 +228,7 @@ let create ?(opts = default_options) ~(machine : Machine.t) (prog : Prog.t) : t 
       steps = 0;
       trace = [];
       trace_len = 0;
+      faults_armed = Lp_util.Fault.active ();
     }
   in
   Array.iter (fun c -> recompute_leak t c) cores;
@@ -274,6 +277,9 @@ let charge_dynamic t (c : core) comp =
     it for the transfer, then pays [extra_ns] (e.g. memory array access)
     off the bus. *)
 let bus_access t (c : core) ~words ~extra_ns =
+  (* armed only by fault-injection specs: a transient bus/memory fault *)
+  if t.faults_armed then
+    Lp_util.Fault.check Lp_util.Fault.Sim_bus ~key:"bus";
   let m = t.machine in
   let start = Float.max c.time t.bus_free in
   let bus_ns =
@@ -745,6 +751,7 @@ let charge_unused_cores t ~duration =
   List.rev !ledgers
 
 let run ?(opts = default_options) ~machine prog : outcome =
+  Lp_util.Fault.check Lp_util.Fault.Pre_simulate ~key:"run";
   let t = create ~opts ~machine prog in
   run_loop t;
   let duration =
@@ -782,6 +789,26 @@ let run ?(opts = default_options) ~machine prog : outcome =
     steps = t.steps;
     events = List.rev t.trace;
   }
+
+(** Map the exceptions a simulation can raise onto structured
+    diagnostics; [None] for exceptions the simulator does not own. *)
+let diag_of_exn : exn -> Lp_util.Diag.t option =
+  let module D = Lp_util.Diag in
+  function
+  | D.Error d -> Some d
+  | Deadlock msg -> Some (D.make D.Simulate ~code:"E_DEADLOCK" msg)
+  | Step_limit_exceeded ->
+    Some (D.make D.Simulate ~code:"E_STEP_LIMIT" "simulation step limit exceeded")
+  | Value.Runtime_error msg -> Some (D.make D.Simulate ~code:"E_RUNTIME" msg)
+  | _ -> None
+
+(** [run], but failures come back as structured diagnostics instead of
+    escaping as exceptions. *)
+let run_result ?opts ~machine prog : (outcome, Lp_util.Diag.t) result =
+  match run ?opts ~machine prog with
+  | o -> Ok o
+  | exception e -> (
+    match diag_of_exn e with Some d -> Error d | None -> raise e)
 
 (** Read back a global cell after the run (for correctness checks). *)
 let shared_cell (o : outcome) name idx =

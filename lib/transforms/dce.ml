@@ -6,6 +6,7 @@
 
 module Ir = Lp_ir.Ir
 module Prog = Lp_ir.Prog
+module Cfg = Lp_analysis.Cfg
 module Liveness = Lp_analysis.Liveness
 module IS = Lp_analysis.Dataflow.Int_set
 
@@ -17,8 +18,14 @@ let pure (i : Ir.instr) : bool =
   | Ir.Recv _ | Ir.Barrier _ | Ir.Faa _ -> false
 
 let run_func (f : Prog.func) : int =
+  (* Unreachable blocks are dead code too, and must go first: liveness
+     never marks their uses live, so removing a def whose only remaining
+     use sits in an unreachable block would leave the IR rejecting the
+     verifier's every-use-has-a-def invariant until the next
+     simplify-cfg. *)
+  let pruned = Cfg.prune_unreachable f in
   let live = Liveness.compute f in
-  let removed = ref 0 in
+  let removed = ref pruned in
   Prog.iter_blocks f (fun b ->
       let live_set =
         ref

@@ -16,9 +16,14 @@ type func_pass = {
   run : Prog.t -> Prog.func -> int;  (** returns number of changes *)
 }
 
-type manager = { mutable all_stats : stats list }
+type manager = {
+  mutable all_stats : stats list;
+  on_pass : (string -> Prog.t -> unit) option;
+      (** called after every pass run (fuzzing hooks verification in
+          here); may raise to abort the compile *)
+}
 
-let create_manager () = { all_stats = [] }
+let create_manager ?on_pass () = { all_stats = []; on_pass }
 
 let stats_for m name =
   match List.find_opt (fun s -> s.pass_name = name) m.all_stats with
@@ -38,6 +43,8 @@ let run_pass m (p : func_pass) (prog : Prog.t) : int =
   s.runs <- s.runs + 1;
   s.changes <- s.changes + changes;
   s.seconds <- s.seconds +. (Sys.time () -. t0);
+  Lp_util.Fault.check Lp_util.Fault.Post_pass ~key:p.name;
+  (match m.on_pass with Some f -> f p.name prog | None -> ());
   changes
 
 (** Run a list of passes repeatedly until a full sweep changes nothing

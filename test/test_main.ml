@@ -15,4 +15,5 @@ let () =
       ("sched", Test_sched.suite);
       ("properties", Test_props.suite);
       ("workloads-e2e", Test_workloads.suite);
+      ("robustness", Test_robustness.suite);
     ]

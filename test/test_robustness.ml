@@ -1,0 +1,242 @@
+(** Robustness layer: structured diagnostics, deterministic fault
+    injection with graceful per-cell degradation and retry, and the
+    pipeline fuzzer. *)
+
+module Compile = Lowpower.Compile
+module Diag = Lp_util.Diag
+module Fault = Lp_util.Fault
+module Exp = Lp_experiments.Exp_common
+module Machine = Lp_machine.Machine
+module Gen = Lp_robust.Gen
+module Fuzz = Lp_robust.Fuzz
+
+let machine () = Machine.generic ~n_cores:4 ()
+let fir () = Lp_workloads.Suite.find_exn "fir"
+
+(** Every fault/cache-touching test restores pristine global state. *)
+let isolated f () =
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.clear ();
+      Exp.clear_cache ())
+    (fun () ->
+      Fault.clear ();
+      Exp.clear_cache ();
+      f ())
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Every legacy pipeline exception maps onto its stable code. *)
+let test_diag_round_trip () =
+  let pos = { Lp_lang.Ast.line = 2; col = 5 } in
+  let cases =
+    [
+      (Lp_lang.Lexer.Lex_error ("bad char", 3), "E_LEX", Some 3);
+      (Lp_lang.Parser.Parse_error ("expected )", 7), "E_PARSE", Some 7);
+      (Lp_lang.Typecheck.Type_error ("int vs float", pos), "E_TYPE", Some 2);
+      (Lp_transforms.Parallelize.Par_error "bad split", "E_PAR", None);
+      (Lp_ir.Lower.Lower_error "no such var", "E_LOWER", None);
+      (Lp_ir.Verify.Invalid "undefined register", "E_VERIFY", None);
+      (Lp_sched.Taskgraph.Invalid_graph "cycle", "E_GRAPH", None);
+      (Compile.Compile_error "driver says no", "E_COMPILE", None);
+      (Lp_sim.Sim.Deadlock "all cores blocked", "E_DEADLOCK", None);
+      (Lp_sim.Sim.Step_limit_exceeded, "E_STEP_LIMIT", None);
+      (Lp_sim.Value.Runtime_error "division by zero", "E_RUNTIME", None);
+    ]
+  in
+  List.iter
+    (fun (e, code, line) ->
+      match Compile.diag_of_exn e with
+      | None -> Alcotest.failf "%s: no diagnostic" code
+      | Some d ->
+        Alcotest.(check string) (code ^ ": code") code d.Diag.code;
+        Alcotest.(check (option int)) (code ^ ": line") line d.Diag.line)
+    cases;
+  (* Diag.Error passes through unchanged *)
+  let d0 = Diag.make Diag.Fault ~code:"E_FAULT_PASS" ~transient:true "boom" in
+  (match Compile.diag_of_exn (Diag.Error d0) with
+  | Some d -> Alcotest.(check string) "passthrough" "E_FAULT_PASS" d.Diag.code
+  | None -> Alcotest.fail "Diag.Error must map to itself");
+  (* foreign exceptions are not diagnostics *)
+  Alcotest.(check bool) "foreign exception" true
+    (Compile.diag_of_exn Not_found = None)
+
+(** [compile_result]/[run_result] degrade front-end failures to the
+    specific code instead of raising. *)
+let test_result_entry_points () =
+  let machine = machine () in
+  (match Compile.compile_result ~machine "int main( {" with
+  | Error d -> Alcotest.(check string) "parse error code" "E_PARSE" d.Diag.code
+  | Ok _ -> Alcotest.fail "garbage must not compile");
+  (match Compile.compile_result ~machine "int main() { return 1.5; }" with
+  | Error d -> Alcotest.(check string) "type error code" "E_TYPE" d.Diag.code
+  | Ok _ -> Alcotest.fail "ill-typed program must not compile");
+  match Compile.run_result ~machine "int main() { return 42; }" with
+  | Ok (_, o) ->
+    Alcotest.(check string) "runs" "42"
+      (match o.Lp_sim.Sim.ret with
+      | Some v -> Lp_sim.Value.to_string v
+      | None -> "(none)")
+  | Error d -> Alcotest.failf "trivial program failed: %s" (Diag.to_string d)
+
+(** [to_string] is the single rendering every front end prints. *)
+let test_diag_to_string () =
+  let d = Diag.make ~line:4 Diag.Parse ~code:"E_PARSE" "expected )" in
+  Alcotest.(check string) "rendering"
+    "parse error [E_PARSE] (line 4): expected )" (Diag.to_string d)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection + graceful degradation                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_spec_grammar () =
+  List.iter
+    (fun spec ->
+      match Fault.configure spec with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "spec %S rejected: %s" spec e)
+    [ ""; "post-pass"; "seed=7,post-pass@fir*2"; "sim-bus%50";
+      "pre-simulate@matmul*1,worker" ];
+  List.iter
+    (fun spec ->
+      match Fault.configure spec with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "spec %S must be rejected" spec)
+    [ "no-such-point"; "seed=x"; "post-pass*zero"; "sim-bus%101" ];
+  Fault.clear ();
+  Alcotest.(check bool) "cleared" false (Fault.active ())
+
+(** A persistent injected pass fault degrades the cell to an
+    [ERR(E_FAULT_PASS)] diagnostic instead of aborting the matrix, and
+    other workloads are untouched. *)
+let test_matrix_degrades_not_aborts () =
+  (match Fault.configure "post-pass@fir" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let ws =
+    [ fir (); Lp_workloads.Suite.find_exn "dotprod" ]
+  in
+  (* must not raise, whatever the faults *)
+  Exp.run_matrix (Exp.cross ws [ ("baseline", Compile.baseline) ]);
+  (match Exp.run_workload_result (fir ()) ~config:"baseline" Compile.baseline with
+  | Error d ->
+    Alcotest.(check string) "fir code" "E_FAULT_PASS" d.Diag.code;
+    Alcotest.(check string) "ERR cell rendering" "ERR(E_FAULT_PASS)"
+      (Exp.scell (Error d) (fun _ -> "unreachable"))
+  | Ok _ -> Alcotest.fail "fir must fault");
+  (match
+     Exp.run_workload_result
+       (Lp_workloads.Suite.find_exn "dotprod")
+       ~config:"baseline" Compile.baseline
+   with
+  | Ok _ -> ()
+  | Error d ->
+    Alcotest.failf "dotprod must be untouched: %s" (Diag.to_string d));
+  match Exp.failed_cells () with
+  | [ ((w, c, _), attempts, d) ] ->
+    Alcotest.(check string) "failed workload" "fir" w;
+    Alcotest.(check string) "failed config" "baseline" c;
+    Alcotest.(check string) "failed code" "E_FAULT_PASS" d.Diag.code;
+    (* persistent faults are not transient: no retry *)
+    Alcotest.(check int) "attempts" 1 attempts
+  | l -> Alcotest.failf "expected exactly one failed cell, got %d" (List.length l)
+
+(** A bounded (transient) fault is retried deterministically and the
+    cell recovers. *)
+let test_retry_recovers_transient () =
+  (match Fault.configure "pre-simulate@fir*2" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let cell =
+    Exp.run_workload_cell (fir ()) ~config:"baseline" Compile.baseline
+  in
+  (match cell.Exp.result with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "cell must recover: %s" (Diag.to_string d));
+  (* two injected transient faults, then success: three attempts *)
+  Alcotest.(check int) "attempts" 3 cell.Exp.attempts;
+  Alcotest.(check int) "no failed cells left" 0
+    (List.length (Exp.failed_cells ()))
+
+(** The transient flag itself: a bounded fault is transient, an
+    unbounded one is not. *)
+let test_transient_flag () =
+  (match Fault.configure "worker@fir*1" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match
+     Fault.with_scope "fir" (fun () ->
+         match Fault.check Fault.Worker ~key:"baseline" with
+         | () -> None
+         | exception Diag.Error d -> Some d)
+   with
+  | Some d ->
+    Alcotest.(check bool) "bounded fault is transient" true d.Diag.transient;
+    Alcotest.(check string) "code" "E_FAULT_WORKER" d.Diag.code
+  | None -> Alcotest.fail "worker fault must fire");
+  Fault.clear ();
+  match Fault.configure "worker@fir" with
+  | Error e -> Alcotest.fail e
+  | Ok () -> (
+    match
+      Fault.with_scope "fir" (fun () ->
+          match Fault.check Fault.Worker ~key:"baseline" with
+          | () -> None
+          | exception Diag.Error d -> Some d)
+    with
+    | Some d ->
+      Alcotest.(check bool) "persistent fault is not transient" false
+        d.Diag.transient
+    | None -> Alcotest.fail "worker fault must fire")
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_deterministic () =
+  let a = Gen.generate ~seed:11 and b = Gen.generate ~seed:11 in
+  Alcotest.(check string) "same seed, same program" a.Gen.source b.Gen.source;
+  let c = Gen.generate ~seed:12 in
+  Alcotest.(check bool) "different seed, different program" true
+    (a.Gen.source <> c.Gen.source)
+
+(** 200-seed smoke run: no raw exception escapes, no verification
+    failure after any pass, baseline and full always agree. *)
+let test_fuzz_smoke () =
+  let corpus =
+    Filename.concat (Filename.get_temp_dir_name ()) "lp-fuzz-test-corpus"
+  in
+  let s =
+    Fuzz.run_range ~machine:(machine ()) ~corpus_dir:corpus ~seed_start:0
+      ~seeds:200 ()
+  in
+  (match s.Fuzz.findings with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "seed %d: %s — %s" f.Fuzz.f_seed f.Fuzz.f_kind
+      f.Fuzz.f_detail);
+  Alcotest.(check int) "all seeds accounted for" s.Fuzz.tested
+    (s.Fuzz.passed + s.Fuzz.degraded)
+
+let suite =
+  [
+    Alcotest.test_case "diag round-trip of legacy exceptions" `Quick
+      test_diag_round_trip;
+    Alcotest.test_case "result entry points degrade gracefully" `Quick
+      test_result_entry_points;
+    Alcotest.test_case "diag rendering" `Quick test_diag_to_string;
+    Alcotest.test_case "fault spec grammar" `Quick
+      (isolated test_fault_spec_grammar);
+    Alcotest.test_case "matrix degrades per cell, never aborts" `Quick
+      (isolated test_matrix_degrades_not_aborts);
+    Alcotest.test_case "retry recovers a transient fault" `Quick
+      (isolated test_retry_recovers_transient);
+    Alcotest.test_case "transient flag tracks fault boundedness" `Quick
+      (isolated test_transient_flag);
+    Alcotest.test_case "generator is seed-deterministic" `Quick
+      test_gen_deterministic;
+    Alcotest.test_case "fuzz smoke: 200 seeds, zero findings" `Slow
+      (isolated test_fuzz_smoke);
+  ]
