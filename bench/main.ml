@@ -18,6 +18,8 @@
 
 module E = Lp_experiments.Experiments
 module DP = Lp_util.Domain_pool
+module Runtime_config = Lp_util.Runtime_config
+module Obs = Lp_obs.Obs
 
 (* ------------------------------------------------------------------ *)
 (* B1: bechamel micro-benchmarks of individual compiler passes          *)
@@ -179,13 +181,16 @@ let write_bench_json ~path ~jobs ~(par : (string * float) list)
 let usage () =
   prerr_endline
     "usage: main.exe [ID ...] [--jobs N | seq] [--no-compare] [--json PATH] \
-     [--faults SPEC]";
+     [--faults SPEC] [--retries N] [--trace FILE]";
   exit 2
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let ids = ref [] in
   let jobs_flag = ref None in
+  let retries_flag = ref None in
+  let faults_flag = ref None in
+  let trace_flag = ref None in
   let compare = ref true in
   let json_path = ref "BENCH_eval.json" in
   let rec parse = function
@@ -207,24 +212,55 @@ let () =
       json_path := path;
       parse rest
     | [ "--json" ] -> usage ()
-    | "--faults" :: spec :: rest -> (
-      match Lp_util.Fault.configure spec with
-      | Ok () -> parse rest
-      | Error msg ->
-        Printf.eprintf "invalid --faults spec: %s\n" msg;
-        exit 2)
+    | "--faults" :: spec :: rest ->
+      faults_flag := Some spec;
+      parse rest
     | [ "--faults" ] -> usage ()
+    | "--retries" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 ->
+        retries_flag := Some n;
+        parse rest
+      | _ -> usage ())
+    | [ "--retries" ] -> usage ()
+    | "--trace" :: path :: rest ->
+      trace_flag := Some path;
+      parse rest
+    | [ "--trace" ] -> usage ()
     | id :: rest ->
       ids := !ids @ [ id ];
       parse rest
   in
-  (match Lp_util.Fault.configure_env () with
-  | Ok () -> ()
-  | Error msg ->
-    Printf.eprintf "invalid LP_FAULTS spec: %s\n" msg;
-    exit 2);
   parse args;
-  Option.iter DP.set_default_jobs !jobs_flag;
+  (* one configuration surface: flag > environment > default *)
+  let config =
+    Runtime_config.resolve ?jobs:!jobs_flag ?retries:!retries_flag
+      ?faults:!faults_flag ?trace:!trace_flag
+      (Runtime_config.from_env ())
+  in
+  (match config.Runtime_config.faults with
+  | None -> ()
+  | Some spec -> (
+    match Lp_util.Fault.configure spec with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "invalid fault spec: %s\n" msg;
+      exit 2));
+  let obs =
+    match config.Runtime_config.trace with
+    | Some _ -> Obs.create ()
+    | None -> Obs.disabled
+  in
+  Lp_experiments.Exp_common.set_ctx (Lowpower.Compile.make_ctx ~obs ~config ());
+  (* write the trace on every exit path, including the degraded-cell
+     exit 1 below *)
+  at_exit (fun () ->
+      match config.Runtime_config.trace with
+      | Some path when Obs.enabled obs ->
+        Obs.write_chrome obs ~path;
+        Printf.eprintf "%s\ntrace written to %s\n%!" (Obs.summary obs) path
+      | _ -> ());
+  Option.iter DP.set_default_jobs config.Runtime_config.jobs;
   let jobs = DP.default_jobs () in
   let want id = !ids = [] || List.mem id !ids in
   let entries = List.filter (fun (e : E.entry) -> want e.E.id) E.all in

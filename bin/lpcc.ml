@@ -19,6 +19,8 @@ module Pattern = Lp_patterns.Pattern
 module W = Lp_workloads.Workload
 module Diag = Lp_util.Diag
 module Fault = Lp_util.Fault
+module Runtime_config = Lp_util.Runtime_config
+module Obs = Lp_obs.Obs
 open Cmdliner
 
 (* ---------------- shared arguments ---------------- *)
@@ -33,6 +35,42 @@ let with_diagnostics f =
     | Some d -> `Error (false, Diag.to_string d)
     | None -> `Error (false, "internal error: " ^ Printexc.to_string e))
 
+(** Resolve the runtime configuration (flag > environment > default),
+    apply it (pool size, fault plan), install the driver context, and run
+    the subcommand body with it.  When the configuration asks for a
+    trace, the Chrome JSON and a summary are written after the body
+    returns — success or failure, so a diagnosed run still leaves its
+    profile behind. *)
+let with_ctx ?jobs ?retries ?faults ?trace f =
+  let config =
+    Runtime_config.resolve ?jobs ?retries ?faults ?trace
+      (Runtime_config.from_env ())
+  in
+  Option.iter Lp_util.Domain_pool.set_default_jobs
+    config.Runtime_config.jobs;
+  match
+    match config.Runtime_config.faults with
+    | None -> Ok ()
+    | Some spec -> Fault.configure spec
+  with
+  | Error msg -> `Error (false, "invalid fault spec: " ^ msg)
+  | Ok () ->
+    let obs =
+      match config.Runtime_config.trace with
+      | Some _ -> Obs.create ()
+      | None -> Obs.disabled
+    in
+    let ctx = Compile.make_ctx ~obs ~config () in
+    Lp_experiments.Exp_common.set_ctx ctx;
+    let finish () =
+      match config.Runtime_config.trace with
+      | Some path when Obs.enabled obs ->
+        Obs.write_chrome obs ~path;
+        Printf.eprintf "%s\ntrace written to %s\n%!" (Obs.summary obs) path
+      | _ -> ()
+    in
+    Fun.protect ~finally:finish (fun () -> f ctx)
+
 let faults_arg =
   Arg.(value & opt (some string) None
        & info [ "faults" ] ~docv:"SPEC"
@@ -40,12 +78,13 @@ let faults_arg =
                  the grammar, e.g. $(b,seed=7,post-pass\\@fir*1)).  The \
                  $(b,LP_FAULTS) environment variable is the equivalent.")
 
-let apply_faults = function
-  | None -> Ok ()
-  | Some spec -> (
-    match Fault.configure spec with
-    | Ok () -> Ok ()
-    | Error msg -> Error ("invalid --faults spec: " ^ msg))
+let trace_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON profile of this invocation \
+                 to $(docv) (open in chrome://tracing or Perfetto) and print \
+                 a span/counter summary to stderr.  The $(b,LP_TRACE) \
+                 environment variable is the equivalent.")
 
 let read_file path =
   let ic = open_in_bin path in
@@ -84,9 +123,9 @@ let cores_arg =
   Arg.(value & opt int 4
        & info [ "c"; "cores" ] ~docv:"N" ~doc:"Cores the compiler may use.")
 
-let trace_arg =
+let events_arg =
   Arg.(value & opt int 0
-       & info [ "t"; "trace" ] ~docv:"N"
+       & info [ "t"; "events" ] ~docv:"N"
            ~doc:"Print the first $(docv) power/communication events.")
 
 let config_arg =
@@ -153,23 +192,21 @@ let detect_cmd =
 
 (* ---------------- run ---------------- *)
 
-let run_cmd_run file workload machine_kind cores config trace faults =
-  match apply_faults faults with
-  | Error e -> `Error (false, e)
-  | Ok () -> (
+let run_cmd_run file workload machine_kind cores config events faults trace =
   match source_of ~file ~workload with
   | Error e -> `Error (false, e)
   | Ok (src, name) ->
+    with_ctx ?faults ?trace @@ fun ctx ->
     with_diagnostics @@ fun () ->
     Fault.with_scope name @@ fun () ->
       let machine = machine_of ~cores machine_kind in
       let cores = min cores machine.Machine.n_cores in
       let opts = opts_of ~cores config in
       let sim_opts =
-        { Sim.default_options with Sim.trace_limit = max 0 trace }
+        { Sim.default_options with Sim.trace_limit = max 0 events }
       in
       let (compiled, o) =
-        match Compile.run_result ~opts ~sim_opts ~machine src with
+        match Compile.run_result ~ctx ~opts ~sim_opts ~machine src with
         | Ok r -> r
         | Error d -> raise (Diag.Error d)
       in
@@ -201,7 +238,7 @@ let run_cmd_run file workload machine_kind cores config trace faults =
       if o.Sim.implicit_wakeups > 0 then
         Printf.printf "  WARNING: %d implicit wakeups (compiler bug!)\n"
           o.Sim.implicit_wakeups;
-      if trace > 0 then begin
+      if events > 0 then begin
         Printf.printf "  first %d power/communication events:\n"
           (List.length o.Sim.events);
         List.iter
@@ -210,13 +247,14 @@ let run_cmd_run file workload machine_kind cores config trace faults =
               e.Sim.ev_what)
           o.Sim.events
       end;
-      `Ok ())
+      `Ok ()
 
 let run_cmd =
   let doc = "compile and simulate a MiniC program" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(ret (const run_cmd_run $ file_arg $ workload_arg $ machine_arg
-               $ cores_arg $ config_arg $ trace_arg $ faults_arg))
+               $ cores_arg $ config_arg $ events_arg $ faults_arg
+               $ trace_file_arg))
 
 (* ---------------- dump ---------------- *)
 
@@ -230,6 +268,7 @@ let dump_cmd_run file workload machine_kind cores config as_source =
   match source_of ~file ~workload with
   | Error e -> `Error (false, e)
   | Ok (src, _) ->
+    with_ctx @@ fun ctx ->
     with_diagnostics @@ fun () ->
       let machine = machine_of ~cores machine_kind in
       let cores = min cores machine.Machine.n_cores in
@@ -246,7 +285,8 @@ let dump_cmd_run file workload machine_kind cores config as_source =
       else begin
         let compiled =
           match
-            Compile.compile_result ~opts:(opts_of ~cores config) ~machine src
+            Compile.compile_result ~ctx ~opts:(opts_of ~cores config) ~machine
+              src
           with
           | Ok c -> c
           | Error d -> raise (Diag.Error d)
@@ -277,18 +317,15 @@ let workloads_cmd =
 
 (* ---------------- bench ---------------- *)
 
-let bench_cmd_run jobs faults ids =
-  match apply_faults faults with
-  | Error e -> `Error (false, e)
-  | Ok () -> (
+let bench_cmd_run jobs retries faults trace ids =
   let known = List.map (fun e -> e.Lp_experiments.Experiments.id)
       Lp_experiments.Experiments.all in
   match List.filter (fun id -> not (List.mem id known)) ids with
   | bad :: _ ->
     `Error (false, Printf.sprintf "unknown experiment %S (known: %s)" bad
               (String.concat " " known))
-  | [] ->
-    Option.iter Lp_util.Domain_pool.set_default_jobs jobs;
+  | [] -> (
+    with_ctx ?jobs ?retries ?faults ?trace @@ fun _ctx ->
     List.iter
       (fun (e : Lp_experiments.Experiments.entry) ->
         if ids = [] || List.mem e.Lp_experiments.Experiments.id ids then
@@ -315,6 +352,12 @@ let jobs_arg =
                  $(b,LP_JOBS) or the host's recommended domain count minus \
                  one; 1 runs sequentially).")
 
+let retries_arg =
+  Arg.(value & opt (some int) None
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Retries after a transient matrix-cell failure (default: \
+                 $(b,LP_RETRIES) or 2).")
+
 let bench_cmd =
   let doc = "regenerate evaluation tables/figures (all, or the given ids)" in
   let ids =
@@ -322,17 +365,19 @@ let bench_cmd =
            ~doc:"Experiment ids (t1..t5, t3b, f1..f6, a1..a3); all when omitted.")
   in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(ret (const bench_cmd_run $ jobs_arg $ faults_arg $ ids))
+    Term.(ret (const bench_cmd_run $ jobs_arg $ retries_arg $ faults_arg
+               $ trace_file_arg $ ids))
 
 (* ---------------- fuzz ---------------- *)
 
-let fuzz_cmd_run seeds seed_start corpus cores =
+let fuzz_cmd_run seeds seed_start corpus cores trace =
   if seeds < 1 then `Error (false, "--seeds must be at least 1")
-  else begin
+  else
+    with_ctx ?trace @@ fun ctx ->
     let machine = Machine.generic ~n_cores:(max cores 4) () in
     let summary =
-      Lp_robust.Fuzz.run_range ~machine ~log:print_endline ~corpus_dir:corpus
-        ~seed_start ~seeds ()
+      Lp_robust.Fuzz.run_range ~ctx ~machine ~log:print_endline
+        ~corpus_dir:corpus ~seed_start ~seeds ()
     in
     match summary.Lp_robust.Fuzz.findings with
     | [] -> `Ok ()
@@ -341,7 +386,6 @@ let fuzz_cmd_run seeds seed_start corpus cores =
         ( false,
           Printf.sprintf "%d finding(s); crash corpus written to %s/"
             (List.length findings) corpus )
-  end
 
 let fuzz_cmd =
   let doc =
@@ -366,14 +410,9 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(ret (const fuzz_cmd_run $ seeds_arg $ seed_start_arg $ corpus_arg
-               $ cores_arg))
+               $ cores_arg $ trace_file_arg))
 
 let () =
-  (match Fault.configure_env () with
-  | Ok () -> ()
-  | Error msg ->
-    Printf.eprintf "lpcc: invalid LP_FAULTS spec: %s\n" msg;
-    exit 2);
   let doc = "compiler for low power with design patterns on embedded multicore" in
   let info = Cmd.info "lpcc" ~version:"1.0.0" ~doc in
   exit

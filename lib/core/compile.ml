@@ -102,6 +102,23 @@ type compiled = {
 
 exception Compile_error of string
 
+(* ------------------------------------------------------------------ *)
+(* The driver context                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Lp_obs.Obs
+module Runtime_config = Lp_util.Runtime_config
+
+type ctx = {
+  obs : Obs.t;
+  config : Runtime_config.t;
+}
+
+let default_ctx = { obs = Obs.disabled; config = Runtime_config.default }
+
+let make_ctx ?(obs = Obs.disabled) ?(config = Runtime_config.default) () =
+  { obs; config }
+
 (** Instances the machine can actually host (a pipeline with more stages
     than available workers is skipped, falling back to sequential code
     for that loop). *)
@@ -142,31 +159,45 @@ let parse_and_check source = wrap_legacy (fun () -> parse_and_check_exn source)
 (** Compile [source] for [machine] under [opts].  Raises the raw
     per-stage exceptions; [compile] wraps them for the legacy API and
     [compile_result] maps them to diagnostics.  [verify_each] re-runs the
-    IR verifier after every optimisation pass (the fuzzer's oracle). *)
-let compile_exn ?(verify_each = false) ?(opts = baseline)
+    IR verifier after every optimisation pass (the fuzzer's oracle).
+    [ctx] supplies the telemetry recorder: every phase below runs inside
+    a span (the [compile → fixpoint round → pass → function] hierarchy
+    of docs/OBSERVABILITY.md), all free when the recorder is off. *)
+let compile_exn ?(ctx = default_ctx) ?(verify_each = false) ?(opts = baseline)
     ~(machine : Machine.t) (source : string) : compiled =
+  let obs = ctx.obs in
+  Obs.span obs ~cat:"compile"
+    ~args:[ ("machine", Obs.Str machine.Machine.name);
+            ("cores", Obs.Int opts.n_cores) ]
+    "compile"
+  @@ fun () ->
   if opts.n_cores > machine.Machine.n_cores then
     raise
       (Compile_error
          (Printf.sprintf "options ask for %d cores, machine has %d"
             opts.n_cores machine.Machine.n_cores));
-  let ast = parse_and_check_exn source in
-  let detection = Detect.detect ast in
+  let phase name f = Obs.span obs ~cat:"phase" name f in
+  let ast = phase "frontend" (fun () -> parse_and_check_exn source) in
+  let detection = phase "detect" (fun () -> Detect.detect ast) in
+  Obs.add obs "compile.patterns_detected"
+    (List.length detection.Pattern.instances);
   let (ast_par, par_info) =
     if opts.parallelize && opts.n_cores > 1 then
-      T.Parallelize.run ~distribution:opts.distribution ~sync:opts.sync
-        ~n_cores:opts.n_cores ast
-        (feasible_instances ~n_cores:opts.n_cores detection.Pattern.instances)
+      phase "parallelize" (fun () ->
+          T.Parallelize.run ~distribution:opts.distribution ~sync:opts.sync
+            ~n_cores:opts.n_cores ast
+            (feasible_instances ~n_cores:opts.n_cores
+               detection.Pattern.instances))
     else (ast, T.Par_info.sequential)
   in
   (* self-check: generated source must still type-check *)
-  (try Typecheck.check_program ast_par with
+  (try phase "recheck" (fun () -> Typecheck.check_program ast_par) with
   | Typecheck.Type_error (msg, pos) ->
     raise
       (Compile_error
          (Printf.sprintf "internal: generated code ill-typed (line %d): %s"
             pos.Ast.line msg)));
-  let prog = Lower.lower_program ast_par in
+  let prog = phase "lower" (fun () -> Lower.lower_program ast_par) in
   if par_info.T.Par_info.n_workers > 0 then
     prog.Prog.layout <-
       Prog.Parallel
@@ -186,88 +217,107 @@ let compile_exn ?(verify_each = false) ?(opts = baseline)
             raise (Verify.Invalid (Printf.sprintf "after pass %s: %s" name msg)))
     else None
   in
-  let pm = T.Pass.create_manager ?on_pass () in
-  ignore (T.Pass.run_pass pm T.Const_promote.pass prog);
-  T.Pass.run_to_fixpoint pm
-    [ T.Simplify_cfg.pass; T.Constfold.pass; T.Constprop.pass; T.Dce.pass ]
-    prog;
-  ignore (T.Pass.run_pass pm T.Unroll.pass prog);
-  T.Pass.run_to_fixpoint pm
-    [ T.Simplify_cfg.pass; T.Constfold.pass; T.Constprop.pass; T.Dce.pass ]
-    prog;
-  if opts.mac_fusion then begin
-    ignore (T.Pass.run_pass pm T.Mac_fusion.pass prog);
-    T.Pass.run_to_fixpoint pm [ T.Constfold.pass; T.Dce.pass ] prog
-  end;
-  ignore (T.Pass.run_pass pm T.Strength.pass prog);
-  T.Pass.run_to_fixpoint pm
-    [ T.Licm.pass; T.Constfold.pass; T.Dce.pass; T.Simplify_cfg.pass ]
-    prog;
+  let pm = T.Pass.create_manager ~obs ?on_pass () in
+  phase "optimize" (fun () ->
+      ignore (T.Pass.run_pass pm T.Const_promote.pass prog);
+      T.Pass.run_to_fixpoint pm
+        [ T.Simplify_cfg.pass; T.Constfold.pass; T.Constprop.pass; T.Dce.pass ]
+        prog;
+      ignore (T.Pass.run_pass pm T.Unroll.pass prog);
+      T.Pass.run_to_fixpoint pm
+        [ T.Simplify_cfg.pass; T.Constfold.pass; T.Constprop.pass; T.Dce.pass ]
+        prog;
+      if opts.mac_fusion then begin
+        ignore (T.Pass.run_pass pm T.Mac_fusion.pass prog);
+        T.Pass.run_to_fixpoint pm [ T.Constfold.pass; T.Dce.pass ] prog
+      end;
+      ignore (T.Pass.run_pass pm T.Strength.pass prog);
+      T.Pass.run_to_fixpoint pm
+        [ T.Licm.pass; T.Constfold.pass; T.Dce.pass; T.Simplify_cfg.pass ]
+        prog);
   (* pattern-aware power management *)
-  if opts.power.balance && par_info.T.Par_info.n_workers > 0 then
-    ignore (T.Balance.run machine prog par_info);
-  if opts.power.dvfs then
-    ignore (T.Dvfs.insert ~opts:opts.power.dvfs_opts machine prog);
-  let gating_before_merge =
-    if opts.power.gating then begin
-      ignore (T.Gating.insert ~opts:opts.power.gating_opts machine prog);
-      ignore (T.Pass.run_pass pm T.Simplify_cfg.pass prog);
-      T.Gating.count_gating prog
-    end
-    else T.Gating.count_gating prog
+  let (gating_before_merge, gating_after_merge) =
+    phase "power" (fun () ->
+        if opts.power.balance && par_info.T.Par_info.n_workers > 0 then
+          ignore (T.Balance.run machine prog par_info);
+        if opts.power.dvfs then
+          ignore (T.Dvfs.insert ~opts:opts.power.dvfs_opts machine prog);
+        let gating_before_merge =
+          if opts.power.gating then begin
+            ignore (T.Gating.insert ~opts:opts.power.gating_opts machine prog);
+            ignore (T.Pass.run_pass pm T.Simplify_cfg.pass prog);
+            T.Gating.count_gating prog
+          end
+          else T.Gating.count_gating prog
+        in
+        let gating_after_merge =
+          if opts.power.gating && opts.power.sink_n_hoist then begin
+            ignore (T.Gating.merge machine prog);
+            ignore (T.Pass.run_pass pm T.Simplify_cfg.pass prog);
+            T.Gating.count_gating prog
+          end
+          else gating_before_merge
+        in
+        (gating_before_merge, gating_after_merge))
   in
-  let gating_after_merge =
-    if opts.power.gating && opts.power.sink_n_hoist then begin
-      ignore (T.Gating.merge machine prog);
-      ignore (T.Pass.run_pass pm T.Simplify_cfg.pass prog);
-      T.Gating.count_gating prog
-    end
-    else gating_before_merge
-  in
-  Verify.verify_prog prog;
+  phase "verify" (fun () -> Verify.verify_prog prog);
   (* the target must have every component the program executes on *)
-  let cu = Lp_analysis.Compuse.compute prog in
+  phase "compat" (fun () ->
+      let cu = Lp_analysis.Compuse.compute prog in
+      List.iter
+        (fun entry ->
+          let used = Lp_analysis.Compuse.func_use cu entry in
+          Lp_power.Component.Set.iter
+            (fun comp ->
+              if not (Machine.has_component machine comp) then
+                raise
+                  (Compile_error
+                     (Printf.sprintf
+                        "program uses the %s unit but machine %s has none"
+                        (Lp_power.Component.to_string comp)
+                        machine.Machine.name)))
+            used)
+        (Prog.entries prog));
+  let pass_stats = T.Pass.stats pm in
+  Obs.add obs "compile.runs" 1;
+  Obs.add obs "compile.ir_instrs" (Prog.total_instrs prog);
   List.iter
-    (fun entry ->
-      let used = Lp_analysis.Compuse.func_use cu entry in
-      Lp_power.Component.Set.iter
-        (fun comp ->
-          if not (Machine.has_component machine comp) then
-            raise
-              (Compile_error
-                 (Printf.sprintf "program uses the %s unit but machine %s has none"
-                    (Lp_power.Component.to_string comp)
-                    machine.Machine.name)))
-        used)
-    (Prog.entries prog);
+    (fun (s : T.Pass.stats) ->
+      Obs.add obs ("pass." ^ s.T.Pass.pass_name ^ ".runs") s.T.Pass.runs;
+      Obs.add obs ("pass." ^ s.T.Pass.pass_name ^ ".changes") s.T.Pass.changes)
+    pass_stats;
   {
     source_ast = ast;
     prog;
     par_info;
     detection;
-    pass_stats = T.Pass.stats pm;
+    pass_stats;
     gating_before_merge;
     gating_after_merge;
     machine;
     options = opts;
   }
 
-(** Compile [source] for [machine]; the legacy raising entry point
+(** Compile [source] for [machine]; the raising entry point
     ([Compile_error] covers front-end, lowering, verification and driver
     failures, exactly as before diagnostics existed). *)
-let compile ?opts ~(machine : Machine.t) (source : string) : compiled =
-  wrap_legacy (fun () -> compile_exn ?opts ~machine source)
+let compile ?(ctx = default_ctx) ?opts ~(machine : Machine.t) (source : string)
+    : compiled =
+  wrap_legacy (fun () -> compile_exn ~ctx ?opts ~machine source)
 
 (** Compile and simulate; the simulator models compiler-gated unused
     cores when the options say so. *)
-let run ?(opts = baseline) ?(sim_opts = Lp_sim.Sim.default_options)
-    ~(machine : Machine.t) (source : string) : compiled * Lp_sim.Sim.outcome =
-  let compiled = compile ~opts ~machine source in
+let run ?(ctx = default_ctx) ?(opts = baseline)
+    ?(sim_opts = Lp_sim.Sim.default_options) ~(machine : Machine.t)
+    (source : string) : compiled * Lp_sim.Sim.outcome =
+  let compiled = compile ~ctx ~opts ~machine source in
   let sim_opts =
     { sim_opts with
       Lp_sim.Sim.gate_unused_cores = opts.power.gate_unused_cores }
   in
-  let outcome = Lp_sim.Sim.run ~opts:sim_opts ~machine compiled.prog in
+  let outcome =
+    Lp_sim.Sim.run ~opts:sim_opts ~obs:ctx.obs ~machine compiled.prog
+  in
   (compiled, outcome)
 
 (* ------------------------------------------------------------------ *)
@@ -298,24 +348,26 @@ let diag_of_exn : exn -> Diag.t option = function
 
 (** [compile], but failures come back as diagnostics.  Foreign
     exceptions still propagate: they are bugs, not diagnostics. *)
-let compile_result ?verify_each ?opts ~(machine : Machine.t) (source : string)
-    : (compiled, Diag.t) result =
-  match compile_exn ?verify_each ?opts ~machine source with
+let compile_result ?(ctx = default_ctx) ?verify_each ?opts
+    ~(machine : Machine.t) (source : string) : (compiled, Diag.t) result =
+  match compile_exn ~ctx ?verify_each ?opts ~machine source with
   | c -> Ok c
   | exception e -> (
     match diag_of_exn e with Some d -> Error d | None -> raise e)
 
 (** [run], but failures come back as diagnostics. *)
-let run_result ?verify_each ?(opts = baseline)
+let run_result ?(ctx = default_ctx) ?verify_each ?(opts = baseline)
     ?(sim_opts = Lp_sim.Sim.default_options) ~(machine : Machine.t)
     (source : string) : (compiled * Lp_sim.Sim.outcome, Diag.t) result =
-  match compile_result ?verify_each ~opts ~machine source with
+  match compile_result ~ctx ?verify_each ~opts ~machine source with
   | Error d -> Error d
   | Ok compiled -> (
     let sim_opts =
       { sim_opts with
         Lp_sim.Sim.gate_unused_cores = opts.power.gate_unused_cores }
     in
-    match Lp_sim.Sim.run_result ~opts:sim_opts ~machine compiled.prog with
+    match
+      Lp_sim.Sim.run_result ~opts:sim_opts ~obs:ctx.obs ~machine compiled.prog
+    with
     | Ok outcome -> Ok (compiled, outcome)
     | Error d -> Error d)

@@ -72,6 +72,25 @@ type compiled = {
 
 exception Compile_error of string
 
+(** {2 The driver context}
+
+    One explicit record carries everything the pipeline used to pick up
+    ambiently: the telemetry recorder and the resolved runtime
+    configuration.  Every entry point takes [?ctx]; omitting it gives
+    the old behaviour exactly (disabled recorder, default config), so
+    existing callers compile and behave unchanged. *)
+
+type ctx = {
+  obs : Lp_obs.Obs.t;                 (** span/counter recorder *)
+  config : Lp_util.Runtime_config.t;  (** resolved jobs/retries/faults/trace *)
+}
+
+(** Disabled recorder, default configuration — zero overhead. *)
+val default_ctx : ctx
+
+val make_ctx :
+  ?obs:Lp_obs.Obs.t -> ?config:Lp_util.Runtime_config.t -> unit -> ctx
+
 (** Parse and type-check only; raises [Compile_error]. *)
 val parse_and_check : string -> Ast.program
 
@@ -87,12 +106,18 @@ val feasible_instances :
 
 (** Compile [source] for [machine]; raises [Compile_error] (which also
     wraps internal self-check failures: generated code that fails to
-    re-type-check or IR that fails verification). *)
-val compile : ?opts:options -> machine:Machine.t -> string -> compiled
+    re-type-check or IR that fails verification).  When [ctx] carries an
+    enabled recorder the whole pipeline runs inside a [compile] span
+    with per-phase, per-fixpoint-round, per-pass and per-function child
+    spans. *)
+val compile :
+  ?ctx:ctx -> ?opts:options -> machine:Machine.t -> string -> compiled
 
 (** Compile and simulate.  The simulator is told to model compiler-gated
-    unused cores when the options enable it. *)
+    unused cores when the options enable it, and inherits [ctx]'s
+    recorder (per-core simulated-time spans, cycle and bus counters). *)
 val run :
+  ?ctx:ctx ->
   ?opts:options ->
   ?sim_opts:Lp_sim.Sim.options ->
   machine:Machine.t ->
@@ -117,6 +142,7 @@ val diag_of_exn : exn -> Lp_util.Diag.t option
     additionally re-runs the IR verifier after every optimisation pass
     (used by the pipeline fuzzer). *)
 val compile_result :
+  ?ctx:ctx ->
   ?verify_each:bool ->
   ?opts:options ->
   machine:Machine.t ->
@@ -125,6 +151,7 @@ val compile_result :
 
 (** [run] with diagnostics instead of exceptions. *)
 val run_result :
+  ?ctx:ctx ->
   ?verify_each:bool ->
   ?opts:options ->
   ?sim_opts:Lp_sim.Sim.options ->

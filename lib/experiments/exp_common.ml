@@ -20,6 +20,20 @@ module Table = Lp_util.Table
 module Domain_pool = Lp_util.Domain_pool
 module Diag = Lp_util.Diag
 module Fault = Lp_util.Fault
+module Obs = Lp_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* The driver context                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Experiment entry points are [unit -> Table.t list], so the context is
+   installed once by the process entry point (bin/, bench/) rather than
+   threaded through every table function.  The default is the disabled
+   recorder with default config — exactly the pre-context behaviour. *)
+let ctx = Atomic.make Compile.default_ctx
+
+let set_ctx c = Atomic.set ctx c
+let current_ctx () = Atomic.get ctx
 
 (** The machine of the main evaluation. *)
 let default_machine () = Machine.generic ~n_cores:4 ()
@@ -86,11 +100,10 @@ let clear_cache () =
 (* ------------------------------------------------------------------ *)
 
 (** Retries after a transient failure (injected bounded faults, simulated
-    transient bus faults); overridable with [LP_RETRIES]. *)
-let max_retries () =
-  match Option.bind (Sys.getenv_opt "LP_RETRIES") int_of_string_opt with
-  | Some n when n >= 0 -> n
-  | Some _ | None -> 2
+    transient bus faults); comes from the installed context's
+    [Runtime_config.retries] (entry points resolve [LP_RETRIES] / the
+    [--retries] flag into it). *)
+let max_retries () = (current_ctx ()).Compile.config.Lp_util.Runtime_config.retries
 
 (** Deterministic bounded exponential backoff: 4 ms, 8 ms, ... capped at
     50 ms.  Real enough to space retries, small enough for tests. *)
@@ -101,7 +114,7 @@ let attempt_run ~(machine : Machine.t) (w : Workload.t) ~(config : string)
   Fault.with_scope w.Workload.name @@ fun () ->
   match
     Fault.check Fault.Worker ~key:config;
-    Compile.run ~opts ~machine w.Workload.source
+    Compile.run ~ctx:(current_ctx ()) ~opts ~machine w.Workload.source
   with
   | (compiled, outcome) ->
     Ok { workload = w.Workload.name; config; compiled; outcome }
@@ -115,22 +128,40 @@ let attempt_run ~(machine : Machine.t) (w : Workload.t) ~(config : string)
            (Printexc.to_string e)))
 
 (** Evaluate (and memoise) one cell, retrying transient failures with
-    deterministic bounded backoff. *)
+    deterministic bounded backoff.  A cache miss runs under a per-cell
+    [matrix] span (its tid is the evaluating pool domain) and bumps the
+    [matrix.cells] / [matrix.retries] / [matrix.failures] counters. *)
 let run_workload_cell ?(machine = default_machine ()) (w : Workload.t)
     ~(config : string) (opts : Compile.options) : cell =
   let key = (w.Workload.name, config, machine.Machine.name) in
   match cache_find key with
   | Some c -> c
   | None ->
-    let retries = max_retries () in
-    let rec go attempt =
-      match attempt_run ~machine w ~config opts with
-      | Error d when d.Diag.transient && attempt <= retries ->
-        Unix.sleepf (backoff_s attempt);
-        go (attempt + 1)
-      | result -> { attempts = attempt; result }
+    let obs = (current_ctx ()).Compile.obs in
+    let c =
+      Obs.span obs ~cat:"matrix"
+        ~args:
+          [ ("workload", Obs.Str w.Workload.name);
+            ("config", Obs.Str config);
+            ("machine", Obs.Str machine.Machine.name);
+            ("domain", Obs.Int (Domain.self () :> int)) ]
+        (Printf.sprintf "%s/%s" w.Workload.name config)
+      @@ fun () ->
+      let retries = max_retries () in
+      let rec go attempt =
+        match attempt_run ~machine w ~config opts with
+        | Error d when d.Diag.transient && attempt <= retries ->
+          Unix.sleepf (backoff_s attempt);
+          go (attempt + 1)
+        | result -> { attempts = attempt; result }
+      in
+      go 1
     in
-    let c = go 1 in
+    Obs.add obs "matrix.cells" 1;
+    Obs.add obs "matrix.retries" (c.attempts - 1);
+    (match c.result with
+    | Ok _ -> ()
+    | Error _ -> Obs.add obs "matrix.failures" 1);
     cache_add key c;
     c
 
@@ -248,6 +279,11 @@ let run_matrix ?pool (jobs : job list) : unit =
         end)
       jobs
   in
+  let obs = (current_ctx ()).Compile.obs in
+  Obs.span obs ~cat:"matrix"
+    ~args:[ ("jobs", Obs.Int (List.length todo)) ]
+    "run_matrix"
+  @@ fun () ->
   Domain_pool.parallel_iter ?pool
     (fun j ->
       ignore

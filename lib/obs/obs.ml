@@ -1,0 +1,284 @@
+(** See the interface for the contract.  One mutex guards all mutable
+    state: spans arrive from every domain the evaluation matrix fans out
+    over, and counters must aggregate deterministically (sums commute).
+    The disabled recorder never touches the mutex or the clock. *)
+
+type arg = Str of string | Int of int | Float of float
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_pid : int;
+  sp_tid : int;
+  sp_start_ns : float;
+  sp_dur_ns : float;
+  sp_depth : int;
+  sp_args : (string * arg) list;
+}
+
+type t = {
+  on : bool;
+  clock : Clock.t;
+  mutex : Mutex.t;
+  mutable rev_spans : span list;  (** newest first *)
+  mutable n_spans : int;
+  ctrs : (string, int) Hashtbl.t;
+  gaug : (string, float) Hashtbl.t;
+  depths : (int, int) Hashtbl.t;  (** wall tid -> currently open spans *)
+}
+
+let wall_pid = 1
+let sim_pid = 2
+
+let make ~on ~clock =
+  {
+    on;
+    clock;
+    mutex = Mutex.create ();
+    rev_spans = [];
+    n_spans = 0;
+    ctrs = Hashtbl.create 16;
+    gaug = Hashtbl.create 8;
+    depths = Hashtbl.create 8;
+  }
+
+let disabled = make ~on:false ~clock:(fun () -> 0.0)
+let create ?(clock = Clock.monotonic) () = make ~on:true ~clock
+let enabled t = t.on
+
+let now_ns t = if t.on then t.clock () else Clock.monotonic ()
+
+let self_tid () = (Domain.self () :> int)
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let depth_of t tid = Option.value ~default:0 (Hashtbl.find_opt t.depths tid)
+
+let push t sp =
+  t.rev_spans <- sp :: t.rev_spans;
+  t.n_spans <- t.n_spans + 1
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let span t ?(cat = "") ?(args = []) name f =
+  if not t.on then f ()
+  else begin
+    let tid = self_tid () in
+    let depth =
+      locked t (fun () ->
+          let d = depth_of t tid in
+          Hashtbl.replace t.depths tid (d + 1);
+          d)
+    in
+    let t0 = t.clock () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = t.clock () -. t0 in
+        locked t (fun () ->
+            Hashtbl.replace t.depths tid (depth_of t tid - 1);
+            push t
+              {
+                sp_name = name;
+                sp_cat = cat;
+                sp_pid = wall_pid;
+                sp_tid = tid;
+                sp_start_ns = t0;
+                sp_dur_ns = dur;
+                sp_depth = depth;
+                sp_args = args;
+              }))
+      f
+  end
+
+let emit_span t ?(cat = "") ?(args = []) ?(pid = 1) ?tid ~start_ns ~dur_ns name =
+  if t.on then begin
+    let tid = match tid with Some i -> i | None -> self_tid () in
+    locked t (fun () ->
+        let depth = if pid = wall_pid then depth_of t tid else 0 in
+        push t
+          {
+            sp_name = name;
+            sp_cat = cat;
+            sp_pid = pid;
+            sp_tid = tid;
+            sp_start_ns = start_ns;
+            sp_dur_ns = dur_ns;
+            sp_depth = depth;
+            sp_args = args;
+          })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let add t name n =
+  if t.on && n <> 0 then
+    locked t (fun () ->
+        let v = Option.value ~default:0 (Hashtbl.find_opt t.ctrs name) in
+        Hashtbl.replace t.ctrs name (v + n))
+
+let set_gauge t name v =
+  if t.on then locked t (fun () -> Hashtbl.replace t.gaug name v)
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let spans t = locked t (fun () -> List.rev t.rev_spans)
+let span_count t = locked t (fun () -> t.n_spans)
+
+let sorted_bindings tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let counters t = locked t (fun () -> sorted_bindings t.ctrs)
+let gauges t = locked t (fun () -> sorted_bindings t.gaug)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                           *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let arg_json = function
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+
+let args_json = function
+  | [] -> ""
+  | args ->
+    let fields =
+      List.map
+        (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (arg_json v))
+        args
+    in
+    Printf.sprintf ",\"args\":{%s}" (String.concat "," fields)
+
+let us ns = ns /. 1e3
+
+let span_json sp =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\
+     \"pid\":%d,\"tid\":%d%s}"
+    (json_escape sp.sp_name)
+    (json_escape (if sp.sp_cat = "" then "misc" else sp.sp_cat))
+    (us sp.sp_start_ns) (us sp.sp_dur_ns) sp.sp_pid sp.sp_tid
+    (args_json sp.sp_args)
+
+let chrome_string t =
+  let (sps, ctrs, gaug) =
+    locked t (fun () ->
+        (List.rev t.rev_spans, sorted_bindings t.ctrs, sorted_bindings t.gaug))
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  let first = ref true in
+  let emit line =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf line
+  in
+  emit
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\
+        \"args\":{\"name\":\"wall clock\"}}"
+       wall_pid);
+  emit
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\
+        \"args\":{\"name\":\"simulated time\"}}"
+       sim_pid);
+  List.iter (fun sp -> emit (span_json sp)) sps;
+  (* counters and gauges: one sample each, at the end of the trace *)
+  let t_end =
+    List.fold_left
+      (fun acc sp ->
+        if sp.sp_pid = wall_pid then Float.max acc (sp.sp_start_ns +. sp.sp_dur_ns)
+        else acc)
+      0.0 sps
+  in
+  List.iter
+    (fun (name, v) ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":%d,\"tid\":0,\
+            \"args\":{\"value\":%d}}"
+           (json_escape name) (us t_end) wall_pid v))
+    ctrs;
+  List.iter
+    (fun (name, v) ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":%d,\"tid\":0,\
+            \"args\":{\"value\":%g}}"
+           (json_escape name) (us t_end) wall_pid v))
+    gaug;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_chrome t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (chrome_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let summary t =
+  let (sps, ctrs, gaug) =
+    locked t (fun () ->
+        (List.rev t.rev_spans, sorted_bindings t.ctrs, sorted_bindings t.gaug))
+  in
+  let agg = Hashtbl.create 32 in
+  List.iter
+    (fun sp ->
+      let key = (sp.sp_cat, sp.sp_name) in
+      let (n, total) =
+        Option.value ~default:(0, 0.0) (Hashtbl.find_opt agg key)
+      in
+      Hashtbl.replace agg key (n + 1, total +. sp.sp_dur_ns))
+    sps;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "== telemetry summary ==\n";
+  Buffer.add_string buf "spans (cat/name, count, total ms):\n";
+  List.iter
+    (fun ((cat, name), (n, total)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-40s %6d %12.3f\n"
+           ((if cat = "" then "misc" else cat) ^ "/" ^ name)
+           n (total /. 1e6)))
+    (sorted_bindings agg);
+  if ctrs <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-40s %d\n" name v))
+      ctrs
+  end;
+  if gaug <> [] then begin
+    Buffer.add_string buf "gauges:\n";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-40s %g\n" name v))
+      gaug
+  end;
+  Buffer.contents buf

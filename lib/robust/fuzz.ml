@@ -3,6 +3,7 @@ module Machine = Lp_machine.Machine
 module Sim = Lp_sim.Sim
 module Value = Lp_sim.Value
 module Diag = Lp_util.Diag
+module Obs = Lp_obs.Obs
 
 type finding = {
   f_seed : int;
@@ -27,9 +28,9 @@ let default_machine () = Machine.generic ~n_cores:4 ()
 (** Run one configuration.  [run_result] already turns every pipeline
     exception into a diagnostic; anything it still raises is a raw
     escape — the first property the fuzzer checks. *)
-let run_config ~machine ~opts source :
+let run_config ?ctx ~machine ~opts source :
     (Sim.outcome, [ `Diag of Diag.t | `Raw of string ]) result =
-  match Compile.run_result ~verify_each:true ~opts ~machine source with
+  match Compile.run_result ?ctx ~verify_each:true ~opts ~machine source with
   | Ok (_compiled, outcome) -> Ok outcome
   | Error d -> Error (`Diag d)
   | exception e -> Error (`Raw (Printexc.to_string e))
@@ -88,16 +89,20 @@ let first_diff ~(globals : string list) (a : Sim.outcome) (b : Sim.outcome) :
 (* The oracle                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_seed ?(machine = default_machine ()) ~seed () :
-    ([ `Passed | `Degraded of string ], finding) result =
+let run_seed ?(ctx = Compile.default_ctx) ?(machine = default_machine ())
+    ~seed () : ([ `Passed | `Degraded of string ], finding) result =
+  Obs.span ctx.Compile.obs ~cat:"fuzz"
+    ~args:[ ("seed", Obs.Int seed) ]
+    (Printf.sprintf "seed %d" seed)
+  @@ fun () ->
   let gen = Gen.generate ~seed in
   let finding kind detail =
     Error { f_seed = seed; f_kind = kind; f_detail = detail;
             f_source = gen.Gen.source }
   in
-  let base = run_config ~machine ~opts:Compile.baseline gen.Gen.source in
+  let base = run_config ~ctx ~machine ~opts:Compile.baseline gen.Gen.source in
   let full =
-    run_config ~machine ~opts:(Compile.full ~n_cores:4) gen.Gen.source
+    run_config ~ctx ~machine ~opts:(Compile.full ~n_cores:4) gen.Gen.source
   in
   match (base, full) with
   | (Error (`Raw e), _) -> finding "raw-exception" ("baseline: " ^ e)
@@ -148,11 +153,11 @@ let write_corpus_file ~dir (f : finding) : string =
 (* Batch driver                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_range ?(machine = default_machine ()) ?(log = ignore) ~corpus_dir
-    ~seed_start ~seeds () : summary =
+let run_range ?(ctx = Compile.default_ctx) ?(machine = default_machine ())
+    ?(log = ignore) ~corpus_dir ~seed_start ~seeds () : summary =
   let passed = ref 0 and degraded = ref 0 and findings = ref [] in
   for seed = seed_start to seed_start + seeds - 1 do
-    match run_seed ~machine ~seed () with
+    match run_seed ~ctx ~machine ~seed () with
     | Ok `Passed -> incr passed
     | Ok (`Degraded code) ->
       incr degraded;
@@ -168,6 +173,11 @@ let run_range ?(machine = default_machine ()) ?(log = ignore) ~corpus_dir
     (Printf.sprintf "%d seed(s): %d passed, %d degraded, %d finding(s)" seeds
        !passed !degraded
        (List.length !findings));
+  let obs = ctx.Compile.obs in
+  Obs.add obs "fuzz.tested" seeds;
+  Obs.add obs "fuzz.passed" !passed;
+  Obs.add obs "fuzz.degraded" !degraded;
+  Obs.add obs "fuzz.findings" (List.length !findings);
   {
     tested = seeds;
     passed = !passed;

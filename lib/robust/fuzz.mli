@@ -31,8 +31,11 @@ type summary = {
   findings : finding list;  (** in seed order *)
 }
 
-(** Fuzz one seed; [Ok] is [`Passed] or [`Degraded of code]. *)
+(** Fuzz one seed; [Ok] is [`Passed] or [`Degraded of code].  With an
+    enabled recorder in [ctx], each seed runs under a [fuzz] span with
+    the two configuration compiles nested inside. *)
 val run_seed :
+  ?ctx:Lowpower.Compile.ctx ->
   ?machine:Lp_machine.Machine.t ->
   seed:int ->
   unit ->
@@ -43,6 +46,7 @@ val run_seed :
     every seed passes).  [log] receives one progress line per failure
     and a final tally. *)
 val run_range :
+  ?ctx:Lowpower.Compile.ctx ->
   ?machine:Lp_machine.Machine.t ->
   ?log:(string -> unit) ->
   corpus_dir:string ->

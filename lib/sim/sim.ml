@@ -57,6 +57,10 @@ type core = {
   mutable busy_ns : float;
   mutable send_blocks : int;
   mutable recv_blocks : int;
+  mutable cycles : int;       (** compute cycles issued (pre-DVFS-stretch) *)
+  mutable bus_txns : int;     (** shared-bus transactions *)
+  mutable bus_words : int;    (** words moved over the shared bus *)
+  mutable bus_wait_ns : float;  (** time spent waiting for a busy bus *)
 }
 
 type chan = {
@@ -193,6 +197,10 @@ let create ?(opts = default_options) ~(machine : Machine.t) (prog : Prog.t) : t 
              busy_ns = 0.0;
              send_blocks = 0;
              recv_blocks = 0;
+             cycles = 0;
+             bus_txns = 0;
+             bus_words = 0;
+             bus_wait_ns = 0.0;
            })
          entries)
   in
@@ -268,6 +276,12 @@ let advance t (c : core) dt ~idle =
 let resume_at t (c : core) target =
   if target > c.time then advance t c (target -. c.time) ~idle:true
 
+(** Issue [n] compute cycles on [c]: advances its clock (stretched by the
+    current operating point) and feeds the per-core cycle counter. *)
+let spend t (c : core) n =
+  c.cycles <- c.cycles + n;
+  advance t c (cycle_ns c n) ~idle:false
+
 let charge_dynamic t (c : core) comp =
   let pm = t.machine.Machine.power in
   Energy_ledger.charge c.ledger ~category:Energy_ledger.Dynamic ~component:comp
@@ -285,6 +299,9 @@ let bus_access t (c : core) ~words ~extra_ns =
   let bus_ns =
     nominal_ns t (m.Machine.bus_latency_cycles + (words * m.Machine.bus_word_cycles))
   in
+  c.bus_txns <- c.bus_txns + 1;
+  c.bus_words <- c.bus_words + words;
+  c.bus_wait_ns <- c.bus_wait_ns +. (start -. c.time);
   t.bus_free <- start +. bus_ns;
   let finish = start +. bus_ns +. extra_ns in
   advance t c (finish -. c.time) ~idle:false;
@@ -345,7 +362,7 @@ let ensure_powered t (c : core) comp =
     c.gate_transitions <- c.gate_transitions + 1;
     Energy_ledger.charge c.ledger ~category:Energy_ledger.Gating_overhead
       pm.Power_model.gate_energy_nj;
-    advance t c (cycle_ns c pm.Power_model.wake_latency_cycles) ~idle:false
+    spend t c pm.Power_model.wake_latency_cycles
   end
 
 (* channels ride dedicated core-to-core mailbox links (as on PAC-style
@@ -383,7 +400,7 @@ let release_barrier t bid =
 
 (** Execute the terminator of the current block. *)
 let exec_term t (c : core) (fr : frame) (term : Ir.term) =
-  advance t c (cycle_ns c 1) ~idle:false;
+  spend t c 1;
   charge_dynamic t c Component.Branch_unit;
   match term with
   | Ir.Jmp l ->
@@ -415,7 +432,7 @@ let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
   ensure_powered t c comp;
   let pm = t.machine.Machine.power in
   let simple_cost () =
-    advance t c (cycle_ns c (Ir.base_latency i)) ~idle:false;
+    spend t c (Ir.base_latency i);
     charge_dynamic t c comp
   in
   (match i.Ir.idesc with
@@ -438,15 +455,13 @@ let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
     let idx = Value.to_int (eval fr idx) in
     match s.Ir.sym_space with
     | Ir.Shared ->
-      advance t c (cycle_ns c 1) ~idle:false;
+      spend t c 1;
       charge_dynamic t c comp;
       bus_access t c ~words:1
         ~extra_ns:(nominal_ns t t.machine.Machine.shared_mem_latency_cycles);
       setr fr d (mem_read t fr s idx)
     | Ir.Rom | Ir.Frame ->
-      advance t c
-        (cycle_ns c (1 + t.machine.Machine.spm_latency_cycles))
-        ~idle:false;
+      spend t c (1 + t.machine.Machine.spm_latency_cycles);
       charge_dynamic t c comp;
       setr fr d (mem_read t fr s idx))
   | Ir.Store (s, idx, v) -> (
@@ -454,20 +469,18 @@ let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
     let v = eval fr v in
     match s.Ir.sym_space with
     | Ir.Shared ->
-      advance t c (cycle_ns c 1) ~idle:false;
+      spend t c 1;
       charge_dynamic t c comp;
       bus_access t c ~words:1
         ~extra_ns:(nominal_ns t t.machine.Machine.shared_mem_latency_cycles);
       mem_write t fr s idx v
     | Ir.Rom | Ir.Frame ->
-      advance t c
-        (cycle_ns c (1 + t.machine.Machine.spm_latency_cycles))
-        ~idle:false;
+      spend t c (1 + t.machine.Machine.spm_latency_cycles);
       charge_dynamic t c comp;
       mem_write t fr s idx v)
   | Ir.Faa (d, s, amount) ->
     let amount = Value.to_int (eval fr amount) in
-    advance t c (cycle_ns c 2) ~idle:false;
+    spend t c 2;
     charge_dynamic t c comp;
     bus_access t c ~words:1
       ~extra_ns:(nominal_ns t t.machine.Machine.shared_mem_latency_cycles);
@@ -493,7 +506,7 @@ let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
       fr.pending_dst <- dst;
       c.stack <- new_fr :: c.stack)
   | Ir.Pg_off comps ->
-    advance t c (cycle_ns c 1) ~idle:false;
+    spend t c 1;
     record t c "pg_off %s" (Component.Set.to_string comps);
     Component.Set.iter
       (fun comp ->
@@ -523,11 +536,11 @@ let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
     recompute_leak t c;
     (* components wake in parallel: one wake latency *)
     let stall = if !any then pm.Power_model.wake_latency_cycles else 0 in
-    advance t c (cycle_ns c (1 + stall)) ~idle:false
+    spend t c (1 + stall)
   | Ir.Dvfs level ->
     let target = Power_model.point pm level in
     if target.Operating_point.level <> c.point.Operating_point.level then begin
-      advance t c (cycle_ns c pm.Power_model.dvfs_latency_cycles) ~idle:false;
+      spend t c pm.Power_model.dvfs_latency_cycles;
       Energy_ledger.charge c.ledger ~category:Energy_ledger.Dvfs_overhead
         pm.Power_model.dvfs_energy_nj;
       c.point <- target;
@@ -535,9 +548,9 @@ let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
       record t c "dvfs -> %s" (Operating_point.to_string target);
       recompute_leak t c
     end
-    else advance t c (cycle_ns c 1) ~idle:false
+    else spend t c 1
   | Ir.Send (chan_id, v) ->
-    advance t c (cycle_ns c t.machine.Machine.channel_setup_cycles) ~idle:false;
+    spend t c t.machine.Machine.channel_setup_cycles;
     charge_dynamic t c comp;
     let v = eval fr v in
     let ch = t.chans.(chan_id) in
@@ -549,7 +562,7 @@ let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
     end
     else complete_send t c chan_id v
   | Ir.Recv (d, chan_id, ty) ->
-    advance t c (cycle_ns c t.machine.Machine.channel_setup_cycles) ~idle:false;
+    spend t c t.machine.Machine.channel_setup_cycles;
     charge_dynamic t c comp;
     let ch = t.chans.(chan_id) in
     if Queue.is_empty ch.queue then begin
@@ -567,7 +580,7 @@ let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
       setr fr d v
     end
   | Ir.Barrier bid ->
-    advance t c (cycle_ns c 1) ~idle:false;
+    spend t c 1;
     charge_dynamic t c comp;
     let b = t.barriers.(bid) in
     record t c "arrived at barrier %d" bid;
@@ -715,6 +728,10 @@ type outcome = {
   instrs_per_core : int array;
   send_blocks : int array;
   recv_blocks : int array;
+  cycles_per_core : int array;   (** compute cycles issued per core *)
+  bus_txns_per_core : int array; (** shared-bus transactions per core *)
+  bus_words_per_core : int array;
+  bus_wait_ns_per_core : float array;  (** contention: time waiting for the bus *)
   channel_msgs : int;
   steps : int;
   events : event list;  (** oldest first; bounded by [options.trace_limit] *)
@@ -750,10 +767,43 @@ let charge_unused_cores t ~duration =
   done;
   List.rev !ledgers
 
-let run ?(opts = default_options) ~machine prog : outcome =
+module Obs = Lp_obs.Obs
+
+(** Feed the recorder from a finished simulation: one simulated-time span
+    per core (on {!Obs.sim_pid}, so chrome://tracing shows the machine's
+    timeline next to the compiler's wall clock) and the per-core
+    cycle/bus/instruction counters. *)
+let observe_outcome obs t ~duration =
+  if Obs.enabled obs then begin
+    Array.iter
+      (fun (c : core) ->
+        Obs.emit_span obs ~cat:"sim-core" ~pid:Obs.sim_pid ~tid:c.id
+          ~start_ns:0.0 ~dur_ns:c.time
+          ~args:
+            [
+              ("instrs", Obs.Int c.instr_count);
+              ("cycles", Obs.Int c.cycles);
+              ("bus_txns", Obs.Int c.bus_txns);
+              ("busy_ns", Obs.Float c.busy_ns);
+            ]
+          (Printf.sprintf "core%d" c.id);
+        let ctr fmt = Printf.sprintf fmt c.id in
+        Obs.add obs (ctr "sim.core%d.instrs") c.instr_count;
+        Obs.add obs (ctr "sim.core%d.cycles") c.cycles;
+        Obs.add obs (ctr "sim.core%d.bus_txns") c.bus_txns;
+        Obs.add obs (ctr "sim.core%d.bus_words") c.bus_words)
+      t.cores;
+    Obs.add obs "sim.runs" 1;
+    Obs.add obs "sim.steps" t.steps;
+    Obs.add obs "sim.channel_msgs"
+      (Array.fold_left (fun a ch -> a + ch.total_msgs) 0 t.chans);
+    Obs.set_gauge obs "sim.last_duration_ns" duration
+  end
+
+let run ?(opts = default_options) ?(obs = Obs.disabled) ~machine prog : outcome =
   Lp_util.Fault.check Lp_util.Fault.Pre_simulate ~key:"run";
   let t = create ~opts ~machine prog in
-  run_loop t;
+  Obs.span obs ~cat:"sim" "simulate" (fun () -> run_loop t);
   let duration =
     Array.fold_left (fun acc c -> Float.max acc c.time) 0.0 t.cores
   in
@@ -762,6 +812,7 @@ let run ?(opts = default_options) ~machine prog : outcome =
     (fun c -> if c.time < duration then resume_at t c duration)
     t.cores;
   let unused = charge_unused_cores t ~duration in
+  observe_outcome obs t ~duration;
   let energy = Energy_ledger.create () in
   Array.iter (fun c -> Energy_ledger.merge_into ~dst:energy ~src:c.ledger) t.cores;
   List.iter (fun l -> Energy_ledger.merge_into ~dst:energy ~src:l) unused;
@@ -785,6 +836,10 @@ let run ?(opts = default_options) ~machine prog : outcome =
     instrs_per_core = Array.map (fun (c : core) -> c.instr_count) t.cores;
     send_blocks = Array.map (fun (c : core) -> c.send_blocks) t.cores;
     recv_blocks = Array.map (fun (c : core) -> c.recv_blocks) t.cores;
+    cycles_per_core = Array.map (fun (c : core) -> c.cycles) t.cores;
+    bus_txns_per_core = Array.map (fun (c : core) -> c.bus_txns) t.cores;
+    bus_words_per_core = Array.map (fun (c : core) -> c.bus_words) t.cores;
+    bus_wait_ns_per_core = Array.map (fun (c : core) -> c.bus_wait_ns) t.cores;
     channel_msgs = Array.fold_left (fun a ch -> a + ch.total_msgs) 0 t.chans;
     steps = t.steps;
     events = List.rev t.trace;
@@ -804,8 +859,8 @@ let diag_of_exn : exn -> Lp_util.Diag.t option =
 
 (** [run], but failures come back as structured diagnostics instead of
     escaping as exceptions. *)
-let run_result ?opts ~machine prog : (outcome, Lp_util.Diag.t) result =
-  match run ?opts ~machine prog with
+let run_result ?opts ?obs ~machine prog : (outcome, Lp_util.Diag.t) result =
+  match run ?opts ?obs ~machine prog with
   | o -> Ok o
   | exception e -> (
     match diag_of_exn e with Some d -> Error d | None -> raise e)

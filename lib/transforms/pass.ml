@@ -1,8 +1,16 @@
 (** Pass manager: runs named function passes over a program, collecting
     per-pass statistics (time, number of rewrites) for the compile-stats
-    table (T5). *)
+    table (T5), and emitting telemetry spans when the manager's recorder
+    is enabled.
+
+    Timing has one source: every [run_pass] takes exactly one span
+    measurement (via the recorder's monotonic clock) and the [stats]
+    list is the per-pass aggregation of those spans, so the T5 table and
+    a [--trace] dump can never disagree.  With the disabled recorder the
+    measurement still happens (T5 needs it) but no span is stored. *)
 
 module Prog = Lp_ir.Prog
+module Obs = Lp_obs.Obs
 
 type stats = {
   pass_name : string;
@@ -17,47 +25,76 @@ type func_pass = {
 }
 
 type manager = {
-  mutable all_stats : stats list;
+  by_name : (string, stats) Hashtbl.t;
+  mutable order : string list;  (** first-seen pass names, reversed *)
+  obs : Obs.t;
   on_pass : (string -> Prog.t -> unit) option;
       (** called after every pass run (fuzzing hooks verification in
           here); may raise to abort the compile *)
 }
 
-let create_manager ?on_pass () = { all_stats = []; on_pass }
+let create_manager ?(obs = Obs.disabled) ?on_pass () =
+  { by_name = Hashtbl.create 16; order = []; obs; on_pass }
 
 let stats_for m name =
-  match List.find_opt (fun s -> s.pass_name = name) m.all_stats with
+  match Hashtbl.find_opt m.by_name name with
   | Some s -> s
   | None ->
     let s = { pass_name = name; runs = 0; changes = 0; seconds = 0.0 } in
-    m.all_stats <- m.all_stats @ [ s ];
+    Hashtbl.replace m.by_name name s;
+    m.order <- name :: m.order;
     s
 
 (** Run one pass over every function; returns total changes. *)
 let run_pass m (p : func_pass) (prog : Prog.t) : int =
   let s = stats_for m p.name in
-  let t0 = Sys.time () in
+  let traced = Obs.enabled m.obs in
+  let t0 = Obs.now_ns m.obs in
   let changes =
-    List.fold_left (fun acc f -> acc + p.run prog f) 0 (Prog.funcs prog)
+    if traced then
+      List.fold_left
+        (fun acc f ->
+          acc
+          + Obs.span m.obs ~cat:"func"
+              ~args:[ ("pass", Obs.Str p.name) ]
+              f.Prog.fname
+              (fun () -> p.run prog f))
+        0 (Prog.funcs prog)
+    else
+      List.fold_left (fun acc f -> acc + p.run prog f) 0 (Prog.funcs prog)
   in
+  let dur = Obs.now_ns m.obs -. t0 in
+  if traced then
+    Obs.emit_span m.obs ~cat:"pass"
+      ~args:[ ("changes", Obs.Int changes); ("runs", Obs.Int (s.runs + 1)) ]
+      ~start_ns:t0 ~dur_ns:dur p.name;
   s.runs <- s.runs + 1;
   s.changes <- s.changes + changes;
-  s.seconds <- s.seconds +. (Sys.time () -. t0);
+  s.seconds <- s.seconds +. (dur *. 1e-9);
   Lp_util.Fault.check Lp_util.Fault.Post_pass ~key:p.name;
   (match m.on_pass with Some f -> f p.name prog | None -> ());
   changes
 
 (** Run a list of passes repeatedly until a full sweep changes nothing
-    (bounded by [max_rounds]). *)
+    (bounded by [max_rounds]).  Each sweep gets a [fixpoint] round
+    span. *)
 let run_to_fixpoint ?(max_rounds = 8) m passes prog =
+  let sweep round =
+    Obs.span m.obs ~cat:"fixpoint"
+      ~args:[ ("round", Obs.Int round) ]
+      "round"
+      (fun () ->
+        List.fold_left (fun acc p -> acc + run_pass m p prog) 0 passes)
+  in
   let rec loop round =
     if round < max_rounds then begin
-      let changed =
-        List.fold_left (fun acc p -> acc + run_pass m p prog) 0 passes
-      in
+      let changed = sweep round in
       if changed > 0 then loop (round + 1)
     end
   in
   loop 0
 
-let stats m = m.all_stats
+(** Per-pass statistics in first-use order (aggregated from the span
+    measurements of every [run_pass]). *)
+let stats m =
+  List.rev_map (fun name -> Hashtbl.find m.by_name name) m.order

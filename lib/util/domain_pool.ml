@@ -58,24 +58,13 @@ let shutdown pool =
 (* Default pool                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let env_jobs () =
-  match Sys.getenv_opt "LP_JOBS" with
-  | None -> None
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> Some n
-    | Some _ | None -> None)
-
 let override = ref None
 let default_pool = ref None
 
 let default_jobs () =
   match !override with
   | Some n -> n
-  | None -> (
-    match env_jobs () with
-    | Some n -> n
-    | None -> max 1 (Domain.recommended_domain_count () - 1))
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
 
 let set_default_jobs n = override := Some (max 1 n)
 

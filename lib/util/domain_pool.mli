@@ -7,8 +7,9 @@
     so callers observe the same behaviour as [List.map] modulo wall-clock.
 
     Pool size resolution, in priority order: an explicit [set_default_jobs]
-    override (the [--jobs] CLI flag), the [LP_JOBS] environment variable,
-    and finally [Domain.recommended_domain_count () - 1] (min 1).  A pool
+    override (entry points call it with [Runtime_config.jobs], which is
+    where [--jobs] and [LP_JOBS] land), and finally
+    [Domain.recommended_domain_count () - 1] (min 1).  A pool
     of size 1 spawns no domains and degrades to plain [List.map]/[List.iter],
     so single-core CI boxes take the sequential path untouched.
 
@@ -30,9 +31,10 @@ val shutdown : t -> unit
 (** The pool size the next [default] pool will use. *)
 val default_jobs : unit -> int
 
-(** Override the default pool size (clamped to >= 1); takes precedence
-    over [LP_JOBS].  An existing default pool of a different size is shut
-    down and replaced on the next use. *)
+(** Override the default pool size (clamped to >= 1); entry points call
+    this with the resolved [Runtime_config.jobs].  An existing default
+    pool of a different size is shut down and replaced on the next
+    use. *)
 val set_default_jobs : int -> unit
 
 (** The shared lazily-created default pool. *)

@@ -145,11 +145,6 @@ let configure spec : (unit, string) result =
       Ok ()
   end
 
-let configure_env () =
-  match Sys.getenv_opt "LP_FAULTS" with
-  | None | Some "" -> Ok ()
-  | Some spec -> configure spec
-
 (* ------------------------------------------------------------------ *)
 (* Scope and checks                                                    *)
 (* ------------------------------------------------------------------ *)

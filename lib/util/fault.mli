@@ -41,11 +41,10 @@ val point_name : point -> string
 val code_of_point : point -> string
 
 (** Parse and install a fault spec, replacing the current one.  The empty
-    string clears.  [Error msg] on a malformed spec. *)
+    string clears.  [Error msg] on a malformed spec.  Entry points call
+    this with the resolved [Runtime_config.faults] (where [--faults] and
+    [LP_FAULTS] land); libraries never read the environment. *)
 val configure : string -> (unit, string) result
-
-(** Install the spec from [LP_FAULTS], if set. *)
-val configure_env : unit -> (unit, string) result
 
 (** Drop all armed clauses. *)
 val clear : unit -> unit

@@ -1,0 +1,46 @@
+type t = {
+  jobs : int option;
+  retries : int;
+  faults : string option;
+  trace : string option;
+}
+
+let default = { jobs = None; retries = 2; faults = None; trace = None }
+
+let clean = function
+  | Some s when String.trim s <> "" -> Some (String.trim s)
+  | Some _ | None -> None
+
+let pos_int = function
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)
+  | None -> None
+
+let from_env () =
+  let get = Sys.getenv_opt in
+  {
+    jobs = pos_int (get "LP_JOBS");
+    retries =
+      (match Option.bind (get "LP_RETRIES") int_of_string_opt with
+      | Some n when n >= 0 -> n
+      | Some _ | None -> default.retries);
+    faults = clean (get "LP_FAULTS");
+    trace = clean (get "LP_TRACE");
+  }
+
+let resolve ?jobs ?retries ?faults ?trace base =
+  {
+    jobs = (match jobs with Some _ -> jobs | None -> base.jobs);
+    retries = Option.value ~default:base.retries retries;
+    faults = (match clean faults with Some _ as f -> f | None -> base.faults);
+    trace = (match clean trace with Some _ as t -> t | None -> base.trace);
+  }
+
+let to_string c =
+  Printf.sprintf "jobs=%s retries=%d faults=%s trace=%s"
+    (match c.jobs with Some n -> string_of_int n | None -> "auto")
+    c.retries
+    (Option.value ~default:"(none)" c.faults)
+    (Option.value ~default:"(off)" c.trace)

@@ -1,0 +1,56 @@
+(** The one runtime-configuration surface.
+
+    Historically three scattered mechanisms configured the pipeline:
+    environment variables read deep inside libraries ([LP_JOBS] in the
+    domain pool, [LP_RETRIES] in the evaluation matrix, [LP_FAULTS] in
+    fault injection), optional function arguments, and CLI flags.  This
+    module consolidates them: a [t] is resolved {e once} at a program's
+    entry point and handed to the libraries; no library module reads the
+    environment directly.
+
+    {2 Precedence}
+
+    [flag > environment > default], applied field-wise:
+
+    + {!default} supplies every fallback value;
+    + {!from_env} overlays the [LP_*] environment variables
+      ([LP_JOBS], [LP_RETRIES], [LP_FAULTS], [LP_TRACE]) — malformed
+      values are ignored, keeping the default;
+    + {!resolve} overlays explicit CLI flags on top.
+
+    So an entry point does
+    [Runtime_config.(resolve ~jobs ... (from_env ()))] and passes the
+    result down.  Only [bin/], [bench/] and this module may touch the
+    environment (enforced by a grep in the test suite's conventions). *)
+
+type t = {
+  jobs : int option;
+      (** worker domains for the evaluation matrix; [None] = the host's
+          recommended domain count minus one ([LP_JOBS] / [--jobs]) *)
+  retries : int;
+      (** retries after a transient per-cell failure, >= 0
+          ([LP_RETRIES], default 2) *)
+  faults : string option;
+      (** deterministic fault-injection spec, see docs/ROBUSTNESS.md
+          ([LP_FAULTS] / [--faults]) *)
+  trace : string option;
+      (** Chrome trace-event JSON output path; [None] = telemetry off
+          ([LP_TRACE] / [--trace]) *)
+}
+
+(** All defaults: auto-sized pool, 2 retries, no faults, no trace. *)
+val default : t
+
+(** {!default} overlaid with the [LP_*] environment variables.  Only
+    this function (and programs under [bin/]/[bench/]) reads the
+    environment. *)
+val from_env : unit -> t
+
+(** [resolve ?jobs ?retries ?faults ?trace base] overlays the given
+    flags on [base]; omitted (or blank-string) flags keep [base]'s
+    value. *)
+val resolve :
+  ?jobs:int -> ?retries:int -> ?faults:string -> ?trace:string -> t -> t
+
+(** One-line rendering for logs. *)
+val to_string : t -> string

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "lowpower"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("lang", Test_lang.suite);
       ("ir", Test_ir.suite);
       ("analysis", Test_analysis.suite);

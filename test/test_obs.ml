@@ -1,0 +1,164 @@
+(** Telemetry recorder tests: the disabled recorder is inert, span
+    nesting is balanced and properly bracketed whatever the call tree
+    (including exceptional exits), the Chrome trace-event export is
+    byte-stable under an injected deterministic clock, and the counters
+    the pipeline emits are identical whatever the pool size — timing
+    lives only in span durations, which these checks never compare. *)
+
+module Obs = Lp_obs.Obs
+module Clock = Lp_obs.Clock
+module Compile = Lowpower.Compile
+module Exp = Lp_experiments.Exp_common
+module DP = Lp_util.Domain_pool
+module W = Lp_workloads.Workload
+
+let fixed () = Clock.fixed_step ~step_ns:1000.0 ()
+
+(* ---------------- disabled recorder ---------------- *)
+
+let test_disabled () =
+  let obs = Obs.disabled in
+  let r = Obs.span obs ~cat:"compile" "compile" (fun () -> 41 + 1) in
+  Obs.add obs "ctr" 7;
+  Obs.set_gauge obs "g" 1.0;
+  Obs.emit_span obs ~start_ns:0.0 ~dur_ns:1.0 "x";
+  Alcotest.(check int) "span passes the result through" 42 r;
+  Alcotest.(check int) "no spans stored" 0 (Obs.span_count obs);
+  Alcotest.(check (list (pair string int))) "no counters" [] (Obs.counters obs);
+  Alcotest.(check bool) "not enabled" false (Obs.enabled obs)
+
+(* ---------------- span nesting property ---------------- *)
+
+(** Random call trees: [Node kids] runs one span with the given children
+    nested inside. *)
+type tree = Node of tree list
+
+let rec tree_size (Node kids) =
+  1 + List.fold_left (fun a k -> a + tree_size k) 0 kids
+
+let tree_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n = 0 then return (Node [])
+        else
+          map (fun kids -> Node kids)
+            (list_size (int_bound 3) (self (n / 4)))))
+
+let arbitrary_tree =
+  let rec print (Node kids) =
+    "(" ^ String.concat "" (List.map print kids) ^ ")"
+  in
+  QCheck.make ~print tree_gen
+
+let prop_span_nesting =
+  QCheck.Test.make ~count:200 ~name:"span nesting is balanced and bracketed"
+    arbitrary_tree (fun tree ->
+      let obs = Obs.create ~clock:(fixed ()) () in
+      let rec go (Node kids) = Obs.span obs "n" (fun () -> List.iter go kids) in
+      go tree;
+      let spans = Obs.spans obs in
+      (* every span call produced exactly one record *)
+      tree_size tree = List.length spans
+      (* a span's recorded depth is the number of spans that properly
+         contain it (the fixed-step clock makes every timestamp unique,
+         so containment is strict) *)
+      && List.for_all
+           (fun (s : Obs.span) ->
+             let s_end = s.Obs.sp_start_ns +. s.Obs.sp_dur_ns in
+             let containers =
+               List.filter
+                 (fun (p : Obs.span) ->
+                   p.Obs.sp_start_ns < s.Obs.sp_start_ns
+                   && s_end < p.Obs.sp_start_ns +. p.Obs.sp_dur_ns)
+                 spans
+             in
+             List.length containers = s.Obs.sp_depth)
+           spans
+      (* ... and the tracker is balanced again: a fresh top-level span
+         records depth 0 *)
+      &&
+      (Obs.span obs "after" (fun () -> ());
+       match List.rev (Obs.spans obs) with
+       | last :: _ -> last.Obs.sp_depth = 0
+       | [] -> false))
+
+let test_span_exception () =
+  let obs = Obs.create ~clock:(fixed ()) () in
+  (try
+     Obs.span obs "outer" (fun () ->
+         Obs.span obs "boom" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  Obs.span obs "after" (fun () -> ());
+  let spans = Obs.spans obs in
+  Alcotest.(check int) "all three spans recorded" 3 (List.length spans);
+  let after = List.nth spans 2 in
+  Alcotest.(check string) "last span is 'after'" "after" after.Obs.sp_name;
+  Alcotest.(check int) "depth rebalanced after raise" 0 after.Obs.sp_depth
+
+(* ---------------- golden Chrome JSON ---------------- *)
+
+let golden =
+  "{\"traceEvents\":[\n\
+   {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"wall clock\"}},\n\
+   {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"args\":{\"name\":\"simulated time\"}},\n\
+   {\"name\":\"frontend\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":1.000,\"dur\":1.000,\"pid\":1,\"tid\":0},\n\
+   {\"name\":\"compile\",\"cat\":\"compile\",\"ph\":\"X\",\"ts\":0.000,\"dur\":3.000,\"pid\":1,\"tid\":0,\"args\":{\"machine\":\"generic\"}},\n\
+   {\"name\":\"core0\",\"cat\":\"sim-core\",\"ph\":\"X\",\"ts\":0.000,\"dur\":0.500,\"pid\":2,\"tid\":0},\n\
+   {\"name\":\"sim.instrs\",\"ph\":\"C\",\"ts\":3.000,\"pid\":1,\"tid\":0,\"args\":{\"value\":42}}\n\
+   ]}\n"
+
+let test_chrome_golden () =
+  let obs = Obs.create ~clock:(fixed ()) () in
+  Obs.span obs ~cat:"compile"
+    ~args:[ ("machine", Obs.Str "generic") ]
+    "compile"
+    (fun () -> Obs.span obs ~cat:"phase" "frontend" (fun () -> ()));
+  Obs.emit_span obs ~cat:"sim-core" ~pid:Obs.sim_pid ~tid:0 ~start_ns:0.0
+    ~dur_ns:500.0 "core0";
+  Obs.add obs "sim.instrs" 42;
+  Alcotest.(check string) "chrome JSON byte-identical" golden
+    (Obs.chrome_string obs)
+
+(* ---------------- pool-size determinism ---------------- *)
+
+(** The aggregated counters must not depend on how the evaluation matrix
+    was scheduled: run the same small matrix with a 1-domain and a
+    4-domain pool and compare the full counter lists.  (Span durations
+    and gauges carry timing and are deliberately not compared.) *)
+let matrix_counters jobs =
+  Exp.clear_cache ();
+  let obs = Obs.create () in
+  Exp.set_ctx (Compile.make_ctx ~obs ());
+  Fun.protect
+    ~finally:(fun () ->
+      Exp.set_ctx Compile.default_ctx;
+      Exp.clear_cache ())
+    (fun () ->
+      let workloads =
+        List.filteri (fun i _ -> i < 2) Lp_workloads.Suite.all
+      in
+      let configs =
+        [ ("baseline", Compile.baseline); ("full", Compile.full ~n_cores:4) ]
+      in
+      let pool = DP.create ~jobs () in
+      Fun.protect
+        ~finally:(fun () -> DP.shutdown pool)
+        (fun () -> Exp.run_matrix ~pool (Exp.cross workloads configs));
+      Obs.counters obs)
+
+let test_counters_deterministic () =
+  let seq = matrix_counters 1 in
+  let par = matrix_counters 4 in
+  Alcotest.(check bool) "some counters were recorded" true (seq <> []);
+  Alcotest.(check (list (pair string int)))
+    "counters identical for jobs=1 and jobs=4" seq par
+
+let suite =
+  [
+    Alcotest.test_case "disabled recorder is inert" `Quick test_disabled;
+    QCheck_alcotest.to_alcotest prop_span_nesting;
+    Alcotest.test_case "spans survive exceptions" `Quick test_span_exception;
+    Alcotest.test_case "golden chrome trace JSON" `Quick test_chrome_golden;
+    Alcotest.test_case "matrix counters independent of pool size" `Quick
+      test_counters_deterministic;
+  ]
