@@ -17,9 +17,12 @@
       dune exec bench/main.exe -- bechamel     # only the pass micro-benches *)
 
 module E = Lp_experiments.Experiments
+module Baseline = Lp_experiments.Baseline
+module Exp_common = Lp_experiments.Exp_common
 module DP = Lp_util.Domain_pool
 module Runtime_config = Lp_util.Runtime_config
 module Obs = Lp_obs.Obs
+module Report = Lp_obs.Report
 
 (* ------------------------------------------------------------------ *)
 (* B1: bechamel micro-benchmarks of individual compiler passes          *)
@@ -110,14 +113,18 @@ let bechamel_passes () =
 
 (** Schema (see docs/PERF.md): one JSON object per invocation.
     [seq_wall_s]/[speedup] fields are null unless a sequential reference
-    pass ran in the same invocation.  [cells] carries the per-cell status
-    of the evaluation matrix: which (workload, config, machine) triples
+    pass ran in the same invocation.  Each experiment entry also carries
+    the simulated metrics of the cells it evaluated first ([cycles],
+    [energy_nj], [cells_evaluated]) — the numbers the regression
+    baseline tracks.  [cells] carries the per-cell status of the
+    evaluation matrix: which (workload, config, machine) triples
     degraded to a diagnostic, and how many attempts each took.
 
     The file is written atomically (temp file in the same directory, then
     rename) so a crash mid-write never leaves a truncated snapshot. *)
 let write_bench_json ~path ~jobs ~(par : (string * float) list)
-    ~(seq : (string * float) list option) =
+    ~(seq : (string * float) list option)
+    ~(exp_metrics : (string * (float * float * int)) list) =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   Fun.protect
@@ -139,11 +146,20 @@ let write_bench_json ~path ~jobs ~(par : (string * float) list)
       List.iteri
         (fun i (id, s) ->
           let speedup = Option.map (fun sq -> sq /. s) (seq_of id) in
+          let (cycles, energy, n_cells) =
+            Option.value ~default:(0.0, 0.0, 0)
+              (List.assoc_opt id exp_metrics)
+          in
           Printf.fprintf oc
-            "    {\"id\": %S, \"wall_s\": %s, \"seq_wall_s\": %s, \"speedup\": %s}%s\n"
+            "    {\"id\": %S, \"wall_s\": %s, \"seq_wall_s\": %s, \
+             \"speedup\": %s, \"cycles\": %s, \"energy_nj\": %s, \
+             \"cells_evaluated\": %d}%s\n"
             id (fnum s)
             (opt_num (seq_of id))
             (opt_num speedup)
+            (Lp_util.Json.num_to_string cycles)
+            (Lp_util.Json.num_to_string energy)
+            n_cells
             (if i = List.length par - 1 then "" else ","))
         par;
       let tp = total par in
@@ -181,7 +197,8 @@ let write_bench_json ~path ~jobs ~(par : (string * float) list)
 let usage () =
   prerr_endline
     "usage: main.exe [ID ...] [--jobs N | seq] [--no-compare] [--json PATH] \
-     [--faults SPEC] [--retries N] [--trace FILE]";
+     [--faults SPEC] [--retries N] [--trace FILE] [--report FILE] \
+     [--check-baseline FILE] [--write-baseline FILE]";
   exit 2
 
 let () =
@@ -191,6 +208,9 @@ let () =
   let retries_flag = ref None in
   let faults_flag = ref None in
   let trace_flag = ref None in
+  let report_flag = ref None in
+  let check_baseline = ref None in
+  let write_baseline = ref None in
   let compare = ref true in
   let json_path = ref "BENCH_eval.json" in
   let rec parse = function
@@ -227,6 +247,18 @@ let () =
       trace_flag := Some path;
       parse rest
     | [ "--trace" ] -> usage ()
+    | "--report" :: path :: rest ->
+      report_flag := Some path;
+      parse rest
+    | [ "--report" ] -> usage ()
+    | "--check-baseline" :: path :: rest ->
+      check_baseline := Some path;
+      parse rest
+    | [ "--check-baseline" ] -> usage ()
+    | "--write-baseline" :: path :: rest ->
+      write_baseline := Some path;
+      parse rest
+    | [ "--write-baseline" ] -> usage ()
     | id :: rest ->
       ids := !ids @ [ id ];
       parse rest
@@ -235,7 +267,7 @@ let () =
   (* one configuration surface: flag > environment > default *)
   let config =
     Runtime_config.resolve ?jobs:!jobs_flag ?retries:!retries_flag
-      ?faults:!faults_flag ?trace:!trace_flag
+      ?faults:!faults_flag ?trace:!trace_flag ?report:!report_flag
       (Runtime_config.from_env ())
   in
   (match config.Runtime_config.faults with
@@ -251,14 +283,25 @@ let () =
     | Some _ -> Obs.create ()
     | None -> Obs.disabled
   in
-  Lp_experiments.Exp_common.set_ctx (Lowpower.Compile.make_ctx ~obs ~config ());
-  (* write the trace on every exit path, including the degraded-cell
-     exit 1 below *)
+  let report =
+    match config.Runtime_config.report with
+    | Some _ -> Report.create ()
+    | None -> Report.disabled
+  in
+  Lp_experiments.Exp_common.set_ctx
+    (Lowpower.Compile.make_ctx ~obs ~report ~config ());
+  (* write the trace and the audit report on every exit path, including
+     the degraded-cell exit 1 below *)
   at_exit (fun () ->
-      match config.Runtime_config.trace with
+      (match config.Runtime_config.trace with
       | Some path when Obs.enabled obs ->
         Obs.write_chrome obs ~path;
         Printf.eprintf "%s\ntrace written to %s\n%!" (Obs.summary obs) path
+      | _ -> ());
+      match config.Runtime_config.report with
+      | Some path when Report.enabled report ->
+        Report.write report ~path;
+        Printf.eprintf "power report written to %s\n%!" path
       | _ -> ());
   Option.iter DP.set_default_jobs config.Runtime_config.jobs;
   let jobs = DP.default_jobs () in
@@ -288,17 +331,38 @@ let () =
   in
   if entries <> [] then
     Printf.printf "== evaluation sweep (jobs=%d) ==\n%!" jobs;
+  (* simulated metrics attributed to the experiment that first evaluated
+     each cell: the memo cache only grows, so the cells added while an
+     experiment ran are exactly its fresh evaluations *)
+  let exp_metric_rows = ref [] in
   let par_timings =
     List.map
       (fun (e : E.entry) ->
+        let before = Exp_common.cell_metrics () in
         let (table, s) = E.run_timed e in
+        let fresh =
+          List.filter
+            (fun (k, _, _) ->
+              not (List.exists (fun (k', _, _) -> k' = k) before))
+            (Exp_common.cell_metrics ())
+        in
+        exp_metric_rows := !exp_metric_rows @ [ (e.E.id, fresh) ];
         Lp_util.Table.print table;
         Printf.printf "(%s finished in %.1fs, jobs=%d)\n\n%!" e.E.id s jobs;
         (e.E.id, s))
       entries
   in
+  let exp_metrics =
+    List.map
+      (fun (id, rows) ->
+        let cycles = List.fold_left (fun a (_, c, _) -> a +. c) 0.0 rows in
+        let energy = List.fold_left (fun a (_, _, e) -> a +. e) 0.0 rows in
+        (id, (cycles, energy, List.length rows)))
+      !exp_metric_rows
+  in
   if entries <> [] then begin
-    write_bench_json ~path:!json_path ~jobs ~par:par_timings ~seq:seq_timings;
+    write_bench_json ~path:!json_path ~jobs ~par:par_timings ~seq:seq_timings
+      ~exp_metrics;
     let total = List.fold_left (fun a (_, s) -> a +. s) 0.0 par_timings in
     (match seq_timings with
     | Some seq ->
@@ -310,9 +374,43 @@ let () =
     Printf.printf "wrote %s\n%!" !json_path
   end;
   if want "bechamel" then bechamel_passes ();
+  (* the regression gate: simulated cycles/energy against the committed
+     snapshot (bench/baselines/eval.json in CI) *)
+  let baseline_rows () =
+    let exps =
+      List.map
+        (fun (id, (cycles, energy, n)) ->
+          { Baseline.e_id = id; e_cycles = cycles; e_energy_nj = energy;
+            e_cells = n })
+        exp_metrics
+    in
+    let cells = Baseline.cell_rows_of_metrics (Exp_common.cell_metrics ()) in
+    (exps, cells)
+  in
+  (match !write_baseline with
+  | None -> ()
+  | Some path ->
+    let (exps, cells) = baseline_rows () in
+    Baseline.write (Baseline.make ~exps ~cells ()) ~path;
+    Printf.printf "wrote baseline %s (%d cells, %d experiments)\n%!" path
+      (List.length cells) (List.length exps));
+  let gate_failed =
+    match !check_baseline with
+    | None -> false
+    | Some path -> (
+      match Baseline.load ~path with
+      | Error msg ->
+        Printf.eprintf "baseline: %s\n" msg;
+        exit 2
+      | Ok base ->
+        let (exps, cells) = baseline_rows () in
+        let verdict = Baseline.check base ~exps ~cells in
+        print_string (Baseline.verdict_to_string verdict);
+        not (Baseline.passed verdict))
+  in
   (* failure summary: degraded cells render as ERR(<code>) in the tables
      above; recap them here and make the exit code reflect them *)
-  match Lp_experiments.Exp_common.failed_cells () with
+  (match Lp_experiments.Exp_common.failed_cells () with
   | [] -> ()
   | failed ->
     Printf.eprintf "\n== %d cell(s) degraded to a diagnostic ==\n"
@@ -322,4 +420,5 @@ let () =
         Printf.eprintf "  %s/%s@%s (attempt %d): %s\n" w c m attempts
           (Lp_util.Diag.to_string d))
       failed;
-    exit 1
+    exit 1);
+  if gate_failed then exit 1

@@ -3,6 +3,7 @@
     Subcommands:
     - [detect]    print the pattern detection report for a source file
     - [run]       compile and simulate under a chosen configuration
+    - [explain]   print the power-decision audit of a compile+run
     - [dump]      print the compiled IR
     - [workloads] list the bundled benchmark programs
     - [bench]     regenerate the evaluation tables/figures
@@ -21,6 +22,7 @@ module Diag = Lp_util.Diag
 module Fault = Lp_util.Fault
 module Runtime_config = Lp_util.Runtime_config
 module Obs = Lp_obs.Obs
+module Report = Lp_obs.Report
 open Cmdliner
 
 (* ---------------- shared arguments ---------------- *)
@@ -38,12 +40,12 @@ let with_diagnostics f =
 (** Resolve the runtime configuration (flag > environment > default),
     apply it (pool size, fault plan), install the driver context, and run
     the subcommand body with it.  When the configuration asks for a
-    trace, the Chrome JSON and a summary are written after the body
-    returns — success or failure, so a diagnosed run still leaves its
-    profile behind. *)
-let with_ctx ?jobs ?retries ?faults ?trace f =
+    trace or an audit report, the Chrome JSON / report JSON are written
+    after the body returns — success or failure, so a diagnosed run
+    still leaves its profile and audit behind. *)
+let with_ctx ?jobs ?retries ?faults ?trace ?report f =
   let config =
-    Runtime_config.resolve ?jobs ?retries ?faults ?trace
+    Runtime_config.resolve ?jobs ?retries ?faults ?trace ?report
       (Runtime_config.from_env ())
   in
   Option.iter Lp_util.Domain_pool.set_default_jobs
@@ -60,13 +62,23 @@ let with_ctx ?jobs ?retries ?faults ?trace f =
       | Some _ -> Obs.create ()
       | None -> Obs.disabled
     in
-    let ctx = Compile.make_ctx ~obs ~config () in
+    let rep =
+      match config.Runtime_config.report with
+      | Some _ -> Report.create ()
+      | None -> Report.disabled
+    in
+    let ctx = Compile.make_ctx ~obs ~report:rep ~config () in
     Lp_experiments.Exp_common.set_ctx ctx;
     let finish () =
-      match config.Runtime_config.trace with
+      (match config.Runtime_config.trace with
       | Some path when Obs.enabled obs ->
         Obs.write_chrome obs ~path;
         Printf.eprintf "%s\ntrace written to %s\n%!" (Obs.summary obs) path
+      | _ -> ());
+      match config.Runtime_config.report with
+      | Some path when Report.enabled rep ->
+        Report.write rep ~path;
+        Printf.eprintf "power report written to %s\n%!" path
       | _ -> ()
     in
     Fun.protect ~finally:finish (fun () -> f ctx)
@@ -85,6 +97,16 @@ let trace_file_arg =
                  to $(docv) (open in chrome://tracing or Perfetto) and print \
                  a span/counter summary to stderr.  The $(b,LP_TRACE) \
                  environment variable is the equivalent.")
+
+let report_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "report" ] ~docv:"FILE"
+           ~doc:"Write the power-decision audit report (JSON, schema in \
+                 docs/OBSERVABILITY.md) to $(docv): pattern verdicts, \
+                 gating and DVFS decisions, Sink-N-Hoist merges, per-pass \
+                 IR deltas, and the full per-core energy-ledger breakdown \
+                 of every simulation.  The $(b,LP_REPORT) environment \
+                 variable is the equivalent.")
 
 let read_file path =
   let ic = open_in_bin path in
@@ -192,13 +214,15 @@ let detect_cmd =
 
 (* ---------------- run ---------------- *)
 
-let run_cmd_run file workload machine_kind cores config events faults trace =
+let run_cmd_run file workload machine_kind cores config events faults trace
+    report =
   match source_of ~file ~workload with
   | Error e -> `Error (false, e)
   | Ok (src, name) ->
-    with_ctx ?faults ?trace @@ fun ctx ->
+    with_ctx ?faults ?trace ?report @@ fun ctx ->
     with_diagnostics @@ fun () ->
     Fault.with_scope name @@ fun () ->
+    Report.with_scope name @@ fun () ->
       let machine = machine_of ~cores machine_kind in
       let cores = min cores machine.Machine.n_cores in
       let opts = opts_of ~cores config in
@@ -254,7 +278,40 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(ret (const run_cmd_run $ file_arg $ workload_arg $ machine_arg
                $ cores_arg $ config_arg $ events_arg $ faults_arg
-               $ trace_file_arg))
+               $ trace_file_arg $ report_file_arg))
+
+(* ---------------- explain ---------------- *)
+
+let explain_cmd_run file workload machine_kind cores config =
+  match source_of ~file ~workload with
+  | Error e -> `Error (false, e)
+  | Ok (src, name) ->
+    (* a fresh always-on report, independent of LP_REPORT: explain IS the
+       report, printed human-readably instead of exported *)
+    let rep = Report.create () in
+    let ctx = Compile.make_ctx ~report:rep () in
+    with_diagnostics @@ fun () ->
+    Fault.with_scope name @@ fun () ->
+    Report.with_scope name @@ fun () ->
+      let machine = machine_of ~cores machine_kind in
+      let cores = min cores machine.Machine.n_cores in
+      let opts = opts_of ~cores config in
+      (match Compile.run_result ~ctx ~opts ~machine src with
+      | Ok _ -> ()
+      | Error d -> raise (Diag.Error d));
+      print_string (Report.to_text rep);
+      `Ok ()
+
+let explain_cmd =
+  let doc =
+    "compile and simulate, then print the power-decision audit: every \
+     pattern verdict, gating insertion, Sink-N-Hoist merge, DVFS \
+     operating-point choice and IR-changing pass, plus the energy \
+     breakdown of the simulation"
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(ret (const explain_cmd_run $ file_arg $ workload_arg $ machine_arg
+               $ cores_arg $ config_arg))
 
 (* ---------------- dump ---------------- *)
 
@@ -317,7 +374,7 @@ let workloads_cmd =
 
 (* ---------------- bench ---------------- *)
 
-let bench_cmd_run jobs retries faults trace ids =
+let bench_cmd_run jobs retries faults trace report ids =
   let known = List.map (fun e -> e.Lp_experiments.Experiments.id)
       Lp_experiments.Experiments.all in
   match List.filter (fun id -> not (List.mem id known)) ids with
@@ -325,7 +382,7 @@ let bench_cmd_run jobs retries faults trace ids =
     `Error (false, Printf.sprintf "unknown experiment %S (known: %s)" bad
               (String.concat " " known))
   | [] -> (
-    with_ctx ?jobs ?retries ?faults ?trace @@ fun _ctx ->
+    with_ctx ?jobs ?retries ?faults ?trace ?report @@ fun _ctx ->
     List.iter
       (fun (e : Lp_experiments.Experiments.entry) ->
         if ids = [] || List.mem e.Lp_experiments.Experiments.id ids then
@@ -366,7 +423,7 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(ret (const bench_cmd_run $ jobs_arg $ retries_arg $ faults_arg
-               $ trace_file_arg $ ids))
+               $ trace_file_arg $ report_file_arg $ ids))
 
 (* ---------------- fuzz ---------------- *)
 
@@ -418,4 +475,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ detect_cmd; run_cmd; dump_cmd; workloads_cmd; bench_cmd; fuzz_cmd ]))
+          [ detect_cmd; run_cmd; explain_cmd; dump_cmd; workloads_cmd;
+            bench_cmd; fuzz_cmd ]))

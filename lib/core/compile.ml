@@ -107,17 +107,61 @@ exception Compile_error of string
 (* ------------------------------------------------------------------ *)
 
 module Obs = Lp_obs.Obs
+module Report = Lp_obs.Report
 module Runtime_config = Lp_util.Runtime_config
 
 type ctx = {
   obs : Obs.t;
+  report : Report.t;
   config : Runtime_config.t;
 }
 
-let default_ctx = { obs = Obs.disabled; config = Runtime_config.default }
+let default_ctx =
+  { obs = Obs.disabled; report = Report.disabled;
+    config = Runtime_config.default }
 
-let make_ctx ?(obs = Obs.disabled) ?(config = Runtime_config.default) () =
-  { obs; config }
+let make_ctx ?(obs = Obs.disabled) ?(report = Report.disabled)
+    ?(config = Runtime_config.default) () =
+  { obs; report; config }
+
+(** Append a simulation's energy/counter record to the audit report
+    (shared by [run], [run_result] and the CLI; no-op when the report is
+    disabled).  A nonzero implicit-wakeup count also lands in the
+    report's warnings: the simulator had to silently re-enable a gated
+    component, which means the compiler gated a component the program
+    still uses. *)
+let record_outcome report (outcome : Lp_sim.Sim.outcome) =
+  if Report.enabled report then begin
+    let module J = Lp_util.Json in
+    let module Ledger = Lp_power.Energy_ledger in
+    let cores =
+      Array.to_list
+        (Array.mapi
+           (fun i l ->
+             J.Obj
+               [ ("core", J.Num (float_of_int i));
+                 ("energy", Ledger.to_json l) ])
+           outcome.Lp_sim.Sim.core_ledgers)
+    in
+    Report.add_sim report
+      {
+        Report.sr_duration_ns = outcome.Lp_sim.Sim.duration_ns;
+        sr_instrs = outcome.Lp_sim.Sim.instr_total;
+        sr_implicit_wakeups = outcome.Lp_sim.Sim.implicit_wakeups;
+        sr_gate_transitions = outcome.Lp_sim.Sim.gate_transitions;
+        sr_dvfs_transitions = outcome.Lp_sim.Sim.dvfs_transitions;
+        sr_energy = Ledger.to_json outcome.Lp_sim.Sim.energy;
+        sr_core_energy = cores;
+      };
+    if outcome.Lp_sim.Sim.implicit_wakeups > 0 then
+      Report.warn report
+        (Printf.sprintf
+           "%s: %d implicit wakeup(s): an instruction executed on a gated \
+            component (compiler bug)"
+           (let s = Report.current_scope () in
+            if s = "" then "(no scope)" else s)
+           outcome.Lp_sim.Sim.implicit_wakeups)
+  end
 
 (** Instances the machine can actually host (a pipeline with more stages
     than available workers is skipped, falling back to sequential code
@@ -181,6 +225,36 @@ let compile_exn ?(ctx = default_ctx) ?(verify_each = false) ?(opts = baseline)
   let detection = phase "detect" (fun () -> Detect.detect ast) in
   Obs.add obs "compile.patterns_detected"
     (List.length detection.Pattern.instances);
+  if Report.enabled ctx.report then begin
+    List.iter
+      (fun (inst : Pattern.instance) ->
+        Report.add ctx.report
+          (Report.Pattern_verdict
+             {
+               pv_func = inst.Pattern.in_func;
+               pv_verdict = "accepted";
+               pv_kind = Some (Pattern.kind_name inst.Pattern.kind);
+               pv_origin =
+                 Some
+                   (match inst.Pattern.origin with
+                   | Pattern.Annotated -> "annotated"
+                   | Pattern.Inferred -> "inferred");
+               pv_reason = None;
+             }))
+      detection.Pattern.instances;
+    List.iter
+      (fun (r : Pattern.rejection) ->
+        Report.add ctx.report
+          (Report.Pattern_verdict
+             {
+               pv_func = r.Pattern.rej_func;
+               pv_verdict = "rejected";
+               pv_kind = r.Pattern.rej_requested;
+               pv_origin = None;
+               pv_reason = Some r.Pattern.rej_reason;
+             }))
+      detection.Pattern.rejections
+  end;
   let (ast_par, par_info) =
     if opts.parallelize && opts.n_cores > 1 then
       phase "parallelize" (fun () ->
@@ -217,7 +291,7 @@ let compile_exn ?(ctx = default_ctx) ?(verify_each = false) ?(opts = baseline)
             raise (Verify.Invalid (Printf.sprintf "after pass %s: %s" name msg)))
     else None
   in
-  let pm = T.Pass.create_manager ~obs ?on_pass () in
+  let pm = T.Pass.create_manager ~obs ~report:ctx.report ?on_pass () in
   phase "optimize" (fun () ->
       ignore (T.Pass.run_pass pm T.Const_promote.pass prog);
       T.Pass.run_to_fixpoint pm
@@ -241,10 +315,14 @@ let compile_exn ?(ctx = default_ctx) ?(verify_each = false) ?(opts = baseline)
         if opts.power.balance && par_info.T.Par_info.n_workers > 0 then
           ignore (T.Balance.run machine prog par_info);
         if opts.power.dvfs then
-          ignore (T.Dvfs.insert ~opts:opts.power.dvfs_opts machine prog);
+          ignore
+            (T.Dvfs.insert ~opts:opts.power.dvfs_opts ~report:ctx.report
+               machine prog);
         let gating_before_merge =
           if opts.power.gating then begin
-            ignore (T.Gating.insert ~opts:opts.power.gating_opts machine prog);
+            ignore
+              (T.Gating.insert ~opts:opts.power.gating_opts ~report:ctx.report
+                 machine prog);
             ignore (T.Pass.run_pass pm T.Simplify_cfg.pass prog);
             T.Gating.count_gating prog
           end
@@ -252,7 +330,7 @@ let compile_exn ?(ctx = default_ctx) ?(verify_each = false) ?(opts = baseline)
         in
         let gating_after_merge =
           if opts.power.gating && opts.power.sink_n_hoist then begin
-            ignore (T.Gating.merge machine prog);
+            ignore (T.Gating.merge ~report:ctx.report machine prog);
             ignore (T.Pass.run_pass pm T.Simplify_cfg.pass prog);
             T.Gating.count_gating prog
           end
@@ -318,6 +396,7 @@ let run ?(ctx = default_ctx) ?(opts = baseline)
   let outcome =
     Lp_sim.Sim.run ~opts:sim_opts ~obs:ctx.obs ~machine compiled.prog
   in
+  record_outcome ctx.report outcome;
   (compiled, outcome)
 
 (* ------------------------------------------------------------------ *)
@@ -369,5 +448,7 @@ let run_result ?(ctx = default_ctx) ?verify_each ?(opts = baseline)
     match
       Lp_sim.Sim.run_result ~opts:sim_opts ~obs:ctx.obs ~machine compiled.prog
     with
-    | Ok outcome -> Ok (compiled, outcome)
+    | Ok outcome ->
+      record_outcome ctx.report outcome;
+      Ok (compiled, outcome)
     | Error d -> Error d)

@@ -75,21 +75,39 @@ exception Compile_error of string
 (** {2 The driver context}
 
     One explicit record carries everything the pipeline used to pick up
-    ambiently: the telemetry recorder and the resolved runtime
-    configuration.  Every entry point takes [?ctx]; omitting it gives
-    the old behaviour exactly (disabled recorder, default config), so
-    existing callers compile and behave unchanged. *)
+    ambiently: the telemetry recorder, the power-decision audit report,
+    and the resolved runtime configuration.  Every entry point takes
+    [?ctx]; omitting it gives the old behaviour exactly (disabled
+    recorder, disabled report, default config), so existing callers
+    compile and behave unchanged. *)
 
 type ctx = {
   obs : Lp_obs.Obs.t;                 (** span/counter recorder *)
+  report : Lp_obs.Report.t;
+      (** power-decision audit report: pattern verdicts, gating and DVFS
+          decisions, per-pass IR deltas, per-simulation energy ledgers
+          (schema in docs/OBSERVABILITY.md) *)
   config : Lp_util.Runtime_config.t;  (** resolved jobs/retries/faults/trace *)
 }
 
-(** Disabled recorder, default configuration — zero overhead. *)
+(** Disabled recorder, disabled report, default configuration — zero
+    overhead. *)
 val default_ctx : ctx
 
 val make_ctx :
-  ?obs:Lp_obs.Obs.t -> ?config:Lp_util.Runtime_config.t -> unit -> ctx
+  ?obs:Lp_obs.Obs.t ->
+  ?report:Lp_obs.Report.t ->
+  ?config:Lp_util.Runtime_config.t ->
+  unit ->
+  ctx
+
+(** Append [outcome]'s energy-ledger breakdown and headline counters to
+    the report under the current {!Lp_obs.Report.with_scope} scope, and
+    record a warning when the simulator observed implicit wakeups.
+    No-op on the disabled report.  [run]/[run_result] call this
+    themselves; it is exposed for callers that drive
+    {!Lp_sim.Sim.run} directly. *)
+val record_outcome : Lp_obs.Report.t -> Lp_sim.Sim.outcome -> unit
 
 (** Parse and type-check only; raises [Compile_error]. *)
 val parse_and_check : string -> Ast.program

@@ -112,6 +112,9 @@ let backoff_s attempt = Float.min 0.05 (0.004 *. Float.pow 2.0 (float_of_int (at
 let attempt_run ~(machine : Machine.t) (w : Workload.t) ~(config : string)
     (opts : Compile.options) : (run_result, Diag.t) result =
   Fault.with_scope w.Workload.name @@ fun () ->
+  (* audit-report events are labelled by matrix cell, not by evaluating
+     domain, so the exported report is deterministic across pool sizes *)
+  Lp_obs.Report.with_scope (w.Workload.name ^ "/" ^ config) @@ fun () ->
   match
     Fault.check Fault.Worker ~key:config;
     Compile.run ~ctx:(current_ctx ()) ~opts ~machine w.Workload.source
@@ -203,6 +206,30 @@ let cell_statuses () : ((string * string * string) * int * string option) list =
           match c.result with Ok _ -> None | Error d -> Some d.Diag.code
         in
         (key, c.attempts, code) :: acc)
+      cache []
+  in
+  Mutex.unlock cache_mutex;
+  List.sort compare all
+
+(** Snapshot of every memoised cell that ran, with the two simulated
+    metrics the regression baseline tracks, sorted:
+    ((workload, config, machine), total compute cycles, energy in nJ).
+    Simulation is deterministic, so these are exact across hosts and
+    pool sizes. *)
+let cell_metrics () : ((string * string * string) * float * float) list =
+  Mutex.lock cache_mutex;
+  let all =
+    Hashtbl.fold
+      (fun key c acc ->
+        match c.result with
+        | Error _ -> acc
+        | Ok r ->
+          let cycles =
+            Array.fold_left
+              (fun a n -> a +. float_of_int n)
+              0.0 r.outcome.Sim.cycles_per_core
+          in
+          (key, cycles, Ledger.total r.outcome.Sim.energy) :: acc)
       cache []
   in
   Mutex.unlock cache_mutex;

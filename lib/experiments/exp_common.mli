@@ -104,6 +104,13 @@ val failed_cells : unit -> ((string * string * string) * int * Diag.t) list
 val cell_statuses :
   unit -> ((string * string * string) * int * string option) list
 
+(** Snapshot of every memoised cell that ran, with the two simulated
+    metrics the regression baseline tracks, sorted:
+    ((workload, config, machine), total compute cycles, energy in nJ).
+    Simulation is deterministic, so these are exact across hosts and
+    pool sizes. *)
+val cell_metrics : unit -> ((string * string * string) * float * float) list
+
 (** {2 Error-aware cell rendering} *)
 
 (** How a failed cell renders in a table. *)

@@ -75,12 +75,40 @@ let merge_into ~dst ~src =
 let breakdown t =
   List.map (fun c -> (c, of_category t c)) all_categories
 
+(** Per-component attribution, in [Component.all] order.  Only charges
+    made with [~component] land here (leakage while idle, bus energy and
+    transition overheads are core-level, not component-level). *)
+let component_breakdown t =
+  List.map (fun c -> (c, of_component t c)) Component.all
+
 let pp fmt t =
-  Format.fprintf fmt "total=%.1fnJ [%s]" t.total
-    (String.concat "; "
-       (List.filter_map
-          (fun (c, e) ->
-            if e > 0.0 then
-              Some (Printf.sprintf "%s=%.1f" (category_to_string c) e)
-            else None)
-          (breakdown t)))
+  let nonzero to_s xs =
+    String.concat "; "
+      (List.filter_map
+         (fun (c, e) ->
+           if e > 0.0 then Some (Printf.sprintf "%s=%.1f" (to_s c) e)
+           else None)
+         xs)
+  in
+  Format.fprintf fmt "total=%.1fnJ [%s] {%s}" t.total
+    (nonzero category_to_string (breakdown t))
+    (nonzero Component.to_string (component_breakdown t))
+
+(** Machine-readable dump: total plus both breakdown axes, every
+    category and component present (schema-stable even when zero). *)
+let to_json t =
+  let module J = Lp_util.Json in
+  J.Obj
+    [
+      ("total_nj", J.Num t.total);
+      ( "by_category",
+        J.Obj
+          (List.map
+             (fun (c, e) -> (category_to_string c, J.Num e))
+             (breakdown t)) );
+      ( "by_component",
+        J.Obj
+          (List.map
+             (fun (c, e) -> (Component.to_string c, J.Num e))
+             (component_breakdown t)) );
+    ]

@@ -30,4 +30,16 @@ val merge_into : dst:t -> src:t -> unit
 (** All categories with their totals, in [all_categories] order. *)
 val breakdown : t -> (category * float) list
 
+(** All components with their attributed totals, in [Component.all]
+    order.  Core-level charges (idle leakage, bus transfers, transition
+    overheads) carry no component and are absent from this axis. *)
+val component_breakdown : t -> (Component.t * float) list
+
+(** One line: total, then the non-zero categories in [[...]] and the
+    non-zero per-component attributions in [{...}]. *)
 val pp : Format.formatter -> t -> unit
+
+(** Machine-readable dump ([total_nj], [by_category], [by_component]);
+    every category and component is present even when zero, so the
+    schema is stable (documented in docs/POWER_MODEL.md). *)
+val to_json : t -> Lp_util.Json.t

@@ -133,8 +133,10 @@ let rec mkdir_p dir =
     (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
   end
 
-(** Write a failing seed as a replayable MiniC file. *)
-let write_corpus_file ~dir (f : finding) : string =
+(** Write a failing seed as a replayable MiniC file.  When a power
+    report was captured for the seed, the header points at it so the
+    triager sees the compiler's power decisions next to the repro. *)
+let write_corpus_file ?report_path ~dir (f : finding) : string =
   mkdir_p dir;
   let path = Filename.concat dir (Printf.sprintf "seed_%d.c" f.f_seed) in
   let oc = open_out path in
@@ -143,10 +145,32 @@ let write_corpus_file ~dir (f : finding) : string =
     (fun () ->
       Printf.fprintf oc
         "// lpcc fuzz finding\n// seed:   %d\n// kind:   %s\n// detail: %s\n\
-         // replay: lpcc fuzz --seeds 1 --seed-start %d\n//         lpcc run %s\n\n%s"
+         // replay: lpcc fuzz --seeds 1 --seed-start %d\n//         lpcc run %s\n%s\n%s"
         f.f_seed f.f_kind
         (String.map (function '\n' -> ' ' | c -> c) f.f_detail)
-        f.f_seed path f.f_source);
+        f.f_seed path
+        (match report_path with
+        | Some rp -> Printf.sprintf "// report: %s\n" rp
+        | None -> "")
+        f.f_source);
+  path
+
+(** Re-run a finding's seed (full configuration) with a fresh audit
+    report and write it next to the corpus file.  Failures are expected
+    here — the seed is failing, that's why it is in the corpus — so the
+    report captures whatever decisions happened before the failure. *)
+let write_seed_report ~dir ~machine (f : finding) : string =
+  mkdir_p dir;
+  let rep = Lp_obs.Report.create () in
+  let rctx = Compile.make_ctx ~report:rep () in
+  Lp_obs.Report.with_scope (Printf.sprintf "seed_%d" f.f_seed) (fun () ->
+      ignore
+        (run_config ~ctx:rctx ~machine ~opts:(Compile.full ~n_cores:4)
+           f.f_source));
+  let path =
+    Filename.concat dir (Printf.sprintf "seed_%d.report.json" f.f_seed)
+  in
+  Lp_obs.Report.write rep ~path;
   path
 
 (* ------------------------------------------------------------------ *)
@@ -163,11 +187,12 @@ let run_range ?(ctx = Compile.default_ctx) ?(machine = default_machine ())
       incr degraded;
       log (Printf.sprintf "seed %d: degraded consistently (%s)" seed code)
     | Error f ->
-      let path = write_corpus_file ~dir:corpus_dir f in
+      let report_path = write_seed_report ~dir:corpus_dir ~machine f in
+      let path = write_corpus_file ~report_path ~dir:corpus_dir f in
       findings := f :: !findings;
       log
-        (Printf.sprintf "seed %d: %s — %s (saved to %s)" seed f.f_kind
-           f.f_detail path)
+        (Printf.sprintf "seed %d: %s — %s (saved to %s, report %s)" seed
+           f.f_kind f.f_detail path report_path)
   done;
   log
     (Printf.sprintf "%d seed(s): %d passed, %d degraded, %d finding(s)" seeds

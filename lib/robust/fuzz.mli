@@ -43,8 +43,10 @@ val run_seed :
 
 (** Fuzz [seeds] consecutive seeds starting at [seed_start], writing any
     finding to [corpus_dir] (created on demand; no file is written when
-    every seed passes).  [log] receives one progress line per failure
-    and a final tally. *)
+    every seed passes).  Each finding is saved as [seed_N.c] alongside a
+    [seed_N.report.json] power-decision audit of the failing full-config
+    run, and the replay header's [// report:] line points at it.  [log]
+    receives one progress line per failure and a final tally. *)
 val run_range :
   ?ctx:Lowpower.Compile.ctx ->
   ?machine:Lp_machine.Machine.t ->

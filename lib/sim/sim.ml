@@ -797,6 +797,11 @@ let observe_outcome obs t ~duration =
     Obs.add obs "sim.steps" t.steps;
     Obs.add obs "sim.channel_msgs"
       (Array.fold_left (fun a ch -> a + ch.total_msgs) 0 t.chans);
+    (* an implicit wakeup means an instruction executed on a component
+       the compiler had gated off — always a compiler bug, so the count
+       is surfaced as a counter even when zero *)
+    Obs.add obs "sim.implicit_wakeups"
+      (Array.fold_left (fun a (c : core) -> a + c.implicit_wakeups) 0 t.cores);
     Obs.set_gauge obs "sim.last_duration_ns" duration
   end
 

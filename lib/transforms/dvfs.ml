@@ -19,6 +19,7 @@ module Operating_point = Lp_power.Operating_point
 module Machine = Lp_machine.Machine
 module Loops = Lp_analysis.Loops
 module Est = Lp_analysis.Est
+module Report = Lp_obs.Report
 
 type options = {
   max_slowdown : float;   (** e.g. 0.05 = at most 5% slower *)
@@ -74,61 +75,122 @@ let loop_has_comm (comm : (string, bool) Hashtbl.t) (f : Prog.func)
         b.Ir.instrs)
     l.Loops.blocks
 
-(** Lowest operating level whose slowdown on a loop with memory fraction
-    [mu] stays within [max_slowdown]; [None] if only nominal qualifies. *)
-let choose_level (pm : Power_model.t) ~mu ~max_slowdown : int option =
+(** Slowdown of a loop with memory fraction [mu] at point [p]: only the
+    compute fraction stretches with the frequency ratio. *)
+let slowdown_at (pm : Power_model.t) ~mu (p : Operating_point.t) =
   let nominal = Power_model.nominal pm in
-  let ok (p : Operating_point.t) =
-    let slowdown =
-      ((1.0 -. mu) *. (nominal.Operating_point.freq_mhz /. p.Operating_point.freq_mhz))
-      +. mu
-    in
-    slowdown <= 1.0 +. max_slowdown
-  in
-  let candidates =
-    List.filter
-      (fun (p : Operating_point.t) ->
-        p.Operating_point.level <> nominal.Operating_point.level && ok p)
-      (Power_model.points pm)
-  in
-  match candidates with
-  | [] -> None
-  | p :: _ -> Some p.Operating_point.level  (* points are ascending *)
+  ((1.0 -. mu)
+  *. (nominal.Operating_point.freq_mhz /. p.Operating_point.freq_mhz))
+  +. mu
 
-let run_func ?(opts = default_options) (m : Machine.t) (prog : Prog.t)
-    (comm : (string, bool) Hashtbl.t) (f : Prog.func) : int =
+(** Lowest operating level whose slowdown on a loop with memory fraction
+    [mu] stays within [max_slowdown] ([None] if only nominal qualifies),
+    plus every rejected non-nominal point with the reason — the audit
+    report records why each operating point lost. *)
+let choose_level_explained (pm : Power_model.t) ~mu ~max_slowdown :
+    int option * (string * string) list =
+  let nominal = Power_model.nominal pm in
+  let chosen = ref None in
+  let rejected = ref [] in
+  List.iter
+    (fun (p : Operating_point.t) ->
+      if p.Operating_point.level <> nominal.Operating_point.level then
+        let s = slowdown_at pm ~mu p in
+        if s > 1.0 +. max_slowdown then
+          rejected :=
+            ( Printf.sprintf "L%d@%.0fMHz" p.Operating_point.level
+                p.Operating_point.freq_mhz,
+              Printf.sprintf "slowdown %.3f > %.3f" s (1.0 +. max_slowdown) )
+            :: !rejected
+        else if !chosen = None then
+          (* points are ascending: the first point within bound wins *)
+          chosen := Some p.Operating_point.level
+        else
+          rejected :=
+            ( Printf.sprintf "L%d@%.0fMHz" p.Operating_point.level
+                p.Operating_point.freq_mhz,
+              "higher point than the chosen level" )
+            :: !rejected)
+    (Power_model.points pm);
+  (!chosen, List.rev !rejected)
+
+let choose_level (pm : Power_model.t) ~mu ~max_slowdown : int option =
+  fst (choose_level_explained pm ~mu ~max_slowdown)
+
+let run_func ?(opts = default_options) ?(report = Report.disabled)
+    (m : Machine.t) (prog : Prog.t) (comm : (string, bool) Hashtbl.t)
+    (f : Prog.func) : int =
   let pm = m.Machine.power in
   let changes = ref 0 in
   let loops = Loops.top_level (Loops.find f) in
+  let emit ~l ~mu ~est_cycles ~chosen ~rejected ~reason =
+    if Report.enabled report then
+      Report.add report
+        (Report.Dvfs_decision
+           {
+             dv_func = f.Prog.fname;
+             dv_site = Printf.sprintf "loop@b%d" l.Loops.header;
+             dv_mu = mu;
+             dv_est_cycles = est_cycles;
+             dv_chosen = chosen;
+             dv_rejected = rejected;
+             dv_reason = reason;
+           })
+  in
   List.iter
     (fun l ->
-      if not (loop_has_comm comm f l) then begin
+      if loop_has_comm comm f l then
+        emit ~l ~mu:0.0 ~est_cycles:0.0 ~chosen:None ~rejected:[]
+          ~reason:
+            (Some "communicating loop: timing coupled with other cores")
+      else begin
         let est = Est.loop_estimate m prog f l in
-        if
-          est.Est.total_cycles >= opts.min_cycles
-          && est.Est.mem_fraction >= opts.min_mem_fraction
-        then
-          match
-            choose_level pm ~mu:est.Est.mem_fraction
-              ~max_slowdown:opts.max_slowdown
-          with
-          | None -> ()
+        let mu = est.Est.mem_fraction in
+        let est_cycles = est.Est.total_cycles in
+        if est_cycles < opts.min_cycles then
+          emit ~l ~mu ~est_cycles ~chosen:None ~rejected:[]
+            ~reason:
+              (Some
+                 (Printf.sprintf
+                    "est %.0f cycles below the %.0f-cycle amortisation \
+                     threshold"
+                    est_cycles opts.min_cycles))
+        else if mu < opts.min_mem_fraction then
+          emit ~l ~mu ~est_cycles ~chosen:None ~rejected:[]
+            ~reason:
+              (Some
+                 (Printf.sprintf "mu %.2f below minimum %.2f" mu
+                    opts.min_mem_fraction))
+        else begin
+          let chosen, rejected =
+            choose_level_explained pm ~mu ~max_slowdown:opts.max_slowdown
+          in
+          match chosen with
+          | None ->
+            emit ~l ~mu ~est_cycles ~chosen:None ~rejected
+              ~reason:(Some "no operating point within the slowdown bound")
           | Some level -> (
             match Region.preheader f l with
-            | None -> ()
+            | None ->
+              emit ~l ~mu ~est_cycles ~chosen:None ~rejected
+                ~reason:(Some "no preheader to host the transition")
             | Some pre ->
               Region.append f pre (Ir.Dvfs level);
               List.iter
                 (fun landing ->
                   Region.prepend f landing (Ir.Dvfs (Power_model.max_level pm)))
                 (Region.exit_landings f l);
-              incr changes)
+              incr changes;
+              emit ~l ~mu ~est_cycles ~chosen:(Some level) ~rejected
+                ~reason:None)
+        end
       end)
     loops;
   !changes
 
-let insert ?(opts = default_options) (m : Machine.t) (prog : Prog.t) : int =
+let insert ?(opts = default_options) ?(report = Report.disabled)
+    (m : Machine.t) (prog : Prog.t) : int =
   let comm = comm_closure prog in
   List.fold_left
-    (fun acc f -> acc + run_func ~opts m prog comm f)
+    (fun acc f -> acc + run_func ~opts ~report m prog comm f)
     0 (Prog.funcs prog)

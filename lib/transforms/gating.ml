@@ -30,6 +30,9 @@ module Machine = Lp_machine.Machine
 module Loops = Lp_analysis.Loops
 module Compuse = Lp_analysis.Compuse
 module Est = Lp_analysis.Est
+module Report = Lp_obs.Report
+
+let comp_names cs = List.map Component.to_string (CS.elements cs)
 
 type options = {
   break_even_scale : float;
@@ -83,8 +86,9 @@ let core_use_table (prog : Prog.t) (cu : Compuse.t) :
   table
 
 (** Gate idle components around loops of [f].  Returns insertions done. *)
-let loop_gating ?(opts = default_options) (m : Machine.t) (prog : Prog.t)
-    (cu : Compuse.t) ~(core_use : CS.t) (f : Prog.func) : int =
+let loop_gating ?(opts = default_options) ?(report = Report.disabled)
+    (m : Machine.t) (prog : Prog.t) (cu : Compuse.t) ~(core_use : CS.t)
+    (f : Prog.func) : int =
   let changes = ref 0 in
   let loops = Loops.find f in
   (* outermost first; remember which comps an enclosing loop already
@@ -104,15 +108,16 @@ let loop_gating ?(opts = default_options) (m : Machine.t) (prog : Prog.t)
           CS.empty !gated_by
       in
       let idle = Compuse.loop_idle cu f l in
-      let candidates =
+      let gateable =
         CS.filter
           (fun c ->
             CS.mem c core_use (* used elsewhere on this core *)
-            && (not (CS.mem c enclosing_gated))
             && List.mem c m.Machine.components)
           idle
       in
-      if not (CS.is_empty candidates) then begin
+      let suppressed = CS.inter gateable enclosing_gated in
+      let candidates = CS.diff gateable suppressed in
+      if not (CS.is_empty gateable) then begin
         let est = Est.loop_estimate m prog f l in
         let to_gate =
           CS.filter
@@ -121,23 +126,42 @@ let loop_gating ?(opts = default_options) (m : Machine.t) (prog : Prog.t)
               >= opts.break_even_scale *. float_of_int (break_even_cycles m c))
             candidates
         in
-        if not (CS.is_empty to_gate) then begin
-          match Region.preheader f l with
-          | None -> ()
-          | Some pre ->
-            Region.append f pre (Ir.Pg_off to_gate);
-            List.iter
-              (fun landing -> Region.prepend f landing (Ir.Pg_on to_gate))
-              (Region.exit_landings f l);
-            gated_by := (l.Loops.header, to_gate) :: !gated_by;
-            changes := !changes + 1 + List.length l.Loops.exits
-        end
+        let below = CS.diff candidates to_gate in
+        let inserted, landings =
+          if CS.is_empty to_gate then (CS.empty, 0)
+          else
+            match Region.preheader f l with
+            | None -> (CS.empty, 0)
+            | Some pre ->
+              Region.append f pre (Ir.Pg_off to_gate);
+              let ls = Region.exit_landings f l in
+              List.iter
+                (fun landing -> Region.prepend f landing (Ir.Pg_on to_gate))
+                ls;
+              gated_by := (l.Loops.header, to_gate) :: !gated_by;
+              changes := !changes + 1 + List.length l.Loops.exits;
+              (to_gate, List.length ls)
+        in
+        if Report.enabled report then
+          Report.add report
+            (Report.Gating_insert
+               {
+                 gi_func = f.Prog.fname;
+                 gi_site = Printf.sprintf "loop@b%d" l.Loops.header;
+                 gi_kind = Report.Loop_gate;
+                 gi_components = comp_names inserted;
+                 gi_suppressed = comp_names suppressed;
+                 gi_below_break_even = comp_names below;
+                 gi_est_cycles = est.Est.total_cycles;
+                 gi_landings = landings;
+               })
       end)
     loops;
   !changes
 
 (** Gate never-used components at each core entry. *)
-let entry_gating (m : Machine.t) (prog : Prog.t) (cu : Compuse.t) : int =
+let entry_gating ?(report = Report.disabled) (m : Machine.t) (prog : Prog.t)
+    (cu : Compuse.t) : int =
   let changes = ref 0 in
   List.iter
     (fun entry ->
@@ -152,12 +176,26 @@ let entry_gating (m : Machine.t) (prog : Prog.t) (cu : Compuse.t) : int =
         if not (CS.is_empty never) then begin
           let b = Prog.block f f.Prog.entry in
           Region.prepend f b (Ir.Pg_off never);
-          incr changes
+          incr changes;
+          if Report.enabled report then
+            Report.add report
+              (Report.Gating_insert
+                 {
+                   gi_func = f.Prog.fname;
+                   gi_site = "entry";
+                   gi_kind = Report.Entry_gate;
+                   gi_components = comp_names never;
+                   gi_suppressed = [];
+                   gi_below_break_even = [];
+                   gi_est_cycles = 0.0;
+                   gi_landings = 0;
+                 })
         end)
     (Prog.entries prog);
   !changes
 
-let insert ?(opts = default_options) (m : Machine.t) (prog : Prog.t) : int =
+let insert ?(opts = default_options) ?(report = Report.disabled)
+    (m : Machine.t) (prog : Prog.t) : int =
   let cu = Compuse.compute prog in
   let core_use = core_use_table prog cu in
   let n =
@@ -168,11 +206,13 @@ let insert ?(opts = default_options) (m : Machine.t) (prog : Prog.t) : int =
             Option.value ~default:CS.empty
               (Hashtbl.find_opt core_use f.Prog.fname)
           in
-          acc + loop_gating ~opts m prog cu ~core_use:u f)
+          acc + loop_gating ~opts ~report m prog cu ~core_use:u f)
         0 (Prog.funcs prog)
     else 0
   in
-  let n = n + if opts.entry_gating then entry_gating m prog cu else 0 in
+  let n =
+    n + if opts.entry_gating then entry_gating ~report m prog cu else 0
+  in
   n
 
 (* ------------------------------------------------------------------ *)
@@ -180,8 +220,20 @@ let insert ?(opts = default_options) (m : Machine.t) (prog : Prog.t) : int =
 (* ------------------------------------------------------------------ *)
 
 (** Per-block rewrite; see module header for the three rules. *)
-let merge_block (m : Machine.t) (b : Ir.block) : int =
+let merge_block ?(report = Report.disabled) ~fname (m : Machine.t)
+    (b : Ir.block) : int =
   let changes = ref 0 in
+  let emit rule comps =
+    if Report.enabled report then
+      Report.add report
+        (Report.Gating_merge
+           {
+             gm_func = fname;
+             gm_block = b.Ir.bid;
+             gm_rule = rule;
+             gm_components = comps;
+           })
+  in
   let arr = Array.of_list b.Ir.instrs in
   let n = Array.length arr in
   (* cumulative nominal cycles before each position, counting only
@@ -218,6 +270,7 @@ let merge_block (m : Machine.t) (b : Ir.block) : int =
               remove_comp last_off.(k) c;
               remove_comp i c;
               incr changes;
+              emit "drop-short-region" [ Component.to_string c ];
               last_off.(k) <- -1;
               last_on.(k) <- -1
             end
@@ -237,6 +290,7 @@ let merge_block (m : Machine.t) (b : Ir.block) : int =
             remove_comp last_on.(k) c;
             remove_comp i c;
             incr changes;
+            emit "cancel-stay-off" [ Component.to_string c ];
             last_on.(k) <- -1;
             last_off.(k) <- -1
           end
@@ -262,6 +316,7 @@ let merge_block (m : Machine.t) (b : Ir.block) : int =
         | Ir.Pg_off s' ->
           prev.Ir.idesc <- Ir.Pg_off (CS.union s s');
           incr changes;
+          emit "merge-adjacent" (comp_names (CS.union s s'));
           merged := prev :: rest
         | _ -> merged := i :: !merged)
       | (Ir.Pg_on s, prev :: rest) -> (
@@ -269,6 +324,7 @@ let merge_block (m : Machine.t) (b : Ir.block) : int =
         | Ir.Pg_on s' ->
           prev.Ir.idesc <- Ir.Pg_on (CS.union s s');
           incr changes;
+          emit "merge-adjacent" (comp_names (CS.union s s'));
           merged := prev :: rest
         | _ -> merged := i :: !merged)
       | _ -> merged := i :: !merged)
@@ -276,11 +332,11 @@ let merge_block (m : Machine.t) (b : Ir.block) : int =
   b.Ir.instrs <- List.rev !merged;
   !changes
 
-let merge (m : Machine.t) (prog : Prog.t) : int =
+let merge ?(report = Report.disabled) (m : Machine.t) (prog : Prog.t) : int =
   List.fold_left
     (fun acc f ->
       List.fold_left
-        (fun acc b -> acc + merge_block m b)
+        (fun acc b -> acc + merge_block ~report ~fname:f.Prog.fname m b)
         acc (Prog.blocks_in_order f))
     0 (Prog.funcs prog)
 

@@ -11,6 +11,7 @@
 
 module Prog = Lp_ir.Prog
 module Obs = Lp_obs.Obs
+module Report = Lp_obs.Report
 
 type stats = {
   pass_name : string;
@@ -28,13 +29,16 @@ type manager = {
   by_name : (string, stats) Hashtbl.t;
   mutable order : string list;  (** first-seen pass names, reversed *)
   obs : Obs.t;
+  report : Report.t;
+      (** per-pass IR deltas land in the power-decision audit report *)
   on_pass : (string -> Prog.t -> unit) option;
       (** called after every pass run (fuzzing hooks verification in
           here); may raise to abort the compile *)
 }
 
-let create_manager ?(obs = Obs.disabled) ?on_pass () =
-  { by_name = Hashtbl.create 16; order = []; obs; on_pass }
+let create_manager ?(obs = Obs.disabled) ?(report = Report.disabled) ?on_pass
+    () =
+  { by_name = Hashtbl.create 16; order = []; obs; report; on_pass }
 
 let stats_for m name =
   match Hashtbl.find_opt m.by_name name with
@@ -49,6 +53,8 @@ let stats_for m name =
 let run_pass m (p : func_pass) (prog : Prog.t) : int =
   let s = stats_for m p.name in
   let traced = Obs.enabled m.obs in
+  let audited = Report.enabled m.report in
+  let instrs_before = if audited then Prog.total_instrs prog else 0 in
   let t0 = Obs.now_ns m.obs in
   let changes =
     if traced then
@@ -71,6 +77,16 @@ let run_pass m (p : func_pass) (prog : Prog.t) : int =
   s.runs <- s.runs + 1;
   s.changes <- s.changes + changes;
   s.seconds <- s.seconds +. (dur *. 1e-9);
+  if audited && changes > 0 then
+    Report.add m.report
+      (Report.Pass_delta
+         {
+           pd_pass = p.name;
+           pd_run = s.runs;
+           pd_changes = changes;
+           pd_instrs_before = instrs_before;
+           pd_instrs_after = Prog.total_instrs prog;
+         });
   Lp_util.Fault.check Lp_util.Fault.Post_pass ~key:p.name;
   (match m.on_pass with Some f -> f p.name prog | None -> ());
   changes

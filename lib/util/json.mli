@@ -1,0 +1,39 @@
+(** Minimal JSON value type, printer and parser (RFC 8259 subset; string
+    escapes beyond ASCII [\u] codes are replaced by [?]).  Used for the
+    committed benchmark baseline and by tests that re-read exported
+    reports. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Pretty-printed rendering (2-space indent, trailing newline).
+    Numbers print via {!num_to_string}. *)
+val to_string : t -> string
+
+(** Integral floats render without a fraction; everything else uses
+    [%.17g] so a parse round-trips to the identical float. *)
+val num_to_string : float -> string
+
+(** JSON string-body escaping (no surrounding quotes). *)
+val escape : string -> string
+
+(** Raises {!Parse_error} on malformed input. *)
+val of_string : string -> t
+
+val of_string_opt : string -> t option
+
+(** Object field lookup; [None] on non-objects and missing keys. *)
+val member : string -> t -> t option
+
+val to_float_opt : t -> float option
+val to_string_opt : t -> string option
+
+(** The list payload; [[]] on non-lists. *)
+val to_list : t -> t list

@@ -3,9 +3,11 @@ type t = {
   retries : int;
   faults : string option;
   trace : string option;
+  report : string option;
 }
 
-let default = { jobs = None; retries = 2; faults = None; trace = None }
+let default =
+  { jobs = None; retries = 2; faults = None; trace = None; report = None }
 
 let clean = function
   | Some s when String.trim s <> "" -> Some (String.trim s)
@@ -28,19 +30,23 @@ let from_env () =
       | Some _ | None -> default.retries);
     faults = clean (get "LP_FAULTS");
     trace = clean (get "LP_TRACE");
+    report = clean (get "LP_REPORT");
   }
 
-let resolve ?jobs ?retries ?faults ?trace base =
+let resolve ?jobs ?retries ?faults ?trace ?report base =
   {
     jobs = (match jobs with Some _ -> jobs | None -> base.jobs);
     retries = Option.value ~default:base.retries retries;
     faults = (match clean faults with Some _ as f -> f | None -> base.faults);
     trace = (match clean trace with Some _ as t -> t | None -> base.trace);
+    report =
+      (match clean report with Some _ as r -> r | None -> base.report);
   }
 
 let to_string c =
-  Printf.sprintf "jobs=%s retries=%d faults=%s trace=%s"
+  Printf.sprintf "jobs=%s retries=%d faults=%s trace=%s report=%s"
     (match c.jobs with Some n -> string_of_int n | None -> "auto")
     c.retries
     (Option.value ~default:"(none)" c.faults)
     (Option.value ~default:"(off)" c.trace)
+    (Option.value ~default:"(off)" c.report)

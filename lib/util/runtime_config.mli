@@ -14,7 +14,8 @@
 
     + {!default} supplies every fallback value;
     + {!from_env} overlays the [LP_*] environment variables
-      ([LP_JOBS], [LP_RETRIES], [LP_FAULTS], [LP_TRACE]) — malformed
+      ([LP_JOBS], [LP_RETRIES], [LP_FAULTS], [LP_TRACE], [LP_REPORT]) —
+      malformed
       values are ignored, keeping the default;
     + {!resolve} overlays explicit CLI flags on top.
 
@@ -36,21 +37,31 @@ type t = {
   trace : string option;
       (** Chrome trace-event JSON output path; [None] = telemetry off
           ([LP_TRACE] / [--trace]) *)
+  report : string option;
+      (** power-decision audit report JSON output path; [None] = report
+          off ([LP_REPORT] / [--report]) *)
 }
 
-(** All defaults: auto-sized pool, 2 retries, no faults, no trace. *)
+(** All defaults: auto-sized pool, 2 retries, no faults, no trace, no
+    report. *)
 val default : t
 
-(** {!default} overlaid with the [LP_*] environment variables.  Only
-    this function (and programs under [bin/]/[bench/]) reads the
-    environment. *)
+(** {!default} overlaid with the [LP_*] environment variables
+    (including [LP_REPORT]).  Only this function (and programs under
+    [bin/]/[bench/]) reads the environment. *)
 val from_env : unit -> t
 
-(** [resolve ?jobs ?retries ?faults ?trace base] overlays the given
-    flags on [base]; omitted (or blank-string) flags keep [base]'s
+(** [resolve ?jobs ?retries ?faults ?trace ?report base] overlays the
+    given flags on [base]; omitted (or blank-string) flags keep [base]'s
     value. *)
 val resolve :
-  ?jobs:int -> ?retries:int -> ?faults:string -> ?trace:string -> t -> t
+  ?jobs:int ->
+  ?retries:int ->
+  ?faults:string ->
+  ?trace:string ->
+  ?report:string ->
+  t ->
+  t
 
 (** One-line rendering for logs. *)
 val to_string : t -> string

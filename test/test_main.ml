@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
+      ("report", Test_report.suite);
       ("lang", Test_lang.suite);
       ("ir", Test_ir.suite);
       ("analysis", Test_analysis.suite);

@@ -165,7 +165,7 @@ let test_merge_rules_on_handcrafted_block () =
   ignore (Lp_ir.Builder.emit b (Ir.Binop (Ir.Add, Prog.new_reg f, Ir.Imm (Ir.Cint 1), Ir.Imm (Ir.Cint 2))));
   ignore (Lp_ir.Builder.emit b (Ir.Pg_off m));
   Lp_ir.Builder.set_term b (Ir.Ret (Some (Ir.Imm (Ir.Cint 0))));
-  let changes = T.Gating.merge_block machine4 (Prog.block f f.Prog.entry) in
+  let changes = T.Gating.merge_block ~fname:"main" machine4 (Prog.block f f.Prog.entry) in
   if changes = 0 then fail "on/off pair not cancelled";
   let remaining =
     List.filter
@@ -184,7 +184,7 @@ let test_merge_respects_uses () =
   ignore (Lp_ir.Builder.emit b (Ir.Binop (Ir.Mul, Prog.new_reg f, Ir.Imm (Ir.Cint 2), Ir.Imm (Ir.Cint 3))));
   ignore (Lp_ir.Builder.emit b (Ir.Pg_off m));
   Lp_ir.Builder.set_term b (Ir.Ret (Some (Ir.Imm (Ir.Cint 0))));
-  ignore (T.Gating.merge_block machine4 (Prog.block f f.Prog.entry));
+  ignore (T.Gating.merge_block ~fname:"main" machine4 (Prog.block f f.Prog.entry));
   let remaining =
     List.filter
       (fun (i : Ir.instr) ->
@@ -199,7 +199,7 @@ let test_merge_adjacent_same_polarity () =
   ignore (Lp_ir.Builder.emit b (Ir.Pg_off (CS.singleton Component.Multiplier)));
   ignore (Lp_ir.Builder.emit b (Ir.Pg_off (CS.singleton Component.Fpu)));
   Lp_ir.Builder.set_term b (Ir.Ret (Some (Ir.Imm (Ir.Cint 0))));
-  ignore (T.Gating.merge_block machine4 (Prog.block f f.Prog.entry));
+  ignore (T.Gating.merge_block ~fname:"main" machine4 (Prog.block f f.Prog.entry));
   match (Prog.block f f.Prog.entry).Ir.instrs with
   | [ { Ir.idesc = Ir.Pg_off s; _ } ] ->
     check Alcotest.int "merged set" 2 (CS.cardinal s)
