@@ -198,7 +198,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [ID ...] [--jobs N | seq] [--no-compare] [--json PATH] \
      [--faults SPEC] [--retries N] [--trace FILE] [--report FILE] \
-     [--check-baseline FILE] [--write-baseline FILE]";
+     [--check-baseline FILE] [--write-baseline FILE] [--no-analysis-cache]";
   exit 2
 
 let () =
@@ -212,6 +212,7 @@ let () =
   let check_baseline = ref None in
   let write_baseline = ref None in
   let compare = ref true in
+  let no_analysis_cache = ref false in
   let json_path = ref "BENCH_eval.json" in
   let rec parse = function
     | [] -> ()
@@ -259,6 +260,9 @@ let () =
       write_baseline := Some path;
       parse rest
     | [ "--write-baseline" ] -> usage ()
+    | "--no-analysis-cache" :: rest ->
+      no_analysis_cache := true;
+      parse rest
     | id :: rest ->
       ids := !ids @ [ id ];
       parse rest
@@ -268,6 +272,7 @@ let () =
   let config =
     Runtime_config.resolve ?jobs:!jobs_flag ?retries:!retries_flag
       ?faults:!faults_flag ?trace:!trace_flag ?report:!report_flag
+      ~no_analysis_cache:!no_analysis_cache
       (Runtime_config.from_env ())
   in
   (match config.Runtime_config.faults with

@@ -6,6 +6,7 @@
     - [explain]   print the power-decision audit of a compile+run
     - [dump]      print the compiled IR
     - [workloads] list the bundled benchmark programs
+    - [pipeline]  print the optimisation schedule as data
     - [bench]     regenerate the evaluation tables/figures
     - [fuzz]      fuzz the pipeline with generated MiniC programs
 
@@ -43,9 +44,10 @@ let with_diagnostics f =
     trace or an audit report, the Chrome JSON / report JSON are written
     after the body returns — success or failure, so a diagnosed run
     still leaves its profile and audit behind. *)
-let with_ctx ?jobs ?retries ?faults ?trace ?report f =
+let with_ctx ?jobs ?retries ?faults ?trace ?report ?no_analysis_cache f =
   let config =
     Runtime_config.resolve ?jobs ?retries ?faults ?trace ?report
+      ?no_analysis_cache
       (Runtime_config.from_env ())
   in
   Option.iter Lp_util.Domain_pool.set_default_jobs
@@ -107,6 +109,16 @@ let report_file_arg =
                  IR deltas, and the full per-core energy-ledger breakdown \
                  of every simulation.  The $(b,LP_REPORT) environment \
                  variable is the equivalent.")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-analysis-cache" ]
+           ~doc:"Make the analysis manager recompute every query instead of \
+                 serving cached results.  Output must be byte-identical with \
+                 and without this flag; it exists to prove that and to debug \
+                 suspected stale-analysis miscompiles.  The \
+                 $(b,LP_NO_ANALYSIS_CACHE) environment variable is the \
+                 equivalent.")
 
 let read_file path =
   let ic = open_in_bin path in
@@ -215,17 +227,31 @@ let detect_cmd =
 (* ---------------- run ---------------- *)
 
 let run_cmd_run file workload machine_kind cores config events faults trace
-    report =
+    report no_analysis_cache passes =
   match source_of ~file ~workload with
   | Error e -> `Error (false, e)
-  | Ok (src, name) ->
-    with_ctx ?faults ?trace ?report @@ fun ctx ->
+  | Ok (src, name) -> (
+    let pipeline =
+      match passes with
+      | None -> Ok None
+      | Some spec ->
+        Result.map Option.some (Lowpower.Pipeline.parse spec)
+    in
+    match pipeline with
+    | Error e -> `Error (false, "invalid --passes spec: " ^ e)
+    | Ok pipeline ->
+    with_ctx ?faults ?trace ?report ~no_analysis_cache @@ fun ctx ->
     with_diagnostics @@ fun () ->
     Fault.with_scope name @@ fun () ->
     Report.with_scope name @@ fun () ->
       let machine = machine_of ~cores machine_kind in
       let cores = min cores machine.Machine.n_cores in
       let opts = opts_of ~cores config in
+      let opts =
+        match pipeline with
+        | None -> opts
+        | Some _ -> { opts with Compile.pipeline }
+      in
       let sim_opts =
         { Sim.default_options with Sim.trace_limit = max 0 events }
       in
@@ -271,14 +297,25 @@ let run_cmd_run file workload machine_kind cores config events faults trace
               e.Sim.ev_what)
           o.Sim.events
       end;
-      `Ok ()
+      `Ok ())
+
+let passes_arg =
+  Arg.(value & opt (some string) None
+       & info [ "passes" ] ~docv:"SPEC"
+           ~doc:"Override the classic-optimisation schedule: comma-separated \
+                 pass names, with $(b,fix(name,...)) running a group to \
+                 fixpoint — e.g. \
+                 $(b,--passes constprop,fix(simplify-cfg,dce),strength-reduce). \
+                 $(b,lpcc pipeline) lists the vocabulary and the default \
+                 schedule.")
 
 let run_cmd =
   let doc = "compile and simulate a MiniC program" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(ret (const run_cmd_run $ file_arg $ workload_arg $ machine_arg
                $ cores_arg $ config_arg $ events_arg $ faults_arg
-               $ trace_file_arg $ report_file_arg))
+               $ trace_file_arg $ report_file_arg $ no_cache_arg
+               $ passes_arg))
 
 (* ---------------- explain ---------------- *)
 
@@ -374,7 +411,7 @@ let workloads_cmd =
 
 (* ---------------- bench ---------------- *)
 
-let bench_cmd_run jobs retries faults trace report ids =
+let bench_cmd_run jobs retries faults trace report no_analysis_cache ids =
   let known = List.map (fun e -> e.Lp_experiments.Experiments.id)
       Lp_experiments.Experiments.all in
   match List.filter (fun id -> not (List.mem id known)) ids with
@@ -382,7 +419,8 @@ let bench_cmd_run jobs retries faults trace report ids =
     `Error (false, Printf.sprintf "unknown experiment %S (known: %s)" bad
               (String.concat " " known))
   | [] -> (
-    with_ctx ?jobs ?retries ?faults ?trace ?report @@ fun _ctx ->
+    with_ctx ?jobs ?retries ?faults ?trace ?report ~no_analysis_cache
+    @@ fun _ctx ->
     List.iter
       (fun (e : Lp_experiments.Experiments.entry) ->
         if ids = [] || List.mem e.Lp_experiments.Experiments.id ids then
@@ -423,7 +461,30 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(ret (const bench_cmd_run $ jobs_arg $ retries_arg $ faults_arg
-               $ trace_file_arg $ report_file_arg $ ids))
+               $ trace_file_arg $ report_file_arg $ no_cache_arg $ ids))
+
+(* ---------------- pipeline ---------------- *)
+
+let pipeline_cmd_run passes =
+  let module P = Lowpower.Pipeline in
+  match passes with
+  | None ->
+    print_string (P.to_string P.default);
+    Printf.printf "\navailable passes: %s\n"
+      (String.concat " " (P.pass_names ()));
+    `Ok ()
+  | Some spec -> (
+    match P.parse spec with
+    | Ok t -> print_string (P.to_string t); `Ok ()
+    | Error e -> `Error (false, "invalid --passes spec: " ^ e))
+
+let pipeline_cmd =
+  let doc =
+    "print the optimisation schedule as data: the driver's default (one \
+     step per line), or the schedule a $(b,--passes) spec would run"
+  in
+  Cmd.v (Cmd.info "pipeline" ~doc)
+    Term.(ret (const pipeline_cmd_run $ passes_arg))
 
 (* ---------------- fuzz ---------------- *)
 
@@ -476,4 +537,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ detect_cmd; run_cmd; explain_cmd; dump_cmd; workloads_cmd;
-            bench_cmd; fuzz_cmd ]))
+            pipeline_cmd; bench_cmd; fuzz_cmd ]))

@@ -30,6 +30,9 @@ let build (f : Prog.func) : t =
   dfs f.Prog.entry;
   let succs = Hashtbl.create 16 in
   let preds = Hashtbl.create 16 in
+  (* accumulate predecessors reversed (cons per edge), then reverse each
+     list once at the end — appending per edge is quadratic in the
+     predecessor count *)
   List.iter
     (fun bid ->
       let ss = Ir.term_succs (Prog.block f bid).Ir.term in
@@ -37,9 +40,10 @@ let build (f : Prog.func) : t =
       List.iter
         (fun s ->
           let cur = try Hashtbl.find preds s with Not_found -> [] in
-          Hashtbl.replace preds s (cur @ [ bid ]))
+          Hashtbl.replace preds s (bid :: cur))
         ss)
     !post;
+  Hashtbl.filter_map_inplace (fun _ cur -> Some (List.rev cur)) preds;
   { func = f; succs; preds; rpo = !post }
 
 (** Blocks reachable from the entry. *)
@@ -47,11 +51,20 @@ let reachable t = t.rpo
 
 let is_reachable t l = List.mem l t.rpo
 
-(** Remove unreachable blocks from the function layout (and table). *)
-let prune_unreachable (f : Prog.func) : int =
-  let cfg = build f in
+(** Remove unreachable blocks from the function layout (and table),
+    deciding reachability from an already-built [cfg] (the caller may
+    hold a cached one).  Touches the function only when something was
+    actually pruned, so a no-op prune does not invalidate caches. *)
+let prune_unreachable_of (cfg : t) : int =
+  let f = cfg.func in
   let before = List.length f.Prog.block_order in
-  f.Prog.block_order <-
-    List.filter (fun l -> is_reachable cfg l) f.Prog.block_order;
-  Prog.prune_blocks f;
-  before - List.length f.Prog.block_order
+  let kept = List.filter (fun l -> is_reachable cfg l) f.Prog.block_order in
+  let removed = before - List.length kept in
+  if removed > 0 then begin
+    f.Prog.block_order <- kept;
+    Prog.prune_blocks f
+  end;
+  removed
+
+(** Remove unreachable blocks from the function layout (and table). *)
+let prune_unreachable (f : Prog.func) : int = prune_unreachable_of (build f)

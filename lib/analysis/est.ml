@@ -50,10 +50,12 @@ type func_est = {
 
 (** Estimate a function, weighting each block by the product of the trip
     estimates of the loops containing it, and adding callee estimates at
-    call sites.  Recursion falls back to a single-level estimate. *)
-let rec func_estimate ?(visiting = []) (m : Machine.t) (prog : Prog.t)
-    (f : Prog.func) : func_est =
-  let loops = Loops.find f in
+    call sites.  Recursion falls back to a single-level estimate.
+    [find_loops] lets the analysis manager substitute its cached loop
+    forests (it must return exactly what [Loops.find] would). *)
+let rec func_estimate ?(find_loops = Loops.find) ?(visiting = [])
+    (m : Machine.t) (prog : Prog.t) (f : Prog.func) : func_est =
+  let loops = find_loops f in
   let weight_of_block bid =
     List.fold_left
       (fun w l ->
@@ -77,7 +79,8 @@ let rec func_estimate ?(visiting = []) (m : Machine.t) (prog : Prog.t)
             match Prog.find_func prog callee with
             | Some cf ->
               let ce =
-                func_estimate ~visiting:(f.Prog.fname :: visiting) m prog cf
+                func_estimate ~find_loops
+                  ~visiting:(f.Prog.fname :: visiting) m prog cf
               in
               total := !total +. (w *. ce.total_cycles);
               mem := !mem +. (w *. ce.total_cycles *. ce.mem_fraction)
@@ -89,9 +92,9 @@ let rec func_estimate ?(visiting = []) (m : Machine.t) (prog : Prog.t)
 
 (** Estimated cycles of one loop (body blocks weighted by trips of the
     loop itself and any nested loops), callee costs included. *)
-let loop_estimate (m : Machine.t) (prog : Prog.t) (f : Prog.func)
-    (l : Loops.loop) : func_est =
-  let loops = Loops.find f in
+let loop_estimate ?(find_loops = Loops.find) (m : Machine.t) (prog : Prog.t)
+    (f : Prog.func) (l : Loops.loop) : func_est =
+  let loops = find_loops f in
   let nested = List.filter (fun l' -> Loops.LS.subset l'.Loops.blocks l.Loops.blocks) loops in
   let weight_of_block bid =
     List.fold_left
@@ -115,7 +118,9 @@ let loop_estimate (m : Machine.t) (prog : Prog.t) (f : Prog.func)
           | Ir.Call (_, callee, _) -> (
             match Prog.find_func prog callee with
             | Some cf ->
-              let ce = func_estimate ~visiting:[ f.Prog.fname ] m prog cf in
+              let ce =
+                func_estimate ~find_loops ~visiting:[ f.Prog.fname ] m prog cf
+              in
               total := !total +. (w *. ce.total_cycles);
               mem := !mem +. (w *. ce.total_cycles *. ce.mem_fraction)
             | None -> ())

@@ -28,8 +28,10 @@ let block_use_def (b : Ir.block) : IS.t * IS.t =
   see_uses (Ir.term_uses b.Ir.term);
   (!use, !def)
 
-let compute (f : Prog.func) : t =
-  let cfg = Cfg.build f in
+(** Compute liveness over an already-built CFG (shared with other
+    analyses via the manager); [compute] builds a fresh one. *)
+let compute_of_cfg (cfg : Cfg.t) : t =
+  let f = cfg.Cfg.func in
   let use_def = Hashtbl.create 16 in
   List.iter
     (fun b -> Hashtbl.replace use_def b.Ir.bid (block_use_def b))
@@ -41,6 +43,8 @@ let compute (f : Prog.func) : t =
   in
   let result = Flow.run ~direction:Dataflow.Backward ~cfg ~init:IS.empty ~transfer in
   { cfg; result; use_def }
+
+let compute (f : Prog.func) : t = compute_of_cfg (Cfg.build f)
 
 (** Registers live at block exit. *)
 let live_out t l =

@@ -42,9 +42,10 @@ let natural_loop (cfg : Cfg.t) ~header ~source : LS.t =
   done;
   !body
 
-let find (f : Prog.func) : loop list =
-  let cfg = Cfg.build f in
-  let doms = Dominators.compute_of_cfg cfg in
+(** Find natural loops over an already-built CFG and dominator tree
+    (shared with other analyses via the manager); [find] builds fresh
+    ones. *)
+let find_of ~(cfg : Cfg.t) ~(doms : Dominators.t) : loop list =
   (* collect back edges *)
   let back = ref [] in
   List.iter
@@ -90,6 +91,10 @@ let find (f : Prog.func) : loop list =
   loops
   |> List.map (fun l -> { l with depth = depth_of l })
   |> List.sort (fun a b -> compare (a.depth, a.header) (b.depth, b.header))
+
+let find (f : Prog.func) : loop list =
+  let cfg = Cfg.build f in
+  find_of ~cfg ~doms:(Dominators.compute_of_cfg cfg)
 
 let contains l label = LS.mem label l.blocks
 

@@ -41,6 +41,8 @@ type options = {
   sync : T.Parallelize.sync;  (** non-reduction doall completion mechanism *)
   mac_fusion : bool;
   power : power_options;
+  pipeline : Pipeline.t option;
+      (** classic-optimisation schedule; [None] = {!Pipeline.default} *)
 }
 
 let no_power =
@@ -67,7 +69,8 @@ let all_power =
 (** Non-power-aware sequential compile (the paper's baseline). *)
 let baseline =
   { n_cores = 1; parallelize = false; distribution = T.Parallelize.Block;
-    sync = T.Parallelize.Done_channel; mac_fusion = true; power = no_power }
+    sync = T.Parallelize.Done_channel; mac_fusion = true; power = no_power;
+    pipeline = None }
 
 let pg_only =
   { baseline with
@@ -291,38 +294,29 @@ let compile_exn ?(ctx = default_ctx) ?(verify_each = false) ?(opts = baseline)
             raise (Verify.Invalid (Printf.sprintf "after pass %s: %s" name msg)))
     else None
   in
-  let pm = T.Pass.create_manager ~obs ~report:ctx.report ?on_pass () in
+  let pm =
+    T.Pass.create_manager ~obs ~report:ctx.report
+      ~caching:(not ctx.config.Runtime_config.no_analysis_cache) ?on_pass ()
+  in
+  let am = T.Pass.analysis_manager pm prog in
   phase "optimize" (fun () ->
-      ignore (T.Pass.run_pass pm T.Const_promote.pass prog);
-      T.Pass.run_to_fixpoint pm
-        [ T.Simplify_cfg.pass; T.Constfold.pass; T.Constprop.pass; T.Dce.pass ]
-        prog;
-      ignore (T.Pass.run_pass pm T.Unroll.pass prog);
-      T.Pass.run_to_fixpoint pm
-        [ T.Simplify_cfg.pass; T.Constfold.pass; T.Constprop.pass; T.Dce.pass ]
-        prog;
-      if opts.mac_fusion then begin
-        ignore (T.Pass.run_pass pm T.Mac_fusion.pass prog);
-        T.Pass.run_to_fixpoint pm [ T.Constfold.pass; T.Dce.pass ] prog
-      end;
-      ignore (T.Pass.run_pass pm T.Strength.pass prog);
-      T.Pass.run_to_fixpoint pm
-        [ T.Licm.pass; T.Constfold.pass; T.Dce.pass; T.Simplify_cfg.pass ]
+      Pipeline.execute pm ~mac_fusion:opts.mac_fusion
+        (Option.value ~default:Pipeline.default opts.pipeline)
         prog);
   (* pattern-aware power management *)
   let (gating_before_merge, gating_after_merge) =
     phase "power" (fun () ->
         if opts.power.balance && par_info.T.Par_info.n_workers > 0 then
-          ignore (T.Balance.run machine prog par_info);
+          ignore (T.Balance.run ~am machine prog par_info);
         if opts.power.dvfs then
           ignore
-            (T.Dvfs.insert ~opts:opts.power.dvfs_opts ~report:ctx.report
+            (T.Dvfs.insert ~opts:opts.power.dvfs_opts ~report:ctx.report ~am
                machine prog);
         let gating_before_merge =
           if opts.power.gating then begin
             ignore
               (T.Gating.insert ~opts:opts.power.gating_opts ~report:ctx.report
-                 machine prog);
+                 ~am machine prog);
             ignore (T.Pass.run_pass pm T.Simplify_cfg.pass prog);
             T.Gating.count_gating prog
           end
@@ -341,7 +335,7 @@ let compile_exn ?(ctx = default_ctx) ?(verify_each = false) ?(opts = baseline)
   phase "verify" (fun () -> Verify.verify_prog prog);
   (* the target must have every component the program executes on *)
   phase "compat" (fun () ->
-      let cu = Lp_analysis.Compuse.compute prog in
+      let cu = Lp_analysis.Manager.compuse am in
       List.iter
         (fun entry ->
           let used = Lp_analysis.Compuse.func_use cu entry in

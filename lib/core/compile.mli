@@ -32,6 +32,9 @@ type options = {
       (** non-reduction doall completion: per-worker acknowledge or barrier *)
   mac_fusion : bool;
   power : power_options;
+  pipeline : Pipeline.t option;
+      (** classic-optimisation schedule; [None] = {!Pipeline.default}
+          (overridden by [lpcc run --passes]) *)
 }
 
 val no_power : power_options

@@ -1,0 +1,185 @@
+(** The optimisation schedule as data.
+
+    The driver used to hard-code its pass schedule as straight-line code
+    inside the [optimize] phase; this module lifts it into a value that
+    can be printed ([lpcc pipeline]), overridden from the command line
+    ([lpcc run --passes]), and tested for round-tripping.  The
+    interpreter ({!execute}) drives the ordinary pass manager, so
+    telemetry spans, pass statistics and analysis-cache invalidation are
+    identical to what the inline code produced. *)
+
+module T = Lp_transforms
+
+(** Conditions a step can be guarded on (driver option flags). *)
+type flag = Mac_fusion
+
+type step =
+  | Run of T.Pass.func_pass  (** one pass, once *)
+  | Fixpoint of T.Pass.func_pass list
+      (** sweep the list until a full sweep changes nothing *)
+  | If of flag * step list  (** sub-pipeline guarded by an option flag *)
+
+type t = step list
+
+(* ------------------------------------------------------------------ *)
+(* Pass registry                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Every schedulable pass, in display order. *)
+let all_passes : T.Pass.func_pass list =
+  [
+    T.Const_promote.pass;
+    T.Simplify_cfg.pass;
+    T.Constfold.pass;
+    T.Constprop.pass;
+    T.Dce.pass;
+    T.Unroll.pass;
+    T.Mac_fusion.pass;
+    T.Strength.pass;
+    T.Licm.pass;
+  ]
+
+let pass_names () = List.map (fun p -> p.T.Pass.name) all_passes
+
+let find_pass name =
+  List.find_opt (fun p -> p.T.Pass.name = name) all_passes
+
+let flag_name = function Mac_fusion -> "mac-fusion"
+
+(* ------------------------------------------------------------------ *)
+(* The default schedule                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** The cleanup sub-pipeline: canonicalise the CFG, then let constants
+    flow and dead code fall out.  Scheduled to fixpoint after every
+    enabling transformation. *)
+let cleanup : T.Pass.func_pass list =
+  [ T.Simplify_cfg.pass; T.Constfold.pass; T.Constprop.pass; T.Dce.pass ]
+
+(** The driver's classic-optimisation schedule (exactly the historical
+    hard-coded one). *)
+let default : t =
+  [
+    Run T.Const_promote.pass;
+    Fixpoint cleanup;
+    Run T.Unroll.pass;
+    Fixpoint cleanup;
+    If (Mac_fusion, [ Run T.Mac_fusion.pass; Fixpoint [ T.Constfold.pass; T.Dce.pass ] ]);
+    Run T.Strength.pass;
+    Fixpoint [ T.Licm.pass; T.Constfold.pass; T.Dce.pass; T.Simplify_cfg.pass ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Run the pipeline through [pm] on [prog].  [mac_fusion] supplies the
+    value of the {!Mac_fusion} flag. *)
+let execute (pm : T.Pass.manager) ~(mac_fusion : bool) (t : t)
+    (prog : Lp_ir.Prog.t) : unit =
+  let flag_on = function Mac_fusion -> mac_fusion in
+  let rec step = function
+    | Run p -> ignore (T.Pass.run_pass pm p prog)
+    | Fixpoint ps -> T.Pass.run_to_fixpoint pm ps prog
+    | If (fl, steps) -> if flag_on fl then List.iter step steps
+  in
+  List.iter step t
+
+(* ------------------------------------------------------------------ *)
+(* Printing and parsing                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Multi-line rendering, one step per line; [If] bodies are indented
+    under an [if <flag> {] / [}] bracket.  This is what [lpcc pipeline]
+    prints (and what the CI golden file pins). *)
+let to_string (t : t) : string =
+  let buf = Buffer.create 256 in
+  let rec step indent s =
+    let pad = String.make indent ' ' in
+    match s with
+    | Run p -> Buffer.add_string buf (pad ^ "run " ^ p.T.Pass.name ^ "\n")
+    | Fixpoint ps ->
+      Buffer.add_string buf
+        (pad ^ "fixpoint "
+        ^ String.concat " " (List.map (fun p -> p.T.Pass.name) ps)
+        ^ "\n")
+    | If (fl, steps) ->
+      Buffer.add_string buf (pad ^ "if " ^ flag_name fl ^ " {\n");
+      List.iter (step (indent + 2)) steps;
+      Buffer.add_string buf (pad ^ "}\n")
+  in
+  List.iter (step 0) t;
+  Buffer.contents buf
+
+(** One-line spec syntax for [--passes]: comma-separated steps, each a
+    pass name or [fix(name,...)]; e.g.
+    ["const-promote,fix(simplify-cfg,constfold,constprop,dce),unroll"].
+    Conditional steps are not expressible — a spec replaces the whole
+    schedule, so the caller decides what is in it. *)
+let parse (spec : string) : (t, string) result =
+  let unknown n =
+    Error
+      (Printf.sprintf "unknown pass %S (known: %s)" n
+         (String.concat ", " (pass_names ())))
+  in
+  (* split on commas not inside parentheses *)
+  let split_steps s =
+    let parts = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+    String.iter
+      (fun c ->
+        match c with
+        | '(' ->
+          incr depth;
+          Buffer.add_char buf c
+        | ')' ->
+          decr depth;
+          Buffer.add_char buf c
+        | ',' when !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+        | _ -> Buffer.add_char buf c)
+      s;
+    parts := Buffer.contents buf :: !parts;
+    List.rev_map String.trim !parts |> List.filter (fun s -> s <> "")
+  in
+  let parse_step tok =
+    let fix_prefix = "fix(" in
+    if
+      String.length tok > String.length fix_prefix + 1
+      && String.sub tok 0 (String.length fix_prefix) = fix_prefix
+      && tok.[String.length tok - 1] = ')'
+    then begin
+      let inner =
+        String.sub tok (String.length fix_prefix)
+          (String.length tok - String.length fix_prefix - 1)
+      in
+      let names =
+        String.split_on_char ',' inner
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      if names = [] then Error "empty fix(...)"
+      else
+        List.fold_left
+          (fun acc n ->
+            match (acc, find_pass n) with
+            | (Error _, _) -> acc
+            | (_, None) -> unknown n
+            | (Ok ps, Some p) -> Ok (p :: ps))
+          (Ok []) names
+        |> Result.map (fun ps -> Fixpoint (List.rev ps))
+    end
+    else
+      match find_pass tok with Some p -> Ok (Run p) | None -> unknown tok
+  in
+  match split_steps spec with
+  | [] -> Error "empty pipeline spec"
+  | toks ->
+    List.fold_left
+      (fun acc tok ->
+        match (acc, parse_step tok) with
+        | (Error _, _) -> acc
+        | (_, (Error _ as e)) -> e
+        | (Ok steps, Ok s) -> Ok (s :: steps))
+      (Ok []) toks
+    |> Result.map List.rev

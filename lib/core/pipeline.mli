@@ -1,0 +1,47 @@
+(** The optimisation schedule as data (see docs/DESIGN.md).
+
+    {!default} reproduces the driver's historical hard-coded schedule
+    exactly; {!execute} interprets a schedule through the ordinary pass
+    manager, so telemetry, pass statistics and analysis-cache
+    invalidation behave as if the schedule were still inline code. *)
+
+module T = Lp_transforms
+
+(** Conditions a step can be guarded on (driver option flags). *)
+type flag = Mac_fusion
+
+type step =
+  | Run of T.Pass.func_pass  (** one pass, once *)
+  | Fixpoint of T.Pass.func_pass list
+      (** sweep the list until a full sweep changes nothing *)
+  | If of flag * step list  (** sub-pipeline guarded by an option flag *)
+
+type t = step list
+
+(** Every schedulable pass, in display order. *)
+val all_passes : T.Pass.func_pass list
+
+(** Names of {!all_passes} (the vocabulary of {!parse}). *)
+val pass_names : unit -> string list
+
+val find_pass : string -> T.Pass.func_pass option
+
+(** The cleanup sub-pipeline (simplify-cfg, constfold, constprop, dce)
+    scheduled to fixpoint after every enabling transformation. *)
+val cleanup : T.Pass.func_pass list
+
+(** The driver's default classic-optimisation schedule. *)
+val default : t
+
+(** Run the pipeline through [pm] on [prog]; [mac_fusion] supplies the
+    {!Mac_fusion} flag value. *)
+val execute :
+  T.Pass.manager -> mac_fusion:bool -> t -> Lp_ir.Prog.t -> unit
+
+(** Multi-line rendering, one step per line ([lpcc pipeline]). *)
+val to_string : t -> string
+
+(** Parse the one-line [--passes] spec: comma-separated pass names and
+    [fix(name,...)] fixpoint groups.  Conditional steps are not
+    expressible in a spec. *)
+val parse : string -> (t, string) result

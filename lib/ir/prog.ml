@@ -10,10 +10,22 @@ type func = {
       (** layout order; entry first; analyses iterate in this order *)
   mutable frame_arrays : (string * Ir.ty * int) list;
       (** local arrays: name, element type, length *)
+  mutable version : int;
+      (** monotonic mutation stamp; every IR change must bump it (via
+          {!touch}) so cached analyses keyed on it can tell stale results
+          from fresh ones *)
   reg_gen : Lp_util.Id_gen.t;
   block_gen : Lp_util.Id_gen.t;
   instr_gen : Lp_util.Id_gen.t;
 }
+
+(** Bump [f]'s mutation stamp.  This is the single invalidation funnel
+    for the analysis cache: call it after any in-place change to the
+    function's blocks, instructions or terminators that did not go
+    through a [Prog] mutator (which touch themselves). *)
+let touch f = f.version <- f.version + 1
+
+let version f = f.version
 
 type global = {
   gsym : string;
@@ -60,6 +72,7 @@ let create_func ~name ~params ~ret : func =
     blocks;
     block_order = [ entry ];
     frame_arrays = [];
+    version = 0;
     reg_gen;
     block_gen;
     instr_gen = Lp_util.Id_gen.create ();
@@ -77,13 +90,15 @@ let new_block f : Ir.block =
   let b = { Ir.bid; instrs = []; term = Ir.Ret None } in
   Hashtbl.replace f.blocks bid b;
   f.block_order <- f.block_order @ [ bid ];
+  touch f;
   b
 
 let new_instr f idesc : Ir.instr =
   { Ir.iid = Lp_util.Id_gen.fresh f.instr_gen; idesc }
 
 let add_frame_array f ~name ~ty ~len =
-  f.frame_arrays <- f.frame_arrays @ [ (name, ty, len) ]
+  f.frame_arrays <- f.frame_arrays @ [ (name, ty, len) ];
+  touch f
 
 (** Blocks in layout order. *)
 let blocks_in_order f = List.map (block f) f.block_order
@@ -106,7 +121,8 @@ let prune_blocks f =
   let keep = List.sort_uniq compare f.block_order in
   Hashtbl.iter
     (fun l _ -> if not (List.mem l keep) then Hashtbl.remove f.blocks l)
-    (Hashtbl.copy f.blocks)
+    (Hashtbl.copy f.blocks);
+  touch f
 
 (* ------------------------------------------------------------------ *)
 (* Programs                                                            *)
@@ -142,3 +158,10 @@ let n_cores_used t = List.length (entries t)
 
 let total_instrs t =
   List.fold_left (fun acc f -> acc + instr_count f) 0 (funcs t)
+
+(** Program-wide mutation stamp: changes whenever any function is
+    touched (or a function is added).  Program-level analyses (component
+    use, static estimation, which follow calls across functions) are
+    cached against this. *)
+let prog_version t =
+  Hashtbl.fold (fun _ f acc -> acc + f.version) t.funcs (Hashtbl.length t.funcs)

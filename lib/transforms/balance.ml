@@ -24,10 +24,15 @@ type options = { headroom : float (** over-provision factor, e.g. 1.1 *) }
 let default_options = { headroom = 1.10 }
 
 (** Per-iteration nominal-time estimate (ns) of one stage function. *)
-let stage_time (m : Machine.t) (prog : Prog.t) name : Est.func_est option =
+let stage_time ?am (m : Machine.t) (prog : Prog.t) name : Est.func_est option
+    =
   match Prog.find_func prog name with
   | None -> None
-  | Some f -> Some (Est.func_estimate m prog f)
+  | Some f ->
+    Some
+      (match am with
+      | Some am -> Lp_analysis.Manager.func_est am m f
+      | None -> Est.func_estimate m prog f)
 
 let prepend_dvfs (prog : Prog.t) name level : bool =
   match Prog.find_func prog name with
@@ -65,7 +70,7 @@ let choose_level (pm : Power_model.t) (est : Est.func_est) ~budget_cycles
   | Some p -> p.Operating_point.level
   | None -> nominal.Operating_point.level
 
-let run ?(opts = default_options) (m : Machine.t) (prog : Prog.t)
+let run ?(opts = default_options) ?am (m : Machine.t) (prog : Prog.t)
     (info : Par_info.t) : int =
   let pm = m.Machine.power in
   let changes = ref 0 in
@@ -74,7 +79,7 @@ let run ?(opts = default_options) (m : Machine.t) (prog : Prog.t)
       match cg.Par_info.inst.Pattern.kind with
       | Pattern.Pipeline _ | Pattern.Prodcons -> (
         let ests =
-          List.filter_map (stage_time m prog) cg.Par_info.stage_funcs
+          List.filter_map (stage_time ?am m prog) cg.Par_info.stage_funcs
         in
         if List.length ests = List.length cg.Par_info.stage_funcs then begin
           let bottleneck =

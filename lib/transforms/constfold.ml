@@ -163,8 +163,15 @@ let fold_block (b : Ir.block) : int =
 let pass : Pass.func_pass =
   {
     Pass.name = "constfold";
+    (* folding a constant branch rewrites terminators, so nothing
+       CFG-derived survives *)
+    preserves = [];
     run =
-      (fun _prog f ->
-        List.fold_left (fun acc b -> acc + fold_block b) 0
-          (Prog.blocks_in_order f));
+      (fun _am _prog f ->
+        let n =
+          List.fold_left (fun acc b -> acc + fold_block b) 0
+            (Prog.blocks_in_order f)
+        in
+        if n > 0 then Prog.touch f;
+        n);
   }

@@ -11,6 +11,7 @@
 module Ir = Lp_ir.Ir
 module Prog = Lp_ir.Prog
 module Cfg = Lp_analysis.Cfg
+module Manager = Lp_analysis.Manager
 
 (* lattice per register *)
 type cell =
@@ -68,9 +69,9 @@ let transfer_block (f : Prog.func) (st : state) (bid : Ir.label) : state =
   st
 
 (** Compute block-entry states by iteration to fixpoint. *)
-let analyse (f : Prog.func) : (Ir.label, state) Hashtbl.t =
+let analyse ?(cfg_of = Cfg.build) (f : Prog.func) : (Ir.label, state) Hashtbl.t =
   let nregs = max 1 (Lp_util.Id_gen.peek f.Prog.reg_gen) in
-  let cfg = Cfg.build f in
+  let cfg = cfg_of f in
   let entry_states : (Ir.label, state) Hashtbl.t = Hashtbl.create 16 in
   let bottom () = Array.make nregs Unknown in
   (* parameters vary (set by the caller) *)
@@ -107,8 +108,8 @@ let analyse (f : Prog.func) : (Ir.label, state) Hashtbl.t =
   entry_states
 
 (** Substitute proven constants into operands; returns rewrites done. *)
-let run_func (f : Prog.func) : int =
-  let entry_states = analyse f in
+let run_func ?cfg_of (f : Prog.func) : int =
+  let entry_states = analyse ?cfg_of f in
   let changes = ref 0 in
   Prog.iter_blocks f (fun b ->
       match Hashtbl.find_opt entry_states b.Ir.bid with
@@ -150,7 +151,15 @@ let run_func (f : Prog.func) : int =
         | Ir.Br (op, l1, l2) -> b.Ir.term <- Ir.Br (subst op, l1, l2)
         | Ir.Ret (Some op) -> b.Ir.term <- Ir.Ret (Some (subst op))
         | Ir.Ret None | Ir.Jmp _ -> ()));
+  if !changes > 0 then Prog.touch f;
   !changes
 
 let pass : Pass.func_pass =
-  { Pass.name = "constprop"; run = (fun _ f -> run_func f) }
+  {
+    Pass.name = "constprop";
+    (* substitutes operands only, never branch targets: the CFG and
+       everything derived from its shape survive; liveness does not
+       (register uses disappear) *)
+    preserves = [ Manager.Cfg; Manager.Dominators; Manager.Loops ];
+    run = (fun am _ f -> run_func ~cfg_of:(Manager.cfg am) f);
+  }

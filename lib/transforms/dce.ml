@@ -8,6 +8,7 @@ module Ir = Lp_ir.Ir
 module Prog = Lp_ir.Prog
 module Cfg = Lp_analysis.Cfg
 module Liveness = Lp_analysis.Liveness
+module Manager = Lp_analysis.Manager
 module IS = Lp_analysis.Dataflow.Int_set
 
 let pure (i : Ir.instr) : bool =
@@ -17,14 +18,14 @@ let pure (i : Ir.instr) : bool =
   | Ir.Store _ | Ir.Call _ | Ir.Pg_off _ | Ir.Pg_on _ | Ir.Dvfs _ | Ir.Send _
   | Ir.Recv _ | Ir.Barrier _ | Ir.Faa _ -> false
 
-let run_func (f : Prog.func) : int =
+let run_func (am : Manager.t) (f : Prog.func) : int =
   (* Unreachable blocks are dead code too, and must go first: liveness
      never marks their uses live, so removing a def whose only remaining
      use sits in an unreachable block would leave the IR rejecting the
      verifier's every-use-has-a-def invariant until the next
      simplify-cfg. *)
-  let pruned = Cfg.prune_unreachable f in
-  let live = Liveness.compute f in
+  let pruned = Cfg.prune_unreachable_of (Manager.cfg am f) in
+  let live = Manager.liveness am f in
   let removed = ref pruned in
   Prog.iter_blocks f (fun b ->
       let live_set =
@@ -59,6 +60,8 @@ let run_func (f : Prog.func) : int =
         |> List.filter_map Fun.id
       in
       b.Ir.instrs <- keep);
+  if !removed > pruned then Prog.touch f;
   !removed
 
-let pass : Pass.func_pass = { Pass.name = "dce"; run = (fun _ f -> run_func f) }
+let pass : Pass.func_pass =
+  { Pass.name = "dce"; preserves = []; run = (fun am _ f -> run_func am f) }

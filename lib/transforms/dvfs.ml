@@ -118,11 +118,14 @@ let choose_level (pm : Power_model.t) ~mu ~max_slowdown : int option =
   fst (choose_level_explained pm ~mu ~max_slowdown)
 
 let run_func ?(opts = default_options) ?(report = Report.disabled)
-    (m : Machine.t) (prog : Prog.t) (comm : (string, bool) Hashtbl.t)
-    (f : Prog.func) : int =
+    ?(find_loops = Loops.find) ?loop_est ?cfg_of (m : Machine.t)
+    (prog : Prog.t) (comm : (string, bool) Hashtbl.t) (f : Prog.func) : int =
+  let loop_est =
+    match loop_est with Some le -> le | None -> Est.loop_estimate m prog
+  in
   let pm = m.Machine.power in
   let changes = ref 0 in
-  let loops = Loops.top_level (Loops.find f) in
+  let loops = Loops.top_level (find_loops f) in
   let emit ~l ~mu ~est_cycles ~chosen ~rejected ~reason =
     if Report.enabled report then
       Report.add report
@@ -144,7 +147,7 @@ let run_func ?(opts = default_options) ?(report = Report.disabled)
           ~reason:
             (Some "communicating loop: timing coupled with other cores")
       else begin
-        let est = Est.loop_estimate m prog f l in
+        let est = loop_est f l in
         let mu = est.Est.mem_fraction in
         let est_cycles = est.Est.total_cycles in
         if est_cycles < opts.min_cycles then
@@ -170,7 +173,7 @@ let run_func ?(opts = default_options) ?(report = Report.disabled)
             emit ~l ~mu ~est_cycles ~chosen:None ~rejected
               ~reason:(Some "no operating point within the slowdown bound")
           | Some level -> (
-            match Region.preheader f l with
+            match Region.preheader ?cfg_of f l with
             | None ->
               emit ~l ~mu ~est_cycles ~chosen:None ~rejected
                 ~reason:(Some "no preheader to host the transition")
@@ -188,9 +191,14 @@ let run_func ?(opts = default_options) ?(report = Report.disabled)
     loops;
   !changes
 
-let insert ?(opts = default_options) ?(report = Report.disabled)
+let insert ?(opts = default_options) ?(report = Report.disabled) ?am
     (m : Machine.t) (prog : Prog.t) : int =
+  let module Manager = Lp_analysis.Manager in
   let comm = comm_closure prog in
+  let find_loops = Option.map Manager.loops am in
+  let loop_est = Option.map (fun am -> Manager.loop_est am m) am in
+  let cfg_of = Option.map Manager.cfg am in
   List.fold_left
-    (fun acc f -> acc + run_func ~opts ~report m prog comm f)
+    (fun acc f ->
+      acc + run_func ~opts ~report ?find_loops ?loop_est ?cfg_of m prog comm f)
     0 (Prog.funcs prog)

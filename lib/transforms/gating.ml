@@ -30,6 +30,7 @@ module Machine = Lp_machine.Machine
 module Loops = Lp_analysis.Loops
 module Compuse = Lp_analysis.Compuse
 module Est = Lp_analysis.Est
+module Manager = Lp_analysis.Manager
 module Report = Lp_obs.Report
 
 let comp_names cs = List.map Component.to_string (CS.elements cs)
@@ -85,12 +86,18 @@ let core_use_table (prog : Prog.t) (cu : Compuse.t) :
     (Prog.entries prog);
   table
 
-(** Gate idle components around loops of [f].  Returns insertions done. *)
+(** Gate idle components around loops of [f].  Returns insertions done.
+    [find_loops] / [loop_est] / [cfg_of] default to fresh computation;
+    the driver routes them through its analysis manager. *)
 let loop_gating ?(opts = default_options) ?(report = Report.disabled)
-    (m : Machine.t) (prog : Prog.t) (cu : Compuse.t) ~(core_use : CS.t)
-    (f : Prog.func) : int =
+    ?(find_loops = Loops.find) ?loop_est ?cfg_of (m : Machine.t)
+    (prog : Prog.t) (cu : Compuse.t) ~(core_use : CS.t) (f : Prog.func) : int
+    =
+  let loop_est =
+    match loop_est with Some le -> le | None -> Est.loop_estimate m prog
+  in
   let changes = ref 0 in
-  let loops = Loops.find f in
+  let loops = find_loops f in
   (* outermost first; remember which comps an enclosing loop already
      gates so inner loops don't re-gate them *)
   let gated_by : (Ir.label * CS.t) list ref = ref [] in
@@ -118,7 +125,7 @@ let loop_gating ?(opts = default_options) ?(report = Report.disabled)
       let suppressed = CS.inter gateable enclosing_gated in
       let candidates = CS.diff gateable suppressed in
       if not (CS.is_empty gateable) then begin
-        let est = Est.loop_estimate m prog f l in
+        let est = loop_est f l in
         let to_gate =
           CS.filter
             (fun c ->
@@ -130,7 +137,7 @@ let loop_gating ?(opts = default_options) ?(report = Report.disabled)
         let inserted, landings =
           if CS.is_empty to_gate then (CS.empty, 0)
           else
-            match Region.preheader f l with
+            match Region.preheader ?cfg_of f l with
             | None -> (CS.empty, 0)
             | Some pre ->
               Region.append f pre (Ir.Pg_off to_gate);
@@ -194,9 +201,14 @@ let entry_gating ?(report = Report.disabled) (m : Machine.t) (prog : Prog.t)
     (Prog.entries prog);
   !changes
 
-let insert ?(opts = default_options) ?(report = Report.disabled)
+let insert ?(opts = default_options) ?(report = Report.disabled) ?am
     (m : Machine.t) (prog : Prog.t) : int =
-  let cu = Compuse.compute prog in
+  let cu =
+    match am with Some am -> Manager.compuse am | None -> Compuse.compute prog
+  in
+  let find_loops = Option.map Manager.loops am in
+  let loop_est = Option.map (fun am -> Manager.loop_est am m) am in
+  let cfg_of = Option.map Manager.cfg am in
   let core_use = core_use_table prog cu in
   let n =
     if opts.loop_gating then
@@ -206,7 +218,9 @@ let insert ?(opts = default_options) ?(report = Report.disabled)
             Option.value ~default:CS.empty
               (Hashtbl.find_opt core_use f.Prog.fname)
           in
-          acc + loop_gating ~opts ~report m prog cu ~core_use:u f)
+          acc
+          + loop_gating ~opts ~report ?find_loops ?loop_est ?cfg_of m prog cu
+              ~core_use:u f)
         0 (Prog.funcs prog)
     else 0
   in
@@ -335,9 +349,13 @@ let merge_block ?(report = Report.disabled) ~fname (m : Machine.t)
 let merge ?(report = Report.disabled) (m : Machine.t) (prog : Prog.t) : int =
   List.fold_left
     (fun acc f ->
-      List.fold_left
-        (fun acc b -> acc + merge_block ~report ~fname:f.Prog.fname m b)
-        acc (Prog.blocks_in_order f))
+      let n =
+        List.fold_left
+          (fun acc b -> acc + merge_block ~report ~fname:f.Prog.fname m b)
+          0 (Prog.blocks_in_order f)
+      in
+      if n > 0 then Prog.touch f;
+      acc + n)
     0 (Prog.funcs prog)
 
 (* ------------------------------------------------------------------ *)

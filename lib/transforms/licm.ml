@@ -14,6 +14,7 @@
 module Ir = Lp_ir.Ir
 module Prog = Lp_ir.Prog
 module Loops = Lp_analysis.Loops
+module Manager = Lp_analysis.Manager
 
 let hoistable (i : Ir.instr) : bool =
   match i.Ir.idesc with
@@ -38,9 +39,9 @@ let multi_def_regs (f : Prog.func) : (Ir.reg, unit) Hashtbl.t =
       | None -> ());
   multi
 
-let run_func (f : Prog.func) : int =
+let run_func ?(find_loops = Loops.find) ?cfg_of (f : Prog.func) : int =
   let hoisted = ref 0 in
-  let loops = Loops.find f in
+  let loops = find_loops f in
   let multi = multi_def_regs f in
   (* innermost loops first: hoisting out of an inner loop may enable the
      next fixpoint round to hoist further out of the outer loop *)
@@ -82,7 +83,7 @@ let run_func (f : Prog.func) : int =
       match !candidates with
       | [] -> ()
       | cands -> (
-        match Region.preheader f l with
+        match Region.preheader ?cfg_of f l with
         | None -> ()
         | Some pre ->
           List.iter
@@ -92,9 +93,16 @@ let run_func (f : Prog.func) : int =
               (* its destination now counts as defined outside; but a
                  conservative single pass per fixpoint round is enough *)
               incr hoisted)
-            (List.rev cands)))
+            (List.rev cands);
+          Prog.touch f))
     loops;
   !hoisted
 
 let pass : Pass.func_pass =
-  { Pass.name = "licm"; run = (fun _ f -> run_func f) }
+  {
+    Pass.name = "licm";
+    preserves = [];
+    run =
+      (fun am _ f ->
+        run_func ~find_loops:(Manager.loops am) ~cfg_of:(Manager.cfg am) f);
+  }

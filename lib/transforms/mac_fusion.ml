@@ -70,7 +70,14 @@ let run_func (f : Prog.func) : int =
       b.Ir.instrs <- keep);
   (* the fused muls are now dead (their single use was replaced); a DCE
      round removes them *)
+  if !fused > 0 then Prog.touch f;
   !fused
 
 let pass : Pass.func_pass =
-  { Pass.name = "mac-fusion"; run = (fun _ f -> run_func f) }
+  {
+    Pass.name = "mac-fusion";
+    (* rewrites instructions in place without touching terminators, but
+       register uses move (the mul's temporary dies), so liveness falls *)
+    preserves = Lp_analysis.Manager.[ Cfg; Dominators; Loops ];
+    run = (fun _ _ f -> run_func f);
+  }

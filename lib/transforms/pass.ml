@@ -3,6 +3,14 @@
     table (T5), and emitting telemetry spans when the manager's recorder
     is enabled.
 
+    Every pass runs against a shared {!Lp_analysis.Manager}: it queries
+    analyses (CFG, dominators, liveness, loops, estimates) through the
+    manager instead of computing them, and declares in [preserves] which
+    of those analyses its rewrites keep valid.  After a pass changes a
+    function, the manager drops that function's cached analyses except
+    the preserved ones — so a later pass (or a later sweep of a
+    fixpoint) gets cache hits exactly where nothing relevant moved.
+
     Timing has one source: every [run_pass] takes exactly one span
     measurement (via the recorder's monotonic clock) and the [stats]
     list is the per-pass aggregation of those spans, so the T5 table and
@@ -12,6 +20,7 @@
 module Prog = Lp_ir.Prog
 module Obs = Lp_obs.Obs
 module Report = Lp_obs.Report
+module Manager = Lp_analysis.Manager
 
 type stats = {
   pass_name : string;
@@ -22,7 +31,10 @@ type stats = {
 
 type func_pass = {
   name : string;
-  run : Prog.t -> Prog.func -> int;  (** returns number of changes *)
+  preserves : Manager.kind list;
+      (** analyses still valid for a function this pass changed *)
+  run : Manager.t -> Prog.t -> Prog.func -> int;
+      (** returns number of changes *)
 }
 
 type manager = {
@@ -34,11 +46,32 @@ type manager = {
   on_pass : (string -> Prog.t -> unit) option;
       (** called after every pass run (fuzzing hooks verification in
           here); may raise to abort the compile *)
+  caching : bool;  (** analysis managers memoize (LP_NO_ANALYSIS_CACHE off) *)
+  mutable am : (Prog.t * Manager.t) option;
+      (** analysis manager of the program last run, created lazily *)
 }
 
-let create_manager ?(obs = Obs.disabled) ?(report = Report.disabled) ?on_pass
-    () =
-  { by_name = Hashtbl.create 16; order = []; obs; report; on_pass }
+let create_manager ?(obs = Obs.disabled) ?(report = Report.disabled)
+    ?(caching = true) ?on_pass () =
+  {
+    by_name = Hashtbl.create 16;
+    order = [];
+    obs;
+    report;
+    on_pass;
+    caching;
+    am = None;
+  }
+
+(** The analysis manager serving [prog] (created on first use; one pass
+    manager normally drives one program, but tests reuse them). *)
+let analysis_manager m (prog : Prog.t) : Manager.t =
+  match m.am with
+  | Some (p, am) when p == prog -> am
+  | Some _ | None ->
+    let am = Manager.create ~obs:m.obs ~caching:m.caching prog in
+    m.am <- Some (prog, am);
+    am
 
 let stats_for m name =
   match Hashtbl.find_opt m.by_name name with
@@ -49,12 +82,20 @@ let stats_for m name =
     m.order <- name :: m.order;
     s
 
-(** Run one pass over every function; returns total changes. *)
+(** Run one pass over every function; returns total changes.  Functions
+    the pass changed get their cached analyses invalidated (minus the
+    pass's [preserves] set) before the next function runs. *)
 let run_pass m (p : func_pass) (prog : Prog.t) : int =
   let s = stats_for m p.name in
+  let am = analysis_manager m prog in
   let traced = Obs.enabled m.obs in
   let audited = Report.enabled m.report in
   let instrs_before = if audited then Prog.total_instrs prog else 0 in
+  let run_func f =
+    let n = p.run am prog f in
+    if n > 0 then Manager.invalidate am ~preserves:p.preserves f;
+    n
+  in
   let t0 = Obs.now_ns m.obs in
   let changes =
     if traced then
@@ -64,10 +105,9 @@ let run_pass m (p : func_pass) (prog : Prog.t) : int =
           + Obs.span m.obs ~cat:"func"
               ~args:[ ("pass", Obs.Str p.name) ]
               f.Prog.fname
-              (fun () -> p.run prog f))
+              (fun () -> run_func f))
         0 (Prog.funcs prog)
-    else
-      List.fold_left (fun acc f -> acc + p.run prog f) 0 (Prog.funcs prog)
+    else List.fold_left (fun acc f -> acc + run_func f) 0 (Prog.funcs prog)
   in
   let dur = Obs.now_ns m.obs -. t0 in
   if traced then

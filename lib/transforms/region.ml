@@ -20,10 +20,11 @@ let retarget_term term ~from ~to_ =
     entry into the loop passes.  Returns [None] when the loop header is
     the function entry (cannot be given a preheader without changing the
     entry). *)
-let preheader (f : Prog.func) (l : Loops.loop) : Ir.block option =
+let preheader ?(cfg_of = Cfg.build) (f : Prog.func) (l : Loops.loop) :
+    Ir.block option =
   if l.Loops.header = f.Prog.entry then None
   else begin
-    let cfg = Cfg.build f in
+    let cfg = cfg_of f in
     let outside_preds =
       List.filter
         (fun p -> not (Loops.contains l p))
@@ -41,6 +42,7 @@ let preheader (f : Prog.func) (l : Loops.loop) : Ir.block option =
         nb.Ir.term <- Ir.Jmp l.Loops.header;
         pb.Ir.term <-
           retarget_term pb.Ir.term ~from:l.Loops.header ~to_:nb.Ir.bid;
+        Prog.touch f;
         Some nb)
     | _ ->
       let nb = Prog.new_block f in
@@ -51,6 +53,7 @@ let preheader (f : Prog.func) (l : Loops.loop) : Ir.block option =
           pb.Ir.term <-
             retarget_term pb.Ir.term ~from:l.Loops.header ~to_:nb.Ir.bid)
         outside_preds;
+      Prog.touch f;
       Some nb
   end
 
@@ -63,13 +66,16 @@ let exit_landings (f : Prog.func) (l : Loops.loop) : Ir.block list =
       nb.Ir.term <- Ir.Jmp outside;
       let ib = Prog.block f inside in
       ib.Ir.term <- retarget_term ib.Ir.term ~from:outside ~to_:nb.Ir.bid;
+      Prog.touch f;
       nb)
     l.Loops.exits
 
 (** Append an instruction to a block. *)
 let append (f : Prog.func) (b : Ir.block) idesc =
-  b.Ir.instrs <- b.Ir.instrs @ [ Prog.new_instr f idesc ]
+  b.Ir.instrs <- b.Ir.instrs @ [ Prog.new_instr f idesc ];
+  Prog.touch f
 
 (** Prepend an instruction to a block. *)
 let prepend (f : Prog.func) (b : Ir.block) idesc =
-  b.Ir.instrs <- Prog.new_instr f idesc :: b.Ir.instrs
+  b.Ir.instrs <- Prog.new_instr f idesc :: b.Ir.instrs;
+  Prog.touch f

@@ -9,6 +9,7 @@
 module Ir = Lp_ir.Ir
 module Prog = Lp_ir.Prog
 module Cfg = Lp_analysis.Cfg
+module Manager = Lp_analysis.Manager
 
 (** Collapse [Br c l l] into [Jmp l]. *)
 let collapse_trivial_br (f : Prog.func) : int =
@@ -19,6 +20,7 @@ let collapse_trivial_br (f : Prog.func) : int =
         incr n;
         b.Ir.term <- Ir.Jmp l1
       | Ir.Br _ | Ir.Jmp _ | Ir.Ret _ -> ());
+  if !n > 0 then Prog.touch f;
   !n
 
 (** Thread jumps through empty forwarding blocks (no instructions,
@@ -52,16 +54,19 @@ let thread_empty (f : Prog.func) : int =
         | Ir.Ret _ as t -> t
       in
       b.Ir.term <- new_term);
+  if !n > 0 then Prog.touch f;
   !n
 
 (** Merge [b -> c] when [b] ends in [Jmp c] and [c] has exactly one
-    predecessor (and is not the entry). *)
-let merge_linear (f : Prog.func) : int =
+    predecessor (and is not the entry).  The CFG is re-queried through
+    the manager after every merge (each merge touches [f], so the query
+    recomputes; between two clean sweeps it is served from cache). *)
+let merge_linear (am : Manager.t) (f : Prog.func) : int =
   let n = ref 0 in
   let changed = ref true in
   while !changed do
     changed := false;
-    let cfg = Cfg.build f in
+    let cfg = Manager.cfg am f in
     let merged = ref false in
     List.iter
       (fun bid ->
@@ -77,6 +82,7 @@ let merge_linear (f : Prog.func) : int =
             f.Prog.block_order <-
               List.filter (fun l -> l <> c_id) f.Prog.block_order;
             Hashtbl.remove f.Prog.blocks c_id;
+            Prog.touch f;
             incr n;
             merged := true;
             changed := true
@@ -86,12 +92,16 @@ let merge_linear (f : Prog.func) : int =
   done;
   !n
 
-let run_func (f : Prog.func) : int =
+let run_func (am : Manager.t) (f : Prog.func) : int =
   let c1 = collapse_trivial_br f in
   let c2 = thread_empty f in
-  let c3 = Cfg.prune_unreachable f in
-  let c4 = merge_linear f in
+  let c3 = Cfg.prune_unreachable_of (Manager.cfg am f) in
+  let c4 = merge_linear am f in
   c1 + c2 + c3 + c4
 
 let pass : Pass.func_pass =
-  { Pass.name = "simplify-cfg"; run = (fun _ f -> run_func f) }
+  {
+    Pass.name = "simplify-cfg";
+    preserves = [];
+    run = (fun am _ f -> run_func am f);
+  }

@@ -32,7 +32,15 @@ let run_func (f : Prog.func) : int =
           i.Ir.idesc <- Ir.Binop (Ir.Shl, d, a, Ir.Imm (Ir.Cint k))
         | None -> ())
       | _ -> ());
+  if !changed > 0 then Prog.touch f;
   !changed
 
 let pass : Pass.func_pass =
-  { Pass.name = "strength-reduce"; run = (fun _ f -> run_func f) }
+  {
+    Pass.name = "strength-reduce";
+    (* a Mul becomes a Shl with the same def and the same register
+       uses, so even liveness survives *)
+    preserves =
+      Lp_analysis.Manager.[ Cfg; Dominators; Loops; Liveness ];
+    run = (fun _ _ f -> run_func f);
+  }

@@ -42,9 +42,10 @@ let two_block_shape (f : Prog.func) (l : Loops.loop) :
 let copy_instrs (f : Prog.func) (instrs : Ir.instr list) : Ir.instr list =
   List.map (fun (i : Ir.instr) -> Prog.new_instr f i.Ir.idesc) instrs
 
-let run_func ?(opts = default_options) (f : Prog.func) : int =
+let run_func ?(opts = default_options) ?(find_loops = Loops.find)
+    (f : Prog.func) : int =
   let changes = ref 0 in
-  let loops = Loops.find f in
+  let loops = find_loops f in
   (* only innermost loops (no other loop strictly inside) *)
   let innermost l =
     not
@@ -74,6 +75,7 @@ let run_func ?(opts = default_options) (f : Prog.func) : int =
           pieces := !pieces @ copy_instrs f header.Ir.instrs;
           header.Ir.instrs <- !pieces;
           header.Ir.term <- Ir.Jmp exit_id;
+          Prog.touch f;
           (* the body block becomes unreachable; simplify-cfg prunes it *)
           incr changes
         | _ -> ())
@@ -81,4 +83,11 @@ let run_func ?(opts = default_options) (f : Prog.func) : int =
   !changes
 
 let pass : Pass.func_pass =
-  { Pass.name = "unroll"; run = (fun _ f -> run_func ~opts:default_options f) }
+  {
+    Pass.name = "unroll";
+    preserves = [];
+    run =
+      (fun am _ f ->
+        run_func ~opts:default_options
+          ~find_loops:(Lp_analysis.Manager.loops am) f);
+  }

@@ -4,10 +4,12 @@ type t = {
   faults : string option;
   trace : string option;
   report : string option;
+  no_analysis_cache : bool;
 }
 
 let default =
-  { jobs = None; retries = 2; faults = None; trace = None; report = None }
+  { jobs = None; retries = 2; faults = None; trace = None; report = None;
+    no_analysis_cache = false }
 
 let clean = function
   | Some s when String.trim s <> "" -> Some (String.trim s)
@@ -20,6 +22,12 @@ let pos_int = function
     | Some _ | None -> None)
   | None -> None
 
+let truthy = function
+  | Some s ->
+    let s = String.trim s in
+    s <> "" && s <> "0"
+  | None -> false
+
 let from_env () =
   let get = Sys.getenv_opt in
   {
@@ -31,9 +39,10 @@ let from_env () =
     faults = clean (get "LP_FAULTS");
     trace = clean (get "LP_TRACE");
     report = clean (get "LP_REPORT");
+    no_analysis_cache = truthy (get "LP_NO_ANALYSIS_CACHE");
   }
 
-let resolve ?jobs ?retries ?faults ?trace ?report base =
+let resolve ?jobs ?retries ?faults ?trace ?report ?no_analysis_cache base =
   {
     jobs = (match jobs with Some _ -> jobs | None -> base.jobs);
     retries = Option.value ~default:base.retries retries;
@@ -41,12 +50,18 @@ let resolve ?jobs ?retries ?faults ?trace ?report base =
     trace = (match clean trace with Some _ as t -> t | None -> base.trace);
     report =
       (match clean report with Some _ as r -> r | None -> base.report);
+    no_analysis_cache =
+      (* a flag can only switch the cache off; absence keeps base *)
+      (match no_analysis_cache with
+      | Some true -> true
+      | Some false | None -> base.no_analysis_cache);
   }
 
 let to_string c =
-  Printf.sprintf "jobs=%s retries=%d faults=%s trace=%s report=%s"
+  Printf.sprintf "jobs=%s retries=%d faults=%s trace=%s report=%s analysis_cache=%s"
     (match c.jobs with Some n -> string_of_int n | None -> "auto")
     c.retries
     (Option.value ~default:"(none)" c.faults)
     (Option.value ~default:"(off)" c.trace)
     (Option.value ~default:"(off)" c.report)
+    (if c.no_analysis_cache then "off" else "on")

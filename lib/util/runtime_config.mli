@@ -40,6 +40,12 @@ type t = {
   report : string option;
       (** power-decision audit report JSON output path; [None] = report
           off ([LP_REPORT] / [--report]) *)
+  no_analysis_cache : bool;
+      (** escape hatch: make the analysis manager recompute every query
+          instead of serving memoized results ([LP_NO_ANALYSIS_CACHE=1]
+          / [--no-analysis-cache]).  Output must be byte-identical
+          either way; this exists to prove it and to debug suspected
+          stale-analysis miscompiles *)
 }
 
 (** All defaults: auto-sized pool, 2 retries, no faults, no trace, no
@@ -51,15 +57,17 @@ val default : t
     [bin/]/[bench/]) reads the environment. *)
 val from_env : unit -> t
 
-(** [resolve ?jobs ?retries ?faults ?trace ?report base] overlays the
-    given flags on [base]; omitted (or blank-string) flags keep [base]'s
-    value. *)
+(** [resolve ?jobs ?retries ?faults ?trace ?report ?no_analysis_cache
+    base] overlays the given flags on [base]; omitted (or blank-string)
+    flags keep [base]'s value.  [~no_analysis_cache:false] is treated as
+    "flag absent" so the environment variable still wins. *)
 val resolve :
   ?jobs:int ->
   ?retries:int ->
   ?faults:string ->
   ?trace:string ->
   ?report:string ->
+  ?no_analysis_cache:bool ->
   t ->
   t
 

@@ -11,6 +11,7 @@ module Dominators = Lp_analysis.Dominators
 module Loops = Lp_analysis.Loops
 module Compuse = Lp_analysis.Compuse
 module Est = Lp_analysis.Est
+module Manager = Lp_analysis.Manager
 module Component = Lp_power.Component
 module CS = Component.Set
 module IS = Dataflow.Int_set
@@ -42,6 +43,51 @@ let diamond () =
   Builder.switch_to b join_b;
   Builder.set_term b (Ir.Ret (Some (Ir.Reg r)));
   (f, then_b.Ir.bid, else_b.Ir.bid, join_b.Ir.bid, r)
+
+(** A single natural loop with two latches:
+    entry -> h; h -> (b1 | exit); b1 -> (h | b2); b2 -> h. *)
+let multi_latch () =
+  let f = Prog.create_func ~name:"ml" ~params:[ Ir.I ] ~ret:(Some Ir.I) in
+  let b = Builder.create f in
+  let (p, _) = List.hd f.Prog.params in
+  let h = Builder.new_block b in
+  let b1 = Builder.new_block b in
+  let b2 = Builder.new_block b in
+  let ex = Builder.new_block b in
+  Builder.set_term b (Ir.Jmp h.Ir.bid);
+  Builder.switch_to b h;
+  Builder.set_term b (Ir.Br (Ir.Reg p, b1.Ir.bid, ex.Ir.bid));
+  Builder.switch_to b b1;
+  Builder.set_term b (Ir.Br (Ir.Reg p, h.Ir.bid, b2.Ir.bid));
+  Builder.switch_to b b2;
+  Builder.set_term b (Ir.Jmp h.Ir.bid);
+  Builder.switch_to b ex;
+  Builder.set_term b (Ir.Ret (Some (Ir.Reg p)));
+  (f, h.Ir.bid, b1.Ir.bid, b2.Ir.bid, ex.Ir.bid)
+
+(** Two hand-built nested natural loops:
+    entry -> oh; oh -> (ih | exit); ih -> (ib | ol); ib -> ih; ol -> oh. *)
+let nested_nest () =
+  let f = Prog.create_func ~name:"nest" ~params:[ Ir.I ] ~ret:(Some Ir.I) in
+  let b = Builder.create f in
+  let (p, _) = List.hd f.Prog.params in
+  let oh = Builder.new_block b in
+  let ih = Builder.new_block b in
+  let ib = Builder.new_block b in
+  let ol = Builder.new_block b in
+  let ex = Builder.new_block b in
+  Builder.set_term b (Ir.Jmp oh.Ir.bid);
+  Builder.switch_to b oh;
+  Builder.set_term b (Ir.Br (Ir.Reg p, ih.Ir.bid, ex.Ir.bid));
+  Builder.switch_to b ih;
+  Builder.set_term b (Ir.Br (Ir.Reg p, ib.Ir.bid, ol.Ir.bid));
+  Builder.switch_to b ib;
+  Builder.set_term b (Ir.Jmp ih.Ir.bid);
+  Builder.switch_to b ol;
+  Builder.set_term b (Ir.Jmp oh.Ir.bid);
+  Builder.switch_to b ex;
+  Builder.set_term b (Ir.Ret (Some (Ir.Reg p)));
+  (f, oh.Ir.bid, ih.Ir.bid, ib.Ir.bid, ol.Ir.bid, ex.Ir.bid)
 
 (* ---------------- cfg ---------------- *)
 
@@ -118,6 +164,33 @@ let test_dominators_diamond () =
     (Dominators.idom dom t);
   if not (Dominators.dominates dom e e) then fail "self-domination"
 
+let test_dominators_multi_latch () =
+  let (f, h, b1, b2, ex) = multi_latch () in
+  let dom = Dominators.compute f in
+  check Alcotest.(option int) "idom of header" (Some f.Prog.entry)
+    (Dominators.idom dom h);
+  check Alcotest.(option int) "idom of b1" (Some h) (Dominators.idom dom b1);
+  check Alcotest.(option int) "idom of b2" (Some b1) (Dominators.idom dom b2);
+  check Alcotest.(option int) "idom of exit" (Some h) (Dominators.idom dom ex);
+  if not (Dominators.dominates dom h b2) then fail "header dom second latch";
+  if Dominators.dominates dom b1 ex then fail "latch must not dominate exit"
+
+let test_dominators_nested () =
+  let (f, oh, ih, ib, ol, ex) = nested_nest () in
+  let dom = Dominators.compute f in
+  List.iter
+    (fun l ->
+      if not (Dominators.dominates dom oh l) then
+        Alcotest.failf "outer header must dominate %d" l)
+    [ ih; ib; ol; ex ];
+  check Alcotest.(option int) "idom of inner header" (Some oh)
+    (Dominators.idom dom ih);
+  check Alcotest.(option int) "idom of inner latch" (Some ih)
+    (Dominators.idom dom ib);
+  check Alcotest.(option int) "idom of outer latch" (Some ih)
+    (Dominators.idom dom ol);
+  if Dominators.dominates dom ib ol then fail "inner body must not dominate outer latch"
+
 (* ---------------- loops ---------------- *)
 
 let test_loops_simple () =
@@ -160,6 +233,121 @@ let test_while_loop_detected () =
   in
   let f = Prog.func_exn prog "main" in
   check Alcotest.int "one loop" 1 (List.length (Loops.find f))
+
+let test_loops_multiple_latches () =
+  let (f, h, b1, b2, ex) = multi_latch () in
+  match Loops.find f with
+  | [ l ] ->
+    check Alcotest.int "header" h l.Loops.header;
+    check Alcotest.(list int) "both latches" [ b1; b2 ]
+      (List.sort compare l.Loops.back_edges);
+    check Alcotest.int "three blocks" 3 (Loops.LS.cardinal l.Loops.blocks);
+    List.iter
+      (fun lbl ->
+        if not (Loops.contains l lbl) then Alcotest.failf "block %d missing" lbl)
+      [ h; b1; b2 ];
+    if Loops.contains l ex then fail "exit inside loop";
+    check Alcotest.(list (pair int int)) "single exit edge" [ (h, ex) ]
+      l.Loops.exits;
+    check Alcotest.int "depth" 1 l.Loops.depth
+  | ls -> Alcotest.failf "two latches = one natural loop, got %d" (List.length ls)
+
+let test_loops_nested_hand_built () =
+  let (f, oh, ih, ib, ol, _) = nested_nest () in
+  match Loops.find f with
+  | [ outer; inner ] ->
+    (* find sorts by (depth, header): outermost first *)
+    check Alcotest.int "outer header" oh outer.Loops.header;
+    check Alcotest.int "outer depth" 1 outer.Loops.depth;
+    check Alcotest.int "outer blocks" 4 (Loops.LS.cardinal outer.Loops.blocks);
+    check Alcotest.int "inner header" ih inner.Loops.header;
+    check Alcotest.int "inner depth" 2 inner.Loops.depth;
+    check Alcotest.(list int) "inner blocks" [ ih; ib ]
+      (List.sort compare (Loops.LS.elements inner.Loops.blocks));
+    check Alcotest.(list int) "outer latch" [ ol ]
+      outer.Loops.back_edges;
+    if not (Loops.LS.subset inner.Loops.blocks outer.Loops.blocks) then
+      fail "inner loop not nested in outer"
+  | ls -> Alcotest.failf "expected two loops, got %d" (List.length ls)
+
+(* ---------------- analysis manager ---------------- *)
+
+let machine4 = Lp_machine.Machine.generic ~n_cores:4 ()
+
+let cached_prog () =
+  lower
+    "int main() { int s = 0; for (int i = 0; i < 8; i = i + 1) { s = s + i * 2; } return s; }"
+
+let test_manager_hit_and_stale () =
+  let prog = cached_prog () in
+  let f = Prog.func_exn prog "main" in
+  let am = Manager.create prog in
+  let c1 = Manager.cfg am f in
+  let c2 = Manager.cfg am f in
+  if not (c1 == c2) then fail "second query must be served from cache";
+  let s = Manager.stats am in
+  check Alcotest.int "hits" 1 s.Manager.hits;
+  check Alcotest.int "misses" 1 s.Manager.misses;
+  Prog.touch f;
+  let c3 = Manager.cfg am f in
+  if c3 == c1 then fail "stale entry must be recomputed";
+  check Alcotest.int "misses after touch" 2 (Manager.stats am).Manager.misses
+
+let test_manager_layering () =
+  let prog = cached_prog () in
+  let f = Prog.func_exn prog "main" in
+  let am = Manager.create prog in
+  (* one loops query computes loops, cfg and dominators (doms reuse the
+     just-cached cfg: one hit) *)
+  ignore (Manager.loops am f);
+  let s = Manager.stats am in
+  check Alcotest.int "misses" 3 s.Manager.misses;
+  check Alcotest.int "cfg reused by doms" 1 s.Manager.hits;
+  ignore (Manager.dominators am f);
+  check Alcotest.int "doms now cached" 2 (Manager.stats am).Manager.hits
+
+let test_manager_invalidate_preserves () =
+  let prog = cached_prog () in
+  let f = Prog.func_exn prog "main" in
+  let am = Manager.create prog in
+  let c1 = Manager.cfg am f in
+  ignore (Manager.liveness am f);
+  Prog.touch f;
+  Manager.invalidate am ~preserves:[ Manager.Cfg ] f;
+  check Alcotest.int "only liveness dropped" 1
+    (Manager.stats am).Manager.invalidations;
+  let c2 = Manager.cfg am f in
+  if not (c1 == c2) then fail "preserved analysis must survive invalidation";
+  let before = (Manager.stats am).Manager.misses in
+  ignore (Manager.liveness am f);
+  if (Manager.stats am).Manager.misses <= before then
+    fail "non-preserved analysis must recompute"
+
+let test_manager_caching_off () =
+  let prog = cached_prog () in
+  let f = Prog.func_exn prog "main" in
+  let am = Manager.create ~caching:false prog in
+  let c1 = Manager.cfg am f in
+  let c2 = Manager.cfg am f in
+  if c1 == c2 then fail "caching off must recompute every query";
+  let s = Manager.stats am in
+  check Alcotest.int "no hits" 0 s.Manager.hits;
+  check Alcotest.int "all misses" 2 s.Manager.misses
+
+let test_manager_prog_level () =
+  let prog = cached_prog () in
+  let f = Prog.func_exn prog "main" in
+  let am = Manager.create prog in
+  let cu1 = Manager.compuse am in
+  let cu2 = Manager.compuse am in
+  if not (cu1 == cu2) then fail "compuse must cache";
+  let e1 = Manager.func_est am machine4 f in
+  let e2 = Manager.func_est am machine4 f in
+  if not (e1 == e2) then fail "func_est must cache";
+  (* touching any function moves prog_version: both expire *)
+  Prog.touch f;
+  if Manager.compuse am == cu1 then fail "compuse must expire on touch";
+  if Manager.func_est am machine4 f == e1 then fail "func_est must expire on touch"
 
 (* ---------------- component usage ---------------- *)
 
@@ -276,10 +464,20 @@ let suite =
     Alcotest.test_case "liveness diamond" `Quick test_liveness_diamond;
     Alcotest.test_case "liveness loop carried" `Quick test_liveness_loop_carried;
     Alcotest.test_case "dominators diamond" `Quick test_dominators_diamond;
+    Alcotest.test_case "dominators multi latch" `Quick test_dominators_multi_latch;
+    Alcotest.test_case "dominators nested" `Quick test_dominators_nested;
     Alcotest.test_case "loops simple + trip" `Quick test_loops_simple;
     Alcotest.test_case "loops nested" `Quick test_loops_nested;
     Alcotest.test_case "loops unknown trip" `Quick test_loops_unknown_trip;
     Alcotest.test_case "while loop detected" `Quick test_while_loop_detected;
+    Alcotest.test_case "loops multiple latches" `Quick test_loops_multiple_latches;
+    Alcotest.test_case "loops nested hand-built" `Quick test_loops_nested_hand_built;
+    Alcotest.test_case "manager hit + stale" `Quick test_manager_hit_and_stale;
+    Alcotest.test_case "manager layering" `Quick test_manager_layering;
+    Alcotest.test_case "manager invalidate preserves" `Quick
+      test_manager_invalidate_preserves;
+    Alcotest.test_case "manager caching off" `Quick test_manager_caching_off;
+    Alcotest.test_case "manager prog-level stamps" `Quick test_manager_prog_level;
     Alcotest.test_case "compuse direct" `Quick test_compuse_direct;
     Alcotest.test_case "compuse transitive" `Quick test_compuse_transitive;
     Alcotest.test_case "compuse never used" `Quick test_compuse_never_used;

@@ -8,6 +8,7 @@ let () =
       ("ir", Test_ir.suite);
       ("analysis", Test_analysis.suite);
       ("transforms", Test_transforms.suite);
+      ("pipeline", Test_pipeline.suite);
       ("sim", Test_sim.suite);
       ("patterns", Test_patterns.suite);
       ("power", Test_power.suite);

@@ -1,0 +1,164 @@
+(** The declarative pass pipeline and the analysis-cache escape hatch.
+
+    Checks that the schedule-as-data layer is faithful: the default
+    value prints stably ([lpcc pipeline]'s golden output), [parse] is
+    the inverse of [to_string] on flat specs, running the explicit
+    default schedule equals the driver's implicit one, and — the
+    invariant everything rests on — compiling with the analysis cache
+    disabled produces byte-identical IR while a cached compile actually
+    hits the cache. *)
+
+module Compile = Lowpower.Compile
+module Pipeline = Lowpower.Pipeline
+module Machine = Lp_machine.Machine
+module Runtime_config = Lp_util.Runtime_config
+module Obs = Lp_obs.Obs
+module W = Lp_workloads.Workload
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let machine = Machine.generic ~n_cores:4 ()
+
+let workload name =
+  match Lp_workloads.Suite.find name with
+  | Some w -> w.W.source
+  | None -> Alcotest.failf "bundled workload %s missing" name
+
+(* ---------------- rendering and parsing ---------------- *)
+
+let default_rendering =
+  "run const-promote\n\
+   fixpoint simplify-cfg constfold constprop dce\n\
+   run unroll\n\
+   fixpoint simplify-cfg constfold constprop dce\n\
+   if mac-fusion {\n\
+  \  run mac-fusion\n\
+  \  fixpoint constfold dce\n\
+   }\n\
+   run strength-reduce\n\
+   fixpoint licm constfold dce simplify-cfg\n"
+
+let test_default_prints_stably () =
+  check Alcotest.string "lpcc pipeline golden" default_rendering
+    (Pipeline.to_string Pipeline.default)
+
+let test_parse_round_trip () =
+  match Pipeline.parse "constprop,fix(simplify-cfg,dce),strength-reduce" with
+  | Error e -> fail e
+  | Ok t ->
+    check Alcotest.string "round trip"
+      "run constprop\nfixpoint simplify-cfg dce\nrun strength-reduce\n"
+      (Pipeline.to_string t)
+
+let test_parse_rejects_garbage () =
+  List.iter
+    (fun spec ->
+      match Pipeline.parse spec with
+      | Ok _ -> Alcotest.failf "spec %S must be rejected" spec
+      | Error _ -> ())
+    [ "no-such-pass"; "fix()"; "dce,fix(dce"; ""; "fix(no-such-pass)" ]
+
+let test_registry_covers_default () =
+  (* every pass the default schedule runs is spellable in a --passes spec *)
+  let rec names acc = function
+    | [] -> acc
+    | Pipeline.Run p :: rest -> names (p.Lp_transforms.Pass.name :: acc) rest
+    | Pipeline.Fixpoint ps :: rest ->
+      names (List.map (fun p -> p.Lp_transforms.Pass.name) ps @ acc) rest
+    | Pipeline.If (_, sub) :: rest -> names (names acc sub) rest
+  in
+  List.iter
+    (fun n ->
+      if Pipeline.find_pass n = None then
+        Alcotest.failf "default schedule uses unregistered pass %s" n)
+    (names [] Pipeline.default)
+
+(* ---------------- schedule and cache equivalences ---------------- *)
+
+let ir_of ?ctx opts src =
+  let compiled =
+    match Compile.compile_result ?ctx ~opts ~machine src with
+    | Ok c -> c
+    | Error d -> Alcotest.failf "compile failed: %s" (Lp_util.Diag.to_string d)
+  in
+  Lp_ir.Printer.prog_to_string compiled.Compile.prog
+
+let test_explicit_default_is_default () =
+  let opts = Compile.full ~n_cores:4 in
+  let src = workload "fir" in
+  check Alcotest.string "explicit default == implicit"
+    (ir_of opts src)
+    (ir_of { opts with Compile.pipeline = Some Pipeline.default } src)
+
+let no_cache_ctx () =
+  Compile.make_ctx
+    ~config:{ Runtime_config.default with Runtime_config.no_analysis_cache = true }
+    ()
+
+let test_cache_off_is_byte_identical () =
+  List.iter
+    (fun name ->
+      let src = workload name in
+      let opts = Compile.full ~n_cores:4 in
+      check Alcotest.string (name ^ " cache on == off")
+        (ir_of opts src)
+        (ir_of ~ctx:(no_cache_ctx ()) opts src))
+    [ "fir"; "matmul"; "histogram" ]
+
+let test_cache_hits_observed () =
+  let obs = Obs.create () in
+  let ctx = Compile.make_ctx ~obs () in
+  ignore (ir_of ~ctx (Compile.full ~n_cores:4) (workload "fir"));
+  let counter n = Option.value ~default:0 (List.assoc_opt n (Obs.counters obs)) in
+  if counter "analysis.cache_hits" = 0 then fail "no analysis cache hits";
+  if counter "analysis.cache_misses" = 0 then fail "no analysis cache misses";
+  if counter "analysis.invalidations" = 0 then fail "no invalidations recorded"
+
+let test_no_cache_ctx_never_hits () =
+  let obs = Obs.create () in
+  let ctx =
+    Compile.make_ctx ~obs
+      ~config:{ Runtime_config.default with Runtime_config.no_analysis_cache = true }
+      ()
+  in
+  ignore (ir_of ~ctx (Compile.full ~n_cores:4) (workload "fir"));
+  check Alcotest.int "cache disabled: zero hits" 0
+    (Option.value ~default:0
+       (List.assoc_opt "analysis.cache_hits" (Obs.counters obs)))
+
+let test_custom_pipeline_runs () =
+  (* a cut-down schedule still compiles and simulates correctly *)
+  let spec = "const-promote,fix(simplify-cfg,constfold,constprop,dce)" in
+  let pipeline =
+    match Pipeline.parse spec with Ok t -> t | Error e -> fail e
+  in
+  let opts =
+    { (Compile.full ~n_cores:4) with Compile.pipeline = Some pipeline }
+  in
+  let (_, o) = Compile.run ~opts ~machine (workload "fir") in
+  let (_, o_def) =
+    Compile.run ~opts:(Compile.full ~n_cores:4) ~machine (workload "fir")
+  in
+  match (o.Lp_sim.Sim.ret, o_def.Lp_sim.Sim.ret) with
+  | (Some a, Some b) ->
+    if not (Lp_sim.Value.equal a b) then
+      fail "cut-down schedule changed the program's result"
+  | _ -> fail "simulation returned no value"
+
+let suite =
+  [
+    Alcotest.test_case "default prints stably" `Quick test_default_prints_stably;
+    Alcotest.test_case "parse round trip" `Quick test_parse_round_trip;
+    Alcotest.test_case "parse rejects garbage" `Quick test_parse_rejects_garbage;
+    Alcotest.test_case "registry covers default" `Quick test_registry_covers_default;
+    Alcotest.test_case "explicit default == implicit" `Quick
+      test_explicit_default_is_default;
+    Alcotest.test_case "cache off byte-identical" `Quick
+      test_cache_off_is_byte_identical;
+    Alcotest.test_case "cache hits observed" `Quick test_cache_hits_observed;
+    Alcotest.test_case "no-cache ctx never hits" `Quick
+      test_no_cache_ctx_never_hits;
+    Alcotest.test_case "custom --passes schedule runs" `Quick
+      test_custom_pipeline_runs;
+  ]

@@ -134,6 +134,76 @@ let prop_generated_patterns_detected =
       let r = Lp_patterns.Detect.detect ast in
       r.Lp_patterns.Pattern.instances <> [])
 
+(* ---------------- analysis-cache transparency ---------------- *)
+
+module Pass = Lp_transforms.Pass
+module Pipeline = Lowpower.Pipeline
+module Prog = Lp_ir.Prog
+module Cfg = Lp_analysis.Cfg
+module Loops = Lp_analysis.Loops
+module Manager = Lp_analysis.Manager
+
+let lowered src = Lp_ir.Lower.lower_program (Compile.parse_and_check src)
+
+let same_cfg (a : Cfg.t) (b : Cfg.t) =
+  a.Cfg.rpo = b.Cfg.rpo
+  && List.for_all
+       (fun bid ->
+         List.sort compare (Cfg.succs a bid)
+         = List.sort compare (Cfg.succs b bid)
+         && List.sort compare (Cfg.preds a bid)
+            = List.sort compare (Cfg.preds b bid))
+       a.Cfg.rpo
+
+let same_loops la lb =
+  List.length la = List.length lb
+  && List.for_all2
+       (fun (x : Loops.loop) (y : Loops.loop) ->
+         x.Loops.header = y.Loops.header
+         && x.Loops.depth = y.Loops.depth
+         && List.sort compare x.Loops.back_edges
+            = List.sort compare y.Loops.back_edges
+         && Loops.LS.equal x.Loops.blocks y.Loops.blocks)
+       la lb
+
+(** Run a random pass sequence twice — analysis cache on and off — over
+    the same random kernel: the resulting IR must be byte-identical, and
+    every analysis the warm cache serves at the end must equal a fresh
+    recomputation.  This is the contract that lets passes share analyses
+    through the manager at all. *)
+let prop_cache_transparent =
+  QCheck.Test.make ~count:30
+    ~name:"analysis cache: same IR as uncached, cached == fresh"
+    QCheck.(pair (int_range 0 1_000_000)
+              (list_of_size Gen.(int_range 1 8) (int_range 0 1_000)))
+    (fun (seed, picks) ->
+      QCheck.assume (picks <> []);
+      let src = gen_program seed in
+      let n = List.length Pipeline.all_passes in
+      let passes =
+        List.map (fun i -> List.nth Pipeline.all_passes (i mod n)) picks
+      in
+      let run caching =
+        let prog = lowered src in
+        let pm = Pass.create_manager ~caching () in
+        List.iter (fun p -> ignore (Pass.run_pass pm p prog)) passes;
+        (prog, pm)
+      in
+      let (pa, pma) = run true in
+      let (pb, _) = run false in
+      let same_ir =
+        Lp_ir.Printer.prog_to_string pa = Lp_ir.Printer.prog_to_string pb
+      in
+      let am = Pass.analysis_manager pma pa in
+      let cached_fresh =
+        List.for_all
+          (fun (f : Prog.func) ->
+            same_cfg (Manager.cfg am f) (Cfg.build f)
+            && same_loops (Manager.loops am f) (Loops.find f))
+          (Prog.funcs pa)
+      in
+      same_ir && cached_fresh)
+
 (* ---------------- folder vs interpreter agreement ---------------- *)
 
 let int_binops =
@@ -177,6 +247,7 @@ let suite =
   [
     QCheck_alcotest.to_alcotest ~long:true prop_differential;
     QCheck_alcotest.to_alcotest prop_generated_patterns_detected;
+    QCheck_alcotest.to_alcotest prop_cache_transparent;
     QCheck_alcotest.to_alcotest prop_fold_matches_interp;
     QCheck_alcotest.to_alcotest prop_unop_matches_interp;
   ]

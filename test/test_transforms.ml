@@ -118,7 +118,9 @@ let test_simplify_threads_empty () =
   empty1.Ir.term <- Ir.Jmp empty2.Ir.bid;
   empty2.Ir.term <- Ir.Jmp final.Ir.bid;
   final.Ir.term <- Ir.Ret (Some (Ir.Imm (Ir.Cint 0)));
-  let changes = T.Simplify_cfg.run_func f in
+  let prog = Prog.create ~globals:[] in
+  Prog.add_func prog f;
+  let changes = T.Simplify_cfg.run_func (Lp_analysis.Manager.create prog) f in
   if changes = 0 then fail "no simplification";
   check Alcotest.int "one block" 1 (List.length f.Prog.block_order)
 
