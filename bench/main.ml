@@ -198,7 +198,8 @@ let usage () =
   prerr_endline
     "usage: main.exe [ID ...] [--jobs N | seq] [--no-compare] [--json PATH] \
      [--faults SPEC] [--retries N] [--trace FILE] [--report FILE] \
-     [--check-baseline FILE] [--write-baseline FILE] [--no-analysis-cache]";
+     [--check-baseline FILE] [--write-baseline FILE] [--no-analysis-cache] \
+     [--no-sim-predecode]";
   exit 2
 
 let () =
@@ -213,6 +214,7 @@ let () =
   let write_baseline = ref None in
   let compare = ref true in
   let no_analysis_cache = ref false in
+  let no_sim_predecode = ref false in
   let json_path = ref "BENCH_eval.json" in
   let rec parse = function
     | [] -> ()
@@ -263,6 +265,9 @@ let () =
     | "--no-analysis-cache" :: rest ->
       no_analysis_cache := true;
       parse rest
+    | "--no-sim-predecode" :: rest ->
+      no_sim_predecode := true;
+      parse rest
     | id :: rest ->
       ids := !ids @ [ id ];
       parse rest
@@ -273,6 +278,7 @@ let () =
     Runtime_config.resolve ?jobs:!jobs_flag ?retries:!retries_flag
       ?faults:!faults_flag ?trace:!trace_flag ?report:!report_flag
       ~no_analysis_cache:!no_analysis_cache
+      ~no_sim_predecode:!no_sim_predecode
       (Runtime_config.from_env ())
   in
   (match config.Runtime_config.faults with

@@ -44,10 +44,11 @@ let with_diagnostics f =
     trace or an audit report, the Chrome JSON / report JSON are written
     after the body returns — success or failure, so a diagnosed run
     still leaves its profile and audit behind. *)
-let with_ctx ?jobs ?retries ?faults ?trace ?report ?no_analysis_cache f =
+let with_ctx ?jobs ?retries ?faults ?trace ?report ?no_analysis_cache
+    ?no_sim_predecode f =
   let config =
     Runtime_config.resolve ?jobs ?retries ?faults ?trace ?report
-      ?no_analysis_cache
+      ?no_analysis_cache ?no_sim_predecode
       (Runtime_config.from_env ())
   in
   Option.iter Lp_util.Domain_pool.set_default_jobs
@@ -119,6 +120,16 @@ let no_cache_arg =
                  suspected stale-analysis miscompiles.  The \
                  $(b,LP_NO_ANALYSIS_CACHE) environment variable is the \
                  equivalent.")
+
+let no_predecode_arg =
+  Arg.(value & flag
+       & info [ "no-sim-predecode" ]
+           ~doc:"Run the simulator's interpretive reference stepper instead \
+                 of the closure-compiled one.  Simulated cycles, energy and \
+                 traces must be byte-identical with and without this flag; \
+                 it exists to prove that and to bisect suspected predecode \
+                 bugs.  The $(b,LP_NO_SIM_PREDECODE) environment variable \
+                 is the equivalent.")
 
 let read_file path =
   let ic = open_in_bin path in
@@ -227,7 +238,7 @@ let detect_cmd =
 (* ---------------- run ---------------- *)
 
 let run_cmd_run file workload machine_kind cores config events faults trace
-    report no_analysis_cache passes =
+    report no_analysis_cache no_sim_predecode passes =
   match source_of ~file ~workload with
   | Error e -> `Error (false, e)
   | Ok (src, name) -> (
@@ -240,7 +251,8 @@ let run_cmd_run file workload machine_kind cores config events faults trace
     match pipeline with
     | Error e -> `Error (false, "invalid --passes spec: " ^ e)
     | Ok pipeline ->
-    with_ctx ?faults ?trace ?report ~no_analysis_cache @@ fun ctx ->
+    with_ctx ?faults ?trace ?report ~no_analysis_cache ~no_sim_predecode
+    @@ fun ctx ->
     with_diagnostics @@ fun () ->
     Fault.with_scope name @@ fun () ->
     Report.with_scope name @@ fun () ->
@@ -315,18 +327,21 @@ let run_cmd =
     Term.(ret (const run_cmd_run $ file_arg $ workload_arg $ machine_arg
                $ cores_arg $ config_arg $ events_arg $ faults_arg
                $ trace_file_arg $ report_file_arg $ no_cache_arg
-               $ passes_arg))
+               $ no_predecode_arg $ passes_arg))
 
 (* ---------------- explain ---------------- *)
 
-let explain_cmd_run file workload machine_kind cores config =
+let explain_cmd_run file workload machine_kind cores config no_sim_predecode =
   match source_of ~file ~workload with
   | Error e -> `Error (false, e)
   | Ok (src, name) ->
     (* a fresh always-on report, independent of LP_REPORT: explain IS the
        report, printed human-readably instead of exported *)
     let rep = Report.create () in
-    let ctx = Compile.make_ctx ~report:rep () in
+    let rc =
+      Runtime_config.resolve ~no_sim_predecode (Runtime_config.from_env ())
+    in
+    let ctx = Compile.make_ctx ~report:rep ~config:rc () in
     with_diagnostics @@ fun () ->
     Fault.with_scope name @@ fun () ->
     Report.with_scope name @@ fun () ->
@@ -348,7 +363,7 @@ let explain_cmd =
   in
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(ret (const explain_cmd_run $ file_arg $ workload_arg $ machine_arg
-               $ cores_arg $ config_arg))
+               $ cores_arg $ config_arg $ no_predecode_arg))
 
 (* ---------------- dump ---------------- *)
 
@@ -411,7 +426,8 @@ let workloads_cmd =
 
 (* ---------------- bench ---------------- *)
 
-let bench_cmd_run jobs retries faults trace report no_analysis_cache ids =
+let bench_cmd_run jobs retries faults trace report no_analysis_cache
+    no_sim_predecode ids =
   let known = List.map (fun e -> e.Lp_experiments.Experiments.id)
       Lp_experiments.Experiments.all in
   match List.filter (fun id -> not (List.mem id known)) ids with
@@ -420,6 +436,7 @@ let bench_cmd_run jobs retries faults trace report no_analysis_cache ids =
               (String.concat " " known))
   | [] -> (
     with_ctx ?jobs ?retries ?faults ?trace ?report ~no_analysis_cache
+      ~no_sim_predecode
     @@ fun _ctx ->
     List.iter
       (fun (e : Lp_experiments.Experiments.entry) ->
@@ -461,7 +478,8 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(ret (const bench_cmd_run $ jobs_arg $ retries_arg $ faults_arg
-               $ trace_file_arg $ report_file_arg $ no_cache_arg $ ids))
+               $ trace_file_arg $ report_file_arg $ no_cache_arg
+               $ no_predecode_arg $ ids))
 
 (* ---------------- pipeline ---------------- *)
 

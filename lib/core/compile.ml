@@ -155,6 +155,7 @@ let record_outcome report (outcome : Lp_sim.Sim.outcome) =
         sr_dvfs_transitions = outcome.Lp_sim.Sim.dvfs_transitions;
         sr_energy = Ledger.to_json outcome.Lp_sim.Sim.energy;
         sr_core_energy = cores;
+        sr_predecode = outcome.Lp_sim.Sim.predecode;
       };
     if outcome.Lp_sim.Sim.implicit_wakeups > 0 then
       Report.warn report
@@ -385,7 +386,10 @@ let run ?(ctx = default_ctx) ?(opts = baseline)
   let compiled = compile ~ctx ~opts ~machine source in
   let sim_opts =
     { sim_opts with
-      Lp_sim.Sim.gate_unused_cores = opts.power.gate_unused_cores }
+      Lp_sim.Sim.gate_unused_cores = opts.power.gate_unused_cores;
+      predecode =
+        sim_opts.Lp_sim.Sim.predecode
+        && not ctx.config.Runtime_config.no_sim_predecode }
   in
   let outcome =
     Lp_sim.Sim.run ~opts:sim_opts ~obs:ctx.obs ~machine compiled.prog
@@ -437,7 +441,10 @@ let run_result ?(ctx = default_ctx) ?verify_each ?(opts = baseline)
   | Ok compiled -> (
     let sim_opts =
       { sim_opts with
-        Lp_sim.Sim.gate_unused_cores = opts.power.gate_unused_cores }
+        Lp_sim.Sim.gate_unused_cores = opts.power.gate_unused_cores;
+        predecode =
+          sim_opts.Lp_sim.Sim.predecode
+          && not ctx.config.Runtime_config.no_sim_predecode }
     in
     match
       Lp_sim.Sim.run_result ~opts:sim_opts ~obs:ctx.obs ~machine compiled.prog

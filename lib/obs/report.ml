@@ -62,6 +62,7 @@ type sim_record = {
   sr_dvfs_transitions : int;
   sr_energy : J.t;
   sr_core_energy : J.t list;
+  sr_predecode : bool;
 }
 
 type t = {
@@ -211,6 +212,7 @@ let sim_to_json scope sr =
       ("implicit_wakeups", J.Num (float_of_int sr.sr_implicit_wakeups));
       ("gate_transitions", J.Num (float_of_int sr.sr_gate_transitions));
       ("dvfs_transitions", J.Num (float_of_int sr.sr_dvfs_transitions));
+      ("sim_predecode", J.Bool sr.sr_predecode);
       ("energy", sr.sr_energy);
       ("per_core_energy", J.List sr.sr_core_energy) ]
 
@@ -348,9 +350,10 @@ let to_text t =
             Buffer.add_string buf
               (Printf.sprintf
                  "  sim      duration=%.1fns instrs=%d gates=%d dvfs=%d \
-                  implicit-wakeups=%d\n"
+                  implicit-wakeups=%d stepper=%s\n"
                  sr.sr_duration_ns sr.sr_instrs sr.sr_gate_transitions
-                 sr.sr_dvfs_transitions sr.sr_implicit_wakeups);
+                 sr.sr_dvfs_transitions sr.sr_implicit_wakeups
+                 (if sr.sr_predecode then "predecode" else "interp"));
             (match J.member "total_nj" sr.sr_energy with
             | Some (J.Num total) ->
               Buffer.add_string buf

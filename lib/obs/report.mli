@@ -79,6 +79,10 @@ type sim_record = {
   sr_dvfs_transitions : int;
   sr_energy : Lp_util.Json.t;        (** machine-wide ledger *)
   sr_core_energy : Lp_util.Json.t list;  (** one ledger per used core *)
+  sr_predecode : bool;
+      (** whether the closure-compiled stepper produced these numbers
+          (false = interpretive reference mode, the
+          [--no-sim-predecode] escape hatch) *)
 }
 
 type t

@@ -25,37 +25,61 @@ let category_to_string = function
   | Dvfs_overhead -> "dvfs-ovh"
   | Communication -> "comm"
 
+(* [category] is a closed enum, so the per-category axis is a plain
+   float array indexed by [category_index] — the simulator charges the
+   ledger on every instruction and a Hashtbl lookup on that path is
+   measurable. *)
+let category_index = function
+  | Dynamic -> 0
+  | Leakage_active -> 1
+  | Leakage_idle -> 2
+  | Gating_overhead -> 3
+  | Dvfs_overhead -> 4
+  | Communication -> 5
+
+let category_count = 6
+
 type t = {
-  by_category : (category, float ref) Hashtbl.t;
+  by_category : float array; (* indexed by category_index *)
   by_component : float array; (* indexed by Component.index *)
-  mutable total : float;
+  (* one-element array rather than a [mutable float] field: in a mixed
+     record a float field is boxed, so updating it on every charge
+     would allocate; a float-array store writes the raw double *)
+  total_cell : float array;
 }
 
 let create () =
-  let by_category = Hashtbl.create 8 in
-  List.iter (fun c -> Hashtbl.replace by_category c (ref 0.0)) all_categories;
-  { by_category; by_component = Array.make Component.count 0.0; total = 0.0 }
+  {
+    by_category = Array.make category_count 0.0;
+    by_component = Array.make Component.count 0.0;
+    total_cell = Array.make 1 0.0;
+  }
 
 let charge t ~category ?component nj =
   if nj < 0.0 then invalid_arg "Energy_ledger.charge: negative energy";
-  (match Hashtbl.find_opt t.by_category category with
-  | Some r -> r := !r +. nj
-  | None ->
-    let r = ref nj in
-    Hashtbl.replace t.by_category category r);
+  let ci = category_index category in
+  t.by_category.(ci) <- t.by_category.(ci) +. nj;
   (match component with
   | Some c ->
     let i = Component.index c in
     t.by_component.(i) <- t.by_component.(i) +. nj
   | None -> ());
-  t.total <- t.total +. nj
+  t.total_cell.(0) <- t.total_cell.(0) +. nj
 
-let total t = t.total
+(* Raw accumulator views for the simulator's per-instruction hot path:
+   without flambda a cross-module call with a float argument boxes the
+   float, so the simulator hand-inlines the accumulation instead.  The
+   contract is documented on the .mli. *)
 
-let of_category t category =
-  match Hashtbl.find_opt t.by_category category with
-  | Some r -> !r
-  | None -> 0.0
+let raw_by_category t = t.by_category
+let raw_by_component t = t.by_component
+let raw_total t = t.total_cell
+
+let negative_energy () = invalid_arg "Energy_ledger.charge: negative energy"
+
+let total t = t.total_cell.(0)
+
+let of_category t category = t.by_category.(category_index category)
 
 let of_component t c = t.by_component.(Component.index c)
 
@@ -90,7 +114,7 @@ let pp fmt t =
            else None)
          xs)
   in
-  Format.fprintf fmt "total=%.1fnJ [%s] {%s}" t.total
+  Format.fprintf fmt "total=%.1fnJ [%s] {%s}" t.total_cell.(0)
     (nonzero category_to_string (breakdown t))
     (nonzero Component.to_string (component_breakdown t))
 
@@ -100,7 +124,7 @@ let to_json t =
   let module J = Lp_util.Json in
   J.Obj
     [
-      ("total_nj", J.Num t.total);
+      ("total_nj", J.Num t.total_cell.(0));
       ( "by_category",
         J.Obj
           (List.map

@@ -20,6 +20,26 @@ val create : unit -> t
     component).  Raises [Invalid_argument] on negative energy. *)
 val charge : t -> category:category -> ?component:Component.t -> float -> unit
 
+(** Raw accumulator cells for the simulator's per-instruction hot
+    path.  [raw_by_category] is the category axis at fixed indices
+    (dynamic=0, leak-active=1, leak-idle=2, gating=3, dvfs=4, comm=5),
+    [raw_by_component] the component axis indexed by
+    [Component.index], and [raw_total] a one-element cell holding the
+    running total.  Adding [nj >= 0] to the matching category cell
+    (plus the component cell for attributed charges) and to the total,
+    in that order, is exactly {!charge}; the simulator hand-inlines
+    that because a per-instruction cross-module call with a float
+    argument boxes the float (no flambda).  Call {!negative_energy} in
+    place of a negative add so the error is the same as {!charge}'s. *)
+
+val raw_by_category : t -> float array
+val raw_by_component : t -> float array
+val raw_total : t -> float array
+
+(** Raises the [Invalid_argument] that {!charge} raises on negative
+    energy. *)
+val negative_energy : unit -> 'a
+
 val total : t -> float
 val of_category : t -> category -> float
 val of_component : t -> Component.t -> float

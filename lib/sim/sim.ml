@@ -10,7 +10,26 @@
     penalty and is counted as a compiler bug), and per-core DVFS (compute
     cycles stretch with frequency, while bus and shared-memory time is
     frequency-independent — which is what makes DVFS profitable on
-    memory-bound regions). *)
+    memory-bound regions).
+
+    Two execution modes produce byte-identical results:
+
+    - the default {e closure-compiled} mode pre-decodes every function
+      (see {!Predecode}) and compiles each basic block once into an array
+      of OCaml closures with operands, memory symbols, call targets and
+      per-point energy/time factors resolved up front, so the steady-state
+      loop is [closure.(idx) core frame] with no constructor dispatch and
+      no hashing;
+    - the {e interpretive} mode ([predecode = false], reachable through
+      [LP_NO_SIM_PREDECODE=1] / [--no-sim-predecode]) keeps the original
+      per-instruction match dispatch and serves as the reference the
+      compiled mode is checked against.
+
+    The compiled mode is fast because every remaining float operation is
+    one the interpretive mode also performs, in the same order — the
+    speedup comes from deleting lookups (hash tables, [**], divisions,
+    list→array copies), never from reassociating float arithmetic, which
+    is what makes byte-identical cycle/energy output possible. *)
 
 module Ir = Lp_ir.Ir
 module Prog = Lp_ir.Prog
@@ -23,17 +42,6 @@ module Machine = Lp_machine.Machine
 exception Deadlock of string
 exception Step_limit_exceeded
 
-type frame = {
-  func : Prog.func;
-  regs : Value.t array;
-  fmem : (string, Value.t array) Hashtbl.t;
-  mutable block : Ir.label;
-  mutable idx : int;
-  mutable pending_dst : Ir.reg option;
-  mutable cached_bid : Ir.label;          (** instruction-array cache *)
-  mutable cached_instrs : Ir.instr array;
-}
-
 type status =
   | Ready
   | Blocked_send of int * Value.t
@@ -41,26 +49,98 @@ type status =
   | Blocked_barrier of int
   | Halted of Value.t option
 
-type core = {
+(** A callee resolved once at simulator construction: the interpreter's
+    call dispatch must not pay a by-name lookup plus [List.nth] parameter
+    walks on every [Ir.Call]. *)
+type fentry = {
+  fe_func : Prog.func;
+  fe_params : Ir.reg array;  (** parameter registers, in position order *)
+  fe_dfunc : Predecode.dfunc;
+}
+
+(** Hot per-core float state, segregated into an all-float record:
+    OCaml stores such records flat (unboxed), so the per-instruction
+    updates below ([time], [busy_ns]) write raw doubles instead of
+    allocating a boxed float per store, as the same mutable fields
+    would inside the mixed [core] record. *)
+type core_clock = {
+  mutable time : float;
+  mutable busy_ns : float;
+  mutable bus_wait_ns : float;   (** time spent waiting for a busy bus *)
+  mutable leak_mw : float;
+  mutable ns_per_cycle : float;  (** 1000 / f at the current point *)
+}
+
+type frame = {
+  fcore : core;  (** owning core, so compiled closures are arity-1 *)
+  func : Prog.func;
+  dfunc : Predecode.dfunc;
+  cfun : cfun;
+  regs : Value.t array;
+  fmem : (string, Value.t array) Hashtbl.t;
+  farrs : Value.t array array;
+      (** the same arrays as [fmem], in [Prog.frame_arrays] position
+          order, for the compiled mode's index-resolved accesses *)
+  mutable block : Ir.label;
+  mutable idx : int;
+  mutable pending_dst : Ir.reg option;
+  mutable dbid : Ir.label;             (** interpretive block cache key *)
+  mutable dblk : Predecode.dblock;
+  mutable cblk : cblock;               (** compiled current block *)
+}
+
+(** One closure-compiled basic block. *)
+and cblock = {
+  cb_instrs : (frame -> unit) array;
+  cb_n : int;
+  cb_pure : int array;
+      (** [cb_pure.(i)] = length of the maximal run of {e pure}
+          instructions starting at [i] (0 when instruction [i] is not
+          pure).  Pure = cannot change the core's status, fire a
+          scheduling event, or push a frame — so the batch loop
+          executes the whole run with no per-instruction checks (see
+          {!run_sched_batch}) *)
+  cb_term : frame -> unit;
+}
+
+(** A closure-compiled function.  [cf_blocks] is indexed by block label;
+    created empty for every function first, then filled, so call targets
+    and branch targets resolve across mutual recursion. *)
+and cfun = {
+  cf_fe : fentry;
+  mutable cf_blocks : cblock array;  (** [||] when compilation is off *)
+}
+
+and core = {
   id : int;
   mutable stack : frame list;
   mutable status : status;
-  mutable time : float;
+  clk : core_clock;
   mutable point : Operating_point.t;
   powered : bool array;
   ledger : Energy_ledger.t;
-  mutable leak_mw : float;
+  (* raw accumulator cells of [ledger], hoisted so the per-instruction
+     charges below are plain float-array read-modify-writes (see
+     Energy_ledger.raw_by_category) *)
+  lg_cat : float array;
+  lg_comp : float array;
+  lg_tot : float array;
+  mutable leak_dirty : bool;
+      (** compiled mode defers {!recompute_leak} to the next clock
+          advance; the interpretive mode recomputes eagerly and never
+          sets this *)
+  dyn_row : float array;
+      (** per-component dynamic energy at the current point (indexed by
+          [Component.index]); refreshed on DVFS transitions *)
   mutable instr_count : int;
   mutable implicit_wakeups : int;
   mutable gate_transitions : int;
   mutable dvfs_transitions : int;
-  mutable busy_ns : float;
   mutable send_blocks : int;
   mutable recv_blocks : int;
   mutable cycles : int;       (** compute cycles issued (pre-DVFS-stretch) *)
   mutable bus_txns : int;     (** shared-bus transactions *)
   mutable bus_words : int;    (** words moved over the shared bus *)
-  mutable bus_wait_ns : float;  (** time spent waiting for a busy bus *)
 }
 
 type chan = {
@@ -81,38 +161,73 @@ type options = {
           program does not occupy *)
   trace_limit : int;
       (** record up to this many power/communication events (0 = off) *)
+  predecode : bool;
+      (** run closure-compiled blocks (default); [false] selects the
+          interpretive reference stepper *)
 }
 
 let default_options =
-  { max_steps = 200_000_000; gate_unused_cores = false; trace_limit = 0 }
+  {
+    max_steps = 200_000_000;
+    gate_unused_cores = false;
+    trace_limit = 0;
+    predecode = true;
+  }
 
 (** A recorded power/communication event: core id, nanosecond timestamp,
     human-readable description. *)
 type event = { ev_core : int; ev_ns : float; ev_what : string }
 
-(** A callee resolved once at simulator construction: the interpreter's
-    call dispatch must not pay a by-name lookup plus [List.nth] parameter
-    walks on every [Ir.Call]. *)
-type fentry = {
-  fe_func : Prog.func;
-  fe_params : Ir.reg array;  (** parameter registers, in position order *)
-}
-
 type t = {
   prog : Prog.t;
   machine : Machine.t;
   opts : options;
-  fsyms : (string, fentry) Hashtbl.t;  (** every function, by name *)
+  fsyms : (string, cfun) Hashtbl.t;  (** every function, by name *)
+  dfuncs : (string, Predecode.dfunc) Hashtbl.t;
+  decoded_blocks : int;   (** total blocks decoded (once, at creation) *)
   cores : core array;          (** one per entry function *)
   shared : (string, Value.t array) Hashtbl.t;
   chans : chan array;
   barriers : barrier_state array;
-  mutable bus_free : float;
+  bus_free : float array;
+      (** one-element array, not a [mutable float] field: a float store
+          into this mixed record would box on every bus transaction *)
   mutable steps : int;
   mutable trace : event list;  (** newest first; bounded by trace_limit *)
   mutable trace_len : int;
+  mutable leak_recomputes : int;
+  mutable sched_event : bool;
+      (** set by anything that can change which cores are schedulable —
+          a channel push/pop, a barrier release — since the last
+          [unblock_pass]; while it stays clear, the compiled mode keeps
+          stepping the picked core without rescanning (see
+          {!run_sched_batch}) *)
+  mutable batch_other : int;
+      (** index of the runner-up core bounding the current batch, or
+          -1; globally-visible instructions check their execution turn
+          against it (see {!visible_turn}) *)
+  mutable live_cores : int;
+      (** cores not yet [Halted]; maintained at the two halt sites so
+          the scheduler's are-we-done check is one integer compare
+          instead of a status scan per iteration *)
+  mutable frames_dirty : bool;
+      (** set by a compiled [Call] when it pushes a frame: the batch
+          loop's cached frame/block are stale and must be re-fetched
+          (terminators are re-fetched unconditionally) *)
+  mutable unblock_dirty : bool;
+      (** set when the next {!unblock_pass} could possibly make
+          progress: a core just blocked on a channel, or anything that
+          sets [sched_event] happened.  While clear, the pass is a
+          provable no-op (it only acts on blocked senders/receivers
+          and on channel state, none of which changed) and the
+          compiled scheduler skips it *)
   faults_armed : bool;  (** sampled once at construction: keeps the
                             per-transaction bus hook off the hot path *)
+  (* Nominal-frequency constants, hoisted out of the per-access path.
+     All are exactly the values the interpretive mode recomputes. *)
+  bus_txn1_ns : float;       (** bus occupancy of a one-word transaction *)
+  shared_extra_ns : float;   (** off-bus shared-memory access time *)
+  bus_word_energy_nj : float;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -120,6 +235,7 @@ type t = {
 (* ------------------------------------------------------------------ *)
 
 let recompute_leak t (c : core) =
+  t.leak_recomputes <- t.leak_recomputes + 1;
   let pm = t.machine.Machine.power in
   let scale = Operating_point.leakage_scale ~nominal:(Power_model.nominal pm) c.point in
   let sum = ref 0.0 in
@@ -128,119 +244,103 @@ let recompute_leak t (c : core) =
       if c.powered.(Component.index comp) then
         sum := !sum +. (pm.Power_model.leak_power_mw comp *. scale))
     t.machine.Machine.components;
-  c.leak_mw <- !sum
+  c.clk.leak_mw <- !sum;
+  c.leak_dirty <- false
 
-let make_frame (f : Prog.func) : frame =
+(** Refresh the per-core caches derived from the operating point.  Both
+    cached values are bit-identical to what the uncached code computes:
+    [ns_of_cycles n] is [float_of_int n *. (1000 /. f)] and
+    [dynamic_energy ~ops:1] is [(1.0 *. e) *. scale = e *. scale]. *)
+let refresh_point_caches t (c : core) =
+  c.clk.ns_per_cycle <- 1000.0 /. c.point.Operating_point.freq_mhz;
+  let pm = t.machine.Machine.power in
+  let scale =
+    Operating_point.dynamic_scale ~nominal:(Power_model.nominal pm) c.point
+  in
+  List.iter
+    (fun comp ->
+      c.dyn_row.(Component.index comp) <-
+        pm.Power_model.dyn_energy_nj comp *. scale)
+    Component.all
+
+let dummy_cblock =
+  { cb_instrs = [||]; cb_n = 0; cb_pure = [||];
+    cb_term = (fun _ -> assert false) }
+
+let make_frame (fcore : core) (cf : cfun) : frame =
+  let f = cf.cf_fe.fe_func in
   let nregs = Lp_util.Id_gen.peek f.Prog.reg_gen in
   let fmem = Hashtbl.create 4 in
-  List.iter
-    (fun (name, ty, len) ->
-      Hashtbl.replace fmem name (Array.make len (Value.zero_of_ty ty)))
+  let farrs = Array.make (List.length f.Prog.frame_arrays) [||] in
+  List.iteri
+    (fun k (name, ty, len) ->
+      let a = Array.make len (Value.zero_of_ty ty) in
+      Hashtbl.replace fmem name a;
+      farrs.(k) <- a)
     f.Prog.frame_arrays;
+  let cblk =
+    if Array.length cf.cf_blocks > 0 then cf.cf_blocks.(f.Prog.entry)
+    else dummy_cblock
+  in
   {
+    fcore;
     func = f;
+    dfunc = cf.cf_fe.fe_dfunc;
+    cfun = cf;
     regs = Array.make (max 1 nregs) (Value.Vint 0);
     fmem;
+    farrs;
     block = f.Prog.entry;
     idx = 0;
     pending_dst = None;
-    cached_bid = -1;
-    cached_instrs = [||];
+    dbid = -1;
+    dblk = Predecode.dummy_block;
+    cblk;
   }
+
+(* Boxing the initial [Value.t] image of a program's globals dominates
+   [create] for data-heavy programs (one allocation plus a write-barrier
+   store per initialised element), and the image is a pure function of
+   the program — so it is built once per program and block-copied per
+   simulation.  Values are immutable, so sharing the boxes across
+   simulations is invisible; the [Array.copy] keeps writes to [Shared]
+   arrays run-local.  Single entry, keyed by physical equality: drivers
+   (benchmarks, experiment sweeps) create many simulators of the same
+   program in a row. *)
+let shared_image_cache : (Prog.t * (string * Value.t array) list) option ref =
+  ref None
+
+let shared_image (prog : Prog.t) =
+  match !shared_image_cache with
+  | Some (p, img) when p == prog -> img
+  | _ ->
+    let img =
+      List.map
+        (fun (g : Prog.global) ->
+          let arr = Array.make g.Prog.gsize (Value.zero_of_ty g.Prog.gty) in
+          (match g.Prog.ginit with
+          | Some init ->
+            List.iteri
+              (fun i v ->
+                if i < g.Prog.gsize then
+                  arr.(i) <-
+                    (match g.Prog.gty with
+                    | Ir.I -> Value.Vint (Value.wrap32 v)
+                    | Ir.F -> Value.Vfloat (float_of_int v)))
+              init
+          | None -> ());
+          (g.Prog.gsym, arr))
+        prog.Prog.globals
+    in
+    shared_image_cache := Some (prog, img);
+    img
 
 let init_shared (prog : Prog.t) =
   let shared = Hashtbl.create 16 in
   List.iter
-    (fun (g : Prog.global) ->
-      let arr = Array.make g.Prog.gsize (Value.zero_of_ty g.Prog.gty) in
-      (match g.Prog.ginit with
-      | Some init ->
-        List.iteri
-          (fun i v ->
-            if i < g.Prog.gsize then
-              arr.(i) <-
-                (match g.Prog.gty with
-                | Ir.I -> Value.Vint (Value.wrap32 v)
-                | Ir.F -> Value.Vfloat (float_of_int v)))
-          init
-      | None -> ());
-      Hashtbl.replace shared g.Prog.gsym arr)
-    prog.Prog.globals;
+    (fun (sym, arr) -> Hashtbl.replace shared sym (Array.copy arr))
+    (shared_image prog);
   shared
-
-let create ?(opts = default_options) ~(machine : Machine.t) (prog : Prog.t) : t =
-  let entries = Prog.entries prog in
-  if List.length entries > machine.Machine.n_cores then
-    invalid_arg
-      (Printf.sprintf "Sim.create: program needs %d cores, machine has %d"
-         (List.length entries) machine.Machine.n_cores);
-  let pm = machine.Machine.power in
-  let nominal = Power_model.nominal pm in
-  let cores =
-    Array.of_list
-      (List.mapi
-         (fun id entry ->
-           let f = Prog.func_exn prog entry in
-           {
-             id;
-             stack = [ make_frame f ];
-             status = Ready;
-             time = 0.0;
-             point = nominal;
-             powered = Array.make Component.count true;
-             ledger = Energy_ledger.create ();
-             leak_mw = 0.0;
-             instr_count = 0;
-             implicit_wakeups = 0;
-             gate_transitions = 0;
-             dvfs_transitions = 0;
-             busy_ns = 0.0;
-             send_blocks = 0;
-             recv_blocks = 0;
-             cycles = 0;
-             bus_txns = 0;
-             bus_words = 0;
-             bus_wait_ns = 0.0;
-           })
-         entries)
-  in
-  let (n_channels, n_barriers, cap) =
-    match prog.Prog.layout with
-    | Prog.Sequential -> (0, 0, 0)
-    | Prog.Parallel { n_channels; n_barriers; chan_capacity; _ } ->
-      (n_channels, n_barriers, chan_capacity)
-  in
-  let fsyms = Hashtbl.create 16 in
-  List.iter
-    (fun (f : Prog.func) ->
-      Hashtbl.replace fsyms f.Prog.fname
-        {
-          fe_func = f;
-          fe_params = Array.of_list (List.map fst f.Prog.params);
-        })
-    (Prog.funcs prog);
-  let t =
-    {
-      prog;
-      machine;
-      opts;
-      fsyms;
-      cores;
-      shared = init_shared prog;
-      chans =
-        Array.init n_channels (fun _ ->
-            { cap; queue = Queue.create (); waiting_senders = Queue.create ();
-              total_msgs = 0; last_pop = 0.0 });
-      barriers = Array.init n_barriers (fun _ -> { arrived = [] });
-      bus_free = 0.0;
-      steps = 0;
-      trace = [];
-      trace_len = 0;
-      faults_armed = Lp_util.Fault.active ();
-    }
-  in
-  Array.iter (fun c -> recompute_leak t c) cores;
-  t
 
 (* ------------------------------------------------------------------ *)
 (* Time & energy plumbing                                              *)
@@ -250,31 +350,55 @@ let record t (c : core) fmt =
   Format.kasprintf
     (fun what ->
       if t.trace_len < t.opts.trace_limit then begin
-        t.trace <- { ev_core = c.id; ev_ns = c.time; ev_what = what } :: t.trace;
+        t.trace <- { ev_core = c.id; ev_ns = c.clk.time; ev_what = what } :: t.trace;
         t.trace_len <- t.trace_len + 1
       end)
     fmt
+
+(** Trace hook for the compiled mode: the description string is only
+    built when it will actually be kept, so tracing costs nothing when
+    [trace_limit] is 0 (the overwhelmingly common case). *)
+let record_thunk t (c : core) f =
+  if t.trace_len < t.opts.trace_limit then begin
+    t.trace <- { ev_core = c.id; ev_ns = c.clk.time; ev_what = f () } :: t.trace;
+    t.trace_len <- t.trace_len + 1
+  end
+
+(* [Float.max] without the cross-module call (which boxes both floats
+   and the result): simulation clocks are never NaN and never -0.0, so
+   a plain comparison computes the identical value. *)
+let[@inline always] fmax a b : float = if a >= b then a else b
 
 let cycle_ns (c : core) n = Operating_point.ns_of_cycles c.point n
 
 let nominal_ns t n =
   Operating_point.ns_of_cycles (Power_model.nominal t.machine.Machine.power) n
 
-(** Advance a core's clock, charging leakage of powered components. *)
-let advance t (c : core) dt ~idle =
+(** Advance a core's clock, charging leakage of powered components.  The
+    compiled mode marks leakage dirty on power events instead of
+    recomputing eagerly; the value is refreshed here, at the first
+    advance that reads it — which is exactly when the eager recompute
+    would first be observable. *)
+let[@inline always] advance t (c : core) dt ~idle =
   if dt > 0.0 then begin
-    let cat =
-      if idle then Energy_ledger.Leakage_idle else Energy_ledger.Leakage_active
-    in
-    Energy_ledger.charge c.ledger ~category:cat (c.leak_mw *. dt *. 1e-3);
-    c.time <- c.time +. dt;
-    if not idle then c.busy_ns <- c.busy_ns +. dt
-  end;
-  ignore t
+    if c.leak_dirty then recompute_leak t c;
+    (* hand-inlined [Energy_ledger.charge ~category:Leakage_*]: same
+       check, same accumulation order (category then total) *)
+    let nj = c.clk.leak_mw *. dt *. 1e-3 in
+    if nj < 0.0 then Energy_ledger.negative_energy ();
+    (* unchecked: the accumulator arrays have fixed sizes (6 categories,
+       1 total cell) and every index below is a constant or a
+       [Component.index], in range by construction *)
+    let lci = if idle then 2 else 1 in
+    Array.unsafe_set c.lg_cat lci (Array.unsafe_get c.lg_cat lci +. nj);
+    Array.unsafe_set c.lg_tot 0 (Array.unsafe_get c.lg_tot 0 +. nj);
+    c.clk.time <- c.clk.time +. dt;
+    if not idle then c.clk.busy_ns <- c.clk.busy_ns +. dt
+  end
 
 (** Bring a blocked core forward to absolute time [target] (idle). *)
 let resume_at t (c : core) target =
-  if target > c.time then advance t c (target -. c.time) ~idle:true
+  if target > c.clk.time then advance t c (target -. c.clk.time) ~idle:true
 
 (** Issue [n] compute cycles on [c]: advances its clock (stretched by the
     current operating point) and feeds the per-core cycle counter. *)
@@ -295,16 +419,16 @@ let bus_access t (c : core) ~words ~extra_ns =
   if t.faults_armed then
     Lp_util.Fault.check Lp_util.Fault.Sim_bus ~key:"bus";
   let m = t.machine in
-  let start = Float.max c.time t.bus_free in
+  let start = fmax c.clk.time t.bus_free.(0) in
   let bus_ns =
     nominal_ns t (m.Machine.bus_latency_cycles + (words * m.Machine.bus_word_cycles))
   in
   c.bus_txns <- c.bus_txns + 1;
   c.bus_words <- c.bus_words + words;
-  c.bus_wait_ns <- c.bus_wait_ns +. (start -. c.time);
-  t.bus_free <- start +. bus_ns;
+  c.clk.bus_wait_ns <- c.clk.bus_wait_ns +. (start -. c.clk.time);
+  t.bus_free.(0) <- start +. bus_ns;
   let finish = start +. bus_ns +. extra_ns in
-  advance t c (finish -. c.time) ~idle:false;
+  advance t c (finish -. c.clk.time) ~idle:false;
   Energy_ledger.charge c.ledger ~category:Energy_ledger.Communication
     (float_of_int words *. m.Machine.bus_energy_per_word_nj)
 
@@ -340,7 +464,7 @@ let mem_write t fr s idx v =
   a.(idx) <- v
 
 (* ------------------------------------------------------------------ *)
-(* Instruction execution                                               *)
+(* Instruction execution (interpretive mode)                           *)
 (* ------------------------------------------------------------------ *)
 
 let eval (fr : frame) = function
@@ -377,8 +501,11 @@ let complete_send t (sender : core) chan_id v =
   advance t sender link_ns ~idle:false;
   Energy_ledger.charge sender.ledger ~category:Energy_ledger.Communication
     m.Machine.bus_energy_per_word_nj;
-  Queue.push (v, sender.time) ch.queue;
-  ch.total_msgs <- ch.total_msgs + 1
+  Queue.push (v, sender.clk.time) ch.queue;
+  ch.total_msgs <- ch.total_msgs + 1;
+  (* a blocked receiver may now have data *)
+  t.sched_event <- true;
+  t.unblock_dirty <- true
 
 let barrier_participants t = Array.length t.cores
 
@@ -395,7 +522,10 @@ let release_barrier t bid =
         resume_at t c release;
         c.status <- Ready)
       b.arrived;
-    b.arrived <- []
+    b.arrived <- [];
+    (* every participant's schedulability just changed *)
+    t.sched_event <- true;
+    t.unblock_dirty <- true
   end
 
 (** Execute the terminator of the current block. *)
@@ -418,7 +548,8 @@ let exec_term t (c : core) (fr : frame) (term : Ir.term) =
         (match v with
         | Some value -> " -> " ^ Value.to_string value
         | None -> "");
-      c.status <- Halted v
+      c.status <- Halted v;
+      t.live_cores <- t.live_cores - 1
     | _ :: (caller :: _ as rest) ->
       c.stack <- rest;
       (match (caller.pending_dst, v) with
@@ -427,12 +558,13 @@ let exec_term t (c : core) (fr : frame) (term : Ir.term) =
       | (None, _) -> ());
       caller.pending_dst <- None)
 
-let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
-  let comp = Ir.component_of i in
+let exec_instr t (c : core) (fr : frame) (di : Predecode.dinstr) =
+  let comp = di.Predecode.di_comp in
   ensure_powered t c comp;
   let pm = t.machine.Machine.power in
+  let i = di.Predecode.di_instr in
   let simple_cost () =
-    spend t c (Ir.base_latency i);
+    spend t c di.Predecode.di_latency;
     charge_dynamic t c comp
   in
   (match i.Ir.idesc with
@@ -491,8 +623,9 @@ let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
     simple_cost ();
     match Hashtbl.find_opt t.fsyms callee with
     | None -> runtime_err "call to unknown function %s" callee
-    | Some fe ->
-      let new_fr = make_frame fe.fe_func in
+    | Some cf ->
+      let fe = cf.cf_fe in
+      let new_fr = make_frame c cf in
       let nparams = Array.length fe.fe_params in
       let bound =
         List.fold_left
@@ -544,6 +677,7 @@ let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
       Energy_ledger.charge c.ledger ~category:Energy_ledger.Dvfs_overhead
         pm.Power_model.dvfs_energy_nj;
       c.point <- target;
+      refresh_point_caches t c;
       c.dvfs_transitions <- c.dvfs_transitions + 1;
       record t c "dvfs -> %s" (Operating_point.to_string target);
       recompute_leak t c
@@ -558,7 +692,8 @@ let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
       c.send_blocks <- c.send_blocks + 1;
       record t c "blocked sending on ch%d" chan_id;
       Queue.push c.id ch.waiting_senders;
-      c.status <- Blocked_send (chan_id, v)
+      c.status <- Blocked_send (chan_id, v);
+      t.unblock_dirty <- true
     end
     else complete_send t c chan_id v
   | Ir.Recv (d, chan_id, ty) ->
@@ -568,12 +703,13 @@ let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
     if Queue.is_empty ch.queue then begin
       c.recv_blocks <- c.recv_blocks + 1;
       record t c "blocked receiving on ch%d" chan_id;
-      c.status <- Blocked_recv (chan_id, d, ty)
+      c.status <- Blocked_recv (chan_id, d, ty);
+      t.unblock_dirty <- true
     end
     else begin
       let (v, ready) = Queue.pop ch.queue in
       resume_at t c ready;
-      ch.last_pop <- Float.max ch.last_pop c.time;
+      ch.last_pop <- fmax ch.last_pop c.clk.time;
       (match (ty, v) with
       | (Ir.I, Value.Vint _) | (Ir.F, Value.Vfloat _) -> ()
       | _ -> runtime_err "channel %d type mismatch" chan_id);
@@ -584,27 +720,1038 @@ let exec_instr t (c : core) (fr : frame) (i : Ir.instr) =
     charge_dynamic t c comp;
     let b = t.barriers.(bid) in
     record t c "arrived at barrier %d" bid;
-    b.arrived <- (c.id, c.time) :: b.arrived;
+    b.arrived <- (c.id, c.clk.time) :: b.arrived;
     c.status <- Blocked_barrier bid;
     release_barrier t bid);
   c.instr_count <- c.instr_count + 1
 
-(** Execute one step (instruction or terminator) on a ready core. *)
-let step_core t (c : core) =
+let missing_block_err l fname =
+  invalid_arg (Printf.sprintf "Prog.block: no L%d in %s" l fname)
+
+let fetch_dblock (fr : frame) l : Predecode.dblock =
+  let blocks = fr.dfunc.Predecode.df_blocks in
+  if l < 0 || l >= Array.length blocks then
+    missing_block_err l fr.func.Prog.fname
+  else
+    match blocks.(l) with
+    | Some db -> db
+    | None -> missing_block_err l fr.func.Prog.fname
+
+(** Execute one step (instruction or terminator) on a ready core —
+    interpretive mode. *)
+let step_interp t (c : core) =
   match c.stack with
   | [] -> runtime_err "core %d has empty stack" c.id
   | fr :: _ ->
-    let b = Prog.block fr.func fr.block in
-    if fr.cached_bid <> fr.block then begin
-      fr.cached_bid <- fr.block;
-      fr.cached_instrs <- Array.of_list b.Ir.instrs
+    if fr.dbid <> fr.block then begin
+      fr.dblk <- fetch_dblock fr fr.block;
+      fr.dbid <- fr.block
     end;
-    if fr.idx < Array.length fr.cached_instrs then begin
-      let i = fr.cached_instrs.(fr.idx) in
+    let db = fr.dblk in
+    if fr.idx < Array.length db.Predecode.db_instrs then begin
+      let di = db.Predecode.db_instrs.(fr.idx) in
       fr.idx <- fr.idx + 1;
-      exec_instr t c fr i
+      exec_instr t c fr di
     end
-    else exec_term t c fr b.Ir.term
+    else exec_term t c fr db.Predecode.db_term
+
+(* ------------------------------------------------------------------ *)
+(* Closure compilation (compiled mode)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The compiled stepper executes [cb_instrs.(idx) frame].  Each
+   closure performs the same state mutations, in the same order, as one
+   [exec_instr] dispatch — with everything that is a pure function of
+   the IR, the machine, or the current operating point resolved ahead of
+   time: operand fetches, memory symbols, call targets, per-component
+   dynamic energies (no [**] per instruction), and cycle→ns factors (no
+   division per instruction). *)
+
+let bump (c : core) = c.instr_count <- c.instr_count + 1
+
+let branch_idx = Component.index Component.Branch_unit
+
+let[@inline always] spend1 t (c : core) =
+  c.cycles <- c.cycles + 1;
+  advance t c c.clk.ns_per_cycle ~idle:false
+
+let[@inline always] spend_nf t (c : core) n fn =
+  c.cycles <- c.cycles + n;
+  advance t c (fn *. c.clk.ns_per_cycle) ~idle:false
+
+(* A cycle cost known at decode time compiles to a direct [spend_nf]
+   call with the count pre-floated.  [n = 1] needs no special case:
+   [1.0 *. x] is exactly [x], so the charged duration is bit-identical
+   to [spend1]. *)
+
+(* hand-inlined [Energy_ledger.charge ~category:Dynamic ~component]:
+   category, then component, then total — the same order, bit for bit *)
+let[@inline always] charge_dyn (c : core) ci =
+  let nj = Array.unsafe_get c.dyn_row ci in
+  if nj < 0.0 then Energy_ledger.negative_energy ();
+  Array.unsafe_set c.lg_cat 0 (Array.unsafe_get c.lg_cat 0 +. nj);
+  Array.unsafe_set c.lg_comp ci (Array.unsafe_get c.lg_comp ci +. nj);
+  Array.unsafe_set c.lg_tot 0 (Array.unsafe_get c.lg_tot 0 +. nj)
+
+(** Is it [c]'s turn to execute a {e globally-visible} instruction —
+    one that touches state other cores can observe (shared memory, the
+    bus, channels, barriers)?  Such instructions must execute in the
+    exact (local time, core id) order of the per-step reference
+    scheduler.  Core-local instructions commute with other cores'
+    work, so batches run through them freely (when tracing is off) and
+    only the visible ones re-check the race against the runner-up. *)
+let[@inline always] visible_turn t (c : core) =
+  let oi = t.batch_other in
+  oi < 0
+  ||
+  let o = Array.unsafe_get t.cores oi in
+  c.clk.time < o.clk.time || (c.clk.time = o.clk.time && c.id < o.id)
+
+(** One-word shared-memory bus transaction (loads, stores, faa). *)
+let bus_access1 t (c : core) =
+  if t.faults_armed then
+    Lp_util.Fault.check Lp_util.Fault.Sim_bus ~key:"bus";
+  let start = fmax c.clk.time (Array.unsafe_get t.bus_free 0) in
+  c.bus_txns <- c.bus_txns + 1;
+  c.bus_words <- c.bus_words + 1;
+  c.clk.bus_wait_ns <- c.clk.bus_wait_ns +. (start -. c.clk.time);
+  Array.unsafe_set t.bus_free 0 (start +. t.bus_txn1_ns);
+  let finish = start +. t.bus_txn1_ns +. t.shared_extra_ns in
+  advance t c (finish -. c.clk.time) ~idle:false;
+  (* hand-inlined [Energy_ledger.charge ~category:Communication] *)
+  let nj = t.bus_word_energy_nj in
+  if nj < 0.0 then Energy_ledger.negative_energy ();
+  Array.unsafe_set c.lg_cat 5 (Array.unsafe_get c.lg_cat 5 +. nj);
+  Array.unsafe_set c.lg_tot 0 (Array.unsafe_get c.lg_tot 0 +. nj)
+
+(** Implicit wakeup, compiled mode: identical to {!ensure_powered}'s slow
+    path except leakage refresh is deferred to the wake-stall advance. *)
+let wakeup_compiled t (c : core) comp ci =
+  let pm = t.machine.Machine.power in
+  c.powered.(ci) <- true;
+  c.leak_dirty <- true;
+  c.implicit_wakeups <- c.implicit_wakeups + 1;
+  record_thunk t c (fun () -> "IMPLICIT WAKEUP of " ^ Component.to_string comp);
+  c.gate_transitions <- c.gate_transitions + 1;
+  Energy_ledger.charge c.ledger ~category:Energy_ledger.Gating_overhead
+    pm.Power_model.gate_energy_nj;
+  spend_nf t c pm.Power_model.wake_latency_cycles
+    (float_of_int pm.Power_model.wake_latency_cycles)
+
+(* Register indices come out of the function's [reg_gen], and frames
+   size [regs] from the same generator's high-water mark, so every
+   compiled register access is in bounds by construction — the
+   compiled closures use unchecked accesses. *)
+
+let compile_operand (o : Ir.operand) : frame -> Value.t =
+  match o with
+  | Ir.Reg r -> fun fr -> Array.unsafe_get fr.regs r
+  | Ir.Imm cst ->
+    let v = Value.of_const cst in
+    fun _ -> v
+
+(** Integer-operand variant for memory indices and channel pay. The
+    int is extracted once per execution, with the same runtime error
+    as [Value.to_int] at the same point, but without going through a
+    [Value.t]-returning closure first. *)
+let compile_int_operand (o : Ir.operand) : frame -> int =
+  match o with
+  | Ir.Reg r -> fun fr -> Value.to_int (Array.unsafe_get fr.regs r)
+  | Ir.Imm cst ->
+    let n = Value.to_int (Value.of_const cst) in
+    fun _ -> n
+
+(** Resolve a memory symbol: shared/rom globals bind to their backing
+    array outright; frame symbols bind to a position in the frame's
+    array-of-arrays.  Unknown names compile to the interpreter's runtime
+    error, raised at the same execution point. *)
+let compile_sym t (df : Predecode.dfunc) (s : Ir.sym) : frame -> Value.t array =
+  match s.Ir.sym_space with
+  | Ir.Shared | Ir.Rom -> (
+    match Hashtbl.find_opt t.shared s.Ir.sym_name with
+    | Some a -> fun _ -> a
+    | None -> fun _ -> runtime_err "unknown global %s" s.Ir.sym_name)
+  | Ir.Frame -> (
+    match Hashtbl.find_opt df.Predecode.df_frame_idx s.Ir.sym_name with
+    | Some k -> fun fr -> fr.farrs.(k)
+    | None -> fun _ -> runtime_err "unknown frame array %s" s.Ir.sym_name)
+
+let compile_instr t (df : Predecode.dfunc) (di : Predecode.dinstr) :
+    frame -> unit =
+  let comp = di.Predecode.di_comp in
+  let ci = di.Predecode.di_comp_idx in
+  let pm = t.machine.Machine.power in
+  let lat = di.Predecode.di_latency in
+  let latf = float_of_int lat in
+  match di.Predecode.di_instr.Ir.idesc with
+  | Ir.Const (d, cst) ->
+    let v = Value.of_const cst in
+    fun fr -> let c = fr.fcore in
+      if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+      spend_nf t c lat latf;
+      charge_dyn c ci;
+      Array.unsafe_set fr.regs d v;
+      bump c
+  | Ir.Move (d, a) ->
+    let geta = compile_operand a in
+    fun fr -> let c = fr.fcore in
+      if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+      spend_nf t c lat latf;
+      charge_dyn c ci;
+      Array.unsafe_set fr.regs d (geta fr);
+      bump c
+  | Ir.Binop (op, d, Ir.Reg ra, Ir.Reg rb) ->
+    (* opcode dispatch hoisted to compile time ([Value.binop_fn]) and
+       the register-register operand shape read directly — the common
+       case costs one indirect call, not three plus an opcode match *)
+    (* frequent opcodes fuse the arithmetic into the closure as a
+       direct (inlined) call; the rest go through the [binop_fn]
+       closure, which costs a generic 2-ary application *)
+    (match op with
+    | Ir.Add ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d
+          (Value.v_add (Array.unsafe_get fr.regs ra) (Array.unsafe_get fr.regs rb));
+        bump c
+    | Ir.Sub ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d
+          (Value.v_sub (Array.unsafe_get fr.regs ra) (Array.unsafe_get fr.regs rb));
+        bump c
+    | Ir.Mul ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d
+          (Value.v_mul (Array.unsafe_get fr.regs ra) (Array.unsafe_get fr.regs rb));
+        bump c
+    | Ir.Lt ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d
+          (Value.v_lt (Array.unsafe_get fr.regs ra) (Array.unsafe_get fr.regs rb));
+        bump c
+    | Ir.Le ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d
+          (Value.v_le (Array.unsafe_get fr.regs ra) (Array.unsafe_get fr.regs rb));
+        bump c
+    | Ir.Gt ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d
+          (Value.v_gt (Array.unsafe_get fr.regs ra) (Array.unsafe_get fr.regs rb));
+        bump c
+    | Ir.Ge ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d
+          (Value.v_ge (Array.unsafe_get fr.regs ra) (Array.unsafe_get fr.regs rb));
+        bump c
+    | Ir.Eq ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d
+          (Value.v_eq (Array.unsafe_get fr.regs ra) (Array.unsafe_get fr.regs rb));
+        bump c
+    | Ir.Ne ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d
+          (Value.v_ne (Array.unsafe_get fr.regs ra) (Array.unsafe_get fr.regs rb));
+        bump c
+    | Ir.Fadd ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d
+          (Value.v_fadd (Array.unsafe_get fr.regs ra) (Array.unsafe_get fr.regs rb));
+        bump c
+    | Ir.Fsub ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d
+          (Value.v_fsub (Array.unsafe_get fr.regs ra) (Array.unsafe_get fr.regs rb));
+        bump c
+    | Ir.Fmul ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d
+          (Value.v_fmul (Array.unsafe_get fr.regs ra) (Array.unsafe_get fr.regs rb));
+        bump c
+    | _ ->
+      let f = Value.binop_fn op in
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d
+          (f (Array.unsafe_get fr.regs ra) (Array.unsafe_get fr.regs rb));
+        bump c)
+  | Ir.Binop (op, d, Ir.Reg ra, Ir.Imm cb) ->
+    let vb = Value.of_const cb in
+    (match op with
+    | Ir.Add ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d (Value.v_add (Array.unsafe_get fr.regs ra) vb);
+        bump c
+    | Ir.Sub ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d (Value.v_sub (Array.unsafe_get fr.regs ra) vb);
+        bump c
+    | Ir.Mul ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d (Value.v_mul (Array.unsafe_get fr.regs ra) vb);
+        bump c
+    | Ir.Lt ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d (Value.v_lt (Array.unsafe_get fr.regs ra) vb);
+        bump c
+    | Ir.Le ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d (Value.v_le (Array.unsafe_get fr.regs ra) vb);
+        bump c
+    | Ir.Gt ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d (Value.v_gt (Array.unsafe_get fr.regs ra) vb);
+        bump c
+    | Ir.Ge ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d (Value.v_ge (Array.unsafe_get fr.regs ra) vb);
+        bump c
+    | Ir.Eq ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d (Value.v_eq (Array.unsafe_get fr.regs ra) vb);
+        bump c
+    | Ir.Ne ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d (Value.v_ne (Array.unsafe_get fr.regs ra) vb);
+        bump c
+    | Ir.Fadd ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d (Value.v_fadd (Array.unsafe_get fr.regs ra) vb);
+        bump c
+    | Ir.Fsub ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d (Value.v_fsub (Array.unsafe_get fr.regs ra) vb);
+        bump c
+    | Ir.Fmul ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d (Value.v_fmul (Array.unsafe_get fr.regs ra) vb);
+        bump c
+    | _ ->
+      let f = Value.binop_fn op in
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        Array.unsafe_set fr.regs d (f (Array.unsafe_get fr.regs ra) vb);
+        bump c)
+  | Ir.Binop (op, d, a, b) ->
+    let f = Value.binop_fn op in
+    let geta = compile_operand a and getb = compile_operand b in
+    fun fr -> let c = fr.fcore in
+      if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+      spend_nf t c lat latf;
+      charge_dyn c ci;
+      Array.unsafe_set fr.regs d (f (geta fr) (getb fr));
+      bump c
+  | Ir.Unop (op, d, Ir.Reg ra) ->
+    (* register shape specialised: reads the register directly instead
+       of through a [compile_operand] closure *)
+    let f = Value.unop_fn op in
+    fun fr -> let c = fr.fcore in
+      if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+      spend_nf t c lat latf;
+      charge_dyn c ci;
+      Array.unsafe_set fr.regs d (f (Array.unsafe_get fr.regs ra));
+      bump c
+  | Ir.Unop (op, d, a) ->
+    let f = Value.unop_fn op in
+    let geta = compile_operand a in
+    fun fr -> let c = fr.fcore in
+      if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+      spend_nf t c lat latf;
+      charge_dyn c ci;
+      Array.unsafe_set fr.regs d (f (geta fr));
+      bump c
+  | Ir.Mac (d, Ir.Reg ra, Ir.Reg rb, Ir.Reg rc) ->
+    (* the kernel-loop shape (all three operands in registers): three
+       direct register reads instead of three operand closures *)
+    fun fr -> let c = fr.fcore in
+      if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+      spend_nf t c lat latf;
+      charge_dyn c ci;
+      let regs = fr.regs in
+      Array.unsafe_set regs d
+        (Value.mac
+           (Array.unsafe_get regs ra)
+           (Array.unsafe_get regs rb)
+           (Array.unsafe_get regs rc));
+      bump c
+  | Ir.Mac (d, a, b, cc) ->
+    let geta = compile_operand a
+    and getb = compile_operand b
+    and getc = compile_operand cc in
+    fun fr -> let c = fr.fcore in
+      if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+      spend_nf t c lat latf;
+      charge_dyn c ci;
+      Array.unsafe_set fr.regs d (Value.mac (geta fr) (getb fr) (getc fr));
+      bump c
+  | Ir.Load (d, s, idxo) -> (
+    let geti = compile_int_operand idxo in
+    let geta = compile_sym t df s in
+    let sstr = Ir.sym_to_string s in
+    match s.Ir.sym_space with
+    | Ir.Shared ->
+      fun fr -> let c = fr.fcore in
+        if not (visible_turn t c) then begin
+          (* not this core's turn: replay when re-picked; the attempt
+             is not a step, or step counts would diverge from the
+             per-step reference *)
+          fr.idx <- fr.idx - 1;
+          t.steps <- t.steps - 1;
+          t.sched_event <- true
+        end
+        else begin
+          if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+          let idx = geti fr in
+          spend1 t c;
+          charge_dyn c ci;
+          bus_access1 t c;
+          let a = geta fr in
+          if idx < 0 || idx >= Array.length a then
+            runtime_err "out-of-bounds read %s[%d] (len %d) in %s" sstr idx
+              (Array.length a) fr.func.Prog.fname;
+          Array.unsafe_set fr.regs d (Array.unsafe_get a idx);
+          bump c
+        end
+    | Ir.Rom | Ir.Frame ->
+      let spm_lat = 1 + t.machine.Machine.spm_latency_cycles in
+      let spm_latf = float_of_int spm_lat in
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        let idx = geti fr in
+        spend_nf t c spm_lat spm_latf;
+        charge_dyn c ci;
+        let a = geta fr in
+        if idx < 0 || idx >= Array.length a then
+          runtime_err "out-of-bounds read %s[%d] (len %d) in %s" sstr idx
+            (Array.length a) fr.func.Prog.fname;
+        Array.unsafe_set fr.regs d (Array.unsafe_get a idx);
+        bump c)
+  | Ir.Store (s, idxo, vo) -> (
+    let geti = compile_int_operand idxo in
+    let getv = compile_operand vo in
+    let geta = compile_sym t df s in
+    let sstr = Ir.sym_to_string s in
+    match s.Ir.sym_space with
+    | Ir.Shared ->
+      fun fr -> let c = fr.fcore in
+        if not (visible_turn t c) then begin
+          (* not this core's turn: replay when re-picked; the attempt
+             is not a step, or step counts would diverge from the
+             per-step reference *)
+          fr.idx <- fr.idx - 1;
+          t.steps <- t.steps - 1;
+          t.sched_event <- true
+        end
+        else begin
+          if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+          let idx = geti fr in
+          let v = getv fr in
+          spend1 t c;
+          charge_dyn c ci;
+          bus_access1 t c;
+          let a = geta fr in
+          if idx < 0 || idx >= Array.length a then
+            runtime_err "out-of-bounds write %s[%d] (len %d) in %s" sstr idx
+              (Array.length a) fr.func.Prog.fname;
+          Array.unsafe_set a idx v;
+          bump c
+        end
+    | Ir.Rom | Ir.Frame ->
+      let spm_lat = 1 + t.machine.Machine.spm_latency_cycles in
+      let spm_latf = float_of_int spm_lat in
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        let idx = geti fr in
+        let v = getv fr in
+        spend_nf t c spm_lat spm_latf;
+        charge_dyn c ci;
+        let a = geta fr in
+        if idx < 0 || idx >= Array.length a then
+          runtime_err "out-of-bounds write %s[%d] (len %d) in %s" sstr idx
+            (Array.length a) fr.func.Prog.fname;
+        Array.unsafe_set a idx v;
+        bump c)
+  | Ir.Faa (d, s, amt) ->
+    let getv = compile_operand amt in
+    let geta = compile_sym t df s in
+    let sstr = Ir.sym_to_string s in
+    fun fr -> let c = fr.fcore in
+      if not (visible_turn t c) then begin
+        (* not this core's turn: replay when re-picked; the attempt
+           is not a step, or step counts would diverge from the
+           per-step reference *)
+        fr.idx <- fr.idx - 1;
+        t.steps <- t.steps - 1;
+        t.sched_event <- true
+      end
+      else begin
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        let amount = Value.to_int (getv fr) in
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        bus_access1 t c;
+        let a = geta fr in
+        if Array.length a = 0 then
+          runtime_err "out-of-bounds read %s[%d] (len %d) in %s" sstr 0 0
+            fr.func.Prog.fname;
+        let old = Value.to_int a.(0) in
+        a.(0) <- Value.Vint (Value.wrap32 (old + amount));
+        Array.unsafe_set fr.regs d (Value.Vint old);
+        bump c
+      end
+  | Ir.Call (dst, callee, args) -> (
+    match Hashtbl.find_opt t.fsyms callee with
+    | None ->
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        runtime_err "call to unknown function %s" callee
+    | Some target_cf ->
+      let params = target_cf.cf_fe.fe_params in
+      let nparams = Array.length params in
+      let nargs = List.length args in
+      let getvs = Array.of_list (List.map compile_operand args) in
+      let nbind = min nargs nparams in
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c lat latf;
+        charge_dyn c ci;
+        let new_fr = make_frame c target_cf in
+        for k = 0 to nbind - 1 do
+          new_fr.regs.(params.(k)) <- getvs.(k) fr
+        done;
+        if nargs > nparams then runtime_err "too many arguments to %s" callee;
+        if nbind <> nparams then runtime_err "arity mismatch calling %s" callee;
+        fr.pending_dst <- dst;
+        c.stack <- new_fr :: c.stack;
+        t.frames_dirty <- true;
+        bump c)
+  | Ir.Pg_off comps ->
+    let setstr = Component.Set.to_string comps in
+    let idxs =
+      Array.of_list (List.map Component.index (Component.Set.elements comps))
+    in
+    let ge = pm.Power_model.gate_energy_nj in
+    fun fr -> let c = fr.fcore in
+      if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+      spend1 t c;
+      record_thunk t c (fun () -> "pg_off " ^ setstr);
+      let any = ref false in
+      Array.iter
+        (fun k ->
+          if c.powered.(k) then begin
+            c.powered.(k) <- false;
+            any := true;
+            c.gate_transitions <- c.gate_transitions + 1;
+            Energy_ledger.charge c.ledger
+              ~category:Energy_ledger.Gating_overhead ge
+          end)
+        idxs;
+      if !any then c.leak_dirty <- true;
+      bump c
+  | Ir.Pg_on comps ->
+    let setstr = Component.Set.to_string comps in
+    let idxs =
+      Array.of_list (List.map Component.index (Component.Set.elements comps))
+    in
+    let ge = pm.Power_model.gate_energy_nj in
+    let wake = pm.Power_model.wake_latency_cycles in
+    let wake_lat = 1 + wake in
+    let wake_latf = float_of_int wake_lat in
+    fun fr -> let c = fr.fcore in
+      if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+      record_thunk t c (fun () -> "pg_on " ^ setstr);
+      let any = ref false in
+      Array.iter
+        (fun k ->
+          if not c.powered.(k) then begin
+            c.powered.(k) <- true;
+            any := true;
+            c.gate_transitions <- c.gate_transitions + 1;
+            Energy_ledger.charge c.ledger
+              ~category:Energy_ledger.Gating_overhead ge
+          end)
+        idxs;
+      if !any then begin
+        c.leak_dirty <- true;
+        (* components wake in parallel: one wake latency *)
+        spend_nf t c wake_lat wake_latf
+      end
+      else spend1 t c;
+      bump c
+  | Ir.Dvfs level -> (
+    let found =
+      List.find_opt
+        (fun (p : Operating_point.t) -> p.Operating_point.level = level)
+        (Power_model.points pm)
+    in
+    match found with
+    | None ->
+      (* invalid level: reproduce [Power_model.point]'s failure at the
+         execution point where the interpreter raises it *)
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        ignore (Power_model.point pm level)
+    | Some target ->
+      let dvfs_lat = pm.Power_model.dvfs_latency_cycles in
+      let dvfs_latf = float_of_int dvfs_lat in
+      let de = pm.Power_model.dvfs_energy_nj in
+      let tstr = Operating_point.to_string target in
+      fun fr -> let c = fr.fcore in
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        if target.Operating_point.level <> c.point.Operating_point.level
+        then begin
+          spend_nf t c dvfs_lat dvfs_latf;
+          Energy_ledger.charge c.ledger ~category:Energy_ledger.Dvfs_overhead
+            de;
+          c.point <- target;
+          refresh_point_caches t c;
+          c.leak_dirty <- true;
+          c.dvfs_transitions <- c.dvfs_transitions + 1;
+          record_thunk t c (fun () -> "dvfs -> " ^ tstr)
+        end
+        else spend1 t c;
+        bump c)
+  | Ir.Send (chan_id, vo) ->
+    let getv = compile_operand vo in
+    let setup_lat = t.machine.Machine.channel_setup_cycles in
+    let setup_latf = float_of_int setup_lat in
+    fun fr -> let c = fr.fcore in
+      if not (visible_turn t c) then begin
+        (* not this core's turn: replay when re-picked; the attempt
+           is not a step, or step counts would diverge from the
+           per-step reference *)
+        fr.idx <- fr.idx - 1;
+        t.steps <- t.steps - 1;
+        t.sched_event <- true
+      end
+      else begin
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c setup_lat setup_latf;
+        charge_dyn c ci;
+        let v = getv fr in
+        let ch = t.chans.(chan_id) in
+        if Queue.length ch.queue >= ch.cap then begin
+          c.send_blocks <- c.send_blocks + 1;
+          record_thunk t c (fun () ->
+              Printf.sprintf "blocked sending on ch%d" chan_id);
+          Queue.push c.id ch.waiting_senders;
+          c.status <- Blocked_send (chan_id, v);
+          t.unblock_dirty <- true
+        end
+        else complete_send t c chan_id v;
+        bump c
+      end
+  | Ir.Recv (d, chan_id, ty) ->
+    let setup_lat = t.machine.Machine.channel_setup_cycles in
+    let setup_latf = float_of_int setup_lat in
+    fun fr -> let c = fr.fcore in
+      if not (visible_turn t c) then begin
+        (* not this core's turn: replay when re-picked; the attempt
+           is not a step, or step counts would diverge from the
+           per-step reference *)
+        fr.idx <- fr.idx - 1;
+        t.steps <- t.steps - 1;
+        t.sched_event <- true
+      end
+      else begin
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend_nf t c setup_lat setup_latf;
+        charge_dyn c ci;
+        let ch = t.chans.(chan_id) in
+        if Queue.is_empty ch.queue then begin
+          c.recv_blocks <- c.recv_blocks + 1;
+          record_thunk t c (fun () ->
+              Printf.sprintf "blocked receiving on ch%d" chan_id);
+          c.status <- Blocked_recv (chan_id, d, ty);
+          t.unblock_dirty <- true
+        end
+        else begin
+          let (v, ready) = Queue.pop ch.queue in
+          (* a slot freed: a blocked sender may now complete *)
+          t.sched_event <- true;
+          t.unblock_dirty <- true;
+          resume_at t c ready;
+          ch.last_pop <- fmax ch.last_pop c.clk.time;
+          (match (ty, v) with
+          | (Ir.I, Value.Vint _) | (Ir.F, Value.Vfloat _) -> ()
+          | _ -> runtime_err "channel %d type mismatch" chan_id);
+          Array.unsafe_set fr.regs d v
+        end;
+        bump c
+      end
+  | Ir.Barrier bid ->
+    fun fr -> let c = fr.fcore in
+      if not (visible_turn t c) then begin
+        (* not this core's turn: replay when re-picked; the attempt
+           is not a step, or step counts would diverge from the
+           per-step reference *)
+        fr.idx <- fr.idx - 1;
+        t.steps <- t.steps - 1;
+        t.sched_event <- true
+      end
+      else begin
+        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+        spend1 t c;
+        charge_dyn c ci;
+        let b = t.barriers.(bid) in
+        record_thunk t c (fun () ->
+            Printf.sprintf "arrived at barrier %d" bid);
+        b.arrived <- (c.id, c.clk.time) :: b.arrived;
+        c.status <- Blocked_barrier bid;
+        release_barrier t bid;
+        bump c
+      end
+
+(** A block that raises the [Prog.block] error when entered — holes in
+    the label space behave exactly like the undecoded interpreter. *)
+let poison_block l fname =
+  {
+    cb_instrs = [||];
+    cb_n = 0;
+    cb_pure = [||];
+    cb_term = (fun _ -> missing_block_err l fname);
+  }
+
+(** Compile a branch target.  Captures the (stable) per-function block
+    array, so filling order does not matter. *)
+let compile_goto (cf : cfun) l : frame -> unit =
+  let blocks = cf.cf_blocks in
+  if l >= 0 && l < Array.length blocks then begin
+    fun fr ->
+      fr.block <- l;
+      fr.idx <- 0;
+      fr.cblk <- blocks.(l)
+  end
+  else begin
+    let pb = poison_block l cf.cf_fe.fe_func.Prog.fname in
+    fun fr ->
+      fr.block <- l;
+      fr.idx <- 0;
+      fr.cblk <- pb
+  end
+
+let compile_term t (cf : cfun) (term : Ir.term) : frame -> unit =
+  match term with
+  | Ir.Jmp l ->
+    let go = compile_goto cf l in
+    fun fr -> let c = fr.fcore in
+      spend1 t c;
+      charge_dyn c branch_idx;
+      go fr
+  | Ir.Br (cond, l1, l2) ->
+    let getc = compile_operand cond in
+    let go1 = compile_goto cf l1 and go2 = compile_goto cf l2 in
+    fun fr -> let c = fr.fcore in
+      spend1 t c;
+      charge_dyn c branch_idx;
+      if Value.is_true (getc fr) then go1 fr else go2 fr
+  | Ir.Ret v_opt ->
+    let getv = Option.map compile_operand v_opt in
+    fun fr -> let c = fr.fcore in
+      spend1 t c;
+      charge_dyn c branch_idx;
+      let v = match getv with Some g -> Some (g fr) | None -> None in
+      (match c.stack with
+      | [] -> runtime_err "return with empty stack"
+      | _ :: [] ->
+        record_thunk t c (fun () ->
+            "halt"
+            ^
+            match v with
+            | Some value -> " -> " ^ Value.to_string value
+            | None -> "");
+        c.status <- Halted v;
+        t.live_cores <- t.live_cores - 1
+      | _ :: (caller :: _ as rest) ->
+        c.stack <- rest;
+        (match (caller.pending_dst, v) with
+        | (Some d, Some value) -> caller.regs.(d) <- value
+        | (Some _, None) -> runtime_err "void return into a register"
+        | (None, _) -> ());
+        caller.pending_dst <- None)
+
+(** Is [di]'s compiled closure {e pure} for the batch loop — unable to
+    change the core's status, raise [t.sched_event], or push a frame?
+    Register/frame/ROM work, power gating and DVFS are core-local;
+    anything touching shared memory, the bus, channels, barriers or the
+    call stack is not.  (Pure closures may still abort the simulation
+    with a runtime error; that path never reports an outcome, so the
+    batched step accounting is unobservable there.) *)
+let pure_instr (di : Predecode.dinstr) =
+  match di.Predecode.di_instr.Ir.idesc with
+  | Ir.Const _ | Ir.Move _ | Ir.Binop _ | Ir.Unop _ | Ir.Mac _
+  | Ir.Pg_off _ | Ir.Pg_on _ | Ir.Dvfs _ -> true
+  | Ir.Load (_, s, _) -> (
+    match s.Ir.sym_space with Ir.Rom | Ir.Frame -> true | Ir.Shared -> false)
+  | Ir.Store (s, _, _) -> (
+    match s.Ir.sym_space with Ir.Rom | Ir.Frame -> true | Ir.Shared -> false)
+  | Ir.Call _ | Ir.Send _ | Ir.Recv _ | Ir.Barrier _ | Ir.Faa _ -> false
+
+let pure_runs (db : Predecode.dblock) =
+  let instrs = db.Predecode.db_instrs in
+  let n = Array.length instrs in
+  let runs = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    if pure_instr instrs.(i) then
+      runs.(i) <- (1 + if i + 1 < n then runs.(i + 1) else 0)
+  done;
+  runs
+
+(** Fill [cf]'s block array with compiled blocks.  [cf_blocks] must
+    already be allocated (phase 1) so targets across functions resolve. *)
+let compile_cfun t (cf : cfun) =
+  let df = cf.cf_fe.fe_dfunc in
+  Array.iteri
+    (fun l dbo ->
+      match dbo with
+      | None -> ()  (* stays poison *)
+      | Some (db : Predecode.dblock) ->
+        let cb_instrs = Array.map (compile_instr t df) db.Predecode.db_instrs in
+        cf.cf_blocks.(l) <-
+          {
+            cb_instrs;
+            cb_n = Array.length cb_instrs;
+            cb_pure = pure_runs db;
+            cb_term = compile_term t cf db.Predecode.db_term;
+          })
+    df.Predecode.df_blocks
+
+(** Execute one step (instruction or terminator) — compiled mode. *)
+let step_compiled (c : core) =
+  match c.stack with
+  | [] -> runtime_err "core %d has empty stack" c.id
+  | fr :: _ ->
+    let cb = fr.cblk in
+    if fr.idx < cb.cb_n then begin
+      let f = cb.cb_instrs.(fr.idx) in
+      fr.idx <- fr.idx + 1;
+      f fr
+    end
+    else cb.cb_term fr
+
+(* ------------------------------------------------------------------ *)
+(* Construction (continued): ties decode + compilation together        *)
+(* ------------------------------------------------------------------ *)
+
+let decode_cache :
+    (Prog.t * ((string, Predecode.dfunc) Hashtbl.t * int)) option ref =
+  ref None
+
+let decode_prog_cached prog =
+  match !decode_cache with
+  | Some (p, res) when p == prog -> res
+  | _ ->
+    let res = Predecode.decode_prog prog in
+    decode_cache := Some (prog, res);
+    res
+
+let create ?(opts = default_options) ~(machine : Machine.t) (prog : Prog.t) : t =
+  let entries = Prog.entries prog in
+  if List.length entries > machine.Machine.n_cores then
+    invalid_arg
+      (Printf.sprintf "Sim.create: program needs %d cores, machine has %d"
+         (List.length entries) machine.Machine.n_cores);
+  let entry_funcs = List.map (Prog.func_exn prog) entries in
+  let pm = machine.Machine.power in
+  let nominal = Power_model.nominal pm in
+  let cores =
+    Array.of_list
+      (List.mapi
+         (fun id _entry ->
+           let ledger = Energy_ledger.create () in
+           {
+             id;
+             stack = [];
+             status = Ready;
+             clk =
+               {
+                 time = 0.0;
+                 busy_ns = 0.0;
+                 bus_wait_ns = 0.0;
+                 leak_mw = 0.0;
+                 ns_per_cycle = 0.0;
+               };
+             point = nominal;
+             powered = Array.make Component.count true;
+             ledger;
+             lg_cat = Energy_ledger.raw_by_category ledger;
+             lg_comp = Energy_ledger.raw_by_component ledger;
+             lg_tot = Energy_ledger.raw_total ledger;
+             leak_dirty = false;
+             dyn_row = Array.make Component.count 0.0;
+             instr_count = 0;
+             implicit_wakeups = 0;
+             gate_transitions = 0;
+             dvfs_transitions = 0;
+             send_blocks = 0;
+             recv_blocks = 0;
+             cycles = 0;
+             bus_txns = 0;
+             bus_words = 0;
+           })
+         entries)
+  in
+  let (n_channels, n_barriers, cap) =
+    match prog.Prog.layout with
+    | Prog.Sequential -> (0, 0, 0)
+    | Prog.Parallel { n_channels; n_barriers; chan_capacity; _ } ->
+      (n_channels, n_barriers, chan_capacity)
+  in
+  (* decode is likewise a pure function of the program (no machine
+     state involved) and its output is immutable, so the same
+     single-entry cache applies *)
+  let (dfuncs, decoded_blocks) = decode_prog_cached prog in
+  let fsyms = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Prog.func) ->
+      Hashtbl.replace fsyms f.Prog.fname
+        {
+          cf_fe =
+            {
+              fe_func = f;
+              fe_params = Array.of_list (List.map fst f.Prog.params);
+              fe_dfunc = Hashtbl.find dfuncs f.Prog.fname;
+            };
+          cf_blocks = [||];
+        })
+    (Prog.funcs prog);
+  let nominal_ns_of n = Operating_point.ns_of_cycles nominal n in
+  let t =
+    {
+      prog;
+      machine;
+      opts;
+      fsyms;
+      dfuncs;
+      decoded_blocks;
+      cores;
+      shared = init_shared prog;
+      chans =
+        Array.init n_channels (fun _ ->
+            { cap; queue = Queue.create (); waiting_senders = Queue.create ();
+              total_msgs = 0; last_pop = 0.0 });
+      barriers = Array.init n_barriers (fun _ -> { arrived = [] });
+      bus_free = Array.make 1 0.0;
+      steps = 0;
+      trace = [];
+      trace_len = 0;
+      leak_recomputes = 0;
+      sched_event = false;
+      batch_other = -1;
+      frames_dirty = false;
+      live_cores = Array.length cores;
+      unblock_dirty = true;
+      faults_armed = Lp_util.Fault.active ();
+      bus_txn1_ns =
+        nominal_ns_of
+          (machine.Machine.bus_latency_cycles + machine.Machine.bus_word_cycles);
+      shared_extra_ns = nominal_ns_of machine.Machine.shared_mem_latency_cycles;
+      bus_word_energy_nj = machine.Machine.bus_energy_per_word_nj;
+    }
+  in
+  if opts.predecode then begin
+    (* phase 1: allocate every function's block array (poison-filled) so
+       calls and branches can capture targets across mutual recursion *)
+    Hashtbl.iter
+      (fun _ cf ->
+        let df = cf.cf_fe.fe_dfunc in
+        let fname = cf.cf_fe.fe_func.Prog.fname in
+        cf.cf_blocks <-
+          Array.init
+            (Array.length df.Predecode.df_blocks)
+            (fun l -> poison_block l fname))
+      fsyms;
+    (* phase 2: compile blocks in place *)
+    Hashtbl.iter (fun _ cf -> compile_cfun t cf) fsyms
+  end;
+  List.iteri
+    (fun i (f : Prog.func) ->
+      cores.(i).stack <- [ make_frame cores.(i) (Hashtbl.find fsyms f.Prog.fname) ])
+    entry_funcs;
+  Array.iter
+    (fun c ->
+      refresh_point_caches t c;
+      recompute_leak t c)
+    cores;
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler loop                                                      *)
@@ -621,7 +1768,7 @@ let unblock_pass t : bool =
         if not (Queue.is_empty ch.queue) then begin
           let (v, ready) = Queue.pop ch.queue in
           resume_at t c ready;
-          ch.last_pop <- Float.max ch.last_pop c.time;
+          ch.last_pop <- fmax ch.last_pop c.clk.time;
           (match (ty, v) with
           | (Ir.I, Value.Vint _) | (Ir.F, Value.Vfloat _) -> ()
           | _ -> runtime_err "channel %d type mismatch" chan_id);
@@ -658,8 +1805,7 @@ let unblock_pass t : bool =
     t.cores;
   !progress
 
-let all_halted t =
-  Array.for_all (fun c -> match c.status with Halted _ -> true | _ -> false) t.cores
+let all_halted t = t.live_cores = 0
 
 let describe_blocked t =
   let parts =
@@ -679,7 +1825,137 @@ let describe_blocked t =
   in
   String.concat " " parts
 
+(** Batched stepping for the compiled mode: keep stepping [c] while it
+    provably remains the scheduler's choice.  That holds while
+
+    - [c] stays [Ready] (blocking or halting hands control back),
+    - no {e scheduling event} has fired ([t.sched_event]: a channel
+      push/pop or barrier release, which could make a blocked core
+      schedulable or move another core's clock), and
+    - [c]'s local time keeps it ahead of the best {e other} ready core
+      under the pick rule (smallest time, ties to the lowest core id).
+
+    Other ready cores' clocks only move when they are stepped, so the
+    runner-up bound ([other_time], [other_id]) captured at pick time
+    stays valid for the whole batch.  The interleaving is therefore
+    exactly the one the per-step scheduler would produce; skipped
+    [unblock_pass] calls are provably no-ops because every state change
+    they react to raises [t.sched_event].  [t.steps] is maintained
+    per-instruction so [Step_limit_exceeded] fires after exactly the
+    same step as the one-at-a-time loop. *)
+let[@inline always] batch_step t (c : core) lim =
+  t.steps <- t.steps + 1;
+  if t.steps > lim then raise Step_limit_exceeded;
+  match c.stack with
+  | [] -> runtime_err "core %d has empty stack" c.id
+  | fr :: _ ->
+    let cb = fr.cblk in
+    if fr.idx < cb.cb_n then begin
+      (* safe: [cb_n = Array.length cb_instrs] by construction *)
+      let f = Array.unsafe_get cb.cb_instrs fr.idx in
+      fr.idx <- fr.idx + 1;
+      f fr
+    end
+    else cb.cb_term fr
+
+let run_sched_batch t (c : core) ~other_i =
+  let lim = t.opts.max_steps in
+  t.batch_other <- other_i;
+  if other_i < 0 || t.opts.trace_limit = 0 then
+    (* Aggressive batch: core-local instructions (registers, frame and
+       ROM memory, power state, calls) commute with other cores' work,
+       so the batch runs through them regardless of the clock race.
+       Globally-visible instructions carry a compiled-in turn guard
+       ({!visible_turn}) that yields back to the scheduler exactly
+       when the per-step reference would have run the runner-up first,
+       so shared memory, bus, channel and barrier operations still
+       execute in the reference (time, id) order.  The one observable
+       this reorders is the interleaving of per-core entries in the
+       event trace, so with tracing on ([trace_limit > 0]) the
+       conservative per-step race check below is used instead. *)
+    while
+      (match c.status with
+      | Ready -> true
+      | Blocked_send _ | Blocked_recv _ | Blocked_barrier _ | Halted _ ->
+        false)
+      && not t.sched_event
+    do
+      match c.stack with
+      | [] -> runtime_err "core %d has empty stack" c.id
+      | fr :: _ ->
+        (* Straight-line segment: the frame and block stay current
+           until a terminator runs (re-fetched unconditionally after)
+           or a [Call] pushes a frame ([frames_dirty]), so the head of
+           the stack and the block arrays load once per segment, not
+           once per instruction. *)
+        let cb = fr.cblk in
+        let instrs = cb.cb_instrs in
+        let pure = cb.cb_pure in
+        let n = cb.cb_n in
+        t.frames_dirty <- false;
+        while
+          fr.idx < n
+          && (not t.frames_dirty)
+          && (match c.status with
+             | Ready -> true
+             | Blocked_send _ | Blocked_recv _ | Blocked_barrier _
+             | Halted _ -> false)
+          && not t.sched_event
+        do
+          (* a run of pure instructions can neither invalidate any of
+             the loop conditions above nor hit the step limit (checked
+             up front), so it executes with no per-instruction checks *)
+          let run = Array.unsafe_get pure fr.idx in
+          if run > 0 && t.steps + run <= lim then begin
+            t.steps <- t.steps + run;
+            let stop = fr.idx + run in
+            while fr.idx < stop do
+              (* safe: [cb_n = Array.length cb_instrs] by construction *)
+              let f = Array.unsafe_get instrs fr.idx in
+              fr.idx <- fr.idx + 1;
+              f fr
+            done
+          end
+          else begin
+            t.steps <- t.steps + 1;
+            if t.steps > lim then raise Step_limit_exceeded;
+            let f = Array.unsafe_get instrs fr.idx in
+            fr.idx <- fr.idx + 1;
+            f fr
+          end
+        done;
+        if
+          fr.idx >= n
+          && (not t.frames_dirty)
+          && (match c.status with
+             | Ready -> true
+             | Blocked_send _ | Blocked_recv _ | Blocked_barrier _
+             | Halted _ -> false)
+          && not t.sched_event
+        then begin
+          t.steps <- t.steps + 1;
+          if t.steps > lim then raise Step_limit_exceeded;
+          cb.cb_term fr
+        end
+    done
+  else begin
+    let o = t.cores.(other_i) in
+    let oid = o.id in
+    while
+      (match c.status with
+      | Ready -> true
+      | Blocked_send _ | Blocked_recv _ | Blocked_barrier _ | Halted _ ->
+        false)
+      && (not t.sched_event)
+      && (c.clk.time < o.clk.time
+         || (c.clk.time = o.clk.time && c.id < oid))
+    do
+      batch_step t c lim
+    done
+  end
+
 let run_loop t =
+  let predecode = t.opts.predecode in
   let continue_ = ref true in
   while !continue_ do
     if all_halted t then continue_ := false
@@ -687,26 +1963,64 @@ let run_loop t =
       (* unblock eagerly so that cores advance in (approximately) global
          virtual-time order — required for the shared-bus occupancy model
          to see transactions near-chronologically *)
-      ignore (unblock_pass t);
-      (* pick the ready core with the smallest local time *)
-      let best = ref None in
-      Array.iter
-        (fun c ->
-          match c.status with
-          | Ready -> (
-            match !best with
-            | Some b when b.time <= c.time -> ()
-            | _ -> best := Some c)
-          | _ -> ())
-        t.cores;
-      match !best with
-      | Some c ->
-        t.steps <- t.steps + 1;
-        if t.steps > t.opts.max_steps then raise Step_limit_exceeded;
-        step_core t c
-      | None ->
+      t.sched_event <- false;
+      (* the pass only acts on channel-blocked cores and channel state;
+         with [unblock_dirty] clear nothing relevant changed since the
+         previous pass, so the compiled mode skips the provable no-op.
+         The interpretive reference keeps the pass-every-step seed
+         behaviour. *)
+      if t.unblock_dirty || not predecode then begin
+        t.unblock_dirty <- false;
+        ignore (unblock_pass t)
+      end;
+      (* pick the ready core with the smallest local time (ties to the
+         lowest id); also track the runner-up bound that lets the
+         compiled mode keep stepping the pick without rescanning.  The
+         scan works on array indices (core ids are their indices), so
+         it allocates nothing — it runs once per scheduling decision,
+         which for tightly interleaved cores means nearly every step *)
+      let best_i = ref (-1) in
+      let other_i = ref (-1) in
+      for i = 0 to Array.length t.cores - 1 do
+        let c = t.cores.(i) in
+        match c.status with
+        | Ready ->
+          if !best_i < 0 then best_i := i
+          else if c.clk.time < t.cores.(!best_i).clk.time then begin
+            (* the old best was the minimum of everything seen so far,
+               so it becomes the runner-up outright *)
+            other_i := !best_i;
+            best_i := i
+          end
+          else if !other_i < 0 || c.clk.time < t.cores.(!other_i).clk.time then
+            other_i := i
+        | Blocked_send _ | Blocked_recv _ | Blocked_barrier _ | Halted _ ->
+          ()
+      done;
+      if !best_i < 0 then begin
         if not (unblock_pass t) then
           raise (Deadlock ("no runnable core: " ^ describe_blocked t))
+      end
+      else begin
+        let c = t.cores.(!best_i) in
+        if predecode then
+          if t.sched_event then begin
+            (* the unblock pass itself completed a send: another pass
+               may unblock more, so single-step like the per-step
+               scheduler.  [c] won the full pick scan, so a visible
+               instruction needs no turn guard here *)
+            t.batch_other <- -1;
+            t.steps <- t.steps + 1;
+            if t.steps > t.opts.max_steps then raise Step_limit_exceeded;
+            step_compiled c
+          end
+          else run_sched_batch t c ~other_i:!other_i
+        else begin
+          t.steps <- t.steps + 1;
+          if t.steps > t.opts.max_steps then raise Step_limit_exceeded;
+          step_interp t c
+        end
+      end
     end
   done
 
@@ -735,6 +2049,9 @@ type outcome = {
   channel_msgs : int;
   steps : int;
   events : event list;  (** oldest first; bounded by [options.trace_limit] *)
+  decoded_blocks : int;   (** blocks decoded once at construction *)
+  leak_recomputes : int;  (** {!recompute_leak} invocations this run *)
+  predecode : bool;       (** whether the compiled stepper was active *)
 }
 
 (** Charge leakage of machine cores not used by the program, for the whole
@@ -778,13 +2095,13 @@ let observe_outcome obs t ~duration =
     Array.iter
       (fun (c : core) ->
         Obs.emit_span obs ~cat:"sim-core" ~pid:Obs.sim_pid ~tid:c.id
-          ~start_ns:0.0 ~dur_ns:c.time
+          ~start_ns:0.0 ~dur_ns:c.clk.time
           ~args:
             [
               ("instrs", Obs.Int c.instr_count);
               ("cycles", Obs.Int c.cycles);
               ("bus_txns", Obs.Int c.bus_txns);
-              ("busy_ns", Obs.Float c.busy_ns);
+              ("busy_ns", Obs.Float c.clk.busy_ns);
             ]
           (Printf.sprintf "core%d" c.id);
         let ctr fmt = Printf.sprintf fmt c.id in
@@ -802,6 +2119,9 @@ let observe_outcome obs t ~duration =
        is surfaced as a counter even when zero *)
     Obs.add obs "sim.implicit_wakeups"
       (Array.fold_left (fun a (c : core) -> a + c.implicit_wakeups) 0 t.cores);
+    Obs.add obs "sim.leak_recomputes" t.leak_recomputes;
+    Obs.add obs "sim.predecode.blocks" t.decoded_blocks;
+    Obs.add obs "sim.predecode.active" (if t.opts.predecode then 1 else 0);
     Obs.set_gauge obs "sim.last_duration_ns" duration
   end
 
@@ -810,11 +2130,11 @@ let run ?(opts = default_options) ?(obs = Obs.disabled) ~machine prog : outcome 
   let t = create ~opts ~machine prog in
   Obs.span obs ~cat:"sim" "simulate" (fun () -> run_loop t);
   let duration =
-    Array.fold_left (fun acc c -> Float.max acc c.time) 0.0 t.cores
+    Array.fold_left (fun acc c -> Float.max acc c.clk.time) 0.0 t.cores
   in
   (* cores that halted early leak (idle) until the machine finishes *)
   Array.iter
-    (fun c -> if c.time < duration then resume_at t c duration)
+    (fun c -> if c.clk.time < duration then resume_at t c duration)
     t.cores;
   let unused = charge_unused_cores t ~duration in
   observe_outcome obs t ~duration;
@@ -837,17 +2157,20 @@ let run ?(opts = default_options) ?(obs = Obs.disabled) ~machine prog : outcome 
       Array.fold_left (fun a (c : core) -> a + c.gate_transitions) 0 t.cores;
     dvfs_transitions =
       Array.fold_left (fun a (c : core) -> a + c.dvfs_transitions) 0 t.cores;
-    busy_ns = Array.map (fun (c : core) -> c.busy_ns) t.cores;
+    busy_ns = Array.map (fun (c : core) -> c.clk.busy_ns) t.cores;
     instrs_per_core = Array.map (fun (c : core) -> c.instr_count) t.cores;
     send_blocks = Array.map (fun (c : core) -> c.send_blocks) t.cores;
     recv_blocks = Array.map (fun (c : core) -> c.recv_blocks) t.cores;
     cycles_per_core = Array.map (fun (c : core) -> c.cycles) t.cores;
     bus_txns_per_core = Array.map (fun (c : core) -> c.bus_txns) t.cores;
     bus_words_per_core = Array.map (fun (c : core) -> c.bus_words) t.cores;
-    bus_wait_ns_per_core = Array.map (fun (c : core) -> c.bus_wait_ns) t.cores;
+    bus_wait_ns_per_core = Array.map (fun (c : core) -> c.clk.bus_wait_ns) t.cores;
     channel_msgs = Array.fold_left (fun a ch -> a + ch.total_msgs) 0 t.chans;
     steps = t.steps;
     events = List.rev t.trace;
+    decoded_blocks = t.decoded_blocks;
+    leak_recomputes = t.leak_recomputes;
+    predecode = t.opts.predecode;
   }
 
 (** Map the exceptions a simulation can raise onto structured

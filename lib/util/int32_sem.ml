@@ -3,6 +3,6 @@
     would change observable program results. *)
 
 (** Wrap a host integer to signed 32-bit. *)
-let wrap32 x =
+let[@inline always] wrap32 x =
   let m = x land 0xFFFFFFFF in
   if m land 0x80000000 <> 0 then m - 0x100000000 else m

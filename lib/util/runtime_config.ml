@@ -5,11 +5,12 @@ type t = {
   trace : string option;
   report : string option;
   no_analysis_cache : bool;
+  no_sim_predecode : bool;
 }
 
 let default =
   { jobs = None; retries = 2; faults = None; trace = None; report = None;
-    no_analysis_cache = false }
+    no_analysis_cache = false; no_sim_predecode = false }
 
 let clean = function
   | Some s when String.trim s <> "" -> Some (String.trim s)
@@ -40,9 +41,11 @@ let from_env () =
     trace = clean (get "LP_TRACE");
     report = clean (get "LP_REPORT");
     no_analysis_cache = truthy (get "LP_NO_ANALYSIS_CACHE");
+    no_sim_predecode = truthy (get "LP_NO_SIM_PREDECODE");
   }
 
-let resolve ?jobs ?retries ?faults ?trace ?report ?no_analysis_cache base =
+let resolve ?jobs ?retries ?faults ?trace ?report ?no_analysis_cache
+    ?no_sim_predecode base =
   {
     jobs = (match jobs with Some _ -> jobs | None -> base.jobs);
     retries = Option.value ~default:base.retries retries;
@@ -55,13 +58,21 @@ let resolve ?jobs ?retries ?faults ?trace ?report ?no_analysis_cache base =
       (match no_analysis_cache with
       | Some true -> true
       | Some false | None -> base.no_analysis_cache);
+    no_sim_predecode =
+      (* same one-way semantics as [no_analysis_cache] *)
+      (match no_sim_predecode with
+      | Some true -> true
+      | Some false | None -> base.no_sim_predecode);
   }
 
 let to_string c =
-  Printf.sprintf "jobs=%s retries=%d faults=%s trace=%s report=%s analysis_cache=%s"
+  Printf.sprintf
+    "jobs=%s retries=%d faults=%s trace=%s report=%s analysis_cache=%s \
+     sim_predecode=%s"
     (match c.jobs with Some n -> string_of_int n | None -> "auto")
     c.retries
     (Option.value ~default:"(none)" c.faults)
     (Option.value ~default:"(off)" c.trace)
     (Option.value ~default:"(off)" c.report)
     (if c.no_analysis_cache then "off" else "on")
+    (if c.no_sim_predecode then "off" else "on")

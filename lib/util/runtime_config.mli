@@ -46,6 +46,13 @@ type t = {
           / [--no-analysis-cache]).  Output must be byte-identical
           either way; this exists to prove it and to debug suspected
           stale-analysis miscompiles *)
+  no_sim_predecode : bool;
+      (** escape hatch: run the simulator's interpretive reference
+          stepper instead of the closure-compiled one
+          ([LP_NO_SIM_PREDECODE=1] / [--no-sim-predecode]).  Simulated
+          cycles, energy and traces must be byte-identical either way;
+          this exists to prove it and to bisect suspected
+          predecode-compilation bugs *)
 }
 
 (** All defaults: auto-sized pool, 2 retries, no faults, no trace, no
@@ -68,6 +75,7 @@ val resolve :
   ?trace:string ->
   ?report:string ->
   ?no_analysis_cache:bool ->
+  ?no_sim_predecode:bool ->
   t ->
   t
 

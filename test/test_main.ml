@@ -19,4 +19,5 @@ let () =
       ("properties", Test_props.suite);
       ("workloads-e2e", Test_workloads.suite);
       ("robustness", Test_robustness.suite);
+      ("predecode", Test_predecode.suite);
     ]

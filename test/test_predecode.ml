@@ -1,0 +1,161 @@
+(** The predecode equivalence contract: the closure-compiled stepper
+    and the interpretive reference must be {e bit-identical} on every
+    observable — cycles, the full energy ledger, per-core instruction
+    counts, final shared memory, the return value — not merely "close".
+    The property below throws randomly generated parallel programs at
+    both modes; the unit tests pin the new outcome counters and the
+    [BENCH_sim.json] schema. *)
+
+module Compile = Lowpower.Compile
+module Machine = Lp_machine.Machine
+module Sim = Lp_sim.Sim
+module Value = Lp_sim.Value
+module Ledger = Lp_power.Energy_ledger
+module Gen = Lp_robust.Gen
+module Simbench = Lp_experiments.Simbench
+module J = Lp_util.Json
+
+let machine4 = Machine.generic ~n_cores:4 ()
+
+let run_mode prog ~predecode =
+  Sim.run ~opts:{ Sim.default_options with Sim.predecode } ~machine:machine4
+    prog
+
+let run_both source =
+  let compiled =
+    Compile.compile ~opts:(Compile.full ~n_cores:4) ~machine:machine4 source
+  in
+  ( run_mode compiled.Compile.prog ~predecode:true,
+    run_mode compiled.Compile.prog ~predecode:false )
+
+(* Float comparisons below are deliberately [=]: the contract is exact
+   agreement (same operations in the same order), not tolerance. None
+   of the compared quantities can be NaN. *)
+
+let ledger_equal a b =
+  Ledger.total a = Ledger.total b
+  && List.for_all
+       (fun c -> Ledger.of_category a c = Ledger.of_category b c)
+       Ledger.all_categories
+
+let shared_equal globals a b =
+  List.for_all
+    (fun g ->
+      match (Sim.shared_array a g, Sim.shared_array b g) with
+      | (Some xa, Some xb) ->
+        Array.length xa = Array.length xb && Array.for_all2 Value.equal xa xb
+      | (None, None) -> true
+      | _ -> false)
+    globals
+
+let outcomes_identical ~globals (on : Sim.outcome) (off : Sim.outcome) =
+  on.Sim.instr_total = off.Sim.instr_total
+  && on.Sim.steps = off.Sim.steps
+  && on.Sim.duration_ns = off.Sim.duration_ns
+  && on.Sim.cycles_per_core = off.Sim.cycles_per_core
+  && on.Sim.instrs_per_core = off.Sim.instrs_per_core
+  && on.Sim.bus_txns_per_core = off.Sim.bus_txns_per_core
+  && on.Sim.bus_words_per_core = off.Sim.bus_words_per_core
+  && on.Sim.channel_msgs = off.Sim.channel_msgs
+  && ledger_equal on.Sim.energy off.Sim.energy
+  && Array.for_all2 ledger_equal on.Sim.core_ledgers off.Sim.core_ledgers
+  && (match (on.Sim.ret, off.Sim.ret) with
+     | (Some x, Some y) -> Value.equal x y
+     | (None, None) -> true
+     | _ -> false)
+  && shared_equal globals on off
+
+(* ---------------- the equivalence property ---------------- *)
+
+let prop_modes_identical =
+  QCheck.Test.make ~count:40
+    ~name:"compiled and interpretive modes are bit-identical"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let g = Gen.generate ~seed in
+      let (on, off) = run_both g.Gen.source in
+      outcomes_identical ~globals:g.Gen.check_globals on off)
+
+(* ---------------- outcome counters ---------------- *)
+
+(** Both modes decode at construction (decode is shared bookkeeping),
+    and the compiled mode's lazy leakage refresh never recomputes more
+    often than the reference's eager one. *)
+let test_counters () =
+  let w = Lp_workloads.Suite.find_exn "fir" in
+  let (on, off) = run_both w.Lp_workloads.Workload.source in
+  Alcotest.(check bool) "blocks decoded" true (on.Sim.decoded_blocks > 0);
+  Alcotest.(check int) "same decode both modes" on.Sim.decoded_blocks
+    off.Sim.decoded_blocks;
+  Alcotest.(check bool) "predecode flag on" true on.Sim.predecode;
+  Alcotest.(check bool) "predecode flag off" false off.Sim.predecode;
+  Alcotest.(check bool) "lazy leak recompute is no more eager" true
+    (on.Sim.leak_recomputes <= off.Sim.leak_recomputes)
+
+(* ---------------- BENCH_sim.json schema ---------------- *)
+
+let stats runs ips cps =
+  {
+    Simbench.runs;
+    wall_s = float_of_int runs /. cps;
+    instrs_per_sec = ips;
+    cells_per_sec = cps;
+  }
+
+let bench_fixture =
+  {
+    Simbench.sb_machine = "generic4";
+    sb_config = "full";
+    sb_rows =
+      [
+        {
+          Simbench.sb_workload = "fir";
+          sb_instrs = 123_456;
+          sb_on = stats 40 4.0e7 160.0;
+          sb_off = stats 8 8.0e6 32.0;
+          sb_speedup = 5.0;
+        };
+      ];
+    sb_total_on = 4.0e7;
+    sb_total_off = 8.0e6;
+    sb_total_speedup = 5.0;
+  }
+
+(** The schema survives a full [to_json] → print → parse → [of_json]
+    round trip, so the committed artifact stays machine-readable. *)
+let test_schema_round_trip () =
+  let j = Simbench.to_json bench_fixture in
+  (match J.member "schema" j with
+  | Some (J.Str s) ->
+    Alcotest.(check string) "schema tag" Simbench.schema s
+  | _ -> Alcotest.fail "schema tag missing");
+  match Simbench.of_json (J.of_string (J.to_string j)) with
+  | Error e -> Alcotest.failf "of_json: %s" e
+  | Ok t ->
+    Alcotest.(check bool) "round trip" true (t = bench_fixture)
+
+(** Field renames must fail loudly, not decode to garbage. *)
+let test_schema_rejects () =
+  (match Simbench.of_json (J.Obj [ ("schema", J.Str "bogus/9") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown schema accepted");
+  let j = Simbench.to_json bench_fixture in
+  let dropped =
+    match j with
+    | J.Obj fields ->
+      J.Obj (List.filter (fun (k, _) -> k <> "workloads") fields)
+    | _ -> assert false
+  in
+  match Simbench.of_json dropped with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing field accepted"
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_modes_identical;
+    Alcotest.test_case "outcome counters" `Quick test_counters;
+    Alcotest.test_case "BENCH_sim.json round trip" `Quick
+      test_schema_round_trip;
+    Alcotest.test_case "BENCH_sim.json rejects bad input" `Quick
+      test_schema_rejects;
+  ]
