@@ -45,10 +45,10 @@ let with_diagnostics f =
     after the body returns — success or failure, so a diagnosed run
     still leaves its profile and audit behind. *)
 let with_ctx ?jobs ?retries ?faults ?trace ?report ?no_analysis_cache
-    ?no_sim_predecode f =
+    ?no_sim_predecode ?deadline_ms f =
   let config =
     Runtime_config.resolve ?jobs ?retries ?faults ?trace ?report
-      ?no_analysis_cache ?no_sim_predecode
+      ?no_analysis_cache ?no_sim_predecode ?deadline_ms
       (Runtime_config.from_env ())
   in
   Option.iter Lp_util.Domain_pool.set_default_jobs
@@ -70,7 +70,13 @@ let with_ctx ?jobs ?retries ?faults ?trace ?report ?no_analysis_cache
       | Some _ -> Report.create ()
       | None -> Report.disabled
     in
-    let ctx = Compile.make_ctx ~obs ~report:rep ~config () in
+    (* the deadline clock starts here: one CLI invocation = one request *)
+    let deadline =
+      match config.Runtime_config.deadline_ms with
+      | Some ms -> Lp_util.Deadline.after_ms ms
+      | None -> Lp_util.Deadline.none
+    in
+    let ctx = Compile.make_ctx ~obs ~report:rep ~config ~deadline () in
     Lp_experiments.Exp_common.set_ctx ctx;
     let finish () =
       (match config.Runtime_config.trace with
@@ -238,7 +244,7 @@ let detect_cmd =
 (* ---------------- run ---------------- *)
 
 let run_cmd_run file workload machine_kind cores config events faults trace
-    report no_analysis_cache no_sim_predecode passes =
+    report no_analysis_cache no_sim_predecode passes deadline_ms =
   match source_of ~file ~workload with
   | Error e -> `Error (false, e)
   | Ok (src, name) -> (
@@ -252,6 +258,7 @@ let run_cmd_run file workload machine_kind cores config events faults trace
     | Error e -> `Error (false, "invalid --passes spec: " ^ e)
     | Ok pipeline ->
     with_ctx ?faults ?trace ?report ~no_analysis_cache ~no_sim_predecode
+      ?deadline_ms
     @@ fun ctx ->
     with_diagnostics @@ fun () ->
     Fault.with_scope name @@ fun () ->
@@ -321,13 +328,23 @@ let passes_arg =
                  $(b,lpcc pipeline) lists the vocabulary and the default \
                  schedule.")
 
+let deadline_arg =
+  Arg.(value & opt (some int) None
+       & info [ "deadline-ms" ] ~docv:"N"
+           ~doc:"Cooperative wall-clock deadline for this invocation in \
+                 milliseconds.  The pipeline and simulator check it at \
+                 phase, pass and scheduling boundaries; exceeding it \
+                 reports the stable $(b,E_DEADLINE) diagnostic instead of \
+                 running forever.  The $(b,LP_DEADLINE_MS) environment \
+                 variable is the equivalent.")
+
 let run_cmd =
   let doc = "compile and simulate a MiniC program" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(ret (const run_cmd_run $ file_arg $ workload_arg $ machine_arg
                $ cores_arg $ config_arg $ events_arg $ faults_arg
                $ trace_file_arg $ report_file_arg $ no_cache_arg
-               $ no_predecode_arg $ passes_arg))
+               $ no_predecode_arg $ passes_arg $ deadline_arg))
 
 (* ---------------- explain ---------------- *)
 
@@ -504,6 +521,127 @@ let pipeline_cmd =
   Cmd.v (Cmd.info "pipeline" ~doc)
     Term.(ret (const pipeline_cmd_run $ passes_arg))
 
+(* ---------------- serve-bench ---------------- *)
+
+let serve_bench_cmd_run socket requests clients window seed verify json_path
+    self_serve server_jobs queue_cap server_deadline_ms faults retries =
+  let module SB = Lp_serve.Serve_bench in
+  let module Srv = Lp_serve.Server in
+  let run_bench () =
+    let cfg =
+      {
+        (SB.default_config ~socket_path:socket) with
+        SB.requests;
+        clients;
+        window;
+        seed;
+        verify;
+      }
+    in
+    match SB.run cfg with
+    | Error e -> `Error (false, "serve-bench: " ^ e)
+    | Ok s -> (
+      print_string (SB.to_text s);
+      (match json_path with
+      | Some path ->
+        SB.write_json s ~path;
+        Printf.printf "wrote %s\n" path
+      | None -> ());
+      match SB.acceptance s with
+      | Ok () -> `Ok ()
+      | Error violations ->
+        `Error
+          ( false,
+            "serve-bench acceptance failed:\n  "
+            ^ String.concat "\n  " violations ))
+  in
+  if not self_serve then run_bench ()
+  else
+    with_ctx ?faults ?retries @@ fun ctx ->
+    let opts =
+      {
+        (Srv.default_opts ~socket_path:socket) with
+        Srv.jobs = server_jobs;
+        queue_capacity = queue_cap;
+        default_deadline_ms = server_deadline_ms;
+      }
+    in
+    let server = Srv.start ~ctx opts in
+    Fun.protect ~finally:(fun () -> Srv.stop server) run_bench
+
+let serve_bench_cmd =
+  let doc =
+    "replay a seeded corpus of mixed valid/malformed/deadline requests \
+     against an $(b,lpccd) compile server and report throughput, latency \
+     percentiles and the failure taxonomy ($(b,BENCH_serve.json)); exits \
+     non-zero unless every request was answered, no connection died, and \
+     no reply carried $(b,E_INTERNAL)"
+  in
+  let socket =
+    Arg.(value & opt string "lpccd.sock"
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket of the server.")
+  in
+  let requests =
+    Arg.(value & opt int 5000
+         & info [ "n"; "requests" ] ~docv:"N" ~doc:"Corpus size.")
+  in
+  let clients =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let window =
+    Arg.(value & opt int 8
+         & info [ "window" ] ~docv:"N"
+             ~doc:"In-flight requests per connection (pipelining depth).")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N" ~doc:"Corpus generator seed.")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Recompute every valid compile/run reply locally through \
+                   the one-shot entry points and require byte-identical \
+                   payloads.  Only meaningful against a server running \
+                   without injected faults.")
+  in
+  let json_path =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the summary (schema $(b,lowpower-bench-serve/1)) \
+                   to $(docv).")
+  in
+  let self_serve =
+    Arg.(value & flag
+         & info [ "self-serve" ]
+             ~doc:"Start an in-process server on $(b,--socket) for the \
+                   duration of the run (for local acceptance runs without \
+                   a separate $(b,lpccd)).")
+  in
+  let server_jobs =
+    Arg.(value & opt int 2
+         & info [ "server-jobs" ] ~docv:"N"
+             ~doc:"Worker domains of the $(b,--self-serve) server.")
+  in
+  let queue_cap =
+    Arg.(value & opt int 64
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Bounded request queue of the $(b,--self-serve) server.")
+  in
+  let server_deadline =
+    Arg.(value & opt (some int) None
+         & info [ "server-deadline-ms" ] ~docv:"N"
+             ~doc:"Default per-request deadline of the $(b,--self-serve) \
+                   server.")
+  in
+  Cmd.v (Cmd.info "serve-bench" ~doc)
+    Term.(ret (const serve_bench_cmd_run $ socket $ requests $ clients
+               $ window $ seed $ verify $ json_path $ self_serve
+               $ server_jobs $ queue_cap $ server_deadline $ faults_arg
+               $ retries_arg))
+
 (* ---------------- fuzz ---------------- *)
 
 let fuzz_cmd_run seeds seed_start corpus cores trace =
@@ -555,4 +693,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ detect_cmd; run_cmd; explain_cmd; dump_cmd; workloads_cmd;
-            pipeline_cmd; bench_cmd; fuzz_cmd ]))
+            pipeline_cmd; bench_cmd; serve_bench_cmd; fuzz_cmd ]))

@@ -117,15 +117,17 @@ type ctx = {
   obs : Obs.t;
   report : Report.t;
   config : Runtime_config.t;
+  deadline : Lp_util.Deadline.t;
 }
 
 let default_ctx =
   { obs = Obs.disabled; report = Report.disabled;
-    config = Runtime_config.default }
+    config = Runtime_config.default; deadline = Lp_util.Deadline.none }
 
 let make_ctx ?(obs = Obs.disabled) ?(report = Report.disabled)
-    ?(config = Runtime_config.default) () =
-  { obs; report; config }
+    ?(config = Runtime_config.default)
+    ?(deadline = Lp_util.Deadline.none) () =
+  { obs; report; config; deadline }
 
 (** Append a simulation's energy/counter record to the audit report
     (shared by [run], [run_result] and the CLI; no-op when the report is
@@ -224,7 +226,12 @@ let compile_exn ?(ctx = default_ctx) ?(verify_each = false) ?(opts = baseline)
       (Compile_error
          (Printf.sprintf "options ask for %d cores, machine has %d"
             opts.n_cores machine.Machine.n_cores));
-  let phase name f = Obs.span obs ~cat:"phase" name f in
+  let phase name f =
+    (* cooperative deadline: checked at every phase boundary; the pass
+       fixpoint and the simulator check at finer grain themselves *)
+    Lp_util.Deadline.check ctx.deadline;
+    Obs.span obs ~cat:"phase" name f
+  in
   let ast = phase "frontend" (fun () -> parse_and_check_exn source) in
   let detection = phase "detect" (fun () -> Detect.detect ast) in
   Obs.add obs "compile.patterns_detected"
@@ -297,7 +304,8 @@ let compile_exn ?(ctx = default_ctx) ?(verify_each = false) ?(opts = baseline)
   in
   let pm =
     T.Pass.create_manager ~obs ~report:ctx.report
-      ~caching:(not ctx.config.Runtime_config.no_analysis_cache) ?on_pass ()
+      ~caching:(not ctx.config.Runtime_config.no_analysis_cache)
+      ~deadline:ctx.deadline ?on_pass ()
   in
   let am = T.Pass.analysis_manager pm prog in
   phase "optimize" (fun () ->
@@ -378,24 +386,40 @@ let compile ?(ctx = default_ctx) ?opts ~(machine : Machine.t) (source : string)
     : compiled =
   wrap_legacy (fun () -> compile_exn ~ctx ?opts ~machine source)
 
-(** Compile and simulate; the simulator models compiler-gated unused
-    cores when the options say so. *)
+(** Resolve the effective simulator options for an already-compiled
+    program: the compile options decide unused-core gating, the runtime
+    config can force the interpretive stepper, and the context's
+    deadline token (when live) overrides the simulator's own. *)
+let effective_sim_opts ~(ctx : ctx) ~(opts : options)
+    (sim_opts : Lp_sim.Sim.options) : Lp_sim.Sim.options =
+  { sim_opts with
+    Lp_sim.Sim.gate_unused_cores = opts.power.gate_unused_cores;
+    predecode =
+      sim_opts.Lp_sim.Sim.predecode
+      && not ctx.config.Runtime_config.no_sim_predecode;
+    deadline =
+      (if ctx.deadline != Lp_util.Deadline.none then ctx.deadline
+       else sim_opts.Lp_sim.Sim.deadline) }
+
+(** Simulate an already-compiled program exactly as [run] would have:
+    the compile server uses this to re-simulate warm-cache hits and get
+    byte-identical outcomes. *)
+let simulate_compiled ?(ctx = default_ctx)
+    ?(sim_opts = Lp_sim.Sim.default_options) (compiled : compiled) :
+    Lp_sim.Sim.outcome =
+  let sim_opts = effective_sim_opts ~ctx ~opts:compiled.options sim_opts in
+  let outcome =
+    Lp_sim.Sim.run ~opts:sim_opts ~obs:ctx.obs ~machine:compiled.machine
+      compiled.prog
+  in
+  record_outcome ctx.report outcome;
+  outcome
+
 let run ?(ctx = default_ctx) ?(opts = baseline)
     ?(sim_opts = Lp_sim.Sim.default_options) ~(machine : Machine.t)
     (source : string) : compiled * Lp_sim.Sim.outcome =
   let compiled = compile ~ctx ~opts ~machine source in
-  let sim_opts =
-    { sim_opts with
-      Lp_sim.Sim.gate_unused_cores = opts.power.gate_unused_cores;
-      predecode =
-        sim_opts.Lp_sim.Sim.predecode
-        && not ctx.config.Runtime_config.no_sim_predecode }
-  in
-  let outcome =
-    Lp_sim.Sim.run ~opts:sim_opts ~obs:ctx.obs ~machine compiled.prog
-  in
-  record_outcome ctx.report outcome;
-  (compiled, outcome)
+  (compiled, simulate_compiled ~ctx ~sim_opts compiled)
 
 (* ------------------------------------------------------------------ *)
 (* Structured diagnostics                                               *)
@@ -439,13 +463,7 @@ let run_result ?(ctx = default_ctx) ?verify_each ?(opts = baseline)
   match compile_result ~ctx ?verify_each ~opts ~machine source with
   | Error d -> Error d
   | Ok compiled -> (
-    let sim_opts =
-      { sim_opts with
-        Lp_sim.Sim.gate_unused_cores = opts.power.gate_unused_cores;
-        predecode =
-          sim_opts.Lp_sim.Sim.predecode
-          && not ctx.config.Runtime_config.no_sim_predecode }
-    in
+    let sim_opts = effective_sim_opts ~ctx ~opts sim_opts in
     match
       Lp_sim.Sim.run_result ~opts:sim_opts ~obs:ctx.obs ~machine compiled.prog
     with

@@ -91,6 +91,12 @@ type ctx = {
           decisions, per-pass IR deltas, per-simulation energy ledgers
           (schema in docs/OBSERVABILITY.md) *)
   config : Lp_util.Runtime_config.t;  (** resolved jobs/retries/faults/trace *)
+  deadline : Lp_util.Deadline.t;
+      (** cooperative per-request deadline/cancellation token, checked at
+          phase boundaries, before every per-function pass run, and once
+          per simulator scheduling decision; expiry surfaces as the
+          stable [E_DEADLINE] diagnostic.  {!Lp_util.Deadline.none}
+          (the default) costs one pointer compare per check *)
 }
 
 (** Disabled recorder, disabled report, default configuration — zero
@@ -101,6 +107,7 @@ val make_ctx :
   ?obs:Lp_obs.Obs.t ->
   ?report:Lp_obs.Report.t ->
   ?config:Lp_util.Runtime_config.t ->
+  ?deadline:Lp_util.Deadline.t ->
   unit ->
   ctx
 
@@ -144,6 +151,17 @@ val run :
   machine:Machine.t ->
   string ->
   compiled * Lp_sim.Sim.outcome
+
+(** Simulate an already-[compile]d program exactly as {!run} would have
+    (same unused-core gating, predecode and deadline resolution).  The
+    compile server re-simulates warm-cache hits through this, which is
+    what makes a cached reply byte-identical to a cold one.  Raises like
+    [Lp_sim.Sim.run]; wrap with {!diag_of_exn} for diagnostics. *)
+val simulate_compiled :
+  ?ctx:ctx ->
+  ?sim_opts:Lp_sim.Sim.options ->
+  compiled ->
+  Lp_sim.Sim.outcome
 
 (** {2 Structured diagnostics}
 

@@ -106,8 +106,9 @@ let clear_cache () =
 let max_retries () = (current_ctx ()).Compile.config.Lp_util.Runtime_config.retries
 
 (** Deterministic bounded exponential backoff: 4 ms, 8 ms, ... capped at
-    50 ms.  Real enough to space retries, small enough for tests. *)
-let backoff_s attempt = Float.min 0.05 (0.004 *. Float.pow 2.0 (float_of_int (attempt - 1)))
+    50 ms (the shared {!Lp_util.Backoff} schedule, re-exported here
+    because this is the retry path PR 2 introduced and tests target). *)
+let backoff_s = Lp_util.Backoff.backoff_s
 
 let attempt_run ~(machine : Machine.t) (w : Workload.t) ~(config : string)
     (opts : Compile.options) : (run_result, Diag.t) result =

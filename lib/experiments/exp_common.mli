@@ -69,6 +69,12 @@ val clear_cache : unit -> unit
     [Runtime_config.retries]. *)
 val max_retries : unit -> int
 
+(** Deterministic bounded exponential backoff used between transient-
+    failure retries: delay in seconds before retry number [attempt]
+    (1-based) — 4 ms, 8 ms, ... capped at 50 ms.  Pure; exposed so tests
+    can pin the schedule (= {!Lp_util.Backoff.backoff_s}). *)
+val backoff_s : int -> float
+
 (** Evaluate (and memoise) one cell, retrying transient failures with
     deterministic bounded backoff.  A cache miss runs under a per-cell
     [matrix] span when the installed context's recorder is enabled. *)

@@ -1,0 +1,52 @@
+(** Bounded MPMC queue (see the interface). *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable is_closed : bool;
+}
+
+let create ~capacity =
+  {
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    items = Queue.create ();
+    capacity = max 1 capacity;
+    is_closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let try_push t x =
+  locked t (fun () ->
+      if t.is_closed then `Closed
+      else if Queue.length t.items >= t.capacity then `Full
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.not_empty;
+        `Ok (Queue.length t.items)
+      end)
+
+let pop t =
+  locked t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.items) then Some (Queue.pop t.items)
+        else if t.is_closed then None
+        else begin
+          Condition.wait t.not_empty t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  locked t (fun () ->
+      t.is_closed <- true;
+      Condition.broadcast t.not_empty)
+
+let closed t = locked t (fun () -> t.is_closed)
+let length t = locked t (fun () -> Queue.length t.items)

@@ -1,0 +1,26 @@
+(** Bounded multi-producer/multi-consumer queue — the backpressure
+    valve between the server's acceptor and its worker domains.
+
+    [try_push] never blocks: when the queue is at capacity the caller
+    gets [`Full] and sheds the request (the server replies
+    [E_OVERLOAD]) instead of letting latency grow without bound.
+    [pop] blocks; after {!close}, consumers drain what is left and then
+    get [None], which is the workers' signal to exit their loops. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+(** [`Ok depth] (depth after the push), [`Full] (at capacity — shed), or
+    [`Closed] (server draining — shed). *)
+val try_push : 'a t -> 'a -> [ `Ok of int | `Full | `Closed ]
+
+(** Block until an element is available; [None] once the queue is closed
+    {e and} drained. *)
+val pop : 'a t -> 'a option
+
+(** Refuse further pushes and wake every blocked consumer. *)
+val close : 'a t -> unit
+
+val closed : 'a t -> bool
+val length : 'a t -> int

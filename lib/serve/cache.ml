@@ -1,0 +1,58 @@
+(** Bounded FIFO-eviction cache (see the interface). *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  table : (string, 'a) Hashtbl.t;
+  order : string Queue.t;  (** insertion order; may hold stale keys *)
+  capacity : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable invalidation_count : int;
+}
+
+let create ~capacity =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+    capacity = max 1 capacity;
+    hit_count = 0;
+    miss_count = 0;
+    invalidation_count = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some v ->
+        t.hit_count <- t.hit_count + 1;
+        Some v
+      | None ->
+        t.miss_count <- t.miss_count + 1;
+        None)
+
+let add t key v =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.table key) then Queue.push key t.order;
+      Hashtbl.replace t.table key v;
+      (* the order queue can hold keys already removed; skip those *)
+      while Hashtbl.length t.table > t.capacity && not (Queue.is_empty t.order) do
+        let oldest = Queue.pop t.order in
+        Hashtbl.remove t.table oldest
+      done)
+
+let remove t key =
+  locked t (fun () ->
+      if Hashtbl.mem t.table key then begin
+        Hashtbl.remove t.table key;
+        t.invalidation_count <- t.invalidation_count + 1
+      end)
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+let hits t = locked t (fun () -> t.hit_count)
+let misses t = locked t (fun () -> t.miss_count)
+let invalidations t = locked t (fun () -> t.invalidation_count)

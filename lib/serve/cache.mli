@@ -1,0 +1,31 @@
+(** Bounded warm cache shared across server requests.
+
+    Keys are digests of the full compile signature (source, machine,
+    cores, config, passes); values are whatever the server memoises
+    (compiled programs).  FIFO eviction keeps the footprint bounded.
+    Thread-safe: every operation takes the cache's lock, so worker
+    domains share it freely.
+
+    Crash isolation: a request that dies mid-compile never poisons the
+    cache because failures are never inserted — the server only [add]s
+    after a fully verified result, and {!remove} invalidates exactly the
+    touched program when a crash makes its entry suspect. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+(** Look up; counts a hit or a miss. *)
+val find : 'a t -> string -> 'a option
+
+(** Insert (replacing any previous value); evicts the oldest entries
+    down to capacity. *)
+val add : 'a t -> string -> 'a -> unit
+
+(** Invalidate one key (no-op when absent); counts an invalidation. *)
+val remove : 'a t -> string -> unit
+
+val length : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int
+val invalidations : 'a t -> int

@@ -1,0 +1,359 @@
+(** Wire protocol of the [lpccd] compile server (see the interface). *)
+
+module Json = Lp_util.Json
+module Diag = Lp_util.Diag
+module Machine = Lp_machine.Machine
+module Compile = Lowpower.Compile
+module Pipeline = Lowpower.Pipeline
+module Pattern = Lp_patterns.Pattern
+module Prog = Lp_ir.Prog
+module Ledger = Lp_power.Energy_ledger
+
+let code_decode = "E_DECODE"
+let code_overload = "E_OVERLOAD"
+
+let decode_error fmt =
+  Format.kasprintf
+    (fun message -> Error (Diag.make Diag.Serve ~code:code_decode message))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type op = Ping | Compile | Run | Explain | Pipeline | Stats | Shutdown
+
+let op_name = function
+  | Ping -> "ping"
+  | Compile -> "compile"
+  | Run -> "run"
+  | Explain -> "explain"
+  | Pipeline -> "pipeline"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let op_of_name = function
+  | "ping" -> Some Ping
+  | "compile" -> Some Compile
+  | "run" -> Some Run
+  | "explain" -> Some Explain
+  | "pipeline" -> Some Pipeline
+  | "stats" -> Some Stats
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+type source = Inline of string | Workload of string | No_source
+
+type request = {
+  id : Json.t;
+  op : op;
+  src : source;
+  machine : string;
+  cores : int;
+  config : string;
+  passes : string option;
+  deadline_ms : int option;
+}
+
+let default_request =
+  {
+    id = Json.Null;
+    op = Ping;
+    src = No_source;
+    machine = "generic";
+    cores = 4;
+    config = "full";
+    passes = None;
+    deadline_ms = None;
+  }
+
+(* typed field extraction; any mismatch is an [Error _] with E_DECODE *)
+
+let str_field obj name default =
+  match Json.member name obj with
+  | None | Some Json.Null -> Ok default
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> decode_error "field %S must be a string" name
+
+let opt_str_field obj name =
+  match Json.member name obj with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some _ -> decode_error "field %S must be a string" name
+
+let opt_pos_int_field obj name ~max =
+  match Json.member name obj with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Num f) ->
+    let n = int_of_float f in
+    if Float.is_integer f && n >= 1 && n <= max then Ok (Some n)
+    else decode_error "field %S must be an integer in [1, %d]" name max
+  | Some _ -> decode_error "field %S must be an integer" name
+
+let ( let* ) = Result.bind
+
+let request_of_frame line =
+  match Json.of_string_opt line with
+  | None -> decode_error "frame is not valid JSON"
+  | Some (Json.Obj _ as obj) ->
+    let* op_str =
+      match Json.member "op" obj with
+      | Some (Json.Str s) -> Ok s
+      | Some _ -> decode_error "field \"op\" must be a string"
+      | None -> decode_error "missing field \"op\""
+    in
+    let* op =
+      match op_of_name op_str with
+      | Some op -> Ok op
+      | None -> decode_error "unknown op %S" op_str
+    in
+    let id = Option.value ~default:Json.Null (Json.member "id" obj) in
+    let* inline = opt_str_field obj "source" in
+    let* workload = opt_str_field obj "workload" in
+    let* src =
+      match (op, inline, workload) with
+      | (Compile | Run | Explain), Some _, Some _ ->
+        decode_error "give either \"source\" or \"workload\", not both"
+      | (Compile | Run | Explain), Some s, None -> Ok (Inline s)
+      | (Compile | Run | Explain), None, Some w -> Ok (Workload w)
+      | (Compile | Run | Explain), None, None ->
+        decode_error "op %S needs a \"source\" or \"workload\"" op_str
+      | (Ping | Pipeline | Stats | Shutdown), _, _ -> Ok No_source
+    in
+    let* machine = str_field obj "machine" default_request.machine in
+    let* cores = opt_pos_int_field obj "cores" ~max:1024 in
+    let cores = Option.value ~default:default_request.cores cores in
+    let* config = str_field obj "config" default_request.config in
+    let* passes = opt_str_field obj "passes" in
+    let* deadline_ms = opt_pos_int_field obj "deadline_ms" ~max:86_400_000 in
+    Ok { id; op; src; machine; cores; config; passes; deadline_ms }
+  | Some _ -> decode_error "frame must be a JSON object"
+
+let frame_id line =
+  match Json.of_string_opt line with
+  | Some (Json.Obj _ as obj) ->
+    Option.value ~default:Json.Null (Json.member "id" obj)
+  | _ -> Json.Null
+
+let frame_of_request r =
+  let fields =
+    [ ("id", r.id); ("op", Json.Str (op_name r.op)) ]
+    @ (match r.src with
+      | Inline s -> [ ("source", Json.Str s) ]
+      | Workload w -> [ ("workload", Json.Str w) ]
+      | No_source -> [])
+    @ [
+        ("machine", Json.Str r.machine);
+        ("cores", Json.Num (float_of_int r.cores));
+        ("config", Json.Str r.config);
+      ]
+    @ (match r.passes with
+      | Some p -> [ ("passes", Json.Str p) ]
+      | None -> [])
+    @
+    match r.deadline_ms with
+    | Some ms -> [ ("deadline_ms", Json.Num (float_of_int ms)) ]
+    | None -> []
+  in
+  Json.to_compact_string (Json.Obj fields) ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ok_frame ~id ~op ?(cached = false) payload =
+  let fields =
+    [ ("id", id); ("ok", Json.Bool true); ("op", Json.Str (op_name op)) ]
+    @ (if cached then [ ("cached", Json.Bool true) ] else [])
+    @ payload
+  in
+  Json.to_compact_string (Json.Obj fields) ^ "\n"
+
+let err_frame ~id (d : Diag.t) =
+  let fields =
+    [
+      ("id", id);
+      ("ok", Json.Bool false);
+      ("code", Json.Str d.Diag.code);
+      ("stage", Json.Str (Diag.stage_name d.Diag.stage));
+      ("message", Json.Str d.Diag.message);
+      ("transient", Json.Bool d.Diag.transient);
+    ]
+    @
+    match d.Diag.line with
+    | Some l -> [ ("line", Json.Num (float_of_int l)) ]
+    | None -> []
+  in
+  Json.to_compact_string (Json.Obj fields) ^ "\n"
+
+type reply = {
+  r_id : Json.t;
+  r_ok : bool;
+  r_code : string option;
+  r_transient : bool;
+  r_payload : Json.t;
+}
+
+let reply_of_frame line =
+  match Json.of_string_opt line with
+  | None -> Error "reply is not valid JSON"
+  | Some (Json.Obj _ as obj) -> (
+    match Json.member "ok" obj with
+    | Some (Json.Bool ok) ->
+      Ok
+        {
+          r_id = Option.value ~default:Json.Null (Json.member "id" obj);
+          r_ok = ok;
+          r_code =
+            (match Json.member "code" obj with
+            | Some (Json.Str c) -> Some c
+            | _ -> None);
+          r_transient =
+            (match Json.member "transient" obj with
+            | Some (Json.Bool b) -> b
+            | _ -> false);
+          r_payload = obj;
+        }
+    | _ -> Error "reply has no boolean \"ok\" field")
+  | Some _ -> Error "reply is not a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Request resolution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_target (r : request) =
+  let* machine =
+    match r.machine with
+    | "generic" -> Ok (Machine.generic ~n_cores:(max r.cores 4) ())
+    | "pacduo" -> Ok (Machine.pac_duo_like ())
+    | "octa" | "octa-leaky" -> Ok (Machine.octa_leaky ())
+    | m -> decode_error "unknown machine %S" m
+  in
+  let cores = min r.cores machine.Machine.n_cores in
+  let* opts =
+    match r.config with
+    | "baseline" -> Ok Compile.baseline
+    | "pg" -> Ok Compile.pg_only
+    | "dvfs" -> Ok Compile.dvfs_only
+    | "pg+dvfs" -> Ok Compile.pg_dvfs
+    | "par" -> Ok (Compile.par_only ~n_cores:cores)
+    | "full" -> Ok (Compile.full ~n_cores:cores)
+    | c -> decode_error "unknown config %S" c
+  in
+  match r.passes with
+  | None -> Ok (machine, opts)
+  | Some spec -> (
+    match Pipeline.parse spec with
+    | Ok p -> Ok (machine, { opts with Compile.pipeline = Some p })
+    | Error e -> decode_error "invalid passes spec: %s" e)
+
+let resolve_source (r : request) =
+  match r.src with
+  | Inline s -> Ok (s, "inline")
+  | Workload name -> (
+    match Lp_workloads.Suite.find name with
+    | Some w -> Ok (w.Lp_workloads.Workload.source, name)
+    | None -> decode_error "unknown workload %S" name)
+  | No_source -> decode_error "op %S has no program" (op_name r.op)
+
+(* ------------------------------------------------------------------ *)
+(* Payload rendering (shared with serve-bench --verify)                *)
+(* ------------------------------------------------------------------ *)
+
+let num n = Json.Num (float_of_int n)
+
+let counts_json (c : Lp_transforms.Gating.counts) =
+  Json.Obj
+    [
+      ("off", num c.Lp_transforms.Gating.off_instrs);
+      ("on", num c.Lp_transforms.Gating.on_instrs);
+      ("toggled", num c.Lp_transforms.Gating.components_toggled);
+    ]
+
+let payload_of_compiled (c : Compile.compiled) =
+  let prog = c.Compile.prog in
+  (* hashtable order is not deterministic; sort by function name *)
+  let funcs =
+    List.sort compare
+      (Hashtbl.fold
+         (fun name f acc -> (name, Prog.instr_count f) :: acc)
+         prog.Prog.funcs [])
+  in
+  let instrs = List.fold_left (fun acc (_, n) -> acc + n) 0 funcs in
+  [
+    ("machine", Json.Str c.Compile.machine.Machine.name);
+    ("funcs", num (List.length funcs));
+    ("instrs", num instrs);
+    ( "patterns",
+      Json.List
+        (List.map
+           (fun (i : Pattern.instance) ->
+             Json.Obj
+               [
+                 ("kind", Json.Str (Pattern.kind_name i.Pattern.kind));
+                 ("func", Json.Str i.Pattern.in_func);
+                 ( "origin",
+                   Json.Str
+                     (match i.Pattern.origin with
+                     | Pattern.Annotated -> "annotated"
+                     | Pattern.Inferred -> "inferred") );
+               ])
+           c.Compile.detection.Pattern.instances) );
+    ( "passes",
+      Json.List
+        (List.map
+           (fun (s : Lp_transforms.Pass.stats) ->
+             Json.Obj
+               [
+                 ("name", Json.Str s.Lp_transforms.Pass.pass_name);
+                 ("runs", num s.Lp_transforms.Pass.runs);
+                 (* no wall-clock seconds: payloads must be deterministic *)
+                 ("changes", num s.Lp_transforms.Pass.changes);
+               ])
+           c.Compile.pass_stats) );
+    ("gating_before", counts_json c.Compile.gating_before_merge);
+    ("gating_after", counts_json c.Compile.gating_after_merge);
+  ]
+
+let payload_of_run (c : Compile.compiled) (o : Lp_sim.Sim.outcome) =
+  payload_of_compiled c
+  @ [
+      ( "ret",
+        match o.Lp_sim.Sim.ret with
+        | None -> Json.Null
+        | Some (Lp_sim.Value.Vint i) -> num i
+        | Some (Lp_sim.Value.Vfloat f) -> Json.Num f );
+      ("duration_ns", Json.Num o.Lp_sim.Sim.duration_ns);
+      ("energy_nj", Json.Num (Ledger.total o.Lp_sim.Sim.energy));
+      ( "energy_by_category",
+        Json.Obj
+          (List.map
+             (fun cat ->
+               ( Ledger.category_to_string cat,
+                 Json.Num (Ledger.of_category o.Lp_sim.Sim.energy cat) ))
+             Ledger.all_categories) );
+      ("instr_total", num o.Lp_sim.Sim.instr_total);
+      ("steps", num o.Lp_sim.Sim.steps);
+      ("implicit_wakeups", num o.Lp_sim.Sim.implicit_wakeups);
+      ("gate_transitions", num o.Lp_sim.Sim.gate_transitions);
+      ("dvfs_transitions", num o.Lp_sim.Sim.dvfs_transitions);
+      ("channel_msgs", num o.Lp_sim.Sim.channel_msgs);
+    ]
+
+let payload_of_explain rep =
+  [ ("report", Json.Str (Lp_obs.Report.to_text rep)) ]
+
+let payload_of_pipeline ~passes =
+  match passes with
+  | None ->
+    Ok
+      [
+        ("pipeline", Json.Str (Pipeline.to_string Pipeline.default));
+        ( "available",
+          Json.List (List.map (fun n -> Json.Str n) (Pipeline.pass_names ()))
+        );
+      ]
+  | Some spec -> (
+    match Pipeline.parse spec with
+    | Ok p -> Ok [ ("pipeline", Json.Str (Pipeline.to_string p)) ]
+    | Error e -> decode_error "invalid passes spec: %s" e)

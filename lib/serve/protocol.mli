@@ -1,0 +1,133 @@
+(** Wire protocol of the [lpccd] compile server.
+
+    Frames are line-delimited compact JSON over a Unix-domain stream
+    socket: one request object per line (client to server), one reply
+    object per line (server to client).  Replies may arrive out of
+    request order; clients match them by the echoed [id].
+
+    The full schema, failure taxonomy and overload/deadline semantics
+    are documented in docs/SERVING.md.  Everything here is shared
+    between the server and the [serve-bench] client so that the load
+    generator can verify byte-for-byte that a served result equals the
+    one-shot [lpcc] result: both sides render payloads with the same
+    functions. *)
+
+module Json = Lp_util.Json
+module Diag = Lp_util.Diag
+module Machine = Lp_machine.Machine
+module Compile = Lowpower.Compile
+
+(** {2 Stable serve-stage diagnostic codes} *)
+
+(** Malformed frame: bad JSON, unknown op, wrong field types, missing
+    source, oversized frame.  Never transient. *)
+val code_decode : string
+
+(** Bounded request queue full: load was shed.  Transient — retry after
+    backoff. *)
+val code_overload : string
+
+(** {2 Requests} *)
+
+type op =
+  | Ping        (** liveness probe *)
+  | Compile     (** compile only; reply summarises the compiled program *)
+  | Run         (** compile and simulate; adds the simulation outcome *)
+  | Explain     (** compile and simulate under an always-on audit report;
+                    reply carries the rendered report *)
+  | Pipeline    (** resolve a pass-pipeline spec to its schedule *)
+  | Stats       (** server counters snapshot *)
+  | Shutdown    (** acknowledge, then drain and exit *)
+
+val op_name : op -> string
+
+type source =
+  | Inline of string      (** MiniC program text in the frame *)
+  | Workload of string    (** bundled workload by name *)
+  | No_source             (** ops that need none (ping/pipeline/stats) *)
+
+type request = {
+  id : Json.t;              (** echoed verbatim in the reply; [Null] if absent *)
+  op : op;
+  src : source;
+  machine : string;         (** "generic" | "pacduo" | "octa-leaky" *)
+  cores : int;
+  config : string;          (** baseline | pg | dvfs | pg+dvfs | par | full *)
+  passes : string option;   (** optional pass-pipeline spec *)
+  deadline_ms : int option; (** per-request deadline *)
+}
+
+(** Defaults used for omitted fields: machine ["generic"], 4 cores,
+    config ["full"]. *)
+val default_request : request
+
+(** Parse one frame (without its terminating newline) into a request.
+    All failures come back as a [Serve]-stage diagnostic with code
+    {!code_decode}; no exception ever escapes, whatever the bytes. *)
+val request_of_frame : string -> (request, Diag.t) result
+
+(** Best-effort ["id"] extraction from any frame, [Null] when the bytes
+    don't even parse — decode-error replies echo it so pipelining
+    clients can still match them. *)
+val frame_id : string -> Json.t
+
+(** Client side: render a request as one frame, newline included. *)
+val frame_of_request : request -> string
+
+(** {2 Replies} *)
+
+(** Success frame: the payload fields, plus ["id"], ["ok"]:true, ["op"],
+    and ["cached"] when the compile came from the server's warm cache.
+    Newline included. *)
+val ok_frame : id:Json.t -> op:op -> ?cached:bool -> (string * Json.t) list -> string
+
+(** Error frame: ["id"], ["ok"]:false, ["code"], ["stage"], ["message"],
+    ["transient"], and ["line"] when known.  Newline included. *)
+val err_frame : id:Json.t -> Diag.t -> string
+
+(** Client-side view of a parsed reply frame. *)
+type reply = {
+  r_id : Json.t;
+  r_ok : bool;
+  r_code : string option;      (** error code when [not r_ok] *)
+  r_transient : bool;
+  r_payload : Json.t;          (** the whole reply object *)
+}
+
+(** Parse a reply frame; [Error] means the server broke the protocol. *)
+val reply_of_frame : string -> (reply, string) result
+
+(** {2 Request resolution and payload rendering}
+
+    Shared with [serve-bench --verify]: computing the expected payload
+    locally with these functions and comparing bytes against the served
+    frame proves the daemon returns exactly what one-shot [lpcc]
+    computes. *)
+
+(** Machine + compile options for a request ([cores] clamped to the
+    machine, [passes] parsed); bad names come back as {!code_decode}. *)
+val resolve_target : request -> (Machine.t * Compile.options, Diag.t) result
+
+(** Program text and scope label (fault/report scope) for a request;
+    unknown workloads come back as {!code_decode}. *)
+val resolve_source : request -> (string * string, Diag.t) result
+
+(** Deterministic summary of a compiled program: machine, function and
+    instruction counts, detected pattern instances, per-pass run/change
+    counts (no wall times) and gating counts. *)
+val payload_of_compiled : Compile.compiled -> (string * Json.t) list
+
+(** {!payload_of_compiled} plus the simulation outcome: return value,
+    simulated duration and energy (total and by category), instruction
+    and transition counters.  Everything simulated, hence
+    deterministic. *)
+val payload_of_run :
+  Compile.compiled -> Lp_sim.Sim.outcome -> (string * Json.t) list
+
+(** The rendered audit report. *)
+val payload_of_explain : Lp_obs.Report.t -> (string * Json.t) list
+
+(** The resolved optimisation schedule for [passes] ([None] = driver
+    default, plus the list of available passes). *)
+val payload_of_pipeline :
+  passes:string option -> ((string * Json.t) list, Diag.t) result

@@ -164,6 +164,11 @@ type options = {
   predecode : bool;
       (** run closure-compiled blocks (default); [false] selects the
           interpretive reference stepper *)
+  deadline : Lp_util.Deadline.t;
+      (** cooperative wall-clock deadline checked once per scheduling
+          decision; expiry raises the [E_DEADLINE] diagnostic.  Does not
+          affect simulated state, so outcomes that finish in time are
+          byte-identical with and without a deadline *)
 }
 
 let default_options =
@@ -172,6 +177,7 @@ let default_options =
     gate_unused_cores = false;
     trace_limit = 0;
     predecode = true;
+    deadline = Lp_util.Deadline.none;
   }
 
 (** A recorded power/communication event: core id, nanosecond timestamp,
@@ -1880,6 +1886,10 @@ let run_sched_batch t (c : core) ~other_i =
         false)
       && not t.sched_event
     do
+      (* a single-core (or far-ahead) batch can run the whole program
+         without yielding to the scheduler, so the cooperative deadline
+         must also be checked here — once per straight-line segment *)
+      Lp_util.Deadline.check t.opts.deadline;
       match c.stack with
       | [] -> runtime_err "core %d has empty stack" c.id
       | fr :: _ ->
@@ -1950,16 +1960,22 @@ let run_sched_batch t (c : core) ~other_i =
       && (c.clk.time < o.clk.time
          || (c.clk.time = o.clk.time && c.id < oid))
     do
+      Lp_util.Deadline.check t.opts.deadline;
       batch_step t c lim
     done
   end
 
 let run_loop t =
   let predecode = t.opts.predecode in
+  let deadline = t.opts.deadline in
   let continue_ = ref true in
   while !continue_ do
     if all_halted t then continue_ := false
     else begin
+      (* cooperative cancellation: one paced check per scheduling
+         decision (compiled batches stay uninterrupted, so simulated
+         state is never abandoned mid-instruction) *)
+      Lp_util.Deadline.check deadline;
       (* unblock eagerly so that cores advance in (approximately) global
          virtual-time order — required for the shared-bus occupancy model
          to see transactions near-chronologically *)

@@ -47,12 +47,15 @@ type manager = {
       (** called after every pass run (fuzzing hooks verification in
           here); may raise to abort the compile *)
   caching : bool;  (** analysis managers memoize (LP_NO_ANALYSIS_CACHE off) *)
+  deadline : Lp_util.Deadline.t;
+      (** cooperative per-request deadline, checked before every pass and
+          before every per-function run; expiry raises [E_DEADLINE] *)
   mutable am : (Prog.t * Manager.t) option;
       (** analysis manager of the program last run, created lazily *)
 }
 
 let create_manager ?(obs = Obs.disabled) ?(report = Report.disabled)
-    ?(caching = true) ?on_pass () =
+    ?(caching = true) ?(deadline = Lp_util.Deadline.none) ?on_pass () =
   {
     by_name = Hashtbl.create 16;
     order = [];
@@ -60,6 +63,7 @@ let create_manager ?(obs = Obs.disabled) ?(report = Report.disabled)
     report;
     on_pass;
     caching;
+    deadline;
     am = None;
   }
 
@@ -92,6 +96,7 @@ let run_pass m (p : func_pass) (prog : Prog.t) : int =
   let audited = Report.enabled m.report in
   let instrs_before = if audited then Prog.total_instrs prog else 0 in
   let run_func f =
+    Lp_util.Deadline.check m.deadline;
     let n = p.run am prog f in
     if n > 0 then Manager.invalidate am ~preserves:p.preserves f;
     n

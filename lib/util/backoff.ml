@@ -1,0 +1,7 @@
+(* Bounded exponential backoff (see the interface). *)
+
+let cap_s = 0.05
+
+let backoff_s attempt =
+  let attempt = max 1 attempt in
+  Float.min cap_s (0.004 *. Float.pow 2.0 (float_of_int (attempt - 1)))

@@ -1,0 +1,13 @@
+(** Deterministic bounded exponential backoff, shared by every retry
+    path in the repository (the evaluation matrix's per-cell retry of
+    PR 2 and the compile server's transient-fault retries): 4 ms, 8 ms,
+    16 ms, ... capped at 50 ms.  Real enough to space retries, small
+    enough for tests.  Pure: the same attempt number always yields the
+    same delay. *)
+
+(** Delay in seconds before retry number [attempt] (1-based: the delay
+    after the first failed attempt is [backoff_s 1] = 4 ms). *)
+val backoff_s : int -> float
+
+(** The cap every delay saturates at (50 ms). *)
+val cap_s : float

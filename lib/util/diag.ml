@@ -13,6 +13,7 @@ type stage =
   | Machine
   | Driver
   | Simulate
+  | Serve
   | Fault
   | Internal
 
@@ -47,6 +48,7 @@ let stage_name = function
   | Machine -> "machine"
   | Driver -> "driver"
   | Simulate -> "simulate"
+  | Serve -> "serve"
   | Fault -> "fault"
   | Internal -> "internal"
 

@@ -24,6 +24,8 @@ type stage =
   | Machine
   | Driver      (** the compile driver's own checks *)
   | Simulate
+  | Serve       (** the [lpccd] compile server's own failures
+                    ([E_DECODE], [E_OVERLOAD]) *)
   | Fault       (** injected by {!Fault} *)
   | Internal    (** unclassified crash captured at a boundary *)
 

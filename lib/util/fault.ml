@@ -2,19 +2,32 @@
     grammar).  All mutable state sits behind one mutex: checks may come
     from several domains at once when the evaluation matrix fans out. *)
 
-type point = Post_pass | Pre_simulate | Worker | Sim_bus
+type point =
+  | Post_pass
+  | Pre_simulate
+  | Worker
+  | Sim_bus
+  | Serve_accept
+  | Serve_decode
+  | Serve_dispatch
 
 let point_name = function
   | Post_pass -> "post-pass"
   | Pre_simulate -> "pre-simulate"
   | Worker -> "worker"
   | Sim_bus -> "sim-bus"
+  | Serve_accept -> "serve-accept"
+  | Serve_decode -> "serve-decode"
+  | Serve_dispatch -> "serve-dispatch"
 
 let point_of_name = function
   | "post-pass" -> Some Post_pass
   | "pre-simulate" -> Some Pre_simulate
   | "worker" -> Some Worker
   | "sim-bus" -> Some Sim_bus
+  | "serve-accept" -> Some Serve_accept
+  | "serve-decode" -> Some Serve_decode
+  | "serve-dispatch" -> Some Serve_dispatch
   | _ -> None
 
 let code_of_point = function
@@ -22,6 +35,9 @@ let code_of_point = function
   | Pre_simulate -> "E_FAULT_SIM"
   | Worker -> "E_FAULT_WORKER"
   | Sim_bus -> "E_FAULT_BUS"
+  | Serve_accept -> "E_FAULT_ACCEPT"
+  | Serve_decode -> "E_FAULT_DECODE"
+  | Serve_dispatch -> "E_FAULT_DISPATCH"
 
 type clause = {
   cl_point : point;

@@ -13,6 +13,7 @@
     clause := 'seed=' INT
             | point [ '@' SUBSTR ] [ '*' COUNT ] [ '%' PCT ]
     point  := 'post-pass' | 'pre-simulate' | 'worker' | 'sim-bus'
+            | 'serve-accept' | 'serve-decode' | 'serve-dispatch'
     v}
 
     - [@SUBSTR] restricts the clause to checks whose full key
@@ -34,6 +35,9 @@ type point =
   | Pre_simulate  (** entry of [Sim.run] *)
   | Worker        (** inside a domain-pool evaluation-matrix worker *)
   | Sim_bus       (** transient bus/memory fault inside [Sim] bus access *)
+  | Serve_accept  (** [lpccd] connection accept path *)
+  | Serve_decode  (** [lpccd] request-frame decode path *)
+  | Serve_dispatch  (** [lpccd] request dispatch onto the worker queue *)
 
 val point_name : point -> string
 

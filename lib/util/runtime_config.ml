@@ -6,11 +6,12 @@ type t = {
   report : string option;
   no_analysis_cache : bool;
   no_sim_predecode : bool;
+  deadline_ms : int option;
 }
 
 let default =
   { jobs = None; retries = 2; faults = None; trace = None; report = None;
-    no_analysis_cache = false; no_sim_predecode = false }
+    no_analysis_cache = false; no_sim_predecode = false; deadline_ms = None }
 
 let clean = function
   | Some s when String.trim s <> "" -> Some (String.trim s)
@@ -42,10 +43,11 @@ let from_env () =
     report = clean (get "LP_REPORT");
     no_analysis_cache = truthy (get "LP_NO_ANALYSIS_CACHE");
     no_sim_predecode = truthy (get "LP_NO_SIM_PREDECODE");
+    deadline_ms = pos_int (get "LP_DEADLINE_MS");
   }
 
 let resolve ?jobs ?retries ?faults ?trace ?report ?no_analysis_cache
-    ?no_sim_predecode base =
+    ?no_sim_predecode ?deadline_ms base =
   {
     jobs = (match jobs with Some _ -> jobs | None -> base.jobs);
     retries = Option.value ~default:base.retries retries;
@@ -63,12 +65,16 @@ let resolve ?jobs ?retries ?faults ?trace ?report ?no_analysis_cache
       (match no_sim_predecode with
       | Some true -> true
       | Some false | None -> base.no_sim_predecode);
+    deadline_ms =
+      (match deadline_ms with
+      | Some ms when ms >= 1 -> Some ms
+      | Some _ | None -> base.deadline_ms);
   }
 
 let to_string c =
   Printf.sprintf
     "jobs=%s retries=%d faults=%s trace=%s report=%s analysis_cache=%s \
-     sim_predecode=%s"
+     sim_predecode=%s deadline_ms=%s"
     (match c.jobs with Some n -> string_of_int n | None -> "auto")
     c.retries
     (Option.value ~default:"(none)" c.faults)
@@ -76,3 +82,4 @@ let to_string c =
     (Option.value ~default:"(off)" c.report)
     (if c.no_analysis_cache then "off" else "on")
     (if c.no_sim_predecode then "off" else "on")
+    (match c.deadline_ms with Some n -> string_of_int n | None -> "(none)")

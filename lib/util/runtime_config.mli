@@ -53,6 +53,11 @@ type t = {
           cycles, energy and traces must be byte-identical either way;
           this exists to prove it and to bisect suspected
           predecode-compilation bugs *)
+  deadline_ms : int option;
+      (** cooperative wall-clock deadline for one compile+simulate
+          request, in milliseconds; exceeding it surfaces as the stable
+          [E_DEADLINE] diagnostic ([LP_DEADLINE_MS] / [--deadline-ms]).
+          [None] = no deadline *)
 }
 
 (** All defaults: auto-sized pool, 2 retries, no faults, no trace, no
@@ -76,6 +81,7 @@ val resolve :
   ?report:string ->
   ?no_analysis_cache:bool ->
   ?no_sim_predecode:bool ->
+  ?deadline_ms:int ->
   t ->
   t
 

@@ -19,5 +19,6 @@ let () =
       ("properties", Test_props.suite);
       ("workloads-e2e", Test_workloads.suite);
       ("robustness", Test_robustness.suite);
+      ("serve", Test_serve.suite);
       ("predecode", Test_predecode.suite);
     ]

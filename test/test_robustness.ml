@@ -192,6 +192,162 @@ let test_transient_flag () =
     | None -> Alcotest.fail "worker fault must fire")
 
 (* ------------------------------------------------------------------ *)
+(* Hardened JSON parsing                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Lp_util.Json
+module Rng = Lp_util.Rng
+
+(** Adversarial inputs fail with [Parse_error] — never [Stack_overflow],
+    never out-of-memory from a hostile length, never a foreign
+    exception. *)
+let test_json_adversarial () =
+  let expect_parse_error label s =
+    match Json.of_string s with
+    | _ -> Alcotest.failf "%s: must be rejected" label
+    | exception Json.Parse_error _ -> ()
+    | exception e ->
+      Alcotest.failf "%s: non-Parse_error escaped: %s" label
+        (Printexc.to_string e)
+  in
+  (* 20k nesting levels would overflow the stack in a naive recursive
+     parser; the depth bound turns it into a structured failure *)
+  expect_parse_error "deep arrays" (String.make 20_000 '[');
+  expect_parse_error "deep objects"
+    (String.concat "" (List.init 20_000 (fun _ -> {|{"a":|})));
+  (* the bound is exact: depth 4 parses at max_depth 4, depth 5 fails *)
+  (match Json.of_string ~max_depth:4 "[[[[]]]]" with
+  | Json.List _ -> ()
+  | _ -> Alcotest.fail "depth-4 nesting must parse at max_depth 4");
+  (match Json.of_string ~max_depth:4 "[[[[[]]]]]" with
+  | _ -> Alcotest.fail "depth-5 nesting must be rejected at max_depth 4"
+  | exception Json.Parse_error _ -> ());
+  (* decoded-string length bound, exact as well *)
+  (match Json.of_string ~max_string:8 {|"12345678"|} with
+  | Json.Str s -> Alcotest.(check string) "at the bound" "12345678" s
+  | _ -> Alcotest.fail "string at the bound must parse");
+  (match Json.of_string ~max_string:8 {|"123456789"|} with
+  | _ -> Alcotest.fail "string past the bound must be rejected"
+  | exception Json.Parse_error _ -> ());
+  List.iter
+    (fun (label, s) -> expect_parse_error label s)
+    [
+      ("truncated escape", {|"ab\u00|});
+      ("bad escape", {|"ab\q"|});
+      ("bare escape at end", "\"ab\\");
+      ("unterminated string", {|"abc|});
+      ("unterminated object", {|{"a":1|});
+      ("trailing garbage", "1 x");
+      ("lone minus", "-");
+      ("huge number token", String.make 5_000 '1' ^ "e");
+      ("empty input", "");
+      ("nul byte in literal", "tru\x00");
+    ];
+  Alcotest.(check bool) "of_string_opt degrades to None" true
+    (Json.of_string_opt (String.make 20_000 '[') = None)
+
+(** Seeded fuzz: mutate bytes of a valid request frame; the parser must
+    either succeed or raise [Parse_error] — nothing else, for every
+    seed. *)
+let test_json_fuzz_mutated_frames () =
+  let base =
+    Json.to_compact_string
+      (Json.Obj
+         [
+           ("id", Json.Num 41.0);
+           ("op", Json.Str "run");
+           ("source", Json.Str "int main() { return 7 * 6; }\n// \xc3\xa9");
+           ("machine", Json.Str "pacduo");
+           ("cores", Json.Num 2.0);
+           ("config", Json.Str "pg+dvfs");
+           ("deadline_ms", Json.Num 50.0);
+           ("nested", Json.List [ Json.Obj [ ("k", Json.Null) ]; Json.Bool true ]);
+         ])
+  in
+  let parsed = ref 0 and rejected = ref 0 in
+  for seed = 0 to 499 do
+    let rng = Rng.create ~seed in
+    let b = Bytes.of_string base in
+    for _ = 1 to 1 + Rng.int rng 4 do
+      let pos = Rng.int rng (Bytes.length b) in
+      Bytes.set b pos (Char.chr (Rng.int rng 256))
+    done;
+    let s = Bytes.to_string b in
+    match Json.of_string s with
+    | _ -> incr parsed
+    | exception Json.Parse_error _ -> incr rejected
+    | exception e ->
+      Alcotest.failf "seed %d: non-Parse_error escaped on %S: %s" seed s
+        (Printexc.to_string e)
+  done;
+  (* the corpus must actually exercise both outcomes *)
+  Alcotest.(check bool) "some mutants rejected" true (!rejected > 0);
+  Alcotest.(check bool) "some mutants survived" true (!parsed > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Retry backoff                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** The shared backoff schedule: deterministic, geometric from 4 ms,
+    hard-capped at 50 ms, clamped below attempt 1 — and [Exp_common]
+    re-exports exactly it. *)
+let test_backoff_schedule () =
+  let feq label want got =
+    Alcotest.(check (float 1e-12)) label want got
+  in
+  feq "attempt 1" 0.004 (Lp_util.Backoff.backoff_s 1);
+  feq "attempt 2" 0.008 (Lp_util.Backoff.backoff_s 2);
+  feq "attempt 3" 0.016 (Lp_util.Backoff.backoff_s 3);
+  feq "attempt 4" 0.032 (Lp_util.Backoff.backoff_s 4);
+  feq "attempt 5 capped" Lp_util.Backoff.cap_s (Lp_util.Backoff.backoff_s 5);
+  feq "attempt 40 stays capped" Lp_util.Backoff.cap_s
+    (Lp_util.Backoff.backoff_s 40);
+  feq "attempt 0 clamps to first" 0.004 (Lp_util.Backoff.backoff_s 0);
+  feq "negative clamps to first" 0.004 (Lp_util.Backoff.backoff_s (-3));
+  for a = 1 to 39 do
+    Alcotest.(check bool) "monotone non-decreasing" true
+      (Lp_util.Backoff.backoff_s a <= Lp_util.Backoff.backoff_s (a + 1));
+    feq "deterministic" (Lp_util.Backoff.backoff_s a)
+      (Lp_util.Backoff.backoff_s a)
+  done;
+  feq "Exp_common re-export" (Lp_util.Backoff.backoff_s 3) (Exp.backoff_s 3)
+
+(** A probabilistic ([%pct]) fault is transient, so the matrix retries
+    it — and when every attempt faults, the cell lands as a structured
+    [ERR(E_FAULT_WORKER)] after exactly [retries + 1] attempts. *)
+let test_pct_retry_exhaustion () =
+  (match Fault.configure "seed=5,worker@fir%99" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let retries = 1 in
+  let config = { Lp_util.Runtime_config.default with retries } in
+  Exp.set_ctx (Compile.make_ctx ~config ());
+  Fun.protect ~finally:(fun () -> Exp.set_ctx Compile.default_ctx)
+  @@ fun () ->
+  Alcotest.(check int) "ctx retries picked up" retries (Exp.max_retries ());
+  let cell = Exp.run_workload_cell (fir ()) ~config:"baseline" Compile.baseline in
+  match cell.Exp.result with
+  | Ok _ -> Alcotest.fail "a 99%-faulted cell must exhaust its retries"
+  | Error d ->
+    Alcotest.(check string) "code" "E_FAULT_WORKER" d.Diag.code;
+    Alcotest.(check bool) "pct faults are transient" true d.Diag.transient;
+    Alcotest.(check int) "attempts = retries + 1" (retries + 1)
+      cell.Exp.attempts;
+    Alcotest.(check string) "cell renders as ERR" "ERR(E_FAULT_WORKER)"
+      (Exp.scell (Error d) (fun _ -> "unreachable"))
+
+(** A one-shot compile with an already-expired deadline degrades to the
+    stable [E_DEADLINE] diagnostic instead of raising. *)
+let test_oneshot_deadline () =
+  let ctx = Compile.make_ctx ~deadline:(Lp_util.Deadline.after_ms 0) () in
+  match Compile.run_result ~ctx ~machine:(machine ()) "int main() { return 1; }" with
+  | Ok _ -> Alcotest.fail "expired deadline must not succeed"
+  | Error d ->
+    Alcotest.(check string) "code" "E_DEADLINE" d.Diag.code;
+    Alcotest.(check string) "stage" "driver"
+      (Lp_util.Diag.stage_name d.Diag.stage)
+
+(* ------------------------------------------------------------------ *)
 (* Fuzzer                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -235,6 +391,16 @@ let suite =
       (isolated test_retry_recovers_transient);
     Alcotest.test_case "transient flag tracks fault boundedness" `Quick
       (isolated test_transient_flag);
+    Alcotest.test_case "json: adversarial input fails structurally" `Quick
+      test_json_adversarial;
+    Alcotest.test_case "json: 500-seed mutation fuzz" `Quick
+      test_json_fuzz_mutated_frames;
+    Alcotest.test_case "backoff schedule is deterministic and capped" `Quick
+      test_backoff_schedule;
+    Alcotest.test_case "pct fault exhausts retries into ERR cell" `Quick
+      (isolated test_pct_retry_exhaustion);
+    Alcotest.test_case "one-shot expired deadline degrades to E_DEADLINE"
+      `Quick test_oneshot_deadline;
     Alcotest.test_case "generator is seed-deterministic" `Quick
       test_gen_deterministic;
     Alcotest.test_case "fuzz smoke: 200 seeds, zero findings" `Slow

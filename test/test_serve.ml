@@ -1,0 +1,344 @@
+(** The [lpccd] compile server: bounded queue, wire protocol, and
+    end-to-end robustness over a real Unix-domain socket — backpressure
+    sheds with [E_OVERLOAD], deadlines expire as [E_DEADLINE], malformed
+    frames and per-request crashes never take down the connection, and a
+    small [serve-bench] replay passes its own acceptance gate including
+    byte-identical verification against one-shot [lpcc] results. *)
+
+module Json = Lp_util.Json
+module P = Lp_serve.Protocol
+module Bqueue = Lp_serve.Bqueue
+module Server = Lp_serve.Server
+module SB = Lp_serve.Serve_bench
+
+let tmp_socket name =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "lp-serve-test-%s-%d.sock" name (Unix.getpid ()))
+
+let with_server ?(tune = fun o -> o) name f =
+  let socket_path = tmp_socket name in
+  let opts = tune (Server.default_opts ~socket_path) in
+  let server = Server.start opts in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      if Sys.file_exists socket_path then Sys.remove socket_path)
+    (fun () -> f socket_path server)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (* a stuck test should fail loudly, not hang the suite *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.0;
+  fd
+
+let send_all fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+  done
+
+(** Read exactly [n] newline-terminated reply frames. *)
+let read_frames fd n =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let lines () =
+    List.filter
+      (fun l -> l <> "")
+      (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  let complete () =
+    (* only count frames that already have their newline *)
+    let s = Buffer.contents buf in
+    String.fold_left (fun a c -> if c = '\n' then a + 1 else a) 0 s
+  in
+  let rec loop () =
+    if complete () >= n then List.filteri (fun i _ -> i < n) (lines ())
+    else
+      let r = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if r = 0 then Alcotest.failf "server closed with %d/%d replies" (complete ()) n
+      else begin
+        Buffer.add_subbytes buf chunk 0 r;
+        loop ()
+      end
+  in
+  loop ()
+
+let parse_reply line =
+  match P.reply_of_frame line with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "protocol error: %s in %s" e line
+
+let find_reply replies id =
+  match List.find_opt (fun r -> r.P.r_id = id) replies with
+  | Some r -> r
+  | None -> Alcotest.failf "no reply with id %s" (Json.to_compact_string id)
+
+let code_of r =
+  match r.P.r_code with Some c -> c | None -> "(ok)"
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_bqueue () =
+  let q = Bqueue.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Bqueue.try_push q 1 = `Ok 1);
+  Alcotest.(check bool) "push 2" true (Bqueue.try_push q 2 = `Ok 2);
+  Alcotest.(check bool) "full at capacity" true (Bqueue.try_push q 3 = `Full);
+  Alcotest.(check (option int)) "FIFO pop" (Some 1) (Bqueue.pop q);
+  Alcotest.(check bool) "slot freed" true (Bqueue.try_push q 3 = `Ok 2);
+  Bqueue.close q;
+  Alcotest.(check bool) "closed refuses" true (Bqueue.try_push q 4 = `Closed);
+  Alcotest.(check bool) "closed flag" true (Bqueue.closed q);
+  Alcotest.(check (option int)) "drains 2" (Some 2) (Bqueue.pop q);
+  Alcotest.(check (option int)) "drains 3" (Some 3) (Bqueue.pop q);
+  Alcotest.(check (option int)) "then None" None (Bqueue.pop q)
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_round_trip () =
+  let req =
+    {
+      P.id = Json.Num 7.0;
+      op = P.Run;
+      src = P.Inline "int main() { return 0; }";
+      machine = "pacduo";
+      cores = 2;
+      config = "pg+dvfs";
+      passes = Some "constfold,dce";
+      deadline_ms = Some 50;
+    }
+  in
+  let frame = P.frame_of_request req in
+  Alcotest.(check bool) "frame ends in newline" true
+    (String.length frame > 0 && frame.[String.length frame - 1] = '\n');
+  match P.request_of_frame (String.sub frame 0 (String.length frame - 1)) with
+  | Error d -> Alcotest.failf "round trip failed: %s" (Lp_util.Diag.to_string d)
+  | Ok r ->
+    Alcotest.(check bool) "round trip preserves every field" true (r = req)
+
+let test_protocol_decode_errors () =
+  let expect_decode label frame =
+    match P.request_of_frame frame with
+    | Ok _ -> Alcotest.failf "%s: must be rejected" label
+    | Error d ->
+      Alcotest.(check string) (label ^ ": code") "E_DECODE" d.Lp_util.Diag.code;
+      Alcotest.(check string) (label ^ ": stage") "serve"
+        (Lp_util.Diag.stage_name d.Lp_util.Diag.stage)
+  in
+  expect_decode "not json" "this is not json";
+  expect_decode "not an object" "[1,2,3]";
+  expect_decode "missing op" "{}";
+  expect_decode "unknown op" {|{"op":"frobnicate"}|};
+  expect_decode "run without source" {|{"op":"run"}|};
+  expect_decode "both sources"
+    {|{"op":"run","source":"int main() { return 0; }","workload":"fir"}|};
+  expect_decode "bad deadline type" {|{"op":"ping","deadline_ms":"soon"}|};
+  expect_decode "negative deadline" {|{"op":"ping","deadline_ms":-5}|};
+  (* best-effort id extraction for decode-error replies *)
+  Alcotest.(check bool) "frame_id finds id" true
+    (P.frame_id {|{"id":3,"op":"frobnicate"}|} = Json.Num 3.0);
+  Alcotest.(check bool) "frame_id degrades to Null" true
+    (P.frame_id "garbage" = Json.Null)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over a real socket                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_frame ?deadline_ms ?(config = "full") ~id src =
+  P.frame_of_request
+    { P.default_request with P.id; op = P.Run; src; config; deadline_ms }
+
+(** A near-zero deadline on a real workload expires inside the pipeline
+    or simulator and surfaces as [E_DEADLINE]; the connection, the
+    worker and subsequent requests are untouched. *)
+let test_deadline_expiry () =
+  with_server "deadline" @@ fun path _server ->
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  send_all fd
+    (run_frame ~id:(Json.Num 1.0) ~deadline_ms:1 (P.Workload "matmul"));
+  send_all fd (run_frame ~id:(Json.Num 2.0) (P.Workload "fir"));
+  let replies = List.map parse_reply (read_frames fd 2) in
+  let dead = find_reply replies (Json.Num 1.0) in
+  Alcotest.(check bool) "deadline request failed" false dead.P.r_ok;
+  Alcotest.(check string) "E_DEADLINE" "E_DEADLINE" (code_of dead);
+  let ok = find_reply replies (Json.Num 2.0) in
+  Alcotest.(check bool) "same connection still serves" true ok.P.r_ok
+
+(** Flooding a 1-worker/1-slot server sheds with transient [E_OVERLOAD]
+    instead of queueing without bound — and every request is answered. *)
+let test_overload_sheds () =
+  let tune o = { o with Server.jobs = 1; queue_capacity = 1 } in
+  with_server ~tune "overload" @@ fun path _server ->
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  let n = 30 in
+  let burst = Buffer.create 4096 in
+  for i = 1 to n do
+    Buffer.add_string burst
+      (run_frame ~id:(Json.Num (float_of_int i)) (P.Workload "matmul"))
+  done;
+  send_all fd (Buffer.contents burst);
+  let replies = List.map parse_reply (read_frames fd n) in
+  Alcotest.(check int) "every request answered" n (List.length replies);
+  let shed =
+    List.length (List.filter (fun r -> code_of r = "E_OVERLOAD") replies)
+  in
+  let ok = List.length (List.filter (fun r -> r.P.r_ok) replies) in
+  Alcotest.(check bool) "some load shed" true (shed > 0);
+  Alcotest.(check bool) "some load served" true (ok > 0);
+  List.iter
+    (fun r ->
+      if not r.P.r_ok then begin
+        Alcotest.(check string) "only overload errors" "E_OVERLOAD" (code_of r);
+        Alcotest.(check bool) "overload is transient" true r.P.r_transient
+      end)
+    replies;
+  (* the server survived its own backpressure *)
+  send_all fd
+    (P.frame_of_request
+       { P.default_request with P.id = Json.Num 99.0; op = P.Ping });
+  let pong = parse_reply (List.hd (read_frames fd 1)) in
+  Alcotest.(check bool) "ping after flood" true pong.P.r_ok
+
+(** Malformed frames and compile-crashing sources get structured
+    replies; the connection keeps working after both. *)
+let test_crash_isolation () =
+  with_server "isolation" @@ fun path _server ->
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  (* raw garbage: decode error with a Null id *)
+  send_all fd "this is not json\n";
+  let bad = parse_reply (List.hd (read_frames fd 1)) in
+  Alcotest.(check bool) "decode reply not ok" false bad.P.r_ok;
+  Alcotest.(check string) "decode code" "E_DECODE" (code_of bad);
+  Alcotest.(check bool) "decode id is Null" true (bad.P.r_id = Json.Null);
+  (* a source that breaks the front end: per-request degradation *)
+  send_all fd (run_frame ~id:(Json.Num 1.0) (P.Inline "int main( {"));
+  let parse_err = parse_reply (List.hd (read_frames fd 1)) in
+  Alcotest.(check string) "compile diag code" "E_PARSE" (code_of parse_err);
+  (* the same connection still compiles fine afterwards *)
+  send_all fd
+    (run_frame ~id:(Json.Num 2.0) (P.Inline "int main() { return 42; }"));
+  let ok = parse_reply (List.hd (read_frames fd 1)) in
+  Alcotest.(check bool) "valid request after crashes" true ok.P.r_ok;
+  (match Json.member "ret" ok.P.r_payload with
+  | Some (Json.Num n) -> Alcotest.(check (float 0.0)) "computed result" 42.0 n
+  | _ -> Alcotest.fail "run reply must carry ret");
+  (* server-side counters confirm nothing leaked into E_INTERNAL *)
+  send_all fd
+    (P.frame_of_request
+       { P.default_request with P.id = Json.Num 3.0; op = P.Stats });
+  let stats = parse_reply (List.hd (read_frames fd 1)) in
+  Alcotest.(check bool) "stats ok" true stats.P.r_ok;
+  match
+    Option.bind
+      (Json.member "stats" stats.P.r_payload)
+      (Json.member "internal_errors")
+  with
+  | Some (Json.Num 0.0) -> ()
+  | Some j -> Alcotest.failf "internal errors: %s" (Json.to_compact_string j)
+  | None -> Alcotest.fail "stats must expose internal_errors"
+
+(** The warm cache serves repeat compiles ([cached]:true) and the cached
+    reply is byte-identical to the first, id aside. *)
+let test_cache_reuse () =
+  with_server "cache" @@ fun path _server ->
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  let strip id_fields j =
+    match j with
+    | Json.Obj fields ->
+      Json.Obj (List.filter (fun (k, _) -> not (List.mem k id_fields)) fields)
+    | j -> j
+  in
+  (* sequential round trips: pipelining both would race two workers into
+     the same cold cache slot *)
+  send_all fd (run_frame ~id:(Json.Num 1.0) (P.Workload "dotprod"));
+  let first = parse_reply (List.hd (read_frames fd 1)) in
+  send_all fd (run_frame ~id:(Json.Num 2.0) (P.Workload "dotprod"));
+  let second = parse_reply (List.hd (read_frames fd 1)) in
+  Alcotest.(check bool) "ids echo in order" true
+    (first.P.r_id = Json.Num 1.0 && second.P.r_id = Json.Num 2.0);
+  Alcotest.(check bool) "first ok" true first.P.r_ok;
+  Alcotest.(check bool) "second ok" true second.P.r_ok;
+  Alcotest.(check bool) "second served from cache" true
+    (Json.member "cached" second.P.r_payload = Some (Json.Bool true));
+  Alcotest.(check string) "cached reply byte-identical modulo id/cached"
+    (Json.to_compact_string (strip [ "id"; "cached" ] first.P.r_payload))
+    (Json.to_compact_string (strip [ "id"; "cached" ] second.P.r_payload))
+
+(** The full load generator against an in-process server: mixed
+    valid/malformed/deadline corpus, byte-identity verification on, and
+    the CI acceptance gate must hold. *)
+let test_serve_bench_acceptance () =
+  with_server "bench" @@ fun path _server ->
+  let cfg =
+    {
+      (SB.default_config ~socket_path:path) with
+      SB.requests = 200;
+      clients = 2;
+      window = 6;
+      verify = true;
+    }
+  in
+  match SB.run cfg with
+  | Error e -> Alcotest.failf "bench harness failed: %s" e
+  | Ok s -> (
+    (match SB.acceptance s with
+    | Ok () -> ()
+    | Error violations ->
+      Alcotest.failf "acceptance gate: %s" (String.concat "; " violations));
+    Alcotest.(check int) "all entries completed" 200 s.SB.completed;
+    Alcotest.(check bool) "corpus exercised the decode path" true
+      (s.SB.outcomes.SB.decode_err > 0);
+    Alcotest.(check bool) "corpus exercised compile errors" true
+      (s.SB.outcomes.SB.compile_err > 0);
+    Alcotest.(check bool) "verification actually compared replies" true
+      (s.SB.verify_checked > 0))
+
+(** Stop with requests still in flight: drain answers them (or cancels
+    cooperatively), the domains join, and the socket file is gone. *)
+let test_graceful_drain () =
+  let socket_path = tmp_socket "drain" in
+  let opts =
+    { (Server.default_opts ~socket_path) with Server.jobs = 1 }
+  in
+  let server = Server.start opts in
+  let fd = connect socket_path in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  for i = 1 to 4 do
+    send_all fd (run_frame ~id:(Json.Num (float_of_int i)) (P.Workload "fir"))
+  done;
+  Server.request_stop server;
+  Alcotest.(check bool) "stop requested" true (Server.stopping server);
+  Server.stop server;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists socket_path);
+  (* stopping twice is harmless *)
+  Server.stop server
+
+let suite =
+  [
+    Alcotest.test_case "bounded queue: FIFO, backpressure, close" `Quick
+      test_bqueue;
+    Alcotest.test_case "protocol round-trips every field" `Quick
+      test_protocol_round_trip;
+    Alcotest.test_case "malformed frames decode to E_DECODE" `Quick
+      test_protocol_decode_errors;
+    Alcotest.test_case "deadline expires as E_DEADLINE" `Quick
+      test_deadline_expiry;
+    Alcotest.test_case "overload sheds transiently, answers everything"
+      `Quick test_overload_sheds;
+    Alcotest.test_case "per-request crash isolation" `Quick
+      test_crash_isolation;
+    Alcotest.test_case "warm cache byte-identity" `Quick test_cache_reuse;
+    Alcotest.test_case "serve-bench acceptance gate end to end" `Slow
+      test_serve_bench_acceptance;
+    Alcotest.test_case "graceful drain on stop" `Quick test_graceful_drain;
+  ]
