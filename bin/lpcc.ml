@@ -252,10 +252,10 @@ let run_cmd_run file workload machine_kind cores config events faults trace
       match passes with
       | None -> Ok None
       | Some spec ->
-        Result.map Option.some (Lowpower.Pipeline.parse spec)
+        Result.map Option.some (Lowpower.Pipeline.resolve_spec spec)
     in
     match pipeline with
-    | Error e -> `Error (false, "invalid --passes spec: " ^ e)
+    | Error d -> `Error (false, Lp_util.Diag.to_string d)
     | Ok pipeline ->
     with_ctx ?faults ?trace ?report ~no_analysis_cache ~no_sim_predecode
       ?deadline_ms
@@ -266,11 +266,7 @@ let run_cmd_run file workload machine_kind cores config events faults trace
       let machine = machine_of ~cores machine_kind in
       let cores = min cores machine.Machine.n_cores in
       let opts = opts_of ~cores config in
-      let opts =
-        match pipeline with
-        | None -> opts
-        | Some _ -> { opts with Compile.pipeline }
-      in
+      let opts = Compile.Options.update ?pipeline opts in
       let sim_opts =
         { Sim.default_options with Sim.trace_limit = max 0 events }
       in
@@ -509,9 +505,9 @@ let pipeline_cmd_run passes =
       (String.concat " " (P.pass_names ()));
     `Ok ()
   | Some spec -> (
-    match P.parse spec with
+    match P.resolve_spec spec with
     | Ok t -> print_string (P.to_string t); `Ok ()
-    | Error e -> `Error (false, "invalid --passes spec: " ^ e))
+    | Error d -> `Error (false, Lp_util.Diag.to_string d))
 
 let pipeline_cmd =
   let doc =
@@ -661,6 +657,119 @@ let fuzz_cmd_run seeds seed_start corpus cores trace =
           Printf.sprintf "%d finding(s); crash corpus written to %s/"
             (List.length findings) corpus )
 
+(* ---------------- tune ---------------- *)
+
+let tune_cmd_run workloads all budget seed machine_kind cores config out json
+    jobs faults trace report no_analysis_cache no_sim_predecode deadline_ms =
+  with_ctx ?jobs ?faults ?trace ?report ~no_analysis_cache ~no_sim_predecode
+    ?deadline_ms
+  @@ fun ctx ->
+  with_diagnostics @@ fun () ->
+  let module Tune = Lp_tune.Tune in
+  let names =
+    if all then Lp_workloads.Suite.names
+    else if workloads <> [] then workloads
+    else Tune.default_workloads
+  in
+  match
+    List.find_opt (fun n -> Lp_workloads.Suite.find n = None) names
+  with
+  | Some bad ->
+    `Error (false, Printf.sprintf "unknown workload %S (try: lpcc workloads)" bad)
+  | None ->
+    let ws = List.map Lp_workloads.Suite.find_exn names in
+    let machine = machine_of ~cores machine_kind in
+    let cores = min cores machine.Machine.n_cores in
+    let opts = opts_of ~cores config in
+    let config_name =
+      match config with
+      | `Baseline -> "baseline"
+      | `Pg -> "pg"
+      | `Dvfs -> "dvfs"
+      | `PgDvfs -> "pg+dvfs"
+      | `Par -> "par"
+      | `Full -> "full"
+    in
+    let cfg =
+      Tune.default_config ~budget ~seed ~config_name ~opts ~machine ()
+    in
+    (match Tune.run ~ctx cfg ws with
+    | Error d -> `Error (false, Diag.to_string d)
+    | Ok summary ->
+      print_string (Tune.render summary);
+      Option.iter
+        (fun path ->
+          Tune.write_json path summary;
+          Printf.printf "bench json written to %s\n" path)
+        json;
+      (match out with
+      | None -> `Ok ()
+      | Some path -> (
+        match Tune.save_best summary path with
+        | Ok tw ->
+          Printf.printf "schedule written to %s (workload %s, -%.2f%%)\n"
+            path tw.Tune.tw_workload
+            (Tune.improvement_pct tw);
+          `Ok ()
+        | Error msg -> `Error (false, msg))))
+
+let tune_cmd =
+  let doc =
+    "search pass orderings and fixpoint groupings for lower simulated \
+     energy (seeded hill-climbing with random restarts; deterministic \
+     whatever $(b,--jobs) is)"
+  in
+  let workloads_arg =
+    Arg.(value & opt_all string []
+         & info [ "w"; "workload" ] ~docv:"NAME"
+             ~doc:"Workload to tune (repeatable; default: the \
+                   representative set).")
+  in
+  let all_arg =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"Tune every bundled workload.")
+  in
+  let budget_arg =
+    Arg.(value & opt int 100
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Unique schedule evaluations per workload (the default \
+                   schedule's evaluation counts; memo-cache hits do not).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"S" ~doc:"Search RNG seed.")
+  in
+  let tune_config_arg =
+    let conv_config = Arg.enum
+        [ ("baseline", `Baseline); ("pg", `Pg); ("dvfs", `Dvfs);
+          ("pg+dvfs", `PgDvfs); ("par", `Par); ("full", `Full) ]
+    in
+    Arg.(value & opt conv_config `Baseline
+         & info [ "k"; "config" ] ~docv:"CONFIG"
+             ~doc:"Compiler configuration the candidates run under \
+                   (default $(b,baseline): the schedule is a classic-\
+                   optimisation lever, so tune it where nothing else \
+                   moves).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write the best-improvement schedule as a schedule file \
+                   replayable with $(b,lpcc run --passes \\@FILE).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the per-workload results as \
+                   $(b,lowpower-bench-tune/1) JSON.")
+  in
+  Cmd.v (Cmd.info "tune" ~doc)
+    Term.(ret (const tune_cmd_run $ workloads_arg $ all_arg $ budget_arg
+               $ seed_arg $ machine_arg $ cores_arg $ tune_config_arg
+               $ out_arg $ json_arg $ jobs_arg $ faults_arg $ trace_file_arg
+               $ report_file_arg $ no_cache_arg $ no_predecode_arg
+               $ deadline_arg))
+
 let fuzz_cmd =
   let doc =
     "fuzz the pipeline with generated MiniC programs (no raw exceptions, \
@@ -693,4 +802,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ detect_cmd; run_cmd; explain_cmd; dump_cmd; workloads_cmd;
-            pipeline_cmd; bench_cmd; serve_bench_cmd; fuzz_cmd ]))
+            pipeline_cmd; bench_cmd; tune_cmd; serve_bench_cmd; fuzz_cmd ]))

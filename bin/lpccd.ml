@@ -1,8 +1,10 @@
 (** lpccd — the resilient compile server daemon.
 
-    Serves [lpcc]'s compile/run/explain/pipeline operations over a
-    Unix-domain socket (line-delimited JSON; protocol and failure
-    taxonomy in docs/SERVING.md) with a warm compile cache shared across
+    Serves [lpcc]'s compile/run/explain/pipeline operations — plus,
+    under protocol version 2, a small-budget [tune] — over a
+    Unix-domain socket (line-delimited JSON; version negotiation,
+    protocol and failure taxonomy in docs/SERVING.md) with a warm
+    compile cache shared across
     requests, bounded-queue backpressure, per-request deadlines with
     cooperative cancellation, a stuck-request watchdog, per-request
     crash isolation and a clean drain on SIGTERM/SIGINT.

@@ -72,24 +72,58 @@ let baseline =
     sync = T.Parallelize.Done_channel; mac_fusion = true; power = no_power;
     pipeline = None }
 
-let pg_only =
-  { baseline with
-    power = { no_power with gating = true; sink_n_hoist = true;
-              gate_unused_cores = true } }
+(** Smart constructors over {!options}; see the interface. *)
+module Options = struct
+  let update ?n_cores ?parallelize ?distribution ?sync ?mac_fusion ?gating
+      ?sink_n_hoist ?dvfs ?balance ?gate_unused_cores ?gating_opts ?dvfs_opts
+      ?pipeline (base : options) : options =
+    let keep v o = Option.value o ~default:v in
+    let p = base.power in
+    {
+      n_cores = keep base.n_cores n_cores;
+      parallelize = keep base.parallelize parallelize;
+      distribution = keep base.distribution distribution;
+      sync = keep base.sync sync;
+      mac_fusion = keep base.mac_fusion mac_fusion;
+      power =
+        {
+          gating = keep p.gating gating;
+          sink_n_hoist = keep p.sink_n_hoist sink_n_hoist;
+          dvfs = keep p.dvfs dvfs;
+          balance = keep p.balance balance;
+          gate_unused_cores = keep p.gate_unused_cores gate_unused_cores;
+          gating_opts = keep p.gating_opts gating_opts;
+          dvfs_opts = keep p.dvfs_opts dvfs_opts;
+        };
+      pipeline =
+        (match pipeline with Some _ as pl -> pl | None -> base.pipeline);
+    }
 
-let dvfs_only = { baseline with power = { no_power with dvfs = true } }
+  let make ?n_cores ?parallelize ?distribution ?sync ?mac_fusion ?gating
+      ?sink_n_hoist ?dvfs ?balance ?gate_unused_cores ?gating_opts ?dvfs_opts
+      ?pipeline () : options =
+    update ?n_cores ?parallelize ?distribution ?sync ?mac_fusion ?gating
+      ?sink_n_hoist ?dvfs ?balance ?gate_unused_cores ?gating_opts ?dvfs_opts
+      ?pipeline baseline
+end
+
+let pg_only =
+  Options.make ~gating:true ~sink_n_hoist:true ~gate_unused_cores:true ()
+
+let dvfs_only = Options.make ~dvfs:true ()
 
 let pg_dvfs =
-  { baseline with
-    power = { no_power with gating = true; sink_n_hoist = true; dvfs = true;
-              gate_unused_cores = true } }
+  Options.make ~gating:true ~sink_n_hoist:true ~dvfs:true
+    ~gate_unused_cores:true ()
 
 (** The full pattern-aware low-power compile. *)
-let full ~n_cores = { baseline with n_cores; parallelize = true; power = all_power }
+let full ~n_cores =
+  Options.make ~n_cores ~parallelize:true ~gating:true ~sink_n_hoist:true
+    ~dvfs:true ~balance:true ~gate_unused_cores:true ()
 
 (** Parallelisation without power management (to separate the two
     effects in the evaluation). *)
-let par_only ~n_cores = { baseline with n_cores; parallelize = true }
+let par_only ~n_cores = Options.make ~n_cores ~parallelize:true ()
 
 type compiled = {
   source_ast : Ast.program;

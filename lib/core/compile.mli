@@ -40,6 +40,49 @@ type options = {
 val no_power : power_options
 val all_power : power_options
 
+(** Smart constructors over {!options}: build ([make]) or derive
+    ([update]) a configuration by naming only the fields that differ,
+    with the power flags flattened alongside the driver flags so callers
+    never hand-roll nested [{ opts with power = { ... } }] updates.
+    [make]'s defaults are exactly {!baseline}; [update] keeps the base's
+    value for every omitted argument.  The presets below are defined
+    through [make]. *)
+module Options : sig
+  val make :
+    ?n_cores:int ->
+    ?parallelize:bool ->
+    ?distribution:T.Parallelize.distribution ->
+    ?sync:T.Parallelize.sync ->
+    ?mac_fusion:bool ->
+    ?gating:bool ->
+    ?sink_n_hoist:bool ->
+    ?dvfs:bool ->
+    ?balance:bool ->
+    ?gate_unused_cores:bool ->
+    ?gating_opts:T.Gating.options ->
+    ?dvfs_opts:T.Dvfs.options ->
+    ?pipeline:Pipeline.t ->
+    unit ->
+    options
+
+  val update :
+    ?n_cores:int ->
+    ?parallelize:bool ->
+    ?distribution:T.Parallelize.distribution ->
+    ?sync:T.Parallelize.sync ->
+    ?mac_fusion:bool ->
+    ?gating:bool ->
+    ?sink_n_hoist:bool ->
+    ?dvfs:bool ->
+    ?balance:bool ->
+    ?gate_unused_cores:bool ->
+    ?gating_opts:T.Gating.options ->
+    ?dvfs_opts:T.Dvfs.options ->
+    ?pipeline:Pipeline.t ->
+    options ->
+    options
+end
+
 (** The configurations compared by the evaluation. *)
 
 (** Plain optimising compile, single core, no power management. *)

@@ -41,7 +41,35 @@ val execute :
 (** Multi-line rendering, one step per line ([lpcc pipeline]). *)
 val to_string : t -> string
 
+(** One-line spec rendering, the inverse of {!parse} for flat
+    schedules.  Raises [Invalid_argument] on [If] steps, which have no
+    spec syntax. *)
+val to_spec : t -> string
+
+(** Resolve every [If] step under the given flag values, leaving a flat
+    [Run]/[Fixpoint] schedule that {!to_spec} can print. *)
+val flatten : mac_fusion:bool -> t -> t
+
+(** Stable diagnostic code for malformed specs and schedule files:
+    ["E_PIPELINE_SPEC"]. *)
+val code_spec : string
+
 (** Parse the one-line [--passes] spec: comma-separated pass names and
     [fix(name,...)] fixpoint groups.  Conditional steps are not
-    expressible in a spec. *)
-val parse : string -> (t, string) result
+    expressible in a spec.  Errors are [E_PIPELINE_SPEC] diagnostics
+    reporting the character position where the scan stopped and the
+    token expected there. *)
+val parse : string -> (t, Lp_util.Diag.t) result
+
+(** Write the schedule as a file: one [#] header line (name + optional
+    comment) followed by the one-line spec. *)
+val save_file : ?name:string -> ?comment:string -> string -> t -> unit
+
+(** Load a schedule file written by {!save_file}; [#] and blank lines
+    are skipped and exactly one spec line must remain.  All failures are
+    [E_PIPELINE_SPEC] diagnostics. *)
+val load_file : string -> (t, Lp_util.Diag.t) result
+
+(** Resolve a [--passes] argument: [@FILE] loads a schedule file,
+    anything else parses as an inline spec. *)
+val resolve_spec : string -> (t, Lp_util.Diag.t) result

@@ -155,12 +155,10 @@ let f4_workloads = [ "phases"; "jpegblocks"; "fft" ]
 let f4_config scale = Printf.sprintf "pg-be%.4f" scale
 
 let f4_opts scale =
-  { Compile.pg_only with
-    Compile.power =
-      { Compile.pg_only.Compile.power with
-        Compile.gating_opts =
-          { T.Gating.default_options with T.Gating.break_even_scale = scale } }
-  }
+  Compile.Options.update
+    ~gating_opts:
+      { T.Gating.default_options with T.Gating.break_even_scale = scale }
+    Compile.pg_only
 
 let f4 () : Table.t =
   let power = Power_model.leaky () in
@@ -258,9 +256,7 @@ let f5 () : Table.t =
 (* ------------------------------------------------------------------ *)
 
 let f6_no_merge_opts =
-  { Compile.pg_only with
-    Compile.power =
-      { Compile.pg_only.Compile.power with Compile.sink_n_hoist = false } }
+  Compile.Options.update ~sink_n_hoist:false Compile.pg_only
 
 let f6 () : Table.t =
   run_matrix
@@ -376,8 +372,7 @@ let a2 () : Table.t =
        :: List.map
             (fun (dname, dist) ->
               ( "full-" ^ dname,
-                { (Compile.full ~n_cores:4) with Compile.distribution = dist }
-              ))
+                Compile.Options.update ~distribution:dist (Compile.full ~n_cores:4) ))
             [ ("block", T.Parallelize.Block); ("cyclic", T.Parallelize.Cyclic) ]));
   let tbl =
     Table.create
@@ -393,7 +388,7 @@ let a2 () : Table.t =
       List.iter
         (fun (dname, dist) ->
           let opts =
-            { (Compile.full ~n_cores:4) with Compile.distribution = dist }
+            Compile.Options.update ~distribution:dist (Compile.full ~n_cores:4)
           in
           let c = run_workload_result w ~config:("full-" ^ dname) opts in
           Table.add_row tbl
@@ -423,7 +418,7 @@ let a3 () : Table.t =
        (List.map Lp_workloads.Suite.find_exn a3_workloads)
        (List.map
           (fun (sync, cfg) ->
-            (cfg, { (Compile.full ~n_cores:4) with Compile.sync }))
+            (cfg, Compile.Options.update ~sync (Compile.full ~n_cores:4)))
           [ (T.Parallelize.Done_channel, "full");
             (T.Parallelize.Barrier_sync, "full-barrier") ]));
   let tbl =
@@ -438,7 +433,7 @@ let a3 () : Table.t =
       let w = Lp_workloads.Suite.find_exn name in
       let run sync cfg =
         run_workload_result w ~config:cfg
-          { (Compile.full ~n_cores:4) with Compile.sync }
+          (Compile.Options.update ~sync (Compile.full ~n_cores:4))
       in
       let dc = run T.Parallelize.Done_channel "full" in
       let bar = run T.Parallelize.Barrier_sync "full-barrier" in

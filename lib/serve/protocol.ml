@@ -11,17 +11,30 @@ module Ledger = Lp_power.Energy_ledger
 
 let code_decode = "E_DECODE"
 let code_overload = "E_OVERLOAD"
+let code_version = "E_VERSION"
 
 let decode_error fmt =
   Format.kasprintf
     (fun message -> Error (Diag.make Diag.Serve ~code:code_decode message))
     fmt
 
+let version_error fmt =
+  Format.kasprintf
+    (fun message -> Error (Diag.make Diag.Serve ~code:code_version message))
+    fmt
+
+(* Version negotiation (docs/SERVING.md): a request without a "version"
+   field is version 1 — the PR 7 wire format, whose replies must stay
+   byte-identical.  Version 2 adds the "tune" op and echoes "version"
+   in the reply.  Anything else is a stable E_VERSION diagnostic. *)
+let current_version = 2
+let version_supported v = v = 1 || v = current_version
+
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type op = Ping | Compile | Run | Explain | Pipeline | Stats | Shutdown
+type op = Ping | Compile | Run | Explain | Pipeline | Stats | Shutdown | Tune
 
 let op_name = function
   | Ping -> "ping"
@@ -31,6 +44,7 @@ let op_name = function
   | Pipeline -> "pipeline"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
+  | Tune -> "tune"
 
 let op_of_name = function
   | "ping" -> Some Ping
@@ -40,12 +54,14 @@ let op_of_name = function
   | "pipeline" -> Some Pipeline
   | "stats" -> Some Stats
   | "shutdown" -> Some Shutdown
+  | "tune" -> Some Tune
   | _ -> None
 
 type source = Inline of string | Workload of string | No_source
 
 type request = {
   id : Json.t;
+  version : int option;
   op : op;
   src : source;
   machine : string;
@@ -53,11 +69,14 @@ type request = {
   config : string;
   passes : string option;
   deadline_ms : int option;
+  budget : int option;
+  seed : int option;
 }
 
 let default_request =
   {
     id = Json.Null;
+    version = None;
     op = Ping;
     src = No_source;
     machine = "generic";
@@ -65,6 +84,8 @@ let default_request =
     config = "full";
     passes = None;
     deadline_ms = None;
+    budget = None;
+    seed = None;
   }
 
 (* typed field extraction; any mismatch is an [Error _] with E_DECODE *)
@@ -96,6 +117,19 @@ let request_of_frame line =
   match Json.of_string_opt line with
   | None -> decode_error "frame is not valid JSON"
   | Some (Json.Obj _ as obj) ->
+    (* version is negotiated before anything else so that a v3 client
+       gets E_VERSION rather than a confusing op/field diagnostic *)
+    let* version =
+      match Json.member "version" obj with
+      | None | Some Json.Null -> Ok None
+      | Some (Json.Num f) when Float.is_integer f ->
+        let v = int_of_float f in
+        if version_supported v then Ok (Some v)
+        else
+          version_error "unsupported protocol version %d (server speaks 1-%d)"
+            v current_version
+      | Some _ -> decode_error "field \"version\" must be an integer"
+    in
     let* op_str =
       match Json.member "op" obj with
       | Some (Json.Str s) -> Ok s
@@ -107,16 +141,22 @@ let request_of_frame line =
       | Some op -> Ok op
       | None -> decode_error "unknown op %S" op_str
     in
+    let* () =
+      match op with
+      | Tune when Option.value ~default:1 version < 2 ->
+        version_error "op \"tune\" requires protocol version 2"
+      | _ -> Ok ()
+    in
     let id = Option.value ~default:Json.Null (Json.member "id" obj) in
     let* inline = opt_str_field obj "source" in
     let* workload = opt_str_field obj "workload" in
     let* src =
       match (op, inline, workload) with
-      | (Compile | Run | Explain), Some _, Some _ ->
+      | (Compile | Run | Explain | Tune), Some _, Some _ ->
         decode_error "give either \"source\" or \"workload\", not both"
-      | (Compile | Run | Explain), Some s, None -> Ok (Inline s)
-      | (Compile | Run | Explain), None, Some w -> Ok (Workload w)
-      | (Compile | Run | Explain), None, None ->
+      | (Compile | Run | Explain | Tune), Some s, None -> Ok (Inline s)
+      | (Compile | Run | Explain | Tune), None, Some w -> Ok (Workload w)
+      | (Compile | Run | Explain | Tune), None, None ->
         decode_error "op %S needs a \"source\" or \"workload\"" op_str
       | (Ping | Pipeline | Stats | Shutdown), _, _ -> Ok No_source
     in
@@ -126,7 +166,22 @@ let request_of_frame line =
     let* config = str_field obj "config" default_request.config in
     let* passes = opt_str_field obj "passes" in
     let* deadline_ms = opt_pos_int_field obj "deadline_ms" ~max:86_400_000 in
-    Ok { id; op; src; machine; cores; config; passes; deadline_ms }
+    let* budget = opt_pos_int_field obj "budget" ~max:10_000 in
+    let* seed = opt_pos_int_field obj "seed" ~max:max_int in
+    Ok
+      {
+        id;
+        version;
+        op;
+        src;
+        machine;
+        cores;
+        config;
+        passes;
+        deadline_ms;
+        budget;
+        seed;
+      }
   | Some _ -> decode_error "frame must be a JSON object"
 
 let frame_id line =
@@ -135,9 +190,19 @@ let frame_id line =
     Option.value ~default:Json.Null (Json.member "id" obj)
   | _ -> Json.Null
 
+let opt_int_fields fields =
+  List.concat_map
+    (fun (name, v) ->
+      match v with
+      | Some n -> [ (name, Json.Num (float_of_int n)) ]
+      | None -> [])
+    fields
+
 let frame_of_request r =
   let fields =
-    [ ("id", r.id); ("op", Json.Str (op_name r.op)) ]
+    [ ("id", r.id) ]
+    @ opt_int_fields [ ("version", r.version) ]
+    @ [ ("op", Json.Str (op_name r.op)) ]
     @ (match r.src with
       | Inline s -> [ ("source", Json.Str s) ]
       | Workload w -> [ ("workload", Json.Str w) ]
@@ -150,10 +215,12 @@ let frame_of_request r =
     @ (match r.passes with
       | Some p -> [ ("passes", Json.Str p) ]
       | None -> [])
-    @
-    match r.deadline_ms with
-    | Some ms -> [ ("deadline_ms", Json.Num (float_of_int ms)) ]
-    | None -> []
+    @ opt_int_fields
+        [
+          ("deadline_ms", r.deadline_ms);
+          ("budget", r.budget);
+          ("seed", r.seed);
+        ]
   in
   Json.to_compact_string (Json.Obj fields) ^ "\n"
 
@@ -161,24 +228,29 @@ let frame_of_request r =
 (* Replies                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let ok_frame ~id ~op ?(cached = false) payload =
+(* [version] is echoed only when the request carried one: v1 clients
+   (and serve-bench --verify golden replies) keep byte-identical frames *)
+let ok_frame ~id ~op ?version ?(cached = false) payload =
   let fields =
-    [ ("id", id); ("ok", Json.Bool true); ("op", Json.Str (op_name op)) ]
+    [ ("id", id) ]
+    @ opt_int_fields [ ("version", version) ]
+    @ [ ("ok", Json.Bool true); ("op", Json.Str (op_name op)) ]
     @ (if cached then [ ("cached", Json.Bool true) ] else [])
     @ payload
   in
   Json.to_compact_string (Json.Obj fields) ^ "\n"
 
-let err_frame ~id (d : Diag.t) =
+let err_frame ~id ?version (d : Diag.t) =
   let fields =
-    [
-      ("id", id);
-      ("ok", Json.Bool false);
-      ("code", Json.Str d.Diag.code);
-      ("stage", Json.Str (Diag.stage_name d.Diag.stage));
-      ("message", Json.Str d.Diag.message);
-      ("transient", Json.Bool d.Diag.transient);
-    ]
+    [ ("id", id) ]
+    @ opt_int_fields [ ("version", version) ]
+    @ [
+        ("ok", Json.Bool false);
+        ("code", Json.Str d.Diag.code);
+        ("stage", Json.Str (Diag.stage_name d.Diag.stage));
+        ("message", Json.Str d.Diag.message);
+        ("transient", Json.Bool d.Diag.transient);
+      ]
     @
     match d.Diag.line with
     | Some l -> [ ("line", Json.Num (float_of_int l)) ]
@@ -243,9 +315,11 @@ let resolve_target (r : request) =
   match r.passes with
   | None -> Ok (machine, opts)
   | Some spec -> (
-    match Pipeline.parse spec with
-    | Ok p -> Ok (machine, { opts with Compile.pipeline = Some p })
-    | Error e -> decode_error "invalid passes spec: %s" e)
+    (* inline spec or @FILE; failures keep their own stable
+       E_PIPELINE_SPEC code rather than degrading to E_DECODE *)
+    match Pipeline.resolve_spec spec with
+    | Ok p -> Ok (machine, Compile.Options.update ~pipeline:p opts)
+    | Error d -> Error d)
 
 let resolve_source (r : request) =
   match r.src with
@@ -354,6 +428,19 @@ let payload_of_pipeline ~passes =
         );
       ]
   | Some spec -> (
-    match Pipeline.parse spec with
+    match Pipeline.resolve_spec spec with
     | Ok p -> Ok [ ("pipeline", Json.Str (Pipeline.to_string p)) ]
-    | Error e -> decode_error "invalid passes spec: %s" e)
+    | Error d -> Error d)
+
+let payload_of_tune (r : Lp_tune.Tune.workload_result) =
+  [
+    ("workload", Json.Str r.Lp_tune.Tune.tw_workload);
+    ("spec", Json.Str r.Lp_tune.Tune.tw_best_spec);
+    ( "baseline_energy_nj",
+      Json.Num r.Lp_tune.Tune.tw_baseline.Lp_tune.Tune.energy_nj );
+    ("tuned_energy_nj", Json.Num r.Lp_tune.Tune.tw_best.Lp_tune.Tune.energy_nj);
+    ("improvement_pct", Json.Num (Lp_tune.Tune.improvement_pct r));
+    ("improved", Json.Bool (Lp_tune.Tune.improved r));
+    ("candidates", num r.Lp_tune.Tune.tw_candidates);
+    ("evaluated", num r.Lp_tune.Tune.tw_evaluated);
+  ]

@@ -27,6 +27,19 @@ val code_decode : string
     backoff. *)
 val code_overload : string
 
+(** Unsupported protocol [version], or an op the negotiated version does
+    not carry (e.g. ["tune"] under v1).  Never transient: retrying the
+    same frame can never succeed; the client must downgrade. *)
+val code_version : string
+
+(** Newest protocol version this server speaks (2).  A request without
+    a ["version"] field is version 1 and gets the PR 7 wire format
+    byte-for-byte; replies echo ["version"] only when the request
+    carried one. *)
+val current_version : int
+
+val version_supported : int -> bool
+
 (** {2 Requests} *)
 
 type op =
@@ -38,6 +51,8 @@ type op =
   | Pipeline    (** resolve a pass-pipeline spec to its schedule *)
   | Stats       (** server counters snapshot *)
   | Shutdown    (** acknowledge, then drain and exit *)
+  | Tune        (** v2: small-budget phase-ordering tune of one program;
+                    reply carries the best spec and the energy delta *)
 
 val op_name : op -> string
 
@@ -48,6 +63,7 @@ type source =
 
 type request = {
   id : Json.t;              (** echoed verbatim in the reply; [Null] if absent *)
+  version : int option;     (** [None] = v1 (field absent on the wire) *)
   op : op;
   src : source;
   machine : string;         (** "generic" | "pacduo" | "octa-leaky" *)
@@ -55,6 +71,8 @@ type request = {
   config : string;          (** baseline | pg | dvfs | pg+dvfs | par | full *)
   passes : string option;   (** optional pass-pipeline spec *)
   deadline_ms : int option; (** per-request deadline *)
+  budget : int option;      (** tune: unique evaluations (server caps it) *)
+  seed : int option;        (** tune: search seed (default 1) *)
 }
 
 (** Defaults used for omitted fields: machine ["generic"], 4 cores,
@@ -62,8 +80,10 @@ type request = {
 val default_request : request
 
 (** Parse one frame (without its terminating newline) into a request.
-    All failures come back as a [Serve]-stage diagnostic with code
-    {!code_decode}; no exception ever escapes, whatever the bytes. *)
+    Malformed frames come back as a [Serve]-stage diagnostic with code
+    {!code_decode}; an unsupported ["version"] (checked before anything
+    else) or a v2-only op on a v1 frame as {!code_version}.  No
+    exception ever escapes, whatever the bytes. *)
 val request_of_frame : string -> (request, Diag.t) result
 
 (** Best-effort ["id"] extraction from any frame, [Null] when the bytes
@@ -78,12 +98,19 @@ val frame_of_request : request -> string
 
 (** Success frame: the payload fields, plus ["id"], ["ok"]:true, ["op"],
     and ["cached"] when the compile came from the server's warm cache.
-    Newline included. *)
-val ok_frame : id:Json.t -> op:op -> ?cached:bool -> (string * Json.t) list -> string
+    [version] (echoed from the request, so absent for v1 clients) keeps
+    pre-versioning replies byte-identical.  Newline included. *)
+val ok_frame :
+  id:Json.t ->
+  op:op ->
+  ?version:int ->
+  ?cached:bool ->
+  (string * Json.t) list ->
+  string
 
 (** Error frame: ["id"], ["ok"]:false, ["code"], ["stage"], ["message"],
     ["transient"], and ["line"] when known.  Newline included. *)
-val err_frame : id:Json.t -> Diag.t -> string
+val err_frame : id:Json.t -> ?version:int -> Diag.t -> string
 
 (** Client-side view of a parsed reply frame. *)
 type reply = {
@@ -131,3 +158,7 @@ val payload_of_explain : Lp_obs.Report.t -> (string * Json.t) list
     default, plus the list of available passes). *)
 val payload_of_pipeline :
   passes:string option -> ((string * Json.t) list, Diag.t) result
+
+(** Tune result: best spec, baseline/tuned energy, improvement, search
+    effort.  Deterministic for a given (seed, budget, target). *)
+val payload_of_tune : Lp_tune.Tune.workload_result -> (string * Json.t) list

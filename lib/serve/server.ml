@@ -146,15 +146,15 @@ let write_frame (c : conn) (frame : string) =
         try write_all c.fd frame with
         | Unix.Unix_error _ | Sys_error _ -> c.alive <- false)
 
-let send_ok t conn ~id ~op ?cached payload =
+let send_ok t conn ~id ~op ?version ?cached payload =
   bump t t.m.ok_replies "serve.replies_ok";
-  write_frame conn (P.ok_frame ~id ~op ?cached payload)
+  write_frame conn (P.ok_frame ~id ~op ?version ?cached payload)
 
-let send_err t conn ~id (d : Diag.t) =
+let send_err t conn ~id ?version (d : Diag.t) =
   bump t t.m.err_replies "serve.replies_err";
   if d.Diag.code = Deadline.code then
     bump t t.m.deadline_expired "serve.deadline";
-  write_frame conn (P.err_frame ~id d)
+  write_frame conn (P.err_frame ~id ?version d)
 
 (* ------------------------------------------------------------------ *)
 (* Request dispatch (worker side)                                      *)
@@ -190,8 +190,13 @@ let guard t ~key f =
         (Diag.make Diag.Internal ~code:Diag.code_internal
            ("uncaught exception: " ^ Printexc.to_string e)))
 
-(** One attempt at a compile/run/explain/pipeline request.  Returns the
-    reply payload and whether the compile came from the warm cache. *)
+(* a served tune is a bounded sketch of `lpcc tune`, not a batch job:
+   the budget is clamped so one frame cannot park a worker for long *)
+let tune_budget_cap = 200
+let tune_budget_default = 40
+
+(** One attempt at a compile/run/explain/pipeline/tune request.  Returns
+    the reply payload and whether the compile came from the warm cache. *)
 let dispatch_once t (ctx : Compile.ctx) (req : P.request) :
     ((string * Json.t) list * bool, Diag.t) result =
   match req.P.op with
@@ -200,6 +205,32 @@ let dispatch_once t (ctx : Compile.ctx) (req : P.request) :
         Result.map
           (fun p -> (p, false))
           (P.payload_of_pipeline ~passes:req.P.passes))
+  | P.Tune ->
+    let* src, scope = P.resolve_source req in
+    let* machine, opts = P.resolve_target req in
+    guard t ~key:None (fun () ->
+        let budget =
+          min tune_budget_cap
+            (Option.value ~default:tune_budget_default req.P.budget)
+        in
+        let cfg =
+          Lp_tune.Tune.default_config ~budget
+            ?seed:req.P.seed ~config_name:req.P.config ~opts ~machine ()
+        in
+        let w =
+          {
+            Lp_workloads.Workload.name = scope;
+            description = "served tune target";
+            source = src;
+            expected_pattern = "none";
+            check_globals = [];
+          }
+        in
+        (* evaluations run inline: this worker must not fan out into the
+           pool it is itself running on (Domain_pool submit = deadlock) *)
+        let pool = Domain_pool.create ~jobs:1 () in
+        let* r = Lp_tune.Tune.tune_workload ~ctx ~pool cfg w in
+        Ok (P.payload_of_tune r, false))
   | P.Compile | P.Run | P.Explain ->
     let* src, scope = P.resolve_source req in
     let* machine, opts = P.resolve_target req in
@@ -234,7 +265,7 @@ let dispatch_once t (ctx : Compile.ctx) (req : P.request) :
           Report.with_scope scope @@ fun () ->
           let* _ = Compile.run_result ~ctx ~opts ~machine src in
           Ok (P.payload_of_explain rep, false)
-        | P.Ping | P.Pipeline | P.Stats | P.Shutdown -> assert false)
+        | P.Ping | P.Pipeline | P.Stats | P.Shutdown | P.Tune -> assert false)
   | P.Ping | P.Stats | P.Shutdown -> assert false (* answered inline *)
 
 (** Dispatch with the PR 2 retry contract: transient failures (bounded
@@ -260,6 +291,7 @@ let process_item t (it : item) =
     ~finally:(fun () -> with_inflight t (fun tbl -> Hashtbl.remove tbl it.it_iid))
     (fun () ->
       let id = it.it_req.P.id in
+      let version = it.it_req.P.version in
       if Deadline.expired it.it_token then begin
         (* expired while queued: shed before doing any work *)
         let msg =
@@ -267,7 +299,7 @@ let process_item t (it : item) =
             "request cancelled (deadline watchdog)"
           else "deadline exceeded while queued"
         in
-        send_err t it.it_conn ~id
+        send_err t it.it_conn ~id ?version
           (Diag.make Diag.Driver ~code:Deadline.code msg)
       end
       else begin
@@ -275,8 +307,8 @@ let process_item t (it : item) =
         match dispatch t ctx it.it_req with
         | Ok (payload, cached) ->
           if cached then bump t t.m.requests "serve.cache_replies";
-          send_ok t it.it_conn ~id ~op:it.it_req.P.op ~cached payload
-        | Error d -> send_err t it.it_conn ~id d
+          send_ok t it.it_conn ~id ~op:it.it_req.P.op ?version ~cached payload
+        | Error d -> send_err t it.it_conn ~id ?version d
       end)
 
 (** The long-lived request loop each pool worker runs: drain the bounded
@@ -353,15 +385,16 @@ let faulted t point ~key : (unit, Diag.t) result =
 let dispatch_request t (c : conn) (req : P.request) =
   bump t t.m.requests "serve.requests";
   let id = req.P.id in
+  let version = req.P.version in
   match req.P.op with
-  | P.Ping -> send_ok t c ~id ~op:P.Ping [ ("pong", Json.Bool true) ]
-  | P.Stats -> send_ok t c ~id ~op:P.Stats [ ("stats", stats_json t) ]
+  | P.Ping -> send_ok t c ~id ~op:P.Ping ?version [ ("pong", Json.Bool true) ]
+  | P.Stats -> send_ok t c ~id ~op:P.Stats ?version [ ("stats", stats_json t) ]
   | P.Shutdown ->
-    send_ok t c ~id ~op:P.Shutdown [ ("draining", Json.Bool true) ];
+    send_ok t c ~id ~op:P.Shutdown ?version [ ("draining", Json.Bool true) ];
     Atomic.set t.stop_flag true
-  | P.Compile | P.Run | P.Explain | P.Pipeline -> (
+  | P.Compile | P.Run | P.Explain | P.Pipeline | P.Tune -> (
     match faulted t Fault.Serve_dispatch ~key:"dispatch" with
-    | Error d -> send_err t c ~id d
+    | Error d -> send_err t c ~id ?version d
     | Ok () ->
       let deadline_ms =
         match req.P.deadline_ms with
@@ -392,7 +425,7 @@ let dispatch_request t (c : conn) (req : P.request) =
       | `Full | `Closed ->
         with_inflight t (fun tbl -> Hashtbl.remove tbl it.it_iid);
         bump t t.m.shed_overload "serve.shed_overload";
-        send_err t c ~id
+        send_err t c ~id ?version
           (Diag.make ~transient:true Diag.Serve ~code:P.code_overload
              "request queue full; retry after backoff")))
 

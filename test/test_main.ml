@@ -21,4 +21,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("serve", Test_serve.suite);
       ("predecode", Test_predecode.suite);
+      ("tune", Test_tune.suite);
     ]

@@ -45,7 +45,7 @@ let test_default_prints_stably () =
 
 let test_parse_round_trip () =
   match Pipeline.parse "constprop,fix(simplify-cfg,dce),strength-reduce" with
-  | Error e -> fail e
+  | Error e -> fail (Lp_util.Diag.to_string e)
   | Ok t ->
     check Alcotest.string "round trip"
       "run constprop\nfixpoint simplify-cfg dce\nrun strength-reduce\n"
@@ -58,6 +58,95 @@ let test_parse_rejects_garbage () =
       | Ok _ -> Alcotest.failf "spec %S must be rejected" spec
       | Error _ -> ())
     [ "no-such-pass"; "fix()"; "dce,fix(dce"; ""; "fix(no-such-pass)" ]
+
+let test_parse_diagnostics () =
+  (* every rejection is the stable E_PIPELINE_SPEC with the character
+     position where the scan stopped and the expected token *)
+  let expect spec ~pos ~expected =
+    match Pipeline.parse spec with
+    | Ok _ -> Alcotest.failf "spec %S must be rejected" spec
+    | Error d ->
+      check Alcotest.string (spec ^ ": code") Pipeline.code_spec
+        d.Lp_util.Diag.code;
+      let msg = d.Lp_util.Diag.message in
+      let has needle =
+        let nl = String.length needle and ml = String.length msg in
+        let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+        go 0
+      in
+      if not (has (Printf.sprintf "at character %d" pos)) then
+        Alcotest.failf "%S: message %S lacks position %d" spec msg pos;
+      if not (has (Printf.sprintf "expected %s" expected)) then
+        Alcotest.failf "%S: message %S lacks expected token %S" spec msg
+          expected
+  in
+  expect "" ~pos:0 ~expected:"a pass name or 'fix(...)'";
+  expect "dce,," ~pos:4 ~expected:"a pass name";
+  expect "fix(" ~pos:4 ~expected:"a pass name";
+  expect "fix()" ~pos:4 ~expected:"a pass name";
+  expect "dce,fix(dce" ~pos:11 ~expected:"',' or ')'";
+  expect "dce)" ~pos:3 ~expected:"',' or end of spec"
+
+(* ---------------- schedule files ---------------- *)
+
+let test_schedule_file_round_trip () =
+  let path = Filename.temp_file "lp-pipeline-test" ".sched" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let spec = "constprop,fix(simplify-cfg,dce),strength-reduce" in
+      let t =
+        match Pipeline.parse spec with
+        | Ok t -> t
+        | Error e -> fail (Lp_util.Diag.to_string e)
+      in
+      Pipeline.save_file ~name:"trip" ~comment:"round trip" path t;
+      (match Pipeline.load_file path with
+      | Ok t' -> check Alcotest.string "load inverts save" spec (Pipeline.to_spec t')
+      | Error d -> fail (Lp_util.Diag.to_string d));
+      (* resolve_spec dispatches @FILE to load_file, else parses inline *)
+      (match Pipeline.resolve_spec ("@" ^ path) with
+      | Ok t' -> check Alcotest.string "@FILE resolves" spec (Pipeline.to_spec t')
+      | Error d -> fail (Lp_util.Diag.to_string d));
+      match Pipeline.resolve_spec spec with
+      | Ok t' -> check Alcotest.string "inline resolves" spec (Pipeline.to_spec t')
+      | Error d -> fail (Lp_util.Diag.to_string d))
+
+let test_schedule_file_errors () =
+  let expect_spec_error label r =
+    match r with
+    | Ok _ -> Alcotest.failf "%s: must fail" label
+    | Error d ->
+      check Alcotest.string (label ^ ": code") Pipeline.code_spec
+        d.Lp_util.Diag.code
+  in
+  expect_spec_error "missing file"
+    (Pipeline.load_file "/nonexistent/lp-schedule.sched");
+  let path = Filename.temp_file "lp-pipeline-test" ".sched" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let write s =
+        let oc = open_out path in
+        output_string oc s;
+        close_out oc
+      in
+      write "# only a comment\n";
+      expect_spec_error "no spec line" (Pipeline.load_file path);
+      write "dce\nconstfold\n";
+      expect_spec_error "two spec lines" (Pipeline.load_file path);
+      write "# header\nno-such-pass\n";
+      expect_spec_error "bad spec in file" (Pipeline.load_file path))
+
+let test_flatten_resolves_conditionals () =
+  let flat = Pipeline.flatten ~mac_fusion:true Pipeline.default in
+  check Alcotest.string "flattened default spec"
+    "const-promote,fix(simplify-cfg,constfold,constprop,dce),unroll,fix(simplify-cfg,constfold,constprop,dce),mac-fusion,fix(constfold,dce),strength-reduce,fix(licm,constfold,dce,simplify-cfg)"
+    (Pipeline.to_spec flat);
+  let without = Pipeline.flatten ~mac_fusion:false Pipeline.default in
+  check Alcotest.string "mac-fusion arm dropped"
+    "const-promote,fix(simplify-cfg,constfold,constprop,dce),unroll,fix(simplify-cfg,constfold,constprop,dce),strength-reduce,fix(licm,constfold,dce,simplify-cfg)"
+    (Pipeline.to_spec without)
 
 let test_registry_covers_default () =
   (* every pass the default schedule runs is spellable in a --passes spec *)
@@ -131,10 +220,12 @@ let test_custom_pipeline_runs () =
   (* a cut-down schedule still compiles and simulates correctly *)
   let spec = "const-promote,fix(simplify-cfg,constfold,constprop,dce)" in
   let pipeline =
-    match Pipeline.parse spec with Ok t -> t | Error e -> fail e
+    match Pipeline.parse spec with
+    | Ok t -> t
+    | Error e -> fail (Lp_util.Diag.to_string e)
   in
   let opts =
-    { (Compile.full ~n_cores:4) with Compile.pipeline = Some pipeline }
+    Compile.Options.update ~pipeline (Compile.full ~n_cores:4)
   in
   let (_, o) = Compile.run ~opts ~machine (workload "fir") in
   let (_, o_def) =
@@ -151,6 +242,14 @@ let suite =
     Alcotest.test_case "default prints stably" `Quick test_default_prints_stably;
     Alcotest.test_case "parse round trip" `Quick test_parse_round_trip;
     Alcotest.test_case "parse rejects garbage" `Quick test_parse_rejects_garbage;
+    Alcotest.test_case "parse diagnostics carry position and expectation"
+      `Quick test_parse_diagnostics;
+    Alcotest.test_case "schedule files round-trip" `Quick
+      test_schedule_file_round_trip;
+    Alcotest.test_case "schedule file failures are E_PIPELINE_SPEC" `Quick
+      test_schedule_file_errors;
+    Alcotest.test_case "flatten resolves conditionals" `Quick
+      test_flatten_resolves_conditionals;
     Alcotest.test_case "registry covers default" `Quick test_registry_covers_default;
     Alcotest.test_case "explicit default == implicit" `Quick
       test_explicit_default_is_default;

@@ -105,6 +105,7 @@ let test_protocol_round_trip () =
   let req =
     {
       P.id = Json.Num 7.0;
+      version = Some 2;
       op = P.Run;
       src = P.Inline "int main() { return 0; }";
       machine = "pacduo";
@@ -112,6 +113,8 @@ let test_protocol_round_trip () =
       config = "pg+dvfs";
       passes = Some "constfold,dce";
       deadline_ms = Some 50;
+      budget = Some 20;
+      seed = Some 3;
     }
   in
   let frame = P.frame_of_request req in
@@ -145,6 +148,40 @@ let test_protocol_decode_errors () =
     (P.frame_id {|{"id":3,"op":"frobnicate"}|} = Json.Num 3.0);
   Alcotest.(check bool) "frame_id degrades to Null" true
     (P.frame_id "garbage" = Json.Null)
+
+(** Version negotiation: absent = v1, v1 and v2 accepted, anything else
+    is the stable [E_VERSION], and the v2-only [tune] op is refused on
+    v1 frames with [E_VERSION] (not [E_DECODE]). *)
+let test_protocol_versioning () =
+  let decode label frame =
+    match P.request_of_frame frame with
+    | Ok r -> Ok r
+    | Error d -> Error (label, d)
+  in
+  (match decode "absent" {|{"op":"ping"}|} with
+  | Ok r -> Alcotest.(check bool) "absent means v1" true (r.P.version = None)
+  | Error (l, d) -> Alcotest.failf "%s: %s" l (Lp_util.Diag.to_string d));
+  (match decode "v2" {|{"op":"ping","version":2}|} with
+  | Ok r -> Alcotest.(check bool) "v2 accepted" true (r.P.version = Some 2)
+  | Error (l, d) -> Alcotest.failf "%s: %s" l (Lp_util.Diag.to_string d));
+  let expect_code label want frame =
+    match P.request_of_frame frame with
+    | Ok _ -> Alcotest.failf "%s: must be rejected" label
+    | Error d -> Alcotest.(check string) label want d.Lp_util.Diag.code
+  in
+  expect_code "future version" "E_VERSION" {|{"op":"ping","version":3}|};
+  expect_code "version zero" "E_VERSION" {|{"op":"ping","version":0}|};
+  (* version is checked before the op, so a v3 frame with an unknown op
+     still reports the version problem *)
+  expect_code "version before op" "E_VERSION"
+    {|{"op":"frobnicate","version":7}|};
+  expect_code "non-integer version" "E_DECODE"
+    {|{"op":"ping","version":"two"}|};
+  expect_code "tune needs v2" "E_VERSION" {|{"op":"tune","workload":"fir"}|};
+  expect_code "tune without target" "E_DECODE" {|{"op":"tune","version":2}|};
+  match P.request_of_frame {|{"op":"tune","version":2,"workload":"fir"}|} with
+  | Ok r -> Alcotest.(check bool) "tune decodes under v2" true (r.P.op = P.Tune)
+  | Error d -> Alcotest.failf "tune v2: %s" (Lp_util.Diag.to_string d)
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end over a real socket                                       *)
@@ -274,6 +311,52 @@ let test_cache_reuse () =
     (Json.to_compact_string (strip [ "id"; "cached" ] first.P.r_payload))
     (Json.to_compact_string (strip [ "id"; "cached" ] second.P.r_payload))
 
+(** The v2 [tune] op end to end: a small-budget tune over the socket
+    returns a replayable spec plus the energy delta, echoes the request
+    version, and versionless frames keep the v1 reply shape. *)
+let test_tune_op () =
+  with_server "tune" @@ fun path _server ->
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  send_all fd
+    (P.frame_of_request
+       {
+         P.default_request with
+         P.id = Json.Num 1.0;
+         version = Some 2;
+         op = P.Tune;
+         src = P.Workload "fir";
+         config = "baseline";
+         budget = Some 10;
+         seed = Some 1;
+       });
+  let r = parse_reply (List.hd (read_frames fd 1)) in
+  Alcotest.(check bool) "tune ok" true r.P.r_ok;
+  Alcotest.(check bool) "version echoed" true
+    (Json.member "version" r.P.r_payload = Some (Json.Num 2.0));
+  (match Json.member "spec" r.P.r_payload with
+  | Some (Json.Str spec) -> (
+    match Lowpower.Pipeline.parse spec with
+    | Ok _ -> ()
+    | Error d ->
+      Alcotest.failf "returned spec must parse: %s" (Lp_util.Diag.to_string d))
+  | _ -> Alcotest.fail "tune reply must carry a spec");
+  (match
+     ( Json.member "baseline_energy_nj" r.P.r_payload,
+       Json.member "tuned_energy_nj" r.P.r_payload )
+   with
+  | Some (Json.Num b), Some (Json.Num t) ->
+    Alcotest.(check bool) "tuned never worse than baseline" true (t <= b)
+  | _ -> Alcotest.fail "tune reply must carry both energies");
+  (* a v1 frame on the same connection still gets the v1 reply shape *)
+  send_all fd
+    (P.frame_of_request
+       { P.default_request with P.id = Json.Num 2.0; op = P.Ping });
+  let pong = parse_reply (List.hd (read_frames fd 1)) in
+  Alcotest.(check bool) "v1 ping ok" true pong.P.r_ok;
+  Alcotest.(check bool) "no version field in v1 reply" true
+    (Json.member "version" pong.P.r_payload = None)
+
 (** The full load generator against an in-process server: mixed
     valid/malformed/deadline corpus, byte-identity verification on, and
     the CI acceptance gate must hold. *)
@@ -331,6 +414,9 @@ let suite =
       test_protocol_round_trip;
     Alcotest.test_case "malformed frames decode to E_DECODE" `Quick
       test_protocol_decode_errors;
+    Alcotest.test_case "version negotiation and E_VERSION" `Quick
+      test_protocol_versioning;
+    Alcotest.test_case "tune op over the socket (v2)" `Quick test_tune_op;
     Alcotest.test_case "deadline expires as E_DEADLINE" `Quick
       test_deadline_expiry;
     Alcotest.test_case "overload sheds transiently, answers everything"

@@ -1,0 +1,162 @@
+(** The energy-aware phase-ordering autotuner ([Lp_tune.Tune]): seeded
+    determinism across pool sizes, mutation soundness as a qcheck
+    property (every mutated candidate parse/print round-trips and
+    compiles every tuner workload without a foreign exception), and the
+    saved best schedule replaying to exactly the reported energy. *)
+
+module Tune = Lp_tune.Tune
+module Compile = Lowpower.Compile
+module Pipeline = Lowpower.Pipeline
+module Rng = Lp_util.Rng
+module Json = Lp_util.Json
+module Domain_pool = Lp_util.Domain_pool
+module Suite = Lp_workloads.Suite
+module Workload = Lp_workloads.Workload
+
+let workloads names = List.map Suite.find_exn names
+let machine = (Tune.default_config ()).Tune.machine
+
+let run_with_jobs ~jobs cfg names =
+  let pool = Domain_pool.create ~jobs () in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () ->
+      match Tune.run ~pool cfg (workloads names) with
+      | Ok s -> s
+      | Error d -> Alcotest.failf "tune failed: %s" (Lp_util.Diag.to_string d))
+
+(** Same seed, different pool sizes: the rendered table, every best
+    spec, and the whole BENCH JSON must be byte-identical. *)
+let test_determinism_across_jobs () =
+  let cfg = Tune.default_config ~budget:24 ~seed:7 () in
+  let names = [ "fir"; "jpegblocks" ] in
+  let s1 = run_with_jobs ~jobs:1 cfg names in
+  let s4 = run_with_jobs ~jobs:4 cfg names in
+  Alcotest.(check string)
+    "render byte-identical at jobs 1 vs 4" (Tune.render s1) (Tune.render s4);
+  Alcotest.(check string)
+    "BENCH json byte-identical at jobs 1 vs 4"
+    (Json.to_string (Tune.json_of s1))
+    (Json.to_string (Tune.json_of s4));
+  List.iter2
+    (fun (a : Tune.workload_result) (b : Tune.workload_result) ->
+      Alcotest.(check string)
+        ("best spec for " ^ a.Tune.tw_workload)
+        a.Tune.tw_best_spec b.Tune.tw_best_spec)
+    s1.Tune.t_workloads s4.Tune.t_workloads;
+  (* and the same config run twice is equal too (no hidden state) *)
+  let s1' = run_with_jobs ~jobs:1 cfg names in
+  Alcotest.(check string) "rerun identical" (Tune.render s1) (Tune.render s1')
+
+(** Mutation soundness: from the flattened default schedule, any chain
+    of mutations yields a schedule whose one-line spec parses back to
+    the same value, and that compiles every tuner workload with at most
+    a structured diagnostic — never a foreign exception. *)
+let prop_mutation_sound =
+  let ws = workloads Tune.default_workloads in
+  QCheck.Test.make ~count:25
+    ~name:"mutated schedules round-trip and compile every tuner workload"
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 8))
+    (fun (seed, steps) ->
+      let rng = Rng.create ~seed in
+      let t = ref (Pipeline.flatten ~mac_fusion:true Pipeline.default) in
+      for _ = 1 to steps do
+        t := Tune.mutate rng !t
+      done;
+      let spec = Pipeline.to_spec !t in
+      (match Pipeline.parse spec with
+      | Ok t' ->
+        (* pass records hold closures, so compare via the spec *)
+        if Pipeline.to_spec t' <> spec then
+          QCheck.Test.fail_reportf "parse(to_spec) changed the schedule: %s"
+            spec
+      | Error d ->
+        QCheck.Test.fail_reportf "mutated spec does not parse: %s (%s)" spec
+          (Lp_util.Diag.to_string d));
+      let opts = Compile.Options.update ~pipeline:!t Compile.baseline in
+      List.iter
+        (fun (w : Workload.t) ->
+          match Compile.compile_result ~opts ~machine w.Workload.source with
+          | Ok _ -> ()
+          | Error d ->
+            QCheck.Test.fail_reportf "%s under %s: %s" w.Workload.name spec
+              (Lp_util.Diag.to_string d))
+        ws;
+      true)
+
+(** [save_best] writes a schedule file that [lpcc run --passes @FILE]
+    replays to exactly the energy the tuner reported. *)
+let test_saved_schedule_replays () =
+  (* seed 1 / budget 100 on jpegblocks is the documented improving run *)
+  let cfg = Tune.default_config ~budget:100 ~seed:1 () in
+  let s = run_with_jobs ~jobs:2 cfg [ "jpegblocks" ] in
+  let best =
+    match Tune.best_improvement s with
+    | Some r -> r
+    | None -> Alcotest.fail "seed 1 budget 100 must improve jpegblocks"
+  in
+  Alcotest.(check bool)
+    "strictly better than baseline" true
+    (best.Tune.tw_best.Tune.energy_nj < best.Tune.tw_baseline.Tune.energy_nj);
+  let path = Filename.temp_file "lp-tune-test" ".sched" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match Tune.save_best s path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "save_best: %s" e);
+      let p =
+        match Pipeline.load_file path with
+        | Ok p -> p
+        | Error d ->
+          Alcotest.failf "saved schedule must load: %s"
+            (Lp_util.Diag.to_string d)
+      in
+      Alcotest.(check string)
+        "file carries the best spec" best.Tune.tw_best_spec (Pipeline.to_spec p);
+      let w = Suite.find_exn best.Tune.tw_workload in
+      let opts = Compile.Options.update ~pipeline:p Compile.baseline in
+      match Compile.run_result ~opts ~machine w.Workload.source with
+      | Error d -> Alcotest.failf "replay failed: %s" (Lp_util.Diag.to_string d)
+      | Ok (_, o) ->
+        Alcotest.(check (float 0.0))
+          "replay reproduces the tuned energy exactly"
+          best.Tune.tw_best.Tune.energy_nj
+          (Lp_power.Energy_ledger.total o.Lp_sim.Sim.energy))
+
+(** The tuner's own bookkeeping: counters are consistent and the JSON
+    document carries the schema tag and one entry per workload. *)
+let test_summary_shape () =
+  let cfg = Tune.default_config ~budget:12 ~seed:3 () in
+  let s = run_with_jobs ~jobs:1 cfg [ "fir" ] in
+  let r = List.hd s.Tune.t_workloads in
+  Alcotest.(check bool)
+    "budget respected" true
+    (r.Tune.tw_evaluated <= cfg.Tune.budget);
+  Alcotest.(check bool)
+    "evaluated + hits <= proposed + baseline" true
+    (r.Tune.tw_evaluated + r.Tune.tw_cache_hits <= r.Tune.tw_candidates + 1);
+  Alcotest.(check bool)
+    "best never worse than baseline" true
+    (not (Tune.better r.Tune.tw_baseline r.Tune.tw_best));
+  match Tune.json_of s with
+  | Json.Obj fields ->
+    Alcotest.(check bool)
+      "schema tag" true
+      (List.assoc_opt "schema" fields = Some (Json.Str Tune.schema));
+    (match List.assoc_opt "workloads" fields with
+    | Some (Json.List l) ->
+      Alcotest.(check int) "one entry per workload" 1 (List.length l)
+    | _ -> Alcotest.fail "json must carry a workloads list")
+  | _ -> Alcotest.fail "json must be an object"
+
+let suite =
+  [
+    Alcotest.test_case "seeded determinism across pool sizes" `Quick
+      test_determinism_across_jobs;
+    QCheck_alcotest.to_alcotest prop_mutation_sound;
+    Alcotest.test_case "saved best schedule replays to reported energy"
+      `Slow test_saved_schedule_replays;
+    Alcotest.test_case "summary counters and JSON shape" `Quick
+      test_summary_shape;
+  ]
