@@ -8,6 +8,7 @@
     - [workloads] list the bundled benchmark programs
     - [pipeline]  print the optimisation schedule as data
     - [bench]     regenerate the evaluation tables/figures
+    - [profile]   source-level energy profile (text, JSON, flamegraph, diff)
     - [fuzz]      fuzz the pipeline with generated MiniC programs
 
     Sources are MiniC files; [--workload NAME] substitutes a bundled
@@ -657,6 +658,122 @@ let fuzz_cmd_run seeds seed_start corpus cores trace =
           Printf.sprintf "%d finding(s); crash corpus written to %s/"
             (List.length findings) corpus )
 
+(* ---------------- profile ---------------- *)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let profile_cmd_run file file_b workload machine_kind cores config diff_mode
+    json_out flame_out passes faults trace report no_analysis_cache
+    no_sim_predecode deadline_ms =
+  let module PR = Lowpower.Profile_report in
+  if diff_mode then
+    match (file, file_b) with
+    | (Some a, Some b) ->
+      with_diagnostics @@ fun () ->
+        let parse path =
+          match Lp_util.Json.of_string_opt (read_file path) with
+          | Some j -> j
+          | None -> failwith (path ^ ": not valid JSON")
+        in
+        (match
+           PR.diff ~label_a:(Filename.basename a)
+             ~label_b:(Filename.basename b) (parse a) (parse b)
+         with
+        | Ok text -> print_string text; `Ok ()
+        | Error e -> `Error (false, e))
+    | _ -> `Error (false, "--diff needs two profile JSON files: lpcc profile --diff A.json B.json")
+  else if file_b <> None then
+    `Error (false, "a second file only makes sense with --diff")
+  else
+    match source_of ~file ~workload with
+    | Error e -> `Error (false, e)
+    | Ok (src, name) -> (
+      let pipeline =
+        match passes with
+        | None -> Ok None
+        | Some spec ->
+          Result.map Option.some (Lowpower.Pipeline.resolve_spec spec)
+      in
+      match pipeline with
+      | Error d -> `Error (false, Lp_util.Diag.to_string d)
+      | Ok pipeline ->
+      with_ctx ?faults ?trace ?report ~no_analysis_cache ~no_sim_predecode
+        ?deadline_ms
+      @@ fun ctx ->
+      with_diagnostics @@ fun () ->
+      Fault.with_scope name @@ fun () ->
+      Report.with_scope name @@ fun () ->
+        let machine = machine_of ~cores machine_kind in
+        let cores = min cores machine.Machine.n_cores in
+        let opts = opts_of ~cores config in
+        let opts = Compile.Options.update ?pipeline opts in
+        let sim_opts = { Sim.default_options with Sim.profile = true } in
+        let (compiled, o) =
+          match Compile.run_result ~ctx ~opts ~sim_opts ~machine src with
+          | Ok r -> r
+          | Error d -> raise (Diag.Error d)
+        in
+        print_string (PR.to_text ~prog:compiled.Compile.prog o);
+        Option.iter
+          (fun path ->
+            write_file path
+              (Lp_util.Json.to_string
+                 (PR.to_json ~source:name ~machine:machine.Machine.name o));
+            Printf.printf "profile json written to %s\n" path)
+          json_out;
+        Option.iter
+          (fun path ->
+            write_file path (PR.to_flamegraph o);
+            Printf.printf "flamegraph stacks written to %s\n" path)
+          flame_out;
+        `Ok ())
+
+let profile_cmd =
+  let doc =
+    "compile and simulate with the source-level energy profiler on, then \
+     print the function/loop/line energy hierarchy; optionally export the \
+     $(b,lowpower-profile/1) JSON artifact and collapsed flamegraph \
+     stacks, or diff two saved artifacts"
+  in
+  let file_b_arg =
+    Arg.(value & pos 1 (some file) None
+         & info [] ~docv:"FILE_B"
+             ~doc:"Second profile JSON (with $(b,--diff)).")
+  in
+  let diff_arg =
+    Arg.(value & flag
+         & info [ "diff" ]
+             ~doc:"Treat the two positional files as saved \
+                   $(b,lowpower-profile/1) artifacts and print the \
+                   per-line energy delta (B minus A) instead of running \
+                   anything.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the $(b,lowpower-profile/1) JSON artifact to \
+                   $(docv) (stable, deterministic: usable as \
+                   profile-guided-optimisation input and for \
+                   $(b,--diff)).")
+  in
+  let flame_arg =
+    Arg.(value & opt (some string) None
+         & info [ "flame" ] ~docv:"FILE"
+             ~doc:"Write collapsed flamegraph stacks \
+                   ($(b,func;line value-in-pJ)) to $(docv); render with \
+                   $(b,flamegraph.pl) or speedscope.")
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(ret (const profile_cmd_run $ file_arg $ file_b_arg $ workload_arg
+               $ machine_arg $ cores_arg $ config_arg $ diff_arg $ json_arg
+               $ flame_arg $ passes_arg $ faults_arg $ trace_file_arg
+               $ report_file_arg $ no_cache_arg $ no_predecode_arg
+               $ deadline_arg))
+
 (* ---------------- tune ---------------- *)
 
 let tune_cmd_run workloads all budget seed machine_kind cores config out json
@@ -802,4 +919,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ detect_cmd; run_cmd; explain_cmd; dump_cmd; workloads_cmd;
-            pipeline_cmd; bench_cmd; tune_cmd; serve_bench_cmd; fuzz_cmd ]))
+            pipeline_cmd; bench_cmd; tune_cmd; profile_cmd; serve_bench_cmd;
+            fuzz_cmd ]))

@@ -431,6 +431,8 @@ let effective_sim_opts ~(ctx : ctx) ~(opts : options)
     predecode =
       sim_opts.Lp_sim.Sim.predecode
       && not ctx.config.Runtime_config.no_sim_predecode;
+    profile =
+      sim_opts.Lp_sim.Sim.profile || ctx.config.Runtime_config.profile;
     deadline =
       (if ctx.deadline != Lp_util.Deadline.none then ctx.deadline
        else sim_opts.Lp_sim.Sim.deadline) }

@@ -1,0 +1,360 @@
+(** Rendering of source-level energy profiles ({!Lp_sim.Profile}).
+
+    Four surfaces, all deterministic functions of the profile (no
+    timestamps, no environment), so a server-side profile is
+    byte-identical to the one-shot CLI's:
+
+    - a hierarchical text report (function → loop → line, sorted by nJ,
+      with per-category columns and memory-boundedness counters);
+    - a stable JSON artifact (schema [lowpower-profile/1]) consumable
+      as profile-guided-optimisation input;
+    - a collapsed-stack flamegraph export ([flamegraph.pl] /
+      speedscope's "collapsed" importer);
+    - a diff of two JSON artifacts. *)
+
+module Profile = Lp_sim.Profile
+module Sim = Lp_sim.Sim
+module Ledger = Lp_power.Energy_ledger
+module Prog = Lp_ir.Prog
+module Ir = Lp_ir.Ir
+module Loops = Lp_analysis.Loops
+module Json = Lp_util.Json
+
+let schema = "lowpower-profile/1"
+
+let slot_total = Profile.slot_total
+
+(* ---------------- JSON artifact ---------------- *)
+
+let row_to_json (s : Profile.slot) : Json.t =
+  Json.Obj
+    [
+      ("func", Json.Str s.Profile.sl_func);
+      ("line", Json.Num (float_of_int s.Profile.sl_line));
+      ("total_nj", Json.Num (slot_total s));
+      ("nj", Json.List (Array.to_list (Array.map (fun x -> Json.Num x) s.Profile.sl_cat)));
+      ("cycles", Json.Num (float_of_int s.Profile.sl_cycles));
+      ("instrs", Json.Num (float_of_int s.Profile.sl_instrs));
+      ("bus_txns", Json.Num (float_of_int s.Profile.sl_bus_txns));
+      ("bus_words", Json.Num (float_of_int s.Profile.sl_bus_words));
+      ("bus_wait_ns", Json.Num s.Profile.sl_bus_wait_ns);
+    ]
+
+(** The [lowpower-profile/1] artifact.  [total_nj] is the energy
+    ledger's byte-exact machine total; [attributed_nj] is the sum over
+    rows, which agrees with it to ~1e-9 relative (partitioned sums round
+    differently from chronological accumulation — see
+    docs/OBSERVABILITY.md). *)
+let to_json ~source ~machine (o : Sim.outcome) : Json.t =
+  let rows =
+    match o.Sim.profile with
+    | Some p -> p
+    | None -> invalid_arg "Profile_report.to_json: outcome has no profile"
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("source", Json.Str source);
+      ("machine", Json.Str machine);
+      ("total_nj", Json.Num (Ledger.total o.Sim.energy));
+      ("attributed_nj", Json.Num (Profile.total rows));
+      ("duration_ns", Json.Num o.Sim.duration_ns);
+      ( "categories",
+        Json.List
+          (Array.to_list
+             (Array.map (fun n -> Json.Str n) Profile.category_names)) );
+      ("rows", Json.List (Array.to_list (Array.map row_to_json rows)));
+    ]
+
+(* ---------------- hierarchical text report ---------------- *)
+
+(** A loop of the final IR, for grouping: lines are attributed to the
+    innermost loop one of whose blocks carries an instruction with that
+    source line. *)
+type loop_info = {
+  li_header : int;
+  li_depth : int;
+  li_lines : (int, unit) Hashtbl.t;
+  li_span : (int * int) option;  (** min/max source line, when any *)
+}
+
+let loops_of_func (f : Prog.func) : loop_info list =
+  List.map
+    (fun (l : Loops.loop) ->
+      let lines = Hashtbl.create 16 in
+      let span = ref None in
+      Loops.LS.iter
+        (fun bid ->
+          let b = Prog.block f bid in
+          List.iter
+            (fun (i : Ir.instr) ->
+              let line = i.Ir.loc.Ir.line in
+              if line > 0 then begin
+                Hashtbl.replace lines line ();
+                span :=
+                  Some
+                    (match !span with
+                    | None -> (line, line)
+                    | Some (lo, hi) -> (min lo line, max hi line))
+              end)
+            b.Ir.instrs)
+        l.Loops.blocks;
+      {
+        li_header = l.Loops.header;
+        li_depth = l.Loops.depth;
+        li_lines = lines;
+        li_span = !span;
+      })
+    (Loops.find f)
+
+(** Innermost loop claiming [line] (deepest wins; ties to the lower
+    header id for determinism). *)
+let innermost_loop (loops : loop_info list) line : loop_info option =
+  List.fold_left
+    (fun acc li ->
+      if not (Hashtbl.mem li.li_lines line) then acc
+      else
+        match acc with
+        | None -> Some li
+        | Some best ->
+          if
+            li.li_depth > best.li_depth
+            || (li.li_depth = best.li_depth && li.li_header < best.li_header)
+          then Some li
+          else acc)
+    None loops
+
+let loop_label (li : loop_info) =
+  match li.li_span with
+  | Some (lo, hi) when lo <> hi ->
+    Printf.sprintf "loop@b%d [lines %d-%d]" li.li_header lo hi
+  | Some (lo, _) -> Printf.sprintf "loop@b%d [line %d]" li.li_header lo
+  | None -> Printf.sprintf "loop@b%d" li.li_header
+
+let line_label (s : Profile.slot) =
+  if s.Profile.sl_line = 0 then "(synthesised)"
+  else Printf.sprintf "line %d" s.Profile.sl_line
+
+(* sorted by energy, descending; ties by line for a stable order *)
+let by_energy_desc a b =
+  match compare (slot_total b) (slot_total a) with
+  | 0 -> compare a.Profile.sl_line b.Profile.sl_line
+  | c -> c
+
+let pct ~total x = if total > 0.0 then 100.0 *. x /. total else 0.0
+
+let row_columns (s : Profile.slot) =
+  let c = s.Profile.sl_cat in
+  Printf.sprintf
+    "%10.1f %8.1f %8.1f %8.1f %7.1f %7.1f %8.1f %9d %8d %6d %9.1f"
+    (slot_total s) c.(0) c.(1) c.(2) c.(3) c.(4) c.(5) s.Profile.sl_cycles
+    s.Profile.sl_instrs s.Profile.sl_bus_txns s.Profile.sl_bus_wait_ns
+
+let header_columns =
+  Printf.sprintf "%-34s %10s %8s %8s %8s %7s %7s %8s %9s %8s %6s %9s" ""
+    "nJ" "dyn" "leakA" "leakI" "gate" "dvfs" "comm" "cycles" "instrs"
+    "bus" "wait-ns"
+
+(** Hierarchical text report over the final IR [prog] (for loop
+    structure) and a profiled outcome. *)
+let to_text ~(prog : Prog.t) (o : Sim.outcome) : string =
+  let rows =
+    match o.Sim.profile with
+    | Some p -> p
+    | None -> invalid_arg "Profile_report.to_text: outcome has no profile"
+  in
+  let buf = Buffer.create 4096 in
+  let total = Ledger.total o.Sim.energy in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Energy profile: %.1f nJ total, %.1f ns simulated (%.4f%% attributed)\n"
+       total o.Sim.duration_ns (pct ~total (Profile.total rows)));
+  Buffer.add_string buf (header_columns ^ "\n");
+  (* group rows by function, keeping first-appearance (row-sorted) order
+     until sorting by energy *)
+  let funcs = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iter
+    (fun (s : Profile.slot) ->
+      match Hashtbl.find_opt funcs s.Profile.sl_func with
+      | Some l -> l := s :: !l
+      | None ->
+        Hashtbl.replace funcs s.Profile.sl_func (ref [ s ]);
+        order := s.Profile.sl_func :: !order)
+    rows;
+  let fentries =
+    List.map
+      (fun fname ->
+        let frows = List.rev !(Hashtbl.find funcs fname) in
+        let ftotal = List.fold_left (fun a s -> a +. slot_total s) 0.0 frows in
+        (fname, ftotal, frows))
+      (List.rev !order)
+  in
+  let fentries =
+    List.sort
+      (fun (na, ta, _) (nb, tb, _) ->
+        match compare tb ta with 0 -> compare na nb | c -> c)
+      fentries
+  in
+  List.iter
+    (fun (fname, ftotal, frows) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %5.1f%% %s\n"
+           fname (pct ~total ftotal)
+           (Printf.sprintf "%10.1f" ftotal));
+      let loops =
+        match Prog.find_func prog fname with
+        | Some f -> loops_of_func f
+        | None -> []
+      in
+      (* partition the function's rows into loop groups and bare lines *)
+      let groups = Hashtbl.create 8 in
+      let group_order = ref [] in
+      let bare = ref [] in
+      List.iter
+        (fun (s : Profile.slot) ->
+          match
+            if s.Profile.sl_line = 0 then None
+            else innermost_loop loops s.Profile.sl_line
+          with
+          | None -> bare := s :: !bare
+          | Some li -> (
+            match Hashtbl.find_opt groups li.li_header with
+            | Some (_, l) -> l := s :: !l
+            | None ->
+              Hashtbl.replace groups li.li_header (li, ref [ s ]);
+              group_order := li.li_header :: !group_order))
+        frows;
+      let entries =
+        List.map
+          (fun h ->
+            let (li, l) = Hashtbl.find groups h in
+            let ls = List.sort by_energy_desc (List.rev !l) in
+            let gtotal =
+              List.fold_left (fun a s -> a +. slot_total s) 0.0 ls
+            in
+            `Loop (li, gtotal, ls))
+          (List.rev !group_order)
+        @ List.map (fun s -> `Line s) (List.rev !bare)
+      in
+      let etotal = function
+        | `Loop (_, t, _) -> t
+        | `Line s -> slot_total s
+      in
+      let entries =
+        List.sort (fun a b -> compare (etotal b) (etotal a)) entries
+      in
+      List.iter
+        (function
+          | `Loop (li, gtotal, ls) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %-32s %s\n" (loop_label li)
+                 (Printf.sprintf "%10.1f" gtotal));
+            List.iter
+              (fun s ->
+                Buffer.add_string buf
+                  (Printf.sprintf "    %-30s %s\n" (line_label s)
+                     (row_columns s)))
+              ls
+          | `Line s ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %-32s %s\n" (line_label s) (row_columns s)))
+        entries)
+    fentries;
+  Buffer.contents buf
+
+(* ---------------- flamegraph export ---------------- *)
+
+(** Collapsed-stack export: one [frames value] line per row, value in
+    integer picojoules (flamegraph tooling sums integer sample counts).
+    Feed to [flamegraph.pl] or paste into speedscope. *)
+let to_flamegraph (o : Sim.outcome) : string =
+  let rows =
+    match o.Sim.profile with
+    | Some p -> p
+    | None -> invalid_arg "Profile_report.to_flamegraph: outcome has no profile"
+  in
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun (s : Profile.slot) ->
+      let pj = Float.round (slot_total s *. 1000.0) in
+      if pj >= 1.0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%s;%s %.0f\n" s.Profile.sl_func (line_label s) pj))
+    rows;
+  Buffer.contents buf
+
+(* ---------------- diff ---------------- *)
+
+let rows_of_artifact (j : Json.t) : ((string * int) * float) list option =
+  match Json.member "rows" j with
+  | Some (Json.List l) ->
+    let parse r =
+      match
+        ( Option.bind (Json.member "func" r) Json.to_string_opt,
+          Option.bind (Json.member "line" r) Json.to_float_opt,
+          Option.bind (Json.member "total_nj" r) Json.to_float_opt )
+      with
+      | (Some f, Some line, Some nj) -> Some ((f, int_of_float line), nj)
+      | _ -> None
+    in
+    let parsed = List.map parse l in
+    if List.exists (( = ) None) parsed then None
+    else Some (List.filter_map Fun.id parsed)
+  | _ -> None
+
+(** Render the per-line energy delta between two [lowpower-profile/1]
+    artifacts (B minus A), sorted by absolute delta. *)
+let diff ~label_a ~label_b (a : Json.t) (b : Json.t) :
+    (string, string) result =
+  let check j label =
+    match Json.member "schema" j with
+    | Some (Json.Str s) when s = schema -> Ok ()
+    | _ -> Error (Printf.sprintf "%s: not a %s artifact" label schema)
+  in
+  match (check a label_a, check b label_b) with
+  | (Error e, _) | (_, Error e) -> Error e
+  | (Ok (), Ok ()) -> (
+    match (rows_of_artifact a, rows_of_artifact b) with
+    | (None, _) | (_, None) -> Error "malformed profile rows"
+    | (Some ra, Some rb) ->
+      let keys = Hashtbl.create 64 in
+      List.iter (fun (k, _) -> Hashtbl.replace keys k ()) ra;
+      List.iter (fun (k, _) -> Hashtbl.replace keys k ()) rb;
+      let find rs k =
+        match List.assoc_opt k rs with Some v -> v | None -> 0.0
+      in
+      let deltas =
+        Hashtbl.fold
+          (fun k () acc ->
+            let va = find ra k and vb = find rb k in
+            if vb <> va then (k, va, vb) :: acc else acc)
+          keys []
+      in
+      let deltas =
+        List.sort
+          (fun ((fa, la), va, ba) ((fb, lb), vb, bb) ->
+            match compare (Float.abs (bb -. vb)) (Float.abs (ba -. va)) with
+            | 0 -> compare (fa, la) (fb, lb)
+            | c -> c)
+          deltas
+      in
+      let tot rs = List.fold_left (fun a (_, v) -> a +. v) 0.0 rs in
+      let (ta, tb) = (tot ra, tot rb) in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (Printf.sprintf "profile diff: %s -> %s\n" label_a label_b);
+      Buffer.add_string buf
+        (Printf.sprintf "  total: %.1f nJ -> %.1f nJ (%+.1f nJ, %+.2f%%)\n"
+           ta tb (tb -. ta)
+           (if ta > 0.0 then 100.0 *. (tb -. ta) /. ta else 0.0));
+      if deltas = [] then Buffer.add_string buf "  no per-line changes\n"
+      else
+        List.iter
+          (fun ((f, line), va, vb) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %-28s %10.1f -> %10.1f  (%+.1f nJ)\n"
+                 (if line = 0 then f else Printf.sprintf "%s:%d" f line)
+                 va vb (vb -. va)))
+          deltas;
+      Ok (Buffer.contents buf))

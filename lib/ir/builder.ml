@@ -5,18 +5,27 @@ type t = {
   func : Prog.func;
   mutable current : Ir.block;
   mutable sealed : bool;
+  mutable cur_loc : Ir.loc;
+      (** provenance stamped onto every emitted instruction; the lowering
+          pass updates it as it walks statements and expressions *)
 }
 
-let create func = { func; current = Prog.block func func.Prog.entry; sealed = false }
+let create func =
+  { func; current = Prog.block func func.Prog.entry; sealed = false;
+    cur_loc = Ir.no_loc }
 
 let func t = t.func
 
 let current_block t = t.current
 
+let set_loc t loc = t.cur_loc <- loc
+
+let cur_loc t = t.cur_loc
+
 (** Append an instruction to the current block and return it. *)
 let emit t idesc : Ir.instr =
   if t.sealed then invalid_arg "Builder.emit: current block already terminated";
-  let i = Prog.new_instr t.func idesc in
+  let i = Prog.new_instr ~loc:t.cur_loc t.func idesc in
   t.current.Ir.instrs <- t.current.Ir.instrs @ [ i ];
   i
 

@@ -71,7 +71,19 @@ type idesc =
   | Barrier of int                        (** barrier id *)
   | Faa of reg * sym * operand            (** d := fetch_add(sym[0], v) *)
 
-type instr = { iid : int; mutable idesc : idesc }
+(** Source provenance: the MiniC position an instruction was lowered
+    from.  [no_loc] (line 0) marks compiler-synthesised instructions with
+    no source counterpart (runtime glue, some power pseudo-instructions).
+    Transforms must preserve provenance: a cloned/fused/hoisted
+    instruction keeps the [loc] of the instruction it came from, and
+    instructions inserted next to existing code inherit a neighbour's
+    [loc] (see [Region.append]/[prepend]).  The energy profiler keys its
+    per-line attribution on this field. *)
+type loc = { line : int; col : int }
+
+let no_loc = { line = 0; col = 0 }
+
+type instr = { iid : int; mutable idesc : idesc; loc : loc }
 
 type term =
   | Jmp of label

@@ -104,7 +104,16 @@ let literal_int (e : Ast.expr) =
   | Ast.Int_lit n -> n
   | _ -> err "lowering: intrinsic id argument must be an integer literal"
 
+(* Source provenance: every instruction emitted while lowering an
+   expression or statement is stamped with that node's position.  The
+   parallelizer synthesises code at [Ast.dummy_pos] (line 0), which maps
+   to [Ir.no_loc]. *)
+let loc_of (p : Ast.position) : Ir.loc =
+  { Ir.line = p.Ast.line; col = p.Ast.col }
+
 let rec lower_expr env (b : Builder.t) (e : Ast.expr) : Ir.operand =
+  let l = loc_of e.Ast.epos in
+  Builder.set_loc b l;
   match e.Ast.edesc with
   | Ast.Int_lit n -> Ir.Imm (Ir.Cint n)
   | Ast.Float_lit f -> Ir.Imm (Ir.Cfloat f)
@@ -116,12 +125,14 @@ let rec lower_expr env (b : Builder.t) (e : Ast.expr) : Ir.operand =
       Ir.Reg (Builder.load b sym (Ir.Imm (Ir.Cint 0))))
   | Ast.Index (name, idx) -> (
     let idx_op = lower_expr env b idx in
+    Builder.set_loc b l;
     match lookup env name with
     | Barr (sym, _, _) -> Ir.Reg (Builder.load b sym idx_op)
     | Breg _ -> err "lowering: indexing a scalar %s" name)
   | Ast.Unop (op, a) -> (
     let ta = expr_ty env a in
     let a_op = lower_expr env b a in
+    Builder.set_loc b l;
     match (op, ta) with
     | (Ast.Neg, Ir.I) -> Ir.Reg (Builder.unop b Ir.Neg a_op)
     | (Ast.Neg, Ir.F) -> Ir.Reg (Builder.unop b Ir.Fneg a_op)
@@ -133,11 +144,13 @@ let rec lower_expr env (b : Builder.t) (e : Ast.expr) : Ir.operand =
     let ty = expr_ty env a in
     let a_op = lower_expr env b a in
     let b_op = lower_expr env b bb in
+    Builder.set_loc b l;
     let irop = match ty with Ir.I -> int_binop op | Ir.F -> float_binop op in
     Ir.Reg (Builder.binop b irop a_op b_op)
   | Ast.Cast (ty, a) -> (
     let ta = expr_ty env a in
     let a_op = lower_expr env b a in
+    Builder.set_loc b l;
     match (ir_ty_of_ast ty, ta) with
     | (Ir.I, Ir.F) -> Ir.Reg (Builder.unop b Ir.F2i a_op)
     | (Ir.F, Ir.I) -> Ir.Reg (Builder.unop b Ir.I2f a_op)
@@ -159,6 +172,7 @@ and lower_short_circuit env b op lhs rhs : Ir.operand =
   | _ -> assert false);
   (* short-circuit arm: result is 0 for &&, 1 for || *)
   Builder.switch_to b short_block;
+  Builder.set_loc b (loc_of lhs.Ast.epos);
   let short_val = match op with Ast.Land -> 0 | _ -> 1 in
   Builder.move b result (Ir.Imm (Ir.Cint short_val));
   Builder.set_term b (Ir.Jmp join_block.Ir.bid);
@@ -172,8 +186,10 @@ and lower_short_circuit env b op lhs rhs : Ir.operand =
   Ir.Reg result
 
 and lower_call env b ~name ~args ~want_value : Ir.operand =
+  let call_loc = Builder.cur_loc b in
   let intrinsic_result idesc_mk =
     let d = Prog.new_reg (Builder.func b) in
+    Builder.set_loc b call_loc;
     ignore (Builder.emit b (idesc_mk d));
     Ir.Reg d
   in
@@ -181,6 +197,7 @@ and lower_call env b ~name ~args ~want_value : Ir.operand =
   | ("__send", [ ch; v ]) | ("__sendf", [ ch; v ]) ->
     let chan = literal_int ch in
     let v_op = lower_expr env b v in
+    Builder.set_loc b call_loc;
     ignore (Builder.emit b (Ir.Send (chan, v_op)));
     Ir.Imm (Ir.Cint 0)
   | ("__recv", [ ch ]) ->
@@ -204,6 +221,7 @@ and lower_call env b ~name ~args ~want_value : Ir.operand =
     err "lowering: wrong arity for intrinsic %s" name
   | _ ->
     let arg_ops = List.map (lower_expr env b) args in
+    Builder.set_loc b call_loc;
     if want_value then Ir.Reg (Builder.call_reg b name arg_ops)
     else begin
       Builder.call b ~dst:None name arg_ops;
@@ -215,6 +233,8 @@ and lower_call env b ~name ~args ~want_value : Ir.operand =
 (* ------------------------------------------------------------------ *)
 
 let rec lower_stmt env (b : Builder.t) (s : Ast.stmt) : unit =
+  let sl = loc_of s.Ast.spos in
+  Builder.set_loc b sl;
   match s.Ast.sdesc with
   | Ast.Decl (Ast.Tarray (elem, len), name, _) ->
     let f = Builder.func b in
@@ -233,9 +253,11 @@ let rec lower_stmt env (b : Builder.t) (s : Ast.stmt) : unit =
         (* deterministic zero-initialisation *)
         Ir.Imm (match ir_ty with Ir.I -> Ir.Cint 0 | Ir.F -> Ir.Cfloat 0.0)
     in
+    Builder.set_loc b sl;
     Builder.move b r init_op
   | Ast.Assign (name, e) -> (
     let v = lower_expr env b e in
+    Builder.set_loc b sl;
     match lookup env name with
     | Breg (r, _) -> Builder.move b r v
     | Barr (sym, _, 1) -> Builder.store b sym (Ir.Imm (Ir.Cint 0)) v
@@ -243,6 +265,7 @@ let rec lower_stmt env (b : Builder.t) (s : Ast.stmt) : unit =
   | Ast.Store (name, idx, e) -> (
     let idx_op = lower_expr env b idx in
     let v = lower_expr env b e in
+    Builder.set_loc b sl;
     match lookup env name with
     | Barr (sym, _, _) -> Builder.store b sym idx_op v
     | Breg _ -> err "lowering: storing to scalar %s" name)

@@ -93,8 +93,8 @@ let new_block f : Ir.block =
   touch f;
   b
 
-let new_instr f idesc : Ir.instr =
-  { Ir.iid = Lp_util.Id_gen.fresh f.instr_gen; idesc }
+let new_instr ?(loc = Ir.no_loc) f idesc : Ir.instr =
+  { Ir.iid = Lp_util.Id_gen.fresh f.instr_gen; idesc; loc }
 
 let add_frame_array f ~name ~ty ~len =
   f.frame_arrays <- f.frame_arrays @ [ (name, ty, len) ];

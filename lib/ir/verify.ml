@@ -66,6 +66,15 @@ let verify_func (prog : Prog.t) (f : Prog.func) : unit =
         fail "%s: L%d references unknown global %s" f.Prog.fname b.Ir.bid
           s.Ir.sym_name
   in
+  (* provenance sanity: locs are never negative (line 0 = synthesised);
+     a negative coordinate means a transform fabricated one *)
+  Prog.iter_blocks f (fun b ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          if i.Ir.loc.Ir.line < 0 || i.Ir.loc.Ir.col < 0 then
+            fail "%s: L%d instruction %d has negative source loc %d:%d"
+              f.Prog.fname b.Ir.bid i.Ir.iid i.Ir.loc.Ir.line i.Ir.loc.Ir.col)
+        b.Ir.instrs);
   Prog.iter_blocks f (fun b ->
       List.iter
         (fun i ->

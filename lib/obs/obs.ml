@@ -16,6 +16,12 @@ type span = {
   sp_args : (string * arg) list;
 }
 
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  h_buckets : int array;  (** bucket [i] counts values in [2^(i-1), 2^i) *)
+}
+
 type t = {
   on : bool;
   clock : Clock.t;
@@ -24,6 +30,7 @@ type t = {
   mutable n_spans : int;
   ctrs : (string, int) Hashtbl.t;
   gaug : (string, float) Hashtbl.t;
+  hsts : (string, hist) Hashtbl.t;
   depths : (int, int) Hashtbl.t;  (** wall tid -> currently open spans *)
 }
 
@@ -39,6 +46,7 @@ let make ~on ~clock =
     n_spans = 0;
     ctrs = Hashtbl.create 16;
     gaug = Hashtbl.create 8;
+    hsts = Hashtbl.create 8;
     depths = Hashtbl.create 8;
   }
 
@@ -126,6 +134,83 @@ let set_gauge t name v =
   if t.on then locked t (fun () -> Hashtbl.replace t.gaug name v)
 
 (* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let hist_buckets = 64
+
+let hist_create () = { h_count = 0; h_sum = 0.0; h_buckets = Array.make hist_buckets 0 }
+
+(* bucket [i] holds values in [2^(i-1), 2^i): the value's binary
+   exponent, clamped.  Everything below 1 (and any non-finite or
+   non-positive junk) lands in bucket 0, so a quantile is always an
+   upper bound, never an undershoot *)
+let bucket_of v =
+  if not (Float.is_finite v) || v < 1.0 then 0
+  else
+    let (_, e) = Float.frexp v in
+    if e >= hist_buckets then hist_buckets - 1 else e
+
+let hist_record (h : hist) v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let hist_merge_into ~into:(dst : hist) (src : hist) =
+  dst.h_count <- dst.h_count + src.h_count;
+  dst.h_sum <- dst.h_sum +. src.h_sum;
+  Array.iteri (fun i n -> dst.h_buckets.(i) <- dst.h_buckets.(i) + n)
+    src.h_buckets
+
+let hist_copy (h : hist) =
+  { h_count = h.h_count; h_sum = h.h_sum; h_buckets = Array.copy h.h_buckets }
+
+let hist_count h = h.h_count
+let hist_sum h = h.h_sum
+
+let hist_quantile (h : hist) q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = Float.max 1.0 (Float.round (q *. float_of_int h.h_count)) in
+    let acc = ref 0 in
+    let b = ref 0 in
+    (try
+       for i = 0 to hist_buckets - 1 do
+         acc := !acc + h.h_buckets.(i);
+         if float_of_int !acc >= rank then begin
+           b := i;
+           raise Exit
+         end
+       done;
+       b := hist_buckets - 1
+     with Exit -> ());
+    (* upper bound of the bucket: the quantile is at most this *)
+    Float.ldexp 1.0 !b
+  end
+
+let hist_render (h : hist) =
+  Printf.sprintf "count=%d sum=%.3f p50<=%g p90<=%g p99<=%g" h.h_count h.h_sum
+    (hist_quantile h 0.5) (hist_quantile h 0.9) (hist_quantile h 0.99)
+
+let record_hist t name v =
+  if t.on then
+    locked t (fun () ->
+        let h =
+          match Hashtbl.find_opt t.hsts name with
+          | Some h -> h
+          | None ->
+            let h = hist_create () in
+            Hashtbl.replace t.hsts name h;
+            h
+        in
+        hist_record h v)
+
+let hist_of t name =
+  locked t (fun () -> Option.map hist_copy (Hashtbl.find_opt t.hsts name))
+
+(* ------------------------------------------------------------------ *)
 (* Inspection                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -137,6 +222,11 @@ let sorted_bindings tbl =
 
 let counters t = locked t (fun () -> sorted_bindings t.ctrs)
 let gauges t = locked t (fun () -> sorted_bindings t.gaug)
+
+let hists t =
+  locked t (fun () ->
+      List.sort compare
+        (Hashtbl.fold (fun k h acc -> (k, hist_copy h) :: acc) t.hsts []))
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event export                                           *)
@@ -244,9 +334,14 @@ let write_chrome t ~path =
 (* ------------------------------------------------------------------ *)
 
 let summary t =
-  let (sps, ctrs, gaug) =
+  let (sps, ctrs, gaug, hsts) =
     locked t (fun () ->
-        (List.rev t.rev_spans, sorted_bindings t.ctrs, sorted_bindings t.gaug))
+        ( List.rev t.rev_spans,
+          sorted_bindings t.ctrs,
+          sorted_bindings t.gaug,
+          List.sort compare
+            (Hashtbl.fold (fun k h acc -> (k, hist_copy h) :: acc) t.hsts [])
+        ))
   in
   let agg = Hashtbl.create 32 in
   List.iter
@@ -280,5 +375,13 @@ let summary t =
       (fun (name, v) ->
         Buffer.add_string buf (Printf.sprintf "  %-40s %g\n" name v))
       gaug
+  end;
+  if hsts <> [] then begin
+    Buffer.add_string buf "histograms:\n";
+    List.iter
+      (fun (name, h) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-40s %s\n" name (hist_render h)))
+      hsts
   end;
   Buffer.contents buf

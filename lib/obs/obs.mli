@@ -84,6 +84,49 @@ val add : t -> string -> int -> unit
 (** [set_gauge t name v] records the latest value of a gauge. *)
 val set_gauge : t -> string -> float -> unit
 
+(** {2 Histograms}
+
+    Log₂-bucketed histograms for latency-style distributions: bucket
+    [i] counts values in [2^(i-1), 2^i) (everything below 1 in bucket
+    0), so quantile estimates are upper bounds within a factor of 2.
+    Bucket counts are sums, so concurrent recording and merging are
+    deterministic whatever the domain interleaving.  With the
+    {!disabled} recorder, {!record_hist} is a no-op that takes no
+    lock. *)
+
+type hist
+
+(** A fresh standalone histogram (all zero), e.g. a merge target. *)
+val hist_create : unit -> hist
+
+(** [record_hist t name v] adds the sample [v] to the named histogram
+    (created empty).  No-op when disabled. *)
+val record_hist : t -> string -> float -> unit
+
+(** Snapshot of one named histogram; [None] if never recorded. *)
+val hist_of : t -> string -> hist option
+
+(** Snapshots of all histograms, sorted by name. *)
+val hists : t -> (string * hist) list
+
+(** Add one sample to a standalone histogram. *)
+val hist_record : hist -> float -> unit
+
+(** Add [src]'s counts and sum into [into]. *)
+val hist_merge_into : into:hist -> hist -> unit
+
+val hist_count : hist -> int
+
+(** Sum of the recorded samples (exact, not bucketed). *)
+val hist_sum : hist -> float
+
+(** [hist_quantile h q] is an upper bound on the [q]-quantile (the
+    upper edge of the bucket the rank falls in); [0.0] when empty. *)
+val hist_quantile : hist -> float -> float
+
+(** One-line rendering: count, sum, p50/p90/p99 upper bounds. *)
+val hist_render : hist -> string
+
 (** {2 Inspection and export} *)
 
 (** Completed spans, oldest first. *)

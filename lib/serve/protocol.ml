@@ -34,7 +34,9 @@ let version_supported v = v = 1 || v = current_version
 (* Requests                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type op = Ping | Compile | Run | Explain | Pipeline | Stats | Shutdown | Tune
+type op =
+  | Ping | Compile | Run | Explain | Pipeline | Stats | Shutdown | Tune
+  | Profile
 
 let op_name = function
   | Ping -> "ping"
@@ -45,6 +47,7 @@ let op_name = function
   | Stats -> "stats"
   | Shutdown -> "shutdown"
   | Tune -> "tune"
+  | Profile -> "profile"
 
 let op_of_name = function
   | "ping" -> Some Ping
@@ -55,6 +58,7 @@ let op_of_name = function
   | "stats" -> Some Stats
   | "shutdown" -> Some Shutdown
   | "tune" -> Some Tune
+  | "profile" -> Some Profile
   | _ -> None
 
 type source = Inline of string | Workload of string | No_source
@@ -143,8 +147,8 @@ let request_of_frame line =
     in
     let* () =
       match op with
-      | Tune when Option.value ~default:1 version < 2 ->
-        version_error "op \"tune\" requires protocol version 2"
+      | (Tune | Profile) when Option.value ~default:1 version < 2 ->
+        version_error "op %S requires protocol version 2" op_str
       | _ -> Ok ()
     in
     let id = Option.value ~default:Json.Null (Json.member "id" obj) in
@@ -152,11 +156,13 @@ let request_of_frame line =
     let* workload = opt_str_field obj "workload" in
     let* src =
       match (op, inline, workload) with
-      | (Compile | Run | Explain | Tune), Some _, Some _ ->
+      | (Compile | Run | Explain | Tune | Profile), Some _, Some _ ->
         decode_error "give either \"source\" or \"workload\", not both"
-      | (Compile | Run | Explain | Tune), Some s, None -> Ok (Inline s)
-      | (Compile | Run | Explain | Tune), None, Some w -> Ok (Workload w)
-      | (Compile | Run | Explain | Tune), None, None ->
+      | (Compile | Run | Explain | Tune | Profile), Some s, None ->
+        Ok (Inline s)
+      | (Compile | Run | Explain | Tune | Profile), None, Some w ->
+        Ok (Workload w)
+      | (Compile | Run | Explain | Tune | Profile), None, None ->
         decode_error "op %S needs a \"source\" or \"workload\"" op_str
       | (Ping | Pipeline | Stats | Shutdown), _, _ -> Ok No_source
     in
@@ -431,6 +437,18 @@ let payload_of_pipeline ~passes =
     match Pipeline.resolve_spec spec with
     | Ok p -> Ok [ ("pipeline", Json.Str (Pipeline.to_string p)) ]
     | Error d -> Error d)
+
+(* the whole lowpower-profile/1 artifact, verbatim: extracting the
+   "profile" member and re-serialising it with [Json.to_string] yields
+   the exact bytes `lpcc profile --json` writes (same builder, same
+   serialiser) *)
+let payload_of_profile ~source (c : Compile.compiled)
+    (o : Lp_sim.Sim.outcome) =
+  [
+    ( "profile",
+      Lowpower.Profile_report.to_json ~source
+        ~machine:c.Compile.machine.Machine.name o );
+  ]
 
 let payload_of_tune (r : Lp_tune.Tune.workload_result) =
   [

@@ -53,6 +53,10 @@ type op =
   | Shutdown    (** acknowledge, then drain and exit *)
   | Tune        (** v2: small-budget phase-ordering tune of one program;
                     reply carries the best spec and the energy delta *)
+  | Profile     (** v2: compile and simulate with the source-level energy
+                    profiler on; reply carries the [lowpower-profile/1]
+                    artifact, byte-identical (once re-serialised) to
+                    [lpcc profile --json] *)
 
 val op_name : op -> string
 
@@ -162,3 +166,13 @@ val payload_of_pipeline :
 (** Tune result: best spec, baseline/tuned energy, improvement, search
     effort.  Deterministic for a given (seed, budget, target). *)
 val payload_of_tune : Lp_tune.Tune.workload_result -> (string * Json.t) list
+
+(** The [lowpower-profile/1] artifact of a profiled outcome, embedded
+    verbatim under ["profile"].  [source] is the scope label ("inline"
+    or the workload name) so a served profile of a workload matches the
+    one-shot [lpcc profile -w NAME --json] bytes exactly. *)
+val payload_of_profile :
+  source:string ->
+  Compile.compiled ->
+  Lp_sim.Sim.outcome ->
+  (string * Json.t) list

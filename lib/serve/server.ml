@@ -110,6 +110,10 @@ type t = {
   next_iid : int Atomic.t;
   cache : Compile.compiled Cache.t;
   m : metrics;
+  lat : Obs.t;
+      (** always-on recorder holding only the per-op request-latency
+          histograms surfaced by [stats] — independent of [ctx.obs],
+          which is enabled only when the operator asked for a trace *)
   mutable joined : bool;
 }
 
@@ -231,7 +235,7 @@ let dispatch_once t (ctx : Compile.ctx) (req : P.request) :
         let pool = Domain_pool.create ~jobs:1 () in
         let* r = Lp_tune.Tune.tune_workload ~ctx ~pool cfg w in
         Ok (P.payload_of_tune r, false))
-  | P.Compile | P.Run | P.Explain ->
+  | P.Compile | P.Run | P.Explain | P.Profile ->
     let* src, scope = P.resolve_source req in
     let* machine, opts = P.resolve_target req in
     let key = cache_key req src in
@@ -258,6 +262,24 @@ let dispatch_once t (ctx : Compile.ctx) (req : P.request) :
             let* c, outcome = Compile.run_result ~ctx ~opts ~machine src in
             if use_cache then Cache.add t.cache key c;
             Ok (P.payload_of_run c outcome, false))
+        | P.Profile ->
+          (* a profiled run reuses the warm compile cache: attribution
+             is a pure simulation-side observer, so the cached program
+             re-simulated with profiling on yields the exact artifact a
+             cold one-shot `lpcc profile --json` writes *)
+          let sim_opts =
+            { Lp_sim.Sim.default_options with Lp_sim.Sim.profile = true }
+          in
+          let* (c, cached) =
+            match if use_cache then Cache.find t.cache key else None with
+            | Some c -> Ok (c, true)
+            | None ->
+              let* c = Compile.compile_result ~ctx ~opts ~machine src in
+              if use_cache then Cache.add t.cache key c;
+              Ok (c, false)
+          in
+          let o = Compile.simulate_compiled ~ctx ~sim_opts c in
+          Ok (P.payload_of_profile ~source:scope c o, cached)
         | P.Explain ->
           (* explain IS the report: fresh, always-on, request-local *)
           let rep = Report.create () in
@@ -304,7 +326,12 @@ let process_item t (it : item) =
       end
       else begin
         let ctx = { t.ctx with Compile.deadline = it.it_token } in
-        match dispatch t ctx it.it_req with
+        let result = dispatch t ctx it.it_req in
+        (* enqueue-to-reply latency, per op, in log2 millisecond buckets *)
+        Obs.record_hist t.lat
+          ("serve.latency_ms." ^ P.op_name it.it_req.P.op)
+          ((Unix.gettimeofday () -. it.it_enq_at) *. 1e3);
+        match result with
         | Ok (payload, cached) ->
           if cached then bump t t.m.requests "serve.cache_replies";
           send_ok t it.it_conn ~id ~op:it.it_req.P.op ?version ~cached payload
@@ -359,6 +386,29 @@ let stats_json t =
             ( "invalidations",
               Json.Num (float_of_int (Cache.invalidations t.cache)) );
           ] );
+      ( "latency_ms",
+        (* per-op enqueue-to-reply histograms; quantiles are log2-bucket
+           upper bounds *)
+        Json.Obj
+          (List.filter_map
+             (fun (name, h) ->
+               match
+                 String.length name > 17
+                 && String.sub name 0 17 = "serve.latency_ms."
+               with
+               | false -> None
+               | true ->
+                 Some
+                   ( String.sub name 17 (String.length name - 17),
+                     Json.Obj
+                       [
+                         ("count", Json.Num (float_of_int (Obs.hist_count h)));
+                         ("sum_ms", Json.Num (Obs.hist_sum h));
+                         ("p50_ms", Json.Num (Obs.hist_quantile h 0.5));
+                         ("p90_ms", Json.Num (Obs.hist_quantile h 0.9));
+                         ("p99_ms", Json.Num (Obs.hist_quantile h 0.99));
+                       ] ))
+             (Obs.hists t.lat)) );
     ]
 
 (** Reach a serve-side fault point with retry-with-backoff: transient
@@ -392,7 +442,7 @@ let dispatch_request t (c : conn) (req : P.request) =
   | P.Shutdown ->
     send_ok t c ~id ~op:P.Shutdown ?version [ ("draining", Json.Bool true) ];
     Atomic.set t.stop_flag true
-  | P.Compile | P.Run | P.Explain | P.Pipeline | P.Tune -> (
+  | P.Compile | P.Run | P.Explain | P.Pipeline | P.Tune | P.Profile -> (
     match faulted t Fault.Serve_dispatch ~key:"dispatch" with
     | Error d -> send_err t c ~id ?version d
     | Ok () ->
@@ -627,6 +677,7 @@ let start ?(ctx = Compile.default_ctx) (o : opts) : t =
         next_iid = Atomic.make 1;
         cache = Cache.create ~capacity:o.cache_capacity;
         m = make_metrics ();
+        lat = Obs.create ();
         joined = false;
       }
     with e ->

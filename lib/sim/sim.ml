@@ -141,6 +141,14 @@ and core = {
   mutable cycles : int;       (** compute cycles issued (pre-DVFS-stretch) *)
   mutable bus_txns : int;     (** shared-bus transactions *)
   mutable bus_words : int;    (** words moved over the shared bus *)
+  prof_on : bool;             (** sampled once from [options.profile] *)
+  prof : Profile.tab;         (** per-core attribution table *)
+  mutable prof_cur : Profile.slot;
+      (** slot the next charge attributes to; the steppers point it at
+          the executing instruction's (function, line) slot, and it
+          keeps pointing at a blocking Send/Recv/Barrier while the core
+          is blocked, so blocked-time leakage lands on the instruction
+          that blocked *)
 }
 
 type chan = {
@@ -169,6 +177,10 @@ type options = {
           decision; expiry raises the [E_DEADLINE] diagnostic.  Does not
           affect simulated state, so outcomes that finish in time are
           byte-identical with and without a deadline *)
+  profile : bool;
+      (** attribute every charged nanojoule to the source line that
+          spent it (see {!Profile}).  A pure observer: cycles, ledgers
+          and the outcome are byte-identical with profiling on or off *)
 }
 
 let default_options =
@@ -178,6 +190,7 @@ let default_options =
     trace_limit = 0;
     predecode = true;
     deadline = Lp_util.Deadline.none;
+    profile = false;
   }
 
 (** A recorded power/communication event: core id, nanosecond timestamp,
@@ -398,6 +411,10 @@ let[@inline always] advance t (c : core) dt ~idle =
     let lci = if idle then 2 else 1 in
     Array.unsafe_set c.lg_cat lci (Array.unsafe_get c.lg_cat lci +. nj);
     Array.unsafe_set c.lg_tot 0 (Array.unsafe_get c.lg_tot 0 +. nj);
+    if c.prof_on then begin
+      let sc = c.prof_cur.Profile.sl_cat in
+      Array.unsafe_set sc lci (Array.unsafe_get sc lci +. nj)
+    end;
     c.clk.time <- c.clk.time +. dt;
     if not idle then c.clk.busy_ns <- c.clk.busy_ns +. dt
   end
@@ -410,12 +427,19 @@ let resume_at t (c : core) target =
     current operating point) and feeds the per-core cycle counter. *)
 let spend t (c : core) n =
   c.cycles <- c.cycles + n;
+  if c.prof_on then
+    c.prof_cur.Profile.sl_cycles <- c.prof_cur.Profile.sl_cycles + n;
   advance t c (cycle_ns c n) ~idle:false
 
 let charge_dynamic t (c : core) comp =
   let pm = t.machine.Machine.power in
+  let nj = Power_model.dynamic_energy pm ~comp ~point:c.point ~ops:1 in
   Energy_ledger.charge c.ledger ~category:Energy_ledger.Dynamic ~component:comp
-    (Power_model.dynamic_energy pm ~comp ~point:c.point ~ops:1)
+    nj;
+  if c.prof_on then begin
+    let sc = c.prof_cur.Profile.sl_cat in
+    Array.unsafe_set sc 0 (Array.unsafe_get sc 0 +. nj)
+  end
 
 (** Serialise a shared-bus transaction: the core waits for the bus, holds
     it for the transfer, then pays [extra_ns] (e.g. memory array access)
@@ -432,11 +456,20 @@ let bus_access t (c : core) ~words ~extra_ns =
   c.bus_txns <- c.bus_txns + 1;
   c.bus_words <- c.bus_words + words;
   c.clk.bus_wait_ns <- c.clk.bus_wait_ns +. (start -. c.clk.time);
+  let nj = float_of_int words *. m.Machine.bus_energy_per_word_nj in
+  if c.prof_on then begin
+    let s = c.prof_cur in
+    s.Profile.sl_bus_txns <- s.Profile.sl_bus_txns + 1;
+    s.Profile.sl_bus_words <- s.Profile.sl_bus_words + words;
+    s.Profile.sl_bus_wait_ns <-
+      s.Profile.sl_bus_wait_ns +. (start -. c.clk.time);
+    let sc = s.Profile.sl_cat in
+    Array.unsafe_set sc 5 (Array.unsafe_get sc 5 +. nj)
+  end;
   t.bus_free.(0) <- start +. bus_ns;
   let finish = start +. bus_ns +. extra_ns in
   advance t c (finish -. c.clk.time) ~idle:false;
-  Energy_ledger.charge c.ledger ~category:Energy_ledger.Communication
-    (float_of_int words *. m.Machine.bus_energy_per_word_nj)
+  Energy_ledger.charge c.ledger ~category:Energy_ledger.Communication nj
 
 (* ------------------------------------------------------------------ *)
 (* Memory                                                              *)
@@ -492,6 +525,11 @@ let ensure_powered t (c : core) comp =
     c.gate_transitions <- c.gate_transitions + 1;
     Energy_ledger.charge c.ledger ~category:Energy_ledger.Gating_overhead
       pm.Power_model.gate_energy_nj;
+    if c.prof_on then begin
+      let sc = c.prof_cur.Profile.sl_cat in
+      Array.unsafe_set sc 3
+        (Array.unsafe_get sc 3 +. pm.Power_model.gate_energy_nj)
+    end;
     spend t c pm.Power_model.wake_latency_cycles
   end
 
@@ -507,6 +545,13 @@ let complete_send t (sender : core) chan_id v =
   advance t sender link_ns ~idle:false;
   Energy_ledger.charge sender.ledger ~category:Energy_ledger.Communication
     m.Machine.bus_energy_per_word_nj;
+  if sender.prof_on then begin
+    (* a sender unblocked by [unblock_pass] still points at its Send
+       slot, so the deferred transfer energy attributes correctly *)
+    let sc = sender.prof_cur.Profile.sl_cat in
+    Array.unsafe_set sc 5
+      (Array.unsafe_get sc 5 +. m.Machine.bus_energy_per_word_nj)
+  end;
   Queue.push (v, sender.clk.time) ch.queue;
   ch.total_msgs <- ch.total_msgs + 1;
   (* a blocked receiver may now have data *)
@@ -654,7 +699,12 @@ let exec_instr t (c : core) (fr : frame) (di : Predecode.dinstr) =
           c.powered.(k) <- false;
           c.gate_transitions <- c.gate_transitions + 1;
           Energy_ledger.charge c.ledger ~category:Energy_ledger.Gating_overhead
-            pm.Power_model.gate_energy_nj
+            pm.Power_model.gate_energy_nj;
+          if c.prof_on then begin
+            let sc = c.prof_cur.Profile.sl_cat in
+            Array.unsafe_set sc 3
+              (Array.unsafe_get sc 3 +. pm.Power_model.gate_energy_nj)
+          end
         end)
       comps;
     recompute_leak t c
@@ -669,7 +719,12 @@ let exec_instr t (c : core) (fr : frame) (di : Predecode.dinstr) =
           any := true;
           c.gate_transitions <- c.gate_transitions + 1;
           Energy_ledger.charge c.ledger ~category:Energy_ledger.Gating_overhead
-            pm.Power_model.gate_energy_nj
+            pm.Power_model.gate_energy_nj;
+          if c.prof_on then begin
+            let sc = c.prof_cur.Profile.sl_cat in
+            Array.unsafe_set sc 3
+              (Array.unsafe_get sc 3 +. pm.Power_model.gate_energy_nj)
+          end
         end)
       comps;
     recompute_leak t c;
@@ -682,6 +737,11 @@ let exec_instr t (c : core) (fr : frame) (di : Predecode.dinstr) =
       spend t c pm.Power_model.dvfs_latency_cycles;
       Energy_ledger.charge c.ledger ~category:Energy_ledger.Dvfs_overhead
         pm.Power_model.dvfs_energy_nj;
+      if c.prof_on then begin
+        let sc = c.prof_cur.Profile.sl_cat in
+        Array.unsafe_set sc 4
+          (Array.unsafe_get sc 4 +. pm.Power_model.dvfs_energy_nj)
+      end;
       c.point <- target;
       refresh_point_caches t c;
       c.dvfs_transitions <- c.dvfs_transitions + 1;
@@ -729,7 +789,9 @@ let exec_instr t (c : core) (fr : frame) (di : Predecode.dinstr) =
     b.arrived <- (c.id, c.clk.time) :: b.arrived;
     c.status <- Blocked_barrier bid;
     release_barrier t bid);
-  c.instr_count <- c.instr_count + 1
+  c.instr_count <- c.instr_count + 1;
+  if c.prof_on then
+    c.prof_cur.Profile.sl_instrs <- c.prof_cur.Profile.sl_instrs + 1
 
 let missing_block_err l fname =
   invalid_arg (Printf.sprintf "Prog.block: no L%d in %s" l fname)
@@ -757,9 +819,27 @@ let step_interp t (c : core) =
     if fr.idx < Array.length db.Predecode.db_instrs then begin
       let di = db.Predecode.db_instrs.(fr.idx) in
       fr.idx <- fr.idx + 1;
+      if c.prof_on then
+        c.prof_cur <-
+          Profile.slot c.prof fr.func.Prog.fname
+            di.Predecode.di_instr.Ir.loc.Ir.line;
       exec_instr t c fr di
     end
-    else exec_term t c fr db.Predecode.db_term
+    else begin
+      if c.prof_on then begin
+        (* a terminator attributes to the line of the last instruction
+           of its block (0 for empty blocks) — same rule the compiled
+           mode bakes in at compile time *)
+        let instrs = db.Predecode.db_instrs in
+        let n = Array.length instrs in
+        let line =
+          if n = 0 then 0
+          else instrs.(n - 1).Predecode.di_instr.Ir.loc.Ir.line
+        in
+        c.prof_cur <- Profile.slot c.prof fr.func.Prog.fname line
+      end;
+      exec_term t c fr db.Predecode.db_term
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Closure compilation (compiled mode)                                 *)
@@ -773,16 +853,23 @@ let step_interp t (c : core) =
    dynamic energies (no [**] per instruction), and cycle→ns factors (no
    division per instruction). *)
 
-let bump (c : core) = c.instr_count <- c.instr_count + 1
+let bump (c : core) =
+  c.instr_count <- c.instr_count + 1;
+  if c.prof_on then
+    c.prof_cur.Profile.sl_instrs <- c.prof_cur.Profile.sl_instrs + 1
 
 let branch_idx = Component.index Component.Branch_unit
 
 let[@inline always] spend1 t (c : core) =
   c.cycles <- c.cycles + 1;
+  if c.prof_on then
+    c.prof_cur.Profile.sl_cycles <- c.prof_cur.Profile.sl_cycles + 1;
   advance t c c.clk.ns_per_cycle ~idle:false
 
 let[@inline always] spend_nf t (c : core) n fn =
   c.cycles <- c.cycles + n;
+  if c.prof_on then
+    c.prof_cur.Profile.sl_cycles <- c.prof_cur.Profile.sl_cycles + n;
   advance t c (fn *. c.clk.ns_per_cycle) ~idle:false
 
 (* A cycle cost known at decode time compiles to a direct [spend_nf]
@@ -797,7 +884,11 @@ let[@inline always] charge_dyn (c : core) ci =
   if nj < 0.0 then Energy_ledger.negative_energy ();
   Array.unsafe_set c.lg_cat 0 (Array.unsafe_get c.lg_cat 0 +. nj);
   Array.unsafe_set c.lg_comp ci (Array.unsafe_get c.lg_comp ci +. nj);
-  Array.unsafe_set c.lg_tot 0 (Array.unsafe_get c.lg_tot 0 +. nj)
+  Array.unsafe_set c.lg_tot 0 (Array.unsafe_get c.lg_tot 0 +. nj);
+  if c.prof_on then begin
+    let sc = c.prof_cur.Profile.sl_cat in
+    Array.unsafe_set sc 0 (Array.unsafe_get sc 0 +. nj)
+  end
 
 (** Is it [c]'s turn to execute a {e globally-visible} instruction —
     one that touches state other cores can observe (shared memory, the
@@ -821,6 +912,15 @@ let bus_access1 t (c : core) =
   c.bus_txns <- c.bus_txns + 1;
   c.bus_words <- c.bus_words + 1;
   c.clk.bus_wait_ns <- c.clk.bus_wait_ns +. (start -. c.clk.time);
+  if c.prof_on then begin
+    let s = c.prof_cur in
+    s.Profile.sl_bus_txns <- s.Profile.sl_bus_txns + 1;
+    s.Profile.sl_bus_words <- s.Profile.sl_bus_words + 1;
+    s.Profile.sl_bus_wait_ns <-
+      s.Profile.sl_bus_wait_ns +. (start -. c.clk.time);
+    let sc = s.Profile.sl_cat in
+    Array.unsafe_set sc 5 (Array.unsafe_get sc 5 +. t.bus_word_energy_nj)
+  end;
   Array.unsafe_set t.bus_free 0 (start +. t.bus_txn1_ns);
   let finish = start +. t.bus_txn1_ns +. t.shared_extra_ns in
   advance t c (finish -. c.clk.time) ~idle:false;
@@ -841,6 +941,11 @@ let wakeup_compiled t (c : core) comp ci =
   c.gate_transitions <- c.gate_transitions + 1;
   Energy_ledger.charge c.ledger ~category:Energy_ledger.Gating_overhead
     pm.Power_model.gate_energy_nj;
+  if c.prof_on then begin
+    let sc = c.prof_cur.Profile.sl_cat in
+    Array.unsafe_set sc 3
+      (Array.unsafe_get sc 3 +. pm.Power_model.gate_energy_nj)
+  end;
   spend_nf t c pm.Power_model.wake_latency_cycles
     (float_of_int pm.Power_model.wake_latency_cycles)
 
@@ -1327,7 +1432,11 @@ let compile_instr t (df : Predecode.dfunc) (di : Predecode.dinstr) :
             any := true;
             c.gate_transitions <- c.gate_transitions + 1;
             Energy_ledger.charge c.ledger
-              ~category:Energy_ledger.Gating_overhead ge
+              ~category:Energy_ledger.Gating_overhead ge;
+            if c.prof_on then begin
+              let sc = c.prof_cur.Profile.sl_cat in
+              Array.unsafe_set sc 3 (Array.unsafe_get sc 3 +. ge)
+            end
           end)
         idxs;
       if !any then c.leak_dirty <- true;
@@ -1352,7 +1461,11 @@ let compile_instr t (df : Predecode.dfunc) (di : Predecode.dinstr) :
             any := true;
             c.gate_transitions <- c.gate_transitions + 1;
             Energy_ledger.charge c.ledger
-              ~category:Energy_ledger.Gating_overhead ge
+              ~category:Energy_ledger.Gating_overhead ge;
+            if c.prof_on then begin
+              let sc = c.prof_cur.Profile.sl_cat in
+              Array.unsafe_set sc 3 (Array.unsafe_get sc 3 +. ge)
+            end
           end)
         idxs;
       if !any then begin
@@ -1387,6 +1500,10 @@ let compile_instr t (df : Predecode.dfunc) (di : Predecode.dinstr) :
           spend_nf t c dvfs_lat dvfs_latf;
           Energy_ledger.charge c.ledger ~category:Energy_ledger.Dvfs_overhead
             de;
+          if c.prof_on then begin
+            let sc = c.prof_cur.Profile.sl_cat in
+            Array.unsafe_set sc 4 (Array.unsafe_get sc 4 +. de)
+          end;
           c.point <- target;
           refresh_point_caches t c;
           c.leak_dirty <- true;
@@ -1585,18 +1702,50 @@ let pure_runs (db : Predecode.dblock) =
     already be allocated (phase 1) so targets across functions resolve. *)
 let compile_cfun t (cf : cfun) =
   let df = cf.cf_fe.fe_dfunc in
+  let fname = cf.cf_fe.fe_func.Prog.fname in
+  (* Profiling wrapper: compiled closures are shared across cores, so
+     the slot cannot be captured directly — instead each wrapped
+     closure captures one slot per core (resolved eagerly here, at
+     compile time) and retargets the executing core's [prof_cur] before
+     running the original closure.  Never-executed instructions leave
+     their eagerly-created slots all-zero; {!Profile.collect} drops
+     those, so the merged profile matches the interpreter's lazily
+     created slot set exactly. *)
+  let wrap line (g : frame -> unit) : frame -> unit =
+    if not t.opts.profile then g
+    else begin
+      let slots =
+        Array.map (fun (c : core) -> Profile.slot c.prof fname line) t.cores
+      in
+      fun fr ->
+        let c = fr.fcore in
+        c.prof_cur <- Array.unsafe_get slots c.id;
+        g fr
+    end
+  in
   Array.iteri
     (fun l dbo ->
       match dbo with
       | None -> ()  (* stays poison *)
       | Some (db : Predecode.dblock) ->
-        let cb_instrs = Array.map (compile_instr t df) db.Predecode.db_instrs in
+        let cb_instrs =
+          Array.map
+            (fun (di : Predecode.dinstr) ->
+              wrap di.Predecode.di_instr.Ir.loc.Ir.line (compile_instr t df di))
+            db.Predecode.db_instrs
+        in
+        let term_line =
+          let instrs = db.Predecode.db_instrs in
+          let n = Array.length instrs in
+          if n = 0 then 0
+          else instrs.(n - 1).Predecode.di_instr.Ir.loc.Ir.line
+        in
         cf.cf_blocks.(l) <-
           {
             cb_instrs;
             cb_n = Array.length cb_instrs;
             cb_pure = pure_runs db;
-            cb_term = compile_term t cf db.Predecode.db_term;
+            cb_term = wrap term_line (compile_term t cf db.Predecode.db_term);
           })
     df.Predecode.df_blocks
 
@@ -1643,6 +1792,7 @@ let create ?(opts = default_options) ~(machine : Machine.t) (prog : Prog.t) : t 
       (List.mapi
          (fun id _entry ->
            let ledger = Energy_ledger.create () in
+           let prof = Profile.create_tab () in
            {
              id;
              stack = [];
@@ -1672,6 +1822,10 @@ let create ?(opts = default_options) ~(machine : Machine.t) (prog : Prog.t) : t 
              cycles = 0;
              bus_txns = 0;
              bus_words = 0;
+             prof_on = opts.profile;
+             prof;
+             (* nothing charges before the first step repoints this *)
+             prof_cur = Profile.slot prof "(idle)" 0;
            })
          entries)
   in
@@ -2068,6 +2222,9 @@ type outcome = {
   decoded_blocks : int;   (** blocks decoded once at construction *)
   leak_recomputes : int;  (** {!recompute_leak} invocations this run *)
   predecode : bool;       (** whether the compiled stepper was active *)
+  profile : Profile.t option;
+      (** per-(function, line) energy attribution; [Some] exactly when
+          [options.profile] was set *)
 }
 
 (** Charge leakage of machine cores not used by the program, for the whole
@@ -2148,11 +2305,37 @@ let run ?(opts = default_options) ?(obs = Obs.disabled) ~machine prog : outcome 
   let duration =
     Array.fold_left (fun acc c -> Float.max acc c.clk.time) 0.0 t.cores
   in
-  (* cores that halted early leak (idle) until the machine finishes *)
+  (* cores that halted early leak (idle) until the machine finishes;
+     that alignment belongs to no instruction, so it attributes to the
+     synthetic "(idle)" row *)
   Array.iter
-    (fun c -> if c.clk.time < duration then resume_at t c duration)
+    (fun c ->
+      if c.prof_on then c.prof_cur <- Profile.slot c.prof "(idle)" 0;
+      if c.clk.time < duration then resume_at t c duration)
     t.cores;
   let unused = charge_unused_cores t ~duration in
+  let profile =
+    if not t.opts.profile then None
+    else begin
+      let extra = Profile.create_tab () in
+      (match unused with
+      | [] -> ()
+      | ledgers ->
+        let s = Profile.slot extra "(unused-cores)" 0 in
+        List.iter
+          (fun l ->
+            let cat = Energy_ledger.raw_by_category l in
+            for i = 0 to Profile.num_categories - 1 do
+              s.Profile.sl_cat.(i) <- s.Profile.sl_cat.(i) +. cat.(i)
+            done)
+          ledgers);
+      Some
+        (Profile.collect
+           (Array.append
+              (Array.map (fun c -> c.prof) t.cores)
+              [| extra |]))
+    end
+  in
   observe_outcome obs t ~duration;
   let energy = Energy_ledger.create () in
   Array.iter (fun c -> Energy_ledger.merge_into ~dst:energy ~src:c.ledger) t.cores;
@@ -2187,6 +2370,7 @@ let run ?(opts = default_options) ?(obs = Obs.disabled) ~machine prog : outcome 
     decoded_blocks = t.decoded_blocks;
     leak_recomputes = t.leak_recomputes;
     predecode = t.opts.predecode;
+    profile;
   }
 
 (** Map the exceptions a simulation can raise onto structured

@@ -178,10 +178,12 @@ let run_func ?(opts = default_options) ?(report = Report.disabled)
               emit ~l ~mu ~est_cycles ~chosen:None ~rejected
                 ~reason:(Some "no preheader to host the transition")
             | Some pre ->
-              Region.append f pre (Ir.Dvfs level);
+              let loc = Region.loop_loc f l in
+              Region.append ~loc f pre (Ir.Dvfs level);
               List.iter
                 (fun landing ->
-                  Region.prepend f landing (Ir.Dvfs (Power_model.max_level pm)))
+                  Region.prepend ~loc f landing
+                    (Ir.Dvfs (Power_model.max_level pm)))
                 (Region.exit_landings f l);
               incr changes;
               emit ~l ~mu ~est_cycles ~chosen:(Some level) ~rejected

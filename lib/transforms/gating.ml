@@ -140,10 +140,12 @@ let loop_gating ?(opts = default_options) ?(report = Report.disabled)
             match Region.preheader ?cfg_of f l with
             | None -> (CS.empty, 0)
             | Some pre ->
-              Region.append f pre (Ir.Pg_off to_gate);
+              let loc = Region.loop_loc f l in
+              Region.append ~loc f pre (Ir.Pg_off to_gate);
               let ls = Region.exit_landings f l in
               List.iter
-                (fun landing -> Region.prepend f landing (Ir.Pg_on to_gate))
+                (fun landing ->
+                  Region.prepend ~loc f landing (Ir.Pg_on to_gate))
                 ls;
               gated_by := (l.Loops.header, to_gate) :: !gated_by;
               changes := !changes + 1 + List.length l.Loops.exits;

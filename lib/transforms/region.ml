@@ -70,12 +70,44 @@ let exit_landings (f : Prog.func) (l : Loops.loop) : Ir.block list =
       nb)
     l.Loops.exits
 
+(** Provenance for instructions synthesised next to existing code: an
+    explicit [?loc] wins; otherwise inherit from the neighbouring
+    instruction ([last] for appends, first for prepends) so gating/DVFS
+    brackets attribute to the region they guard rather than to "no
+    source line". *)
+let neighbour_loc ?loc (instrs : Ir.instr list) ~last : Ir.loc =
+  match loc with
+  | Some l -> l
+  | None -> (
+    let n = match (last, instrs) with
+      | (false, i :: _) -> Some i
+      | (false, []) -> None
+      | (true, _) -> (
+        match List.rev instrs with i :: _ -> Some i | [] -> None)
+    in
+    match n with Some i -> i.Ir.loc | None -> Ir.no_loc)
+
+(** Provenance of a loop: the first source-located instruction of the
+    header block ([Ir.no_loc] for fully synthetic loops).  Gating and
+    DVFS brackets inserted around a loop are stamped with this, so the
+    profiler attributes transition overheads to the loop they guard. *)
+let loop_loc (f : Prog.func) (l : Loops.loop) : Ir.loc =
+  let hb = Prog.block f l.Loops.header in
+  let rec first = function
+    | [] -> Ir.no_loc
+    | (i : Ir.instr) :: rest ->
+      if i.Ir.loc.Ir.line > 0 then i.Ir.loc else first rest
+  in
+  first hb.Ir.instrs
+
 (** Append an instruction to a block. *)
-let append (f : Prog.func) (b : Ir.block) idesc =
-  b.Ir.instrs <- b.Ir.instrs @ [ Prog.new_instr f idesc ];
+let append ?loc (f : Prog.func) (b : Ir.block) idesc =
+  let loc = neighbour_loc ?loc b.Ir.instrs ~last:true in
+  b.Ir.instrs <- b.Ir.instrs @ [ Prog.new_instr ~loc f idesc ];
   Prog.touch f
 
 (** Prepend an instruction to a block. *)
-let prepend (f : Prog.func) (b : Ir.block) idesc =
-  b.Ir.instrs <- Prog.new_instr f idesc :: b.Ir.instrs;
+let prepend ?loc (f : Prog.func) (b : Ir.block) idesc =
+  let loc = neighbour_loc ?loc b.Ir.instrs ~last:false in
+  b.Ir.instrs <- Prog.new_instr ~loc f idesc :: b.Ir.instrs;
   Prog.touch f

@@ -40,7 +40,10 @@ let two_block_shape (f : Prog.func) (l : Loops.loop) :
   end
 
 let copy_instrs (f : Prog.func) (instrs : Ir.instr list) : Ir.instr list =
-  List.map (fun (i : Ir.instr) -> Prog.new_instr f i.Ir.idesc) instrs
+  (* cloned iterations keep the original instruction's provenance *)
+  List.map
+    (fun (i : Ir.instr) -> Prog.new_instr ~loc:i.Ir.loc f i.Ir.idesc)
+    instrs
 
 let run_func ?(opts = default_options) ?(find_loops = Loops.find)
     (f : Prog.func) : int =

@@ -7,11 +7,13 @@ type t = {
   no_analysis_cache : bool;
   no_sim_predecode : bool;
   deadline_ms : int option;
+  profile : bool;
 }
 
 let default =
   { jobs = None; retries = 2; faults = None; trace = None; report = None;
-    no_analysis_cache = false; no_sim_predecode = false; deadline_ms = None }
+    no_analysis_cache = false; no_sim_predecode = false; deadline_ms = None;
+    profile = false }
 
 let clean = function
   | Some s when String.trim s <> "" -> Some (String.trim s)
@@ -44,10 +46,11 @@ let from_env () =
     no_analysis_cache = truthy (get "LP_NO_ANALYSIS_CACHE");
     no_sim_predecode = truthy (get "LP_NO_SIM_PREDECODE");
     deadline_ms = pos_int (get "LP_DEADLINE_MS");
+    profile = truthy (get "LP_PROFILE");
   }
 
 let resolve ?jobs ?retries ?faults ?trace ?report ?no_analysis_cache
-    ?no_sim_predecode ?deadline_ms base =
+    ?no_sim_predecode ?deadline_ms ?profile base =
   {
     jobs = (match jobs with Some _ -> jobs | None -> base.jobs);
     retries = Option.value ~default:base.retries retries;
@@ -69,12 +72,17 @@ let resolve ?jobs ?retries ?faults ?trace ?report ?no_analysis_cache
       (match deadline_ms with
       | Some ms when ms >= 1 -> Some ms
       | Some _ | None -> base.deadline_ms);
+    profile =
+      (* one-way: a flag can only switch profiling on *)
+      (match profile with
+      | Some true -> true
+      | Some false | None -> base.profile);
   }
 
 let to_string c =
   Printf.sprintf
     "jobs=%s retries=%d faults=%s trace=%s report=%s analysis_cache=%s \
-     sim_predecode=%s deadline_ms=%s"
+     sim_predecode=%s deadline_ms=%s profile=%s"
     (match c.jobs with Some n -> string_of_int n | None -> "auto")
     c.retries
     (Option.value ~default:"(none)" c.faults)
@@ -83,3 +91,4 @@ let to_string c =
     (if c.no_analysis_cache then "off" else "on")
     (if c.no_sim_predecode then "off" else "on")
     (match c.deadline_ms with Some n -> string_of_int n | None -> "(none)")
+    (if c.profile then "on" else "off")

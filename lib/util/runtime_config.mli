@@ -58,6 +58,11 @@ type t = {
           request, in milliseconds; exceeding it surfaces as the stable
           [E_DEADLINE] diagnostic ([LP_DEADLINE_MS] / [--deadline-ms]).
           [None] = no deadline *)
+  profile : bool;
+      (** collect the source-level energy profile during simulation
+          ([LP_PROFILE=1] / the [lpcc profile] command).  Attribution is
+          a pure observer: cycles, energy ledgers and every gate that
+          checks them are byte-identical with profiling on or off *)
 }
 
 (** All defaults: auto-sized pool, 2 retries, no faults, no trace, no
@@ -82,6 +87,7 @@ val resolve :
   ?no_analysis_cache:bool ->
   ?no_sim_predecode:bool ->
   ?deadline_ms:int ->
+  ?profile:bool ->
   t ->
   t
 

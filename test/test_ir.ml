@@ -90,17 +90,19 @@ let test_component_of () =
   in
   List.iteri
     (fun k (idesc, expected) ->
-      let i = { Ir.iid = k; idesc } in
+      let i = { Ir.iid = k; idesc; loc = Ir.no_loc } in
       if Ir.component_of i <> expected then
         Alcotest.failf "component_of case %d" k)
     cases
 
 let test_uses_def () =
-  let i = { Ir.iid = 0; idesc = Ir.Binop (Ir.Add, 5, Ir.Reg 1, Ir.Reg 2) } in
+  let i = { Ir.iid = 0; idesc = Ir.Binop (Ir.Add, 5, Ir.Reg 1, Ir.Reg 2);
+            loc = Ir.no_loc } in
   check Alcotest.(list int) "uses" [ 1; 2 ] (Ir.uses i);
   check Alcotest.(option int) "def" (Some 5) (Ir.def i);
   let st = { Ir.iid = 1; idesc = Ir.Store ({ Ir.sym_name = "a"; sym_space = Ir.Shared },
-                                           Ir.Reg 3, Ir.Reg 4) } in
+                                           Ir.Reg 3, Ir.Reg 4);
+             loc = Ir.no_loc } in
   check Alcotest.(option int) "store def" None (Ir.def st);
   check Alcotest.(list int) "store uses" [ 3; 4 ] (Ir.uses st)
 

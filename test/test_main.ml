@@ -22,4 +22,5 @@ let () =
       ("serve", Test_serve.suite);
       ("predecode", Test_predecode.suite);
       ("tune", Test_tune.suite);
+      ("profile", Test_profile.suite);
     ]

@@ -21,11 +21,61 @@ let test_disabled () =
   let r = Obs.span obs ~cat:"compile" "compile" (fun () -> 41 + 1) in
   Obs.add obs "ctr" 7;
   Obs.set_gauge obs "g" 1.0;
+  Obs.record_hist obs "h" 3.0;
   Obs.emit_span obs ~start_ns:0.0 ~dur_ns:1.0 "x";
   Alcotest.(check int) "span passes the result through" 42 r;
   Alcotest.(check int) "no spans stored" 0 (Obs.span_count obs);
   Alcotest.(check (list (pair string int))) "no counters" [] (Obs.counters obs);
+  Alcotest.(check bool) "no histograms" true (Obs.hists obs = []);
   Alcotest.(check bool) "not enabled" false (Obs.enabled obs)
+
+(* ---------------- histograms ---------------- *)
+
+(** Log2 buckets: quantile estimates are upper bounds within a factor of
+    2, merging sums counts, and sub-1/non-finite junk lands in bucket 0
+    instead of raising. *)
+let test_histogram () =
+  let obs = Obs.create ~clock:(fixed ()) () in
+  (* 10 fast samples in (4, 8], one slow outlier *)
+  for _ = 1 to 10 do Obs.record_hist obs "lat" 6.0 done;
+  Obs.record_hist obs "lat" 900.0;
+  (match Obs.hist_of obs "lat" with
+  | None -> Alcotest.fail "histogram must exist after recording"
+  | Some h ->
+    Alcotest.(check int) "count" 11 (Obs.hist_count h);
+    Alcotest.(check (float 1e-9)) "sum is exact" 960.0 (Obs.hist_sum h);
+    Alcotest.(check (float 0.0)) "p50 bounds the fast bucket" 8.0
+      (Obs.hist_quantile h 0.5);
+    Alcotest.(check (float 0.0)) "p99 reaches the outlier" 1024.0
+      (Obs.hist_quantile h 0.99);
+    Alcotest.(check bool) "render mentions the count" true
+      (String.length (Obs.hist_render h) > 0));
+  (* a value below 1, zero, and non-finite junk are all absorbed *)
+  Obs.record_hist obs "edge" 0.25;
+  Obs.record_hist obs "edge" 0.0;
+  Obs.record_hist obs "edge" Float.nan;
+  (match Obs.hist_of obs "edge" with
+  | Some h ->
+    Alcotest.(check int) "edge count" 3 (Obs.hist_count h);
+    Alcotest.(check (float 0.0)) "sub-1 quantile bound" 1.0
+      (Obs.hist_quantile h 0.5)
+  | None -> Alcotest.fail "edge histogram must exist");
+  (* merging is additive *)
+  let m = Obs.hist_create () in
+  (match (Obs.hist_of obs "lat", Obs.hist_of obs "lat") with
+  | (Some a, Some b) ->
+    Obs.hist_merge_into ~into:m a;
+    Obs.hist_merge_into ~into:m b;
+    Alcotest.(check int) "merged count" 22 (Obs.hist_count m);
+    Alcotest.(check (float 1e-9)) "merged sum" 1920.0 (Obs.hist_sum m);
+    Alcotest.(check (float 0.0)) "merged quantile unchanged" 8.0
+      (Obs.hist_quantile m 0.5)
+  | _ -> Alcotest.fail "snapshots must exist");
+  (* empty histogram: quantile degrades to 0 *)
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0
+    (Obs.hist_quantile (Obs.hist_create ()) 0.5);
+  Alcotest.(check (list string)) "hists sorted by name" [ "edge"; "lat" ]
+    (List.map fst (Obs.hists obs))
 
 (* ---------------- span nesting property ---------------- *)
 
@@ -156,6 +206,8 @@ let test_counters_deterministic () =
 let suite =
   [
     Alcotest.test_case "disabled recorder is inert" `Quick test_disabled;
+    Alcotest.test_case "log2 histograms: record, merge, quantile" `Quick
+      test_histogram;
     QCheck_alcotest.to_alcotest prop_span_nesting;
     Alcotest.test_case "spans survive exceptions" `Quick test_span_exception;
     Alcotest.test_case "golden chrome trace JSON" `Quick test_chrome_golden;

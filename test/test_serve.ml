@@ -357,6 +357,95 @@ let test_tune_op () =
   Alcotest.(check bool) "no version field in v1 reply" true
     (Json.member "version" pong.P.r_payload = None)
 
+(** The v2 [profile] op end to end: the served artifact is byte-identical
+    (once the ["profile"] member is re-serialised) to what the one-shot
+    entry points produce, a repeat request reuses the warm compile cache
+    without changing a byte, and the [stats] reply carries the per-op
+    latency histogram. *)
+let test_profile_op () =
+  with_server "profile" @@ fun path _server ->
+  let fd = connect path in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  let profile_frame id =
+    P.frame_of_request
+      {
+        P.default_request with
+        P.id;
+        version = Some 2;
+        op = P.Profile;
+        src = P.Workload "fir";
+      }
+  in
+  send_all fd (profile_frame (Json.Num 1.0));
+  let first = parse_reply (List.hd (read_frames fd 1)) in
+  Alcotest.(check bool) "profile ok" true first.P.r_ok;
+  let artifact r =
+    match Json.member "profile" r.P.r_payload with
+    | Some j -> j
+    | None -> Alcotest.fail "profile reply must embed the artifact"
+  in
+  let served = artifact first in
+  Alcotest.(check bool) "schema tag" true
+    (Json.member "schema" served = Some (Json.Str "lowpower-profile/1"));
+  (* byte-identity against the one-shot path: same builder, same
+     serialiser, so the strings must match exactly *)
+  let w = Lp_workloads.Suite.find_exn "fir" in
+  let machine = Lp_machine.Machine.generic ~n_cores:4 () in
+  let sim_opts =
+    { Lp_sim.Sim.default_options with Lp_sim.Sim.profile = true }
+  in
+  let expected =
+    match
+      Lowpower.Compile.run_result
+        ~opts:(Lowpower.Compile.full ~n_cores:4)
+        ~sim_opts ~machine w.Lp_workloads.Workload.source
+    with
+    | Ok (_, o) ->
+      Json.to_string
+        (Lowpower.Profile_report.to_json ~source:"fir"
+           ~machine:machine.Lp_machine.Machine.name o)
+    | Error d -> Alcotest.failf "one-shot run: %s" (Lp_util.Diag.to_string d)
+  in
+  Alcotest.(check string) "served artifact byte-identical to one-shot"
+    expected (Json.to_string served);
+  (* the repeat request hits the warm compile cache and re-simulates to
+     the exact same bytes *)
+  send_all fd (profile_frame (Json.Num 2.0));
+  let second = parse_reply (List.hd (read_frames fd 1)) in
+  Alcotest.(check bool) "second profile ok" true second.P.r_ok;
+  Alcotest.(check bool) "second served from cache" true
+    (Json.member "cached" second.P.r_payload = Some (Json.Bool true));
+  Alcotest.(check string) "warm artifact byte-identical" expected
+    (Json.to_string (artifact second));
+  (* a v1 frame must not reach the op *)
+  (match P.request_of_frame {|{"op":"profile","workload":"fir"}|} with
+  | Ok _ -> Alcotest.fail "profile must require protocol v2"
+  | Error d ->
+    Alcotest.(check string) "v1 profile refused" "E_VERSION"
+      d.Lp_util.Diag.code);
+  (* stats surfaces the per-op latency histogram *)
+  send_all fd
+    (P.frame_of_request
+       { P.default_request with P.id = Json.Num 3.0; op = P.Stats });
+  let stats = parse_reply (List.hd (read_frames fd 1)) in
+  Alcotest.(check bool) "stats ok" true stats.P.r_ok;
+  match
+    Option.bind
+      (Json.member "stats" stats.P.r_payload)
+      (fun s ->
+        Option.bind (Json.member "latency_ms" s) (Json.member "profile"))
+  with
+  | Some h -> (
+    match Json.member "count" h with
+    | Some (Json.Num n) ->
+      Alcotest.(check bool) "both profile requests measured" true (n >= 2.0);
+      Alcotest.(check bool) "quantiles present" true
+        (Json.member "p50_ms" h <> None
+        && Json.member "p90_ms" h <> None
+        && Json.member "p99_ms" h <> None)
+    | _ -> Alcotest.fail "latency histogram must carry a count")
+  | None -> Alcotest.fail "stats must carry latency_ms.profile"
+
 (** The full load generator against an in-process server: mixed
     valid/malformed/deadline corpus, byte-identity verification on, and
     the CI acceptance gate must hold. *)
@@ -417,6 +506,8 @@ let suite =
     Alcotest.test_case "version negotiation and E_VERSION" `Quick
       test_protocol_versioning;
     Alcotest.test_case "tune op over the socket (v2)" `Quick test_tune_op;
+    Alcotest.test_case "profile op over the socket (v2)" `Quick
+      test_profile_op;
     Alcotest.test_case "deadline expires as E_DEADLINE" `Quick
       test_deadline_expiry;
     Alcotest.test_case "overload sheds transiently, answers everything"
