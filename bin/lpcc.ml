@@ -6,8 +6,10 @@
     - [explain]   print the power-decision audit of a compile+run
     - [dump]      print the compiled IR
     - [workloads] list the bundled benchmark programs
+    - [machines]  list the machine zoo (classes, ladders, memory tiers)
     - [pipeline]  print the optimisation schedule as data
     - [bench]     regenerate the evaluation tables/figures
+    - [sweep]     workload x config x machine-zoo design-space sweep
     - [profile]   source-level energy profile (text, JSON, flamegraph, diff)
     - [fuzz]      fuzz the pipeline with generated MiniC programs
 
@@ -163,13 +165,24 @@ let workload_arg =
   Arg.(value & opt (some string) None
        & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Use a bundled workload instead of a file.")
 
+(* every zoo machine is a valid --machine value: the registry is the one
+   source of truth shared with lpccd and the experiment matrix *)
 let machine_arg =
-  let conv_machine = Arg.enum
-      [ ("generic", `Generic); ("pacduo", `Pacduo); ("octa-leaky", `Octa) ]
+  let parse s =
+    if Option.is_some (Machine.of_name s) then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown machine %S (known: %s)" s
+             (String.concat ", " Machine.names)))
   in
-  Arg.(value & opt conv_machine `Generic
+  let conv_machine = Arg.conv (parse, Format.pp_print_string) in
+  Arg.(value & opt conv_machine "generic"
        & info [ "m"; "machine" ] ~docv:"MACHINE"
-           ~doc:"Machine model: $(b,generic), $(b,pacduo) or $(b,octa-leaky).")
+           ~doc:(Printf.sprintf
+                   "Machine model: %s (see $(b,lpcc machines))."
+                   (String.concat ", "
+                      (List.map (Printf.sprintf "$(b,%s)") Machine.names))))
 
 let cores_arg =
   Arg.(value & opt int 4
@@ -190,10 +203,10 @@ let config_arg =
            ~doc:"Compiler configuration: $(b,baseline), $(b,pg), $(b,dvfs), \
                  $(b,pg+dvfs), $(b,par) or $(b,full).")
 
-let machine_of ~cores = function
-  | `Generic -> Machine.generic ~n_cores:(max cores 4) ()
-  | `Pacduo -> Machine.pac_duo_like ()
-  | `Octa -> Machine.octa_leaky ()
+let machine_of ~cores name =
+  match Machine.of_name ~cores name with
+  | Some m -> m
+  | None -> assert false (* machine_arg already validated the name *)
 
 let opts_of ~cores = function
   | `Baseline -> Compile.baseline
@@ -265,7 +278,7 @@ let run_cmd_run file workload machine_kind cores config events faults trace
     Fault.with_scope name @@ fun () ->
     Report.with_scope name @@ fun () ->
       let machine = machine_of ~cores machine_kind in
-      let cores = min cores machine.Machine.n_cores in
+      let cores = Machine.clamp_cores machine cores in
       let opts = opts_of ~cores config in
       let opts = Compile.Options.update ?pipeline opts in
       let sim_opts =
@@ -360,7 +373,7 @@ let explain_cmd_run file workload machine_kind cores config no_sim_predecode =
     Fault.with_scope name @@ fun () ->
     Report.with_scope name @@ fun () ->
       let machine = machine_of ~cores machine_kind in
-      let cores = min cores machine.Machine.n_cores in
+      let cores = Machine.clamp_cores machine cores in
       let opts = opts_of ~cores config in
       (match Compile.run_result ~ctx ~opts ~machine src with
       | Ok _ -> ()
@@ -394,7 +407,7 @@ let dump_cmd_run file workload machine_kind cores config as_source =
     with_ctx @@ fun ctx ->
     with_diagnostics @@ fun () ->
       let machine = machine_of ~cores machine_kind in
-      let cores = min cores machine.Machine.n_cores in
+      let cores = Machine.clamp_cores machine cores in
       if as_source then begin
         let ast = Compile.parse_and_check_exn src in
         let det = Lp_patterns.Detect.detect ast in
@@ -437,6 +450,94 @@ let workloads_cmd_run () =
 let workloads_cmd =
   let doc = "list the bundled benchmark workloads" in
   Cmd.v (Cmd.info "workloads" ~doc) Term.(ret (const workloads_cmd_run $ const ()))
+
+(* ---------------- machines ---------------- *)
+
+let machines_cmd_run () =
+  List.iteri
+    (fun i (name, desc, mk) ->
+      if i > 0 then print_newline ();
+      Printf.printf "%s — %s\n" name desc;
+      Format.printf "%a@." Machine.pp (mk ?cores:None ()))
+    Machine.registry;
+  `Ok ()
+
+let machines_cmd =
+  let doc =
+    "list the machine zoo: core classes, DVFS ladders, memory tiers and \
+     bus of every valid $(b,--machine) value"
+  in
+  Cmd.v (Cmd.info "machines" ~doc)
+    Term.(ret (const machines_cmd_run $ const ()))
+
+(* ---------------- sweep ---------------- *)
+
+let sweep_cmd_run machines workloads json jobs retries faults trace report
+    no_analysis_cache no_sim_predecode =
+  let module Sweep = Lp_experiments.Sweep in
+  let machines = if machines = [] then Sweep.default_machines else machines in
+  let workloads =
+    if workloads = [] then Lp_workloads.Suite.names else workloads
+  in
+  match
+    ( List.find_opt (fun m -> Machine.of_name m = None) machines,
+      List.find_opt (fun w -> Lp_workloads.Suite.find w = None) workloads )
+  with
+  | (Some bad, _) ->
+    `Error
+      ( false,
+        Printf.sprintf "unknown machine %S (known: %s)" bad
+          (String.concat ", " Machine.names) )
+  | (_, Some bad) ->
+    `Error
+      (false,
+       Printf.sprintf "unknown workload %S (try: lpcc workloads)" bad)
+  | (None, None) ->
+    with_ctx ?jobs ?retries ?faults ?trace ?report ~no_analysis_cache
+      ~no_sim_predecode
+    @@ fun _ctx ->
+    with_diagnostics @@ fun () ->
+    let t = Sweep.run ~machines ~workloads () in
+    Lp_util.Table.print (Sweep.crossover_table t);
+    (match Sweep.crossovers t with
+    | [] -> print_endline "no crossovers: one config wins everywhere"
+    | xs ->
+      Printf.printf "%d workload(s) with machine-dependent winners:\n"
+        (List.length xs);
+      List.iter
+        (fun (w, wins) ->
+          Printf.printf "  %-12s %s\n" w
+            (String.concat ", "
+               (List.map (fun (m, c) -> Printf.sprintf "%s:%s" m c) wins)))
+        xs);
+    Option.iter
+      (fun path ->
+        Sweep.write_json ~path t;
+        Printf.printf "sweep json written to %s\n" path)
+      json;
+    (* a machine that cannot run a workload (e.g. pacduo has no FPU) is
+       a sweep datum, not a failure: those cells carry their stable code
+       in the JSON and render as ERR above.  Only internal errors fail. *)
+    (match Lp_experiments.Exp_common.failed_cells () with
+    | [] -> `Ok ()
+    | failed ->
+      Printf.printf "%d cell(s) not runnable on their machine:\n"
+        (List.length failed);
+      List.iter
+        (fun ((w, c, m), _, d) ->
+          Printf.printf "  %s/%s@%s: %s\n" w c m (Diag.to_string d))
+        failed;
+      match
+        List.filter
+          (fun ((_, _, _), _, d) -> d.Diag.code = Diag.code_internal)
+          failed
+      with
+      | [] -> `Ok ()
+      | internal ->
+        `Error
+          ( false,
+            Printf.sprintf "%d sweep cell(s) failed internally"
+              (List.length internal) ))
 
 (* ---------------- bench ---------------- *)
 
@@ -494,6 +595,35 @@ let bench_cmd =
     Term.(ret (const bench_cmd_run $ jobs_arg $ retries_arg $ faults_arg
                $ trace_file_arg $ report_file_arg $ no_cache_arg
                $ no_predecode_arg $ ids))
+
+let sweep_cmd =
+  let doc =
+    "fan the workload × config matrix across the machine zoo and print \
+     the crossover table (winning configuration per workload and \
+     machine); deterministic and byte-identical whatever $(b,--jobs) is"
+  in
+  let machines_arg =
+    Arg.(value & opt_all string []
+         & info [ "m"; "machine" ] ~docv:"MACHINE"
+             ~doc:"Machine to sweep (repeatable; default: the whole zoo, \
+                   see $(b,lpcc machines)).")
+  in
+  let workloads_arg =
+    Arg.(value & opt_all string []
+         & info [ "w"; "workload" ] ~docv:"NAME"
+             ~doc:"Workload to sweep (repeatable; default: every bundled \
+                   workload).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the $(b,lowpower-bench-sweep/1) artifact to \
+                   $(docv).")
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(ret (const sweep_cmd_run $ machines_arg $ workloads_arg $ json_arg
+               $ jobs_arg $ retries_arg $ faults_arg $ trace_file_arg
+               $ report_file_arg $ no_cache_arg $ no_predecode_arg))
 
 (* ---------------- pipeline ---------------- *)
 
@@ -708,7 +838,7 @@ let profile_cmd_run file file_b workload machine_kind cores config diff_mode
       Fault.with_scope name @@ fun () ->
       Report.with_scope name @@ fun () ->
         let machine = machine_of ~cores machine_kind in
-        let cores = min cores machine.Machine.n_cores in
+        let cores = Machine.clamp_cores machine cores in
         let opts = opts_of ~cores config in
         let opts = Compile.Options.update ?pipeline opts in
         let sim_opts = { Sim.default_options with Sim.profile = true } in
@@ -796,7 +926,7 @@ let tune_cmd_run workloads all budget seed machine_kind cores config out json
   | None ->
     let ws = List.map Lp_workloads.Suite.find_exn names in
     let machine = machine_of ~cores machine_kind in
-    let cores = min cores machine.Machine.n_cores in
+    let cores = Machine.clamp_cores machine cores in
     let opts = opts_of ~cores config in
     let config_name =
       match config with
@@ -919,5 +1049,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ detect_cmd; run_cmd; explain_cmd; dump_cmd; workloads_cmd;
-            pipeline_cmd; bench_cmd; tune_cmd; profile_cmd; serve_bench_cmd;
-            fuzz_cmd ]))
+            machines_cmd; pipeline_cmd; bench_cmd; sweep_cmd; tune_cmd;
+            profile_cmd; serve_bench_cmd; fuzz_cmd ]))

@@ -69,13 +69,13 @@ let show_energy label (o : Sim.outcome) =
     (Ledger.of_category e Ledger.Communication /. 1e3)
 
 let run_on name machine =
-  Printf.printf "%s (%d cores):\n" name machine.Machine.n_cores;
+  Printf.printf "%s (%d cores):\n" name (Machine.n_cores machine);
   let (c, base) = Compile.run ~opts:Compile.baseline ~machine source in
   show_detection c;
   show_energy "baseline" base;
   let (_, full) =
     Compile.run
-      ~opts:(Compile.full ~n_cores:machine.Machine.n_cores)
+      ~opts:(Compile.full ~n_cores:(Machine.n_cores machine))
       ~machine source
   in
   show_energy "full" full;

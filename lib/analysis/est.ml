@@ -18,14 +18,14 @@ type instr_cost = { cycles : int; mem_cycles : int }
 let instr_cost (m : Machine.t) (i : Ir.instr) : instr_cost =
   let base = Ir.base_latency i in
   let shared_cost =
-    m.Machine.bus_latency_cycles + m.Machine.shared_mem_latency_cycles
+    m.Machine.bus_latency_cycles + Machine.shared_mem_latency_cycles m
   in
   match i.Ir.idesc with
   | Ir.Load (_, s, _) | Ir.Store (s, _, _) -> (
     match s.Ir.sym_space with
     | Ir.Shared -> { cycles = base + shared_cost; mem_cycles = shared_cost }
     | Ir.Frame | Ir.Rom ->
-      { cycles = base + m.Machine.spm_latency_cycles; mem_cycles = 0 })
+      { cycles = base + Machine.spm_latency_cycles m; mem_cycles = 0 })
   | Ir.Faa _ -> { cycles = base + shared_cost; mem_cycles = shared_cost }
   | Ir.Send _ | Ir.Recv _ ->
     let c = base + m.Machine.channel_setup_cycles + m.Machine.bus_latency_cycles in

@@ -255,11 +255,11 @@ let compile_exn ?(ctx = default_ctx) ?(verify_each = false) ?(opts = baseline)
             ("cores", Obs.Int opts.n_cores) ]
     "compile"
   @@ fun () ->
-  if opts.n_cores > machine.Machine.n_cores then
+  if opts.n_cores > Machine.n_cores machine then
     raise
       (Compile_error
          (Printf.sprintf "options ask for %d cores, machine has %d"
-            opts.n_cores machine.Machine.n_cores));
+            opts.n_cores (Machine.n_cores machine)));
   let phase name f =
     (* cooperative deadline: checked at every phase boundary; the pass
        fixpoint and the simulator check at finer grain themselves *)

@@ -318,7 +318,8 @@ let a1 () : Table.t =
            (List.map Lp_workloads.Suite.find_exn a1_workloads)
            [ ("baseline", Compile.baseline);
              ( "full-native",
-               Compile.full ~n_cores:machine.Lp_machine.Machine.n_cores ) ])
+               Compile.full
+                 ~n_cores:(Lp_machine.Machine.n_cores machine) ) ])
        machines);
   let tbl =
     Table.create
@@ -339,13 +340,13 @@ let a1 () : Table.t =
           in
           let full =
             run_workload_result ~machine w ~config:"full-native"
-              (Compile.full ~n_cores:machine.Lp_machine.Machine.n_cores)
+              (Compile.full ~n_cores:(Lp_machine.Machine.n_cores machine))
           in
           Table.add_row tbl
             [
               name;
               machine.Lp_machine.Machine.name;
-              string_of_int machine.Lp_machine.Machine.n_cores;
+              string_of_int (Lp_machine.Machine.n_cores machine);
               scell2 base full (fun b r ->
                   Table.fmt_float ~digits:2 (time_ns b /. time_ns r));
               scell2 base full (fun b r -> fmt_ratio (energy r /. energy b));

@@ -40,6 +40,8 @@ type decision =
   | Dvfs_decision of {
       dv_func : string;
       dv_site : string;
+      dv_core_class : string;
+      dv_ladder : string;
       dv_mu : float;
       dv_est_cycles : float;
       dv_chosen : int option;
@@ -181,6 +183,8 @@ let decision_to_json scope d =
       [ ("event", J.Str "dvfs_decision");
         ("func", J.Str v.dv_func);
         ("site", J.Str v.dv_site);
+        ("core_class", J.Str v.dv_core_class);
+        ("ladder", J.Str v.dv_ladder);
         ("mu", J.Num v.dv_mu);
         ("est_cycles", J.Num v.dv_est_cycles);
         ( "chosen_level",
@@ -320,8 +324,9 @@ let decision_to_text d =
                 (fun (p, why) -> Printf.sprintf "%s: %s" p why)
                 v.dv_rejected))
     in
-    Printf.sprintf "dvfs     %-12s %-10s mu=%.2f est=%.0fcy -> %s%s" v.dv_func
-      v.dv_site v.dv_mu v.dv_est_cycles verdict rejected
+    Printf.sprintf "dvfs     %-12s %-10s class=%s mu=%.2f est=%.0fcy -> %s%s"
+      v.dv_func v.dv_site v.dv_core_class v.dv_mu v.dv_est_cycles verdict
+      rejected
   | Pass_delta p ->
     Printf.sprintf "pass     %-12s run=%d changes=%d instrs %d -> %d"
       p.pd_pass p.pd_run p.pd_changes p.pd_instrs_before p.pd_instrs_after

@@ -54,6 +54,10 @@ type decision =
   | Dvfs_decision of {
       dv_func : string;
       dv_site : string;         (** ["loop@b<header>"] *)
+      dv_core_class : string;
+          (** core class whose ladder the decision used (class names
+              joined with ["+"] when the function runs on several) *)
+      dv_ladder : string;       (** that ladder, compactly described *)
       dv_mu : float;            (** measured memory-bound fraction *)
       dv_est_cycles : float;
       dv_chosen : int option;   (** chosen level; [None] = stays nominal *)

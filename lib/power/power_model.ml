@@ -115,6 +115,53 @@ let leaky ?(n_levels = 4) () =
   let base = default ~n_levels () in
   { base with leak_power_mw = (fun c -> 3.0 *. default_leak_power c) }
 
+(** An in-order efficiency core for big.LITTLE machines: a slower,
+    coarser ladder (3 points over 50-200 MHz at 0.70-0.95 V — a
+    different shape from the big ladder, so the same slowdown bound
+    lands on a different level), roughly half the per-op dynamic
+    energy, 40% of the leakage, and cheaper gating/DVFS transitions.
+    Its lower IPC is modelled by the machine's per-class perf scale,
+    not here. *)
+let little ?(n_levels = 3) () =
+  let points =
+    Operating_point.ladder ~n:n_levels ~fmin:50.0 ~fmax:200.0 ~vmin:0.7
+      ~vmax:0.95
+  in
+  let nominal = List.nth points (List.length points - 1) in
+  {
+    points;
+    nominal;
+    dyn_energy_nj = (fun c -> 0.5 *. default_dyn_energy c);
+    leak_power_mw = (fun c -> 0.4 *. default_leak_power c);
+    gate_energy_nj = 1.2;
+    wake_latency_cycles = 2;
+    dvfs_energy_nj = 40.0;
+    dvfs_latency_cycles = 120;
+  }
+
+(** Do two models expose the same DVFS ladder (level, frequency and
+    voltage of every point)?  A [dvfs] instruction carries a raw level
+    number, so it is portable between two core classes exactly when
+    their ladders agree. *)
+let same_ladder a b =
+  List.length a.points = List.length b.points
+  && List.for_all2
+       (fun (p : Operating_point.t) (q : Operating_point.t) ->
+         p.Operating_point.level = q.Operating_point.level
+         && p.Operating_point.freq_mhz = q.Operating_point.freq_mhz
+         && p.Operating_point.voltage = q.Operating_point.voltage)
+       a.points b.points
+
+(** Compact one-line ladder description for reports and listings,
+    e.g. ["L0@100MHz/0.80V,...,L3@400MHz/1.20V"]. *)
+let describe_ladder t =
+  String.concat ","
+    (List.map
+       (fun (p : Operating_point.t) ->
+         Printf.sprintf "L%d@%.0fMHz/%.2fV" p.Operating_point.level
+           p.Operating_point.freq_mhz p.Operating_point.voltage)
+       t.points)
+
 (** A variant with custom gating transition cost, for the break-even
     sweep (experiment F4). *)
 let with_gate_energy t e = { t with gate_energy_nj = e }

@@ -48,6 +48,19 @@ val default : ?n_levels:int -> unit -> t
 (** Leakage-heavy variant (3x leakage), for sensitivity experiments. *)
 val leaky : ?n_levels:int -> unit -> t
 
+(** In-order efficiency core for big.LITTLE machines: a coarser
+    3-point 50-200MHz / 0.70-0.95V ladder (a different shape from the
+    big ladder), half dynamic energy, 40% leakage, cheaper gating/DVFS
+    transitions. *)
+val little : ?n_levels:int -> unit -> t
+
+(** Whether two models expose byte-for-byte the same DVFS ladder; a raw
+    [dvfs] level is portable between core classes exactly when true. *)
+val same_ladder : t -> t -> bool
+
+(** Compact one-line ladder description, for reports and listings. *)
+val describe_ladder : t -> string
+
 (** Override the gating transition energy (break-even sweep). *)
 val with_gate_energy : t -> float -> t
 

@@ -37,11 +37,11 @@ let stretch (pm : Power_model.t) (tk : Taskgraph.task) (p : Operating_point.t) =
        *. (nominal.Operating_point.freq_mhz /. p.Operating_point.freq_mhz))
       +. mu)
 
-(** Estimated energy of one task at point [p]: dynamic (approximated as
-    one op per cycle on its dominant components) plus leakage of its
-    components over the stretched duration. *)
-let task_energy (m : Machine.t) (tk : Taskgraph.task) (p : Operating_point.t) =
-  let pm = m.Machine.power in
+(** Estimated energy of one task at point [p] under [pm] — the power
+    model of the class of the core the task is placed on: dynamic
+    (approximated as one op per cycle on its dominant components) plus
+    leakage of its components over the stretched duration. *)
+let task_energy (pm : Power_model.t) (tk : Taskgraph.task) (p : Operating_point.t) =
   let ns = Operating_point.ns_of_cycles p (int_of_float (stretch pm tk p)) in
   let dyn =
     Power_model.dynamic_energy pm ~comp:Component.Alu ~point:p
@@ -99,13 +99,21 @@ let path_length (s : List_sched.schedule) (duration : int -> float) : float =
     move each to its energy-minimal deadline-feasible level. *)
 let run ~(slack : float) (s : List_sched.schedule) : result =
   let m = s.List_sched.machine in
-  let pm = m.Machine.power in
   let g = s.List_sched.graph in
   let n = Taskgraph.n_tasks g in
-  let nominal = Power_model.nominal pm in
+  (* each task scales within the ladder of the core class it is placed
+     on — heterogeneous machines refine big and little cores with their
+     own points *)
+  let pm_of tid =
+    Machine.power_of_core m s.List_sched.placements.(tid).List_sched.core
+  in
   let deadline = s.List_sched.makespan_cycles *. (1.0 +. slack) in
-  let levels = Array.make n nominal.Operating_point.level in
+  let levels =
+    Array.init n (fun v ->
+        (Power_model.nominal (pm_of v)).Operating_point.level)
+  in
   let duration tid =
+    let pm = pm_of tid in
     stretch pm (Taskgraph.task g tid) (Power_model.point pm levels.(tid))
   in
   let order =
@@ -122,13 +130,14 @@ let run ~(slack : float) (s : List_sched.schedule) : result =
          slowest point is not always best, because leakage accrues over
          the stretched duration *)
       let tk = Taskgraph.task g v in
+      let pm = pm_of v in
       let best = ref None in
       List.iter
         (fun (p : Operating_point.t) ->
           let saved = levels.(v) in
           levels.(v) <- p.Operating_point.level;
           if path_length s duration <= deadline then begin
-            let e = task_energy m tk p in
+            let e = task_energy pm tk p in
             match !best with
             | Some (_, be) when be <= e -> ()
             | _ -> best := Some (p.Operating_point.level, e)
@@ -142,14 +151,19 @@ let run ~(slack : float) (s : List_sched.schedule) : result =
   let energy_at lv_of =
     List.fold_left
       (fun acc v ->
-        acc +. task_energy m (Taskgraph.task g v) (Power_model.point pm (lv_of v)))
+        let pm = pm_of v in
+        acc
+        +. task_energy pm (Taskgraph.task g v)
+             (Power_model.point pm (lv_of v)))
       0.0 (List.init n Fun.id)
   in
   {
     assignments =
       Array.init n (fun v ->
           { atask = v; level = levels.(v); stretched_cycles = duration v });
-    baseline_energy_nj = energy_at (fun _ -> nominal.Operating_point.level);
+    baseline_energy_nj =
+      energy_at (fun v ->
+          (Power_model.nominal (pm_of v)).Operating_point.level);
     scaled_energy_nj = energy_at (fun v -> levels.(v));
     deadline_cycles = deadline;
   }

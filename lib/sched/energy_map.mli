@@ -23,9 +23,11 @@ type result = {
 val stretch :
   Lp_power.Power_model.t -> Taskgraph.task -> Operating_point.t -> float
 
-(** Estimated energy of one task at a point (dynamic + component leakage
-    over the stretched duration). *)
-val task_energy : Machine.t -> Taskgraph.task -> Operating_point.t -> float
+(** Estimated energy of one task at a point under the power model of the
+    class of the core it runs on (dynamic + component leakage over the
+    stretched duration). *)
+val task_energy :
+  Lp_power.Power_model.t -> Taskgraph.task -> Operating_point.t -> float
 
 (** Longest path through the schedule under per-task durations,
     respecting both graph edges and same-core ordering. *)

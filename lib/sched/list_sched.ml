@@ -1,11 +1,13 @@
-(** HEFT-style list scheduling of a task graph onto a homogeneous
-    multicore machine.
+(** HEFT-style list scheduling of a task graph onto a (possibly
+    heterogeneous) multicore machine.
 
     Tasks are considered in decreasing upward rank; each is placed on the
     core that minimises its finish time, accounting for inter-core data
-    transfers over the machine's links (intra-core edges are free).  The
-    result is costed in nominal-frequency cycles, comparable with the
-    simulator's timing model. *)
+    transfers over the machine's links (intra-core edges are free) and
+    for each core class's performance scale (a task costs
+    [work * perf_scale] cycles on that core).  The result is costed in
+    reference-clock cycles, comparable with the simulator's timing
+    model. *)
 
 module Machine = Lp_machine.Machine
 
@@ -23,14 +25,24 @@ type schedule = {
   makespan_cycles : float;
 }
 
+(* a transfer takes the cheaper of word-by-word bus traffic and a DMA
+   block transfer (setup once, then stream) — the machine's DMA engine
+   makes big double-buffered transfers cheaper than bus word cost *)
 let comm_cycles (m : Machine.t) words =
-  float_of_int (m.Machine.bus_latency_cycles + (words * m.Machine.bus_word_cycles))
+  float_of_int
+    (m.Machine.bus_latency_cycles
+    + min (words * m.Machine.bus_word_cycles)
+        (Machine.dma_transfer_cycles m ~words))
 
 let placement s tid = s.placements.(tid)
 
 let run ~(machine : Machine.t) (g : Taskgraph.t) : schedule =
   let n = Taskgraph.n_tasks g in
-  let n_cores = machine.Machine.n_cores in
+  let n_cores = Machine.n_cores machine in
+  (* cycles a unit of work costs on each core (class perf scale);
+     multiplying by 1.0 is bitwise identity, so single-class machines
+     schedule exactly as before *)
+  let scales = Array.init n_cores (Machine.perf_scale_of_core machine) in
   let ranks = Taskgraph.upward_ranks g in
   (* priority order: decreasing rank, but never scheduling a task before
      its predecessors (rank order guarantees it for acyclic graphs) *)
@@ -63,7 +75,7 @@ let run ~(machine : Machine.t) (g : Taskgraph.t) : schedule =
             0.0 (Taskgraph.preds g v)
         in
         let start = Float.max ready core_free.(c) in
-        let finish = start +. tk.Taskgraph.work_cycles in
+        let finish = start +. (tk.Taskgraph.work_cycles *. scales.(c)) in
         match !best with
         | Some (_, _, bf) when bf <= finish -> ()
         | _ -> best := Some (c, start, finish)

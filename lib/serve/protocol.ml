@@ -301,13 +301,13 @@ let reply_of_frame line =
 
 let resolve_target (r : request) =
   let* machine =
-    match r.machine with
-    | "generic" -> Ok (Machine.generic ~n_cores:(max r.cores 4) ())
-    | "pacduo" -> Ok (Machine.pac_duo_like ())
-    | "octa" | "octa-leaky" -> Ok (Machine.octa_leaky ())
-    | m -> decode_error "unknown machine %S" m
+    match Machine.of_name ~cores:(max r.cores 4) r.machine with
+    | Some m -> Ok m
+    | None -> decode_error "unknown machine %S" r.machine
   in
-  let cores = min r.cores machine.Machine.n_cores in
+  (* silent clamp: the protocol promises best-effort resolution, and the
+     reply carries the machine actually used *)
+  let cores = Machine.clamp_cores ~warn:false machine r.cores in
   let* opts =
     match r.config with
     | "baseline" -> Ok Compile.baseline

@@ -113,6 +113,14 @@ and cfun = {
 
 and core = {
   id : int;
+  cls : int;                  (** index into [machine.classes] *)
+  pm : Power_model.t;
+      (** this core's class power model; every energy charge and ladder
+          lookup goes through it, so a heterogeneous machine charges
+          each core by its own class *)
+  perf_scale : float;
+      (** cycles this core needs per reference cycle (class perf scale);
+          folded into [clk.ns_per_cycle] *)
   mutable stack : frame list;
   mutable status : status;
   clk : core_clock;
@@ -141,6 +149,9 @@ and core = {
   mutable cycles : int;       (** compute cycles issued (pre-DVFS-stretch) *)
   mutable bus_txns : int;     (** shared-bus transactions *)
   mutable bus_words : int;    (** words moved over the shared bus *)
+  mutable local_accs : int;
+      (** local-store accesses since the last modelled cache miss; only
+          advanced on machines whose local store is a cache *)
   prof_on : bool;             (** sampled once from [options.profile] *)
   prof : Profile.tab;         (** per-core attribution table *)
   mutable prof_cur : Profile.slot;
@@ -245,8 +256,19 @@ type t = {
   (* Nominal-frequency constants, hoisted out of the per-access path.
      All are exactly the values the interpretive mode recomputes. *)
   bus_txn1_ns : float;       (** bus occupancy of a one-word transaction *)
-  shared_extra_ns : float;   (** off-bus shared-memory access time *)
+  shared_extra_ns : float;   (** off-bus near-tier shared-memory access time *)
   bus_word_energy_nj : float;
+  (* Tiered shared memory: symbols of at least [far_threshold_words]
+     words live in the far tier on machines that have one.  The table is
+     empty on near-only machines, so their access paths are unchanged. *)
+  far_syms : (string, unit) Hashtbl.t;
+  far_extra_ns : float;      (** off-bus far-tier access time *)
+  far_energy_nj : float;     (** far tier per-access energy *)
+  (* Cache local store (deterministic periodic miss model); a period of
+     0 means the local store is a scratchpad and misses never happen. *)
+  cache_miss_period : int;
+  cache_miss_penalty : int;
+  cache_miss_energy_nj : float;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -255,7 +277,7 @@ type t = {
 
 let recompute_leak t (c : core) =
   t.leak_recomputes <- t.leak_recomputes + 1;
-  let pm = t.machine.Machine.power in
+  let pm = c.pm in
   let scale = Operating_point.leakage_scale ~nominal:(Power_model.nominal pm) c.point in
   let sum = ref 0.0 in
   List.iter
@@ -266,13 +288,16 @@ let recompute_leak t (c : core) =
   c.clk.leak_mw <- !sum;
   c.leak_dirty <- false
 
-(** Refresh the per-core caches derived from the operating point.  Both
+(** Refresh the per-core caches derived from the operating point.  The
     cached values are bit-identical to what the uncached code computes:
-    [ns_of_cycles n] is [float_of_int n *. (1000 /. f)] and
-    [dynamic_energy ~ops:1] is [(1.0 *. e) *. scale = e *. scale]. *)
-let refresh_point_caches t (c : core) =
-  c.clk.ns_per_cycle <- 1000.0 /. c.point.Operating_point.freq_mhz;
-  let pm = t.machine.Machine.power in
+    [ns_of_cycles n] is [float_of_int n *. (1000 /. f)], the class perf
+    scale multiplies in ([x *. 1.0] is bitwise [x], so cores of scale
+    1.0 — every core of every pre-existing machine — are untouched),
+    and [dynamic_energy ~ops:1] is [(1.0 *. e) *. scale = e *. scale]. *)
+let refresh_point_caches _t (c : core) =
+  c.clk.ns_per_cycle <-
+    1000.0 /. c.point.Operating_point.freq_mhz *. c.perf_scale;
+  let pm = c.pm in
   let scale =
     Operating_point.dynamic_scale ~nominal:(Power_model.nominal pm) c.point
   in
@@ -388,10 +413,15 @@ let record_thunk t (c : core) f =
    a plain comparison computes the identical value. *)
 let[@inline always] fmax a b : float = if a >= b then a else b
 
-let cycle_ns (c : core) n = Operating_point.ns_of_cycles c.point n
+(* via the ns-per-cycle cache so the class perf scale applies; on scale
+   1.0 this is bitwise [Operating_point.ns_of_cycles c.point n] *)
+let cycle_ns (c : core) n = float_of_int n *. c.clk.ns_per_cycle
 
+(* the bus and shared memory tick at the machine's reference clock:
+   nominal frequency of core class 0 *)
 let nominal_ns t n =
-  Operating_point.ns_of_cycles (Power_model.nominal t.machine.Machine.power) n
+  Operating_point.ns_of_cycles
+    (Power_model.nominal (Machine.ref_power t.machine)) n
 
 (** Advance a core's clock, charging leakage of powered components.  The
     compiled mode marks leakage dirty on power events instead of
@@ -431,8 +461,8 @@ let spend t (c : core) n =
     c.prof_cur.Profile.sl_cycles <- c.prof_cur.Profile.sl_cycles + n;
   advance t c (cycle_ns c n) ~idle:false
 
-let charge_dynamic t (c : core) comp =
-  let pm = t.machine.Machine.power in
+let charge_dynamic _t (c : core) comp =
+  let pm = c.pm in
   let nj = Power_model.dynamic_energy pm ~comp ~point:c.point ~ops:1 in
   Energy_ledger.charge c.ledger ~category:Energy_ledger.Dynamic ~component:comp
     nj;
@@ -470,6 +500,42 @@ let bus_access t (c : core) ~words ~extra_ns =
   let finish = start +. bus_ns +. extra_ns in
   advance t c (finish -. c.clk.time) ~idle:false;
   Energy_ledger.charge c.ledger ~category:Energy_ledger.Communication nj
+
+(** Interpretive-mode shared access: one bus transaction plus the
+    latency of the tier the symbol lives in; a far-tier access also pays
+    the tier's per-access energy (Communication).  [far_syms] is empty
+    on near-only machines, so their path is exactly the old one. *)
+let shared_access t (c : core) (s : Ir.sym) =
+  if Hashtbl.mem t.far_syms s.Ir.sym_name then begin
+    bus_access t c ~words:1 ~extra_ns:t.far_extra_ns;
+    let nj = t.far_energy_nj in
+    Energy_ledger.charge c.ledger ~category:Energy_ledger.Communication nj;
+    if c.prof_on then begin
+      let sc = c.prof_cur.Profile.sl_cat in
+      Array.unsafe_set sc 5 (Array.unsafe_get sc 5 +. nj)
+    end
+  end
+  else
+    bus_access t c ~words:1
+      ~extra_ns:(nominal_ns t (Machine.shared_mem_latency_cycles t.machine))
+
+(** Deterministic periodic miss model for cache local stores: every
+    [miss_period]-th local access pays the refill penalty and energy.
+    A period of 0 (scratchpad machines) makes this a no-op. *)
+let local_miss t (c : core) =
+  if t.cache_miss_period > 0 then begin
+    c.local_accs <- c.local_accs + 1;
+    if c.local_accs >= t.cache_miss_period then begin
+      c.local_accs <- 0;
+      spend t c t.cache_miss_penalty;
+      let nj = t.cache_miss_energy_nj in
+      Energy_ledger.charge c.ledger ~category:Energy_ledger.Communication nj;
+      if c.prof_on then begin
+        let sc = c.prof_cur.Profile.sl_cat in
+        Array.unsafe_set sc 5 (Array.unsafe_get sc 5 +. nj)
+      end
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Memory                                                              *)
@@ -517,7 +583,7 @@ let setr (fr : frame) r v = fr.regs.(r) <- v
 let ensure_powered t (c : core) comp =
   let i = Component.index comp in
   if not c.powered.(i) then begin
-    let pm = t.machine.Machine.power in
+    let pm = c.pm in
     c.powered.(i) <- true;
     recompute_leak t c;
     c.implicit_wakeups <- c.implicit_wakeups + 1;
@@ -612,7 +678,7 @@ let exec_term t (c : core) (fr : frame) (term : Ir.term) =
 let exec_instr t (c : core) (fr : frame) (di : Predecode.dinstr) =
   let comp = di.Predecode.di_comp in
   ensure_powered t c comp;
-  let pm = t.machine.Machine.power in
+  let pm = c.pm in
   let i = di.Predecode.di_instr in
   let simple_cost () =
     spend t c di.Predecode.di_latency;
@@ -640,11 +706,11 @@ let exec_instr t (c : core) (fr : frame) (di : Predecode.dinstr) =
     | Ir.Shared ->
       spend t c 1;
       charge_dynamic t c comp;
-      bus_access t c ~words:1
-        ~extra_ns:(nominal_ns t t.machine.Machine.shared_mem_latency_cycles);
+      shared_access t c s;
       setr fr d (mem_read t fr s idx)
     | Ir.Rom | Ir.Frame ->
-      spend t c (1 + t.machine.Machine.spm_latency_cycles);
+      spend t c (1 + Machine.spm_latency_cycles t.machine);
+      local_miss t c;
       charge_dynamic t c comp;
       setr fr d (mem_read t fr s idx))
   | Ir.Store (s, idx, v) -> (
@@ -654,19 +720,18 @@ let exec_instr t (c : core) (fr : frame) (di : Predecode.dinstr) =
     | Ir.Shared ->
       spend t c 1;
       charge_dynamic t c comp;
-      bus_access t c ~words:1
-        ~extra_ns:(nominal_ns t t.machine.Machine.shared_mem_latency_cycles);
+      shared_access t c s;
       mem_write t fr s idx v
     | Ir.Rom | Ir.Frame ->
-      spend t c (1 + t.machine.Machine.spm_latency_cycles);
+      spend t c (1 + Machine.spm_latency_cycles t.machine);
+      local_miss t c;
       charge_dynamic t c comp;
       mem_write t fr s idx v)
   | Ir.Faa (d, s, amount) ->
     let amount = Value.to_int (eval fr amount) in
     spend t c 2;
     charge_dynamic t c comp;
-    bus_access t c ~words:1
-      ~extra_ns:(nominal_ns t t.machine.Machine.shared_mem_latency_cycles);
+    shared_access t c s;
     let old = Value.to_int (mem_read t fr s 0) in
     mem_write t fr s 0 (Value.Vint (Value.wrap32 (old + amount)));
     setr fr d (Value.Vint old)
@@ -930,10 +995,46 @@ let bus_access1 t (c : core) =
   Array.unsafe_set c.lg_cat 5 (Array.unsafe_get c.lg_cat 5 +. nj);
   Array.unsafe_set c.lg_tot 0 (Array.unsafe_get c.lg_tot 0 +. nj)
 
+(** Far-tier variant of {!bus_access1}: the off-bus latency is the far
+    tier's, and the tier's per-access energy is charged on top.  Chosen
+    at compile time per symbol, so near-only machines never branch. *)
+let bus_access1_far t (c : core) =
+  if t.faults_armed then
+    Lp_util.Fault.check Lp_util.Fault.Sim_bus ~key:"bus";
+  let start = fmax c.clk.time (Array.unsafe_get t.bus_free 0) in
+  c.bus_txns <- c.bus_txns + 1;
+  c.bus_words <- c.bus_words + 1;
+  c.clk.bus_wait_ns <- c.clk.bus_wait_ns +. (start -. c.clk.time);
+  if c.prof_on then begin
+    let s = c.prof_cur in
+    s.Profile.sl_bus_txns <- s.Profile.sl_bus_txns + 1;
+    s.Profile.sl_bus_words <- s.Profile.sl_bus_words + 1;
+    s.Profile.sl_bus_wait_ns <-
+      s.Profile.sl_bus_wait_ns +. (start -. c.clk.time);
+    let sc = s.Profile.sl_cat in
+    Array.unsafe_set sc 5 (Array.unsafe_get sc 5 +. t.bus_word_energy_nj)
+  end;
+  Array.unsafe_set t.bus_free 0 (start +. t.bus_txn1_ns);
+  let finish = start +. t.bus_txn1_ns +. t.far_extra_ns in
+  advance t c (finish -. c.clk.time) ~idle:false;
+  let nj = t.bus_word_energy_nj in
+  if nj < 0.0 then Energy_ledger.negative_energy ();
+  Array.unsafe_set c.lg_cat 5 (Array.unsafe_get c.lg_cat 5 +. nj);
+  Array.unsafe_set c.lg_tot 0 (Array.unsafe_get c.lg_tot 0 +. nj);
+  (* far-tier per-access energy, also Communication *)
+  let fnj = t.far_energy_nj in
+  if fnj < 0.0 then Energy_ledger.negative_energy ();
+  Array.unsafe_set c.lg_cat 5 (Array.unsafe_get c.lg_cat 5 +. fnj);
+  Array.unsafe_set c.lg_tot 0 (Array.unsafe_get c.lg_tot 0 +. fnj);
+  if c.prof_on then begin
+    let sc = c.prof_cur.Profile.sl_cat in
+    Array.unsafe_set sc 5 (Array.unsafe_get sc 5 +. fnj)
+  end
+
 (** Implicit wakeup, compiled mode: identical to {!ensure_powered}'s slow
     path except leakage refresh is deferred to the wake-stall advance. *)
 let wakeup_compiled t (c : core) comp ci =
-  let pm = t.machine.Machine.power in
+  let pm = c.pm in
   c.powered.(ci) <- true;
   c.leak_dirty <- true;
   c.implicit_wakeups <- c.implicit_wakeups + 1;
@@ -991,7 +1092,6 @@ let compile_instr t (df : Predecode.dfunc) (di : Predecode.dinstr) :
     frame -> unit =
   let comp = di.Predecode.di_comp in
   let ci = di.Predecode.di_comp_idx in
-  let pm = t.machine.Machine.power in
   let lat = di.Predecode.di_latency in
   let latf = float_of_int lat in
   match di.Predecode.di_instr.Ir.idesc with
@@ -1276,6 +1376,27 @@ let compile_instr t (df : Predecode.dfunc) (di : Predecode.dinstr) :
     let geta = compile_sym t df s in
     let sstr = Ir.sym_to_string s in
     match s.Ir.sym_space with
+    | Ir.Shared when Hashtbl.mem t.far_syms s.Ir.sym_name ->
+      (* far-tier symbol: same closure with the far bus transaction *)
+      fun fr -> let c = fr.fcore in
+        if not (visible_turn t c) then begin
+          fr.idx <- fr.idx - 1;
+          t.steps <- t.steps - 1;
+          t.sched_event <- true
+        end
+        else begin
+          if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+          let idx = geti fr in
+          spend1 t c;
+          charge_dyn c ci;
+          bus_access1_far t c;
+          let a = geta fr in
+          if idx < 0 || idx >= Array.length a then
+            runtime_err "out-of-bounds read %s[%d] (len %d) in %s" sstr idx
+              (Array.length a) fr.func.Prog.fname;
+          Array.unsafe_set fr.regs d (Array.unsafe_get a idx);
+          bump c
+        end
     | Ir.Shared ->
       fun fr -> let c = fr.fcore in
         if not (visible_turn t c) then begin
@@ -1300,25 +1421,62 @@ let compile_instr t (df : Predecode.dfunc) (di : Predecode.dinstr) :
           bump c
         end
     | Ir.Rom | Ir.Frame ->
-      let spm_lat = 1 + t.machine.Machine.spm_latency_cycles in
+      let spm_lat = 1 + Machine.spm_latency_cycles t.machine in
       let spm_latf = float_of_int spm_lat in
-      fun fr -> let c = fr.fcore in
-        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
-        let idx = geti fr in
-        spend_nf t c spm_lat spm_latf;
-        charge_dyn c ci;
-        let a = geta fr in
-        if idx < 0 || idx >= Array.length a then
-          runtime_err "out-of-bounds read %s[%d] (len %d) in %s" sstr idx
-            (Array.length a) fr.func.Prog.fname;
-        Array.unsafe_set fr.regs d (Array.unsafe_get a idx);
-        bump c)
+      if t.cache_miss_period > 0 then
+        (* cache local store: count the access and take periodic misses *)
+        fun fr -> let c = fr.fcore in
+          if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+          let idx = geti fr in
+          spend_nf t c spm_lat spm_latf;
+          local_miss t c;
+          charge_dyn c ci;
+          let a = geta fr in
+          if idx < 0 || idx >= Array.length a then
+            runtime_err "out-of-bounds read %s[%d] (len %d) in %s" sstr idx
+              (Array.length a) fr.func.Prog.fname;
+          Array.unsafe_set fr.regs d (Array.unsafe_get a idx);
+          bump c
+      else
+        fun fr -> let c = fr.fcore in
+          if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+          let idx = geti fr in
+          spend_nf t c spm_lat spm_latf;
+          charge_dyn c ci;
+          let a = geta fr in
+          if idx < 0 || idx >= Array.length a then
+            runtime_err "out-of-bounds read %s[%d] (len %d) in %s" sstr idx
+              (Array.length a) fr.func.Prog.fname;
+          Array.unsafe_set fr.regs d (Array.unsafe_get a idx);
+          bump c)
   | Ir.Store (s, idxo, vo) -> (
     let geti = compile_int_operand idxo in
     let getv = compile_operand vo in
     let geta = compile_sym t df s in
     let sstr = Ir.sym_to_string s in
     match s.Ir.sym_space with
+    | Ir.Shared when Hashtbl.mem t.far_syms s.Ir.sym_name ->
+      (* far-tier symbol: same closure with the far bus transaction *)
+      fun fr -> let c = fr.fcore in
+        if not (visible_turn t c) then begin
+          fr.idx <- fr.idx - 1;
+          t.steps <- t.steps - 1;
+          t.sched_event <- true
+        end
+        else begin
+          if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+          let idx = geti fr in
+          let v = getv fr in
+          spend1 t c;
+          charge_dyn c ci;
+          bus_access1_far t c;
+          let a = geta fr in
+          if idx < 0 || idx >= Array.length a then
+            runtime_err "out-of-bounds write %s[%d] (len %d) in %s" sstr idx
+              (Array.length a) fr.func.Prog.fname;
+          Array.unsafe_set a idx v;
+          bump c
+        end
     | Ir.Shared ->
       fun fr -> let c = fr.fcore in
         if not (visible_turn t c) then begin
@@ -1344,24 +1502,41 @@ let compile_instr t (df : Predecode.dfunc) (di : Predecode.dinstr) :
           bump c
         end
     | Ir.Rom | Ir.Frame ->
-      let spm_lat = 1 + t.machine.Machine.spm_latency_cycles in
+      let spm_lat = 1 + Machine.spm_latency_cycles t.machine in
       let spm_latf = float_of_int spm_lat in
-      fun fr -> let c = fr.fcore in
-        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
-        let idx = geti fr in
-        let v = getv fr in
-        spend_nf t c spm_lat spm_latf;
-        charge_dyn c ci;
-        let a = geta fr in
-        if idx < 0 || idx >= Array.length a then
-          runtime_err "out-of-bounds write %s[%d] (len %d) in %s" sstr idx
-            (Array.length a) fr.func.Prog.fname;
-        Array.unsafe_set a idx v;
-        bump c)
+      if t.cache_miss_period > 0 then
+        (* cache local store: count the access and take periodic misses *)
+        fun fr -> let c = fr.fcore in
+          if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+          let idx = geti fr in
+          let v = getv fr in
+          spend_nf t c spm_lat spm_latf;
+          local_miss t c;
+          charge_dyn c ci;
+          let a = geta fr in
+          if idx < 0 || idx >= Array.length a then
+            runtime_err "out-of-bounds write %s[%d] (len %d) in %s" sstr idx
+              (Array.length a) fr.func.Prog.fname;
+          Array.unsafe_set a idx v;
+          bump c
+      else
+        fun fr -> let c = fr.fcore in
+          if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+          let idx = geti fr in
+          let v = getv fr in
+          spend_nf t c spm_lat spm_latf;
+          charge_dyn c ci;
+          let a = geta fr in
+          if idx < 0 || idx >= Array.length a then
+            runtime_err "out-of-bounds write %s[%d] (len %d) in %s" sstr idx
+              (Array.length a) fr.func.Prog.fname;
+          Array.unsafe_set a idx v;
+          bump c)
   | Ir.Faa (d, s, amt) ->
     let getv = compile_operand amt in
     let geta = compile_sym t df s in
     let sstr = Ir.sym_to_string s in
+    let far = Hashtbl.mem t.far_syms s.Ir.sym_name in
     fun fr -> let c = fr.fcore in
       if not (visible_turn t c) then begin
         (* not this core's turn: replay when re-picked; the attempt
@@ -1376,7 +1551,7 @@ let compile_instr t (df : Predecode.dfunc) (di : Predecode.dinstr) :
         let amount = Value.to_int (getv fr) in
         spend_nf t c lat latf;
         charge_dyn c ci;
-        bus_access1 t c;
+        if far then bus_access1_far t c else bus_access1 t c;
         let a = geta fr in
         if Array.length a = 0 then
           runtime_err "out-of-bounds read %s[%d] (len %d) in %s" sstr 0 0
@@ -1419,9 +1594,11 @@ let compile_instr t (df : Predecode.dfunc) (di : Predecode.dinstr) :
     let idxs =
       Array.of_list (List.map Component.index (Component.Set.elements comps))
     in
-    let ge = pm.Power_model.gate_energy_nj in
     fun fr -> let c = fr.fcore in
       if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+      (* gate energy from the executing core's class: the closure is
+         shared across cores of different classes *)
+      let ge = c.pm.Power_model.gate_energy_nj in
       spend1 t c;
       record_thunk t c (fun () -> "pg_off " ^ setstr);
       let any = ref false in
@@ -1446,12 +1623,9 @@ let compile_instr t (df : Predecode.dfunc) (di : Predecode.dinstr) :
     let idxs =
       Array.of_list (List.map Component.index (Component.Set.elements comps))
     in
-    let ge = pm.Power_model.gate_energy_nj in
-    let wake = pm.Power_model.wake_latency_cycles in
-    let wake_lat = 1 + wake in
-    let wake_latf = float_of_int wake_lat in
     fun fr -> let c = fr.fcore in
       if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+      let ge = c.pm.Power_model.gate_energy_nj in
       record_thunk t c (fun () -> "pg_on " ^ setstr);
       let any = ref false in
       Array.iter
@@ -1470,48 +1644,40 @@ let compile_instr t (df : Predecode.dfunc) (di : Predecode.dinstr) :
         idxs;
       if !any then begin
         c.leak_dirty <- true;
-        (* components wake in parallel: one wake latency *)
-        spend_nf t c wake_lat wake_latf
+        (* components wake in parallel: one wake latency (this class's) *)
+        let wake_lat = 1 + c.pm.Power_model.wake_latency_cycles in
+        spend_nf t c wake_lat (float_of_int wake_lat)
       end
       else spend1 t c;
       bump c
-  | Ir.Dvfs level -> (
-    let found =
-      List.find_opt
-        (fun (p : Operating_point.t) -> p.Operating_point.level = level)
-        (Power_model.points pm)
-    in
-    match found with
-    | None ->
-      (* invalid level: reproduce [Power_model.point]'s failure at the
-         execution point where the interpreter raises it *)
-      fun fr -> let c = fr.fcore in
-        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
-        ignore (Power_model.point pm level)
-    | Some target ->
-      let dvfs_lat = pm.Power_model.dvfs_latency_cycles in
-      let dvfs_latf = float_of_int dvfs_lat in
-      let de = pm.Power_model.dvfs_energy_nj in
-      let tstr = Operating_point.to_string target in
-      fun fr -> let c = fr.fcore in
-        if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
-        if target.Operating_point.level <> c.point.Operating_point.level
-        then begin
-          spend_nf t c dvfs_lat dvfs_latf;
-          Energy_ledger.charge c.ledger ~category:Energy_ledger.Dvfs_overhead
-            de;
-          if c.prof_on then begin
-            let sc = c.prof_cur.Profile.sl_cat in
-            Array.unsafe_set sc 4 (Array.unsafe_get sc 4 +. de)
-          end;
-          c.point <- target;
-          refresh_point_caches t c;
-          c.leak_dirty <- true;
-          c.dvfs_transitions <- c.dvfs_transitions + 1;
-          record_thunk t c (fun () -> "dvfs -> " ^ tstr)
-        end
-        else spend1 t c;
-        bump c)
+  | Ir.Dvfs level ->
+    (* the ladder belongs to the executing core's class, and the closure
+       is shared across cores — resolve the level per execution; an
+       absent level raises [Power_model.point]'s error exactly where the
+       interpreter raises it.  Dvfs instructions are region boundaries,
+       not loop bodies, so the lookup is off the hot path. *)
+    fun fr -> let c = fr.fcore in
+      if not (Array.unsafe_get c.powered ci) then wakeup_compiled t c comp ci;
+      let pm = c.pm in
+      let target = Power_model.point pm level in
+      if target.Operating_point.level <> c.point.Operating_point.level
+      then begin
+        let dvfs_lat = pm.Power_model.dvfs_latency_cycles in
+        spend_nf t c dvfs_lat (float_of_int dvfs_lat);
+        let de = pm.Power_model.dvfs_energy_nj in
+        Energy_ledger.charge c.ledger ~category:Energy_ledger.Dvfs_overhead de;
+        if c.prof_on then begin
+          let sc = c.prof_cur.Profile.sl_cat in
+          Array.unsafe_set sc 4 (Array.unsafe_get sc 4 +. de)
+        end;
+        c.point <- target;
+        refresh_point_caches t c;
+        c.leak_dirty <- true;
+        c.dvfs_transitions <- c.dvfs_transitions + 1;
+        record_thunk t c (fun () -> "dvfs -> " ^ Operating_point.to_string target)
+      end
+      else spend1 t c;
+      bump c
   | Ir.Send (chan_id, vo) ->
     let getv = compile_operand vo in
     let setup_lat = t.machine.Machine.channel_setup_cycles in
@@ -1780,21 +1946,26 @@ let decode_prog_cached prog =
 
 let create ?(opts = default_options) ~(machine : Machine.t) (prog : Prog.t) : t =
   let entries = Prog.entries prog in
-  if List.length entries > machine.Machine.n_cores then
+  if List.length entries > Machine.n_cores machine then
     invalid_arg
       (Printf.sprintf "Sim.create: program needs %d cores, machine has %d"
-         (List.length entries) machine.Machine.n_cores);
+         (List.length entries) (Machine.n_cores machine));
   let entry_funcs = List.map (Prog.func_exn prog) entries in
-  let pm = machine.Machine.power in
-  let nominal = Power_model.nominal pm in
+  (* class 0's nominal point is the machine reference clock *)
+  let nominal = Power_model.nominal (Machine.ref_power machine) in
   let cores =
     Array.of_list
       (List.mapi
          (fun id _entry ->
            let ledger = Energy_ledger.create () in
            let prof = Profile.create_tab () in
+           let cls = Machine.class_index_of_core machine id in
+           let cc = machine.Machine.classes.(cls) in
            {
              id;
+             cls;
+             pm = cc.Machine.cc_power;
+             perf_scale = cc.Machine.cc_perf_scale;
              stack = [];
              status = Ready;
              clk =
@@ -1805,7 +1976,8 @@ let create ?(opts = default_options) ~(machine : Machine.t) (prog : Prog.t) : t 
                  leak_mw = 0.0;
                  ns_per_cycle = 0.0;
                };
-             point = nominal;
+             (* each core starts at its own class's nominal point *)
+             point = Power_model.nominal cc.Machine.cc_power;
              powered = Array.make Component.count true;
              ledger;
              lg_cat = Energy_ledger.raw_by_category ledger;
@@ -1822,6 +1994,7 @@ let create ?(opts = default_options) ~(machine : Machine.t) (prog : Prog.t) : t 
              cycles = 0;
              bus_txns = 0;
              bus_words = 0;
+             local_accs = 0;
              prof_on = opts.profile;
              prof;
              (* nothing charges before the first step repoints this *)
@@ -1854,6 +2027,24 @@ let create ?(opts = default_options) ~(machine : Machine.t) (prog : Prog.t) : t 
         })
     (Prog.funcs prog);
   let nominal_ns_of n = Operating_point.ns_of_cycles nominal n in
+  let shared = init_shared prog in
+  (* place big shared arrays in the far tier (empty table when the
+     machine has no far tier, keeping every access on the near path) *)
+  let far_syms = Hashtbl.create 8 in
+  (match machine.Machine.mem.Machine.far with
+  | None -> ()
+  | Some _ ->
+    Hashtbl.iter
+      (fun name arr ->
+        if Machine.is_far machine (Array.length arr) then
+          Hashtbl.replace far_syms name ())
+      shared);
+  let (cache_miss_period, cache_miss_penalty, cache_miss_energy_nj) =
+    match machine.Machine.mem.Machine.local with
+    | Machine.Scratchpad _ -> (0, 0, 0.0)
+    | Machine.Cache { miss_period; miss_penalty_cycles; miss_energy_nj; _ } ->
+      (miss_period, miss_penalty_cycles, miss_energy_nj)
+  in
   let t =
     {
       prog;
@@ -1863,7 +2054,7 @@ let create ?(opts = default_options) ~(machine : Machine.t) (prog : Prog.t) : t 
       dfuncs;
       decoded_blocks;
       cores;
-      shared = init_shared prog;
+      shared;
       chans =
         Array.init n_channels (fun _ ->
             { cap; queue = Queue.create (); waiting_senders = Queue.create ();
@@ -1883,8 +2074,24 @@ let create ?(opts = default_options) ~(machine : Machine.t) (prog : Prog.t) : t 
       bus_txn1_ns =
         nominal_ns_of
           (machine.Machine.bus_latency_cycles + machine.Machine.bus_word_cycles);
-      shared_extra_ns = nominal_ns_of machine.Machine.shared_mem_latency_cycles;
+      shared_extra_ns =
+        nominal_ns_of (Machine.shared_mem_latency_cycles machine);
       bus_word_energy_nj = machine.Machine.bus_energy_per_word_nj;
+      far_syms;
+      far_extra_ns =
+        (match machine.Machine.mem.Machine.far with
+        | None -> 0.0
+        | Some far ->
+          nominal_ns_of
+            (Machine.shared_mem_latency_cycles machine
+            + far.Machine.tier_latency_cycles));
+      far_energy_nj =
+        (match machine.Machine.mem.Machine.far with
+        | None -> 0.0
+        | Some far -> far.Machine.tier_energy_per_access_nj);
+      cache_miss_period;
+      cache_miss_penalty;
+      cache_miss_energy_nj;
     }
   in
   if opts.predecode then begin
@@ -2203,6 +2410,9 @@ type outcome = {
   duration_ns : float;
   energy : Energy_ledger.t;         (** machine-wide, merged *)
   core_ledgers : Energy_ledger.t array;
+  class_energy : (string * Energy_ledger.t) list;
+      (** per-core-class breakdown, in class order; includes the unused
+          cores of each class.  Singleton on homogeneous machines. *)
   shared_final : (string, Value.t array) Hashtbl.t;
   instr_total : int;
   implicit_wakeups : int;
@@ -2228,13 +2438,13 @@ type outcome = {
 }
 
 (** Charge leakage of machine cores not used by the program, for the whole
-    run duration. *)
+    run duration — each unused core by its own class's power model. *)
 let charge_unused_cores t ~duration =
   let used = Array.length t.cores in
   let m = t.machine in
-  let pm = m.Machine.power in
   let ledgers = ref [] in
-  for _ = used to m.Machine.n_cores - 1 do
+  for id = used to Machine.n_cores m - 1 do
+    let pm = Machine.power_of_core m id in
     let ledger = Energy_ledger.create () in
     List.iter
       (fun comp ->
@@ -2340,6 +2550,24 @@ let run ?(opts = default_options) ?(obs = Obs.disabled) ~machine prog : outcome 
   let energy = Energy_ledger.create () in
   Array.iter (fun c -> Energy_ledger.merge_into ~dst:energy ~src:c.ledger) t.cores;
   List.iter (fun l -> Energy_ledger.merge_into ~dst:energy ~src:l) unused;
+  let used = Array.length t.cores in
+  let class_energy =
+    Array.to_list
+      (Array.mapi
+         (fun k (cc : Machine.core_class) ->
+           let l = Energy_ledger.create () in
+           Array.iter
+             (fun c ->
+               if c.cls = k then Energy_ledger.merge_into ~dst:l ~src:c.ledger)
+             t.cores;
+           List.iteri
+             (fun i ul ->
+               if Machine.class_index_of_core t.machine (used + i) = k then
+                 Energy_ledger.merge_into ~dst:l ~src:ul)
+             unused;
+           (cc.Machine.cc_name, l))
+         t.machine.Machine.classes)
+  in
   let ret =
     match t.cores.(0).status with Halted v -> v | _ -> None
   in
@@ -2348,6 +2576,7 @@ let run ?(opts = default_options) ?(obs = Obs.disabled) ~machine prog : outcome 
     duration_ns = duration;
     energy;
     core_ledgers = Array.map (fun c -> c.ledger) t.cores;
+    class_energy;
     shared_final = t.shared;
     instr_total = Array.fold_left (fun a (c : core) -> a + c.instr_count) 0 t.cores;
     implicit_wakeups =

@@ -72,7 +72,20 @@ let choose_level (pm : Power_model.t) (est : Est.func_est) ~budget_cycles
 
 let run ?(opts = default_options) ?am (m : Machine.t) (prog : Prog.t)
     (info : Par_info.t) : int =
-  let pm = m.Machine.power in
+  let entries = Prog.entries prog in
+  (* power model of the core a stage entry function runs on: entry [i]
+     executes on core [i] (the simulator's layout) *)
+  let pm_of_entry name =
+    let rec idx i = function
+      | [] -> None
+      | e :: _ when String.equal e name -> Some i
+      | _ :: rest -> idx (i + 1) rest
+    in
+    match idx 0 entries with
+    | Some i when i < Machine.n_cores m -> Machine.power_of_core m i
+    | _ -> Machine.ref_power m
+  in
+  let fclasses = lazy (Gating.func_classes prog m) in
   let changes = ref 0 in
   List.iter
     (fun (cg : Par_info.instance_codegen) ->
@@ -91,6 +104,7 @@ let run ?(opts = default_options) ?am (m : Machine.t) (prog : Prog.t)
             (fun s name ->
               if s > 0 then begin
                 let est = List.nth ests s in
+                let pm = pm_of_entry name in
                 let level =
                   choose_level pm est ~budget_cycles:bottleneck
                     ~headroom:opts.headroom
@@ -101,11 +115,20 @@ let run ?(opts = default_options) ?am (m : Machine.t) (prog : Prog.t)
             cg.Par_info.stage_funcs
         end)
       | Pattern.Doall | Pattern.Reduction _ | Pattern.Farm -> (
-        (* restore nominal at entry of the outlined body *)
+        (* restore nominal at entry of the outlined body — only when
+           every class that can execute the body shares one ladder (a
+           raw level is meaningless across incompatible ladders) *)
         match cg.Par_info.body_func with
-        | Some name ->
-          if prepend_dvfs prog name (Power_model.max_level pm) then
-            incr changes
+        | Some name -> (
+          let classes =
+            Option.value ~default:[]
+              (Hashtbl.find_opt (Lazy.force fclasses) name)
+          in
+          match Dvfs.ladder_of_classes m classes with
+          | Some (_, pm) ->
+            if prepend_dvfs prog name (Power_model.max_level pm) then
+              incr changes
+          | None -> ())
         | None -> ()))
     info.Par_info.instances;
   !changes

@@ -117,13 +117,47 @@ let choose_level_explained (pm : Power_model.t) ~mu ~max_slowdown :
 let choose_level (pm : Power_model.t) ~mu ~max_slowdown : int option =
   fst (choose_level_explained pm ~mu ~max_slowdown)
 
+(** Pick the ladder for a function from the classes of the cores that
+    can execute it.  [None] means the classes disagree (incompatible
+    ladders): a raw [dvfs level] would mean different V/f pairs on
+    different cores, so the pass must skip the region. *)
+let ladder_of_classes (m : Machine.t) (classes : int list) :
+    (string * Power_model.t) option =
+  let cc k = m.Machine.classes.(k) in
+  match classes with
+  | [] ->
+    (* unreachable function: class 0's ladder, today's behaviour *)
+    Some (m.Machine.classes.(0).Machine.cc_name, Machine.ref_power m)
+  | k :: rest ->
+    let pm0 = (cc k).Machine.cc_power in
+    if List.for_all
+         (fun k' -> Power_model.same_ladder pm0 (cc k').Machine.cc_power)
+         rest
+    then
+      Some
+        (String.concat "+" (List.map (fun k' -> (cc k').Machine.cc_name) classes),
+         pm0)
+    else None
+
 let run_func ?(opts = default_options) ?(report = Report.disabled)
-    ?(find_loops = Loops.find) ?loop_est ?cfg_of (m : Machine.t)
-    (prog : Prog.t) (comm : (string, bool) Hashtbl.t) (f : Prog.func) : int =
+    ?(find_loops = Loops.find) ?loop_est ?cfg_of ?(classes = [])
+    (m : Machine.t) (prog : Prog.t) (comm : (string, bool) Hashtbl.t)
+    (f : Prog.func) : int =
   let loop_est =
     match loop_est with Some le -> le | None -> Est.loop_estimate m prog
   in
-  let pm = m.Machine.power in
+  let ladder = ladder_of_classes m classes in
+  let (cls_name, pm) =
+    match ladder with
+    | Some (name, pm) -> (name, pm)
+    | None ->
+      (* only used for the audit record of the skip *)
+      (String.concat "+"
+         (List.map
+            (fun k -> m.Machine.classes.(k).Machine.cc_name)
+            classes),
+       Machine.ref_power m)
+  in
   let changes = ref 0 in
   let loops = Loops.top_level (find_loops f) in
   let emit ~l ~mu ~est_cycles ~chosen ~rejected ~reason =
@@ -133,6 +167,11 @@ let run_func ?(opts = default_options) ?(report = Report.disabled)
            {
              dv_func = f.Prog.fname;
              dv_site = Printf.sprintf "loop@b%d" l.Loops.header;
+             dv_core_class = cls_name;
+             dv_ladder =
+               (match ladder with
+               | Some (_, pm) -> Power_model.describe_ladder pm
+               | None -> "(incompatible)");
              dv_mu = mu;
              dv_est_cycles = est_cycles;
              dv_chosen = chosen;
@@ -142,7 +181,13 @@ let run_func ?(opts = default_options) ?(report = Report.disabled)
   in
   List.iter
     (fun l ->
-      if loop_has_comm comm f l then
+      if Option.is_none ladder then
+        emit ~l ~mu:0.0 ~est_cycles:0.0 ~chosen:None ~rejected:[]
+          ~reason:
+            (Some
+               "function runs on core classes with incompatible DVFS \
+                ladders")
+      else if loop_has_comm comm f l then
         emit ~l ~mu:0.0 ~est_cycles:0.0 ~chosen:None ~rejected:[]
           ~reason:
             (Some "communicating loop: timing coupled with other cores")
@@ -200,7 +245,13 @@ let insert ?(opts = default_options) ?(report = Report.disabled) ?am
   let find_loops = Option.map Manager.loops am in
   let loop_est = Option.map (fun am -> Manager.loop_est am m) am in
   let cfg_of = Option.map Manager.cfg am in
+  let fclasses = Gating.func_classes prog m in
   List.fold_left
     (fun acc f ->
-      acc + run_func ~opts ~report ?find_loops ?loop_est ?cfg_of m prog comm f)
+      let classes =
+        Option.value ~default:[] (Hashtbl.find_opt fclasses f.Prog.fname)
+      in
+      acc
+      + run_func ~opts ~report ?find_loops ?loop_est ?cfg_of ~classes m prog
+          comm f)
     0 (Prog.funcs prog)

@@ -50,9 +50,58 @@ let default_options =
 (* Insertion                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let break_even_cycles (m : Machine.t) comp =
-  let pm = m.Machine.power in
+(** Break-even threshold of [comp] under one class's power model. *)
+let break_even_cycles_pm (pm : Power_model.t) comp =
   Power_model.break_even_cycles pm ~comp ~point:(Power_model.nominal pm)
+
+(** Worst-case (largest) break-even across the machine's core classes:
+    gating is only inserted when it pays off on whichever class runs the
+    code.  On homogeneous machines this is the single class's value. *)
+let break_even_cycles (m : Machine.t) comp =
+  Array.fold_left
+    (fun acc (cc : Machine.core_class) ->
+      max acc (break_even_cycles_pm cc.Machine.cc_power comp))
+    0 m.Machine.classes
+
+(** Class indices whose cores can execute each function: entry [i] runs
+    on core [i] (the simulator's layout), callees inherit every caller's
+    classes over the call graph. *)
+let func_classes (prog : Prog.t) (m : Machine.t) : (string, int list) Hashtbl.t =
+  let table = Hashtbl.create 16 in
+  List.iteri
+    (fun i entry ->
+      let cls = Machine.class_index_of_core m i in
+      let visited = Hashtbl.create 16 in
+      let rec visit name =
+        if not (Hashtbl.mem visited name) then begin
+          Hashtbl.replace visited name ();
+          let cur = Option.value ~default:[] (Hashtbl.find_opt table name) in
+          if not (List.mem cls cur) then
+            Hashtbl.replace table name (cur @ [ cls ]);
+          match Prog.find_func prog name with
+          | None -> ()
+          | Some f ->
+            Prog.iter_instrs f (fun _ i ->
+                match i.Ir.idesc with
+                | Ir.Call (_, callee, _) -> visit callee
+                | _ -> ())
+        end
+      in
+      visit entry)
+    (Prog.entries prog);
+  table
+
+(** Largest break-even among [classes] (falling back to the machine-wide
+    worst case when the executing classes are unknown). *)
+let break_even_for (m : Machine.t) (classes : int list) comp =
+  match classes with
+  | [] -> break_even_cycles m comp
+  | l ->
+    List.fold_left
+      (fun acc k ->
+        max acc
+          (break_even_cycles_pm m.Machine.classes.(k).Machine.cc_power comp))
+      0 l
 
 (** Functions reachable from each entry, over the call graph; a loop in
     [f] may re-enable a component if any core whose entry reaches [f]
@@ -90,9 +139,9 @@ let core_use_table (prog : Prog.t) (cu : Compuse.t) :
     [find_loops] / [loop_est] / [cfg_of] default to fresh computation;
     the driver routes them through its analysis manager. *)
 let loop_gating ?(opts = default_options) ?(report = Report.disabled)
-    ?(find_loops = Loops.find) ?loop_est ?cfg_of (m : Machine.t)
-    (prog : Prog.t) (cu : Compuse.t) ~(core_use : CS.t) (f : Prog.func) : int
-    =
+    ?(find_loops = Loops.find) ?loop_est ?cfg_of ?(classes = [])
+    (m : Machine.t) (prog : Prog.t) (cu : Compuse.t) ~(core_use : CS.t)
+    (f : Prog.func) : int =
   let loop_est =
     match loop_est with Some le -> le | None -> Est.loop_estimate m prog
   in
@@ -130,7 +179,8 @@ let loop_gating ?(opts = default_options) ?(report = Report.disabled)
           CS.filter
             (fun c ->
               est.Est.total_cycles
-              >= opts.break_even_scale *. float_of_int (break_even_cycles m c))
+              >= opts.break_even_scale
+                 *. float_of_int (break_even_for m classes c))
             candidates
         in
         let below = CS.diff candidates to_gate in
@@ -212,6 +262,7 @@ let insert ?(opts = default_options) ?(report = Report.disabled) ?am
   let loop_est = Option.map (fun am -> Manager.loop_est am m) am in
   let cfg_of = Option.map Manager.cfg am in
   let core_use = core_use_table prog cu in
+  let fclasses = func_classes prog m in
   let n =
     if opts.loop_gating then
       List.fold_left
@@ -220,9 +271,13 @@ let insert ?(opts = default_options) ?(report = Report.disabled) ?am
             Option.value ~default:CS.empty
               (Hashtbl.find_opt core_use f.Prog.fname)
           in
+          let classes =
+            Option.value ~default:[]
+              (Hashtbl.find_opt fclasses f.Prog.fname)
+          in
           acc
-          + loop_gating ~opts ~report ?find_loops ?loop_est ?cfg_of m prog cu
-              ~core_use:u f)
+          + loop_gating ~opts ~report ?find_loops ?loop_est ?cfg_of ~classes
+              m prog cu ~core_use:u f)
         0 (Prog.funcs prog)
     else 0
   in
@@ -235,9 +290,11 @@ let insert ?(opts = default_options) ?(report = Report.disabled) ?am
 (* Sink-N-Hoist merge                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(** Per-block rewrite; see module header for the three rules. *)
-let merge_block ?(report = Report.disabled) ~fname (m : Machine.t)
-    (b : Ir.block) : int =
+(** Per-block rewrite; see module header for the three rules.
+    [classes] are the core classes that can execute this block (for the
+    drop-short-region break-even; machine worst case when empty). *)
+let merge_block ?(report = Report.disabled) ?(classes = []) ~fname
+    (m : Machine.t) (b : Ir.block) : int =
   let changes = ref 0 in
   let emit rule comps =
     if Report.enabled report then
@@ -282,7 +339,7 @@ let merge_block ?(report = Report.disabled) ~fname (m : Machine.t)
           if last_off.(k) >= 0 then begin
             (* pg_off ... pg_on: keep only if region length >= break-even *)
             let region = cycles_before.(i) - cycles_before.(last_off.(k)) in
-            if region < break_even_cycles m c then begin
+            if region < break_even_for m classes c then begin
               remove_comp last_off.(k) c;
               remove_comp i c;
               incr changes;
@@ -349,11 +406,16 @@ let merge_block ?(report = Report.disabled) ~fname (m : Machine.t)
   !changes
 
 let merge ?(report = Report.disabled) (m : Machine.t) (prog : Prog.t) : int =
+  let fclasses = func_classes prog m in
   List.fold_left
     (fun acc f ->
+      let classes =
+        Option.value ~default:[] (Hashtbl.find_opt fclasses f.Prog.fname)
+      in
       let n =
         List.fold_left
-          (fun acc b -> acc + merge_block ~report ~fname:f.Prog.fname m b)
+          (fun acc b ->
+            acc + merge_block ~report ~classes ~fname:f.Prog.fname m b)
           0 (Prog.blocks_in_order f)
       in
       if n > 0 then Prog.touch f;

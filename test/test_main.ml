@@ -23,4 +23,5 @@ let () =
       ("predecode", Test_predecode.suite);
       ("tune", Test_tune.suite);
       ("profile", Test_profile.suite);
+      ("machines", Test_machines.suite);
     ]

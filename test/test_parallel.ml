@@ -287,7 +287,7 @@ let test_balance_slows_light_stage () =
             | Some f -> (
               match (Prog.block f f.Prog.entry).Ir.instrs with
               | { Ir.idesc = Ir.Dvfs l; _ } :: _ ->
-                l < Lp_power.Power_model.max_level machine4.Machine.power
+                l < Lp_power.Power_model.max_level (Machine.ref_power machine4)
               | _ -> false)
             | None -> false)
           cg.T.Par_info.stage_funcs)

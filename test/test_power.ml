@@ -121,17 +121,17 @@ let test_ledger_merge () =
 
 let test_machine_presets () =
   let g = Machine.generic ~n_cores:4 () in
-  check Alcotest.int "generic cores" 4 g.Machine.n_cores;
+  check Alcotest.int "generic cores" 4 (Machine.n_cores g);
   let p = Machine.pac_duo_like () in
-  check Alcotest.int "pac duo cores" 2 p.Machine.n_cores;
+  check Alcotest.int "pac duo cores" 2 (Machine.n_cores p);
   if Machine.has_component p Component.Fpu then fail "pac duo has no FPU";
   if not (Machine.has_component p Component.Mac) then fail "pac duo has a MAC";
   let o = Machine.octa_leaky () in
-  check Alcotest.int "octa cores" 8 o.Machine.n_cores
+  check Alcotest.int "octa cores" 8 (Machine.n_cores o)
 
 let test_machine_with_cores () =
   let m = Machine.with_cores (Machine.generic ()) 6 in
-  check Alcotest.int "resized" 6 m.Machine.n_cores
+  check Alcotest.int "resized" 6 (Machine.n_cores m)
 
 let test_machine_validation () =
   Alcotest.check_raises "zero cores"

@@ -112,7 +112,7 @@ let test_energy_map_reclaims_slack () =
   (* the light tasks must have been slowed, the heavy one barely *)
   let level tid = r.Energy_map.assignments.(tid).Energy_map.level in
   let nominal =
-    Lp_power.Power_model.max_level machine4.Machine.power
+    Lp_power.Power_model.max_level (Machine.ref_power machine4)
   in
   if level 2 >= nominal && level 3 >= nominal then
     fail "light tasks kept at nominal";
@@ -126,7 +126,7 @@ let test_energy_map_zero_slack_near_noop () =
   let s = List_sched.run ~machine:machine4 g in
   let r = Energy_map.run ~slack:0.0 s in
   (* a chain with zero slack cannot slow anything *)
-  let nominal = Lp_power.Power_model.max_level machine4.Machine.power in
+  let nominal = Lp_power.Power_model.max_level (Machine.ref_power machine4) in
   Array.iter
     (fun a ->
       if a.Energy_map.level <> nominal then fail "slowed a zero-slack task")
